@@ -1,0 +1,31 @@
+//! E10: bounded-rewriting approximation on the non-WR Example 2 — cost of the
+//! approximation per depth bound and of the query-pattern analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontorew_core::examples::{example2, example2_query};
+use ontorew_rewrite::{analyze_patterns, approximate_rewrite};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5]));
+
+    let program = example2();
+    let query = example2_query();
+    let mut group = c.benchmark_group("approximation");
+    group.sample_size(10);
+    for depth in [2usize, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("approximate_rewrite", depth),
+            &depth,
+            |b, &d| b.iter(|| approximate_rewrite(&program, &query, d)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pattern_analysis", depth),
+            &depth,
+            |b, &d| b.iter(|| analyze_patterns(&program, &query, d)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5: class subsumption on generated simple-TGD families — every Linear /
+//! Sticky draw must be SWR, every SWR draw must be WR — and the cost of the
+//! full classification pipeline per program size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontorew_core::classify;
+use ontorew_workloads::{random_program, RandomProgramConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_class_subsumption(40, 8));
+
+    let mut group = c.benchmark_group("class_subsumption/classify_random");
+    group.sample_size(10);
+    for rules in [10usize, 25, 50, 100] {
+        let program = random_program(&RandomProgramConfig {
+            rules,
+            predicates: rules / 2 + 2,
+            ..RandomProgramConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &program, |b, p| {
+            b.iter(|| classify(std::hint::black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

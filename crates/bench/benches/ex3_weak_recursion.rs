@@ -1,0 +1,31 @@
+//! E4 / Example 3: full classification of the paper's separation example and
+//! the terminating rewriting over it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontorew_core::{classify, examples::example3};
+use ontorew_model::parse_query;
+use ontorew_rewrite::{rewrite, RewriteConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_example3());
+
+    let program = example3();
+    let query = parse_query("ans(A, B) :- s(A, A, B)").unwrap();
+    c.bench_function("ex3/classify_all_classes", |b| {
+        b.iter(|| classify(std::hint::black_box(&program)))
+    });
+    c.bench_function("ex3/rewriting_terminates", |b| {
+        b.iter(|| {
+            let r = rewrite(
+                std::hint::black_box(&program),
+                std::hint::black_box(&query),
+                &RewriteConfig::default(),
+            );
+            assert!(r.complete);
+            r
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

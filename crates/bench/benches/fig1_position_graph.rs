@@ -1,0 +1,21 @@
+//! E1 / Figure 1: position graph construction and SWR check for Example 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontorew_core::examples::example1;
+use ontorew_core::{is_swr, PositionGraph};
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced figure data once, outside measurement.
+    println!("{}", ontorew_bench::experiment_fig1());
+
+    let program = example1();
+    c.bench_function("fig1/position_graph_build", |b| {
+        b.iter(|| PositionGraph::build(std::hint::black_box(&program)))
+    });
+    c.bench_function("fig1/swr_check", |b| {
+        b.iter(|| is_swr(std::hint::black_box(&program)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

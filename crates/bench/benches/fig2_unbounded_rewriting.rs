@@ -1,0 +1,30 @@
+//! E2 / Figure 2: the position graph of Example 2 and the growth of the
+//! rewriting of `q() :- r("a", x)` with the depth bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontorew_core::examples::{example2, example2_query};
+use ontorew_rewrite::{rewrite, RewriteConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_fig2(&[1, 2, 3, 4, 5, 6, 7]));
+
+    let program = example2();
+    let query = example2_query();
+    let mut group = c.benchmark_group("fig2/bounded_rewriting");
+    group.sample_size(10);
+    for depth in [1usize, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                rewrite(
+                    std::hint::black_box(&program),
+                    std::hint::black_box(&query),
+                    &RewriteConfig::with_depth(depth).without_pruning(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

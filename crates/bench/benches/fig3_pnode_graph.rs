@@ -1,0 +1,20 @@
+//! E3 / Figure 3: P-node graph construction and WR check for Example 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontorew_core::examples::example2;
+use ontorew_core::{check_wr, PNodeGraph, PNodeGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_fig3());
+
+    let program = example2();
+    c.bench_function("fig3/pnode_graph_build", |b| {
+        b.iter(|| PNodeGraph::build(std::hint::black_box(&program), &PNodeGraphConfig::default()))
+    });
+    c.bench_function("fig3/wr_check", |b| {
+        b.iter(|| check_wr(std::hint::black_box(&program)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

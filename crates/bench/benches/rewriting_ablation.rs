@@ -1,0 +1,74 @@
+//! E12 (ablation): the two design knobs of the rewriting engine —
+//! subsumption pruning of the generated UCQ and factorization steps —
+//! measured on the LUBM-style and sensor-network suites.
+//!
+//! Pruning trades a containment check per generated CQ for a smaller final
+//! UCQ (cheaper evaluation); factorization is required for completeness in
+//! general but costs extra steps. The table reports final UCQ sizes, the
+//! criterion group reports rewriting wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontorew_model::parse_query;
+use ontorew_rewrite::{rewrite, RewriteConfig};
+use ontorew_workloads::{lubm_style_ontology, sensor_network_ontology};
+
+fn bench(c: &mut Criterion) {
+    let suites = [
+        (
+            "lubm",
+            lubm_style_ontology(),
+            parse_query("q(S, C) :- takesCourse(S, C), teaches(P, C), professor(P)").unwrap(),
+        ),
+        (
+            "sensor",
+            sensor_network_ontology(),
+            parse_query("q(M) :- monitors(M, E), locatedIn(E, F), facility(F)").unwrap(),
+        ),
+    ];
+
+    println!("E12: rewriting ablation (disjuncts in the final UCQ / steps taken)");
+    println!("suite    config                        disjuncts   steps   complete");
+    for (name, ontology, query) in &suites {
+        let configs = [
+            ("full (prune + factorize)", RewriteConfig::default()),
+            ("no pruning", RewriteConfig::default().without_pruning()),
+            ("no factorization", RewriteConfig::default().without_factorization()),
+            (
+                "neither",
+                RewriteConfig::default().without_pruning().without_factorization(),
+            ),
+        ];
+        for (label, config) in configs {
+            let rewriting = rewrite(ontology, query, &config);
+            println!(
+                "{name:<8} {label:<29} {:>9}   {:>5}   {}",
+                rewriting.ucq.len(),
+                rewriting.stats.steps,
+                rewriting.complete
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("rewriting_ablation");
+    group.sample_size(20);
+    for (name, ontology, query) in &suites {
+        for (label, config) in [
+            ("full", RewriteConfig::default()),
+            ("no_pruning", RewriteConfig::default().without_pruning()),
+            (
+                "no_factorization",
+                RewriteConfig::default().without_factorization(),
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, label),
+                &config,
+                |b, cfg| b.iter(|| rewrite(std::hint::black_box(ontology), query, cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

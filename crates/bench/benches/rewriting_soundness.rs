@@ -1,0 +1,27 @@
+//! E9: the rewriting-vs-chase cross-check (Theorem 1 in executable form),
+//! benchmarked end to end through the OBDA facade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontorew_core::examples::{university_ontology, university_query};
+use ontorew_obda::{cross_check, ObdaSystem};
+use ontorew_workloads::university_abox;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_rewriting_soundness());
+
+    let system = ObdaSystem::new(university_ontology(), university_abox(80, 8, 16, 23));
+    let query = university_query();
+    let mut group = c.benchmark_group("rewriting_soundness");
+    group.sample_size(10);
+    group.bench_function("cross_check_university", |b| {
+        b.iter(|| {
+            let report = cross_check(&system, &query);
+            assert!(report.is_consistent());
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6: scaling of the PTIME SWR membership test with the number of rules,
+//! across the chain, star and random families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontorew_core::is_swr;
+use ontorew_workloads::{chain_program, random_program, star_program, RandomProgramConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_swr_scaling(&[10, 50, 100, 250]));
+
+    let mut group = c.benchmark_group("swr_check");
+    group.sample_size(20);
+    for rules in [10usize, 50, 100, 250, 500] {
+        group.bench_with_input(BenchmarkId::new("chain", rules), &rules, |b, &n| {
+            let p = chain_program(n);
+            b.iter(|| is_swr(std::hint::black_box(&p)))
+        });
+        group.bench_with_input(BenchmarkId::new("star", rules), &rules, |b, &n| {
+            let p = star_program(n);
+            b.iter(|| is_swr(std::hint::black_box(&p)))
+        });
+        group.bench_with_input(BenchmarkId::new("random", rules), &rules, |b, &n| {
+            let p = random_program(&RandomProgramConfig {
+                rules: n,
+                predicates: n / 2 + 2,
+                ..RandomProgramConfig::default()
+            });
+            b.iter(|| is_swr(std::hint::black_box(&p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

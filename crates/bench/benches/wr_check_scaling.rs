@@ -1,0 +1,33 @@
+//! E7: scaling of the WR membership test (P-node graph) versus the SWR test on
+//! the same programs — the PTIME vs PSPACE gap discussed in §7 of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontorew_core::{check_wr_with, is_swr, PNodeGraphConfig};
+use ontorew_workloads::{chain_program, star_program};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ontorew_bench::experiment_wr_scaling(&[4, 8, 16, 32], 4_000));
+
+    let mut group = c.benchmark_group("wr_vs_swr_check");
+    group.sample_size(10);
+    for rules in [4usize, 8, 16, 32] {
+        let chain = chain_program(rules);
+        let star = star_program(rules);
+        group.bench_with_input(BenchmarkId::new("swr/chain", rules), &chain, |b, p| {
+            b.iter(|| is_swr(std::hint::black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("wr/chain", rules), &chain, |b, p| {
+            b.iter(|| check_wr_with(std::hint::black_box(p), &PNodeGraphConfig { max_nodes: 4_000 }))
+        });
+        group.bench_with_input(BenchmarkId::new("swr/star", rules), &star, |b, p| {
+            b.iter(|| is_swr(std::hint::black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("wr/star", rules), &star, |b, p| {
+            b.iter(|| check_wr_with(std::hint::black_box(p), &PNodeGraphConfig { max_nodes: 4_000 }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

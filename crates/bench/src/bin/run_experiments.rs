@@ -1,0 +1,24 @@
+//! Run every experiment of EXPERIMENTS.md (E1–E10) and print the tables.
+//!
+//! `cargo run -p ontorew-bench --release --bin run_experiments`
+
+fn main() {
+    let experiments: Vec<String> = vec![
+        ontorew_bench::experiment_fig1(),
+        ontorew_bench::experiment_fig2(&[1, 2, 3, 4, 5, 6, 7]),
+        ontorew_bench::experiment_fig3(),
+        ontorew_bench::experiment_example3(),
+        ontorew_bench::experiment_class_subsumption(40, 8),
+        ontorew_bench::experiment_swr_scaling(&[10, 50, 100, 250, 500, 1000]),
+        ontorew_bench::experiment_wr_scaling(&[4, 8, 16, 32], 4_000),
+        ontorew_bench::experiment_rewriting_vs_chase(&[100, 1_000, 5_000, 20_000]),
+        ontorew_bench::experiment_rewriting_soundness(),
+        ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5, 6]),
+    ];
+    for (i, report) in experiments.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("{report}");
+    }
+}

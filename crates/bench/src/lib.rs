@@ -1,0 +1,378 @@
+//! # ontorew-bench
+//!
+//! The benchmark harness that regenerates every figure and experiment of
+//! EXPERIMENTS.md (E1–E10). Each experiment is available both as a Criterion
+//! bench target (`cargo bench -p ontorew-bench`) and as a plain function used
+//! by the `run_experiments` binary, which prints the tables recorded in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ontorew_chase::{certain_answers, ChaseConfig};
+use ontorew_core::examples::{
+    example1, example2, example2_query, example3, university_ontology, university_query,
+};
+use ontorew_core::{
+    classify, is_swr, check_wr_with, PNodeGraph, PNodeGraphConfig, PositionGraph, WrVerdict,
+};
+use ontorew_model::prelude::*;
+use ontorew_model::parse_query;
+use ontorew_obda::{cross_check, ObdaSystem, Strategy};
+use ontorew_rewrite::{
+    answer_by_rewriting, approximate_rewrite, rewrite, rewriting_growth, RewriteConfig,
+};
+use ontorew_storage::RelationalStore;
+use ontorew_workloads::{
+    chain_program, hierarchy_program, random_program, star_program, university_abox,
+    RandomProgramConfig,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// E1 — Figure 1: build the position graph of Example 1 and report its shape
+/// and the SWR verdict. Returns the printable table.
+pub fn experiment_fig1() -> String {
+    let program = example1();
+    let graph = PositionGraph::build(&program);
+    let mut out = String::new();
+    writeln!(out, "E1 / Figure 1 — position graph of Example 1").unwrap();
+    writeln!(
+        out,
+        "nodes={} edges={} m-edges={} s-edges={} dangerous-cycle={} SWR={}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.m_edge_count(),
+        graph.s_edge_count(),
+        graph.has_dangerous_cycle(),
+        is_swr(&program)
+    )
+    .unwrap();
+    for (from, to, labels) in graph.edges() {
+        let labels: Vec<String> = labels.iter().map(|l| format!("{l:?}")).collect();
+        writeln!(out, "  {from} -> {to} [{}]", labels.join(",")).unwrap();
+    }
+    out
+}
+
+/// E2 — Figure 2 + the unbounded rewriting of Example 2: position-graph shape
+/// plus the growth of the rewriting with the depth bound.
+pub fn experiment_fig2(depths: &[usize]) -> String {
+    let program = example2();
+    let graph = PositionGraph::build(&program);
+    let mut out = String::new();
+    writeln!(out, "E2 / Figure 2 — position graph of Example 2 + rewriting growth").unwrap();
+    writeln!(
+        out,
+        "position graph: nodes={} edges={} s-edges={} dangerous-cycle={} (the false negative)",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.s_edge_count(),
+        graph.has_dangerous_cycle()
+    )
+    .unwrap();
+    writeln!(out, "depth  generated-CQs  complete").unwrap();
+    for (depth, generated, complete) in rewriting_growth(&program, &example2_query(), depths) {
+        writeln!(out, "{depth:>5}  {generated:>13}  {complete}").unwrap();
+    }
+    out
+}
+
+/// E3 — Figure 3: build the P-node graph of Example 2 and report the
+/// dangerous cycle and the WR verdict.
+pub fn experiment_fig3() -> String {
+    let program = example2();
+    let graph = PNodeGraph::build(&program, &PNodeGraphConfig::default());
+    let report = ontorew_core::check_wr(&program);
+    let mut out = String::new();
+    writeln!(out, "E3 / Figure 3 — P-node graph of Example 2").unwrap();
+    writeln!(
+        out,
+        "nodes={} edges={} dangerous-cycle={} WR-verdict={:?}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.has_dangerous_cycle(),
+        report.verdict
+    )
+    .unwrap();
+    if let Some(nodes) = graph.dangerous_nodes() {
+        writeln!(out, "dangerous SCC:").unwrap();
+        for n in nodes {
+            writeln!(out, "  {n}").unwrap();
+        }
+    }
+    out
+}
+
+/// E4 — Example 3: membership in every class (the separation the paper uses
+/// to motivate WR).
+pub fn experiment_example3() -> String {
+    let report = classify(&example3());
+    let mut out = String::new();
+    writeln!(out, "E4 / Example 3 — class separation").unwrap();
+    writeln!(
+        out,
+        "linear={} multilinear={} sticky={} sticky-join(adv.)={} SWR={} WR={:?} FO-rewritable={}",
+        report.linear,
+        report.multilinear,
+        report.sticky,
+        report.sticky_join,
+        report.swr.is_swr,
+        report.wr.verdict,
+        report.fo_rewritable()
+    )
+    .unwrap();
+    out
+}
+
+/// E5 — class subsumption on generated simple-TGD families: every Linear /
+/// Multilinear / Sticky program drawn must be SWR (§5 of the paper), and every
+/// SWR program must be WR.
+pub fn experiment_class_subsumption(seeds: u64, rules_per_program: usize) -> String {
+    let mut total = 0usize;
+    let mut linear_and_swr = 0usize;
+    let mut sticky_and_swr = 0usize;
+    let mut swr_count = 0usize;
+    let mut swr_and_wr = 0usize;
+    let mut violations = 0usize;
+    for seed in 0..seeds {
+        let program = random_program(&RandomProgramConfig {
+            rules: rules_per_program,
+            predicates: 6,
+            max_arity: 3,
+            max_body_atoms: 2,
+            existential_probability: 0.3,
+            seed,
+        });
+        total += 1;
+        let report = classify(&program);
+        if report.linear || report.multilinear || report.sticky {
+            if report.swr.is_swr {
+                if report.linear {
+                    linear_and_swr += 1;
+                }
+                if report.sticky {
+                    sticky_and_swr += 1;
+                }
+            } else {
+                violations += 1;
+            }
+        }
+        if report.swr.is_swr {
+            swr_count += 1;
+            if report.wr.verdict == WrVerdict::WeaklyRecursive {
+                swr_and_wr += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "E5 — class subsumption on {total} random simple programs").unwrap();
+    writeln!(
+        out,
+        "linear⊆SWR witnesses={linear_and_swr}  sticky⊆SWR witnesses={sticky_and_swr}  SWR programs={swr_count}  SWR∧WR={swr_and_wr}  subsumption violations={violations}"
+    )
+    .unwrap();
+    out
+}
+
+/// E6 — SWR check scaling: wall-clock time of the SWR membership test on
+/// chains, stars and random programs of growing size.
+pub fn experiment_swr_scaling(sizes: &[usize]) -> String {
+    let mut out = String::new();
+    writeln!(out, "E6 — SWR (position graph) check scaling").unwrap();
+    writeln!(out, "family      rules  micros  is_swr").unwrap();
+    for &n in sizes {
+        for (family, program) in [
+            ("chain", chain_program(n)),
+            ("star", star_program(n)),
+            (
+                "random",
+                random_program(&RandomProgramConfig {
+                    rules: n,
+                    predicates: (n / 2).max(2),
+                    ..RandomProgramConfig::default()
+                }),
+            ),
+        ] {
+            let start = Instant::now();
+            let verdict = is_swr(&program);
+            let micros = start.elapsed().as_micros();
+            writeln!(out, "{family:<10} {n:>6} {micros:>7}  {verdict}").unwrap();
+        }
+    }
+    out
+}
+
+/// E7 — WR check scaling vs the SWR check on the same inputs (the PTIME →
+/// PSPACE gap of §7).
+pub fn experiment_wr_scaling(sizes: &[usize], max_nodes: usize) -> String {
+    let mut out = String::new();
+    writeln!(out, "E7 — WR (P-node graph) vs SWR check scaling").unwrap();
+    writeln!(out, "family      rules  swr_us    wr_us  wr_nodes  verdict").unwrap();
+    for &n in sizes {
+        for (family, program) in [
+            ("chain", chain_program(n)),
+            ("star", star_program(n)),
+            ("hierarchy", hierarchy_program((n as f64).log2().ceil() as usize)),
+        ] {
+            let start = Instant::now();
+            let _ = is_swr(&program);
+            let swr_us = start.elapsed().as_micros();
+            let start = Instant::now();
+            let report = check_wr_with(&program, &PNodeGraphConfig { max_nodes });
+            let wr_us = start.elapsed().as_micros();
+            writeln!(
+                out,
+                "{family:<10} {:>6} {swr_us:>7} {wr_us:>8} {:>9}  {:?}",
+                program.len(),
+                report.graph_size.0,
+                report.verdict
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// E8 — end-to-end answering: rewriting+evaluation vs chase materialization
+/// on the university workload, sweeping the ABox size.
+pub fn experiment_rewriting_vs_chase(student_counts: &[usize]) -> String {
+    let ontology = university_ontology();
+    let query = university_query();
+    let rewriting = rewrite(&ontology, &query, &RewriteConfig::default());
+    let mut out = String::new();
+    writeln!(out, "E8 — rewriting vs materialization (university workload)").unwrap();
+    writeln!(
+        out,
+        "rewriting: {} disjuncts, complete={}",
+        rewriting.ucq.len(),
+        rewriting.complete
+    )
+    .unwrap();
+    writeln!(out, "students  facts  rewrite_ms  chase_ms  chase_facts  answers").unwrap();
+    for &students in student_counts {
+        let data = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+        let facts = data.len();
+        let store = RelationalStore::from_instance(&data);
+
+        let start = Instant::now();
+        let by_rewriting = answer_by_rewriting(&ontology, &query, &store, &RewriteConfig::default());
+        let rewrite_ms = start.elapsed().as_millis();
+
+        let start = Instant::now();
+        let by_chase = certain_answers(&ontology, &data, &query, &ChaseConfig::default());
+        let chase_ms = start.elapsed().as_millis();
+
+        assert_eq!(
+            by_rewriting.answers.len(),
+            by_chase.answers.len(),
+            "strategies disagree at {students} students"
+        );
+        writeln!(
+            out,
+            "{students:>8} {facts:>6} {rewrite_ms:>11} {chase_ms:>9} {:>12} {:>8}",
+            by_chase.chase.facts,
+            by_rewriting.answers.len()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// E9 — rewriting soundness & completeness: cross-check the two strategies on
+/// the university workload and on the paper's examples.
+pub fn experiment_rewriting_soundness() -> String {
+    let mut out = String::new();
+    writeln!(out, "E9 — rewriting vs chase cross-checks").unwrap();
+    let system = ObdaSystem::new(university_ontology(), university_abox(80, 8, 16, 23));
+    for text in [
+        "q(X) :- person(X)",
+        "q(X) :- employee(X)",
+        "q(T) :- teaches(T, C), attends(S, C)",
+        "q(S, P) :- advisedBy(S, P), professor(P)",
+    ] {
+        let query = parse_query(text).unwrap();
+        let report = cross_check(&system, &query);
+        writeln!(
+            out,
+            "{text:<45} rewriting={:>4} chase={:>4} consistent={}",
+            report.rewriting_answers,
+            report.materialization_answers,
+            report.is_consistent()
+        )
+        .unwrap();
+    }
+    // Example 2 through the Auto strategy (falls back to materialization).
+    let mut data = Instance::new();
+    data.insert_fact("s", &["c", "c", "a"]);
+    data.insert_fact("t", &["d", "a"]);
+    let system = ObdaSystem::new(example2(), data);
+    let result = system.answer(&example2_query(), Strategy::Auto);
+    writeln!(
+        out,
+        "example2 boolean query via Auto: strategy={:?} exact={} answer={}",
+        result.strategy,
+        result.exact,
+        result.answers.as_boolean()
+    )
+    .unwrap();
+    out
+}
+
+/// E10 — approximation quality on the non-WR Example 2: how the bounded
+/// rewriting's coverage (vs the chase ground truth) grows with depth.
+pub fn experiment_approximation_quality(depths: &[usize]) -> String {
+    let program = example2();
+    let query = example2_query();
+    // Ground truth: a database where the answer requires 2 rule applications.
+    let mut data = Instance::new();
+    data.insert_fact("t", &["d", "a"]);
+    data.insert_fact("t", &["d2", "c"]);
+    data.insert_fact("r", &["e", "f"]);
+    data.insert_fact("s", &["c", "c", "a"]);
+    let store = RelationalStore::from_instance(&data);
+    let truth = certain_answers(&program, &data, &query, &ChaseConfig::default());
+    let mut out = String::new();
+    writeln!(out, "E10 — bounded-rewriting approximation on Example 2").unwrap();
+    writeln!(
+        out,
+        "chase ground truth: answer={} (complete={})",
+        truth.answers.as_boolean(),
+        truth.complete
+    )
+    .unwrap();
+    writeln!(out, "depth  disjuncts  answered  recurrent-patterns").unwrap();
+    for &depth in depths {
+        let approx = approximate_rewrite(&program, &query, depth);
+        let answers =
+            ontorew_rewrite::evaluate_rewriting(&approx.rewriting, &query, &store);
+        writeln!(
+            out,
+            "{depth:>5} {:>10} {:>9} {:>19}",
+            approx.rewriting.len(),
+            answers.as_boolean(),
+            approx.analysis.recurrent_patterns().len()
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_produces_a_report() {
+        assert!(experiment_fig1().contains("SWR=true"));
+        assert!(experiment_fig2(&[1, 2, 3]).contains("dangerous-cycle=false"));
+        assert!(experiment_fig3().contains("NotWeaklyRecursive"));
+        assert!(experiment_example3().contains("FO-rewritable=true"));
+        assert!(experiment_class_subsumption(6, 6).contains("subsumption violations=0"));
+        assert!(experiment_swr_scaling(&[4, 8]).contains("chain"));
+        assert!(experiment_wr_scaling(&[4], 500).contains("wr_nodes"));
+        assert!(experiment_rewriting_vs_chase(&[20]).contains("students"));
+        assert!(experiment_rewriting_soundness().contains("consistent=true"));
+        assert!(experiment_approximation_quality(&[1, 3]).contains("ground truth"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # ontorew-chase
+//!
+//! The chase procedure for TGD programs and the certain-answer semantics it
+//! induces (§3 of the paper):
+//!
+//! * [`trigger`] — rule-body matches on an instance and their firing;
+//! * [`engine`] — the semi-oblivious and restricted chase under a budget;
+//! * [`termination`] — weak acyclicity, the classical chase-termination test;
+//! * [`certain`] — certain answers by chase materialization (the ground truth
+//!   the rewriting engine is validated against);
+//! * [`parallel`] — crossbeam-parallel trigger search for large instances.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod certain;
+pub mod engine;
+pub mod parallel;
+pub mod termination;
+pub mod trigger;
+
+pub use certain::{certain_answers, certain_answers_ucq, CertainAnswers, ChaseStats};
+pub use engine::{chase, is_model, ChaseConfig, ChaseOutcome, ChaseResult, ChaseVariant};
+pub use parallel::{chase_parallel, find_triggers_parallel};
+pub use termination::{is_weakly_acyclic, DependencyGraph, DependencyPosition};
+pub use trigger::{find_rule_triggers, find_triggers, Trigger, TriggerKey};

@@ -1,0 +1,221 @@
+//! Chase termination analysis: weak acyclicity.
+//!
+//! Weak acyclicity (Fagin et al., data exchange) is the classical sufficient
+//! condition for the chase to terminate on every database. It is checked on
+//! the *dependency graph* of the program, whose nodes are positions `r[i]`
+//! and whose edges are:
+//!
+//! * a **normal edge** `r[i] → s[j]` whenever a frontier variable occurs at
+//!   `r[i]` in the body of a rule and at `s[j]` in its head;
+//! * a **special edge** `r[i] ⇒ s[j]` whenever a frontier variable occurs at
+//!   `r[i]` in the body of a rule whose head contains an existential variable
+//!   at position `s[j]`.
+//!
+//! The program is weakly acyclic iff no cycle of the dependency graph goes
+//! through a special edge. Weak acyclicity is orthogonal to the paper's
+//! FO-rewritability classes (a weakly-acyclic program need not be
+//! FO-rewritable and vice versa), but it tells us when chase materialization
+//! is a safe answering strategy — which the OBDA facade uses when picking a
+//! strategy.
+
+use ontorew_model::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A position `r[i]` (0-based internally, displayed 1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DependencyPosition {
+    /// The relation symbol.
+    pub predicate: Predicate,
+    /// The 0-based argument position.
+    pub index: usize,
+}
+
+/// The dependency graph used by the weak-acyclicity test.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Normal edges.
+    pub edges: BTreeSet<(DependencyPosition, DependencyPosition)>,
+    /// Special edges (towards positions that receive existential variables).
+    pub special_edges: BTreeSet<(DependencyPosition, DependencyPosition)>,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph of a program.
+    pub fn build(program: &TgdProgram) -> Self {
+        let mut graph = DependencyGraph::default();
+        for rule in program.iter() {
+            let frontier: BTreeSet<Variable> = rule.frontier().into_iter().collect();
+            let existentials: BTreeSet<Variable> =
+                rule.existential_head_variables().into_iter().collect();
+            for body_atom in &rule.body {
+                for (i, body_term) in body_atom.terms.iter().enumerate() {
+                    let x = match body_term.as_variable() {
+                        Some(v) if frontier.contains(&v) => v,
+                        _ => continue,
+                    };
+                    let from = DependencyPosition {
+                        predicate: body_atom.predicate,
+                        index: i,
+                    };
+                    for head_atom in &rule.head {
+                        for (j, head_term) in head_atom.terms.iter().enumerate() {
+                            let to = DependencyPosition {
+                                predicate: head_atom.predicate,
+                                index: j,
+                            };
+                            match head_term.as_variable() {
+                                Some(y) if y == x => {
+                                    graph.edges.insert((from, to));
+                                }
+                                Some(y) if existentials.contains(&y) => {
+                                    graph.special_edges.insert((from, to));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// All nodes mentioned by some edge.
+    pub fn nodes(&self) -> BTreeSet<DependencyPosition> {
+        self.edges
+            .iter()
+            .chain(self.special_edges.iter())
+            .flat_map(|(a, b)| [*a, *b])
+            .collect()
+    }
+
+    /// True if no cycle of the graph traverses a special edge.
+    pub fn is_weakly_acyclic(&self) -> bool {
+        // A cycle through a special edge (u ⇒ v) exists iff v can reach u
+        // using any edges. Check each special edge with a DFS/BFS.
+        let mut successors: BTreeMap<DependencyPosition, Vec<DependencyPosition>> =
+            BTreeMap::new();
+        for (a, b) in self.edges.iter().chain(self.special_edges.iter()) {
+            successors.entry(*a).or_default().push(*b);
+        }
+        for (u, v) in &self.special_edges {
+            if reaches(&successors, *v, *u) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn reaches(
+    successors: &BTreeMap<DependencyPosition, Vec<DependencyPosition>>,
+    from: DependencyPosition,
+    to: DependencyPosition,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = successors.get(&node) {
+            for n in next {
+                if *n == to {
+                    return true;
+                }
+                stack.push(*n);
+            }
+        }
+    }
+    false
+}
+
+/// True if the program is weakly acyclic (the chase terminates on every
+/// database).
+pub fn is_weakly_acyclic(program: &TgdProgram) -> bool {
+    DependencyGraph::build(program).is_weakly_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn datalog_programs_are_weakly_acyclic() {
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn ancestor_generation_is_not_weakly_acyclic() {
+        let p = parse_program(
+            "[R1] person(X) -> hasParent(X, Y).\n\
+             [R2] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        assert!(!is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn self_feeding_existential_is_not_weakly_acyclic() {
+        let p = parse_program("[R1] r(X, Y) -> r(Y, Z).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn acyclic_existentials_are_fine() {
+        let p = parse_program(
+            "[R1] employee(X) -> worksFor(X, D).\n\
+             [R2] worksFor(X, D) -> department(D).",
+        )
+        .unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn graph_structure_of_simple_rule() {
+        let p = parse_program("[R1] r(X, Y) -> s(X, Z).").unwrap();
+        let g = DependencyGraph::build(&p);
+        // Normal edge r[0] -> s[0]; special edges r[0] => s[1].
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.special_edges.len(), 1);
+        assert_eq!(g.nodes().len(), 3);
+        assert!(g.is_weakly_acyclic());
+    }
+
+    #[test]
+    fn example1_of_the_paper_is_weakly_acyclic() {
+        let p = parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap();
+        // The existential Y3 of R2 lands in s[2], which feeds r[2]... the
+        // cycle r -> v -> s -> r never goes through the special edge's target
+        // in a way that returns to its source, so the program is WA.
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn example2_of_the_paper_is_weakly_acyclic_despite_not_being_fo_rewritable() {
+        let p = parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap();
+        // The existential Y3 of R2 lands in r[1], and r[1] never feeds a head
+        // position (Y4 of R1 is not a frontier variable), so the chase always
+        // terminates. The paper shows the same program is nevertheless *not*
+        // FO-rewritable: weak acyclicity and FO-rewritability are orthogonal.
+        assert!(is_weakly_acyclic(&p));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the chase: universal-model properties, variant
+//! agreement, and monotonicity of certain answers.
+
+use ontorew_chase::{
+    certain_answers, chase, is_model, is_weakly_acyclic, ChaseConfig, ChaseVariant,
+};
+use ontorew_model::prelude::*;
+use proptest::prelude::*;
+
+fn constant() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "d"]).prop_map(String::from)
+}
+
+/// Random databases over the signature used by the fixed test programs.
+fn database_strategy() -> impl Strategy<Value = Instance> {
+    prop::collection::vec(
+        prop_oneof![
+            (constant(), constant()).prop_map(|(x, y)| Atom::fact("edge", &[&x, &y])),
+            constant().prop_map(|x| Atom::fact("person", &[&x])),
+            (constant(), constant()).prop_map(|(x, y)| Atom::fact("hasParent", &[&x, &y])),
+        ],
+        0..15,
+    )
+    .prop_map(Instance::from_atoms)
+}
+
+/// A Datalog (full) program: always terminates.
+fn full_program() -> TgdProgram {
+    parse_program(
+        "[R1] edge(X, Y) -> path(X, Y).\n\
+         [R2] path(X, Y), edge(Y, Z) -> path(X, Z).\n\
+         [R3] hasParent(X, Y) -> person(X).\n\
+         [R4] hasParent(X, Y) -> person(Y).",
+    )
+    .unwrap()
+}
+
+/// A weakly-acyclic existential program: terminates on every database.
+fn weakly_acyclic_program() -> TgdProgram {
+    parse_program(
+        "[R1] person(X) -> hasId(X, I).\n\
+         [R2] hasId(X, I) -> identifier(I).",
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// The chase of a full program is a model containing the input, and both
+    /// chase variants coincide on it (no nulls are ever invented).
+    #[test]
+    fn full_program_chase_is_a_minimal_model(db in database_strategy()) {
+        let program = full_program();
+        let restricted = chase(&program, &db, &ChaseConfig::default());
+        let oblivious = chase(&program, &db, &ChaseConfig::oblivious(64));
+        prop_assert!(restricted.is_universal_model());
+        prop_assert!(oblivious.is_universal_model());
+        prop_assert!(restricted.instance.contains_instance(&db));
+        prop_assert!(is_model(&program, &restricted.instance));
+        prop_assert!(restricted.instance.is_null_free());
+        prop_assert_eq!(restricted.instance.clone(), oblivious.instance);
+    }
+
+    /// On weakly-acyclic programs the chase terminates and produces a model;
+    /// the restricted chase never produces more facts than the semi-oblivious
+    /// one.
+    #[test]
+    fn weakly_acyclic_chase_terminates(db in database_strategy()) {
+        let program = weakly_acyclic_program();
+        prop_assert!(is_weakly_acyclic(&program));
+        let restricted = chase(&program, &db, &ChaseConfig::default());
+        let oblivious = chase(&program, &db, &ChaseConfig::oblivious(64));
+        prop_assert!(restricted.is_universal_model());
+        prop_assert!(oblivious.is_universal_model());
+        prop_assert!(is_model(&program, &restricted.instance));
+        prop_assert!(restricted.instance.len() <= oblivious.instance.len());
+    }
+
+    /// Certain answers are monotone in the database.
+    #[test]
+    fn certain_answers_are_monotone(db in database_strategy(), extra in database_strategy()) {
+        let program = full_program();
+        let query = parse_query("q(X, Y) :- path(X, Y)").unwrap();
+        let small = certain_answers(&program, &db, &query, &ChaseConfig::default());
+        let mut bigger = db.clone();
+        bigger.extend_from(&extra);
+        let large = certain_answers(&program, &bigger, &query, &ChaseConfig::default());
+        prop_assert!(small.complete && large.complete);
+        for row in small.answers.iter() {
+            prop_assert!(large.answers.contains(row));
+        }
+    }
+
+    /// Null-free facts of the chased instance over the *input* signature that
+    /// were not in the input are genuine consequences: re-chasing from the
+    /// enlarged database is a fixpoint.
+    #[test]
+    fn chase_is_idempotent(db in database_strategy()) {
+        let program = full_program();
+        let first = chase(&program, &db, &ChaseConfig::default());
+        let second = chase(&program, &first.instance, &ChaseConfig::default());
+        prop_assert_eq!(first.instance, second.instance);
+        prop_assert_eq!(second.fired, 0);
+    }
+
+    /// The trigger budget is respected.
+    #[test]
+    fn fact_budget_bounds_the_instance(db in database_strategy(), budget in 1usize..10) {
+        let program = parse_program(
+            "[R1] person(X) -> hasParent(X, Y).\n\
+             [R2] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        let config = ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            max_rounds: 1_000,
+            max_facts: budget,
+        };
+        let result = chase(&program, &db, &config);
+        // The instance may exceed the budget only by the facts of the last
+        // fired trigger (at most the largest head size, here 1).
+        prop_assert!(result.instance.len() <= budget.max(db.len()) + 2);
+    }
+}

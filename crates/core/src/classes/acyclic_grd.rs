@@ -1,0 +1,119 @@
+//! Acyclic graph of rule dependencies (aGRD) — Baget, Leclère, Mugnier &
+//! Salvat.
+//!
+//! Rule `R2` *depends on* rule `R1` when an application of `R1` can trigger a
+//! new application of `R2`. The graph of rule dependencies (GRD) has the
+//! rules as nodes and one edge per dependency; when it is acyclic, both the
+//! chase and the rewriting terminate, so the program is FO-rewritable (and
+//! chase-terminating). The paper lists aGRD among the known FO-rewritable
+//! classes that WR is conjectured to subsume.
+//!
+//! The precise dependency test is a piece-unification check between the head
+//! of `R1` and the body of `R2`; this module uses the piece unifiers of
+//! `ontorew-unify`, treating the body atom set of `R2` as a boolean query, so
+//! the test is the standard sufficient-and-necessary unification criterion
+//! restricted to single-head-atom pieces (an over-approximation of dependency
+//! for entangled multi-atom heads, which only ever *adds* edges and therefore
+//! keeps the acyclicity verdict sound).
+
+use crate::cycles::LabeledGraph;
+use ontorew_model::prelude::*;
+use ontorew_unify::piece_unifiers;
+
+/// True if applying `r1` can trigger `r2` (an edge `r1 -> r2` of the GRD).
+pub fn depends_on(r2: &Tgd, r1: &Tgd) -> bool {
+    // Standardise the rules apart, then look for a piece unifier between some
+    // subset of r2's body (viewed as a boolean query) and r1's head.
+    let r1 = r1.freshen();
+    let r2 = r2.freshen();
+    !piece_unifiers(&r2.body, &[], &r1).is_empty()
+}
+
+/// Build the graph of rule dependencies: nodes are rule indices, and there is
+/// an edge `i -> j` when rule `j` depends on rule `i`.
+pub fn rule_dependency_graph(program: &TgdProgram) -> LabeledGraph<()> {
+    let rules = program.rules();
+    let mut graph = LabeledGraph::new(rules.len());
+    for (i, r1) in rules.iter().enumerate() {
+        for (j, r2) in rules.iter().enumerate() {
+            if depends_on(r2, r1) {
+                graph.add_edge(i, j, []);
+            }
+        }
+    }
+    graph
+}
+
+/// True if the graph of rule dependencies of `program` is acyclic.
+pub fn is_acyclic_grd(program: &TgdProgram) -> bool {
+    !rule_dependency_graph(program).has_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_tgd};
+
+    #[test]
+    fn dependency_requires_unifiable_predicates() {
+        let r1 = parse_tgd("student(X) -> person(X)").unwrap();
+        let r2 = parse_tgd("person(Y) -> agent(Y)").unwrap();
+        assert!(depends_on(&r2, &r1));
+        assert!(!depends_on(&r1, &r2));
+    }
+
+    #[test]
+    fn existential_heads_block_some_dependencies() {
+        // r1 produces hasParent(X, fresh); r2 requires hasParent(Y, Y) — the
+        // fresh existential cannot be unified with the repeated variable
+        // because that variable also occurs in the frontier position, so r2
+        // does not depend on r1.
+        let r1 = parse_tgd("person(X) -> hasParent(X, Z)").unwrap();
+        let r2 = parse_tgd("hasParent(Y, Y) -> selfParent(Y)").unwrap();
+        assert!(!depends_on(&r2, &r1));
+    }
+
+    #[test]
+    fn hierarchy_program_is_acyclic() {
+        let p = parse_program(
+            "[R1] phd(X) -> student(X).\n\
+             [R2] student(X) -> person(X).\n\
+             [R3] person(X) -> agent(X).",
+        )
+        .unwrap();
+        assert!(is_acyclic_grd(&p));
+        let g = rule_dependency_graph(&p);
+        assert_eq!(g.edge_count(), 2); // R1 -> R2 -> R3
+    }
+
+    #[test]
+    fn mutual_recursion_is_cyclic() {
+        let p = parse_program(
+            "[R1] person(X) -> hasParent(X, Y).\n\
+             [R2] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        assert!(!is_acyclic_grd(&p));
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let p = parse_program("[R1] path(X, Y), edge(Y, Z) -> path(X, Z).").unwrap();
+        assert!(!is_acyclic_grd(&p));
+    }
+
+    #[test]
+    fn example1_of_the_paper_is_not_acyclic_grd_but_is_swr() {
+        // Example 1's rules feed each other (r -> v -> s -> r), so its GRD has
+        // a cycle, yet the program is SWR: the two classes are incomparable,
+        // which is why the paper aims at a class subsuming both.
+        let p = parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap();
+        assert!(!is_acyclic_grd(&p));
+        assert!(crate::swr::is_swr(&p));
+    }
+}

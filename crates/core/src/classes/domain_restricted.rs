@@ -1,0 +1,76 @@
+//! Domain-restricted TGDs.
+//!
+//! A TGD is **domain-restricted** when every head atom contains either *all*
+//! of the body variables or *none* of them. The class is FO-rewritable and is
+//! listed in §6 of the paper among the known classes (incomparable with SWR)
+//! that the WR class is conjectured to subsume.
+
+use ontorew_model::prelude::*;
+use std::collections::BTreeSet;
+
+/// True if the rule is domain-restricted.
+pub fn rule_is_domain_restricted(rule: &Tgd) -> bool {
+    let body_vars: BTreeSet<Variable> = rule.body_variables().into_iter().collect();
+    if body_vars.is_empty() {
+        return true;
+    }
+    rule.head.iter().all(|atom| {
+        let head_atom_vars = atom.variable_set();
+        let shared = body_vars.intersection(&head_atom_vars).count();
+        shared == 0 || shared == body_vars.len()
+    })
+}
+
+/// True if every rule of the program is domain-restricted.
+pub fn is_domain_restricted(program: &TgdProgram) -> bool {
+    program.iter().all(rule_is_domain_restricted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_tgd};
+
+    #[test]
+    fn head_with_all_body_variables_is_domain_restricted() {
+        assert!(rule_is_domain_restricted(
+            &parse_tgd("p(X, Y) -> q(X, Y, Z)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn head_with_no_body_variables_is_domain_restricted() {
+        assert!(rule_is_domain_restricted(
+            &parse_tgd("p(X, Y) -> alarm(Z)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn head_with_some_body_variables_is_not_domain_restricted() {
+        assert!(!rule_is_domain_restricted(
+            &parse_tgd("p(X, Y) -> q(X, Z)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn every_head_atom_is_checked() {
+        assert!(!rule_is_domain_restricted(
+            &parse_tgd("p(X, Y) -> q(X, Y), r(X)").unwrap()
+        ));
+        assert!(rule_is_domain_restricted(
+            &parse_tgd("p(X, Y) -> q(X, Y), alarm(Z)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn program_level_check() {
+        let p = parse_program(
+            "[R1] p(X, Y) -> q(X, Y).\n\
+             [R2] q(X, Y) -> alarm(Z).",
+        )
+        .unwrap();
+        assert!(is_domain_restricted(&p));
+        let bad = parse_program("[R1] p(X, Y) -> q(X, Z).").unwrap();
+        assert!(!is_domain_restricted(&bad));
+    }
+}

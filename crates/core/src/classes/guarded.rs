@@ -1,0 +1,88 @@
+//! Guarded and frontier-guarded TGDs.
+//!
+//! * A TGD is **guarded** if some body atom (the guard) contains every
+//!   variable occurring in the body.
+//! * A TGD is **frontier-guarded** if some body atom contains every
+//!   distinguished (frontier) variable.
+//!
+//! Guardedness guarantees decidability of query answering (though not
+//! FO-rewritability); it is included as a baseline because the Datalog±
+//! landscape the paper surveys is organised around these fragments.
+
+use ontorew_model::prelude::*;
+use std::collections::BTreeSet;
+
+/// True if the rule has a guard: a body atom containing all body variables.
+pub fn rule_is_guarded(rule: &Tgd) -> bool {
+    let body_vars: BTreeSet<Variable> = rule.body_variables().into_iter().collect();
+    rule.body.iter().any(|atom| {
+        let vars = atom.variable_set();
+        body_vars.iter().all(|v| vars.contains(v))
+    })
+}
+
+/// True if every rule of the program is guarded.
+pub fn is_guarded(program: &TgdProgram) -> bool {
+    program.iter().all(rule_is_guarded)
+}
+
+/// True if the rule has a frontier guard: a body atom containing all
+/// distinguished variables.
+pub fn rule_is_frontier_guarded(rule: &Tgd) -> bool {
+    let frontier: BTreeSet<Variable> = rule.frontier().into_iter().collect();
+    rule.body.iter().any(|atom| {
+        let vars = atom.variable_set();
+        frontier.iter().all(|v| vars.contains(v))
+    })
+}
+
+/// True if every rule of the program is frontier-guarded.
+pub fn is_frontier_guarded(program: &TgdProgram) -> bool {
+    program.iter().all(rule_is_frontier_guarded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_tgd;
+
+    #[test]
+    fn single_atom_bodies_are_guarded() {
+        assert!(rule_is_guarded(
+            &parse_tgd("teaches(X, Y) -> course(Y)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn a_covering_atom_acts_as_guard() {
+        assert!(rule_is_guarded(
+            &parse_tgd("emp(X, D), dept(D) -> worksIn(X, D)").unwrap()
+        ));
+        assert!(!rule_is_guarded(
+            &parse_tgd("emp(X, D1), dept(D2) -> related(D1, D2)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn frontier_guarded_is_weaker_than_guarded() {
+        // Body variables {X, Y, Z}; no atom covers them all, but the frontier
+        // is only {X}, which p covers.
+        let r = parse_tgd("p(X, Y), q(Y, Z) -> h(X)").unwrap();
+        assert!(!rule_is_guarded(&r));
+        assert!(rule_is_frontier_guarded(&r));
+    }
+
+    #[test]
+    fn guarded_implies_frontier_guarded() {
+        let r = parse_tgd("emp(X, D), dept(D) -> worksIn(X, D)").unwrap();
+        assert!(rule_is_guarded(&r));
+        assert!(rule_is_frontier_guarded(&r));
+    }
+
+    #[test]
+    fn cross_product_rules_are_neither() {
+        let r = parse_tgd("a(X), b(Y) -> pair(X, Y)").unwrap();
+        assert!(!rule_is_guarded(&r));
+        assert!(!rule_is_frontier_guarded(&r));
+    }
+}

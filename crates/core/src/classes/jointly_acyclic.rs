@@ -1,0 +1,247 @@
+//! Jointly acyclic TGDs (Krötzsch & Rudolph).
+//!
+//! Joint acyclicity is a chase-termination guarantee that strictly
+//! generalises weak acyclicity: instead of tracking positions, it tracks each
+//! *existential head variable* individually and asks whether the nulls it
+//! invents can ever feed back into the rule that invented them.
+//!
+//! For an existential head variable `y` of rule `R`, the **move set**
+//! `Move(y)` is the least set of positions such that (i) every head position
+//! of `y` in `R` is in `Move(y)`, and (ii) if a frontier variable `x` of some
+//! rule `R'` occurs in `body(R')` only at positions of `Move(y)`, then every
+//! head position of `x` in `R'` is in `Move(y)`.
+//!
+//! The **existential dependency graph** has one node per existential head
+//! variable and an edge `y → y'` (where `y'` belongs to rule `R'`) whenever
+//! some frontier variable of `R'` occurs in `body(R')` only at positions of
+//! `Move(y)` — i.e. a null invented for `y` can trigger `R'` and cause a new
+//! null to be invented for `y'`. A program is **jointly acyclic** iff this
+//! graph is acyclic. The chase then terminates on every database.
+
+use ontorew_model::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of an existential head variable: (rule index, variable).
+pub type ExistentialId = (usize, Variable);
+
+/// The move set of every existential head variable of the program.
+pub fn move_sets(program: &TgdProgram) -> BTreeMap<ExistentialId, BTreeSet<(Predicate, usize)>> {
+    let mut out = BTreeMap::new();
+    for (ri, rule) in program.rules().iter().enumerate() {
+        for y in rule.existential_head_variables() {
+            out.insert((ri, y), move_set(program, rule, y));
+        }
+    }
+    out
+}
+
+fn move_set(program: &TgdProgram, rule: &Tgd, y: Variable) -> BTreeSet<(Predicate, usize)> {
+    let mut positions: BTreeSet<(Predicate, usize)> = BTreeSet::new();
+    for head_atom in &rule.head {
+        for i in head_atom.positions_of(y) {
+            positions.insert((head_atom.predicate, i));
+        }
+    }
+    loop {
+        let mut changed = false;
+        for other in program.iter() {
+            for x in other.frontier() {
+                let body_occ = body_positions_of(other, x);
+                if body_occ.is_empty() || !body_occ.iter().all(|p| positions.contains(p)) {
+                    continue;
+                }
+                for head_atom in &other.head {
+                    for i in head_atom.positions_of(x) {
+                        if positions.insert((head_atom.predicate, i)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    positions
+}
+
+fn body_positions_of(rule: &Tgd, var: Variable) -> Vec<(Predicate, usize)> {
+    let mut out = Vec::new();
+    for atom in &rule.body {
+        for i in atom.positions_of(var) {
+            out.push((atom.predicate, i));
+        }
+    }
+    out
+}
+
+/// The existential dependency graph: edges `y → y'` meaning that nulls
+/// invented for `y` may cause nulls to be invented for `y'`.
+pub fn existential_dependency_graph(
+    program: &TgdProgram,
+) -> BTreeMap<ExistentialId, BTreeSet<ExistentialId>> {
+    let moves = move_sets(program);
+    let mut graph: BTreeMap<ExistentialId, BTreeSet<ExistentialId>> = BTreeMap::new();
+    for (y, positions) in &moves {
+        let successors = graph.entry(*y).or_default();
+        for (ri, rule) in program.rules().iter().enumerate() {
+            let existentials = rule.existential_head_variables();
+            if existentials.is_empty() {
+                continue;
+            }
+            // Does some frontier variable of `rule` live entirely inside
+            // Move(y)? Then a null for y can reach this rule's frontier, and
+            // firing it invents nulls for each of its existential variables.
+            let triggered = rule.frontier().into_iter().any(|x| {
+                let occ = body_positions_of(rule, x);
+                !occ.is_empty() && occ.iter().all(|p| positions.contains(p))
+            });
+            if triggered {
+                for y2 in &existentials {
+                    successors.insert((ri, *y2));
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// True if the program is jointly acyclic: its existential dependency graph
+/// has no cycle.
+pub fn is_jointly_acyclic(program: &TgdProgram) -> bool {
+    let graph = existential_dependency_graph(program);
+    // Cycle detection by iterative DFS with colouring.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: BTreeMap<ExistentialId, Colour> =
+        graph.keys().map(|k| (*k, Colour::White)).collect();
+    for start in graph.keys() {
+        if colour[start] != Colour::White {
+            continue;
+        }
+        // Stack of (node, next-successor-index).
+        let mut stack: Vec<(ExistentialId, Vec<ExistentialId>, usize)> = Vec::new();
+        colour.insert(*start, Colour::Grey);
+        let succ: Vec<_> = graph[start].iter().copied().collect();
+        stack.push((*start, succ, 0));
+        while let Some((node, succ, idx)) = stack.last_mut() {
+            if *idx >= succ.len() {
+                colour.insert(*node, Colour::Black);
+                stack.pop();
+                continue;
+            }
+            let next = succ[*idx];
+            *idx += 1;
+            match colour.get(&next).copied().unwrap_or(Colour::Black) {
+                Colour::Grey => return false,
+                Colour::White => {
+                    colour.insert(next, Colour::Grey);
+                    let next_succ: Vec<_> = graph
+                        .get(&next)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    stack.push((next, next_succ, 0));
+                }
+                Colour::Black => {}
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_chase::is_weakly_acyclic;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn weakly_acyclic_programs_are_jointly_acyclic() {
+        let programs = [
+            "[R1] edge(X, Y) -> path(X, Y).\n[R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+            "[R1] emp(X) -> worksFor(X, D).\n[R2] worksFor(X, D) -> dept(D).",
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        ];
+        for text in programs {
+            let p = parse_program(text).unwrap();
+            assert!(is_weakly_acyclic(&p), "expected weakly acyclic: {text}");
+            assert!(is_jointly_acyclic(&p), "weakly acyclic but not JA: {text}");
+        }
+    }
+
+    #[test]
+    fn self_feeding_existential_is_not_jointly_acyclic() {
+        let p = parse_program("[R1] r(X, Y) -> r(Y, Z).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn ancestor_generation_is_not_jointly_acyclic() {
+        let p = parse_program(
+            "[R1] person(X) -> hasParent(X, Y).\n\
+             [R2] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn joint_acyclicity_is_strictly_more_general_than_weak_acyclicity() {
+        // Nulls invented for Y land in r[1]; the weak-acyclicity dependency
+        // graph sees the cycle a[0] => r[1] -> a[0] and rejects the program.
+        // But R2 also requires the joined value to occur in b, which no rule
+        // ever derives, so a null can never re-trigger R1: Move(Y) = {r[1]}
+        // does not cover R2's frontier occurrence b[0], the existential
+        // dependency graph has no edge, and the program is jointly acyclic.
+        let p = parse_program(
+            "[R1] a(X) -> r(X, Y).\n\
+             [R2] r(X, Y), b(Y) -> a(Y).",
+        )
+        .unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(is_jointly_acyclic(&p));
+        let moves = move_sets(&p);
+        assert_eq!(moves.len(), 1);
+        let (_, positions) = moves.iter().next().unwrap();
+        assert_eq!(
+            positions.iter().copied().collect::<Vec<_>>(),
+            vec![(Predicate::new("r", 2), 1)]
+        );
+    }
+
+    #[test]
+    fn move_set_propagates_through_rules() {
+        let p = parse_program(
+            "[R1] emp(X) -> worksFor(X, D).\n\
+             [R2] worksFor(X, D) -> dept(D).",
+        )
+        .unwrap();
+        let moves = move_sets(&p);
+        assert_eq!(moves.len(), 1);
+        let (_, positions) = moves.iter().next().unwrap();
+        // D lands in worksFor[1]; R2's frontier D occurs only there, so
+        // dept[0] is added.
+        assert!(positions.contains(&(Predicate::new("worksFor", 2), 1)));
+        assert!(positions.contains(&(Predicate::new("dept", 1), 0)));
+        assert!(!positions.contains(&(Predicate::new("worksFor", 2), 0)));
+    }
+
+    #[test]
+    fn datalog_programs_have_no_existential_graph() {
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        assert!(existential_dependency_graph(&p).is_empty());
+        assert!(is_jointly_acyclic(&p));
+    }
+}

@@ -1,0 +1,98 @@
+//! Linear and multi-linear TGDs.
+//!
+//! * A TGD is **linear** if its body consists of a single atom.
+//! * A TGD is **multi-linear** if every body atom contains *all* the
+//!   distinguished variables of the rule (the paper uses exactly this
+//!   characterisation when it argues that Example 3 is not multi-linear:
+//!   "u(y1) in R3 does not contain the variable y2").
+//!
+//! Both classes are FO-rewritable, and under the simple-TGD restriction they
+//! are subsumed by SWR (§5 of the paper).
+
+use ontorew_model::prelude::*;
+
+/// True if the rule is linear (single body atom).
+pub fn rule_is_linear(rule: &Tgd) -> bool {
+    rule.body.len() == 1
+}
+
+/// True if every rule of the program is linear.
+pub fn is_linear(program: &TgdProgram) -> bool {
+    program.iter().all(rule_is_linear)
+}
+
+/// True if the rule is multi-linear: every body atom contains every
+/// distinguished variable of the rule.
+pub fn rule_is_multilinear(rule: &Tgd) -> bool {
+    let distinguished = rule.distinguished_variables();
+    rule.body.iter().all(|atom| {
+        let vars = atom.variable_set();
+        distinguished.iter().all(|v| vars.contains(v))
+    })
+}
+
+/// True if every rule of the program is multi-linear.
+pub fn is_multilinear(program: &TgdProgram) -> bool {
+    program.iter().all(rule_is_multilinear)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_tgd};
+
+    #[test]
+    fn single_body_atom_rules_are_linear() {
+        assert!(rule_is_linear(&parse_tgd("student(X) -> person(X)").unwrap()));
+        assert!(!rule_is_linear(
+            &parse_tgd("p(X), q(X) -> person(X)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn linear_rules_are_multilinear() {
+        let r = parse_tgd("teaches(X, Y) -> course(Y)").unwrap();
+        assert!(rule_is_linear(&r));
+        assert!(rule_is_multilinear(&r));
+    }
+
+    #[test]
+    fn multilinear_but_not_linear() {
+        // Both body atoms contain the only distinguished variable X.
+        let r = parse_tgd("emp(X, D), senior(X) -> manager(X)").unwrap();
+        assert!(!rule_is_linear(&r));
+        assert!(rule_is_multilinear(&r));
+    }
+
+    #[test]
+    fn example3_rule3_is_not_multilinear() {
+        // Paper: "nor multilinear, since u(y1) in R3 does not contain the
+        // variable y2".
+        let r = parse_tgd("u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2)").unwrap();
+        assert!(!rule_is_multilinear(&r));
+    }
+
+    #[test]
+    fn program_level_checks() {
+        let linear = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] person(X) -> hasParent(X, Y).",
+        )
+        .unwrap();
+        assert!(is_linear(&linear));
+        assert!(is_multilinear(&linear));
+
+        let not_linear = parse_program("[R1] p(X, Z), q(Z) -> h(X).").unwrap();
+        assert!(!is_linear(&not_linear));
+        // Z is not distinguished, so multi-linearity only requires X, which is
+        // missing from q(Z).
+        assert!(!is_multilinear(&not_linear));
+    }
+
+    #[test]
+    fn empty_program_is_trivially_in_both_classes() {
+        let p = TgdProgram::new();
+        assert!(is_linear(&p));
+        assert!(is_multilinear(&p));
+    }
+}

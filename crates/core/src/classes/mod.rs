@@ -1,0 +1,73 @@
+//! Baseline syntactic classes of TGDs.
+//!
+//! These are the previously known classes the paper's SWR and WR classes are
+//! compared against (§5 and §6): Linear, Multi-linear, Sticky, Sticky-Join,
+//! Domain-Restricted and acyclic-GRD are FO-rewritable; Guarded,
+//! Frontier-Guarded, Weakly-Sticky and Warded guarantee decidability /
+//! tractability (not FO-rewritability) and are included for completeness of
+//! the landscape; Weak Acyclicity (re-exported from `ontorew-chase`) and
+//! Joint Acyclicity guarantee chase termination.
+
+pub mod acyclic_grd;
+pub mod domain_restricted;
+pub mod guarded;
+pub mod jointly_acyclic;
+pub mod linear;
+pub mod sticky;
+pub mod warded;
+pub mod weakly_sticky;
+
+pub use acyclic_grd::{depends_on, is_acyclic_grd, rule_dependency_graph};
+pub use domain_restricted::{is_domain_restricted, rule_is_domain_restricted};
+pub use guarded::{
+    is_frontier_guarded, is_guarded, rule_is_frontier_guarded, rule_is_guarded,
+};
+pub use jointly_acyclic::{
+    existential_dependency_graph, is_jointly_acyclic, move_sets, ExistentialId,
+};
+pub use linear::{is_linear, is_multilinear, rule_is_linear, rule_is_multilinear};
+pub use sticky::{compute_marking, is_sticky, is_sticky_join, Marking};
+pub use warded::{affected_positions, dangerous_variables, harmful_variables, is_warded};
+pub use weakly_sticky::{infinite_rank_positions, is_weakly_sticky};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn class_inclusions_hold_on_a_spread_of_programs() {
+        // Linear ⊆ Multilinear, Linear ⊆ Guarded, Guarded ⊆ Frontier-Guarded,
+        // Sticky ⊆ Sticky-Join — checked on a battery of small programs.
+        let programs = [
+            "[R1] student(X) -> person(X).",
+            "[R1] person(X) -> hasParent(X, Y).",
+            "[R1] p(X, Z), q(Z) -> h(X).",
+            "[R1] emp(X, D), dept(D) -> worksIn(X, D).",
+            "[R1] a(X), b(Y) -> pair(X, Y).",
+            "[R1] edge(W, W), node(X) -> good(X).",
+            "[R1] r(Y1, Y2) -> t(Y3, Y1, Y1).\n[R2] s(Y1, Y2, Y3) -> r(Y1, Y2).\n[R3] u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).",
+        ];
+        for text in programs {
+            let p = parse_program(text).unwrap();
+            if is_linear(&p) {
+                assert!(is_multilinear(&p), "linear ⊄ multilinear on {text}");
+                assert!(is_guarded(&p), "linear ⊄ guarded on {text}");
+                assert!(is_warded(&p), "linear ⊄ warded on {text}");
+            }
+            if is_guarded(&p) {
+                assert!(is_frontier_guarded(&p), "guarded ⊄ frontier-guarded on {text}");
+            }
+            if is_sticky(&p) {
+                assert!(is_sticky_join(&p), "sticky ⊄ sticky-join on {text}");
+                assert!(is_weakly_sticky(&p), "sticky ⊄ weakly-sticky on {text}");
+            }
+            if ontorew_chase::is_weakly_acyclic(&p) {
+                assert!(
+                    is_jointly_acyclic(&p),
+                    "weakly acyclic ⊄ jointly acyclic on {text}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Sticky and sticky-join TGDs (Calì, Gottlob & Pieris).
+//!
+//! Both classes are defined through the standard *marking* procedure over
+//! body variable occurrences:
+//!
+//! 1. **Initial step** — for every rule `R` and every variable `x` occurring
+//!    in `body(R)` but not in `head(R)`, mark every occurrence of `x` in
+//!    `body(R)`.
+//! 2. **Propagation step** — repeat until fixpoint: for every rule `R` and
+//!    every variable `x` occurring in `head(R)` at some position that is
+//!    marked in the body of some rule, mark every occurrence of `x` in
+//!    `body(R)`.
+//!
+//! A program is **sticky** iff no marked variable occurs more than once in
+//! the body of a rule (this test is exact). For **sticky-join** we implement
+//! the characterisation the paper itself uses when discussing Example 3
+//! ("y1 appears in two different atoms of body(R3)"): no marked variable
+//! occurs in two *distinct* body atoms of a rule, repetitions inside a single
+//! atom being allowed. Sticky ⊆ Sticky-Join under this test.
+//!
+//! **Caveat** — the full sticky-join definition of Calì, Gottlob & Pieris is
+//! stated on an expanded rule set and is strictly stronger than this
+//! single-pass check outside the simple-TGD fragment: the paper's Example 2
+//! (repeated variable in a body atom) passes this check although it is not
+//! FO-rewritable, hence not sticky-join. The check is therefore a *necessary*
+//! condition, reported for comparison but not used to conclude
+//! FO-rewritability (see `ontorew_core::classify`).
+
+use ontorew_model::prelude::*;
+use std::collections::BTreeSet;
+
+/// A marked body position: rule index, body atom index, argument index.
+type MarkedOccurrence = (usize, usize, usize);
+
+/// The result of the marking procedure.
+#[derive(Clone, Debug)]
+pub struct Marking {
+    /// Marked body occurrences (rule, body atom, argument).
+    pub occurrences: BTreeSet<MarkedOccurrence>,
+    /// Marked (predicate) positions: every `(predicate, argument)` such that
+    /// some marked occurrence sits at that position.
+    pub positions: BTreeSet<(Predicate, usize)>,
+}
+
+impl Marking {
+    /// True if the given variable is marked in the given rule.
+    pub fn variable_is_marked(&self, program: &TgdProgram, rule_index: usize, var: Variable) -> bool {
+        let rule = &program.rules()[rule_index];
+        self.occurrences.iter().any(|(r, b, a)| {
+            *r == rule_index
+                && rule.body[*b].terms.get(*a).and_then(Term::as_variable) == Some(var)
+        })
+    }
+}
+
+/// Run the sticky marking procedure on `program`.
+pub fn compute_marking(program: &TgdProgram) -> Marking {
+    let rules = program.rules();
+    let mut occurrences: BTreeSet<MarkedOccurrence> = BTreeSet::new();
+    let mut positions: BTreeSet<(Predicate, usize)> = BTreeSet::new();
+
+    // Helper: mark every occurrence of `var` in the body of rule `ri`.
+    let mark_var = |ri: usize,
+                    var: Variable,
+                    occurrences: &mut BTreeSet<MarkedOccurrence>,
+                    positions: &mut BTreeSet<(Predicate, usize)>| {
+        let rule = &rules[ri];
+        let mut changed = false;
+        for (bi, atom) in rule.body.iter().enumerate() {
+            for (ai, term) in atom.terms.iter().enumerate() {
+                if term.as_variable() == Some(var) && occurrences.insert((ri, bi, ai)) {
+                    positions.insert((atom.predicate, ai));
+                    changed = true;
+                }
+            }
+        }
+        changed
+    };
+
+    // Initial step.
+    for (ri, rule) in rules.iter().enumerate() {
+        let head_vars: BTreeSet<Variable> = rule.head_variables().into_iter().collect();
+        for var in rule.body_variables() {
+            if !head_vars.contains(&var) {
+                mark_var(ri, var, &mut occurrences, &mut positions);
+            }
+        }
+    }
+
+    // Propagation to fixpoint.
+    loop {
+        let mut changed = false;
+        for (ri, rule) in rules.iter().enumerate() {
+            for head_atom in &rule.head {
+                for (ai, term) in head_atom.terms.iter().enumerate() {
+                    let var = match term.as_variable() {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                    if positions.contains(&(head_atom.predicate, ai))
+                        && mark_var(ri, var, &mut occurrences, &mut positions)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Marking {
+        occurrences,
+        positions,
+    }
+}
+
+/// True if the program is sticky: no marked variable occurs more than once in
+/// a rule body.
+pub fn is_sticky(program: &TgdProgram) -> bool {
+    let marking = compute_marking(program);
+    for (ri, rule) in program.rules().iter().enumerate() {
+        for var in rule.body_variables() {
+            if !marking.variable_is_marked(program, ri, var) {
+                continue;
+            }
+            let occurrences: usize = rule.body.iter().map(|a| a.occurrences_of(var)).sum();
+            if occurrences > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True if the program is sticky-join: no marked variable occurs in two
+/// distinct body atoms of a rule.
+pub fn is_sticky_join(program: &TgdProgram) -> bool {
+    let marking = compute_marking(program);
+    for (ri, rule) in program.rules().iter().enumerate() {
+        for var in rule.body_variables() {
+            if !marking.variable_is_marked(program, ri, var) {
+                continue;
+            }
+            let atoms_containing = rule
+                .body
+                .iter()
+                .filter(|a| a.variable_set().contains(&var))
+                .count();
+            if atoms_containing > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn linear_programs_are_sticky() {
+        let p = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] person(X) -> hasParent(X, Y).",
+        )
+        .unwrap();
+        assert!(is_sticky(&p));
+        assert!(is_sticky_join(&p));
+    }
+
+    #[test]
+    fn join_on_an_unmarked_variable_is_sticky() {
+        // X occurs in both body atoms but is propagated to the head, and the
+        // head position r[1] is never marked, so X never gets marked.
+        let p = parse_program("[R1] p(X, Y), q(X) -> r(X).").unwrap();
+        assert!(is_sticky(&p));
+    }
+
+    #[test]
+    fn join_on_a_dropped_variable_is_not_sticky() {
+        // Z occurs in both body atoms and not in the head: initial marking
+        // marks it, and it occurs twice -> not sticky, and the occurrences are
+        // in two distinct atoms -> not sticky-join either.
+        let p = parse_program("[R1] p(X, Z), q(Z) -> h(X).").unwrap();
+        assert!(!is_sticky(&p));
+        assert!(!is_sticky_join(&p));
+    }
+
+    #[test]
+    fn repeated_marked_variable_inside_one_atom_is_sticky_join_but_not_sticky() {
+        // W is dropped from the head and occurs twice inside the same atom.
+        let p = parse_program("[R1] edge(W, W), node(X) -> good(X).").unwrap();
+        assert!(!is_sticky(&p));
+        assert!(is_sticky_join(&p));
+    }
+
+    #[test]
+    fn marking_propagates_through_heads() {
+        // In R1, Z is dropped -> position q[1] marked. In R2, Y occurs in the
+        // head at q[1], so Y gets marked in R2's body where it occurs twice ->
+        // not sticky.
+        let p = parse_program(
+            "[R1] q(Z), p(X) -> h(X).\n\
+             [R2] a(Y), b(Y) -> q(Y).",
+        )
+        .unwrap();
+        let marking = compute_marking(&p);
+        assert!(marking
+            .positions
+            .contains(&(Predicate::new("q", 1), 0)));
+        assert!(!is_sticky(&p));
+        assert!(!is_sticky_join(&p));
+    }
+
+    #[test]
+    fn example3_is_neither_sticky_nor_sticky_join() {
+        // The paper's Example 3 justification: y1 is marked and appears twice
+        // in t(y1, y1, y2) (not sticky) and in two different atoms of body(R3)
+        // (not sticky-join).
+        let p = parse_program(
+            "[R1] r(Y1, Y2) -> t(Y3, Y1, Y1).\n\
+             [R2] s(Y1, Y2, Y3) -> r(Y1, Y2).\n\
+             [R3] u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).",
+        )
+        .unwrap();
+        assert!(!is_sticky(&p));
+        assert!(!is_sticky_join(&p));
+    }
+
+    #[test]
+    fn sticky_is_contained_in_sticky_join() {
+        let programs = [
+            "[R1] p(X, Y), q(X) -> r(X).",
+            "[R1] p(X, Z), q(Z) -> h(X).",
+            "[R1] student(X) -> person(X).",
+            "[R1] edge(W, W), node(X) -> good(X).",
+        ];
+        for text in programs {
+            let p = parse_program(text).unwrap();
+            if is_sticky(&p) {
+                assert!(is_sticky_join(&p), "sticky program not sticky-join: {text}");
+            }
+        }
+    }
+}

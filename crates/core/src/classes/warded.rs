@@ -1,0 +1,258 @@
+//! Warded TGDs (Gottlob & Pieris; the class behind Vadalog).
+//!
+//! Wardedness restricts how *harmful* variables — variables that can only be
+//! bound to labelled nulls during the chase — may be joined and propagated.
+//! It guarantees PTIME data complexity of query answering (not
+//! FO-rewritability) and subsumes plain Datalog and Linear TGDs, so it is a
+//! useful "safety net" entry in the class landscape the paper positions SWR
+//! and WR against.
+//!
+//! Definitions (all per program `P`):
+//!
+//! * **Affected positions** `aff(P)`: the least set such that (i) every head
+//!   position holding an existential head variable is affected, and (ii) if a
+//!   frontier variable of a rule occurs in the body *only* at affected
+//!   positions, then every head position where it occurs is affected. These
+//!   are the positions where labelled nulls may appear during the chase.
+//! * A body variable of a rule is **harmful** if all of its body occurrences
+//!   are at affected positions, and **harmless** otherwise.
+//! * A harmful variable is **dangerous** if it also occurs in the head (it
+//!   propagates a possible null forward).
+//!
+//! A program is **warded** iff for every rule, either it has no dangerous
+//! variables, or there is a single body atom — the *ward* — that contains all
+//! dangerous variables of the rule and shares only harmless variables with
+//! the rest of the body.
+
+use ontorew_model::prelude::*;
+use std::collections::BTreeSet;
+
+/// The affected positions of a program: the positions where labelled nulls
+/// may appear during the chase.
+pub fn affected_positions(program: &TgdProgram) -> BTreeSet<(Predicate, usize)> {
+    let mut affected: BTreeSet<(Predicate, usize)> = BTreeSet::new();
+
+    // (i) positions of existential head variables.
+    for rule in program.iter() {
+        let existentials: BTreeSet<Variable> =
+            rule.existential_head_variables().into_iter().collect();
+        for head_atom in &rule.head {
+            for (i, term) in head_atom.terms.iter().enumerate() {
+                if let Some(v) = term.as_variable() {
+                    if existentials.contains(&v) {
+                        affected.insert((head_atom.predicate, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // (ii) propagate through frontier variables that can only carry nulls.
+    loop {
+        let mut changed = false;
+        for rule in program.iter() {
+            for var in rule.frontier() {
+                let occurrences = body_positions_of(rule, var);
+                if occurrences.is_empty() {
+                    continue;
+                }
+                if !occurrences.iter().all(|p| affected.contains(p)) {
+                    continue;
+                }
+                for head_atom in &rule.head {
+                    for i in head_atom.positions_of(var) {
+                        if affected.insert((head_atom.predicate, i)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    affected
+}
+
+fn body_positions_of(rule: &Tgd, var: Variable) -> Vec<(Predicate, usize)> {
+    let mut out = Vec::new();
+    for atom in &rule.body {
+        for i in atom.positions_of(var) {
+            out.push((atom.predicate, i));
+        }
+    }
+    out
+}
+
+/// The harmful variables of a rule: body variables all of whose body
+/// occurrences are at affected positions.
+pub fn harmful_variables(
+    rule: &Tgd,
+    affected: &BTreeSet<(Predicate, usize)>,
+) -> BTreeSet<Variable> {
+    rule.body_variables()
+        .into_iter()
+        .filter(|v| {
+            let occ = body_positions_of(rule, *v);
+            !occ.is_empty() && occ.iter().all(|p| affected.contains(p))
+        })
+        .collect()
+}
+
+/// The dangerous variables of a rule: harmful variables that also occur in
+/// the head.
+pub fn dangerous_variables(
+    rule: &Tgd,
+    affected: &BTreeSet<(Predicate, usize)>,
+) -> BTreeSet<Variable> {
+    let head_vars: BTreeSet<Variable> = rule.head_variables().into_iter().collect();
+    harmful_variables(rule, affected)
+        .into_iter()
+        .filter(|v| head_vars.contains(v))
+        .collect()
+}
+
+/// True if the rule satisfies the ward condition with respect to the given
+/// affected-position set.
+pub fn rule_is_warded(rule: &Tgd, affected: &BTreeSet<(Predicate, usize)>) -> bool {
+    let dangerous = dangerous_variables(rule, affected);
+    if dangerous.is_empty() {
+        return true;
+    }
+    let harmful = harmful_variables(rule, affected);
+    // Some body atom must contain every dangerous variable and share only
+    // harmless variables with the rest of the body.
+    rule.body.iter().enumerate().any(|(wi, ward)| {
+        let ward_vars = ward.variable_set();
+        if !dangerous.iter().all(|v| ward_vars.contains(v)) {
+            return false;
+        }
+        rule.body.iter().enumerate().all(|(oi, other)| {
+            if oi == wi {
+                return true;
+            }
+            ward_vars
+                .intersection(&other.variable_set())
+                .all(|shared| !harmful.contains(shared))
+        })
+    })
+}
+
+/// True if the program is warded.
+pub fn is_warded(program: &TgdProgram) -> bool {
+    let affected = affected_positions(program);
+    program.iter().all(|rule| rule_is_warded(rule, &affected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::linear::is_linear;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn datalog_programs_are_warded() {
+        // No existential variables -> no affected positions -> no dangerous
+        // variables anywhere.
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        assert!(affected_positions(&p).is_empty());
+        assert!(is_warded(&p));
+    }
+
+    #[test]
+    fn linear_programs_are_warded() {
+        let programs = [
+            "[R1] student(X) -> person(X).",
+            "[R1] person(X) -> hasParent(X, Y).\n[R2] hasParent(X, Y) -> person(Y).",
+            "[R1] r(Y1, Y2) -> v(Y1, Y2).",
+        ];
+        for text in programs {
+            let p = parse_program(text).unwrap();
+            assert!(is_linear(&p), "expected linear: {text}");
+            assert!(is_warded(&p), "linear but not warded: {text}");
+        }
+    }
+
+    #[test]
+    fn affected_positions_propagate_through_frontiers() {
+        let p = parse_program(
+            "[R1] person(X) -> hasParent(X, Y).\n\
+             [R2] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        let affected = affected_positions(&p);
+        // hasParent[1] holds the existential Y of R1; R2 propagates it into
+        // person[0]; R1 then propagates person[0] into hasParent[0].
+        assert!(affected.contains(&(Predicate::new("hasParent", 2), 1)));
+        assert!(affected.contains(&(Predicate::new("person", 1), 0)));
+        assert!(affected.contains(&(Predicate::new("hasParent", 2), 0)));
+    }
+
+    #[test]
+    fn dangerous_join_outside_the_ward_is_not_warded() {
+        // p's only position is affected (fed by R1's existential). In R3 both
+        // body atoms mention the harmful variable X, which is dangerous
+        // because it reaches the head — and it is shared between the would-be
+        // ward and the other atom, so the rule is not warded.
+        let p = parse_program(
+            "[R1] a(X) -> p(Y).\n\
+             [R2] p(X) -> q(X).\n\
+             [R3] p(X), q(X) -> r(X).",
+        )
+        .unwrap();
+        let affected = affected_positions(&p);
+        assert!(affected.contains(&(Predicate::new("p", 1), 0)));
+        assert!(affected.contains(&(Predicate::new("q", 1), 0)));
+        assert!(!is_warded(&p));
+    }
+
+    #[test]
+    fn dangerous_variables_confined_to_a_single_atom_are_warded() {
+        // Same setup but the join variable is harmless in R3 because it also
+        // occurs at the non-affected position u[0].
+        let p = parse_program(
+            "[R1] a(X) -> p(Y).\n\
+             [R2] p(X), u(X) -> r(X).",
+        )
+        .unwrap();
+        let affected = affected_positions(&p);
+        assert!(affected.contains(&(Predicate::new("p", 1), 0)));
+        assert!(!affected.contains(&(Predicate::new("u", 1), 0)));
+        assert!(is_warded(&p));
+    }
+
+    #[test]
+    fn paper_example1_is_warded() {
+        let p = parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap();
+        assert!(is_warded(&p));
+    }
+
+    #[test]
+    fn harmful_vs_dangerous_distinction() {
+        // In R2, X is harmful (only occurrence is the affected p[0]) but not
+        // dangerous (it does not reach the head), so the rule is warded.
+        let p = parse_program(
+            "[R1] a(X) -> p(Y).\n\
+             [R2] p(X), b(Z) -> c(Z).",
+        )
+        .unwrap();
+        let affected = affected_positions(&p);
+        let rule = &p.rules()[1];
+        let harmful = harmful_variables(rule, &affected);
+        let dangerous = dangerous_variables(rule, &affected);
+        assert_eq!(harmful.len(), 1);
+        assert!(dangerous.is_empty());
+        assert!(is_warded(&p));
+    }
+}

@@ -1,0 +1,222 @@
+//! Weakly-sticky TGDs (Calì, Gottlob & Pieris).
+//!
+//! Weak stickiness relaxes stickiness by exempting variables that occur at
+//! least once at a *finite-rank* position: positions at which, during the
+//! chase, only finitely many distinct labelled nulls can ever appear. The
+//! finite/infinite-rank split is computed on the same dependency graph used
+//! by the weak-acyclicity test (`ontorew_chase::DependencyGraph`): a position
+//! has **infinite rank** iff it is reachable from a cycle that traverses a
+//! special edge.
+//!
+//! A program is **weakly sticky** iff for every rule `R` and every variable
+//! `x` occurring more than once in `body(R)`, either `x` is non-marked (in
+//! the sticky marking of `classes::sticky`), or `x` occurs at least once in
+//! `body(R)` at a position of finite rank.
+//!
+//! Weak stickiness guarantees tractable (PTIME data complexity) query
+//! answering, not FO-rewritability; like Guarded it is reported as part of
+//! the class landscape the paper positions SWR/WR against, and the
+//! classification report does not count it towards
+//! [`ClassificationReport::fo_rewritable`](crate::ClassificationReport::fo_rewritable).
+
+use crate::classes::sticky::compute_marking;
+use ontorew_chase::{DependencyGraph, DependencyPosition};
+use ontorew_model::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The set of positions of infinite rank of a program: the positions
+/// reachable (in the dependency graph) from a cycle that traverses a special
+/// edge. During the chase, these are exactly the positions where an unbounded
+/// number of distinct labelled nulls may appear.
+pub fn infinite_rank_positions(program: &TgdProgram) -> BTreeSet<(Predicate, usize)> {
+    let graph = DependencyGraph::build(program);
+    let mut successors: BTreeMap<DependencyPosition, Vec<DependencyPosition>> = BTreeMap::new();
+    for (a, b) in graph.edges.iter().chain(graph.special_edges.iter()) {
+        successors.entry(*a).or_default().push(*b);
+    }
+
+    // Seed: the target of every special edge that lies on a cycle.
+    let mut frontier: Vec<DependencyPosition> = Vec::new();
+    for (u, v) in &graph.special_edges {
+        if reaches(&successors, *v, *u) {
+            frontier.push(*v);
+        }
+    }
+
+    // Everything reachable from a seed has infinite rank.
+    let mut infinite: BTreeSet<DependencyPosition> = BTreeSet::new();
+    while let Some(node) = frontier.pop() {
+        if !infinite.insert(node) {
+            continue;
+        }
+        if let Some(next) = successors.get(&node) {
+            frontier.extend(next.iter().copied());
+        }
+    }
+
+    infinite
+        .into_iter()
+        .map(|p| (p.predicate, p.index))
+        .collect()
+}
+
+fn reaches(
+    successors: &BTreeMap<DependencyPosition, Vec<DependencyPosition>>,
+    from: DependencyPosition,
+    to: DependencyPosition,
+) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = successors.get(&node) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// True if rule `rule_index` of `program` satisfies the weak-stickiness
+/// condition with respect to the given marking and infinite-rank position
+/// set.
+fn rule_is_weakly_sticky(
+    program: &TgdProgram,
+    rule_index: usize,
+    marking: &crate::classes::sticky::Marking,
+    infinite: &BTreeSet<(Predicate, usize)>,
+) -> bool {
+    let rule = &program.rules()[rule_index];
+    for var in rule.body_variables() {
+        let occurrences: usize = rule.body.iter().map(|a| a.occurrences_of(var)).sum();
+        if occurrences <= 1 {
+            continue;
+        }
+        if !marking.variable_is_marked(program, rule_index, var) {
+            continue;
+        }
+        // The variable is marked and occurs more than once: it must touch at
+        // least one finite-rank position.
+        let touches_finite = rule.body.iter().any(|atom| {
+            atom.positions_of(var)
+                .into_iter()
+                .any(|i| !infinite.contains(&(atom.predicate, i)))
+        });
+        if !touches_finite {
+            return false;
+        }
+    }
+    true
+}
+
+/// True if the program is weakly sticky.
+pub fn is_weakly_sticky(program: &TgdProgram) -> bool {
+    let marking = compute_marking(program);
+    let infinite = infinite_rank_positions(program);
+    (0..program.len()).all(|ri| rule_is_weakly_sticky(program, ri, &marking, &infinite))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::sticky::is_sticky;
+    use ontorew_chase::is_weakly_acyclic;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn sticky_programs_are_weakly_sticky() {
+        let programs = [
+            "[R1] student(X) -> person(X).",
+            "[R1] person(X) -> hasParent(X, Y).\n[R2] hasParent(X, Y) -> person(Y).",
+            "[R1] p(X, Y), q(X) -> r(X).",
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        ];
+        for text in programs {
+            let p = parse_program(text).unwrap();
+            if is_sticky(&p) {
+                assert!(is_weakly_sticky(&p), "sticky but not weakly sticky: {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn weakly_acyclic_programs_are_weakly_sticky() {
+        // With no infinite-rank positions the weak-stickiness condition is
+        // vacuously satisfied whenever a marked join variable touches any
+        // position at all — i.e. always.
+        let programs = [
+            "[R1] p(X, Z), q(Z) -> h(X).",
+            "[R1] edge(X, Y) -> path(X, Y).\n[R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+            "[R1] emp(X) -> worksFor(X, D).\n[R2] worksFor(X, D) -> dept(D).",
+        ];
+        for text in programs {
+            let p = parse_program(text).unwrap();
+            assert!(is_weakly_acyclic(&p), "expected weakly acyclic: {text}");
+            assert!(is_weakly_sticky(&p), "weakly acyclic but not weakly sticky: {text}");
+        }
+    }
+
+    #[test]
+    fn join_on_infinite_rank_positions_is_not_weakly_sticky() {
+        // r[1] and r[2] receive fresh nulls through the R1/R2 cycle, and R3
+        // joins a marked variable on them twice without touching any
+        // finite-rank position.
+        let p = parse_program(
+            "[R1] r(X, Y) -> r(Y, Z).\n\
+             [R2] r(X, Y), r(Y, X) -> bad(X).",
+        )
+        .unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_sticky(&p));
+        assert!(!is_weakly_sticky(&p));
+    }
+
+    #[test]
+    fn non_sticky_join_saved_by_a_finite_rank_position_is_weakly_sticky() {
+        // Z is marked (dropped from the head) and occurs in two atoms, but
+        // every position of the program has finite rank (no existential-variable
+        // cycle), so the program is weakly sticky although not sticky.
+        let p = parse_program("[R1] p(X, Z), q(Z) -> h(X).").unwrap();
+        assert!(!is_sticky(&p));
+        assert!(is_weakly_sticky(&p));
+    }
+
+    #[test]
+    fn infinite_rank_positions_of_a_self_feeding_rule() {
+        let p = parse_program("[R1] r(X, Y) -> r(Y, Z).").unwrap();
+        let infinite = infinite_rank_positions(&p);
+        // The special edge r[0] => r[1] lies on a cycle (r[1] -> r[0] via the
+        // normal edge of Y), so both positions of r have infinite rank.
+        assert!(infinite.contains(&(Predicate::new("r", 2), 1)));
+        assert!(!infinite.is_empty());
+    }
+
+    #[test]
+    fn weakly_acyclic_program_has_no_infinite_rank_positions() {
+        let p = parse_program(
+            "[R1] emp(X) -> worksFor(X, D).\n[R2] worksFor(X, D) -> dept(D).",
+        )
+        .unwrap();
+        assert!(infinite_rank_positions(&p).is_empty());
+    }
+
+    #[test]
+    fn paper_example2_is_weakly_sticky() {
+        // Example 2 is weakly acyclic (no infinite-rank positions), hence
+        // weakly sticky — yet not FO-rewritable: tractability of the chase
+        // and FO-rewritability are orthogonal, which is exactly the gap the
+        // paper's WR class targets.
+        let p = parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap();
+        assert!(is_weakly_sticky(&p));
+    }
+}

@@ -1,0 +1,267 @@
+//! The unified classifier: one call, every class, one FO-rewritability
+//! verdict.
+//!
+//! This is the "what do we know about this ontology?" entry point an OBDA
+//! system needs before choosing an answering strategy (§7/§8 of the paper):
+//! if some FO-rewritable class applies, rewriting is complete and runs in
+//! AC0 data complexity; otherwise the system must fall back to
+//! materialization or to sound approximations.
+
+use crate::classes;
+use crate::swr::{check_swr, SwrReport};
+use crate::wr::{check_wr_with, WrReport, WrVerdict};
+use crate::PNodeGraphConfig;
+use ontorew_chase::is_weakly_acyclic;
+use ontorew_model::prelude::*;
+use serde::Serialize;
+
+/// Membership in every implemented class, plus the derived verdicts.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClassificationReport {
+    /// Number of rules classified.
+    pub rule_count: usize,
+    /// Every rule is a simple TGD (§5 restriction).
+    pub simple: bool,
+    /// Linear: single body atom per rule.
+    pub linear: bool,
+    /// Multi-linear: every body atom contains all distinguished variables.
+    pub multilinear: bool,
+    /// Guarded: some body atom contains all body variables.
+    pub guarded: bool,
+    /// Frontier-guarded: some body atom contains all frontier variables.
+    pub frontier_guarded: bool,
+    /// Sticky (marking-based test, exact).
+    pub sticky: bool,
+    /// Sticky-join (marking-based *necessary condition*; advisory only — see
+    /// `classes::sticky` — and therefore not counted by
+    /// [`ClassificationReport::fo_rewritable`]).
+    pub sticky_join: bool,
+    /// Domain-restricted: each head atom has all or none of the body variables.
+    pub domain_restricted: bool,
+    /// Acyclic graph of rule dependencies.
+    pub acyclic_grd: bool,
+    /// Weakly acyclic (chase terminates on every database).
+    pub weakly_acyclic: bool,
+    /// Jointly acyclic (chase terminates; strictly generalises weak acyclicity).
+    pub jointly_acyclic: bool,
+    /// Weakly sticky (PTIME query answering; generalises Sticky and Weak Acyclicity).
+    pub weakly_sticky: bool,
+    /// Warded (PTIME query answering; generalises Datalog and Linear).
+    pub warded: bool,
+    /// The SWR report (position graph based).
+    pub swr: SwrReport,
+    /// The WR report (P-node graph based).
+    pub wr: WrReport,
+}
+
+impl ClassificationReport {
+    /// True when at least one implemented *FO-rewritable* class applies
+    /// (Linear, Multilinear, Sticky, Domain-Restricted, acyclic-GRD, SWR, or
+    /// WR). The advisory sticky-join flag is deliberately excluded because
+    /// the implemented sticky-join test is only a necessary condition.
+    pub fn fo_rewritable(&self) -> bool {
+        self.linear
+            || self.multilinear
+            || self.sticky
+            || self.domain_restricted
+            || self.acyclic_grd
+            || self.swr.is_swr
+            || self.wr.verdict == WrVerdict::WeaklyRecursive
+    }
+
+    /// The three-way outcome of §7 of the paper: known WR (or otherwise
+    /// FO-rewritable), known not-WR, or undetermined.
+    pub fn fo_rewritability_verdict(&self) -> FoRewritabilityVerdict {
+        if self.fo_rewritable() {
+            FoRewritabilityVerdict::Rewritable
+        } else if self.wr.verdict == WrVerdict::NotWeaklyRecursive {
+            FoRewritabilityVerdict::NotKnownRewritable
+        } else {
+            FoRewritabilityVerdict::Undetermined
+        }
+    }
+
+    /// True when chase materialization is guaranteed to terminate.
+    pub fn chase_terminates(&self) -> bool {
+        self.weakly_acyclic || self.jointly_acyclic || self.acyclic_grd
+    }
+
+    /// The names of the classes that hold.
+    pub fn member_classes(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.linear {
+            out.push("Linear");
+        }
+        if self.multilinear {
+            out.push("Multilinear");
+        }
+        if self.guarded {
+            out.push("Guarded");
+        }
+        if self.frontier_guarded {
+            out.push("Frontier-Guarded");
+        }
+        if self.sticky {
+            out.push("Sticky");
+        }
+        if self.sticky_join {
+            out.push("Sticky-Join");
+        }
+        if self.domain_restricted {
+            out.push("Domain-Restricted");
+        }
+        if self.acyclic_grd {
+            out.push("Acyclic-GRD");
+        }
+        if self.weakly_acyclic {
+            out.push("Weakly-Acyclic");
+        }
+        if self.jointly_acyclic {
+            out.push("Jointly-Acyclic");
+        }
+        if self.weakly_sticky {
+            out.push("Weakly-Sticky");
+        }
+        if self.warded {
+            out.push("Warded");
+        }
+        if self.swr.is_swr {
+            out.push("SWR");
+        }
+        if self.wr.verdict == WrVerdict::WeaklyRecursive {
+            out.push("WR");
+        }
+        out
+    }
+}
+
+/// The §7 trichotomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FoRewritabilityVerdict {
+    /// Some FO-rewritable class applies: rewriting is a complete strategy.
+    Rewritable,
+    /// The program is provably outside WR (and the other classes): rewriting
+    /// may not terminate; approximation or materialization is needed.
+    NotKnownRewritable,
+    /// The analysis could not decide within its budget.
+    Undetermined,
+}
+
+/// Classify a program against every implemented class with the default
+/// P-node graph budget.
+pub fn classify(program: &TgdProgram) -> ClassificationReport {
+    classify_with(program, &PNodeGraphConfig::default())
+}
+
+/// Classify a program, controlling the P-node graph budget.
+pub fn classify_with(program: &TgdProgram, config: &PNodeGraphConfig) -> ClassificationReport {
+    ClassificationReport {
+        rule_count: program.len(),
+        simple: program.is_simple(),
+        linear: classes::is_linear(program),
+        multilinear: classes::is_multilinear(program),
+        guarded: classes::is_guarded(program),
+        frontier_guarded: classes::is_frontier_guarded(program),
+        sticky: classes::is_sticky(program),
+        sticky_join: classes::is_sticky_join(program),
+        domain_restricted: classes::is_domain_restricted(program),
+        acyclic_grd: classes::is_acyclic_grd(program),
+        weakly_acyclic: is_weakly_acyclic(program),
+        jointly_acyclic: classes::is_jointly_acyclic(program),
+        weakly_sticky: classes::is_weakly_sticky(program),
+        warded: classes::is_warded(program),
+        swr: check_swr(program),
+        wr: check_wr_with(program, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn example1_report() {
+        let p = parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap();
+        let report = classify(&p);
+        assert!(report.simple);
+        assert!(report.swr.is_swr);
+        assert_eq!(report.wr.verdict, WrVerdict::WeaklyRecursive);
+        assert!(!report.linear);
+        assert!(report.fo_rewritable());
+        assert_eq!(
+            report.fo_rewritability_verdict(),
+            FoRewritabilityVerdict::Rewritable
+        );
+        assert!(report.member_classes().contains(&"SWR"));
+    }
+
+    #[test]
+    fn example2_report() {
+        let p = parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap();
+        let report = classify(&p);
+        assert!(!report.simple);
+        assert!(!report.swr.is_swr);
+        assert_eq!(report.wr.verdict, WrVerdict::NotWeaklyRecursive);
+        assert!(!report.fo_rewritable());
+        assert_eq!(
+            report.fo_rewritability_verdict(),
+            FoRewritabilityVerdict::NotKnownRewritable
+        );
+        // The chase still terminates on this program (weak acyclicity), so a
+        // materialization strategy remains available.
+        assert!(report.weakly_acyclic);
+        assert!(report.chase_terminates());
+    }
+
+    #[test]
+    fn example3_report_separates_wr_from_the_other_classes() {
+        let p = parse_program(
+            "[R1] r(Y1, Y2) -> t(Y3, Y1, Y1).\n\
+             [R2] s(Y1, Y2, Y3) -> r(Y1, Y2).\n\
+             [R3] u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).",
+        )
+        .unwrap();
+        let report = classify(&p);
+        assert!(!report.linear);
+        assert!(!report.multilinear);
+        assert!(!report.sticky);
+        assert!(!report.sticky_join);
+        assert!(!report.swr.is_swr);
+        assert_eq!(report.wr.verdict, WrVerdict::WeaklyRecursive);
+        assert!(report.fo_rewritable());
+        let members = report.member_classes();
+        assert!(members.contains(&"WR"));
+        assert!(!members.contains(&"SWR"));
+    }
+
+    #[test]
+    fn dl_lite_style_ontology_is_in_many_classes() {
+        let p = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] person(X) -> hasParent(X, Y).\n\
+             [R3] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        let report = classify(&p);
+        assert!(report.linear);
+        assert!(report.multilinear);
+        assert!(report.guarded);
+        assert!(report.sticky);
+        assert!(report.swr.is_swr);
+        assert_eq!(report.wr.verdict, WrVerdict::WeaklyRecursive);
+        // It is not weakly acyclic (infinite ancestor chain) — rewriting is
+        // the only complete strategy.
+        assert!(!report.weakly_acyclic);
+        assert!(!report.chase_terminates());
+    }
+}

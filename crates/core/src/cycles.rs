@@ -1,0 +1,306 @@
+//! Labelled directed graphs and the cycle conditions of the paper.
+//!
+//! Both the position graph (SWR, Definition 5) and the P-node graph
+//! (WR, Definition 8) reduce FO-rewritability to a condition of the form
+//! *"there is no cycle containing an edge with each of the labels
+//! `required`, while containing no edge with a label in `forbidden`"*.
+//!
+//! The check exploits a standard fact about strongly connected components:
+//! two edges lie on a common cycle iff they belong to the same SCC (after
+//! removing every edge carrying a forbidden label, since any cycle through
+//! such an edge is excluded anyway). So the algorithm is: drop forbidden
+//! edges, compute SCCs (Tarjan), and look for an SCC whose internal edges
+//! jointly cover all required labels.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+/// A directed graph with label sets on its edges, over dense node ids.
+#[derive(Clone, Debug)]
+pub struct LabeledGraph<L> {
+    node_count: usize,
+    edges: BTreeMap<(usize, usize), BTreeSet<L>>,
+}
+
+impl<L: Clone + Ord + Eq + Hash> LabeledGraph<L> {
+    /// An empty graph with `node_count` nodes (ids `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        LabeledGraph {
+            node_count,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of distinct edges (label sets are merged per edge).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grow the node set so that it includes `node`.
+    pub fn ensure_node(&mut self, node: usize) {
+        if node >= self.node_count {
+            self.node_count = node + 1;
+        }
+    }
+
+    /// Add an edge (merging labels if it already exists).
+    pub fn add_edge<I: IntoIterator<Item = L>>(&mut self, from: usize, to: usize, labels: I) {
+        self.ensure_node(from);
+        self.ensure_node(to);
+        self.edges.entry((from, to)).or_default().extend(labels);
+    }
+
+    /// The labels of an edge, if present.
+    pub fn labels(&self, from: usize, to: usize) -> Option<&BTreeSet<L>> {
+        self.edges.get(&(from, to))
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, &BTreeSet<L>)> {
+        self.edges.iter().map(|((a, b), l)| (*a, *b, l))
+    }
+
+    /// True if the graph has a cycle at all (ignoring labels).
+    pub fn has_cycle(&self) -> bool {
+        let sccs = self.strongly_connected_components(&|_| true);
+        self.edges.keys().any(|(a, b)| sccs[*a] == sccs[*b])
+    }
+
+    /// True if there is a cycle that contains, for every label in `required`,
+    /// at least one edge carrying that label, and contains no edge carrying a
+    /// label in `forbidden`.
+    pub fn has_cycle_with_labels(&self, required: &[L], forbidden: &[L]) -> bool {
+        self.find_dangerous_scc(required, forbidden).is_some()
+    }
+
+    /// Like [`LabeledGraph::has_cycle_with_labels`] but returns the node ids
+    /// of a witnessing strongly connected component (the cycle runs within
+    /// it), if any.
+    pub fn find_dangerous_scc(&self, required: &[L], forbidden: &[L]) -> Option<Vec<usize>> {
+        let forbidden: BTreeSet<&L> = forbidden.iter().collect();
+        let allowed = |labels: &BTreeSet<L>| labels.iter().all(|l| !forbidden.contains(l));
+        let sccs = self.strongly_connected_components(&allowed);
+
+        // Collect, per SCC, the labels of its internal (allowed) edges.
+        let mut scc_labels: BTreeMap<usize, BTreeSet<L>> = BTreeMap::new();
+        let mut scc_has_internal_edge: BTreeSet<usize> = BTreeSet::new();
+        for ((a, b), labels) in &self.edges {
+            if !allowed(labels) {
+                continue;
+            }
+            if sccs[*a] == sccs[*b] {
+                scc_has_internal_edge.insert(sccs[*a]);
+                scc_labels
+                    .entry(sccs[*a])
+                    .or_default()
+                    .extend(labels.iter().cloned());
+            }
+        }
+        for (scc, labels) in &scc_labels {
+            if !scc_has_internal_edge.contains(scc) {
+                continue;
+            }
+            if required.iter().all(|l| labels.contains(l)) {
+                let members: Vec<usize> = (0..self.node_count)
+                    .filter(|n| sccs[*n] == *scc)
+                    .collect();
+                return Some(members);
+            }
+        }
+        None
+    }
+
+    /// Tarjan's strongly connected components over the subgraph of edges
+    /// accepted by `edge_filter`. Returns, for each node, its SCC id.
+    fn strongly_connected_components(
+        &self,
+        edge_filter: &dyn Fn(&BTreeSet<L>) -> bool,
+    ) -> Vec<usize> {
+        let n = self.node_count;
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for ((a, b), labels) in &self.edges {
+            if edge_filter(labels) {
+                successors[*a].push(*b);
+            }
+        }
+
+        // Iterative Tarjan to avoid recursion limits on large graphs.
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut scc_of = vec![usize::MAX; n];
+        let mut next_index = 0usize;
+        let mut next_scc = 0usize;
+
+        #[derive(Clone)]
+        struct Frame {
+            node: usize,
+            child: usize,
+        }
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut call_stack = vec![Frame {
+                node: start,
+                child: 0,
+            }];
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(frame) = call_stack.last().cloned() {
+                let v = frame.node;
+                if frame.child < successors[v].len() {
+                    let w = successors[v][frame.child];
+                    call_stack.last_mut().expect("frame exists").child += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push(Frame { node: w, child: 0 });
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(parent) = call_stack.last() {
+                        let p = parent.node;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("stack non-empty");
+                            on_stack[w] = false;
+                            scc_of[w] = next_scc;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    }
+                }
+            }
+        }
+        scc_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum L {
+        M,
+        S,
+        D,
+        I,
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = LabeledGraph::new(3);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(1, 2, [L::S]);
+        assert!(!g.has_cycle());
+        assert!(!g.has_cycle_with_labels(&[L::M], &[]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = LabeledGraph::new(1);
+        g.add_edge(0, 0, [L::M, L::S]);
+        assert!(g.has_cycle());
+        assert!(g.has_cycle_with_labels(&[L::M, L::S], &[]));
+        assert!(!g.has_cycle_with_labels(&[L::D], &[]));
+    }
+
+    #[test]
+    fn labels_must_lie_on_a_common_cycle() {
+        // 0 -> 1 (m) -> 0 (plain) is a cycle with m but no s.
+        // 2 -> 3 (s) -> 2 (plain) is a cycle with s but no m.
+        // The two cycles are disjoint, so there is no single cycle with both.
+        let mut g = LabeledGraph::new(4);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(1, 0, []);
+        g.add_edge(2, 3, [L::S]);
+        g.add_edge(3, 2, []);
+        assert!(g.has_cycle_with_labels(&[L::M], &[]));
+        assert!(g.has_cycle_with_labels(&[L::S], &[]));
+        assert!(!g.has_cycle_with_labels(&[L::M, L::S], &[]));
+    }
+
+    #[test]
+    fn connected_cycles_combine_labels() {
+        // One SCC containing an m-edge and an s-edge.
+        let mut g = LabeledGraph::new(3);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(1, 2, [L::S]);
+        g.add_edge(2, 0, []);
+        assert!(g.has_cycle_with_labels(&[L::M, L::S], &[]));
+    }
+
+    #[test]
+    fn forbidden_labels_exclude_edges() {
+        // The only way to close the m+s cycle passes through an i-edge.
+        let mut g = LabeledGraph::new(3);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(1, 2, [L::S]);
+        g.add_edge(2, 0, [L::I]);
+        assert!(g.has_cycle_with_labels(&[L::M, L::S], &[]));
+        assert!(!g.has_cycle_with_labels(&[L::M, L::S], &[L::I]));
+    }
+
+    #[test]
+    fn edges_outside_the_scc_do_not_count() {
+        // 0 <-> 1 is a cycle; the s-edge 1 -> 2 dangles outside it.
+        let mut g = LabeledGraph::new(3);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(1, 0, []);
+        g.add_edge(1, 2, [L::S]);
+        assert!(!g.has_cycle_with_labels(&[L::M, L::S], &[]));
+    }
+
+    #[test]
+    fn dangerous_scc_members_are_reported() {
+        let mut g = LabeledGraph::new(4);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(1, 0, [L::S]);
+        g.add_edge(2, 3, []);
+        let scc = g.find_dangerous_scc(&[L::M, L::S], &[]).unwrap();
+        assert_eq!(scc, vec![0, 1]);
+    }
+
+    #[test]
+    fn labels_merge_when_an_edge_is_added_twice() {
+        let mut g: LabeledGraph<L> = LabeledGraph::new(2);
+        g.add_edge(0, 1, [L::M]);
+        g.add_edge(0, 1, [L::S]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.labels(0, 1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn large_cycle_is_handled_iteratively() {
+        // A long ring exercises the iterative Tarjan implementation.
+        let n = 5_000;
+        let mut g: LabeledGraph<L> = LabeledGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, if i == 0 { vec![L::M] } else { vec![] });
+        }
+        assert!(g.has_cycle_with_labels(&[L::M], &[]));
+        assert!(!g.has_cycle_with_labels(&[L::M, L::S], &[]));
+    }
+}

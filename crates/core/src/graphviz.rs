@@ -1,0 +1,114 @@
+//! Graphviz (DOT) rendering of the position graph and the P-node graph.
+//!
+//! `dot -Tpdf` on these outputs regenerates Figures 1, 2 and 3 of the paper
+//! (see the `classify_ontology` example and the figure benches).
+
+use crate::pnode::{PEdgeLabel, PNodeGraph};
+use crate::position_graph::{PositionEdgeLabel, PositionGraph};
+use std::fmt::Write as _;
+
+/// Render a position graph as a DOT digraph.
+pub fn position_graph_to_dot(graph: &PositionGraph, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{name}\" {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=plaintext, fontname=\"Helvetica\"];").unwrap();
+    for node in graph.nodes() {
+        writeln!(out, "  \"{node}\";").unwrap();
+    }
+    for (from, to, labels) in graph.edges() {
+        let mut rendered: Vec<&str> = Vec::new();
+        if labels.contains(&PositionEdgeLabel::Missing) {
+            rendered.push("m");
+        }
+        if labels.contains(&PositionEdgeLabel::Splitting) {
+            rendered.push("s");
+        }
+        writeln!(
+            out,
+            "  \"{from}\" -> \"{to}\" [label=\"{}\"];",
+            rendered.join(",")
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Render a P-node graph as a DOT digraph (nodes show the distinguished
+/// P-atom; the full context is attached as a tooltip).
+pub fn pnode_graph_to_dot(graph: &PNodeGraph, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{name}\" {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];").unwrap();
+    for node in graph.nodes() {
+        writeln!(
+            out,
+            "  \"{}\" [tooltip=\"{}\"];",
+            node.atom,
+            node.to_string().replace('"', "'")
+        )
+        .unwrap();
+    }
+    for (from, to, labels) in graph.edges() {
+        let mut rendered: Vec<&str> = Vec::new();
+        if labels.contains(&PEdgeLabel::Decreasing) {
+            rendered.push("d");
+        }
+        if labels.contains(&PEdgeLabel::Missing) {
+            rendered.push("m");
+        }
+        if labels.contains(&PEdgeLabel::Splitting) {
+            rendered.push("s");
+        }
+        if labels.contains(&PEdgeLabel::Isolated) {
+            rendered.push("i");
+        }
+        writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            from.atom,
+            to.atom,
+            rendered.join(",")
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{example1, example2};
+    use crate::pnode::PNodeGraphConfig;
+
+    #[test]
+    fn figure1_dot_contains_its_nodes_and_labels() {
+        let g = PositionGraph::build(&example1());
+        let dot = position_graph_to_dot(&g, "figure1");
+        assert!(dot.starts_with("digraph \"figure1\""));
+        assert!(dot.contains("\"r[ ]\""));
+        assert!(dot.contains("\"s[2]\""));
+        assert!(dot.contains("label=\"m\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn figure3_dot_contains_the_dangerous_labels() {
+        let g = PNodeGraph::build(&example2(), &PNodeGraphConfig::default());
+        let dot = pnode_graph_to_dot(&g, "figure3");
+        assert!(dot.contains("s(z, z, x1)"));
+        assert!(dot.contains("d,m,s"));
+    }
+
+    #[test]
+    fn dot_output_is_parseable_shape() {
+        // Minimal well-formedness: balanced braces and one edge per arrow.
+        let g = PositionGraph::build(&example1());
+        let dot = position_graph_to_dot(&g, "check");
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    }
+}

@@ -1,0 +1,55 @@
+//! # ontorew-core
+//!
+//! The graph-based approach to FO-rewritability of TGDs from
+//! *"Query Answering over Ontologies Specified via Database Dependencies"*
+//! (Civili, SIGMOD 2014 PhD Symposium):
+//!
+//! * [`position`] / [`position_graph`] — positions and the position graph
+//!   `AG(P)` (Definitions 2–4);
+//! * [`swr`] — the Simply Weakly Recursive class and its PTIME membership
+//!   test (Definition 5, Theorem 1);
+//! * [`pnode`] / [`wr`] — P-atoms, P-nodes, the P-node graph and the Weakly
+//!   Recursive class (Definitions 6–8);
+//! * [`classes`] — the previously known baseline classes (Linear,
+//!   Multilinear, Guarded, Frontier-Guarded, Sticky, Sticky-Join,
+//!   Domain-Restricted, acyclic-GRD);
+//! * [`classify`] — the unified classification report and the §7 trichotomy;
+//! * [`examples`] — the paper's Examples 1–3 and the figures' inputs;
+//! * [`graphviz`] — DOT rendering of both graphs (Figures 1–3);
+//! * [`cycles`] — the labelled-cycle machinery shared by SWR and WR.
+//!
+//! ```
+//! use ontorew_core::{classify, examples};
+//!
+//! let report = classify(&examples::example3());
+//! assert!(!report.swr.is_swr);                      // outside SWR...
+//! assert_eq!(report.wr.is_wr(), Some(true));        // ...but WR,
+//! assert!(report.fo_rewritable());                  // hence FO-rewritable.
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod classes;
+pub mod classify;
+pub mod cycles;
+pub mod dl_ext;
+pub mod dl_lite;
+pub mod examples;
+pub mod graphviz;
+pub mod pnode;
+pub mod position;
+pub mod position_graph;
+pub mod swr;
+pub mod wr;
+
+pub use classify::{classify, classify_with, ClassificationReport, FoRewritabilityVerdict};
+pub use cycles::LabeledGraph;
+pub use dl_ext::{ExtendedAxiom, ExtendedConcept, ExtendedOntology};
+pub use dl_lite::{Concept, DlLiteAxiom, DlLiteOntology, Role};
+pub use graphviz::{pnode_graph_to_dot, position_graph_to_dot};
+pub use pnode::{PEdgeLabel, PNode, PNodeGraph, PNodeGraphConfig};
+pub use position::{is_r_compatible, Position};
+pub use position_graph::{PositionEdgeLabel, PositionGraph};
+pub use swr::{check_swr, is_swr, SwrReport, SwrViolation};
+pub use wr::{check_wr, check_wr_with, is_wr, WrReport, WrVerdict};

@@ -1,0 +1,748 @@
+//! P-atoms, P-nodes and the P-node graph (Definitions 6–8 of the paper).
+//!
+//! The position graph abstracts the atoms of a rewriting by single positions,
+//! which is too coarse once rules may contain constants and repeated
+//! variables (Example 2). The P-node graph refines it:
+//!
+//! * a **P-atom** (Def. 6) is an atom over the finite alphabet
+//!   `X_P = {z, x1, ..., xk}` plus the constants of `P`, where the reserved
+//!   variable `z` marks the occurrence(s) of the *tracked* existential
+//!   variable introduced by a rewriting step, and the `xi` are generic
+//!   variables (equalities between positions are preserved by reusing the
+//!   same `xi`);
+//! * a **P-node** (Def. 7) is a pair `⟨σ, Σ⟩` with `σ ∈ Σ`: the atom `σ`
+//!   together with its *context* — the set of atoms produced by the same
+//!   rule application, which determines whether its variables are bounded;
+//! * the **P-node graph** has an edge `⟨σ, Σ⟩ → ⟨σ′, Σ′⟩` whenever a
+//!   rewriting step using some TGD `R ∈ P` can transform `σ` (in context `Σ`)
+//!   into `σ′` (in context `Σ′`), labelled with a subset of `{s, m, d, i}`;
+//! * `P` is **WR** (Def. 8) iff the graph has no cycle containing a d-edge,
+//!   an m-edge and an s-edge while containing no i-edge.
+//!
+//! The paper leaves the full definition of the edge relation to an
+//! unpublished manuscript; the construction implemented here is the
+//! interpretation documented in DESIGN.md. Its acceptance criteria are that
+//! it reproduces Figure 3 (the dangerous `d,m,s` cycle of Example 2 through
+//! the nodes `s(z, z, x1)` and `r(z, x2)`) and classifies the paper's three
+//! examples exactly as stated: Examples 1 and 3 are WR, Example 2 is not.
+//!
+//! ## Edge labels
+//!
+//! For a step that unifies `σ` with the head atom `α` of `R` via `u` and
+//! produces the body image `u(body(R))`:
+//!
+//! * **s** ("splitting") — the tracked existential variable ends up in two
+//!   different body atoms: either the `z` of `σ` propagates into ≥ 2 atoms of
+//!   `u(body(R))`, or some existential body variable of `R` occurs in ≥ 2
+//!   body atoms;
+//! * **m** ("missing") — some distinguished variable of `R` does not occur in
+//!   the body atom the edge points into;
+//! * **d** ("decreasing") — the number of *bounded* argument positions of the
+//!   target atom (in its new context) is strictly smaller than that of `σ`
+//!   (in `Σ`); a position is bounded when it holds a constant or a variable
+//!   with at least two occurrences across its context. The label also fires
+//!   when the step introduces a fresh existential *join* variable of `R` (an
+//!   existential body variable occurring in two or more body atoms) into the
+//!   target atom: such a variable is only "bounded" by sibling atoms that
+//!   themselves still have to be resolved, so the number of *independently*
+//!   bounded arguments decreases — this is exactly the unbounded-chain
+//!   generator of transitive-closure-like rules;
+//! * **i** ("isolated") — the body atom the edge points into contains no
+//!   distinguished variable of `R` and shares no variable with the other body
+//!   atoms of `R`.
+
+use crate::cycles::LabeledGraph;
+use ontorew_model::prelude::*;
+use ontorew_unify::unify_atoms;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Edge labels of the P-node graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum PEdgeLabel {
+    /// `s`: the tracked existential variable is split over two body atoms.
+    Splitting,
+    /// `m`: a distinguished variable of the rule is missing from the target atom.
+    Missing,
+    /// `d`: the number of bounded argument positions decreases.
+    Decreasing,
+    /// `i`: the target atom is isolated inside the rule body.
+    Isolated,
+}
+
+/// The reserved tracked-existential variable `z`.
+fn z_variable() -> Variable {
+    Variable::new("z")
+}
+
+/// A P-node `⟨σ, Σ⟩` in canonical form.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PNode {
+    /// The distinguished P-atom `σ`.
+    pub atom: Atom,
+    /// The context `Σ` (always contains `σ`), kept sorted.
+    pub context: Vec<Atom>,
+}
+
+impl PNode {
+    /// Build and canonicalise a P-node from an atom and its context.
+    pub fn new(atom: Atom, mut context: Vec<Atom>) -> Self {
+        if !context.contains(&atom) {
+            context.push(atom.clone());
+        }
+        PNode { atom, context }.canonicalize()
+    }
+
+    /// A root node: a generic atom over `predicate` with pairwise-distinct
+    /// generic variables, in a singleton context.
+    pub fn generic(predicate: Predicate) -> Self {
+        let atom = Atom::from_predicate(
+            predicate,
+            (0..predicate.arity)
+                .map(|i| Term::variable(&format!("x{}", i + 1)))
+                .collect(),
+        );
+        PNode::new(atom.clone(), vec![atom])
+    }
+
+    /// Rename every non-`z` variable to `x1, x2, ...` deterministically (the
+    /// atom's variables first, then the context's) and sort the context.
+    fn canonicalize(mut self) -> Self {
+        for _ in 0..3 {
+            let renamed = self.rename_in_order();
+            let mut context = renamed.context.clone();
+            context.sort();
+            context.dedup();
+            let next = PNode {
+                atom: renamed.atom,
+                context,
+            };
+            if next == self {
+                break;
+            }
+            self = next;
+        }
+        self
+    }
+
+    fn rename_in_order(&self) -> PNode {
+        let z = z_variable();
+        let mut mapping: BTreeMap<Variable, Term> = BTreeMap::new();
+        let mut counter = 0usize;
+        let visit = |t: &Term, mapping: &mut BTreeMap<Variable, Term>, counter: &mut usize| {
+            if let Term::Variable(v) = t {
+                if *v != z && !mapping.contains_key(v) {
+                    *counter += 1;
+                    mapping.insert(*v, Term::variable(&format!("x{counter}")));
+                }
+            }
+        };
+        for t in &self.atom.terms {
+            visit(t, &mut mapping, &mut counter);
+        }
+        for a in &self.context {
+            for t in &a.terms {
+                visit(t, &mut mapping, &mut counter);
+            }
+        }
+        let subst = Substitution::from_bindings(mapping);
+        PNode {
+            atom: subst.apply_atom(&self.atom),
+            context: self.context.iter().map(|a| subst.apply_atom(a)).collect(),
+        }
+    }
+
+    /// Number of occurrences of each variable across the whole context
+    /// (counting repetitions inside an atom).
+    fn occurrence_counts(&self) -> BTreeMap<Variable, usize> {
+        let mut counts: BTreeMap<Variable, usize> = BTreeMap::new();
+        for a in &self.context {
+            for t in &a.terms {
+                if let Term::Variable(v) = t {
+                    *counts.entry(*v).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// True if `v` is bounded in this node: it occurs at least twice across
+    /// the context.
+    pub fn is_bounded(&self, v: Variable) -> bool {
+        self.occurrence_counts().get(&v).copied().unwrap_or(0) >= 2
+    }
+
+    /// Number of bounded argument positions of `σ`: positions holding a
+    /// constant or a bounded variable.
+    pub fn bounded_argument_count(&self) -> usize {
+        let counts = self.occurrence_counts();
+        self.atom
+            .terms
+            .iter()
+            .filter(|t| match t {
+                Term::Variable(v) => counts.get(v).copied().unwrap_or(0) >= 2,
+                _ => true,
+            })
+            .count()
+    }
+
+    /// True if the tracked variable `z` occurs in `σ`.
+    pub fn tracks_existential(&self) -> bool {
+        self.atom.variable_set().contains(&z_variable())
+    }
+}
+
+impl fmt::Display for PNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} | {{", self.atom)?;
+        for (i, a) in self.context.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}>")
+    }
+}
+
+impl fmt::Debug for PNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Configuration for the P-node graph construction.
+#[derive(Clone, Copy, Debug)]
+pub struct PNodeGraphConfig {
+    /// Maximum number of nodes explored; beyond this the construction stops
+    /// and the WR verdict becomes "unknown" (the membership problem is
+    /// PSPACE-hard in general, §6/§7 of the paper).
+    pub max_nodes: usize,
+}
+
+impl Default for PNodeGraphConfig {
+    fn default() -> Self {
+        PNodeGraphConfig { max_nodes: 4_000 }
+    }
+}
+
+/// The P-node graph of a program.
+#[derive(Clone, Debug)]
+pub struct PNodeGraph {
+    nodes: Vec<PNode>,
+    node_ids: BTreeMap<PNode, usize>,
+    graph: LabeledGraph<PEdgeLabel>,
+    /// True if the node budget was exhausted (the graph is a prefix of the
+    /// full graph and absence of a dangerous cycle is inconclusive).
+    pub truncated: bool,
+}
+
+impl PNodeGraph {
+    /// Build the P-node graph of `program`.
+    pub fn build(program: &TgdProgram, config: &PNodeGraphConfig) -> Self {
+        let mut builder = PNodeGraph {
+            nodes: Vec::new(),
+            node_ids: BTreeMap::new(),
+            graph: LabeledGraph::new(0),
+            truncated: false,
+        };
+
+        let mut worklist: VecDeque<usize> = VecDeque::new();
+        for rule in program.iter() {
+            for alpha in &rule.head {
+                let root = PNode::generic(alpha.predicate);
+                let (id, new) = builder.intern(root);
+                if new {
+                    worklist.push_back(id);
+                }
+            }
+        }
+
+        while let Some(node_id) = worklist.pop_front() {
+            if builder.nodes.len() > config.max_nodes {
+                builder.truncated = true;
+                break;
+            }
+            let node = builder.nodes[node_id].clone();
+            for rule in program.iter() {
+                let fresh = rule.freshen();
+                for (head_index, alpha) in fresh.head.iter().enumerate() {
+                    let new_ids =
+                        builder.expand(node_id, &node, &fresh, head_index, alpha, config);
+                    for id in new_ids {
+                        worklist.push_back(id);
+                    }
+                }
+            }
+        }
+        builder
+    }
+
+    fn intern(&mut self, node: PNode) -> (usize, bool) {
+        if let Some(&id) = self.node_ids.get(&node) {
+            return (id, false);
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.node_ids.insert(node, id);
+        self.graph.ensure_node(id);
+        (id, true)
+    }
+
+    /// Expand one node against one (freshened) rule head atom, adding edges
+    /// and returning the ids of newly created nodes.
+    fn expand(
+        &mut self,
+        node_id: usize,
+        node: &PNode,
+        rule: &Tgd,
+        _head_index: usize,
+        alpha: &Atom,
+        config: &PNodeGraphConfig,
+    ) -> Vec<usize> {
+        let unifier = match unify_atoms(&node.atom, alpha) {
+            Some(u) => u,
+            None => return Vec::new(),
+        };
+        if !self.unification_is_admissible(node, rule, alpha, &unifier) {
+            return Vec::new();
+        }
+
+        let distinguished: BTreeSet<Variable> =
+            rule.distinguished_variables().into_iter().collect();
+        let existential_body: Vec<Variable> = rule.existential_body_variables();
+
+        // Body image under the unifier.
+        let mut body_images: Vec<Atom> = unifier.apply_atoms_deep(&rule.body);
+
+        // The unifier may have chosen the rule's variable as the representative
+        // of the tracked `z`; rename the representative back to `z` so that
+        // tracking survives the step (if `z` was unified with a constant the
+        // tracked existential is absorbed and tracking simply ends).
+        if node.tracks_existential() {
+            if let Term::Variable(rep) = unifier.apply_term_deep(Term::Variable(z_variable())) {
+                if rep != z_variable() {
+                    let mut rename = Substitution::new();
+                    rename.bind(rep, Term::Variable(z_variable()));
+                    body_images = rename.apply_atoms(&body_images);
+                }
+            }
+        }
+
+        // The s label is a property of the whole step (cf. points 2/3 of the
+        // position-graph definition).
+        let z = z_variable();
+        let propagated_split = node.tracks_existential()
+            && body_images
+                .iter()
+                .filter(|a| a.variable_set().contains(&z))
+                .count()
+                >= 2;
+        // Existential body variables occurring in two or more body atoms: the
+        // fresh join (NLE) variables this step introduces into the rewriting.
+        let nle_body_vars: BTreeSet<Variable> = existential_body
+            .iter()
+            .copied()
+            .filter(|w| {
+                rule.body
+                    .iter()
+                    .filter(|b| b.variable_set().contains(w))
+                    .count()
+                    >= 2
+            })
+            .collect();
+        let body_existential_split = !nle_body_vars.is_empty();
+        let splitting = propagated_split || body_existential_split;
+
+        // Variants: (a) propagate the tracked z; (b) for each existential body
+        // variable, mark it as the newly tracked z (demoting any propagated z
+        // to a generic variable).
+        let mut variants: Vec<Vec<Atom>> = vec![body_images.clone()];
+        for w in &existential_body {
+            let mut renaming = Substitution::new();
+            renaming.bind(*w, Term::Variable(z));
+            if body_images.iter().any(|a| a.variable_set().contains(&z)) {
+                // Demote the propagated z to a fresh generic variable.
+                renaming.bind(z, Term::fresh_variable());
+            }
+            variants.push(renaming.apply_atoms(&body_images));
+        }
+
+        let source_bounded = node.bounded_argument_count();
+        let mut created = Vec::new();
+        for variant in variants {
+            let context: Vec<Atom> = variant.clone();
+            for (body_index, beta) in rule.body.iter().enumerate() {
+                let target_atom = variant[body_index].clone();
+                let target = PNode::new(target_atom, context.clone());
+
+                let mut labels: Vec<PEdgeLabel> = Vec::new();
+                if splitting {
+                    labels.push(PEdgeLabel::Splitting);
+                }
+                // m: some distinguished variable missing from beta.
+                if distinguished
+                    .iter()
+                    .any(|v| !beta.variable_set().contains(v))
+                {
+                    labels.push(PEdgeLabel::Missing);
+                }
+                // d: bounded arguments decrease, either by the occurrence
+                // count of the target node, or because the step injects a
+                // fresh existential join variable into beta (see the module
+                // docs for the rationale).
+                let injects_nle = beta
+                    .variable_set()
+                    .iter()
+                    .any(|v| nle_body_vars.contains(v));
+                if target.bounded_argument_count() < source_bounded || injects_nle {
+                    labels.push(PEdgeLabel::Decreasing);
+                }
+                // i: beta is isolated in the rule body.
+                if rule.body.len() >= 2 {
+                    let beta_vars = beta.variable_set();
+                    let has_distinguished =
+                        beta_vars.iter().any(|v| distinguished.contains(v));
+                    let shares = rule
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != body_index)
+                        .any(|(_, other)| {
+                            !other.variable_set().is_disjoint(&beta_vars)
+                        });
+                    if !has_distinguished && !shares {
+                        labels.push(PEdgeLabel::Isolated);
+                    }
+                }
+
+                if self.nodes.len() > config.max_nodes {
+                    self.truncated = true;
+                    return created;
+                }
+                let (target_id, is_new) = self.intern(target);
+                self.graph.add_edge(node_id, target_id, labels);
+                if is_new {
+                    created.push(target_id);
+                }
+            }
+        }
+        created
+    }
+
+    /// The admissibility condition on existential head variables, evaluated
+    /// with respect to the node's context (this is exactly what the context of
+    /// a P-node is for, per §6 of the paper).
+    fn unification_is_admissible(
+        &self,
+        node: &PNode,
+        rule: &Tgd,
+        alpha: &Atom,
+        unifier: &Substitution,
+    ) -> bool {
+        let frontier: BTreeSet<Variable> = rule.frontier().into_iter().collect();
+        let existentials: BTreeSet<Variable> =
+            rule.existential_head_variables().into_iter().collect();
+        let node_vars: BTreeSet<Variable> = node.atom.variable_set();
+
+        for e in alpha.variable_set() {
+            if !existentials.contains(&e) {
+                continue;
+            }
+            let rep = unifier.apply_term_deep(Term::Variable(e));
+            if rep.is_constant() || rep.is_null() {
+                return false;
+            }
+            // Collect the class of e: every variable with the same deep image.
+            let mut class: BTreeSet<Variable> = BTreeSet::new();
+            if let Term::Variable(v) = rep {
+                class.insert(v);
+            }
+            for v in node_vars.iter().chain(alpha.variable_set().iter()) {
+                if unifier.apply_term_deep(Term::Variable(*v)) == rep {
+                    class.insert(*v);
+                }
+            }
+            for member in class {
+                if member == e {
+                    continue;
+                }
+                if frontier.contains(&member) || existentials.contains(&member) {
+                    return false;
+                }
+                if node_vars.contains(&member) && node.is_bounded(member) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> &[PNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// True if a node with this canonical form is present.
+    pub fn contains(&self, node: &PNode) -> bool {
+        self.node_ids.contains_key(node)
+    }
+
+    /// Find a node whose distinguished atom matches `atom` (after
+    /// canonicalising `atom` alone), if any.
+    pub fn find_by_atom(&self, atom: &Atom) -> Option<&PNode> {
+        self.nodes.iter().find(|n| {
+            let probe = PNode::new(atom.clone(), vec![atom.clone()]);
+            n.atom == probe.atom || n.atom == *atom
+        })
+    }
+
+    /// Iterate over all edges as `(from, to, labels)`.
+    pub fn edges(
+        &self,
+    ) -> impl Iterator<Item = (&PNode, &PNode, &BTreeSet<PEdgeLabel>)> + '_ {
+        self.graph
+            .edges()
+            .map(move |(a, b, l)| (&self.nodes[a], &self.nodes[b], l))
+    }
+
+    /// True if the graph has a dangerous cycle in the sense of Definition 8:
+    /// a cycle containing a d-edge, an m-edge and an s-edge but no i-edge.
+    pub fn has_dangerous_cycle(&self) -> bool {
+        self.graph.has_cycle_with_labels(
+            &[
+                PEdgeLabel::Decreasing,
+                PEdgeLabel::Missing,
+                PEdgeLabel::Splitting,
+            ],
+            &[PEdgeLabel::Isolated],
+        )
+    }
+
+    /// The nodes of a dangerous strongly connected component, if any.
+    pub fn dangerous_nodes(&self) -> Option<Vec<&PNode>> {
+        self.graph
+            .find_dangerous_scc(
+                &[
+                    PEdgeLabel::Decreasing,
+                    PEdgeLabel::Missing,
+                    PEdgeLabel::Splitting,
+                ],
+                &[PEdgeLabel::Isolated],
+            )
+            .map(|ids| ids.into_iter().map(|i| &self.nodes[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    fn example1() -> TgdProgram {
+        parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap()
+    }
+
+    fn example2() -> TgdProgram {
+        parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap()
+    }
+
+    fn example3() -> TgdProgram {
+        parse_program(
+            "[R1] r(Y1, Y2) -> t(Y3, Y1, Y1).\n\
+             [R2] s(Y1, Y2, Y3) -> r(Y1, Y2).\n\
+             [R3] u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generic_nodes_are_canonical() {
+        let n = PNode::generic(Predicate::new("r", 2));
+        assert_eq!(n.atom.to_string(), "r(x1, x2)");
+        assert_eq!(n.context.len(), 1);
+        assert!(!n.tracks_existential());
+        assert_eq!(n.bounded_argument_count(), 0);
+    }
+
+    #[test]
+    fn canonicalization_is_renaming_invariant() {
+        let a = PNode::new(
+            Atom::new("s", vec![Term::variable("A"), Term::variable("A"), Term::variable("B")]),
+            vec![Atom::new(
+                "s",
+                vec![Term::variable("A"), Term::variable("A"), Term::variable("B")],
+            )],
+        );
+        let b = PNode::new(
+            Atom::new("s", vec![Term::variable("U"), Term::variable("U"), Term::variable("W")]),
+            vec![Atom::new(
+                "s",
+                vec![Term::variable("U"), Term::variable("U"), Term::variable("W")],
+            )],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.atom.to_string(), "s(x1, x1, x2)");
+    }
+
+    #[test]
+    fn bounded_arguments_count_constants_and_repeated_variables() {
+        let z = Term::variable("z");
+        let node = PNode::new(
+            Atom::new("s", vec![z, z, Term::variable("A")]),
+            vec![Atom::new("s", vec![z, z, Term::variable("A")])],
+        );
+        // z occurs twice -> positions 1 and 2 bounded; A occurs once -> free.
+        assert_eq!(node.bounded_argument_count(), 2);
+        assert!(node.tracks_existential());
+    }
+
+    #[test]
+    fn figure3_nodes_of_example2_are_constructed() {
+        // Figure 3 of the paper: the P-node graph of Example 2 contains (at
+        // least) the generic nodes for r and s, the repeated-variable node
+        // s(x1, x1, x2) and the tracked-existential node s(z, z, x1).
+        let g = PNodeGraph::build(&example2(), &PNodeGraphConfig::default());
+        assert!(!g.truncated);
+        let atoms: BTreeSet<String> = g.nodes().iter().map(|n| n.atom.to_string()).collect();
+        assert!(atoms.contains("r(x1, x2)"), "nodes: {atoms:?}");
+        assert!(atoms.contains("s(x1, x2, x3)"), "nodes: {atoms:?}");
+        assert!(atoms.contains("s(x1, x1, x2)"), "nodes: {atoms:?}");
+        assert!(atoms.contains("s(z, z, x1)"), "nodes: {atoms:?}");
+    }
+
+    #[test]
+    fn figure3_dangerous_cycle_of_example2_is_detected() {
+        let g = PNodeGraph::build(&example2(), &PNodeGraphConfig::default());
+        assert!(g.has_dangerous_cycle());
+        let dangerous = g.dangerous_nodes().unwrap();
+        let atoms: Vec<String> = dangerous.iter().map(|n| n.atom.to_string()).collect();
+        // The cycle of Figure 3 runs through the tracked-existential s-node
+        // and the r-node it generates.
+        assert!(
+            atoms.iter().any(|a| a.starts_with("s(z, z")),
+            "dangerous nodes: {atoms:?}"
+        );
+        assert!(
+            atoms.iter().any(|a| a.starts_with("r(")),
+            "dangerous nodes: {atoms:?}"
+        );
+    }
+
+    #[test]
+    fn figure3_edge_labels_include_d_m_s() {
+        let g = PNodeGraph::build(&example2(), &PNodeGraphConfig::default());
+        let has_dms_edge = g.edges().any(|(from, _, labels)| {
+            from.atom.to_string() == "s(z, z, x1)"
+                && labels.contains(&PEdgeLabel::Decreasing)
+                && labels.contains(&PEdgeLabel::Missing)
+                && labels.contains(&PEdgeLabel::Splitting)
+        });
+        assert!(has_dms_edge, "expected a d,m,s edge out of s(z, z, x1)");
+    }
+
+    #[test]
+    fn example1_has_no_dangerous_cycle() {
+        let g = PNodeGraph::build(&example1(), &PNodeGraphConfig::default());
+        assert!(!g.truncated);
+        assert!(!g.has_dangerous_cycle());
+    }
+
+    #[test]
+    fn example3_has_no_dangerous_cycle() {
+        let g = PNodeGraph::build(&example3(), &PNodeGraphConfig::default());
+        assert!(!g.truncated);
+        assert!(!g.has_dangerous_cycle());
+    }
+
+    #[test]
+    fn example3_blocked_resolution_is_respected() {
+        // The node t(z, z, x1) (in a context where z also appears in u(z))
+        // must not be expandable through R1, because R1's existential head
+        // variable would have to unify with the bounded z — this is the
+        // paper's "the recursion is only apparent" argument.
+        let g = PNodeGraph::build(&example3(), &PNodeGraphConfig::default());
+        let t_node = g
+            .nodes()
+            .iter()
+            .find(|n| n.atom.to_string().starts_with("t(z, z"))
+            .cloned();
+        if let Some(t_node) = t_node {
+            assert!(t_node.is_bounded(Variable::new("z")));
+            // No outgoing edge from that node reaches an r-node (which is what
+            // R1 would produce).
+            let outgoing: Vec<_> = g
+                .edges()
+                .filter(|(from, _, _)| **from == t_node)
+                .collect();
+            assert!(
+                outgoing
+                    .iter()
+                    .all(|(_, to, _)| to.atom.predicate.name_str() != "r"),
+                "t(z, z, _) must not resolve through R1"
+            );
+        }
+    }
+
+    #[test]
+    fn transitive_closure_has_a_dangerous_cycle() {
+        // Transitive closure is the textbook non-FO-rewritable pattern: each
+        // rewriting step splits a fresh join variable over two copies of the
+        // same predicate, so the chain grows without bound. The self-loop at
+        // the partOf node must carry d, m and s.
+        let p = parse_program("[T] partOf(X, Y), partOf(Y, Z) -> partOf(X, Z).").unwrap();
+        let g = PNodeGraph::build(&p, &PNodeGraphConfig::default());
+        assert!(!g.truncated);
+        assert!(g.has_dangerous_cycle());
+    }
+
+    #[test]
+    fn non_recursive_copy_rule_has_no_dangerous_cycle() {
+        // A single non-recursive rule cannot produce any cycle at all, let
+        // alone a dangerous one — the graph is a DAG from the path node into
+        // the edge node.
+        let p = parse_program("[B] edge(X, Y) -> path(X, Y).").unwrap();
+        let g = PNodeGraph::build(&p, &PNodeGraphConfig::default());
+        assert!(!g.has_dangerous_cycle());
+    }
+
+    #[test]
+    fn truncation_is_reported_when_the_budget_is_tiny() {
+        let g = PNodeGraph::build(&example2(), &PNodeGraphConfig { max_nodes: 2 });
+        assert!(g.truncated);
+    }
+
+    #[test]
+    fn hierarchy_programs_produce_small_graphs() {
+        let p = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] professor(X) -> person(X).\n\
+             [R3] person(X) -> hasParent(X, Y).",
+        )
+        .unwrap();
+        let g = PNodeGraph::build(&p, &PNodeGraphConfig::default());
+        assert!(!g.truncated);
+        assert!(!g.has_dangerous_cycle());
+        assert!(g.node_count() <= 10);
+    }
+}

@@ -1,0 +1,164 @@
+//! Positions (Definition 2 of the paper).
+//!
+//! A position is either `r[ ]` ("some atom with relation `r`") or `r[i]`
+//! ("an atom with relation `r` carrying a tracked variable at argument `i`").
+//! Positions are the nodes of the position graph.
+
+use ontorew_model::prelude::*;
+use serde::Serialize;
+use std::fmt;
+
+/// A position `r[ ]` or `r[i]` (Definition 2). The index is stored 0-based
+/// and displayed 1-based, following the paper's notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct Position {
+    /// The relation symbol (with its arity).
+    pub predicate: Predicate,
+    /// `None` for `r[ ]`; `Some(i)` (0-based) for `r[i+1]`.
+    pub index: Option<usize>,
+}
+
+impl Position {
+    /// The whole-relation position `r[ ]`.
+    pub fn whole(predicate: Predicate) -> Self {
+        Position {
+            predicate,
+            index: None,
+        }
+    }
+
+    /// The argument position `r[i]` (0-based `index`).
+    pub fn argument(predicate: Predicate, index: usize) -> Self {
+        assert!(
+            index < predicate.arity,
+            "position index {index} out of range for {predicate}"
+        );
+        Position {
+            predicate,
+            index: Some(index),
+        }
+    }
+
+    /// The relation symbol of the position (`Rel(σ)` in the paper).
+    pub fn relation(&self) -> Predicate {
+        self.predicate
+    }
+
+    /// True for `r[ ]` positions.
+    pub fn is_whole(&self) -> bool {
+        self.index.is_none()
+    }
+
+    /// `Pos(x, β)`: the argument positions of variable `x` inside atom `β`
+    /// (the paper assumes a single occurrence because it works with simple
+    /// TGDs; for general TGDs every occurrence yields a position).
+    pub fn positions_of(variable: Variable, atom: &Atom) -> Vec<Position> {
+        atom.positions_of(variable)
+            .into_iter()
+            .map(|i| Position::argument(atom.predicate, i))
+            .collect()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            None => write!(f, "{}[ ]", self.predicate.name),
+            Some(i) => write!(f, "{}[{}]", self.predicate.name, i + 1),
+        }
+    }
+}
+
+/// R-compatibility (Definition 3): whether the head atom `alpha` of rule
+/// `rule` is compatible with the position `sigma`.
+///
+/// * `alpha` is compatible with `r[ ]` iff `Rel(alpha) = r`;
+/// * `alpha` is compatible with `r[i]` iff `Rel(alpha) = r` and the term at
+///   position `i` of `alpha` is a distinguished variable of the rule.
+pub fn is_r_compatible(sigma: &Position, rule: &Tgd, alpha: &Atom) -> bool {
+    if alpha.predicate != sigma.predicate {
+        return false;
+    }
+    match sigma.index {
+        None => true,
+        Some(i) => match alpha.terms.get(i) {
+            Some(Term::Variable(v)) => rule.is_distinguished(*v),
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_tgd;
+
+    #[test]
+    fn display_uses_one_based_indices() {
+        let p = Predicate::new("r", 2);
+        assert_eq!(Position::whole(p).to_string(), "r[ ]");
+        assert_eq!(Position::argument(p, 0).to_string(), "r[1]");
+        assert_eq!(Position::argument(p, 1).to_string(), "r[2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_argument_positions_are_rejected() {
+        Position::argument(Predicate::new("r", 2), 2);
+    }
+
+    #[test]
+    fn positions_of_returns_every_occurrence() {
+        let atom = Atom::new(
+            "t",
+            vec![
+                Term::variable("X"),
+                Term::variable("X"),
+                Term::variable("Y"),
+            ],
+        );
+        let xs = Position::positions_of(Variable::new("X"), &atom);
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].index, Some(0));
+        assert_eq!(xs[1].index, Some(1));
+        assert!(Position::positions_of(Variable::new("Z"), &atom).is_empty());
+    }
+
+    #[test]
+    fn whole_positions_are_compatible_by_relation_name() {
+        let rule = parse_tgd("s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3)").unwrap();
+        let alpha = &rule.head[0];
+        assert!(is_r_compatible(
+            &Position::whole(Predicate::new("r", 2)),
+            &rule,
+            alpha
+        ));
+        assert!(!is_r_compatible(
+            &Position::whole(Predicate::new("s", 3)),
+            &rule,
+            alpha
+        ));
+    }
+
+    #[test]
+    fn argument_positions_require_a_distinguished_variable() {
+        // R2 of Example 1: v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2); Y3 is an
+        // existential head variable, so s[2] is NOT compatible, while s[1] and
+        // s[3] are.
+        let rule = parse_tgd("v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2)").unwrap();
+        let alpha = &rule.head[0];
+        let s = Predicate::new("s", 3);
+        assert!(is_r_compatible(&Position::argument(s, 0), &rule, alpha));
+        assert!(!is_r_compatible(&Position::argument(s, 1), &rule, alpha));
+        assert!(is_r_compatible(&Position::argument(s, 2), &rule, alpha));
+    }
+
+    #[test]
+    fn constant_head_arguments_are_never_compatible_argument_positions() {
+        let rule = parse_tgd("p(X) -> r(X, rome)").unwrap();
+        let alpha = &rule.head[0];
+        let r = Predicate::new("r", 2);
+        assert!(is_r_compatible(&Position::argument(r, 0), &rule, alpha));
+        assert!(!is_r_compatible(&Position::argument(r, 1), &rule, alpha));
+    }
+}

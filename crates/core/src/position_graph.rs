@@ -1,0 +1,420 @@
+//! The position graph `AG(P)` (Definition 4 of the paper).
+//!
+//! Nodes are positions (`r[ ]`, `r[i]`), edges connect the position of a rule
+//! head to positions of its body, and edges are labelled with
+//!
+//! * `m` ("missing") when some distinguished variable of the rule does not
+//!   occur in the body atom the edge points into, and
+//! * `s` ("splitting") when an existential variable is split over two body
+//!   atoms by the corresponding rewriting step.
+//!
+//! The construction below follows Definition 4 literally (points 1(a)–(d), 2
+//! and 3), as a worklist fixpoint starting from the `r[ ]` positions of the
+//! rule heads. The definition is stated for *simple* TGDs; as in the paper's
+//! Example 2, the same construction can be applied to arbitrary TGDs (every
+//! occurrence of a variable contributes a position), but the resulting
+//! classification is only meaningful for simple programs — that caveat is
+//! exactly what motivates the P-node graph.
+
+use crate::cycles::LabeledGraph;
+use crate::position::{is_r_compatible, Position};
+use ontorew_model::prelude::*;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Edge labels of the position graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum PositionEdgeLabel {
+    /// `m`: a distinguished variable of the rule is missing from the body atom.
+    Missing,
+    /// `s`: an existential variable is split over two body atoms.
+    Splitting,
+}
+
+/// The position graph of a program.
+#[derive(Clone, Debug)]
+pub struct PositionGraph {
+    nodes: Vec<Position>,
+    node_ids: BTreeMap<Position, usize>,
+    graph: LabeledGraph<PositionEdgeLabel>,
+}
+
+impl PositionGraph {
+    /// Build `AG(P)` for `program`.
+    pub fn build(program: &TgdProgram) -> Self {
+        let mut builder = PositionGraph {
+            nodes: Vec::new(),
+            node_ids: BTreeMap::new(),
+            graph: LabeledGraph::new(0),
+        };
+
+        // Initial nodes: r[ ] for every head atom (Definition 4, first bullet).
+        let mut worklist: VecDeque<Position> = VecDeque::new();
+        for rule in program.iter() {
+            for alpha in &rule.head {
+                let sigma = Position::whole(alpha.predicate);
+                if builder.intern(sigma) {
+                    worklist.push_back(sigma);
+                }
+            }
+        }
+
+        // Fixpoint: expand every node against every rule whose head is
+        // R-compatible with it.
+        let mut processed: BTreeSet<Position> = BTreeSet::new();
+        while let Some(sigma) = worklist.pop_front() {
+            if !processed.insert(sigma) {
+                continue;
+            }
+            for rule in program.iter() {
+                for alpha in &rule.head {
+                    if !is_r_compatible(&sigma, rule, alpha) {
+                        continue;
+                    }
+                    let new_nodes = builder.expand(&sigma, rule, alpha);
+                    for n in new_nodes {
+                        if !processed.contains(&n) {
+                            worklist.push_back(n);
+                        }
+                    }
+                }
+            }
+        }
+        builder
+    }
+
+    /// Intern a node, returning true if it is new.
+    fn intern(&mut self, position: Position) -> bool {
+        if self.node_ids.contains_key(&position) {
+            return false;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(position);
+        self.node_ids.insert(position, id);
+        self.graph.ensure_node(id);
+        true
+    }
+
+    /// Apply points 1(a)–(d), 2 and 3 of Definition 4 for node `sigma`, rule
+    /// `rule` and compatible head atom `alpha`. Returns the target positions
+    /// (possibly new nodes).
+    fn expand(&mut self, sigma: &Position, rule: &Tgd, alpha: &Atom) -> Vec<Position> {
+        let distinguished: BTreeSet<Variable> =
+            rule.distinguished_variables().into_iter().collect();
+        let existential_body: BTreeSet<Variable> =
+            rule.existential_body_variables().into_iter().collect();
+
+        // Point 2: some existential body variable occurs in >= 2 body atoms.
+        let splitting_rule = existential_body.iter().any(|z| {
+            rule.body
+                .iter()
+                .filter(|b| b.variable_set().contains(z))
+                .count()
+                >= 2
+        });
+        // Point 3: sigma is r[i], and the head variable at position i occurs
+        // in >= 2 body atoms.
+        let splitting_position = match sigma.index {
+            Some(i) => match alpha.terms.get(i).and_then(Term::as_variable) {
+                Some(y) => {
+                    rule.body
+                        .iter()
+                        .filter(|b| b.variable_set().contains(&y))
+                        .count()
+                        >= 2
+                }
+                None => false,
+            },
+            None => false,
+        };
+        let splitting = splitting_rule || splitting_position;
+
+        let mut touched = Vec::new();
+        for beta in &rule.body {
+            // Point 1(d): the m label applies to every edge generated for this
+            // body atom when some distinguished variable is missing from it.
+            let missing = distinguished
+                .iter()
+                .any(|v| !beta.variable_set().contains(v));
+
+            let mut edge_labels: Vec<PositionEdgeLabel> = Vec::new();
+            if missing {
+                edge_labels.push(PositionEdgeLabel::Missing);
+            }
+            if splitting {
+                edge_labels.push(PositionEdgeLabel::Splitting);
+            }
+
+            let mut targets: Vec<Position> = Vec::new();
+            // Point 1(a): sigma -> s[ ] for the body atom's relation.
+            targets.push(Position::whole(beta.predicate));
+            // Point 1(b): sigma -> Pos(z, beta) for existential body variables.
+            for z in &existential_body {
+                targets.extend(Position::positions_of(*z, beta));
+            }
+            // Point 1(c): if sigma = r[i], follow the head variable at i into
+            // the body atom.
+            if let Some(i) = sigma.index {
+                if let Some(y) = alpha.terms.get(i).and_then(Term::as_variable) {
+                    targets.extend(Position::positions_of(y, beta));
+                }
+            }
+
+            for target in targets {
+                self.intern(target);
+                let from = self.node_ids[sigma];
+                let to = self.node_ids[&target];
+                self.graph.add_edge(from, to, edge_labels.iter().copied());
+                touched.push(target);
+            }
+        }
+        touched
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> &[Position] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// True if the graph contains the node.
+    pub fn contains_node(&self, position: &Position) -> bool {
+        self.node_ids.contains_key(position)
+    }
+
+    /// The labels of the edge between two positions, if present.
+    pub fn edge_labels(
+        &self,
+        from: &Position,
+        to: &Position,
+    ) -> Option<&BTreeSet<PositionEdgeLabel>> {
+        let a = self.node_ids.get(from)?;
+        let b = self.node_ids.get(to)?;
+        self.graph.labels(*a, *b)
+    }
+
+    /// Iterate over all edges as `(from, to, labels)`.
+    pub fn edges(
+        &self,
+    ) -> impl Iterator<Item = (Position, Position, &BTreeSet<PositionEdgeLabel>)> + '_ {
+        self.graph
+            .edges()
+            .map(move |(a, b, l)| (self.nodes[a], self.nodes[b], l))
+    }
+
+    /// Number of m-edges.
+    pub fn m_edge_count(&self) -> usize {
+        self.edges()
+            .filter(|(_, _, l)| l.contains(&PositionEdgeLabel::Missing))
+            .count()
+    }
+
+    /// Number of s-edges.
+    pub fn s_edge_count(&self) -> usize {
+        self.edges()
+            .filter(|(_, _, l)| l.contains(&PositionEdgeLabel::Splitting))
+            .count()
+    }
+
+    /// True if some cycle (closed walk) contains both an m-edge and an s-edge
+    /// — the "dangerous cycle" of Definition 5. The check uses the strongly
+    /// connected component formulation (the conservative reading of "cycle").
+    pub fn has_dangerous_cycle(&self) -> bool {
+        self.graph.has_cycle_with_labels(
+            &[PositionEdgeLabel::Missing, PositionEdgeLabel::Splitting],
+            &[],
+        )
+    }
+
+    /// The positions involved in a dangerous strongly connected component, if
+    /// any (diagnostic counterpart of [`PositionGraph::has_dangerous_cycle`]).
+    pub fn dangerous_positions(&self) -> Option<Vec<Position>> {
+        self.graph
+            .find_dangerous_scc(
+                &[PositionEdgeLabel::Missing, PositionEdgeLabel::Splitting],
+                &[],
+            )
+            .map(|ids| ids.into_iter().map(|i| self.nodes[i]).collect())
+    }
+
+    /// True if the graph has any cycle at all (closed walk), regardless of
+    /// labels.
+    pub fn has_any_cycle(&self) -> bool {
+        self.graph.has_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    fn example1() -> TgdProgram {
+        parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap()
+    }
+
+    fn example2() -> TgdProgram {
+        parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap()
+    }
+
+    fn whole(name: &str, arity: usize) -> Position {
+        Position::whole(Predicate::new(name, arity))
+    }
+    fn arg(name: &str, arity: usize, index_1based: usize) -> Position {
+        Position::argument(Predicate::new(name, arity), index_1based - 1)
+    }
+
+    #[test]
+    fn figure1_nodes_of_example1() {
+        // Figure 1 of the paper: the position graph of Example 1 contains the
+        // nodes r[ ], s[ ], v[ ], t[ ], q[ ] and s[2] (plus t[1], which
+        // Definition 4(1)(b) mandates for the existential body variable Y4 of
+        // R1 even though the figure elides it).
+        let g = PositionGraph::build(&example1());
+        for node in [
+            whole("r", 2),
+            whole("s", 3),
+            whole("v", 2),
+            whole("t", 1),
+            whole("q", 1),
+            arg("s", 3, 2),
+            arg("t", 1, 1),
+        ] {
+            assert!(g.contains_node(&node), "missing node {node}");
+        }
+        assert_eq!(g.node_count(), 7);
+    }
+
+    #[test]
+    fn figure1_edges_and_labels_of_example1() {
+        let g = PositionGraph::build(&example1());
+        // r[ ] -> s[ ] and r[ ] -> s[2] are unlabelled; r[ ] -> t[ ] carries m.
+        assert!(g.edge_labels(&whole("r", 2), &whole("s", 3)).unwrap().is_empty());
+        assert!(g
+            .edge_labels(&whole("r", 2), &arg("s", 3, 2))
+            .unwrap()
+            .is_empty());
+        assert!(g
+            .edge_labels(&whole("r", 2), &whole("t", 1))
+            .unwrap()
+            .contains(&PositionEdgeLabel::Missing));
+        // s[ ] -> q[ ] carries m; s[ ] -> v[ ] does not.
+        assert!(g
+            .edge_labels(&whole("s", 3), &whole("q", 1))
+            .unwrap()
+            .contains(&PositionEdgeLabel::Missing));
+        assert!(g.edge_labels(&whole("s", 3), &whole("v", 2)).unwrap().is_empty());
+        // v[ ] -> r[ ] closes the harmless cycle with no labels.
+        assert!(g.edge_labels(&whole("v", 2), &whole("r", 2)).unwrap().is_empty());
+        // Exactly as the paper observes: there are no s-edges at all.
+        assert_eq!(g.s_edge_count(), 0);
+        assert_eq!(g.m_edge_count(), 3); // r->t[], r->t[1], s->q[]
+    }
+
+    #[test]
+    fn example1_has_a_cycle_but_no_dangerous_one() {
+        let g = PositionGraph::build(&example1());
+        assert!(g.has_any_cycle()); // r[] -> s[] -> v[] -> r[]
+        assert!(!g.has_dangerous_cycle());
+        assert!(g.dangerous_positions().is_none());
+    }
+
+    #[test]
+    fn s2_is_not_expanded_because_y3_is_existential() {
+        // s[2] corresponds to the existential head variable Y3 of R2, so no
+        // rule head is R-compatible with it and it has no outgoing edges.
+        let g = PositionGraph::build(&example1());
+        let s2 = arg("s", 3, 2);
+        assert!(g.contains_node(&s2));
+        assert!(g.edges().all(|(from, _, _)| from != s2));
+    }
+
+    #[test]
+    fn figure2_nodes_of_example2() {
+        // Figure 2 of the paper (built although the program is not simple).
+        let g = PositionGraph::build(&example2());
+        for node in [
+            whole("r", 2),
+            whole("s", 3),
+            whole("t", 2),
+            arg("r", 2, 2),
+            arg("s", 3, 1),
+            arg("s", 3, 2),
+            arg("s", 3, 3),
+            arg("r", 2, 1),
+            arg("t", 2, 1),
+            arg("t", 2, 2),
+        ] {
+            assert!(g.contains_node(&node), "missing node {node}");
+        }
+    }
+
+    #[test]
+    fn figure2_has_no_dangerous_cycle_which_is_the_point_of_the_example() {
+        // The position graph wrongly suggests Example 2 is harmless (no cycle
+        // with both m and s): that false negative motivates the P-node graph.
+        let g = PositionGraph::build(&example2());
+        assert_eq!(g.s_edge_count(), 0);
+        assert!(!g.has_dangerous_cycle());
+    }
+
+    #[test]
+    fn splitting_labels_appear_when_an_existential_spans_two_atoms() {
+        // p(X, Z), q(Z) -> h(X): the existential body variable Z occurs in two
+        // body atoms, so every edge of that rule carries s.
+        let p = parse_program("[R1] p(X, Z), q(Z) -> h(X).").unwrap();
+        let g = PositionGraph::build(&p);
+        assert!(g.s_edge_count() > 0);
+        let labels = g
+            .edge_labels(&whole("h", 1), &whole("p", 2))
+            .unwrap();
+        assert!(labels.contains(&PositionEdgeLabel::Splitting));
+        // And the edges also carry m because Z... no: the only distinguished
+        // variable X occurs in p but not in q.
+        let q_labels = g.edge_labels(&whole("h", 1), &whole("q", 1)).unwrap();
+        assert!(q_labels.contains(&PositionEdgeLabel::Missing));
+    }
+
+    #[test]
+    fn dangerous_cycle_is_detected_on_a_crafted_program() {
+        // h(X) is rebuilt from p(X, Z), q(Z) and q feeds back into h through a
+        // rule that loses the distinguished variable: the cycle carries both
+        // m and s labels.
+        let p = parse_program(
+            "[R1] p(X, Z), q(Z) -> h(X).\n\
+             [R2] h(X), w(Y) -> q(Y).",
+        )
+        .unwrap();
+        let g = PositionGraph::build(&p);
+        assert!(g.has_dangerous_cycle());
+        let members = g.dangerous_positions().unwrap();
+        assert!(members.contains(&whole("q", 1)));
+        assert!(members.contains(&whole("h", 1)));
+    }
+
+    #[test]
+    fn empty_program_yields_empty_graph() {
+        let g = PositionGraph::build(&TgdProgram::new());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_dangerous_cycle());
+    }
+}

@@ -1,0 +1,184 @@
+//! Simply Weakly Recursive (SWR) TGDs — Definition 5 and Theorem 1.
+//!
+//! A set `P` of TGDs is **SWR** iff (i) every rule is a *simple* TGD (single
+//! head atom, no constants, no repeated variables inside an atom) and (ii)
+//! the position graph `AG(P)` has no cycle containing both an m-edge and an
+//! s-edge. Theorem 1 of the paper: every SWR set is FO-rewritable.
+//!
+//! The membership test runs in polynomial time (the position graph has at
+//! most one node per position plus one per relation, and the cycle condition
+//! is an SCC computation).
+
+use crate::position_graph::PositionGraph;
+use ontorew_model::prelude::*;
+use serde::Serialize;
+
+/// Why a program fails to be SWR (if it does).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum SwrViolation {
+    /// Some rule is not a simple TGD.
+    NotSimple {
+        /// Label of the offending rule.
+        rule: String,
+        /// Human-readable reason (multiple heads, constants, repeated
+        /// variables).
+        reason: String,
+    },
+    /// The position graph has a cycle with both an m-edge and an s-edge.
+    DangerousCycle {
+        /// The positions of a strongly connected component witnessing the
+        /// dangerous cycle.
+        positions: Vec<String>,
+    },
+}
+
+/// The result of the SWR membership test.
+#[derive(Clone, Debug, Serialize)]
+pub struct SwrReport {
+    /// True iff the program is SWR.
+    pub is_swr: bool,
+    /// True iff every rule is simple.
+    pub all_simple: bool,
+    /// Violations found (empty iff `is_swr`).
+    pub violations: Vec<SwrViolation>,
+    /// Size of the position graph that was built (nodes, edges).
+    pub graph_size: (usize, usize),
+}
+
+/// Run the SWR membership test on `program`.
+pub fn check_swr(program: &TgdProgram) -> SwrReport {
+    let mut violations = Vec::new();
+    let mut all_simple = true;
+    for rule in program.iter() {
+        if !rule.is_simple() {
+            all_simple = false;
+            let mut reasons = Vec::new();
+            if !rule.has_single_head_atom() {
+                reasons.push("multiple head atoms");
+            }
+            if rule.has_constants() {
+                reasons.push("constants");
+            }
+            if rule.has_repeated_variables_in_an_atom() {
+                reasons.push("repeated variables in an atom");
+            }
+            violations.push(SwrViolation::NotSimple {
+                rule: rule.label_str().to_owned(),
+                reason: reasons.join(", "),
+            });
+        }
+    }
+
+    let graph = PositionGraph::build(program);
+    let graph_size = (graph.node_count(), graph.edge_count());
+    if let Some(positions) = graph.dangerous_positions() {
+        violations.push(SwrViolation::DangerousCycle {
+            positions: positions.iter().map(|p| p.to_string()).collect(),
+        });
+    }
+
+    SwrReport {
+        is_swr: violations.is_empty(),
+        all_simple,
+        violations,
+        graph_size,
+    }
+}
+
+/// Convenience: true iff `program` is SWR.
+pub fn is_swr(program: &TgdProgram) -> bool {
+    check_swr(program).is_swr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn example1_is_swr() {
+        let p = parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap();
+        let report = check_swr(&p);
+        assert!(report.is_swr);
+        assert!(report.all_simple);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.graph_size.0, 7);
+    }
+
+    #[test]
+    fn example2_is_not_swr_because_it_is_not_simple() {
+        let p = parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap();
+        let report = check_swr(&p);
+        assert!(!report.is_swr);
+        assert!(!report.all_simple);
+        assert!(matches!(
+            report.violations[0],
+            SwrViolation::NotSimple { .. }
+        ));
+    }
+
+    #[test]
+    fn example3_is_not_swr_because_of_repeated_variables() {
+        let p = parse_program(
+            "[R1] r(Y1, Y2) -> t(Y3, Y1, Y1).\n\
+             [R2] s(Y1, Y2, Y3) -> r(Y1, Y2).\n\
+             [R3] u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).",
+        )
+        .unwrap();
+        assert!(!is_swr(&p));
+    }
+
+    #[test]
+    fn dangerous_cycle_makes_a_simple_program_not_swr() {
+        let p = parse_program(
+            "[R1] p(X, Z), q(Z) -> h(X).\n\
+             [R2] h(X), w(Y) -> q(Y).",
+        )
+        .unwrap();
+        let report = check_swr(&p);
+        assert!(report.all_simple);
+        assert!(!report.is_swr);
+        assert!(matches!(
+            report.violations[0],
+            SwrViolation::DangerousCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn class_hierarchies_are_swr() {
+        let p = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] professor(X) -> person(X).\n\
+             [R3] person(X) -> hasParent(X, Y).\n\
+             [R4] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        // This is the classic DL-Lite style ontology: linear rules, hence SWR.
+        assert!(is_swr(&p));
+    }
+
+    #[test]
+    fn empty_program_is_swr() {
+        assert!(is_swr(&TgdProgram::new()));
+    }
+
+    #[test]
+    fn constants_in_rules_break_simplicity() {
+        let p = parse_program("[R1] visited(X) -> city(rome).").unwrap();
+        let report = check_swr(&p);
+        assert!(!report.is_swr);
+        match &report.violations[0] {
+            SwrViolation::NotSimple { reason, .. } => assert!(reason.contains("constants")),
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+}

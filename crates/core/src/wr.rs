@@ -1,0 +1,181 @@
+//! Weakly Recursive (WR) TGDs — Definition 8 and the paper's conjectures.
+//!
+//! A set `P` of TGDs is **WR** iff its P-node graph has no cycle containing a
+//! d-edge, an m-edge and an s-edge while containing no i-edge. The paper
+//! conjectures that (i) every WR set is FO-rewritable, (ii) WR membership is
+//! decidable in PSPACE, and (iii) WR strictly subsumes every known
+//! FO-rewritable class (including SWR, Linear, Multilinear, Sticky,
+//! Sticky-Join, Domain-Restricted and acyclic-GRD).
+//!
+//! Because the P-node graph can be exponentially larger than the position
+//! graph (this is the PTIME → PSPACE jump of §7), the membership test runs
+//! under a node budget and reports `Unknown` when the budget is exhausted —
+//! precisely situation (ii) of the paper's §7 discussion.
+
+use crate::pnode::{PNodeGraph, PNodeGraphConfig};
+use ontorew_model::prelude::*;
+use serde::Serialize;
+
+/// Outcome of the WR membership test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum WrVerdict {
+    /// The P-node graph was fully explored and has no dangerous cycle.
+    WeaklyRecursive,
+    /// A dangerous cycle (d + m + s, no i) was found.
+    NotWeaklyRecursive,
+    /// The node budget was exhausted before a dangerous cycle was found; the
+    /// program may or may not be WR.
+    Unknown,
+}
+
+/// The result of the WR membership test.
+#[derive(Clone, Debug, Serialize)]
+pub struct WrReport {
+    /// The verdict.
+    pub verdict: WrVerdict,
+    /// Nodes and edges of the (possibly truncated) P-node graph.
+    pub graph_size: (usize, usize),
+    /// True if the graph construction hit its node budget.
+    pub truncated: bool,
+    /// Rendered atoms of a dangerous strongly connected component, if found.
+    pub dangerous_nodes: Vec<String>,
+}
+
+impl WrReport {
+    /// Convenience: `Some(true)` / `Some(false)` when decided, `None` when
+    /// unknown.
+    pub fn is_wr(&self) -> Option<bool> {
+        match self.verdict {
+            WrVerdict::WeaklyRecursive => Some(true),
+            WrVerdict::NotWeaklyRecursive => Some(false),
+            WrVerdict::Unknown => None,
+        }
+    }
+}
+
+/// Run the WR membership test with the given P-node graph budget.
+pub fn check_wr_with(program: &TgdProgram, config: &PNodeGraphConfig) -> WrReport {
+    let graph = PNodeGraph::build(program, config);
+    let graph_size = (graph.node_count(), graph.edge_count());
+    if graph.has_dangerous_cycle() {
+        let dangerous_nodes = graph
+            .dangerous_nodes()
+            .map(|ns| ns.iter().map(|n| n.atom.to_string()).collect())
+            .unwrap_or_default();
+        return WrReport {
+            verdict: WrVerdict::NotWeaklyRecursive,
+            graph_size,
+            truncated: graph.truncated,
+            dangerous_nodes,
+        };
+    }
+    WrReport {
+        verdict: if graph.truncated {
+            WrVerdict::Unknown
+        } else {
+            WrVerdict::WeaklyRecursive
+        },
+        graph_size,
+        truncated: graph.truncated,
+        dangerous_nodes: Vec::new(),
+    }
+}
+
+/// Run the WR membership test with the default budget.
+pub fn check_wr(program: &TgdProgram) -> WrReport {
+    check_wr_with(program, &PNodeGraphConfig::default())
+}
+
+/// Convenience: `Some(true)` when WR, `Some(false)` when not, `None` when the
+/// budgeted construction could not decide.
+pub fn is_wr(program: &TgdProgram) -> Option<bool> {
+    check_wr(program).is_wr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swr::is_swr;
+    use ontorew_model::parse_program;
+
+    fn example1() -> TgdProgram {
+        parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+             [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+             [R3] r(Y1, Y2) -> v(Y1, Y2).",
+        )
+        .unwrap()
+    }
+
+    fn example2() -> TgdProgram {
+        parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).",
+        )
+        .unwrap()
+    }
+
+    fn example3() -> TgdProgram {
+        parse_program(
+            "[R1] r(Y1, Y2) -> t(Y3, Y1, Y1).\n\
+             [R2] s(Y1, Y2, Y3) -> r(Y1, Y2).\n\
+             [R3] u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_is_wr_and_swr() {
+        assert_eq!(is_wr(&example1()), Some(true));
+        assert!(is_swr(&example1()));
+    }
+
+    #[test]
+    fn example2_is_not_wr() {
+        let report = check_wr(&example2());
+        assert_eq!(report.verdict, WrVerdict::NotWeaklyRecursive);
+        assert!(!report.dangerous_nodes.is_empty());
+    }
+
+    #[test]
+    fn example3_is_wr_but_not_swr_nor_in_the_baseline_classes() {
+        // This is the paper's flagship separation example: FO-rewritable and
+        // WR, but outside Linear, Multilinear, Sticky, Sticky-Join and SWR.
+        let p = example3();
+        assert_eq!(is_wr(&p), Some(true));
+        assert!(!is_swr(&p));
+        assert!(!crate::classes::is_linear(&p));
+        assert!(!crate::classes::is_multilinear(&p));
+        assert!(!crate::classes::is_sticky(&p));
+        assert!(!crate::classes::is_sticky_join(&p));
+    }
+
+    #[test]
+    fn hierarchies_are_wr() {
+        let p = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] person(X) -> hasParent(X, Y).\n\
+             [R3] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        assert_eq!(is_wr(&p), Some(true));
+    }
+
+    #[test]
+    fn tiny_budget_yields_unknown_on_nontrivial_programs() {
+        let report = check_wr_with(&example1(), &PNodeGraphConfig { max_nodes: 1 });
+        // Either a dangerous cycle was (wrongly) not found and the graph is
+        // truncated -> Unknown, never a spurious NotWeaklyRecursive.
+        assert_ne!(report.verdict, WrVerdict::NotWeaklyRecursive);
+        if report.truncated {
+            assert_eq!(report.verdict, WrVerdict::Unknown);
+        }
+    }
+
+    #[test]
+    fn report_exposes_graph_size() {
+        let report = check_wr(&example2());
+        assert!(report.graph_size.0 > 3);
+        assert!(report.graph_size.1 > 3);
+    }
+}

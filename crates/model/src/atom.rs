@@ -1,0 +1,297 @@
+//! Predicates and atoms.
+
+use crate::symbols::Symbol;
+use crate::term::{Constant, Term, Variable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation symbol together with its arity, e.g. `teaches/2`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The relation name.
+    pub name: Symbol,
+    /// The number of argument positions.
+    pub arity: usize,
+}
+
+impl Predicate {
+    /// A predicate with the given name and arity.
+    pub fn new(name: &str, arity: usize) -> Self {
+        Predicate {
+            name: Symbol::intern(name),
+            arity,
+        }
+    }
+
+    /// The predicate's name as a string.
+    pub fn name_str(&self) -> &'static str {
+        self.name.as_str()
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// An atom `r(t1, ..., tk)`: a predicate applied to a list of terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Atom {
+    /// The relation symbol of the atom.
+    pub predicate: Predicate,
+    /// The argument terms; `terms.len() == predicate.arity`.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom from a predicate name and terms; the arity is inferred
+    /// from the number of terms.
+    pub fn new(predicate: &str, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: Predicate::new(predicate, terms.len()),
+            terms,
+        }
+    }
+
+    /// Build an atom over an existing [`Predicate`].
+    ///
+    /// # Panics
+    /// Panics if the number of terms does not match the predicate arity.
+    pub fn from_predicate(predicate: Predicate, terms: Vec<Term>) -> Self {
+        assert_eq!(
+            predicate.arity,
+            terms.len(),
+            "arity mismatch constructing atom over {predicate}"
+        );
+        Atom { predicate, terms }
+    }
+
+    /// Build a ground atom from constant names, e.g.
+    /// `Atom::fact("teaches", &["alice", "db101"])`.
+    pub fn fact(predicate: &str, constants: &[&str]) -> Self {
+        Atom::new(
+            predicate,
+            constants.iter().map(|c| Term::constant(c)).collect(),
+        )
+    }
+
+    /// The arity of the atom's predicate.
+    pub fn arity(&self) -> usize {
+        self.predicate.arity
+    }
+
+    /// The variables occurring in this atom, in order of first occurrence and
+    /// without duplicates.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Variable(v) = t {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of variables occurring in this atom.
+    pub fn variable_set(&self) -> BTreeSet<Variable> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_variable())
+            .collect()
+    }
+
+    /// The constants occurring in this atom, without duplicates.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_constant())
+            .collect()
+    }
+
+    /// True if the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(Term::is_ground)
+    }
+
+    /// True if some variable occurs more than once among the atom's terms.
+    pub fn has_repeated_variables(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for t in &self.terms {
+            if let Term::Variable(v) = t {
+                if !seen.insert(*v) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// True if the atom contains at least one constant.
+    pub fn has_constants(&self) -> bool {
+        self.terms.iter().any(Term::is_constant)
+    }
+
+    /// The 0-based positions (indices) at which `v` occurs in this atom.
+    pub fn positions_of(&self, v: Variable) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_variable() == Some(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The number of occurrences of variable `v` in this atom.
+    pub fn occurrences_of(&self, v: Variable) -> usize {
+        self.positions_of(v).len()
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate.name)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Collect every variable occurring in a slice of atoms, in order of first
+/// occurrence and without duplicates.
+pub fn variables_of(atoms: &[Atom]) -> Vec<Variable> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for a in atoms {
+        for t in &a.terms {
+            if let Term::Variable(v) = t {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collect every constant occurring in a slice of atoms.
+pub fn constants_of(atoms: &[Atom]) -> BTreeSet<Constant> {
+    atoms.iter().flat_map(|a| a.constants()).collect()
+}
+
+/// Collect every predicate occurring in a slice of atoms.
+pub fn predicates_of(atoms: &[Atom]) -> BTreeSet<Predicate> {
+    atoms.iter().map(|a| a.predicate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(pred: &str, args: &[&str]) -> Atom {
+        Atom::new(
+            pred,
+            args.iter()
+                .map(|a| {
+                    if a.chars().next().unwrap().is_uppercase() {
+                        Term::variable(a)
+                    } else {
+                        Term::constant(a)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn predicate_carries_name_and_arity() {
+        let p = Predicate::new("teaches", 2);
+        assert_eq!(p.name_str(), "teaches");
+        assert_eq!(p.arity, 2);
+        assert_eq!(format!("{p}"), "teaches/2");
+    }
+
+    #[test]
+    fn atom_infers_arity_from_terms() {
+        let a = atom("r", &["X", "Y", "Z"]);
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.predicate, Predicate::new("r", 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn from_predicate_checks_arity() {
+        Atom::from_predicate(Predicate::new("r", 2), vec![Term::variable("X")]);
+    }
+
+    #[test]
+    fn variables_are_deduplicated_in_order() {
+        let a = atom("r", &["X", "Y", "X"]);
+        assert_eq!(a.variables(), vec![Variable::new("X"), Variable::new("Y")]);
+        assert!(a.has_repeated_variables());
+    }
+
+    #[test]
+    fn ground_and_constant_detection() {
+        let a = Atom::fact("teaches", &["alice", "db101"]);
+        assert!(a.is_ground());
+        assert!(a.has_constants());
+        assert!(!a.has_repeated_variables());
+        let b = atom("r", &["X", "alice"]);
+        assert!(!b.is_ground());
+        assert!(b.has_constants());
+    }
+
+    #[test]
+    fn positions_and_occurrences() {
+        let a = atom("t", &["X", "X", "Y"]);
+        assert_eq!(a.positions_of(Variable::new("X")), vec![0, 1]);
+        assert_eq!(a.occurrences_of(Variable::new("X")), 2);
+        assert_eq!(a.occurrences_of(Variable::new("Z")), 0);
+    }
+
+    #[test]
+    fn display_renders_datalog_syntax() {
+        let a = atom("r", &["X", "alice"]);
+        assert_eq!(format!("{a}"), "r(X, \"alice\")");
+    }
+
+    #[test]
+    fn helpers_over_atom_slices() {
+        let atoms = vec![atom("r", &["X", "Y"]), atom("s", &["Y", "alice"])];
+        assert_eq!(
+            variables_of(&atoms),
+            vec![Variable::new("X"), Variable::new("Y")]
+        );
+        assert_eq!(constants_of(&atoms).len(), 1);
+        assert_eq!(predicates_of(&atoms).len(), 2);
+    }
+
+    #[test]
+    fn zero_arity_atoms_are_allowed() {
+        let a = Atom::new("q", vec![]);
+        assert_eq!(a.arity(), 0);
+        assert!(a.is_ground());
+        assert_eq!(format!("{a}"), "q()");
+    }
+}

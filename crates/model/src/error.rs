@@ -1,0 +1,94 @@
+//! Error types of the model crate.
+
+use std::fmt;
+
+/// An error produced while parsing the textual ontology syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Build a parse error at the given position.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Top-level error type of the model crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// The textual syntax could not be parsed.
+    Parse(ParseError),
+    /// A relation name was used with two different arities.
+    ArityConflict(crate::signature::ArityConflict),
+    /// A structural invariant was violated (e.g. unsafe answer variable).
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Parse(e) => write!(f, "{e}"),
+            ModelError::ArityConflict(e) => write!(f, "{e}"),
+            ModelError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<ParseError> for ModelError {
+    fn from(e: ParseError) -> Self {
+        ModelError::Parse(e)
+    }
+}
+
+impl From<crate::signature::ArityConflict> for ModelError {
+    fn from(e: crate::signature::ArityConflict) -> Self {
+        ModelError::ArityConflict(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_displays_position() {
+        let e = ParseError::new(3, 7, "unexpected token ')'");
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("column 7"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    fn model_error_wraps_sources() {
+        let e: ModelError = ParseError::new(1, 1, "boom").into();
+        assert!(matches!(e, ModelError::Parse(_)));
+        let e = ModelError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

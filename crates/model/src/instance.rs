@@ -1,0 +1,287 @@
+//! Instances (databases): finite sets of ground atoms over a signature.
+//!
+//! An [`Instance`] stores atoms whose terms are constants or labelled nulls
+//! (no variables). It is the representation used by the chase; the
+//! `ontorew-storage` crate offers an indexed relational store for efficient
+//! query evaluation and converts to/from this type.
+
+use crate::atom::{Atom, Predicate};
+use crate::signature::Signature;
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite set of ground atoms, grouped by predicate.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    relations: BTreeMap<Predicate, BTreeSet<Vec<Term>>>,
+    size: usize,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Build an instance from an iterator of ground atoms.
+    ///
+    /// # Panics
+    /// Panics if some atom contains a variable.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Self {
+        let mut inst = Instance::new();
+        for a in atoms {
+            inst.insert(a);
+        }
+        inst
+    }
+
+    /// Insert a ground atom; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if the atom contains a variable.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        assert!(
+            atom.is_ground(),
+            "cannot insert non-ground atom {atom} into an instance"
+        );
+        let added = self
+            .relations
+            .entry(atom.predicate)
+            .or_default()
+            .insert(atom.terms);
+        if added {
+            self.size += 1;
+        }
+        added
+    }
+
+    /// Insert a fact given by predicate name and constant names.
+    pub fn insert_fact(&mut self, predicate: &str, constants: &[&str]) -> bool {
+        self.insert(Atom::fact(predicate, constants))
+    }
+
+    /// True if the instance contains the given ground atom.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.relations
+            .get(&atom.predicate)
+            .map(|tuples| tuples.contains(&atom.terms))
+            .unwrap_or(false)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True if the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Number of facts for the given predicate.
+    pub fn relation_size(&self, predicate: Predicate) -> usize {
+        self.relations.get(&predicate).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// The predicates that have at least one fact.
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.relations
+            .iter()
+            .filter(|(_, tuples)| !tuples.is_empty())
+            .map(|(p, _)| *p)
+    }
+
+    /// The signature induced by the instance.
+    pub fn signature(&self) -> Signature {
+        self.predicates().collect()
+    }
+
+    /// Iterate over the tuples of a predicate.
+    pub fn tuples(&self, predicate: Predicate) -> impl Iterator<Item = &Vec<Term>> + '_ {
+        self.relations
+            .get(&predicate)
+            .into_iter()
+            .flat_map(|tuples| tuples.iter())
+    }
+
+    /// Iterate over every fact as an [`Atom`].
+    pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.relations.iter().flat_map(|(p, tuples)| {
+            tuples.iter().map(move |t| Atom {
+                predicate: *p,
+                terms: t.clone(),
+            })
+        })
+    }
+
+    /// True if `other` is a subset of `self`.
+    pub fn contains_instance(&self, other: &Instance) -> bool {
+        other.atoms().all(|a| self.contains(&a))
+    }
+
+    /// Add every fact of `other` into `self`.
+    pub fn extend_from(&mut self, other: &Instance) {
+        for (p, tuples) in &other.relations {
+            match self.relations.entry(*p) {
+                Entry::Vacant(e) => {
+                    self.size += tuples.len();
+                    e.insert(tuples.clone());
+                }
+                Entry::Occupied(mut e) => {
+                    for t in tuples {
+                        if e.get_mut().insert(t.clone()) {
+                            self.size += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The set of constants appearing in the instance (the active domain,
+    /// excluding labelled nulls).
+    pub fn constants(&self) -> BTreeSet<crate::term::Constant> {
+        self.relations
+            .values()
+            .flatten()
+            .flatten()
+            .filter_map(Term::as_constant)
+            .collect()
+    }
+
+    /// The set of labelled nulls appearing in the instance.
+    pub fn nulls(&self) -> BTreeSet<crate::term::Null> {
+        self.relations
+            .values()
+            .flatten()
+            .flatten()
+            .filter_map(Term::as_null)
+            .collect()
+    }
+
+    /// True if the instance contains no labelled nulls (i.e. it is a plain
+    /// database of constants).
+    pub fn is_null_free(&self) -> bool {
+        self.nulls().is_empty()
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Instance ({} facts):", self.size)?;
+        for a in self.atoms() {
+            writeln!(f, "  {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        Instance::from_atoms(iter)
+    }
+}
+
+impl Extend<Atom> for Instance {
+    fn extend<I: IntoIterator<Item = Atom>>(&mut self, iter: I) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Null;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut db = Instance::new();
+        assert!(db.insert_fact("teaches", &["alice", "db101"]));
+        assert!(!db.insert_fact("teaches", &["alice", "db101"]));
+        assert!(db.contains(&Atom::fact("teaches", &["alice", "db101"])));
+        assert!(!db.contains(&Atom::fact("teaches", &["bob", "db101"])));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ground atom")]
+    fn variables_are_rejected() {
+        let mut db = Instance::new();
+        db.insert(Atom::new("r", vec![Term::variable("X")]));
+    }
+
+    #[test]
+    fn relation_size_and_predicates() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("r", &["b", "c"]);
+        db.insert_fact("s", &["a"]);
+        assert_eq!(db.relation_size(Predicate::new("r", 2)), 2);
+        assert_eq!(db.relation_size(Predicate::new("s", 1)), 1);
+        assert_eq!(db.relation_size(Predicate::new("t", 1)), 0);
+        assert_eq!(db.predicates().count(), 2);
+        assert_eq!(db.signature().len(), 2);
+    }
+
+    #[test]
+    fn atoms_round_trip() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("s", &["c"]);
+        let copy: Instance = db.atoms().collect();
+        assert_eq!(db, copy);
+    }
+
+    #[test]
+    fn containment_and_extension() {
+        let mut small = Instance::new();
+        small.insert_fact("r", &["a", "b"]);
+        let mut big = small.clone();
+        big.insert_fact("s", &["c"]);
+        assert!(big.contains_instance(&small));
+        assert!(!small.contains_instance(&big));
+        let mut grown = small.clone();
+        grown.extend_from(&big);
+        assert_eq!(grown, big);
+        assert_eq!(grown.len(), 2);
+    }
+
+    #[test]
+    fn constants_and_nulls() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert(Atom {
+            predicate: Predicate::new("r", 2),
+            terms: vec![Term::constant("a"), Term::Null(Null(42))],
+        });
+        assert_eq!(db.constants().len(), 2);
+        assert_eq!(db.nulls().len(), 1);
+        assert!(!db.is_null_free());
+    }
+
+    #[test]
+    fn extend_counts_only_new_facts() {
+        let mut a = Instance::new();
+        a.insert_fact("r", &["x", "y"]);
+        let mut b = Instance::new();
+        b.insert_fact("r", &["x", "y"]);
+        b.insert_fact("r", &["y", "z"]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn tuples_iteration() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("r", &["c", "d"]);
+        let p = Predicate::new("r", 2);
+        assert_eq!(db.tuples(p).count(), 2);
+        assert_eq!(db.tuples(Predicate::new("zzz", 2)).count(), 0);
+    }
+}

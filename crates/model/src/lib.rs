@@ -1,0 +1,73 @@
+//! # ontorew-model
+//!
+//! The core data model for *query answering over ontologies specified via
+//! database dependencies* (Civili, SIGMOD 2014 PhD Symposium): terms, atoms,
+//! tuple-generating dependencies (TGDs), conjunctive queries, instances and a
+//! small textual syntax.
+//!
+//! Everything downstream — the chase (`ontorew-chase`), the UCQ rewriting
+//! engine (`ontorew-rewrite`), the graph-based FO-rewritability classifiers
+//! (`ontorew-core`) and the OBDA facade (`ontorew-obda`) — is written against
+//! the types of this crate.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ontorew_model::prelude::*;
+//!
+//! // Parse Example 1 of the paper.
+//! let program = parse_program(
+//!     "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n\
+//!      [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n\
+//!      [R3] r(Y1, Y2) -> v(Y1, Y2).",
+//! ).unwrap();
+//! assert!(program.is_simple());
+//!
+//! // Parse a conjunctive query.
+//! let q = parse_query("q(X) :- r(X, Y)").unwrap();
+//! assert_eq!(q.arity(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atom;
+pub mod error;
+pub mod instance;
+pub mod parser;
+pub mod program;
+pub mod query;
+pub mod rule;
+pub mod signature;
+pub mod substitution;
+pub mod symbols;
+pub mod term;
+
+pub use atom::{Atom, Predicate};
+pub use error::{ModelError, ParseError};
+pub use instance::Instance;
+pub use parser::{parse_document, parse_program, parse_query, parse_tgd, ParsedDocument};
+pub use program::TgdProgram;
+pub use query::{ConjunctiveQuery, UnionOfConjunctiveQueries};
+pub use rule::Tgd;
+pub use signature::Signature;
+pub use substitution::{freshen_variables, Substitution};
+pub use symbols::Symbol;
+pub use term::{Constant, Null, Term, Variable};
+
+/// Convenient glob import: `use ontorew_model::prelude::*;`.
+pub mod prelude {
+    pub use crate::atom::{constants_of, predicates_of, variables_of, Atom, Predicate};
+    pub use crate::error::{ModelError, ParseError};
+    pub use crate::instance::Instance;
+    pub use crate::parser::{
+        parse_document, parse_program, parse_query, parse_tgd, ParsedDocument,
+    };
+    pub use crate::program::TgdProgram;
+    pub use crate::query::{ConjunctiveQuery, UnionOfConjunctiveQueries};
+    pub use crate::rule::Tgd;
+    pub use crate::signature::Signature;
+    pub use crate::substitution::{freshen_variables, Substitution};
+    pub use crate::symbols::Symbol;
+    pub use crate::term::{Constant, Null, Term, Variable};
+}

@@ -1,0 +1,617 @@
+//! Parser for the textual ontology syntax.
+//!
+//! The syntax is a small Datalog±/DLGP-style language:
+//!
+//! ```text
+//! % a line comment (also '#')
+//! [R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).      % a TGD, optionally labelled
+//! v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).           % existential variables are
+//!                                               % simply head-only variables
+//! teaches(alice, db101).                        % a fact (ground atom)
+//! q(X) :- r(X, Y), s(Y, Y).                     % a conjunctive query
+//! ```
+//!
+//! * identifiers starting with an **uppercase** letter or `_` are variables;
+//! * identifiers starting with a lowercase letter or digits are constants
+//!   (in fact/rule argument position) or predicate names (in functor
+//!   position); quoted strings `"like this"` are always constants;
+//! * a rule is `body -> head .` with comma-separated atom lists on both sides;
+//! * a query is `name(answer vars) :- body .`;
+//! * a fact is a single ground atom followed by `.`.
+
+use crate::atom::Atom;
+use crate::error::ParseError;
+use crate::instance::Instance;
+use crate::program::TgdProgram;
+use crate::query::ConjunctiveQuery;
+use crate::rule::Tgd;
+use crate::term::{Term, Variable};
+use std::collections::BTreeSet;
+
+/// The result of parsing a document: TGDs, ground facts and queries.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedDocument {
+    /// The TGDs, in document order.
+    pub program: TgdProgram,
+    /// The ground facts.
+    pub facts: Instance,
+    /// The conjunctive queries, in document order.
+    pub queries: Vec<ConjunctiveQuery>,
+}
+
+/// Parse a full document (rules, facts and queries).
+pub fn parse_document(input: &str) -> Result<ParsedDocument, ParseError> {
+    Parser::new(input).parse_document()
+}
+
+/// Parse a document and return only its TGD program.
+pub fn parse_program(input: &str) -> Result<TgdProgram, ParseError> {
+    Ok(parse_document(input)?.program)
+}
+
+/// Parse a single conjunctive query, e.g. `q(X) :- r(X, Y).`
+/// (the trailing period is optional for single queries).
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let doc = parse_document(ensure_period(input).as_ref())?;
+    doc.queries.into_iter().next().ok_or_else(|| {
+        ParseError::new(1, 1, "expected a conjunctive query (name(vars) :- body)")
+    })
+}
+
+/// Parse a single TGD, e.g. `p(X) -> q(X, Y).`
+/// (the trailing period is optional for single rules).
+pub fn parse_tgd(input: &str) -> Result<Tgd, ParseError> {
+    let doc = parse_document(ensure_period(input).as_ref())?;
+    doc.program
+        .rules()
+        .first()
+        .cloned()
+        .ok_or_else(|| ParseError::new(1, 1, "expected a TGD (body -> head)"))
+}
+
+fn ensure_period(input: &str) -> String {
+    let trimmed = input.trim_end();
+    if trimmed.ends_with('.') {
+        trimmed.to_owned()
+    } else {
+        format!("{trimmed}.")
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Quoted(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Period,
+    Arrow,     // ->
+    Turnstile, // :-
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    token: Token,
+    line: usize,
+    column: usize,
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Self {
+        Parser {
+            tokens: tokenize(input),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(s) => ParseError::new(s.line, s.column, message),
+            None => {
+                let (line, column) = self
+                    .tokens
+                    .last()
+                    .map(|s| (s.line, s.column))
+                    .unwrap_or((1, 1));
+                ParseError::new(line, column, message)
+            }
+        }
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(s) if &s.token == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error_here(format!("expected {what}"))),
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<ParsedDocument, ParseError> {
+        let mut doc = ParsedDocument::default();
+        while self.peek().is_some() {
+            self.parse_statement(&mut doc)?;
+        }
+        Ok(doc)
+    }
+
+    fn parse_statement(&mut self, doc: &mut ParsedDocument) -> Result<(), ParseError> {
+        // Optional rule label: [R1]
+        let label = if matches!(self.peek().map(|s| &s.token), Some(Token::LBracket)) {
+            self.next();
+            let name = match self.next() {
+                Some(Spanned {
+                    token: Token::Ident(name),
+                    ..
+                }) => name,
+                _ => return Err(self.error_here("expected a rule label inside '[...]'")),
+            };
+            self.expect(&Token::RBracket, "']' after rule label")?;
+            Some(name)
+        } else {
+            None
+        };
+
+        let first_atoms = self.parse_atom_list()?;
+
+        match self.peek().map(|s| s.token.clone()) {
+            Some(Token::Arrow) => {
+                self.next();
+                let head = self.parse_atom_list()?;
+                self.expect(&Token::Period, "'.' at the end of the rule")?;
+                let mut tgd = Tgd::new(first_atoms, head);
+                if let Some(l) = label {
+                    tgd.label = Some(crate::symbols::Symbol::intern(&l));
+                }
+                doc.program.push(tgd);
+                Ok(())
+            }
+            Some(Token::Turnstile) => {
+                // first_atoms must be a single head atom q(X, Y, ...)
+                if first_atoms.len() != 1 {
+                    return Err(self.error_here(
+                        "a query must have a single head atom of the form name(vars)",
+                    ));
+                }
+                let head = &first_atoms[0];
+                let mut answer_vars = Vec::new();
+                for t in &head.terms {
+                    match t {
+                        Term::Variable(v) => answer_vars.push(*v),
+                        _ => {
+                            return Err(self.error_here(
+                                "query answer arguments must be variables",
+                            ))
+                        }
+                    }
+                }
+                self.next();
+                let body = self.parse_atom_list()?;
+                self.expect(&Token::Period, "'.' at the end of the query")?;
+                let body_vars: BTreeSet<Variable> =
+                    crate::atom::variables_of(&body).into_iter().collect();
+                for v in &answer_vars {
+                    if !body_vars.contains(v) {
+                        return Err(self.error_here(format!(
+                            "answer variable {v} does not occur in the query body"
+                        )));
+                    }
+                }
+                let q = ConjunctiveQuery::new(answer_vars, body)
+                    .named(head.predicate.name.as_str());
+                doc.queries.push(q);
+                Ok(())
+            }
+            Some(Token::Period) => {
+                self.next();
+                // Facts: every atom must be ground.
+                for a in first_atoms {
+                    if !a.is_ground() {
+                        return Err(self.error_here(format!(
+                            "fact {a} contains variables; facts must be ground"
+                        )));
+                    }
+                    doc.facts.insert(a);
+                }
+                Ok(())
+            }
+            _ => Err(self.error_here("expected '->', ':-' or '.' after atom list")),
+        }
+    }
+
+    fn parse_atom_list(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while matches!(self.peek().map(|s| &s.token), Some(Token::Comma)) {
+            self.next();
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(atoms)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.next() {
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) => name,
+            _ => return Err(self.error_here("expected a predicate name")),
+        };
+        self.expect(&Token::LParen, "'(' after predicate name")?;
+        let mut terms = Vec::new();
+        if matches!(self.peek().map(|s| &s.token), Some(Token::RParen)) {
+            self.next();
+            return Ok(Atom::new(&name, terms));
+        }
+        loop {
+            terms.push(self.parse_term()?);
+            match self.next() {
+                Some(Spanned {
+                    token: Token::Comma,
+                    ..
+                }) => continue,
+                Some(Spanned {
+                    token: Token::RParen,
+                    ..
+                }) => break,
+                _ => return Err(self.error_here("expected ',' or ')' in argument list")),
+            }
+        }
+        Ok(Atom::new(&name, terms))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) => {
+                let first = name.chars().next().unwrap_or('a');
+                if first.is_uppercase() || first == '_' {
+                    Ok(Term::variable(&name))
+                } else {
+                    Ok(Term::constant(&name))
+                }
+            }
+            Some(Spanned {
+                token: Token::Quoted(name),
+                ..
+            }) => Ok(Term::constant(&name)),
+            _ => Err(self.error_here("expected a term (variable, constant or \"quoted\")")),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Vec<Spanned> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = input.chars().peekable();
+
+    macro_rules! advance {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tok_line, tok_col) = (line, column);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+                advance!(c);
+            }
+            '%' | '#' => {
+                // Line comment.
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    advance!(c);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                advance!(c);
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            ')' => {
+                chars.next();
+                advance!(c);
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            '[' => {
+                chars.next();
+                advance!(c);
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            ']' => {
+                chars.next();
+                advance!(c);
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            ',' => {
+                chars.next();
+                advance!(c);
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            '.' => {
+                chars.next();
+                advance!(c);
+                tokens.push(Spanned {
+                    token: Token::Period,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            '-' => {
+                chars.next();
+                advance!(c);
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    advance!('>');
+                    tokens.push(Spanned {
+                        token: Token::Arrow,
+                        line: tok_line,
+                        column: tok_col,
+                    });
+                } else {
+                    // A stray '-', treat as part of an identifier start; emit
+                    // an identifier beginning with '-' so the parser reports a
+                    // sensible error.
+                    tokens.push(Spanned {
+                        token: Token::Ident("-".to_owned()),
+                        line: tok_line,
+                        column: tok_col,
+                    });
+                }
+            }
+            ':' => {
+                chars.next();
+                advance!(c);
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    advance!('-');
+                    tokens.push(Spanned {
+                        token: Token::Turnstile,
+                        line: tok_line,
+                        column: tok_col,
+                    });
+                } else {
+                    tokens.push(Spanned {
+                        token: Token::Ident(":".to_owned()),
+                        line: tok_line,
+                        column: tok_col,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                advance!(c);
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    advance!(c);
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                tokens.push(Spanned {
+                    token: Token::Quoted(s),
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '\'' {
+                        s.push(c);
+                        chars.next();
+                        advance!(c);
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(s),
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            other => {
+                // Unknown character: surface it as an identifier token so the
+                // parser produces a located error message.
+                chars.next();
+                advance!(other);
+                tokens.push(Spanned {
+                    token: Token::Ident(other.to_string()),
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Variable;
+
+    #[test]
+    fn parses_example1_program() {
+        let doc = parse_document(
+            r#"
+            % Example 1 of the paper
+            [R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).
+            [R2] v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).
+            [R3] r(Y1, Y2) -> v(Y1, Y2).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.program.len(), 3);
+        assert!(doc.program.is_simple());
+        assert_eq!(doc.program.rules()[0].label_str(), "R1");
+        assert_eq!(doc.program.rules()[1].existential_head_variables().len(), 1);
+    }
+
+    #[test]
+    fn parses_facts_and_queries() {
+        let doc = parse_document(
+            r#"
+            teaches(alice, db101).
+            teaches("bob", "ai102").
+            q(X) :- teaches(X, Y).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.facts.len(), 2);
+        assert_eq!(doc.queries.len(), 1);
+        assert_eq!(doc.queries[0].answer_vars, vec![Variable::new("X")]);
+    }
+
+    #[test]
+    fn parses_boolean_query_with_constant() {
+        // The query of Example 2: q() :- r("a", X).
+        let q = parse_query(r#"q() :- r("a", X)"#).unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.body.len(), 1);
+        assert!(q.body[0].terms[0].is_constant());
+        assert!(q.body[0].terms[1].is_variable());
+    }
+
+    #[test]
+    fn parses_single_tgd_without_period() {
+        let tgd = parse_tgd("person(X) -> agent(X)").unwrap();
+        assert_eq!(tgd.body.len(), 1);
+        assert_eq!(tgd.head.len(), 1);
+        assert!(tgd.is_full());
+    }
+
+    #[test]
+    fn lowercase_arguments_are_constants_uppercase_are_variables() {
+        let tgd = parse_tgd("p(X, alice) -> q(X)").unwrap();
+        assert!(tgd.body[0].terms[0].is_variable());
+        assert!(tgd.body[0].terms[1].is_constant());
+    }
+
+    #[test]
+    fn underscore_starts_a_variable() {
+        let tgd = parse_tgd("p(_x, Y) -> q(Y)").unwrap();
+        assert!(tgd.body[0].terms[0].is_variable());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let doc = parse_document("% nothing here\n\n# nor here\np(a).\n").unwrap();
+        assert_eq!(doc.facts.len(), 1);
+    }
+
+    #[test]
+    fn multi_head_rules_parse() {
+        let tgd = parse_tgd("p(X) -> q(X, Z), t(Z)").unwrap();
+        assert_eq!(tgd.head.len(), 2);
+        assert_eq!(tgd.existential_head_variables(), vec![Variable::new("Z")]);
+    }
+
+    #[test]
+    fn zero_arity_atoms_parse() {
+        let doc = parse_document("alarm().\nq() :- alarm().").unwrap();
+        assert_eq!(doc.facts.len(), 1);
+        assert!(doc.queries[0].is_boolean());
+    }
+
+    #[test]
+    fn error_on_nonground_fact() {
+        let err = parse_document("p(X).").unwrap_err();
+        assert!(err.message.contains("ground"));
+    }
+
+    #[test]
+    fn error_on_missing_period() {
+        let err = parse_document("p(a) -> q(a)").unwrap_err();
+        assert!(err.message.contains("'.'"));
+    }
+
+    #[test]
+    fn error_on_unsafe_query() {
+        let err = parse_document("q(X, W) :- r(X, Y).").unwrap_err();
+        assert!(err.message.contains("does not occur"));
+    }
+
+    #[test]
+    fn error_positions_point_to_the_problem() {
+        let err = parse_document("p(a).\nq(b) -> ??.").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn error_on_constant_answer_variable() {
+        let err = parse_document("q(a) :- r(a, b).").unwrap_err();
+        assert!(err.message.contains("must be variables"));
+    }
+
+    #[test]
+    fn round_trip_program_display_then_parse() {
+        let original = parse_program(
+            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n[R2] r(X, Y) -> v(X, Y).",
+        )
+        .unwrap();
+        let rendered = original.to_string();
+        let reparsed = parse_program(&rendered).unwrap();
+        assert_eq!(original.len(), reparsed.len());
+        for (a, b) in original.iter().zip(reparsed.iter()) {
+            assert_eq!(a.body.len(), b.body.len());
+            assert_eq!(a.head.len(), b.head.len());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! TGD programs: finite sets of TGDs with derived metadata.
+
+use crate::atom::Predicate;
+use crate::rule::Tgd;
+use crate::signature::Signature;
+use crate::term::Constant;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite set `P` of TGDs (the intensional layer of an OBDA system).
+///
+/// The program keeps the rules in insertion order (rule labels such as `R1`,
+/// `R2` refer to this order when unlabelled) and exposes the derived
+/// metadata used throughout the stack: signature, constants, maximum arity,
+/// and the simplicity check of the paper.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TgdProgram {
+    rules: Vec<Tgd>,
+}
+
+impl TgdProgram {
+    /// The empty program.
+    pub fn new() -> Self {
+        TgdProgram::default()
+    }
+
+    /// Build a program from rules.
+    pub fn from_rules<I: IntoIterator<Item = Tgd>>(rules: I) -> Self {
+        TgdProgram {
+            rules: rules.into_iter().collect(),
+        }
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Tgd) {
+        self.rules.push(rule);
+    }
+
+    /// The rules, in insertion order.
+    pub fn rules(&self) -> &[Tgd] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterate over the rules.
+    pub fn iter(&self) -> impl Iterator<Item = &Tgd> {
+        self.rules.iter()
+    }
+
+    /// The signature of the program (all predicates of all rules).
+    ///
+    /// # Panics
+    /// Panics if the same relation name is used with two different arities;
+    /// use [`TgdProgram::try_signature`] for a fallible variant.
+    pub fn signature(&self) -> Signature {
+        self.try_signature()
+            .expect("arity conflict in program signature")
+    }
+
+    /// The signature of the program, or an error on arity conflict.
+    pub fn try_signature(&self) -> Result<Signature, crate::signature::ArityConflict> {
+        let mut s = Signature::new();
+        for r in &self.rules {
+            s.add_all(r.predicates())?;
+        }
+        Ok(s)
+    }
+
+    /// All predicates occurring in the program.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        self.rules.iter().flat_map(Tgd::predicates).collect()
+    }
+
+    /// All constants occurring in the program.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.rules.iter().flat_map(|r| r.constants()).collect()
+    }
+
+    /// The maximum arity of a relation occurring in the program (the `k` used
+    /// to build the P-atom alphabet `X_P = {z, x1, ..., xk}` in Def. 6).
+    pub fn max_arity(&self) -> usize {
+        self.rules.iter().map(Tgd::max_arity).max().unwrap_or(0)
+    }
+
+    /// True if every rule of the program is a *simple* TGD (§5 of the paper).
+    pub fn is_simple(&self) -> bool {
+        self.rules.iter().all(Tgd::is_simple)
+    }
+
+    /// True if every rule has a single head atom.
+    pub fn all_single_head(&self) -> bool {
+        self.rules.iter().all(Tgd::has_single_head_atom)
+    }
+
+    /// The rules whose head predicate set contains `predicate`.
+    pub fn rules_defining(&self, predicate: Predicate) -> Vec<&Tgd> {
+        self.rules
+            .iter()
+            .filter(|r| r.head.iter().any(|a| a.predicate == predicate))
+            .collect()
+    }
+
+    /// The rules whose body mentions `predicate`.
+    pub fn rules_using(&self, predicate: Predicate) -> Vec<&Tgd> {
+        self.rules
+            .iter()
+            .filter(|r| r.body.iter().any(|a| a.predicate == predicate))
+            .collect()
+    }
+
+    /// The rule with the given label, if any.
+    pub fn rule_by_label(&self, label: &str) -> Option<&Tgd> {
+        self.rules.iter().find(|r| r.label_str() == label)
+    }
+
+    /// A copy of the program in which every multi-head rule that can be
+    /// soundly split (no shared existential head variables) is replaced by
+    /// its single-head split.
+    pub fn with_split_heads(&self) -> TgdProgram {
+        TgdProgram::from_rules(self.rules.iter().flat_map(Tgd::split_head))
+    }
+
+    /// Attach labels `R1..Rn` (in order) to any rule that has no label yet.
+    pub fn with_default_labels(&self) -> TgdProgram {
+        let mut out = self.clone();
+        for (i, r) in out.rules.iter_mut().enumerate() {
+            if r.label.is_none() {
+                r.label = Some(crate::symbols::Symbol::intern(&format!("R{}", i + 1)));
+            }
+        }
+        out
+    }
+
+    /// Total number of atoms across all rules (a size measure used by the
+    /// scaling experiments).
+    pub fn total_atoms(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.body.len() + r.head.len())
+            .sum()
+    }
+}
+
+impl fmt::Debug for TgdProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TgdProgram ({} rules):", self.rules.len())?;
+        for r in &self.rules {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TgdProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Tgd> for TgdProgram {
+    fn from_iter<I: IntoIterator<Item = Tgd>>(iter: I) -> Self {
+        TgdProgram::from_rules(iter)
+    }
+}
+
+impl IntoIterator for TgdProgram {
+    type Item = Tgd;
+    type IntoIter = std::vec::IntoIter<Tgd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::Term;
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn example1() -> TgdProgram {
+        TgdProgram::from_rules(vec![
+            Tgd::labelled(
+                "R1",
+                vec![
+                    Atom::new("s", vec![var("Y1"), var("Y2"), var("Y3")]),
+                    Atom::new("t", vec![var("Y4")]),
+                ],
+                vec![Atom::new("r", vec![var("Y1"), var("Y3")])],
+            ),
+            Tgd::labelled(
+                "R2",
+                vec![
+                    Atom::new("v", vec![var("Y1"), var("Y2")]),
+                    Atom::new("q", vec![var("Y2")]),
+                ],
+                vec![Atom::new("s", vec![var("Y1"), var("Y3"), var("Y2")])],
+            ),
+            Tgd::labelled(
+                "R3",
+                vec![Atom::new("r", vec![var("Y1"), var("Y2")])],
+                vec![Atom::new("v", vec![var("Y1"), var("Y2")])],
+            ),
+        ])
+    }
+
+    #[test]
+    fn metadata_of_example1() {
+        let p = example1();
+        assert_eq!(p.len(), 3);
+        assert!(p.is_simple());
+        assert!(p.all_single_head());
+        assert_eq!(p.max_arity(), 3);
+        assert!(p.constants().is_empty());
+        assert_eq!(p.predicates().len(), 5); // r/2, s/3, t/1, v/2, q/1
+        assert_eq!(p.signature().max_arity(), 3);
+    }
+
+    #[test]
+    fn rules_defining_and_using() {
+        let p = example1();
+        let r_pred = Predicate::new("r", 2);
+        assert_eq!(p.rules_defining(r_pred).len(), 1);
+        assert_eq!(p.rules_using(r_pred).len(), 1);
+        assert_eq!(p.rule_by_label("R3").unwrap().label_str(), "R3");
+        assert!(p.rule_by_label("R99").is_none());
+    }
+
+    #[test]
+    fn default_labels_fill_gaps() {
+        let p = TgdProgram::from_rules(vec![Tgd::new(
+            vec![Atom::new("a", vec![var("X")])],
+            vec![Atom::new("b", vec![var("X")])],
+        )]);
+        let labelled = p.with_default_labels();
+        assert_eq!(labelled.rules()[0].label_str(), "R1");
+    }
+
+    #[test]
+    fn split_heads_preserves_single_head_rules() {
+        let p = example1();
+        assert_eq!(p.with_split_heads().len(), 3);
+    }
+
+    #[test]
+    fn total_atoms_counts_bodies_and_heads() {
+        let p = example1();
+        assert_eq!(p.total_atoms(), 2 + 1 + 2 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn arity_conflicts_are_detected() {
+        let p = TgdProgram::from_rules(vec![Tgd::new(
+            vec![Atom::new("r", vec![var("X")])],
+            vec![Atom::new("r", vec![var("X"), var("Y")])],
+        )]);
+        assert!(p.try_signature().is_err());
+    }
+
+    #[test]
+    fn iteration_round_trip() {
+        let p = example1();
+        let q: TgdProgram = p.clone().into_iter().collect();
+        assert_eq!(p, q);
+    }
+}

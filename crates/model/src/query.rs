@@ -1,0 +1,396 @@
+//! Conjunctive queries (CQs) and unions of conjunctive queries (UCQs).
+
+use crate::atom::{variables_of, Atom};
+use crate::substitution::Substitution;
+use crate::symbols::Symbol;
+use crate::term::{Term, Variable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunctive query `q(x) :- α1, ..., αn`.
+///
+/// The variables in `answer_vars` are the **distinguished variables** of the
+/// query (its free variables); every other variable occurring in the body is
+/// an **existential variable** of the query. Following the paper, existential
+/// variables occurring in more than one body atom are called
+/// **NLE-variables** (non-local existential variables, i.e. existential join
+/// variables).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// Optional query name (defaults to `q` for display).
+    pub name: Option<Symbol>,
+    /// The distinguished (answer) variables, in answer-tuple order.
+    pub answer_vars: Vec<Variable>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a CQ from answer variables and body atoms.
+    ///
+    /// # Panics
+    /// Panics if the body is empty or if some answer variable does not occur
+    /// in the body (the paper requires every distinguished variable to occur
+    /// at least once in the body).
+    pub fn new(answer_vars: Vec<Variable>, body: Vec<Atom>) -> Self {
+        assert!(!body.is_empty(), "a CQ must have a non-empty body");
+        let body_vars: BTreeSet<Variable> = variables_of(&body).into_iter().collect();
+        for v in &answer_vars {
+            assert!(
+                body_vars.contains(v),
+                "answer variable {v} does not occur in the query body"
+            );
+        }
+        ConjunctiveQuery {
+            name: None,
+            answer_vars,
+            body,
+        }
+    }
+
+    /// Build a boolean CQ (no answer variables).
+    pub fn boolean(body: Vec<Atom>) -> Self {
+        ConjunctiveQuery::new(vec![], body)
+    }
+
+    /// Attach a name to the query.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = Some(Symbol::intern(name));
+        self
+    }
+
+    /// The query arity (number of answer variables).
+    pub fn arity(&self) -> usize {
+        self.answer_vars.len()
+    }
+
+    /// True if the query is boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.answer_vars.is_empty()
+    }
+
+    /// All variables of the body, in order of first occurrence.
+    pub fn variables(&self) -> Vec<Variable> {
+        variables_of(&self.body)
+    }
+
+    /// The existential (non-distinguished) variables of the query.
+    pub fn existential_variables(&self) -> Vec<Variable> {
+        let answers: BTreeSet<Variable> = self.answer_vars.iter().copied().collect();
+        self.variables()
+            .into_iter()
+            .filter(|v| !answers.contains(v))
+            .collect()
+    }
+
+    /// The NLE-variables of the query: existential variables occurring in at
+    /// least two distinct body atoms (existential join variables).
+    pub fn nle_variables(&self) -> Vec<Variable> {
+        self.existential_variables()
+            .into_iter()
+            .filter(|v| {
+                self.body
+                    .iter()
+                    .filter(|a| a.variable_set().contains(v))
+                    .count()
+                    >= 2
+            })
+            .collect()
+    }
+
+    /// True if `v` is a distinguished (answer) variable of the query.
+    pub fn is_distinguished(&self, v: Variable) -> bool {
+        self.answer_vars.contains(&v)
+    }
+
+    /// Apply a substitution to the query body and to the answer variables
+    /// (answer variables mapped to non-variable terms are dropped from the
+    /// answer list; use with care — primarily intended for internal rewriting
+    /// machinery where answer variables are never bound to constants).
+    pub fn apply(&self, subst: &Substitution) -> ConjunctiveQuery {
+        let body = subst.apply_atoms(&self.body);
+        let answer_vars = self
+            .answer_vars
+            .iter()
+            .map(|v| match subst.apply_term(Term::Variable(*v)) {
+                Term::Variable(w) => w,
+                _ => *v,
+            })
+            .collect();
+        ConjunctiveQuery {
+            name: self.name,
+            answer_vars,
+            body,
+        }
+    }
+
+    /// Rename every variable with fresh variables, preserving the query
+    /// structure (answer variables included).
+    pub fn freshen(&self) -> ConjunctiveQuery {
+        let mut renaming = Substitution::new();
+        for v in self.variables() {
+            renaming.bind(v, Term::fresh_variable());
+        }
+        self.apply(&renaming)
+    }
+
+    /// Number of body atoms.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True if the body has exactly one atom.
+    pub fn is_atomic(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// Never true: a CQ body is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.name.map(Symbol::as_str).unwrap_or("q");
+        write!(f, "{name}(")?;
+        for (i, v) in self.answer_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries: a set of CQs of the same arity.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnionOfConjunctiveQueries {
+    /// The common arity of all disjuncts.
+    pub arity: usize,
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionOfConjunctiveQueries {
+    /// Build a UCQ from disjuncts.
+    ///
+    /// # Panics
+    /// Panics if the disjunct list is empty or the disjuncts disagree on
+    /// arity.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        assert!(
+            !disjuncts.is_empty(),
+            "a UCQ must contain at least one disjunct"
+        );
+        let arity = disjuncts[0].arity();
+        for q in &disjuncts {
+            assert_eq!(q.arity(), arity, "all UCQ disjuncts must share the arity");
+        }
+        UnionOfConjunctiveQueries { arity, disjuncts }
+    }
+
+    /// A UCQ with a single disjunct.
+    pub fn singleton(q: ConjunctiveQuery) -> Self {
+        UnionOfConjunctiveQueries::new(vec![q])
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Never true: a UCQ is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Iterate over the disjuncts.
+    pub fn iter(&self) -> impl Iterator<Item = &ConjunctiveQuery> {
+        self.disjuncts.iter()
+    }
+
+    /// Total number of body atoms across all disjuncts (a common size measure
+    /// for rewritings).
+    pub fn total_atoms(&self) -> usize {
+        self.disjuncts.iter().map(ConjunctiveQuery::len).sum()
+    }
+}
+
+impl fmt::Debug for UnionOfConjunctiveQueries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for UnionOfConjunctiveQueries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for UnionOfConjunctiveQueries {
+    type Item = ConjunctiveQuery;
+    type IntoIter = std::vec::IntoIter<ConjunctiveQuery>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.disjuncts.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn sample_cq() -> ConjunctiveQuery {
+        // q(X) :- r(X, Y), s(Y, Z), t(Z, Z)
+        ConjunctiveQuery::new(
+            vec![Variable::new("X")],
+            vec![
+                Atom::new("r", vec![var("X"), var("Y")]),
+                Atom::new("s", vec![var("Y"), var("Z")]),
+                Atom::new("t", vec![var("Z"), var("Z")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn arity_and_variable_partition() {
+        let q = sample_cq();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        assert_eq!(
+            q.existential_variables(),
+            vec![Variable::new("Y"), Variable::new("Z")]
+        );
+        assert!(q.is_distinguished(Variable::new("X")));
+        assert!(!q.is_distinguished(Variable::new("Y")));
+    }
+
+    #[test]
+    fn nle_variables_are_existential_join_variables() {
+        let q = sample_cq();
+        // Y occurs in r and s; Z occurs in s and t (twice in t, but what
+        // matters is the two distinct atoms).
+        assert_eq!(
+            q.nle_variables(),
+            vec![Variable::new("Y"), Variable::new("Z")]
+        );
+    }
+
+    #[test]
+    fn nle_excludes_variables_local_to_one_atom() {
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("t", vec![var("Z"), var("Z")]),
+            Atom::new("r", vec![var("W"), var("U")]),
+        ]);
+        assert!(q.nle_variables().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty body")]
+    fn empty_body_is_rejected() {
+        ConjunctiveQuery::new(vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not occur in the query body")]
+    fn unsafe_answer_variable_is_rejected() {
+        ConjunctiveQuery::new(
+            vec![Variable::new("W")],
+            vec![Atom::new("r", vec![var("X"), var("Y")])],
+        );
+    }
+
+    #[test]
+    fn boolean_query_construction() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new(
+            "r",
+            vec![Term::constant("a"), var("X")],
+        )]);
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+        assert_eq!(q.existential_variables(), vec![Variable::new("X")]);
+    }
+
+    #[test]
+    fn apply_substitution_rewrites_body() {
+        let q = sample_cq();
+        let mut s = Substitution::new();
+        s.bind(Variable::new("Y"), Term::constant("c"));
+        let q2 = q.apply(&s);
+        assert_eq!(q2.body[0].terms[1], Term::constant("c"));
+        assert_eq!(q2.answer_vars, q.answer_vars);
+    }
+
+    #[test]
+    fn freshen_preserves_shape() {
+        let q = sample_cq();
+        let f = q.freshen();
+        assert_eq!(f.arity(), 1);
+        assert_eq!(f.len(), 3);
+        assert!(f.variables().iter().all(Variable::is_fresh));
+        // Join structure preserved: variable shared between atoms 0 and 1.
+        assert_eq!(f.body[0].terms[1], f.body[1].terms[0]);
+    }
+
+    #[test]
+    fn display_format() {
+        let q = sample_cq().named("myq");
+        let s = format!("{q}");
+        assert!(s.starts_with("myq(X) :- "));
+        assert!(s.contains("t(Z, Z)"));
+    }
+
+    #[test]
+    fn ucq_construction_and_size() {
+        let q1 = sample_cq();
+        let q2 = ConjunctiveQuery::new(
+            vec![Variable::new("X")],
+            vec![Atom::new("u", vec![var("X")])],
+        );
+        let ucq = UnionOfConjunctiveQueries::new(vec![q1, q2]);
+        assert_eq!(ucq.len(), 2);
+        assert_eq!(ucq.arity, 1);
+        assert_eq!(ucq.total_atoms(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the arity")]
+    fn mixed_arity_ucq_is_rejected() {
+        let q1 = sample_cq();
+        let q2 = ConjunctiveQuery::boolean(vec![Atom::new("u", vec![var("X")])]);
+        UnionOfConjunctiveQueries::new(vec![q1, q2]);
+    }
+
+    #[test]
+    fn singleton_ucq_iterates_once() {
+        let ucq = UnionOfConjunctiveQueries::singleton(sample_cq());
+        assert_eq!(ucq.iter().count(), 1);
+        assert_eq!(ucq.into_iter().count(), 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Tuple-generating dependencies (TGDs), a.k.a. existential rules.
+
+use crate::atom::{constants_of, predicates_of, variables_of, Atom};
+use crate::symbols::Symbol;
+use crate::term::{Constant, Term, Variable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple-generating dependency (TGD)
+/// `β1, ..., βn → α1, ..., αm`.
+///
+/// Following the paper (§3):
+/// * the **distinguished variables** are those occurring both in the head and
+///   in the body (also called the *frontier* in the existential-rule
+///   literature);
+/// * the **existential body variables** occur only in the body;
+/// * the **existential head variables** occur only in the head (these are the
+///   existentially quantified variables that give TGDs their "value
+///   invention" power).
+///
+/// The semantics is the first-order sentence
+/// `∀x. β1 ∧ ... ∧ βn → ∃y. α1 ∧ ... ∧ αm` under the Unique Name Assumption.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tgd {
+    /// Optional rule label (e.g. `R1`), used for diagnostics and reports.
+    pub label: Option<Symbol>,
+    /// The body atoms `β1, ..., βn` (n ≥ 1).
+    pub body: Vec<Atom>,
+    /// The head atoms `α1, ..., αm` (m ≥ 1).
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Build a TGD from body and head atoms.
+    ///
+    /// # Panics
+    /// Panics if either the body or the head is empty (the paper requires
+    /// n, m ≥ 1).
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        assert!(!body.is_empty(), "a TGD must have at least one body atom");
+        assert!(!head.is_empty(), "a TGD must have at least one head atom");
+        Tgd {
+            label: None,
+            body,
+            head,
+        }
+    }
+
+    /// Build a labelled TGD.
+    pub fn labelled(label: &str, body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        let mut tgd = Tgd::new(body, head);
+        tgd.label = Some(Symbol::intern(label));
+        tgd
+    }
+
+    /// The rule label, or a placeholder if the rule is unlabelled.
+    pub fn label_str(&self) -> &'static str {
+        self.label.map(Symbol::as_str).unwrap_or("<unlabelled>")
+    }
+
+    /// Variables occurring in the body, in order of first occurrence.
+    pub fn body_variables(&self) -> Vec<Variable> {
+        variables_of(&self.body)
+    }
+
+    /// Variables occurring in the head, in order of first occurrence.
+    pub fn head_variables(&self) -> Vec<Variable> {
+        variables_of(&self.head)
+    }
+
+    /// The distinguished variables (frontier): variables occurring both in
+    /// the head and in the body.
+    pub fn distinguished_variables(&self) -> Vec<Variable> {
+        let body: BTreeSet<Variable> = self.body_variables().into_iter().collect();
+        self.head_variables()
+            .into_iter()
+            .filter(|v| body.contains(v))
+            .collect()
+    }
+
+    /// The frontier of the rule (synonym for [`Tgd::distinguished_variables`]).
+    pub fn frontier(&self) -> Vec<Variable> {
+        self.distinguished_variables()
+    }
+
+    /// Existential head variables: variables occurring only in the head.
+    pub fn existential_head_variables(&self) -> Vec<Variable> {
+        let body: BTreeSet<Variable> = self.body_variables().into_iter().collect();
+        self.head_variables()
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect()
+    }
+
+    /// Existential body variables: variables occurring only in the body.
+    pub fn existential_body_variables(&self) -> Vec<Variable> {
+        let head: BTreeSet<Variable> = self.head_variables().into_iter().collect();
+        self.body_variables()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
+    }
+
+    /// All variables of the rule.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut vars = self.body_variables();
+        let seen: BTreeSet<Variable> = vars.iter().copied().collect();
+        for v in self.head_variables() {
+            if !seen.contains(&v) {
+                vars.push(v);
+            }
+        }
+        vars
+    }
+
+    /// All constants of the rule.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        let mut cs = constants_of(&self.body);
+        cs.extend(constants_of(&self.head));
+        cs
+    }
+
+    /// All predicates of the rule.
+    pub fn predicates(&self) -> BTreeSet<crate::atom::Predicate> {
+        let mut ps = predicates_of(&self.body);
+        ps.extend(predicates_of(&self.head));
+        ps
+    }
+
+    /// The maximum predicate arity of the rule.
+    pub fn max_arity(&self) -> usize {
+        self.predicates().iter().map(|p| p.arity).max().unwrap_or(0)
+    }
+
+    /// True if the rule contains a constant anywhere.
+    pub fn has_constants(&self) -> bool {
+        self.body.iter().chain(self.head.iter()).any(Atom::has_constants)
+    }
+
+    /// True if some atom of the rule contains a repeated variable.
+    pub fn has_repeated_variables_in_an_atom(&self) -> bool {
+        self.body
+            .iter()
+            .chain(self.head.iter())
+            .any(Atom::has_repeated_variables)
+    }
+
+    /// True if the rule is a *simple* TGD in the sense of the paper (§5):
+    /// (i) no atom contains a repeated variable, (ii) no constants occur, and
+    /// (iii) the head is a single atom.
+    pub fn is_simple(&self) -> bool {
+        self.head.len() == 1
+            && !self.has_constants()
+            && !self.has_repeated_variables_in_an_atom()
+    }
+
+    /// True if the rule has a single head atom (condition (iii) of simplicity).
+    pub fn has_single_head_atom(&self) -> bool {
+        self.head.len() == 1
+    }
+
+    /// True if the rule is *full* (a plain Datalog rule): it has no
+    /// existential head variables.
+    pub fn is_full(&self) -> bool {
+        self.existential_head_variables().is_empty()
+    }
+
+    /// True if the variable `v` is a distinguished variable of the rule.
+    pub fn is_distinguished(&self, v: Variable) -> bool {
+        self.distinguished_variables().contains(&v)
+    }
+
+    /// True if the variable `v` is an existential head variable of the rule.
+    pub fn is_existential_head(&self, v: Variable) -> bool {
+        self.existential_head_variables().contains(&v)
+    }
+
+    /// Rename every variable of the rule with fresh variables (standardising
+    /// apart), preserving the rule structure.
+    pub fn freshen(&self) -> Tgd {
+        let mut renaming = crate::substitution::Substitution::new();
+        for v in self.variables() {
+            renaming.bind(v, Term::fresh_variable());
+        }
+        Tgd {
+            label: self.label,
+            body: renaming.apply_atoms(&self.body),
+            head: renaming.apply_atoms(&self.head),
+        }
+    }
+
+    /// Split a multi-head TGD into single-head TGDs sharing the same body.
+    ///
+    /// Note: this transformation preserves certain answers only when the head
+    /// atoms do not share existential variables; when they do, the rule is
+    /// returned unchanged as a single element so that callers do not silently
+    /// change the semantics.
+    pub fn split_head(&self) -> Vec<Tgd> {
+        if self.head.len() <= 1 {
+            return vec![self.clone()];
+        }
+        let ex: BTreeSet<Variable> = self.existential_head_variables().into_iter().collect();
+        // Check whether some existential variable is shared across head atoms.
+        for v in &ex {
+            let occurrences = self
+                .head
+                .iter()
+                .filter(|a| a.variable_set().contains(v))
+                .count();
+            if occurrences > 1 {
+                return vec![self.clone()];
+            }
+        }
+        self.head
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let mut t = Tgd::new(self.body.clone(), vec![h.clone()]);
+                t.label = self
+                    .label
+                    .map(|l| Symbol::intern(&format!("{}#{}", l.as_str(), i + 1)));
+                t
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = self.label {
+            write!(f, "[{l}] ")?;
+        }
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " -> ")?;
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    /// R1 of Example 1: s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3)
+    fn example1_r1() -> Tgd {
+        Tgd::labelled(
+            "R1",
+            vec![
+                Atom::new("s", vec![var("Y1"), var("Y2"), var("Y3")]),
+                Atom::new("t", vec![var("Y4")]),
+            ],
+            vec![Atom::new("r", vec![var("Y1"), var("Y3")])],
+        )
+    }
+
+    /// R2 of Example 1: v(Y1,Y2), q(Y2) -> s(Y1,Y3,Y2)
+    fn example1_r2() -> Tgd {
+        Tgd::labelled(
+            "R2",
+            vec![
+                Atom::new("v", vec![var("Y1"), var("Y2")]),
+                Atom::new("q", vec![var("Y2")]),
+            ],
+            vec![Atom::new("s", vec![var("Y1"), var("Y3"), var("Y2")])],
+        )
+    }
+
+    #[test]
+    fn distinguished_and_existential_variables() {
+        let r1 = example1_r1();
+        assert_eq!(
+            r1.distinguished_variables(),
+            vec![Variable::new("Y1"), Variable::new("Y3")]
+        );
+        assert_eq!(
+            r1.existential_body_variables(),
+            vec![Variable::new("Y2"), Variable::new("Y4")]
+        );
+        assert!(r1.existential_head_variables().is_empty());
+        assert!(r1.is_full());
+
+        let r2 = example1_r2();
+        assert_eq!(
+            r2.existential_head_variables(),
+            vec![Variable::new("Y3")]
+        );
+        assert!(!r2.is_full());
+    }
+
+    #[test]
+    fn simplicity_of_example1_rules() {
+        assert!(example1_r1().is_simple());
+        assert!(example1_r2().is_simple());
+    }
+
+    #[test]
+    fn repeated_variables_break_simplicity() {
+        // R2 of Example 2: s(Y1,Y1,Y2) -> r(Y2,Y3)
+        let r = Tgd::new(
+            vec![Atom::new("s", vec![var("Y1"), var("Y1"), var("Y2")])],
+            vec![Atom::new("r", vec![var("Y2"), var("Y3")])],
+        );
+        assert!(r.has_repeated_variables_in_an_atom());
+        assert!(!r.is_simple());
+    }
+
+    #[test]
+    fn constants_break_simplicity() {
+        let r = Tgd::new(
+            vec![Atom::new("p", vec![var("X"), Term::constant("a")])],
+            vec![Atom::new("q", vec![var("X")])],
+        );
+        assert!(r.has_constants());
+        assert!(!r.is_simple());
+    }
+
+    #[test]
+    fn multi_head_breaks_simplicity() {
+        let r = Tgd::new(
+            vec![Atom::new("p", vec![var("X")])],
+            vec![
+                Atom::new("q", vec![var("X")]),
+                Atom::new("t", vec![var("X")]),
+            ],
+        );
+        assert!(!r.is_simple());
+        assert!(!r.has_single_head_atom());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one body atom")]
+    fn empty_body_is_rejected() {
+        Tgd::new(vec![], vec![Atom::new("q", vec![var("X")])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one head atom")]
+    fn empty_head_is_rejected() {
+        Tgd::new(vec![Atom::new("p", vec![var("X")])], vec![]);
+    }
+
+    #[test]
+    fn freshen_standardises_apart() {
+        let r = example1_r1();
+        let fresh = r.freshen();
+        assert_eq!(fresh.body.len(), r.body.len());
+        assert_eq!(fresh.head.len(), r.head.len());
+        // No original variable survives.
+        for v in fresh.variables() {
+            assert!(v.is_fresh());
+        }
+        // Structure is preserved: same predicates in the same order.
+        assert_eq!(fresh.body[0].predicate, r.body[0].predicate);
+        assert_eq!(fresh.head[0].predicate, r.head[0].predicate);
+    }
+
+    #[test]
+    fn split_head_on_independent_atoms() {
+        let r = Tgd::labelled(
+            "R",
+            vec![Atom::new("p", vec![var("X")])],
+            vec![
+                Atom::new("q", vec![var("X"), var("Z1")]),
+                Atom::new("t", vec![var("X"), var("Z2")]),
+            ],
+        );
+        let split = r.split_head();
+        assert_eq!(split.len(), 2);
+        assert!(split.iter().all(|t| t.has_single_head_atom()));
+    }
+
+    #[test]
+    fn split_head_refuses_shared_existentials() {
+        let r = Tgd::new(
+            vec![Atom::new("p", vec![var("X")])],
+            vec![
+                Atom::new("q", vec![var("X"), var("Z")]),
+                Atom::new("t", vec![var("Z")]),
+            ],
+        );
+        // Z is shared between the two head atoms: splitting would change the
+        // semantics, so the rule is returned unchanged.
+        assert_eq!(r.split_head().len(), 1);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let r1 = example1_r1();
+        let rendered = format!("{r1}");
+        assert!(rendered.contains("[R1]"));
+        assert!(rendered.contains("->"));
+        assert!(rendered.contains("s(Y1, Y2, Y3)"));
+        assert!(rendered.contains("r(Y1, Y3)"));
+    }
+
+    #[test]
+    fn max_arity_and_predicates() {
+        let r1 = example1_r1();
+        assert_eq!(r1.max_arity(), 3);
+        assert_eq!(r1.predicates().len(), 3);
+        assert!(r1.constants().is_empty());
+    }
+}

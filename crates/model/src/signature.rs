@@ -1,0 +1,195 @@
+//! Relational signatures (schemas).
+
+use crate::atom::Predicate;
+use crate::symbols::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relational signature: a finite set of predicates with fixed arities.
+///
+/// The signature of an ontology is derived from its rules; the signature of a
+/// database must be contained in the signature of the ontology it is paired
+/// with. Arity conflicts (the same relation name used with two different
+/// arities) are detected at insertion time.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    arities: BTreeMap<Symbol, usize>,
+}
+
+/// Error raised when a relation name is declared with two different arities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArityConflict {
+    /// The conflicting relation name.
+    pub name: Symbol,
+    /// The arity already registered.
+    pub existing: usize,
+    /// The arity of the conflicting declaration.
+    pub new: usize,
+}
+
+impl fmt::Display for ArityConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "relation {} declared with arity {} but already has arity {}",
+            self.name, self.new, self.existing
+        )
+    }
+}
+
+impl std::error::Error for ArityConflict {}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Register a predicate; errors on arity conflict.
+    pub fn add(&mut self, predicate: Predicate) -> Result<(), ArityConflict> {
+        match self.arities.get(&predicate.name) {
+            Some(&existing) if existing != predicate.arity => Err(ArityConflict {
+                name: predicate.name,
+                existing,
+                new: predicate.arity,
+            }),
+            _ => {
+                self.arities.insert(predicate.name, predicate.arity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Register every predicate in the iterator; errors on the first conflict.
+    pub fn add_all<I: IntoIterator<Item = Predicate>>(
+        &mut self,
+        predicates: I,
+    ) -> Result<(), ArityConflict> {
+        for p in predicates {
+            self.add(p)?;
+        }
+        Ok(())
+    }
+
+    /// The arity of `name`, if registered.
+    pub fn arity_of(&self, name: Symbol) -> Option<usize> {
+        self.arities.get(&name).copied()
+    }
+
+    /// True if `predicate` (name and arity) is part of the signature.
+    pub fn contains(&self, predicate: Predicate) -> bool {
+        self.arity_of(predicate.name) == Some(predicate.arity)
+    }
+
+    /// Number of registered predicates.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// True if no predicate is registered.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// The maximum arity over all registered predicates (0 if empty).
+    pub fn max_arity(&self) -> usize {
+        self.arities.values().copied().max().unwrap_or(0)
+    }
+
+    /// Iterate over the predicates of the signature.
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.arities.iter().map(|(name, arity)| Predicate {
+            name: *name,
+            arity: *arity,
+        })
+    }
+
+    /// True if `other` is a sub-signature of `self`.
+    pub fn contains_signature(&self, other: &Signature) -> bool {
+        other.predicates().all(|p| self.contains(p))
+    }
+
+    /// The union of two signatures; errors on arity conflict.
+    pub fn union(&self, other: &Signature) -> Result<Signature, ArityConflict> {
+        let mut out = self.clone();
+        out.add_all(other.predicates())?;
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.predicates().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Predicate> for Signature {
+    /// Builds a signature, panicking on arity conflicts; use [`Signature::add_all`]
+    /// for fallible construction.
+    fn from_iter<I: IntoIterator<Item = Predicate>>(iter: I) -> Self {
+        let mut s = Signature::new();
+        s.add_all(iter).expect("arity conflict building signature");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut s = Signature::new();
+        s.add(Predicate::new("r", 2)).unwrap();
+        s.add(Predicate::new("s", 3)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity_of(Symbol::intern("r")), Some(2));
+        assert!(s.contains(Predicate::new("s", 3)));
+        assert!(!s.contains(Predicate::new("s", 2)));
+        assert_eq!(s.max_arity(), 3);
+    }
+
+    #[test]
+    fn duplicate_consistent_declarations_are_fine() {
+        let mut s = Signature::new();
+        s.add(Predicate::new("r", 2)).unwrap();
+        assert!(s.add(Predicate::new("r", 2)).is_ok());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut s = Signature::new();
+        s.add(Predicate::new("r", 2)).unwrap();
+        let err = s.add(Predicate::new("r", 3)).unwrap_err();
+        assert_eq!(err.existing, 2);
+        assert_eq!(err.new, 3);
+        assert!(err.to_string().contains("already has arity"));
+    }
+
+    #[test]
+    fn union_and_containment() {
+        let a: Signature = vec![Predicate::new("r", 2)].into_iter().collect();
+        let b: Signature = vec![Predicate::new("s", 1)].into_iter().collect();
+        let u = a.union(&b).unwrap();
+        assert!(u.contains_signature(&a));
+        assert!(u.contains_signature(&b));
+        assert!(!a.contains_signature(&u));
+    }
+
+    #[test]
+    fn empty_signature_properties() {
+        let s = Signature::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_arity(), 0);
+        assert_eq!(s.predicates().count(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Substitutions: finite mappings from variables to terms.
+
+use crate::atom::Atom;
+use crate::term::{Term, Variable};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A substitution is a finite mapping from variables to terms.
+///
+/// Substitutions are used both as unifiers (variable → term, possibly another
+/// variable) and as homomorphisms / assignments (variable → ground term).
+///
+/// Application is *not* idempotent by construction: [`Substitution::apply_term`]
+/// performs a single lookup. Unifiers built by the `ontorew-unify` crate are
+/// kept in triangular/resolved form so that single application suffices;
+/// [`Substitution::apply_term_deep`] is available when a chain of bindings
+/// must be followed.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Variable, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Build a substitution from an iterator of bindings.
+    pub fn from_bindings<I: IntoIterator<Item = (Variable, Term)>>(bindings: I) -> Self {
+        Substitution {
+            map: bindings.into_iter().collect(),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bind `var` to `term`, replacing any previous binding.
+    pub fn bind(&mut self, var: Variable, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// The binding of `var`, if any.
+    pub fn get(&self, var: Variable) -> Option<Term> {
+        self.map.get(&var).copied()
+    }
+
+    /// True if `var` is bound.
+    pub fn binds(&self, var: Variable) -> bool {
+        self.map.contains_key(&var)
+    }
+
+    /// Iterate over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, Term)> + '_ {
+        self.map.iter().map(|(v, t)| (*v, *t))
+    }
+
+    /// The bound variables (the substitution's domain).
+    pub fn domain(&self) -> impl Iterator<Item = Variable> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Apply the substitution to a term (single lookup).
+    pub fn apply_term(&self, term: Term) -> Term {
+        match term {
+            Term::Variable(v) => self.get(v).unwrap_or(term),
+            _ => term,
+        }
+    }
+
+    /// Apply the substitution to a term, following chains of variable
+    /// bindings until a fixpoint (guards against cycles by bounding the chain
+    /// length by the substitution size).
+    pub fn apply_term_deep(&self, term: Term) -> Term {
+        let mut current = term;
+        for _ in 0..=self.map.len() {
+            match current {
+                Term::Variable(v) => match self.get(v) {
+                    Some(next) if next != current => current = next,
+                    _ => return current,
+                },
+                _ => return current,
+            }
+        }
+        current
+    }
+
+    /// Apply the substitution to every term of an atom.
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom {
+            predicate: atom.predicate,
+            terms: atom.terms.iter().map(|t| self.apply_term(*t)).collect(),
+        }
+    }
+
+    /// Apply the substitution (deeply) to every term of an atom.
+    pub fn apply_atom_deep(&self, atom: &Atom) -> Atom {
+        Atom {
+            predicate: atom.predicate,
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| self.apply_term_deep(*t))
+                .collect(),
+        }
+    }
+
+    /// Apply the substitution to a sequence of atoms.
+    pub fn apply_atoms(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.apply_atom(a)).collect()
+    }
+
+    /// Apply the substitution deeply to a sequence of atoms.
+    pub fn apply_atoms_deep(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.apply_atom_deep(a)).collect()
+    }
+
+    /// Compose two substitutions: `(self.compose(other)).apply(t)` equals
+    /// `other.apply(self.apply(t))` for single-lookup application on terms in
+    /// the domain of `self`, and falls back to `other`'s bindings elsewhere.
+    pub fn compose(&self, other: &Substitution) -> Substitution {
+        let mut out = BTreeMap::new();
+        for (v, t) in &self.map {
+            out.insert(*v, other.apply_term(*t));
+        }
+        for (v, t) in &other.map {
+            out.entry(*v).or_insert(*t);
+        }
+        Substitution { map: out }
+    }
+
+    /// Restrict the substitution to the given variables.
+    pub fn restrict(&self, vars: &[Variable]) -> Substitution {
+        Substitution {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, t)| (*v, *t))
+                .collect(),
+        }
+    }
+
+    /// Resolve every binding deeply, producing an equivalent substitution in
+    /// which no bound term is itself a bound variable (unless a cycle exists).
+    pub fn resolved(&self) -> Substitution {
+        Substitution {
+            map: self
+                .map
+                .iter()
+                .map(|(v, t)| (*v, self.apply_term_deep(*t)))
+                .collect(),
+        }
+    }
+
+    /// True if every binding maps to a ground term.
+    pub fn is_ground(&self) -> bool {
+        self.map.values().all(Term::is_ground)
+    }
+}
+
+impl fmt::Debug for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromIterator<(Variable, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (Variable, Term)>>(iter: I) -> Self {
+        Substitution::from_bindings(iter)
+    }
+}
+
+/// Rename every variable of `atoms` to a fresh variable, returning the renamed
+/// atoms together with the renaming used.
+pub fn freshen_variables(atoms: &[Atom]) -> (Vec<Atom>, Substitution) {
+    let mut renaming = Substitution::new();
+    for a in atoms {
+        for t in &a.terms {
+            if let Term::Variable(v) = t {
+                if !renaming.binds(*v) {
+                    renaming.bind(*v, Term::fresh_variable());
+                }
+            }
+        }
+    }
+    (renaming.apply_atoms(atoms), renaming)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    #[test]
+    fn empty_substitution_is_identity() {
+        let s = Substitution::new();
+        let a = Atom::new("r", vec![Term::variable("X"), Term::constant("a")]);
+        assert_eq!(s.apply_atom(&a), a);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn binding_and_application() {
+        let mut s = Substitution::new();
+        s.bind(v("X"), Term::constant("alice"));
+        let a = Atom::new("r", vec![Term::variable("X"), Term::variable("Y")]);
+        let b = s.apply_atom(&a);
+        assert_eq!(b.terms[0], Term::constant("alice"));
+        assert_eq!(b.terms[1], Term::variable("Y"));
+        assert!(s.binds(v("X")));
+        assert!(!s.binds(v("Y")));
+    }
+
+    #[test]
+    fn deep_application_follows_chains() {
+        let mut s = Substitution::new();
+        s.bind(v("X"), Term::variable("Y"));
+        s.bind(v("Y"), Term::constant("c"));
+        assert_eq!(s.apply_term(Term::variable("X")), Term::variable("Y"));
+        assert_eq!(s.apply_term_deep(Term::variable("X")), Term::constant("c"));
+    }
+
+    #[test]
+    fn deep_application_terminates_on_cycles() {
+        let mut s = Substitution::new();
+        s.bind(v("X"), Term::variable("Y"));
+        s.bind(v("Y"), Term::variable("X"));
+        // Must terminate; result is one of the two variables.
+        let r = s.apply_term_deep(Term::variable("X"));
+        assert!(r == Term::variable("X") || r == Term::variable("Y"));
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let mut s1 = Substitution::new();
+        s1.bind(v("X"), Term::variable("Y"));
+        let mut s2 = Substitution::new();
+        s2.bind(v("Y"), Term::constant("c"));
+        let c = s1.compose(&s2);
+        assert_eq!(c.apply_term(Term::variable("X")), Term::constant("c"));
+        assert_eq!(c.apply_term(Term::variable("Y")), Term::constant("c"));
+    }
+
+    #[test]
+    fn restrict_keeps_only_requested_variables() {
+        let mut s = Substitution::new();
+        s.bind(v("X"), Term::constant("a"));
+        s.bind(v("Y"), Term::constant("b"));
+        let r = s.restrict(&[v("X")]);
+        assert!(r.binds(v("X")));
+        assert!(!r.binds(v("Y")));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn resolved_removes_internal_chains() {
+        let mut s = Substitution::new();
+        s.bind(v("X"), Term::variable("Y"));
+        s.bind(v("Y"), Term::constant("c"));
+        let r = s.resolved();
+        assert_eq!(r.get(v("X")), Some(Term::constant("c")));
+        assert!(r.is_ground());
+    }
+
+    #[test]
+    fn freshen_renames_consistently() {
+        let atoms = vec![
+            Atom::new("r", vec![Term::variable("X"), Term::variable("Y")]),
+            Atom::new("s", vec![Term::variable("X")]),
+        ];
+        let (renamed, renaming) = freshen_variables(&atoms);
+        assert_eq!(renaming.len(), 2);
+        // Same original variable maps to the same fresh variable.
+        assert_eq!(renamed[0].terms[0], renamed[1].terms[0]);
+        // Fresh variables are new.
+        assert_ne!(renamed[0].terms[0], Term::variable("X"));
+    }
+
+    #[test]
+    fn from_iterator_and_iteration_round_trip() {
+        let s: Substitution = vec![(v("X"), Term::constant("a"))].into_iter().collect();
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![(v("X"), Term::constant("a"))]);
+        assert_eq!(s.domain().collect::<Vec<_>>(), vec![v("X")]);
+    }
+
+    #[test]
+    fn debug_rendering_lists_bindings() {
+        let mut s = Substitution::new();
+        s.bind(v("X"), Term::constant("a"));
+        let rendered = format!("{s:?}");
+        assert!(rendered.contains("X"));
+        assert!(rendered.contains("a"));
+    }
+}

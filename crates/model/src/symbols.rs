@@ -1,0 +1,218 @@
+//! Interned symbols.
+//!
+//! Every name that appears in an ontology — predicate names, constant names,
+//! variable names — is interned into a global [`SymbolTable`] and represented
+//! by a compact [`Symbol`] (a `u32` index). All hot paths in the chase, the
+//! rewriting engine and the classifiers therefore hash and compare integers
+//! rather than strings.
+//!
+//! The table is global and append-only: interned strings are leaked (they live
+//! for the lifetime of the process), which keeps `Symbol::as_str` allocation-
+//! free and avoids threading an interner handle through every API. Ontologies
+//! have a bounded vocabulary, so the leak is bounded too.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An interned string. Cheap to copy, hash and compare.
+///
+/// Two `Symbol`s are equal if and only if they were interned from equal
+/// strings.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct SymbolTableInner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+/// The global symbol table. Access it through [`Symbol::intern`] and
+/// [`Symbol::as_str`]; the type is public only so that statistics can be
+/// reported (see [`SymbolTable::len`]).
+pub struct SymbolTable {
+    inner: RwLock<SymbolTableInner>,
+}
+
+impl SymbolTable {
+    fn new() -> Self {
+        SymbolTable {
+            inner: RwLock::new(SymbolTableInner {
+                by_name: HashMap::new(),
+                names: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True if no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn intern(&self, name: &str) -> Symbol {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return Symbol(id);
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = inner.names.len() as u32;
+        inner.names.push(leaked);
+        inner.by_name.insert(leaked, id);
+        Symbol(id)
+    }
+
+    fn resolve(&self, sym: Symbol) -> &'static str {
+        self.inner.read().names[sym.0 as usize]
+    }
+}
+
+fn global_table() -> &'static SymbolTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<SymbolTable> = OnceLock::new();
+    TABLE.get_or_init(SymbolTable::new)
+}
+
+impl Symbol {
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn intern(name: &str) -> Symbol {
+        global_table().intern(name)
+    }
+
+    /// The string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        global_table().resolve(self)
+    }
+
+    /// The raw index of the symbol inside the global table. Stable within a
+    /// process run; useful as a dense map key.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Returns a process-unique counter value, used to mint fresh variable and
+/// null names that cannot clash with user-written names.
+pub fn fresh_id() -> u64 {
+    FRESH_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Number of symbols interned in the global table (diagnostic).
+pub fn interned_symbol_count() -> usize {
+    global_table().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("person");
+        let b = Symbol::intern("person");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "person");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("alpha-test-1");
+        let b = Symbol::intern("alpha-test-2");
+        assert_ne!(a, b);
+        assert_ne!(a.index(), b.index());
+    }
+
+    #[test]
+    fn display_and_debug_render_the_name() {
+        let a = Symbol::intern("teaches");
+        assert_eq!(format!("{a}"), "teaches");
+        assert!(format!("{a:?}").contains("teaches"));
+    }
+
+    #[test]
+    fn from_str_and_string() {
+        let a: Symbol = "employee".into();
+        let b: Symbol = String::from("employee").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fresh_ids_are_strictly_increasing() {
+        let a = fresh_id();
+        let b = fresh_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Symbol::intern("ord-a");
+        let b = Symbol::intern("ord-b");
+        // Ordering is by interning index, not lexicographic; it only needs to
+        // be total and stable.
+        assert!(a < b || b < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn symbol_table_reports_growth() {
+        let before = interned_symbol_count();
+        Symbol::intern("a-definitely-new-symbol-for-growth-test");
+        assert!(interned_symbol_count() >= before);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_consistent_ids() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("concurrent-symbol").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

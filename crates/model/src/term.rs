@@ -1,0 +1,288 @@
+//! Terms: constants, variables and labelled nulls.
+
+use crate::symbols::{fresh_id, Symbol};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A variable symbol, e.g. `X` in `person(X)`.
+///
+/// Variables are named (interned) so that parsed rules keep their original
+/// variable names; fresh variables minted during the chase or the rewriting
+/// are named `_V<n>` with a process-unique `n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Variable(pub Symbol);
+
+impl Variable {
+    /// A variable with the given name.
+    pub fn new(name: &str) -> Self {
+        Variable(Symbol::intern(name))
+    }
+
+    /// A fresh variable guaranteed not to clash with any previously created
+    /// variable (its name starts with `_V`).
+    pub fn fresh() -> Self {
+        Variable(Symbol::intern(&format!("_V{}", fresh_id())))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// True if this variable was produced by [`Variable::fresh`].
+    pub fn is_fresh(&self) -> bool {
+        self.name().starts_with("_V")
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.name())
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A constant symbol, e.g. `"alice"`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Constant(pub Symbol);
+
+impl Constant {
+    /// A constant with the given name.
+    pub fn new(name: &str) -> Self {
+        Constant(Symbol::intern(name))
+    }
+
+    /// The constant's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.name())
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A labelled null, invented by the chase when firing a TGD with existential
+/// head variables. Nulls are globally numbered.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Null(pub u64);
+
+impl Null {
+    /// A fresh labelled null.
+    pub fn fresh() -> Self {
+        Null(fresh_id())
+    }
+
+    /// The numeric label of the null.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Null {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:n{}", self.0)
+    }
+}
+
+impl fmt::Display for Null {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:n{}", self.0)
+    }
+}
+
+/// A term occurring in an atom: a constant, a variable, or a labelled null.
+///
+/// Rules and queries only contain constants and variables; labelled nulls
+/// appear in chase-produced instances.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    /// A constant symbol. Interpreted under the Unique Name Assumption.
+    Constant(Constant),
+    /// A variable symbol.
+    Variable(Variable),
+    /// A labelled null (an anonymous individual invented by the chase).
+    Null(Null),
+}
+
+impl Term {
+    /// Convenience constructor for a constant term.
+    pub fn constant(name: &str) -> Self {
+        Term::Constant(Constant::new(name))
+    }
+
+    /// Convenience constructor for a variable term.
+    pub fn variable(name: &str) -> Self {
+        Term::Variable(Variable::new(name))
+    }
+
+    /// A fresh variable term.
+    pub fn fresh_variable() -> Self {
+        Term::Variable(Variable::fresh())
+    }
+
+    /// A fresh labelled null term.
+    pub fn fresh_null() -> Self {
+        Term::Null(Null::fresh())
+    }
+
+    /// True if this term is a variable.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Term::Variable(_))
+    }
+
+    /// True if this term is a constant.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Term::Constant(_))
+    }
+
+    /// True if this term is a labelled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// True if this term is a constant or a null (i.e. not a variable).
+    pub fn is_ground(&self) -> bool {
+        !self.is_variable()
+    }
+
+    /// The variable inside this term, if any.
+    pub fn as_variable(&self) -> Option<Variable> {
+        match self {
+            Term::Variable(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The constant inside this term, if any.
+    pub fn as_constant(&self) -> Option<Constant> {
+        match self {
+            Term::Constant(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The null inside this term, if any.
+    pub fn as_null(&self) -> Option<Null> {
+        match self {
+            Term::Null(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Constant(c) => write!(f, "{c:?}"),
+            Term::Variable(v) => write!(f, "{v:?}"),
+            Term::Null(n) => write!(f, "{n:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Constant(c) => write!(f, "\"{c}\""),
+            Term::Variable(v) => write!(f, "{v}"),
+            Term::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(v: Variable) -> Self {
+        Term::Variable(v)
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Constant(c)
+    }
+}
+
+impl From<Null> for Term {
+    fn from(n: Null) -> Self {
+        Term::Null(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let c = Term::constant("alice");
+        let v = Term::variable("X");
+        let n = Term::fresh_null();
+        assert!(c.is_constant() && c.is_ground() && !c.is_variable());
+        assert!(v.is_variable() && !v.is_ground());
+        assert!(n.is_null() && n.is_ground());
+    }
+
+    #[test]
+    fn accessors_return_expected_variants() {
+        let v = Variable::new("X");
+        let t: Term = v.into();
+        assert_eq!(t.as_variable(), Some(v));
+        assert_eq!(t.as_constant(), None);
+        assert_eq!(t.as_null(), None);
+
+        let c = Constant::new("bob");
+        let t: Term = c.into();
+        assert_eq!(t.as_constant(), Some(c));
+        assert_eq!(t.as_variable(), None);
+    }
+
+    #[test]
+    fn equal_names_make_equal_terms() {
+        assert_eq!(Term::constant("a"), Term::constant("a"));
+        assert_eq!(Term::variable("X"), Term::variable("X"));
+        assert_ne!(Term::constant("a"), Term::variable("a"));
+    }
+
+    #[test]
+    fn fresh_variables_are_distinct_and_marked() {
+        let a = Variable::fresh();
+        let b = Variable::fresh();
+        assert_ne!(a, b);
+        assert!(a.is_fresh() && b.is_fresh());
+        assert!(!Variable::new("X").is_fresh());
+    }
+
+    #[test]
+    fn fresh_nulls_are_distinct() {
+        assert_ne!(Null::fresh(), Null::fresh());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Term::variable("X")), "X");
+        assert_eq!(format!("{}", Term::constant("a")), "\"a\"");
+        let n = Term::Null(Null(7));
+        assert_eq!(format!("{n}"), "_:n7");
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_equality() {
+        let a = Term::constant("same");
+        let b = Term::constant("same");
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+}

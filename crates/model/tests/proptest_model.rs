@@ -1,0 +1,169 @@
+//! Property-based tests for the data model: parser/printer round trips,
+//! substitution algebra and structural invariants of rules and queries.
+
+use ontorew_model::prelude::*;
+use proptest::prelude::*;
+
+fn predicate_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["p", "q", "r", "s", "teaches", "attends"]).prop_map(String::from)
+}
+
+fn variable_token() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["X", "Y", "Z", "W", "U1", "V2"]).prop_map(String::from)
+}
+
+fn constant_token() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "alice", "db101"]).prop_map(String::from)
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        variable_token().prop_map(|v| Term::variable(&v)),
+        constant_token().prop_map(|c| Term::constant(&c)),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (predicate_name(), prop::collection::vec(term_strategy(), 1..4))
+        .prop_map(|(p, terms)| Atom::new(&format!("{p}{}", terms.len()), terms))
+}
+
+proptest! {
+    /// Display → parse round trip for single TGDs.
+    #[test]
+    fn tgd_display_parse_round_trip(
+        body in prop::collection::vec(atom_strategy(), 1..4),
+        head in atom_strategy(),
+    ) {
+        let tgd = Tgd::new(body, vec![head]);
+        let rendered = format!("{tgd}");
+        let reparsed = parse_tgd(&rendered).unwrap();
+        prop_assert_eq!(reparsed.body.len(), tgd.body.len());
+        prop_assert_eq!(reparsed.head.len(), tgd.head.len());
+        // Structural fingerprints survive the round trip.
+        prop_assert_eq!(reparsed.predicates(), tgd.predicates());
+        prop_assert_eq!(
+            reparsed.distinguished_variables().len(),
+            tgd.distinguished_variables().len()
+        );
+        prop_assert_eq!(
+            reparsed.existential_head_variables().len(),
+            tgd.existential_head_variables().len()
+        );
+        prop_assert_eq!(reparsed.is_simple(), tgd.is_simple());
+    }
+
+    /// The variable taxonomy partitions the rule variables: distinguished,
+    /// existential-head and existential-body variables are pairwise disjoint
+    /// and jointly cover all variables.
+    #[test]
+    fn variable_taxonomy_is_a_partition(
+        body in prop::collection::vec(atom_strategy(), 1..4),
+        head in prop::collection::vec(atom_strategy(), 1..3),
+    ) {
+        let tgd = Tgd::new(body, head);
+        let distinguished: std::collections::BTreeSet<_> =
+            tgd.distinguished_variables().into_iter().collect();
+        let ex_head: std::collections::BTreeSet<_> =
+            tgd.existential_head_variables().into_iter().collect();
+        let ex_body: std::collections::BTreeSet<_> =
+            tgd.existential_body_variables().into_iter().collect();
+        prop_assert!(distinguished.is_disjoint(&ex_head));
+        prop_assert!(distinguished.is_disjoint(&ex_body));
+        prop_assert!(ex_head.is_disjoint(&ex_body));
+        let all: std::collections::BTreeSet<_> = tgd.variables().into_iter().collect();
+        let union: std::collections::BTreeSet<_> = distinguished
+            .iter()
+            .chain(ex_head.iter())
+            .chain(ex_body.iter())
+            .copied()
+            .collect();
+        prop_assert_eq!(all, union);
+    }
+
+    /// Freshening preserves every structural property of a rule.
+    #[test]
+    fn freshening_preserves_structure(
+        body in prop::collection::vec(atom_strategy(), 1..4),
+        head in atom_strategy(),
+    ) {
+        let tgd = Tgd::new(body, vec![head]);
+        let fresh = tgd.freshen();
+        prop_assert_eq!(fresh.body.len(), tgd.body.len());
+        prop_assert_eq!(fresh.predicates(), tgd.predicates());
+        prop_assert_eq!(fresh.is_simple(), tgd.is_simple());
+        prop_assert_eq!(fresh.is_full(), tgd.is_full());
+        prop_assert_eq!(
+            fresh.distinguished_variables().len(),
+            tgd.distinguished_variables().len()
+        );
+        // Freshening twice gives disjoint variable sets.
+        let again = tgd.freshen();
+        let a: std::collections::BTreeSet<_> = fresh.variables().into_iter().collect();
+        let b: std::collections::BTreeSet<_> = again.variables().into_iter().collect();
+        prop_assert!(a.is_disjoint(&b));
+    }
+
+    /// Substitution restriction and composition interact as expected.
+    #[test]
+    fn substitution_restrict_then_apply(
+        bindings in prop::collection::vec((variable_token(), constant_token()), 0..5),
+        keep in prop::collection::vec(variable_token(), 0..3),
+        t in term_strategy(),
+    ) {
+        let subst = Substitution::from_bindings(
+            bindings
+                .into_iter()
+                .map(|(v, c)| (Variable::new(&v), Term::constant(&c))),
+        );
+        let keep_vars: Vec<Variable> = keep.iter().map(|v| Variable::new(v)).collect();
+        let restricted = subst.restrict(&keep_vars);
+        // The restricted substitution never binds anything outside `keep`.
+        prop_assert!(restricted.domain().all(|v| keep_vars.contains(&v)));
+        // And it agrees with the original wherever it is defined.
+        if let Term::Variable(v) = t {
+            if restricted.binds(v) {
+                prop_assert_eq!(restricted.apply_term(t), subst.apply_term(t));
+            }
+        }
+    }
+
+    /// Instances are insensitive to insertion order and duplicates.
+    #[test]
+    fn instance_is_a_set(mut facts in prop::collection::vec(
+        (predicate_name(), prop::collection::vec(constant_token(), 1..3)),
+        0..15,
+    )) {
+        let to_atom = |(p, args): &(String, Vec<String>)| {
+            Atom::fact(&format!("{p}{}", args.len()), &args.iter().map(String::as_str).collect::<Vec<_>>())
+        };
+        let forward: Instance = facts.iter().map(to_atom).collect();
+        facts.reverse();
+        let mut backward: Instance = facts.iter().map(to_atom).collect();
+        // Re-inserting everything changes nothing.
+        for f in facts.iter().map(to_atom) {
+            backward.insert(f);
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Parsing a rendered program yields the same number of rules, facts and
+    /// queries (document-level round trip).
+    #[test]
+    fn document_round_trip(n_rules in 1usize..4, n_facts in 0usize..4) {
+        let mut text = String::new();
+        for i in 0..n_rules {
+            text.push_str(&format!("[R{i}] p2(X, Y) -> q2(Y, Z{i}).\n"));
+        }
+        for i in 0..n_facts {
+            text.push_str(&format!("p2(a{i}, b{i}).\n"));
+        }
+        text.push_str("query(X) :- q2(X, Y).\n");
+        let doc = parse_document(&text).unwrap();
+        prop_assert_eq!(doc.program.len(), n_rules);
+        prop_assert_eq!(doc.facts.len(), n_facts);
+        prop_assert_eq!(doc.queries.len(), 1);
+        let rendered = doc.program.to_string();
+        prop_assert_eq!(parse_program(&rendered).unwrap().len(), n_rules);
+    }
+}

@@ -1,0 +1,447 @@
+//! Negative constraints and equality-generating dependencies.
+//!
+//! Real OBDA deployments (and the Datalog± languages the paper builds on)
+//! pair the TGD ontology with two further kinds of dependencies:
+//!
+//! * **Negative constraints (NCs)** `φ(x) → ⊥`: the conjunction `φ` must
+//!   never be entailed. Checking an NC reduces to answering the boolean CQ
+//!   `q() :- φ` over the ontology and the data: the knowledge base is
+//!   inconsistent with the NC iff the certain answer is *true*. Because the
+//!   check is plain CQ answering, FO-rewritability of the TGD set (the
+//!   paper's SWR/WR machinery) immediately gives FO-rewritability of NC
+//!   checking as well.
+//! * **Equality-generating dependencies (EGDs)** `φ(x) → x_i = x_j` (e.g.
+//!   functionality of a role). Under the Unique Name Assumption of §3, a
+//!   violation is witnessed by certain answers `(a, b)` to the CQ
+//!   `q(x_i, x_j) :- φ` with `a ≠ b` two distinct constants. This is the
+//!   *separability* treatment customary in Datalog±/DL-Lite: EGDs are used to
+//!   detect inconsistency, not to merge labelled nulls during the chase.
+//!
+//! [`check_constraints`] runs every constraint through an [`ObdaSystem`] and
+//! returns a [`ConstraintReport`] listing the violations with their
+//! witnesses.
+
+use crate::system::{ObdaSystem, Strategy};
+use ontorew_model::prelude::*;
+use serde::Serialize;
+use std::fmt;
+
+/// A negative constraint `body → ⊥`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NegativeConstraint {
+    /// Optional label used in reports.
+    pub label: Option<Symbol>,
+    /// The forbidden conjunction.
+    pub body: Vec<Atom>,
+}
+
+impl NegativeConstraint {
+    /// Build a negative constraint from its body atoms.
+    ///
+    /// # Panics
+    /// Panics if the body is empty.
+    pub fn new(body: Vec<Atom>) -> Self {
+        assert!(
+            !body.is_empty(),
+            "a negative constraint must have at least one body atom"
+        );
+        NegativeConstraint { label: None, body }
+    }
+
+    /// Attach a label.
+    pub fn labelled(label: &str, body: Vec<Atom>) -> Self {
+        let mut nc = NegativeConstraint::new(body);
+        nc.label = Some(Symbol::intern(label));
+        nc
+    }
+
+    /// Parse a negative constraint from the body of a boolean query, e.g.
+    /// `"student(X), professor(X)"`.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let query = parse_query(&format!("q() :- {text}"))?;
+        Ok(NegativeConstraint::new(query.body))
+    }
+
+    /// The boolean CQ whose certain answer decides whether the constraint is
+    /// violated.
+    pub fn violation_query(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(self.body.clone()).named("nc_violation")
+    }
+}
+
+impl fmt::Display for NegativeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = self.label {
+            write!(f, "[{l}] ")?;
+        }
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " -> false")
+    }
+}
+
+/// An equality-generating dependency `body → left = right`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Egd {
+    /// Optional label used in reports.
+    pub label: Option<Symbol>,
+    /// The premise conjunction.
+    pub body: Vec<Atom>,
+    /// The first equated variable (must occur in the body).
+    pub left: Variable,
+    /// The second equated variable (must occur in the body).
+    pub right: Variable,
+}
+
+impl Egd {
+    /// Build an EGD from body atoms and the two equated variables.
+    ///
+    /// # Panics
+    /// Panics if the body is empty or if either variable does not occur in
+    /// the body.
+    pub fn new(body: Vec<Atom>, left: Variable, right: Variable) -> Self {
+        assert!(!body.is_empty(), "an EGD must have at least one body atom");
+        let vars: std::collections::BTreeSet<Variable> =
+            ontorew_model::atom::variables_of(&body).into_iter().collect();
+        assert!(
+            vars.contains(&left) && vars.contains(&right),
+            "both equated variables of an EGD must occur in its body"
+        );
+        Egd {
+            label: None,
+            body,
+            left,
+            right,
+        }
+    }
+
+    /// Attach a label.
+    pub fn labelled(label: &str, body: Vec<Atom>, left: Variable, right: Variable) -> Self {
+        let mut egd = Egd::new(body, left, right);
+        egd.label = Some(Symbol::intern(label));
+        egd
+    }
+
+    /// Parse an EGD from a body text and the names of the two equated
+    /// variables, e.g. `Egd::parse("hasHead(D, X), hasHead(D, Y)", "X", "Y")`.
+    pub fn parse(body: &str, left: &str, right: &str) -> Result<Self, ParseError> {
+        let query = parse_query(&format!("q() :- {body}"))?;
+        Ok(Egd::new(
+            query.body,
+            Variable::new(left),
+            Variable::new(right),
+        ))
+    }
+
+    /// A functionality constraint on a binary predicate: the first position
+    /// determines the second (`p(X, Y), p(X, Z) → Y = Z`).
+    pub fn functional(predicate: &str) -> Self {
+        let body = vec![
+            Atom::new(predicate, vec![Term::variable("X"), Term::variable("Y")]),
+            Atom::new(predicate, vec![Term::variable("X"), Term::variable("Z")]),
+        ];
+        Egd::labelled(
+            &format!("func_{predicate}"),
+            body,
+            Variable::new("Y"),
+            Variable::new("Z"),
+        )
+    }
+
+    /// The CQ whose certain answers witness violations: answer pairs binding
+    /// the two equated variables to distinct constants.
+    pub fn violation_query(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(vec![self.left, self.right], self.body.clone())
+            .named("egd_violation")
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = self.label {
+            write!(f, "[{l}] ")?;
+        }
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " -> {} = {}", self.left, self.right)
+    }
+}
+
+/// A bundle of negative constraints and EGDs attached to an ontology.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    /// The negative constraints.
+    pub negative_constraints: Vec<NegativeConstraint>,
+    /// The equality-generating dependencies.
+    pub egds: Vec<Egd>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set.
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Add a negative constraint.
+    pub fn push_nc(&mut self, nc: NegativeConstraint) {
+        self.negative_constraints.push(nc);
+    }
+
+    /// Add an EGD.
+    pub fn push_egd(&mut self, egd: Egd) {
+        self.egds.push(egd);
+    }
+
+    /// Total number of constraints.
+    pub fn len(&self) -> usize {
+        self.negative_constraints.len() + self.egds.len()
+    }
+
+    /// True if there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.negative_constraints.is_empty() && self.egds.is_empty()
+    }
+}
+
+/// One detected violation.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConstraintViolation {
+    /// The constraint that is violated (rendered).
+    pub constraint: String,
+    /// Whether the violated constraint is an NC or an EGD.
+    pub kind: ConstraintKind,
+    /// A rendering of the witnesses: empty for NCs (the witness is the
+    /// boolean match itself), the offending `(left, right)` constant pairs
+    /// for EGDs.
+    pub witnesses: Vec<String>,
+    /// Whether the underlying CQ answering step was exact; when false the
+    /// violation is certain (answering is sound) but the *absence* of further
+    /// violations is not guaranteed.
+    pub exact: bool,
+}
+
+/// Which family a violated constraint belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ConstraintKind {
+    /// Negative constraint `φ → ⊥`.
+    NegativeConstraint,
+    /// Equality-generating dependency `φ → x = y`.
+    Egd,
+}
+
+/// The outcome of checking a [`ConstraintSet`] against an [`ObdaSystem`].
+#[derive(Clone, Debug, Serialize)]
+pub struct ConstraintReport {
+    /// Number of constraints checked.
+    pub checked: usize,
+    /// The violations found.
+    pub violations: Vec<ConstraintViolation>,
+    /// True if every underlying CQ answering step was exact, i.e. the verdict
+    /// is definitive in both directions.
+    pub exact: bool,
+}
+
+impl ConstraintReport {
+    /// True if no violation was found.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check every constraint of `constraints` against `system` using the given
+/// answering strategy (use [`Strategy::Auto`] unless you are benchmarking a
+/// specific path).
+pub fn check_constraints(
+    system: &ObdaSystem,
+    constraints: &ConstraintSet,
+    strategy: Strategy,
+) -> ConstraintReport {
+    let mut violations = Vec::new();
+    let mut exact = true;
+
+    for nc in &constraints.negative_constraints {
+        let result = system.answer(&nc.violation_query(), strategy);
+        exact &= result.exact;
+        if result.answers.as_boolean() {
+            violations.push(ConstraintViolation {
+                constraint: nc.to_string(),
+                kind: ConstraintKind::NegativeConstraint,
+                witnesses: Vec::new(),
+                exact: result.exact,
+            });
+        }
+    }
+
+    for egd in &constraints.egds {
+        let result = system.answer(&egd.violation_query(), strategy);
+        exact &= result.exact;
+        let witnesses: Vec<String> = result
+            .answers
+            .iter()
+            .filter(|row| row.len() == 2 && row[0] != row[1])
+            .map(|row| format!("{} ≠ {}", row[0], row[1]))
+            .collect();
+        if !witnesses.is_empty() {
+            violations.push(ConstraintViolation {
+                constraint: egd.to_string(),
+                kind: ConstraintKind::Egd,
+                witnesses,
+                exact: result.exact,
+            });
+        }
+    }
+
+    ConstraintReport {
+        checked: constraints.len(),
+        violations,
+        exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_program;
+
+    fn disjoint_classes_system(with_conflict: bool) -> ObdaSystem {
+        let ontology = parse_program(
+            "[R1] phdStudent(X) -> student(X).\n\
+             [R2] professor(X) -> employee(X).",
+        )
+        .unwrap();
+        let mut data = Instance::new();
+        data.insert_fact("phdStudent", &["dana"]);
+        data.insert_fact("professor", &["alice"]);
+        if with_conflict {
+            // dana is also asserted to be a professor: the inferred
+            // student(dana) together with employee(dana) trips the NC below.
+            data.insert_fact("professor", &["dana"]);
+        }
+        ObdaSystem::new(ontology, data)
+    }
+
+    #[test]
+    fn consistent_data_passes_nc_checking() {
+        let system = disjoint_classes_system(false);
+        let mut constraints = ConstraintSet::new();
+        constraints.push_nc(NegativeConstraint::parse("student(X), employee(X)").unwrap());
+        let report = check_constraints(&system, &constraints, Strategy::Auto);
+        assert!(report.is_consistent());
+        assert!(report.exact);
+        assert_eq!(report.checked, 1);
+    }
+
+    #[test]
+    fn nc_violation_is_detected_through_inference() {
+        // The violation is only visible after applying the TGDs: the data
+        // never mentions student(dana) or employee(dana) explicitly.
+        let system = disjoint_classes_system(true);
+        let mut constraints = ConstraintSet::new();
+        constraints.push_nc(NegativeConstraint::labelled(
+            "disjoint_student_employee",
+            vec![
+                Atom::new("student", vec![Term::variable("X")]),
+                Atom::new("employee", vec![Term::variable("X")]),
+            ],
+        ));
+        let report = check_constraints(&system, &constraints, Strategy::Auto);
+        assert!(!report.is_consistent());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(
+            report.violations[0].kind,
+            ConstraintKind::NegativeConstraint
+        );
+        assert!(report.violations[0]
+            .constraint
+            .contains("disjoint_student_employee"));
+    }
+
+    #[test]
+    fn functional_egd_violation_reports_the_offending_pair() {
+        let ontology = parse_program("[R1] dept(D) -> hasHead(D, H).").unwrap();
+        let mut data = Instance::new();
+        data.insert_fact("hasHead", &["cs", "alice"]);
+        data.insert_fact("hasHead", &["cs", "bob"]);
+        data.insert_fact("hasHead", &["math", "carol"]);
+        let system = ObdaSystem::new(ontology, data);
+        let mut constraints = ConstraintSet::new();
+        constraints.push_egd(Egd::functional("hasHead"));
+        let report = check_constraints(&system, &constraints, Strategy::Auto);
+        assert!(!report.is_consistent());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ConstraintKind::Egd);
+        // alice/bob clash in both orders; math's single head is fine.
+        assert!(report.violations[0]
+            .witnesses
+            .iter()
+            .all(|w| w.contains("alice") || w.contains("bob")));
+    }
+
+    #[test]
+    fn egd_is_not_violated_by_nulls_invented_by_the_ontology() {
+        // The ontology invents a head for every department, but an invented
+        // (labelled-null) head never yields a *certain* violation pair, so a
+        // department with a single explicit head — or none — is fine.
+        let ontology = parse_program("[R1] dept(D) -> hasHead(D, H).").unwrap();
+        let mut data = Instance::new();
+        data.insert_fact("dept", &["cs"]);
+        data.insert_fact("hasHead", &["math", "carol"]);
+        data.insert_fact("dept", &["math"]);
+        let system = ObdaSystem::new(ontology, data);
+        let mut constraints = ConstraintSet::new();
+        constraints.push_egd(Egd::functional("hasHead"));
+        let report = check_constraints(&system, &constraints, Strategy::Auto);
+        assert!(report.is_consistent(), "report: {report:?}");
+    }
+
+    #[test]
+    fn parsing_and_display_round_trip() {
+        let nc = NegativeConstraint::parse("student(X), employee(X)").unwrap();
+        assert_eq!(nc.body.len(), 2);
+        assert!(nc.to_string().ends_with("-> false"));
+
+        let egd = Egd::parse("worksIn(X, D1), worksIn(X, D2)", "D1", "D2").unwrap();
+        assert_eq!(egd.body.len(), 2);
+        assert!(egd.to_string().contains("D1 = D2"));
+
+        let q = egd.violation_query();
+        assert_eq!(q.arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must occur in its body")]
+    fn egd_rejects_variables_outside_the_body() {
+        Egd::new(
+            vec![Atom::new("p", vec![Term::variable("X")])],
+            Variable::new("X"),
+            Variable::new("Y"),
+        );
+    }
+
+    #[test]
+    fn empty_constraint_set_is_trivially_consistent() {
+        let system = disjoint_classes_system(true);
+        let report = check_constraints(&system, &ConstraintSet::new(), Strategy::Auto);
+        assert!(report.is_consistent());
+        assert_eq!(report.checked, 0);
+        assert!(report.exact);
+    }
+
+    #[test]
+    fn constraint_set_counting() {
+        let mut set = ConstraintSet::new();
+        assert!(set.is_empty());
+        set.push_nc(NegativeConstraint::parse("a(X), b(X)").unwrap());
+        set.push_egd(Egd::functional("hasHead"));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+}

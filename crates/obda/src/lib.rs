@@ -1,0 +1,38 @@
+//! # ontorew-obda
+//!
+//! The ontology-based data access facade: ontology (TGDs) + mappings +
+//! relational source, answered by UCQ rewriting or by chase materialization,
+//! with the strategy chosen from the FO-rewritability classification of
+//! `ontorew-core` — the working-system vision of §8 of the paper.
+//!
+//! ```
+//! use ontorew_model::{parse_program, parse_query, Instance};
+//! use ontorew_obda::{ObdaSystem, Strategy};
+//!
+//! let ontology = parse_program("[R1] student(X) -> person(X).").unwrap();
+//! let mut data = Instance::new();
+//! data.insert_fact("student", &["sara"]);
+//! let system = ObdaSystem::new(ontology, data);
+//! let query = parse_query("q(X) :- person(X)").unwrap();
+//! let result = system.answer(&query, Strategy::Auto);
+//! assert!(result.exact);
+//! assert!(result.answers.contains_constants(&["sara"]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod consistency;
+pub mod constraints;
+pub mod mapping;
+pub mod report;
+pub mod system;
+
+pub use consistency::{cross_check, ConsistencyReport};
+pub use constraints::{
+    check_constraints, ConstraintKind, ConstraintReport, ConstraintSet, ConstraintViolation, Egd,
+    NegativeConstraint,
+};
+pub use mapping::{Mapping, MappingSet};
+pub use report::SystemReport;
+pub use system::{ObdaAnswers, ObdaSystem, Strategy};

@@ -1,0 +1,107 @@
+//! Human-readable system reports.
+//!
+//! `ontorew` is meant to be usable as the backend of a "working OBDA system"
+//! (§8 of the paper); operators of such a system need a quick summary of what
+//! the classifier concluded, how big the data is, and which answering
+//! strategy will be used. [`SystemReport`] collects that summary.
+
+use crate::system::{ObdaSystem, Strategy};
+use ontorew_core::FoRewritabilityVerdict;
+use std::fmt;
+
+/// A summary of an [`ObdaSystem`]: ontology size, classification outcome,
+/// data statistics and the strategy the `Auto` mode will pick.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// Number of TGDs in the ontology.
+    pub rules: usize,
+    /// Number of predicates in the ontology signature.
+    pub predicates: usize,
+    /// Maximum predicate arity.
+    pub max_arity: usize,
+    /// Names of the classes the ontology belongs to.
+    pub classes: Vec<&'static str>,
+    /// The §7 trichotomy verdict.
+    pub verdict: FoRewritabilityVerdict,
+    /// Whether chase materialization is guaranteed to terminate.
+    pub chase_terminates: bool,
+    /// Number of facts in the retrieved ABox.
+    pub abox_facts: usize,
+    /// The strategy `Strategy::Auto` will choose.
+    pub auto_strategy: Strategy,
+}
+
+impl SystemReport {
+    /// Build the report for a system.
+    pub fn of(system: &ObdaSystem) -> Self {
+        let classification = system.classification();
+        let ontology = system.ontology();
+        let auto_strategy = if classification.fo_rewritable() {
+            Strategy::Rewriting
+        } else if classification.chase_terminates() {
+            Strategy::Materialization
+        } else {
+            Strategy::Rewriting
+        };
+        SystemReport {
+            rules: ontology.len(),
+            predicates: ontology.predicates().len(),
+            max_arity: ontology.max_arity(),
+            classes: classification.member_classes(),
+            verdict: classification.fo_rewritability_verdict(),
+            chase_terminates: classification.chase_terminates(),
+            abox_facts: system.retrieved_abox().len(),
+            auto_strategy,
+        }
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "OBDA system report")?;
+        writeln!(
+            f,
+            "  ontology        : {} rules, {} predicates, max arity {}",
+            self.rules, self.predicates, self.max_arity
+        )?;
+        writeln!(f, "  classes         : {}", self.classes.join(", "))?;
+        writeln!(f, "  FO-rewritability: {:?}", self.verdict)?;
+        writeln!(f, "  chase terminates: {}", self.chase_terminates)?;
+        writeln!(f, "  retrieved ABox  : {} facts", self.abox_facts)?;
+        write!(f, "  auto strategy   : {:?}", self.auto_strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_core::examples::{example2, university_ontology};
+    use ontorew_model::Instance;
+
+    #[test]
+    fn university_report_recommends_rewriting() {
+        let system = ObdaSystem::new(
+            university_ontology(),
+            ontorew_workloads::university_abox(30, 3, 6, 1),
+        );
+        let report = SystemReport::of(&system);
+        assert_eq!(report.rules, 12);
+        assert_eq!(report.auto_strategy, Strategy::Rewriting);
+        assert_eq!(report.verdict, FoRewritabilityVerdict::Rewritable);
+        assert!(report.abox_facts > 30);
+        let rendered = report.to_string();
+        assert!(rendered.contains("auto strategy"));
+        assert!(rendered.contains("SWR"));
+    }
+
+    #[test]
+    fn example2_report_recommends_materialization() {
+        let mut data = Instance::new();
+        data.insert_fact("s", &["c", "c", "a"]);
+        let system = ObdaSystem::new(example2(), data);
+        let report = SystemReport::of(&system);
+        assert_eq!(report.auto_strategy, Strategy::Materialization);
+        assert_eq!(report.verdict, FoRewritabilityVerdict::NotKnownRewritable);
+        assert!(report.chase_terminates);
+    }
+}

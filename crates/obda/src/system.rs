@@ -1,0 +1,267 @@
+//! The OBDA system facade.
+//!
+//! An [`ObdaSystem`] bundles the three layers of §1 of the paper — ontology
+//! (TGDs), mappings, and the extensional data source — and answers conjunctive
+//! queries with one of two strategies:
+//!
+//! * **Rewriting** — compile the ontology into the query (UCQ rewriting) and
+//!   evaluate the rewriting directly over the source. Complete exactly when
+//!   the rewriting terminates, which the classification machinery of
+//!   `ontorew-core` predicts (SWR/WR ⇒ FO-rewritable).
+//! * **Materialization** — chase the retrieved ABox and evaluate the original
+//!   query over the chased instance. Complete exactly when the chase
+//!   terminates (e.g. weak acyclicity).
+//!
+//! The `Auto` strategy picks between them using the classification report,
+//! which is the workflow §7/§8 of the paper sketches for a working OBDA
+//! system.
+
+use crate::mapping::MappingSet;
+use ontorew_chase::{certain_answers, ChaseConfig};
+use ontorew_core::{classify, ClassificationReport};
+use ontorew_model::prelude::*;
+use ontorew_rewrite::{answer_by_rewriting, RewriteConfig};
+use ontorew_storage::{AnswerSet, RelationalStore};
+
+/// The query answering strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// UCQ rewriting evaluated over the (mapped) source data.
+    Rewriting,
+    /// Chase materialization of the retrieved ABox, then plain evaluation.
+    Materialization,
+    /// Choose automatically from the classification report.
+    Auto,
+}
+
+/// The result of answering a query through the OBDA system.
+#[derive(Clone, Debug)]
+pub struct ObdaAnswers {
+    /// The certain answers found.
+    pub answers: AnswerSet,
+    /// Which concrete strategy produced them.
+    pub strategy: Strategy,
+    /// True if the strategy was complete (perfect rewriting or terminated
+    /// chase); false means the answers are a sound under-approximation.
+    pub exact: bool,
+}
+
+/// An ontology-based data access system: ontology + mappings + source data.
+#[derive(Clone, Debug)]
+pub struct ObdaSystem {
+    ontology: TgdProgram,
+    mappings: MappingSet,
+    source: RelationalStore,
+    rewrite_config: RewriteConfig,
+    chase_config: ChaseConfig,
+    classification: ClassificationReport,
+}
+
+impl ObdaSystem {
+    /// Build a system whose source already speaks the ontology vocabulary
+    /// (identity mappings).
+    pub fn new(ontology: TgdProgram, data: Instance) -> Self {
+        let source = RelationalStore::from_instance(&data);
+        let mappings = MappingSet::identity_for(&source.signature());
+        ObdaSystem::with_mappings(ontology, mappings, source)
+    }
+
+    /// Build a system with explicit mappings over an arbitrary source store.
+    pub fn with_mappings(
+        ontology: TgdProgram,
+        mappings: MappingSet,
+        source: RelationalStore,
+    ) -> Self {
+        let classification = classify(&ontology);
+        ObdaSystem {
+            ontology,
+            mappings,
+            source,
+            rewrite_config: RewriteConfig::default(),
+            chase_config: ChaseConfig::default(),
+            classification,
+        }
+    }
+
+    /// Override the rewriting configuration (depth/size budgets).
+    pub fn with_rewrite_config(mut self, config: RewriteConfig) -> Self {
+        self.rewrite_config = config;
+        self
+    }
+
+    /// Override the chase configuration (round/fact budgets).
+    pub fn with_chase_config(mut self, config: ChaseConfig) -> Self {
+        self.chase_config = config;
+        self
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &TgdProgram {
+        &self.ontology
+    }
+
+    /// The classification report of the ontology (computed at construction).
+    pub fn classification(&self) -> &ClassificationReport {
+        &self.classification
+    }
+
+    /// The retrieved ABox: the ontology-level facts obtained by applying the
+    /// mappings to the source.
+    pub fn retrieved_abox(&self) -> Instance {
+        self.mappings.apply(&self.source)
+    }
+
+    /// Answer a conjunctive query.
+    pub fn answer(&self, query: &ConjunctiveQuery, strategy: Strategy) -> ObdaAnswers {
+        match strategy {
+            Strategy::Rewriting => self.answer_by_rewriting(query),
+            Strategy::Materialization => self.answer_by_materialization(query),
+            Strategy::Auto => {
+                // Prefer rewriting whenever some FO-rewritable class applies
+                // (AC0 data complexity, no materialisation cost); fall back to
+                // materialization when only chase termination is guaranteed;
+                // otherwise run the bounded rewriting (sound approximation).
+                if self.classification.fo_rewritable() {
+                    self.answer_by_rewriting(query)
+                } else if self.classification.chase_terminates() {
+                    self.answer_by_materialization(query)
+                } else {
+                    self.answer_by_rewriting(query)
+                }
+            }
+        }
+    }
+
+    fn answer_by_rewriting(&self, query: &ConjunctiveQuery) -> ObdaAnswers {
+        // Rewriting is evaluated over the retrieved ABox (ontology vocabulary);
+        // with identity mappings this is the source itself.
+        let abox_store = RelationalStore::from_instance(&self.retrieved_abox());
+        let result =
+            answer_by_rewriting(&self.ontology, query, &abox_store, &self.rewrite_config);
+        let exact = result.is_exact();
+        ObdaAnswers {
+            answers: result.answers,
+            strategy: Strategy::Rewriting,
+            exact,
+        }
+    }
+
+    fn answer_by_materialization(&self, query: &ConjunctiveQuery) -> ObdaAnswers {
+        let abox = self.retrieved_abox();
+        let result = certain_answers(&self.ontology, &abox, query, &self.chase_config);
+        ObdaAnswers {
+            answers: result.answers,
+            strategy: Strategy::Materialization,
+            exact: result.complete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use ontorew_core::examples::{university_ontology, university_query};
+    use ontorew_model::{parse_program, parse_query};
+
+    fn university_system() -> ObdaSystem {
+        let data = ontorew_workloads::university_abox(50, 5, 10, 3);
+        ObdaSystem::new(university_ontology(), data)
+    }
+
+    #[test]
+    fn auto_strategy_picks_rewriting_for_fo_rewritable_ontologies() {
+        let system = university_system();
+        assert!(system.classification().fo_rewritable());
+        let result = system.answer(&university_query(), Strategy::Auto);
+        assert_eq!(result.strategy, Strategy::Rewriting);
+        assert!(result.exact);
+        assert!(!result.answers.is_empty());
+    }
+
+    #[test]
+    fn rewriting_and_materialization_agree_when_both_are_complete() {
+        // A weakly-acyclic, FO-rewritable ontology: both strategies are exact
+        // and must return the same certain answers.
+        let ontology = parse_program(
+            "[R1] gradStudent(X) -> student(X).\n\
+             [R2] student(X) -> person(X).\n\
+             [R3] teaches(X, C) -> course(C).",
+        )
+        .unwrap();
+        let mut data = Instance::new();
+        data.insert_fact("gradStudent", &["gina"]);
+        data.insert_fact("student", &["sara"]);
+        data.insert_fact("teaches", &["alice", "db101"]);
+        let system = ObdaSystem::new(ontology, data);
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let by_rewriting = system.answer(&q, Strategy::Rewriting);
+        let by_chase = system.answer(&q, Strategy::Materialization);
+        assert!(by_rewriting.exact && by_chase.exact);
+        let a: Vec<_> = by_rewriting.answers.iter().cloned().collect();
+        let b: Vec<_> = by_chase.answers.iter().cloned().collect();
+        assert_eq!(a, b);
+        // gina (via gradStudent -> student -> person) and sara.
+        assert_eq!(by_rewriting.answers.len(), 2);
+    }
+
+    #[test]
+    fn answers_reflect_existential_knowledge() {
+        let system = university_system();
+        // Every professor teaches something (U7), so professors are certain
+        // answers to "who teaches a course someone might attend" only when a
+        // student actually attends; instead ask who teaches anything at all.
+        let q = parse_query("q(X) :- teaches(X, C)").unwrap();
+        let result = system.answer(&q, Strategy::Rewriting);
+        assert!(result.exact);
+        // All 5 professors teach (either explicitly or by U7).
+        assert!(result.answers.len() >= 5);
+    }
+
+    #[test]
+    fn non_identity_mappings_bridge_a_legacy_schema() {
+        let ontology = parse_program("[R1] worksIn(X, D) -> department(D).").unwrap();
+        let mut source = RelationalStore::new();
+        source.insert_fact("emp", &["e1", "alice", "cs", "100"]);
+        source.insert_fact("emp", &["e2", "bob", "math", "90"]);
+        let mut mappings = MappingSet::new();
+        mappings.push(Mapping::new(
+            Predicate::new("emp", 4),
+            Predicate::new("worksIn", 2),
+            vec![0, 2],
+        ));
+        let system = ObdaSystem::with_mappings(ontology, mappings, source);
+        assert_eq!(system.retrieved_abox().len(), 2);
+        let q = parse_query("q(D) :- department(D)").unwrap();
+        let result = system.answer(&q, Strategy::Auto);
+        assert!(result.exact);
+        assert_eq!(result.answers.len(), 2);
+        assert!(result.answers.contains_constants(&["cs"]));
+    }
+
+    #[test]
+    fn auto_falls_back_to_materialization_for_non_rewritable_ontologies() {
+        // Example 2 of the paper: not FO-rewritable, but weakly acyclic, so
+        // the Auto strategy materializes.
+        let ontology = ontorew_core::examples::example2();
+        let mut data = Instance::new();
+        data.insert_fact("s", &["c", "c", "a"]);
+        data.insert_fact("t", &["d", "a"]);
+        let system = ObdaSystem::new(ontology, data);
+        assert!(!system.classification().fo_rewritable());
+        assert!(system.classification().chase_terminates());
+        let q = ontorew_core::examples::example2_query();
+        let result = system.answer(&q, Strategy::Auto);
+        assert_eq!(result.strategy, Strategy::Materialization);
+        assert!(result.exact);
+        assert!(result.answers.as_boolean());
+    }
+
+    #[test]
+    fn empty_data_yields_empty_answers() {
+        let system = ObdaSystem::new(university_ontology(), Instance::new());
+        let result = system.answer(&university_query(), Strategy::Auto);
+        assert!(result.answers.is_empty());
+        assert!(result.exact);
+    }
+}

@@ -1,0 +1,205 @@
+//! Query answering by rewriting + evaluation over the extensional store.
+//!
+//! This is the OBDA answering path the paper advocates: the ontology is
+//! compiled away by rewriting the query into a UCQ, which is then evaluated
+//! directly over the relational data (in AC0 data complexity). When the
+//! rewriting is complete the answers are exactly the certain answers.
+
+use crate::engine::{rewrite, RewriteConfig, Rewriting};
+use crate::rq::RQuery;
+use ontorew_model::prelude::*;
+use ontorew_storage::{evaluate_cq, evaluate_ucq, AnswerSet, RelationalStore};
+use std::collections::BTreeMap;
+
+/// The result of answering a query by rewriting.
+#[derive(Clone, Debug)]
+pub struct RewritingAnswers {
+    /// The answer tuples (null-free by construction: the store holds only the
+    /// source data, not chase-invented nulls).
+    pub answers: AnswerSet,
+    /// The rewriting that was evaluated.
+    pub rewriting: Rewriting,
+}
+
+impl RewritingAnswers {
+    /// True if the answers are guaranteed to be exactly the certain answers
+    /// (the rewriting reached a fixpoint).
+    pub fn is_exact(&self) -> bool {
+        self.rewriting.complete
+    }
+}
+
+/// Answer `query` over `store` under the ontology `program` by UCQ rewriting.
+pub fn answer_by_rewriting(
+    program: &TgdProgram,
+    query: &ConjunctiveQuery,
+    store: &RelationalStore,
+    config: &RewriteConfig,
+) -> RewritingAnswers {
+    let rewriting = rewrite(program, query, config);
+    let answers = evaluate_rewriting(&rewriting, query, store);
+    RewritingAnswers {
+        answers,
+        rewriting,
+    }
+}
+
+/// Evaluate an already-computed rewriting over a store.
+pub fn evaluate_rewriting(
+    rewriting: &Rewriting,
+    original_query: &ConjunctiveQuery,
+    store: &RelationalStore,
+) -> AnswerSet {
+    let mut answers = AnswerSet::empty(original_query.answer_vars.clone());
+    answers.union_with(&evaluate_ucq(store, &rewriting.ucq));
+    for grounded in &rewriting.grounded {
+        evaluate_grounded_disjunct(grounded, store, &mut answers);
+    }
+    answers
+}
+
+/// Evaluate a disjunct whose answer tuple contains constants: the body is
+/// evaluated as a CQ over its answer *variables* only, and each resulting row
+/// is expanded into the full answer tuple with the constants filled in.
+fn evaluate_grounded_disjunct(
+    disjunct: &RQuery,
+    store: &RelationalStore,
+    answers: &mut AnswerSet,
+) {
+    // Collect the distinct variables appearing in answer positions.
+    let mut answer_variables: Vec<Variable> = Vec::new();
+    for t in &disjunct.answer {
+        if let Term::Variable(v) = t {
+            if !answer_variables.contains(v) {
+                answer_variables.push(*v);
+            }
+        }
+    }
+    // Variables must occur in the body for the disjunct to be evaluable; a
+    // disjunct violating this is dropped (it cannot produce certain answers).
+    let body_vars: std::collections::BTreeSet<Variable> =
+        ontorew_model::atom::variables_of(&disjunct.body)
+            .into_iter()
+            .collect();
+    if !answer_variables.iter().all(|v| body_vars.contains(v)) {
+        return;
+    }
+    let cq = ConjunctiveQuery::new(answer_variables.clone(), disjunct.body.clone());
+    let partial = evaluate_cq(store, &cq);
+    for row in partial.iter() {
+        let binding: BTreeMap<Variable, Term> =
+            answer_variables.iter().copied().zip(row.iter().copied()).collect();
+        let full: Vec<Term> = disjunct
+            .answer
+            .iter()
+            .map(|t| match t {
+                Term::Variable(v) => binding[v],
+                other => *other,
+            })
+            .collect();
+        answers.insert(full);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_query};
+
+    fn store() -> RelationalStore {
+        let mut db = RelationalStore::new();
+        db.insert_fact("student", &["sara"]);
+        db.insert_fact("professor", &["alice"]);
+        db.insert_fact("teaches", &["alice", "db101"]);
+        db.insert_fact("attends", &["sara", "db101"]);
+        db
+    }
+
+    #[test]
+    fn answers_include_ontology_derived_tuples() {
+        let p = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] professor(X) -> person(X).",
+        )
+        .unwrap();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let result = answer_by_rewriting(&p, &q, &store(), &RewriteConfig::default());
+        assert!(result.is_exact());
+        assert_eq!(result.answers.len(), 2);
+        assert!(result.answers.contains_constants(&["sara"]));
+        assert!(result.answers.contains_constants(&["alice"]));
+    }
+
+    #[test]
+    fn existential_knowledge_answers_boolean_queries() {
+        let p = parse_program("[R1] professor(X) -> teaches(X, C).").unwrap();
+        let mut db = RelationalStore::new();
+        db.insert_fact("professor", &["bob"]);
+        let q = parse_query("q() :- teaches(Y, C)").unwrap();
+        let result = answer_by_rewriting(&p, &q, &db, &RewriteConfig::default());
+        assert!(result.is_exact());
+        assert!(result.answers.as_boolean());
+    }
+
+    #[test]
+    fn open_variables_do_not_leak_unknown_values() {
+        let p = parse_program("[R1] professor(X) -> teaches(X, C).").unwrap();
+        let mut db = RelationalStore::new();
+        db.insert_fact("professor", &["bob"]);
+        let q = parse_query("q(X, C) :- teaches(X, C)").unwrap();
+        let result = answer_by_rewriting(&p, &q, &db, &RewriteConfig::default());
+        assert!(result.is_exact());
+        assert!(result.answers.is_empty());
+    }
+
+    #[test]
+    fn grounded_disjuncts_contribute_constant_answers() {
+        let p = parse_program("[R1] visited(X) -> city(rome).").unwrap();
+        let mut db = RelationalStore::new();
+        db.insert_fact("visited", &["marco"]);
+        let q = parse_query("q(C) :- city(C)").unwrap();
+        let result = answer_by_rewriting(&p, &q, &db, &RewriteConfig::default());
+        assert!(result.is_exact());
+        assert_eq!(result.answers.len(), 1);
+        assert!(result.answers.contains_constants(&["rome"]));
+    }
+
+    #[test]
+    fn rewriting_answers_match_chase_answers() {
+        let p = parse_program(
+            "[R1] gradStudent(X) -> student(X).\n\
+             [R2] student(X) -> person(X).\n\
+             [R3] teaches(X, C) -> course(C).",
+        )
+        .unwrap();
+        let mut db = RelationalStore::new();
+        db.insert_fact("gradStudent", &["gina"]);
+        db.insert_fact("student", &["sara"]);
+        db.insert_fact("teaches", &["alice", "db101"]);
+        let q = parse_query("q(X) :- person(X)").unwrap();
+
+        let by_rewriting =
+            answer_by_rewriting(&p, &q, &db, &RewriteConfig::default());
+        let by_chase = ontorew_chase::certain_answers(
+            &p,
+            &db.to_instance(),
+            &q,
+            &ontorew_chase::ChaseConfig::default(),
+        );
+        assert!(by_rewriting.is_exact());
+        assert!(by_chase.complete);
+        let a: Vec<_> = by_rewriting.answers.iter().cloned().collect();
+        let b: Vec<_> = by_chase.answers.iter().cloned().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluate_rewriting_reuses_a_precomputed_rewriting() {
+        let p = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let rewriting = rewrite(&p, &q, &RewriteConfig::default());
+        let answers = evaluate_rewriting(&rewriting, &q, &store());
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains_constants(&["sara"]));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ontorew-rewrite
+//!
+//! UCQ rewriting of conjunctive queries under tuple-generating dependencies —
+//! the query-answering technique whose applicability (termination) the
+//! paper's SWR and WR classes characterise.
+//!
+//! * [`rq`] — the internal query form used during rewriting;
+//! * [`step`] — single rewriting and factorization steps (piece unification);
+//! * [`engine`] — the saturation loop producing a (perfect, when it
+//!   terminates) UCQ rewriting;
+//! * [`answer`] — answering over a relational store by rewriting + evaluation;
+//! * [`patterns`] — query patterns, divergence heuristics and sound bounded
+//!   approximations for non-FO-rewritable programs (§7 of the paper).
+//!
+//! ```
+//! use ontorew_model::{parse_program, parse_query};
+//! use ontorew_rewrite::{rewrite, RewriteConfig};
+//!
+//! let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+//! let query = parse_query("q(X) :- person(X)").unwrap();
+//! let rewriting = rewrite(&program, &query, &RewriteConfig::default());
+//! assert!(rewriting.complete);
+//! assert_eq!(rewriting.ucq.len(), 2); // person(X) ∨ student(X)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod answer;
+pub mod engine;
+pub mod patterns;
+pub mod rq;
+pub mod step;
+
+pub use answer::{answer_by_rewriting, evaluate_rewriting, RewritingAnswers};
+pub use engine::{
+    disjunct_keys, rewrite, rewrite_ucq, rewriting_growth, RewriteConfig, RewriteStats,
+    Rewriting,
+};
+pub use patterns::{
+    analyze_patterns, approximate_rewrite, ApproximateRewriting, ArgKind, AtomPattern,
+    PatternAnalysis, QueryPattern,
+};
+pub use rq::RQuery;
+pub use step::{factorizations, rewrite_with_rule, RewriteStep};

@@ -1,0 +1,247 @@
+//! The internal query representation used by the rewriting engine.
+//!
+//! During rewriting an answer position can become bound to a constant (when a
+//! TGD head contains constants), so the engine works with answer *terms*
+//! rather than answer variables. [`RQuery`] is that internal form; it converts
+//! losslessly from a [`ConjunctiveQuery`] and back whenever every answer term
+//! is still a variable.
+
+use ontorew_model::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A conjunctive query with answer *terms* (variables or constants).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RQuery {
+    /// The answer terms, in output order.
+    pub answer: Vec<Term>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl RQuery {
+    /// Build from a public conjunctive query.
+    pub fn from_cq(q: &ConjunctiveQuery) -> Self {
+        RQuery {
+            answer: q.answer_vars.iter().map(|v| Term::Variable(*v)).collect(),
+            body: q.body.clone(),
+        }
+    }
+
+    /// Convert back to a public conjunctive query, if every answer term is a
+    /// variable occurring in the body.
+    pub fn to_cq(&self) -> Option<ConjunctiveQuery> {
+        let mut answer_vars = Vec::with_capacity(self.answer.len());
+        for t in &self.answer {
+            match t {
+                Term::Variable(v) => answer_vars.push(*v),
+                _ => return None,
+            }
+        }
+        let body_vars: std::collections::BTreeSet<Variable> =
+            ontorew_model::atom::variables_of(&self.body)
+                .into_iter()
+                .collect();
+        if !answer_vars.iter().all(|v| body_vars.contains(v)) {
+            return None;
+        }
+        Some(ConjunctiveQuery::new(answer_vars, self.body.clone()))
+    }
+
+    /// True if some answer term is a constant (the disjunct cannot be
+    /// expressed as a plain CQ and needs the grounded evaluation path).
+    pub fn has_grounded_answer(&self) -> bool {
+        self.answer.iter().any(|t| !t.is_variable())
+    }
+
+    /// Apply a substitution to answer terms and body.
+    pub fn apply(&self, subst: &Substitution) -> RQuery {
+        RQuery {
+            answer: self
+                .answer
+                .iter()
+                .map(|t| subst.apply_term_deep(*t))
+                .collect(),
+            body: subst.apply_atoms_deep(&self.body),
+        }
+    }
+
+    /// The variables of the body.
+    pub fn variables(&self) -> Vec<Variable> {
+        ontorew_model::atom::variables_of(&self.body)
+    }
+
+    /// Number of body atoms.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True if the body is empty (never produced by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Canonically rename the query: answer variables first, then body
+    /// variables in order of first occurrence, to `X0, X1, ...`; body atoms
+    /// are then sorted. The result is used as a deduplication key, so two
+    /// queries that are equal up to variable renaming and atom order map to
+    /// the same canonical form (the renaming is recomputed after sorting until
+    /// a fixpoint, bounded to a few iterations).
+    pub fn canonical(&self) -> RQuery {
+        let mut current = self.clone();
+        for _ in 0..3 {
+            let renamed = current.rename_in_order();
+            let mut body = renamed.body.clone();
+            body.sort();
+            body.dedup();
+            let next = RQuery {
+                answer: renamed.answer,
+                body,
+            };
+            if next == current {
+                break;
+            }
+            current = next;
+        }
+        current
+    }
+
+    fn rename_in_order(&self) -> RQuery {
+        let mut mapping: BTreeMap<Variable, Term> = BTreeMap::new();
+        let mut counter = 0usize;
+        let mut rename = |v: Variable, mapping: &mut BTreeMap<Variable, Term>| {
+            if !mapping.contains_key(&v) {
+                mapping.insert(v, Term::variable(&format!("X{counter}")));
+                counter += 1;
+            }
+        };
+        for t in &self.answer {
+            if let Term::Variable(v) = t {
+                rename(*v, &mut mapping);
+            }
+        }
+        for a in &self.body {
+            for t in &a.terms {
+                if let Term::Variable(v) = t {
+                    rename(*v, &mut mapping);
+                }
+            }
+        }
+        let subst = Substitution::from_bindings(mapping);
+        self.apply(&subst)
+    }
+
+    /// A printable, hashable canonical key.
+    pub fn canonical_key(&self) -> String {
+        format!("{}", self.canonical())
+    }
+}
+
+impl fmt::Display for RQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, t) in self.answer.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::parse_query;
+
+    fn v(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    #[test]
+    fn round_trip_with_cq() {
+        let q = parse_query("q(X) :- r(X, Y), s(Y)").unwrap();
+        let rq = RQuery::from_cq(&q);
+        assert_eq!(rq.answer, vec![v("X")]);
+        let back = rq.to_cq().unwrap();
+        assert_eq!(back.answer_vars, q.answer_vars);
+        assert_eq!(back.body, q.body);
+    }
+
+    #[test]
+    fn grounded_answer_cannot_become_a_cq() {
+        let rq = RQuery {
+            answer: vec![Term::constant("a")],
+            body: vec![Atom::new("r", vec![v("Y")])],
+        };
+        assert!(rq.has_grounded_answer());
+        assert!(rq.to_cq().is_none());
+    }
+
+    #[test]
+    fn answer_variable_dropped_from_body_cannot_become_a_cq() {
+        let rq = RQuery {
+            answer: vec![v("X")],
+            body: vec![Atom::new("r", vec![v("Y")])],
+        };
+        assert!(rq.to_cq().is_none());
+    }
+
+    #[test]
+    fn canonical_form_is_renaming_invariant() {
+        let a = RQuery::from_cq(&parse_query("q(X) :- r(X, Y), s(Y)").unwrap());
+        let b = RQuery::from_cq(&parse_query("q(A) :- s(B), r(A, B)").unwrap());
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_different_queries() {
+        let a = RQuery::from_cq(&parse_query("q(X) :- r(X, Y)").unwrap());
+        let b = RQuery::from_cq(&parse_query("q(X) :- r(Y, X)").unwrap());
+        assert_ne!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn canonical_form_deduplicates_repeated_atoms() {
+        let rq = RQuery {
+            answer: vec![v("X")],
+            body: vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("r", vec![v("X"), v("Y")]),
+            ],
+        };
+        assert_eq!(rq.canonical().len(), 1);
+    }
+
+    #[test]
+    fn display_shows_answer_and_body() {
+        let rq = RQuery::from_cq(&parse_query("q(X) :- r(X, Y)").unwrap());
+        let s = format!("{rq}");
+        assert!(s.starts_with("q(X) :- "));
+        assert!(s.contains("r(X, Y)"));
+    }
+
+    #[test]
+    fn apply_substitution_reaches_answer_terms() {
+        let rq = RQuery::from_cq(&parse_query("q(X) :- r(X, Y)").unwrap());
+        let mut s = Substitution::new();
+        s.bind(Variable::new("X"), Term::constant("a"));
+        let applied = rq.apply(&s);
+        assert_eq!(applied.answer, vec![Term::constant("a")]);
+        assert!(applied.has_grounded_answer());
+    }
+}

@@ -1,0 +1,240 @@
+//! Single rewriting and factorization steps.
+//!
+//! A **rewriting step** (the operation approximated by the edges of the
+//! paper's position graph and P-node graph) takes a query `q`, a TGD
+//! `R : B → H` and an admissible piece unifier `(Q', u)` of `q` with `R`, and
+//! produces the query whose body is `u(B) ∪ u(body(q) \ Q')`. Intuitively the
+//! atoms of `Q'` no longer need to be found in the data — they can be
+//! *generated* by `R` — so it suffices to find `R`'s body instead.
+//!
+//! A **factorization step** unifies two body atoms of the query with each
+//! other. It never changes the query's semantics on its own (the factorized
+//! query is contained in the original), but it can enable piece unifications
+//! that would otherwise be blocked by the "shared existential variable"
+//! condition, and is required for the completeness of UCQ rewriting.
+
+use crate::rq::RQuery;
+use ontorew_model::prelude::*;
+use ontorew_unify::{piece_unifiers, unify_atoms};
+
+/// One rewriting step: the produced query plus provenance.
+#[derive(Clone, Debug)]
+pub struct RewriteStep {
+    /// The query produced by the step.
+    pub query: RQuery,
+    /// Index of the rule used (in the program's rule order).
+    pub rule_index: usize,
+    /// The atoms of the parent query that were resolved away (indices into the
+    /// parent's body).
+    pub resolved_atoms: Vec<usize>,
+}
+
+/// Apply every admissible rewriting step of `rule` (at `rule_index`) to
+/// `query`, returning the produced queries.
+///
+/// `rule` is standardised apart internally, so callers can pass program rules
+/// directly.
+pub fn rewrite_with_rule(query: &RQuery, rule: &Tgd, rule_index: usize) -> Vec<RewriteStep> {
+    let fresh_rule = rule.freshen();
+    let answer_vars: Vec<Variable> = query
+        .answer
+        .iter()
+        .filter_map(|t| t.as_variable())
+        .collect();
+
+    let mut steps = Vec::new();
+    for pu in piece_unifiers(&query.body, &answer_vars, &fresh_rule) {
+        let piece: std::collections::BTreeSet<usize> = pu.piece.iter().copied().collect();
+        // Body of the new query: u(rule body) followed by u(query body \ piece).
+        let mut new_body: Vec<Atom> = pu.unifier.apply_atoms_deep(&fresh_rule.body);
+        for (i, atom) in query.body.iter().enumerate() {
+            if !piece.contains(&i) {
+                new_body.push(pu.unifier.apply_atom_deep(atom));
+            }
+        }
+        let new_answer: Vec<Term> = query
+            .answer
+            .iter()
+            .map(|t| pu.unifier.apply_term_deep(*t))
+            .collect();
+        steps.push(RewriteStep {
+            query: RQuery {
+                answer: new_answer,
+                body: new_body,
+            },
+            rule_index,
+            resolved_atoms: pu.piece.clone(),
+        });
+    }
+    steps
+}
+
+/// Apply every factorization step to `query`: for every pair of distinct body
+/// atoms over the same predicate that unify, produce the query obtained by
+/// applying their most general unifier.
+pub fn factorizations(query: &RQuery) -> Vec<RQuery> {
+    let mut out = Vec::new();
+    for i in 0..query.body.len() {
+        for j in (i + 1)..query.body.len() {
+            if query.body[i].predicate != query.body[j].predicate {
+                continue;
+            }
+            if let Some(mgu) = unify_atoms(&query.body[i], &query.body[j]) {
+                if mgu.is_empty() {
+                    continue; // identical atoms, nothing to factorize
+                }
+                let factored = query.apply(&mgu);
+                out.push(factored);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_query, parse_tgd};
+
+    fn rq(text: &str) -> RQuery {
+        RQuery::from_cq(&parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn atomic_query_single_step() {
+        // q(X) :- person(X) with rule student(Y) -> person(Y)
+        // rewrites to q(X) :- student(X).
+        let q = rq("q(X) :- person(X)");
+        let rule = parse_tgd("student(Y) -> person(Y)").unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 0);
+        assert_eq!(steps.len(), 1);
+        let produced = &steps[0].query;
+        assert_eq!(produced.body.len(), 1);
+        assert_eq!(produced.body[0].predicate, Predicate::new("student", 1));
+        // The answer variable is preserved through the unifier.
+        assert_eq!(produced.body[0].terms[0], produced.answer[0]);
+    }
+
+    #[test]
+    fn existential_head_blocks_step_on_answer_variable() {
+        // q(X, Y) :- hasParent(X, Y) cannot be rewritten with
+        // person(Z) -> hasParent(Z, W) because Y (an answer variable) would
+        // have to equal the existential W.
+        let q = rq("q(X, Y) :- hasParent(X, Y)");
+        let rule = parse_tgd("person(Z) -> hasParent(Z, W)").unwrap();
+        assert!(rewrite_with_rule(&q, &rule, 0).is_empty());
+    }
+
+    #[test]
+    fn existential_head_allows_step_on_local_variable() {
+        let q = rq("q(X) :- hasParent(X, Y)");
+        let rule = parse_tgd("person(Z) -> hasParent(Z, W)").unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 3);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].rule_index, 3);
+        assert_eq!(
+            steps[0].query.body[0].predicate,
+            Predicate::new("person", 1)
+        );
+    }
+
+    #[test]
+    fn unresolved_atoms_are_carried_over() {
+        // q(X) :- person(X), teaches(X, C): only person unifies with the head.
+        let q = rq("q(X) :- person(X), teaches(X, C)");
+        let rule = parse_tgd("student(Y) -> person(Y)").unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 0);
+        assert_eq!(steps.len(), 1);
+        let produced = &steps[0].query;
+        assert_eq!(produced.body.len(), 2);
+        let preds: Vec<&str> = produced
+            .body
+            .iter()
+            .map(|a| a.predicate.name_str())
+            .collect();
+        assert!(preds.contains(&"student"));
+        assert!(preds.contains(&"teaches"));
+        assert_eq!(steps[0].resolved_atoms, vec![0]);
+    }
+
+    #[test]
+    fn constants_in_query_propagate_into_the_rule_body() {
+        // Example 2's first rewriting step: q() :- r("a", X) with
+        // s(Y1, Y1, Y2) -> r(Y2, Y3) gives q() :- s(Y1, Y1, "a").
+        let q = rq(r#"q() :- r("a", X)"#);
+        let rule = parse_tgd("s(Y1, Y1, Y2) -> r(Y2, Y3)").unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 1);
+        assert_eq!(steps.len(), 1);
+        let produced = &steps[0].query;
+        assert_eq!(produced.body.len(), 1);
+        let atom = &produced.body[0];
+        assert_eq!(atom.predicate, Predicate::new("s", 3));
+        assert_eq!(atom.terms[0], atom.terms[1]);
+        assert_eq!(atom.terms[2], Term::constant("a"));
+    }
+
+    #[test]
+    fn constant_clash_blocks_the_step() {
+        let q = rq(r#"q() :- p("a")"#);
+        let rule = parse_tgd(r#"r(X) -> p("b")"#).unwrap();
+        assert!(rewrite_with_rule(&q, &rule, 0).is_empty());
+    }
+
+    #[test]
+    fn head_constant_grounds_an_answer_variable() {
+        let q = rq("q(X) :- p(X)");
+        let rule = parse_tgd(r#"r(Y) -> p("a")"#).unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 0);
+        assert_eq!(steps.len(), 1);
+        assert!(steps[0].query.has_grounded_answer());
+        assert_eq!(steps[0].query.answer[0], Term::constant("a"));
+    }
+
+    #[test]
+    fn two_atom_piece_is_resolved_together() {
+        // q() :- member(U, W), member(V, W) with project(P) -> member(P, G):
+        // the shared existential W forces the two atoms to be resolved as one
+        // piece, and the produced body joins the two project atoms on nothing.
+        let q = rq("q() :- member(U, W), member(V, W)");
+        let rule = parse_tgd("project(P) -> member(P, G)").unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 0);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].resolved_atoms, vec![0, 1]);
+        let produced = &steps[0].query;
+        assert_eq!(produced.body.len(), 1); // project(U) == project(V) after unification
+        assert_eq!(
+            produced.body[0].predicate,
+            Predicate::new("project", 1)
+        );
+    }
+
+    #[test]
+    fn factorization_unifies_compatible_atoms() {
+        let q = rq("q(X) :- r(X, Y), r(X, Z)");
+        let f = factorizations(&q);
+        assert_eq!(f.len(), 1);
+        let canonical = f[0].canonical();
+        assert_eq!(canonical.len(), 1);
+    }
+
+    #[test]
+    fn factorization_skips_incompatible_atoms() {
+        let q = rq(r#"q() :- r("a", Y), r("b", Z)"#);
+        assert!(factorizations(&q).is_empty());
+    }
+
+    #[test]
+    fn factorization_skips_different_predicates() {
+        let q = rq("q(X) :- r(X, Y), s(X, Y)");
+        assert!(factorizations(&q).is_empty());
+    }
+
+    #[test]
+    fn multi_head_rule_offers_steps_for_each_head_atom() {
+        let q = rq("q(X) :- emp(X), mgr(X)");
+        let rule = parse_tgd("person(P) -> emp(P), mgr(P)").unwrap();
+        let steps = rewrite_with_rule(&q, &rule, 0);
+        // emp(X) and mgr(X) each resolve against their head atom.
+        assert_eq!(steps.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The relational store: a collection of [`Relation`]s.
+
+use crate::relation::Relation;
+use ontorew_model::prelude::*;
+use std::collections::HashMap;
+
+/// An in-memory relational database: one [`Relation`] per predicate.
+///
+/// This is the extensional layer of an OBDA deployment — the part the paper
+/// assumes is "managed by the DBMS". It interconverts with the simpler
+/// [`Instance`] representation used by the chase.
+#[derive(Clone, Debug, Default)]
+pub struct RelationalStore {
+    relations: HashMap<Predicate, Relation>,
+}
+
+impl RelationalStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        RelationalStore::default()
+    }
+
+    /// Build a store from an [`Instance`].
+    pub fn from_instance(instance: &Instance) -> Self {
+        let mut store = RelationalStore::new();
+        for atom in instance.atoms() {
+            store.insert_atom(&atom);
+        }
+        store
+    }
+
+    /// Convert the store back into an [`Instance`].
+    pub fn to_instance(&self) -> Instance {
+        let mut inst = Instance::new();
+        for (p, rel) in &self.relations {
+            for row in rel.scan() {
+                inst.insert(Atom {
+                    predicate: *p,
+                    terms: row.clone(),
+                });
+            }
+        }
+        inst
+    }
+
+    /// Insert a ground atom; returns `true` if it was new.
+    pub fn insert_atom(&mut self, atom: &Atom) -> bool {
+        self.relations
+            .entry(atom.predicate)
+            .or_insert_with(|| Relation::new(atom.predicate))
+            .insert(atom.terms.clone())
+    }
+
+    /// Insert a fact given by predicate name and constant names.
+    pub fn insert_fact(&mut self, predicate: &str, constants: &[&str]) -> bool {
+        self.insert_atom(&Atom::fact(predicate, constants))
+    }
+
+    /// True if the store contains the ground atom.
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        self.relations
+            .get(&atom.predicate)
+            .map(|r| r.contains(&atom.terms))
+            .unwrap_or(false)
+    }
+
+    /// The relation for `predicate`, if it has any tuples.
+    pub fn relation(&self, predicate: Predicate) -> Option<&Relation> {
+        self.relations.get(&predicate)
+    }
+
+    /// Mutable access to the relation for `predicate`, creating it if absent.
+    pub fn relation_mut(&mut self, predicate: Predicate) -> &mut Relation {
+        self.relations
+            .entry(predicate)
+            .or_insert_with(|| Relation::new(predicate))
+    }
+
+    /// Number of tuples in the relation for `predicate` (0 if absent).
+    pub fn relation_size(&self, predicate: Predicate) -> usize {
+        self.relations.get(&predicate).map(Relation::len).unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True if the store holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The predicates present in the store.
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// The signature induced by the store.
+    pub fn signature(&self) -> Signature {
+        self.predicates().collect()
+    }
+}
+
+impl From<&Instance> for RelationalStore {
+    fn from(instance: &Instance) -> Self {
+        RelationalStore::from_instance(instance)
+    }
+}
+
+impl From<Instance> for RelationalStore {
+    fn from(instance: Instance) -> Self {
+        RelationalStore::from_instance(&instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = RelationalStore::new();
+        assert!(db.insert_fact("teaches", &["alice", "db101"]));
+        assert!(!db.insert_fact("teaches", &["alice", "db101"]));
+        assert!(db.contains_atom(&Atom::fact("teaches", &["alice", "db101"])));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.relation_size(Predicate::new("teaches", 2)), 1);
+        assert_eq!(db.relation_size(Predicate::new("absent", 1)), 0);
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let mut inst = Instance::new();
+        inst.insert_fact("r", &["a", "b"]);
+        inst.insert_fact("s", &["c"]);
+        let store = RelationalStore::from_instance(&inst);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.to_instance(), inst);
+    }
+
+    #[test]
+    fn signature_reflects_contents() {
+        let mut db = RelationalStore::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("s", &["c"]);
+        let sig = db.signature();
+        assert!(sig.contains(Predicate::new("r", 2)));
+        assert!(sig.contains(Predicate::new("s", 1)));
+        assert_eq!(sig.len(), 2);
+    }
+
+    #[test]
+    fn relation_mut_creates_on_demand() {
+        let mut db = RelationalStore::new();
+        let p = Predicate::new("new_rel", 1);
+        assert!(db.relation(p).is_none());
+        db.relation_mut(p).insert(vec![Term::constant("x")]);
+        assert_eq!(db.relation_size(p), 1);
+    }
+
+    #[test]
+    fn from_conversions() {
+        let mut inst = Instance::new();
+        inst.insert_fact("r", &["a", "b"]);
+        let s1: RelationalStore = (&inst).into();
+        let s2: RelationalStore = inst.clone().into();
+        assert_eq!(s1.len(), s2.len());
+    }
+}

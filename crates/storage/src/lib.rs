@@ -1,0 +1,32 @@
+//! # ontorew-storage
+//!
+//! The relational substrate of the OBDA stack: an in-memory store of
+//! relations with lazy per-column hash indexes, an index-nested-loop join
+//! evaluator for conjunctive queries and UCQs, and a SQL renderer for
+//! rewritings.
+//!
+//! The paper assumes the extensional data lives in a standard relational
+//! DBMS; this crate is the simulation of that DBMS (see DESIGN.md §1 for the
+//! substitution rationale). The query answering path exercised by the
+//! benchmarks — UCQ rewriting evaluated over indexed relations — matches the
+//! deployment the paper targets.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod database;
+pub mod eval;
+pub mod relation;
+pub mod sql;
+pub mod stats;
+pub mod tuple;
+
+pub use database::RelationalStore;
+pub use eval::{
+    evaluate_boolean, evaluate_cq, evaluate_cq_instrumented, evaluate_ucq, AnswerSet, EvalConfig,
+    EvalStats,
+};
+pub use relation::Relation;
+pub use sql::{cq_to_sql, ucq_to_sql};
+pub use stats::{ColumnStats, RelationStats, StoreStatistics};
+pub use tuple::{decode_tuple, encode_tuple, EncodedTuple};

@@ -1,0 +1,208 @@
+//! A single stored relation with per-column hash indexes.
+
+use crate::tuple::{encode_tuple, EncodedTuple};
+use ontorew_model::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// A stored relation: the extension of one predicate.
+///
+/// Tuples are kept in insertion order in a dense `Vec` (so scans are cache
+/// friendly), deduplicated through a hash set of [`EncodedTuple`]s, and
+/// indexed per column on demand: the first lookup on a column builds a hash
+/// index from term to row ids, which subsequent lookups reuse.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    predicate: Predicate,
+    rows: Vec<Vec<Term>>,
+    dedup: HashSet<EncodedTuple>,
+    /// Lazily built per-column indexes: `indexes[col][term] -> row ids`.
+    indexes: Vec<Option<HashMap<Term, Vec<usize>>>>,
+}
+
+impl Relation {
+    /// An empty relation for `predicate`.
+    pub fn new(predicate: Predicate) -> Self {
+        Relation {
+            predicate,
+            rows: Vec::new(),
+            dedup: HashSet::new(),
+            indexes: vec![None; predicate.arity],
+        }
+    }
+
+    /// The predicate this relation stores.
+    pub fn predicate(&self) -> Predicate {
+        self.predicate
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the predicate, or if the
+    /// tuple contains a variable.
+    pub fn insert(&mut self, tuple: Vec<Term>) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.predicate.arity,
+            "tuple arity mismatch for {}",
+            self.predicate
+        );
+        assert!(
+            tuple.iter().all(Term::is_ground),
+            "cannot store a tuple containing variables"
+        );
+        let encoded = encode_tuple(&tuple);
+        if !self.dedup.insert(encoded) {
+            return false;
+        }
+        let row_id = self.rows.len();
+        for (col, term) in tuple.iter().enumerate() {
+            if let Some(index) = &mut self.indexes[col] {
+                index.entry(*term).or_default().push(row_id);
+            }
+        }
+        self.rows.push(tuple);
+        true
+    }
+
+    /// True if the relation contains the tuple.
+    pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.dedup.contains(&encode_tuple(tuple))
+    }
+
+    /// Iterate over all tuples in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = &Vec<Term>> {
+        self.rows.iter()
+    }
+
+    /// The tuple stored at `row_id`.
+    pub fn row(&self, row_id: usize) -> &Vec<Term> {
+        &self.rows[row_id]
+    }
+
+    /// Row ids of tuples whose column `col` equals `value`, building the
+    /// column index on first use.
+    pub fn lookup(&mut self, col: usize, value: Term) -> &[usize] {
+        assert!(col < self.predicate.arity, "column out of range");
+        if self.indexes[col].is_none() {
+            let mut index: HashMap<Term, Vec<usize>> = HashMap::new();
+            for (row_id, row) in self.rows.iter().enumerate() {
+                index.entry(row[col]).or_default().push(row_id);
+            }
+            self.indexes[col] = Some(index);
+        }
+        self.indexes[col]
+            .as_ref()
+            .expect("index was just built")
+            .get(&value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Like [`Relation::lookup`] but without building an index (pure scan);
+    /// used when the relation is borrowed immutably.
+    pub fn lookup_scan(&self, col: usize, value: Term) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row[col] == value)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of columns that currently have a materialised index.
+    pub fn indexed_columns(&self) -> usize {
+        self.indexes.iter().filter(|i| i.is_some()).count()
+    }
+
+    /// Eagerly build the index on column `col`.
+    pub fn build_index(&mut self, col: usize) {
+        let _ = self.lookup(col, Term::constant("__index_warmup__"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+
+    fn sample() -> Relation {
+        let mut r = Relation::new(Predicate::new("teaches", 2));
+        r.insert(vec![c("alice"), c("db101")]);
+        r.insert(vec![c("bob"), c("ai102")]);
+        r.insert(vec![c("alice"), c("ml103")]);
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(!r.insert(vec![c("alice"), c("db101")]));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_scan() {
+        let r = sample();
+        assert!(r.contains(&[c("bob"), c("ai102")]));
+        assert!(!r.contains(&[c("bob"), c("db101")]));
+        assert_eq!(r.scan().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_enforced() {
+        let mut r = Relation::new(Predicate::new("r", 2));
+        r.insert(vec![c("a")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "containing variables")]
+    fn variables_are_rejected() {
+        let mut r = Relation::new(Predicate::new("r", 1));
+        r.insert(vec![Term::variable("X")]);
+    }
+
+    #[test]
+    fn lookup_builds_index_lazily_and_stays_correct_after_inserts() {
+        let mut r = sample();
+        assert_eq!(r.indexed_columns(), 0);
+        let rows = r.lookup(0, c("alice")).to_vec();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(r.indexed_columns(), 1);
+        // Insert after the index is built; the index must be maintained.
+        r.insert(vec![c("alice"), c("pl104")]);
+        assert_eq!(r.lookup(0, c("alice")).len(), 3);
+        assert_eq!(r.lookup(0, c("zoe")).len(), 0);
+    }
+
+    #[test]
+    fn lookup_scan_matches_lookup() {
+        let mut r = sample();
+        let scan = r.lookup_scan(1, c("ai102"));
+        let indexed = r.lookup(1, c("ai102")).to_vec();
+        assert_eq!(scan, indexed);
+    }
+
+    #[test]
+    fn build_index_is_idempotent() {
+        let mut r = sample();
+        r.build_index(0);
+        r.build_index(0);
+        assert_eq!(r.indexed_columns(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Rendering conjunctive queries and UCQs as SQL.
+//!
+//! FO-rewritability (Definition 1 of the paper) matters in practice because
+//! the rewriting of a query can be handed to a standard relational DBMS as a
+//! SQL query. This module renders a CQ as a `SELECT ... FROM ... WHERE ...`
+//! block and a UCQ as the `UNION` of its disjuncts, using positional column
+//! names `c0, c1, ...` for the relations of the extensional store.
+
+use ontorew_model::prelude::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render a conjunctive query as a SQL `SELECT` statement.
+///
+/// Each body atom becomes an aliased table reference (`r AS t0`), join
+/// conditions equate columns bound to the same variable, constants become
+/// equality filters, and the answer variables become the projection list.
+/// Boolean queries project the constant `1`.
+pub fn cq_to_sql(query: &ConjunctiveQuery) -> String {
+    let mut from = Vec::new();
+    let mut conditions = Vec::new();
+    // For each variable, the list of "t<i>.c<j>" column references bound to it.
+    let mut columns_of_var: HashMap<Variable, Vec<String>> = HashMap::new();
+
+    for (i, atom) in query.body.iter().enumerate() {
+        let alias = format!("t{i}");
+        from.push(format!("{} AS {alias}", atom.predicate.name));
+        for (j, term) in atom.terms.iter().enumerate() {
+            let column = format!("{alias}.c{j}");
+            match term {
+                Term::Variable(v) => columns_of_var.entry(*v).or_default().push(column),
+                Term::Constant(c) => {
+                    conditions.push(format!("{column} = '{}'", c.name()));
+                }
+                Term::Null(n) => {
+                    conditions.push(format!("{column} = '_:n{}'", n.id()));
+                }
+            }
+        }
+    }
+
+    // Join conditions: every column of a variable equals the first column.
+    for columns in columns_of_var.values() {
+        for other in &columns[1..] {
+            conditions.push(format!("{} = {}", columns[0], other));
+        }
+    }
+
+    let projection = if query.answer_vars.is_empty() {
+        "1".to_owned()
+    } else {
+        query
+            .answer_vars
+            .iter()
+            .map(|v| {
+                let column = columns_of_var
+                    .get(v)
+                    .and_then(|cols| cols.first())
+                    .cloned()
+                    .unwrap_or_else(|| "NULL".to_owned());
+                format!("{column} AS {}", v.name())
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    let mut sql = String::new();
+    write!(sql, "SELECT DISTINCT {projection} FROM {}", from.join(", ")).unwrap();
+    if !conditions.is_empty() {
+        write!(sql, " WHERE {}", conditions.join(" AND ")).unwrap();
+    }
+    sql
+}
+
+/// Render a UCQ as the `UNION` of the SQL renderings of its disjuncts.
+pub fn ucq_to_sql(ucq: &UnionOfConjunctiveQueries) -> String {
+    ucq.disjuncts
+        .iter()
+        .map(cq_to_sql)
+        .collect::<Vec<_>>()
+        .join("\nUNION\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    #[test]
+    fn single_atom_select() {
+        let q = ConjunctiveQuery::new(
+            vec![Variable::new("X")],
+            vec![Atom::new("teaches", vec![v("X"), v("Y")])],
+        );
+        let sql = cq_to_sql(&q);
+        assert!(sql.starts_with("SELECT DISTINCT t0.c0 AS X FROM teaches AS t0"));
+        assert!(!sql.contains("WHERE"));
+    }
+
+    #[test]
+    fn join_conditions_are_emitted() {
+        let q = ConjunctiveQuery::new(
+            vec![Variable::new("S")],
+            vec![
+                Atom::new("teaches", vec![v("T"), v("C")]),
+                Atom::new("attends", vec![v("S"), v("C")]),
+            ],
+        );
+        let sql = cq_to_sql(&q);
+        assert!(sql.contains("FROM teaches AS t0, attends AS t1"));
+        assert!(sql.contains("t0.c1 = t1.c1"));
+    }
+
+    #[test]
+    fn constants_become_filters() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new(
+            "r",
+            vec![Term::constant("a"), v("X")],
+        )]);
+        let sql = cq_to_sql(&q);
+        assert!(sql.contains("SELECT DISTINCT 1"));
+        assert!(sql.contains("t0.c0 = 'a'"));
+    }
+
+    #[test]
+    fn repeated_variables_become_self_joins() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("edge", vec![v("X"), v("X")])]);
+        let sql = cq_to_sql(&q);
+        assert!(sql.contains("t0.c0 = t0.c1"));
+    }
+
+    #[test]
+    fn ucq_is_a_union() {
+        let q1 = ConjunctiveQuery::new(
+            vec![Variable::new("X")],
+            vec![Atom::new("r", vec![v("X")])],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Variable::new("X")],
+            vec![Atom::new("s", vec![v("X")])],
+        );
+        let sql = ucq_to_sql(&UnionOfConjunctiveQueries::new(vec![q1, q2]));
+        assert_eq!(sql.matches("SELECT DISTINCT").count(), 2);
+        assert!(sql.contains("\nUNION\n"));
+    }
+}

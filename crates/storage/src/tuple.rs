@@ -1,0 +1,169 @@
+//! Compact tuple encoding.
+//!
+//! Relations deduplicate and index millions of tuples during chase
+//! materialization; hashing a `Vec<Term>` (a multi-word enum per term) is
+//! noticeably more expensive than hashing a flat byte string. This module
+//! encodes a ground tuple into a compact byte representation (one tag byte
+//! plus a little-endian `u64` per term) backed by [`bytes::Bytes`], which is
+//! cheap to clone, hash and compare.
+//!
+//! Symbols are recovered through a process-local cache populated at encoding
+//! time, so an [`EncodedTuple`] is only meaningful within the process that
+//! produced it (it is an in-memory index key, not a persistence format).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use ontorew_model::prelude::*;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+const TAG_CONSTANT: u8 = 0;
+const TAG_NULL: u8 = 1;
+const TAG_VARIABLE: u8 = 2;
+
+/// A compactly encoded tuple of terms. Produced by [`encode_tuple`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EncodedTuple(Bytes);
+
+impl EncodedTuple {
+    /// Number of encoded terms.
+    pub fn arity(&self) -> usize {
+        self.0.len() / 9
+    }
+
+    /// Size of the encoding in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+static SYMBOL_CACHE: OnceLock<RwLock<HashMap<u32, Symbol>>> = OnceLock::new();
+
+fn cache() -> &'static RwLock<HashMap<u32, Symbol>> {
+    SYMBOL_CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Encode a tuple, registering its symbols so the encoding can later be
+/// decoded with [`decode_tuple`].
+pub fn encode_tuple(terms: &[Term]) -> EncodedTuple {
+    {
+        let mut map = cache().write();
+        for t in terms {
+            match t {
+                Term::Constant(c) => {
+                    map.insert(c.0.index(), c.0);
+                }
+                Term::Variable(v) => {
+                    map.insert(v.0.index(), v.0);
+                }
+                Term::Null(_) => {}
+            }
+        }
+    }
+    let mut buf = BytesMut::with_capacity(terms.len() * 9);
+    for t in terms {
+        match t {
+            Term::Constant(c) => {
+                buf.put_u8(TAG_CONSTANT);
+                buf.put_u64_le(c.0.index() as u64);
+            }
+            Term::Null(n) => {
+                buf.put_u8(TAG_NULL);
+                buf.put_u64_le(n.id());
+            }
+            Term::Variable(v) => {
+                buf.put_u8(TAG_VARIABLE);
+                buf.put_u64_le(v.0.index() as u64);
+            }
+        }
+    }
+    EncodedTuple(buf.freeze())
+}
+
+/// Decode a tuple previously produced by [`encode_tuple`] in this process.
+///
+/// # Panics
+/// Panics if the tuple mentions a symbol that was never encoded in this
+/// process (which indicates a logic error, not bad data).
+pub fn decode_tuple(encoded: &EncodedTuple) -> Vec<Term> {
+    let bytes = &encoded.0;
+    let map = cache().read();
+    let mut terms = Vec::with_capacity(bytes.len() / 9);
+    let mut i = 0;
+    while i + 9 <= bytes.len() {
+        let tag = bytes[i];
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[i + 1..i + 9]);
+        let value = u64::from_le_bytes(raw);
+        let term = match tag {
+            TAG_CONSTANT => Term::Constant(Constant(
+                *map.get(&(value as u32))
+                    .expect("decoded a symbol that was never encoded"),
+            )),
+            TAG_NULL => Term::Null(Null(value)),
+            TAG_VARIABLE => Term::Variable(Variable(
+                *map.get(&(value as u32))
+                    .expect("decoded a symbol that was never encoded"),
+            )),
+            _ => unreachable!("corrupt tuple encoding"),
+        };
+        terms.push(term);
+        i += 9;
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_constants_and_nulls() {
+        let terms = vec![
+            Term::constant("alice"),
+            Term::Null(Null(99)),
+            Term::constant("db101"),
+        ];
+        let enc = encode_tuple(&terms);
+        assert_eq!(enc.arity(), 3);
+        assert_eq!(enc.byte_len(), 27);
+        assert_eq!(decode_tuple(&enc), terms);
+    }
+
+    #[test]
+    fn round_trip_variables() {
+        let terms = vec![Term::variable("X"), Term::variable("Y")];
+        let enc = encode_tuple(&terms);
+        assert_eq!(decode_tuple(&enc), terms);
+    }
+
+    #[test]
+    fn equal_tuples_encode_identically() {
+        let a = encode_tuple(&[Term::constant("a"), Term::constant("b")]);
+        let b = encode_tuple(&[Term::constant("a"), Term::constant("b")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_tuples_encode_differently() {
+        let a = encode_tuple(&[Term::constant("a")]);
+        let b = encode_tuple(&[Term::constant("b")]);
+        assert_ne!(a, b);
+        let c = encode_tuple(&[Term::variable("a")]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn variables_and_constants_with_same_name_differ() {
+        let a = encode_tuple(&[Term::constant("x")]);
+        let b = encode_tuple(&[Term::variable("x")]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_tuple_is_representable() {
+        let enc = encode_tuple(&[]);
+        assert_eq!(enc.arity(), 0);
+        assert!(decode_tuple(&enc).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the relational store: the indexed join evaluator
+//! must agree with the naive homomorphism-based evaluator on random data.
+
+use ontorew_model::prelude::*;
+use ontorew_storage::{evaluate_cq, evaluate_ucq, RelationalStore};
+use ontorew_unify::all_homomorphisms;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn constant() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "d", "e"]).prop_map(String::from)
+}
+
+/// A random instance over the fixed signature edge/2, node/1, label/2.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    prop::collection::vec(
+        prop_oneof![
+            (constant(), constant()).prop_map(|(x, y)| Atom::fact("edge", &[&x, &y])),
+            constant().prop_map(|x| Atom::fact("node", &[&x])),
+            (constant(), constant()).prop_map(|(x, y)| Atom::fact("label", &[&x, &y])),
+        ],
+        0..30,
+    )
+    .prop_map(Instance::from_atoms)
+}
+
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    // A pool of query shapes over the same signature, from single-atom scans
+    // to triangle-ish joins with constants and repeated variables.
+    prop::sample::select(vec![
+        "q(X) :- node(X)",
+        "q(X, Y) :- edge(X, Y)",
+        "q(X) :- edge(X, X)",
+        "q(X) :- edge(X, Y), node(Y)",
+        "q(X, Z) :- edge(X, Y), edge(Y, Z)",
+        "q(X) :- edge(X, Y), label(Y, Z)",
+        "q() :- edge(\"a\", X)",
+        "q(Y) :- edge(\"a\", Y), node(Y)",
+        "q(X) :- edge(X, Y), edge(Y, X)",
+    ])
+    .prop_map(|text| parse_query(text).expect("query parses"))
+}
+
+/// Reference evaluation: enumerate all homomorphisms of the body into the
+/// instance and project onto the answer variables.
+fn naive_answers(instance: &Instance, query: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
+    all_homomorphisms(&query.body, instance, &Substitution::new())
+        .into_iter()
+        .map(|h| {
+            query
+                .answer_vars
+                .iter()
+                .map(|v| h.apply_term(Term::Variable(*v)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// The indexed evaluator returns exactly the naive answers.
+    #[test]
+    fn indexed_join_matches_naive_evaluation(
+        instance in instance_strategy(),
+        query in query_strategy(),
+    ) {
+        let store = RelationalStore::from_instance(&instance);
+        let fast: BTreeSet<Vec<Term>> = evaluate_cq(&store, &query).iter().cloned().collect();
+        let slow = naive_answers(&instance, &query);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Store/instance conversions are lossless.
+    #[test]
+    fn store_round_trip(instance in instance_strategy()) {
+        let store = RelationalStore::from_instance(&instance);
+        prop_assert_eq!(store.len(), instance.len());
+        prop_assert_eq!(store.to_instance(), instance);
+    }
+
+    /// UCQ evaluation equals the union of the disjuncts' answers.
+    #[test]
+    fn ucq_is_union_of_disjuncts(
+        instance in instance_strategy(),
+        q1 in query_strategy(),
+        q2 in query_strategy(),
+    ) {
+        prop_assume!(q1.arity() == q2.arity());
+        let store = RelationalStore::from_instance(&instance);
+        let ucq = UnionOfConjunctiveQueries::new(vec![q1.clone(), q2.clone()]);
+        let combined: BTreeSet<Vec<Term>> = evaluate_ucq(&store, &ucq).iter().cloned().collect();
+        let mut expected: BTreeSet<Vec<Term>> =
+            evaluate_cq(&store, &q1).iter().cloned().collect();
+        expected.extend(evaluate_cq(&store, &q2).iter().cloned());
+        prop_assert_eq!(combined, expected);
+    }
+
+    /// Evaluation is monotone: adding facts never removes answers.
+    #[test]
+    fn evaluation_is_monotone(
+        smaller in instance_strategy(),
+        extra in instance_strategy(),
+        query in query_strategy(),
+    ) {
+        let mut bigger = smaller.clone();
+        bigger.extend_from(&extra);
+        let small_store = RelationalStore::from_instance(&smaller);
+        let big_store = RelationalStore::from_instance(&bigger);
+        let small: BTreeSet<Vec<Term>> =
+            evaluate_cq(&small_store, &query).iter().cloned().collect();
+        let big: BTreeSet<Vec<Term>> =
+            evaluate_cq(&big_store, &query).iter().cloned().collect();
+        prop_assert!(small.is_subset(&big));
+    }
+}

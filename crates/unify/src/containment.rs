@@ -1,0 +1,268 @@
+//! Conjunctive-query containment, equivalence and minimization.
+//!
+//! By the Chandra–Merlin theorem, `q1 ⊑ q2` (every answer of `q1` over any
+//! database is an answer of `q2`) holds iff there is a homomorphism from `q2`
+//! to `q1` that maps the answer tuple of `q2` onto the answer tuple of `q1`.
+//! The canonical database of `q1` is obtained by freezing its variables.
+//!
+//! Containment is the basis of the subsumption pruning used by the rewriting
+//! engine, and minimization (computing a core) keeps rewritings small.
+
+use crate::homomorphism::{find_homomorphism, freeze_atom, freeze_term};
+use ontorew_model::prelude::*;
+
+/// True if `sub ⊑ sup`: every answer of `sub` is an answer of `sup` over every
+/// database. Requires the two queries to have the same arity.
+pub fn is_contained_in(sub: &ConjunctiveQuery, sup: &ConjunctiveQuery) -> bool {
+    if sub.arity() != sup.arity() {
+        return false;
+    }
+    // Freeze `sub` into its canonical database.
+    let canonical: Instance = sub.body.iter().map(freeze_atom).collect();
+    // The homomorphism must map sup's answer variables onto sub's frozen
+    // answer variables, position-wise.
+    let mut seed = Substitution::new();
+    for (sup_v, sub_v) in sup.answer_vars.iter().zip(sub.answer_vars.iter()) {
+        let target = freeze_term(Term::Variable(*sub_v));
+        match seed.get(*sup_v) {
+            Some(existing) if existing != target => return false,
+            _ => seed.bind(*sup_v, target),
+        }
+    }
+    find_homomorphism(&sup.body, &canonical, &seed).is_some()
+}
+
+/// True if the two queries are equivalent (mutually contained).
+pub fn are_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+/// Compute a core (minimization) of the query: a subset of its body atoms that
+/// is equivalent to the original query and from which no atom can be removed
+/// while preserving equivalence.
+///
+/// The result is unique up to isomorphism; this implementation removes atoms
+/// greedily in body order.
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut body = q.body.clone();
+    let mut i = 0;
+    while i < body.len() {
+        if body.len() == 1 {
+            break;
+        }
+        let mut candidate_body = body.clone();
+        candidate_body.remove(i);
+        // The candidate must still contain every answer variable to be a
+        // well-formed query.
+        let vars: std::collections::BTreeSet<Variable> =
+            ontorew_model::atom::variables_of(&candidate_body)
+                .into_iter()
+                .collect();
+        if q.answer_vars.iter().all(|v| vars.contains(v)) {
+            let candidate = ConjunctiveQuery {
+                name: q.name,
+                answer_vars: q.answer_vars.clone(),
+                body: candidate_body.clone(),
+            };
+            let original = ConjunctiveQuery {
+                name: q.name,
+                answer_vars: q.answer_vars.clone(),
+                body: body.clone(),
+            };
+            if are_equivalent(&candidate, &original) {
+                body = candidate_body;
+                continue; // re-check the same index, which now holds the next atom
+            }
+        }
+        i += 1;
+    }
+    ConjunctiveQuery {
+        name: q.name,
+        answer_vars: q.answer_vars.clone(),
+        body,
+    }
+}
+
+/// Remove from a UCQ every disjunct that is contained in another disjunct
+/// (keeping the subsuming one), and minimize each surviving disjunct.
+///
+/// The result is logically equivalent to the input UCQ and is the normal form
+/// produced by the rewriting engine.
+pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
+    let minimized: Vec<ConjunctiveQuery> = ucq.disjuncts.iter().map(minimize).collect();
+    let mut keep = vec![true; minimized.len()];
+    for i in 0..minimized.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..minimized.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // Drop disjunct j if it is contained in disjunct i (i subsumes j).
+            if is_contained_in(&minimized[j], &minimized[i]) {
+                // Break ties deterministically: if they are mutually contained
+                // keep the one with the smaller index.
+                if is_contained_in(&minimized[i], &minimized[j]) && j < i {
+                    continue;
+                }
+                keep[j] = false;
+            }
+        }
+    }
+    let survivors: Vec<ConjunctiveQuery> = minimized
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(q, _)| q)
+        .collect();
+    UnionOfConjunctiveQueries::new(survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn q(answers: &[&str], body: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(answers.iter().map(|a| Variable::new(a)).collect(), body)
+    }
+
+    #[test]
+    fn more_constrained_query_is_contained_in_less_constrained() {
+        // q1(X) :- r(X, Y), s(Y)   ⊑   q2(X) :- r(X, Y)
+        let q1 = q(
+            &["X"],
+            vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("s", vec![v("Y")]),
+            ],
+        );
+        let q2 = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+        assert!(!are_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let q1 = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let q2 = q(&["A"], vec![Atom::new("r", vec![v("A"), v("B")])]);
+        assert!(are_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn answer_variable_positions_matter() {
+        // q1(X, Y) :- r(X, Y) is not equivalent to q2(X, Y) :- r(Y, X).
+        let q1 = q(&["X", "Y"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let q2 = q(&["X", "Y"], vec![Atom::new("r", vec![v("Y"), v("X")])]);
+        assert!(!is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn constants_affect_containment() {
+        // q1(X) :- r(X, "a")  ⊑  q2(X) :- r(X, Y), but not vice versa.
+        let q1 = q(
+            &["X"],
+            vec![Atom::new("r", vec![v("X"), Term::constant("a")])],
+        );
+        let q2 = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn different_arities_are_never_contained() {
+        let q1 = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let q2 = q(&["X", "Y"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        assert!(!is_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn redundant_atom_is_minimized_away() {
+        // q(X) :- r(X, Y), r(X, Z)  minimizes to  q(X) :- r(X, Y).
+        let query = q(
+            &["X"],
+            vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("r", vec![v("X"), v("Z")]),
+            ],
+        );
+        let m = minimize(&query);
+        assert_eq!(m.body.len(), 1);
+        assert!(are_equivalent(&m, &query));
+    }
+
+    #[test]
+    fn non_redundant_atoms_are_kept() {
+        let query = q(
+            &["X"],
+            vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("s", vec![v("Y")]),
+            ],
+        );
+        let m = minimize(&query);
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn minimize_respects_answer_variables() {
+        // q(X, Z) :- r(X, Y), r(X, Z): the atom with Z cannot be dropped even
+        // though it is "redundant" modulo renaming, because Z is distinguished.
+        let query = q(
+            &["X", "Z"],
+            vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("r", vec![v("X"), v("Z")]),
+            ],
+        );
+        let m = minimize(&query);
+        assert!(m.body.iter().any(|a| a.variable_set().contains(&Variable::new("Z"))));
+        assert!(are_equivalent(&m, &query));
+    }
+
+    #[test]
+    fn boolean_query_containment() {
+        let q1 = ConjunctiveQuery::boolean(vec![Atom::new("r", vec![Term::constant("a"), v("X")])]);
+        let q2 = ConjunctiveQuery::boolean(vec![Atom::new("r", vec![v("Y"), v("X")])]);
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn prune_ucq_drops_subsumed_disjuncts() {
+        let specific = q(
+            &["X"],
+            vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("s", vec![v("Y")]),
+            ],
+        );
+        let general = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let ucq = UnionOfConjunctiveQueries::new(vec![specific, general.clone()]);
+        let pruned = prune_ucq(&ucq);
+        assert_eq!(pruned.len(), 1);
+        assert!(are_equivalent(&pruned.disjuncts[0], &general));
+    }
+
+    #[test]
+    fn prune_ucq_keeps_incomparable_disjuncts() {
+        let q1 = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let q2 = q(&["X"], vec![Atom::new("s", vec![v("X")])]);
+        let pruned = prune_ucq(&UnionOfConjunctiveQueries::new(vec![q1, q2]));
+        assert_eq!(pruned.len(), 2);
+    }
+
+    #[test]
+    fn prune_ucq_deduplicates_equivalent_disjuncts() {
+        let q1 = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let q2 = q(&["A"], vec![Atom::new("r", vec![v("A"), v("B")])]);
+        let pruned = prune_ucq(&UnionOfConjunctiveQueries::new(vec![q1, q2]));
+        assert_eq!(pruned.len(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Homomorphisms from atom sets into instances and into other atom sets.
+//!
+//! A homomorphism `h` from a set of atoms `A` into an instance `I` maps the
+//! variables of `A` to terms of `I` such that `h(a) ∈ I` for every `a ∈ A`,
+//! and is the identity on constants. Homomorphism search is the work-horse of
+//! chase trigger detection, certain-answer checking and CQ containment.
+//!
+//! The search is a straightforward backtracking join with two standard
+//! optimisations: atoms are matched in an order that prefers already-bound
+//! variables (a greedy bound-first ordering), and candidate tuples are taken
+//! from the smallest relation first.
+
+use ontorew_model::prelude::*;
+use std::collections::BTreeSet;
+
+/// Find one homomorphism from `atoms` into `instance`, extending `seed`
+/// (bindings in `seed` are fixed in advance; typically the identity or a
+/// partial answer assignment).
+pub fn find_homomorphism(
+    atoms: &[Atom],
+    instance: &Instance,
+    seed: &Substitution,
+) -> Option<Substitution> {
+    let order = plan_order(atoms, seed);
+    let mut current = seed.clone();
+    search(&order, 0, instance, &mut current)
+}
+
+/// Find every homomorphism from `atoms` into `instance` extending `seed`.
+///
+/// The result can be exponentially large; callers that only need existence
+/// should use [`find_homomorphism`].
+pub fn all_homomorphisms(
+    atoms: &[Atom],
+    instance: &Instance,
+    seed: &Substitution,
+) -> Vec<Substitution> {
+    let order = plan_order(atoms, seed);
+    let mut out = Vec::new();
+    let mut current = seed.clone();
+    search_all(&order, 0, instance, &mut current, &mut out);
+    out
+}
+
+/// True if there is a homomorphism from `atoms` into `instance`.
+pub fn has_homomorphism(atoms: &[Atom], instance: &Instance) -> bool {
+    find_homomorphism(atoms, instance, &Substitution::new()).is_some()
+}
+
+/// Find a homomorphism from `source` into the atom set `target`, treating
+/// every variable of `target` as a frozen constant (i.e. the classical
+/// "freezing" used for CQ containment).
+pub fn find_homomorphism_into_atoms(source: &[Atom], target: &[Atom]) -> Option<Substitution> {
+    let frozen = freeze_atoms(target);
+    find_homomorphism(source, &frozen, &Substitution::new())
+}
+
+/// Freeze an atom set into an instance by replacing each variable with a
+/// distinguished constant (`"__frozen_<name>"`). Constants and nulls are kept.
+pub fn freeze_atoms(atoms: &[Atom]) -> Instance {
+    let mut inst = Instance::new();
+    for a in atoms {
+        inst.insert(freeze_atom(a));
+    }
+    inst
+}
+
+/// Freeze a single atom (see [`freeze_atoms`]).
+pub fn freeze_atom(atom: &Atom) -> Atom {
+    Atom {
+        predicate: atom.predicate,
+        terms: atom.terms.iter().map(|t| freeze_term(*t)).collect(),
+    }
+}
+
+/// Freeze a term: variables become distinguished constants, ground terms are
+/// unchanged.
+pub fn freeze_term(term: Term) -> Term {
+    match term {
+        Term::Variable(v) => Term::constant(&format!("__frozen_{}", v.name())),
+        other => other,
+    }
+}
+
+/// The substitution freezing every variable of `atoms` (useful to translate
+/// between frozen constants and the original variables).
+pub fn freezing_substitution(atoms: &[Atom]) -> Substitution {
+    let mut s = Substitution::new();
+    for v in ontorew_model::atom::variables_of(atoms) {
+        s.bind(v, freeze_term(Term::Variable(v)));
+    }
+    s
+}
+
+/// Order the atoms so that atoms sharing variables with already-planned atoms
+/// (or with the seed bindings) come as early as possible; ties are broken by
+/// preferring atoms with more ground terms.
+fn plan_order(atoms: &[Atom], seed: &Substitution) -> Vec<Atom> {
+    let mut remaining: Vec<Atom> = atoms.to_vec();
+    let mut bound: BTreeSet<Variable> = seed.domain().collect();
+    let mut ordered = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let vars = a.variable_set();
+                let bound_vars = vars.iter().filter(|v| bound.contains(v)).count();
+                let ground_terms = a.terms.iter().filter(|t| t.is_ground()).count();
+                // Higher score = scheduled earlier.
+                (i, (bound_vars * 100 + ground_terms * 10) as i64 - vars.len() as i64)
+            })
+            .max_by_key(|(_, score)| *score)
+            .expect("remaining is non-empty");
+        let atom = remaining.remove(best_idx);
+        bound.extend(atom.variable_set());
+        ordered.push(atom);
+    }
+    ordered
+}
+
+fn search(
+    atoms: &[Atom],
+    idx: usize,
+    instance: &Instance,
+    current: &mut Substitution,
+) -> Option<Substitution> {
+    if idx == atoms.len() {
+        return Some(current.clone());
+    }
+    let atom = &atoms[idx];
+    let grounded = current.apply_atom(atom);
+    for tuple in instance.tuples(atom.predicate) {
+        if let Some(extension) = match_tuple(&grounded, tuple) {
+            let saved = current.clone();
+            for (v, t) in extension.iter() {
+                current.bind(v, t);
+            }
+            if let Some(found) = search(atoms, idx + 1, instance, current) {
+                return Some(found);
+            }
+            *current = saved;
+        }
+    }
+    None
+}
+
+fn search_all(
+    atoms: &[Atom],
+    idx: usize,
+    instance: &Instance,
+    current: &mut Substitution,
+    out: &mut Vec<Substitution>,
+) {
+    if idx == atoms.len() {
+        out.push(current.clone());
+        return;
+    }
+    let atom = &atoms[idx];
+    let grounded = current.apply_atom(atom);
+    for tuple in instance.tuples(atom.predicate) {
+        if let Some(extension) = match_tuple(&grounded, tuple) {
+            let saved = current.clone();
+            for (v, t) in extension.iter() {
+                current.bind(v, t);
+            }
+            search_all(atoms, idx + 1, instance, current, out);
+            *current = saved;
+        }
+    }
+}
+
+/// Match a (partially grounded) atom against a ground tuple, producing the
+/// extra bindings required, or `None` if the tuple does not match.
+fn match_tuple(atom: &Atom, tuple: &[Term]) -> Option<Substitution> {
+    debug_assert_eq!(atom.terms.len(), tuple.len());
+    let mut extension = Substitution::new();
+    for (pattern, value) in atom.terms.iter().zip(tuple.iter()) {
+        match pattern {
+            Term::Variable(v) => match extension.get(*v) {
+                Some(existing) if existing != *value => return None,
+                Some(_) => {}
+                None => extension.bind(*v, *value),
+            },
+            ground => {
+                if ground != value {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(extension)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn sample_instance() -> Instance {
+        let mut db = Instance::new();
+        db.insert_fact("teaches", &["alice", "db101"]);
+        db.insert_fact("teaches", &["bob", "ai102"]);
+        db.insert_fact("course", &["db101"]);
+        db.insert_fact("course", &["ai102"]);
+        db.insert_fact("attends", &["carol", "db101"]);
+        db
+    }
+
+    #[test]
+    fn single_atom_homomorphism() {
+        let db = sample_instance();
+        let atoms = vec![Atom::new("teaches", vec![v("X"), v("Y")])];
+        let h = find_homomorphism(&atoms, &db, &Substitution::new()).unwrap();
+        assert!(db.contains(&h.apply_atom(&atoms[0])));
+    }
+
+    #[test]
+    fn join_homomorphism() {
+        let db = sample_instance();
+        // teaches(X, C), attends(S, C): only C = db101 works.
+        let atoms = vec![
+            Atom::new("teaches", vec![v("X"), v("C")]),
+            Atom::new("attends", vec![v("S"), v("C")]),
+        ];
+        let h = find_homomorphism(&atoms, &db, &Substitution::new()).unwrap();
+        assert_eq!(h.apply_term(v("C")), Term::constant("db101"));
+        assert_eq!(h.apply_term(v("X")), Term::constant("alice"));
+        assert_eq!(h.apply_term(v("S")), Term::constant("carol"));
+    }
+
+    #[test]
+    fn no_homomorphism_when_join_is_empty() {
+        let db = sample_instance();
+        let atoms = vec![
+            Atom::new("teaches", vec![v("X"), v("C")]),
+            Atom::new("attends", vec![v("X"), v("C")]),
+        ];
+        assert!(!has_homomorphism(&atoms, &db));
+    }
+
+    #[test]
+    fn constants_in_patterns_constrain_matches() {
+        let db = sample_instance();
+        let atoms = vec![Atom::new("teaches", vec![Term::constant("bob"), v("C")])];
+        let h = find_homomorphism(&atoms, &db, &Substitution::new()).unwrap();
+        assert_eq!(h.apply_term(v("C")), Term::constant("ai102"));
+        let atoms = vec![Atom::new("teaches", vec![Term::constant("zoe"), v("C")])];
+        assert!(!has_homomorphism(&atoms, &db));
+    }
+
+    #[test]
+    fn repeated_variables_in_pattern() {
+        let mut db = Instance::new();
+        db.insert_fact("edge", &["a", "b"]);
+        db.insert_fact("edge", &["c", "c"]);
+        let atoms = vec![Atom::new("edge", vec![v("X"), v("X")])];
+        let h = find_homomorphism(&atoms, &db, &Substitution::new()).unwrap();
+        assert_eq!(h.apply_term(v("X")), Term::constant("c"));
+    }
+
+    #[test]
+    fn seed_bindings_are_respected() {
+        let db = sample_instance();
+        let atoms = vec![Atom::new("teaches", vec![v("X"), v("C")])];
+        let mut seed = Substitution::new();
+        seed.bind(Variable::new("X"), Term::constant("bob"));
+        let h = find_homomorphism(&atoms, &db, &seed).unwrap();
+        assert_eq!(h.apply_term(v("C")), Term::constant("ai102"));
+        seed.bind(Variable::new("X"), Term::constant("nobody"));
+        assert!(find_homomorphism(&atoms, &db, &seed).is_none());
+    }
+
+    #[test]
+    fn all_homomorphisms_enumerates_every_match() {
+        let db = sample_instance();
+        let atoms = vec![Atom::new("teaches", vec![v("X"), v("Y")])];
+        let hs = all_homomorphisms(&atoms, &db, &Substitution::new());
+        assert_eq!(hs.len(), 2);
+    }
+
+    #[test]
+    fn homomorphism_into_atoms_freezes_target_variables() {
+        // source r(X, Y) maps into target r(Z, Z) (variables frozen), but
+        // source r(X, X) does not map into target r(A, B).
+        let source = vec![Atom::new("r", vec![v("X"), v("Y")])];
+        let target = vec![Atom::new("r", vec![v("Z"), v("Z")])];
+        assert!(find_homomorphism_into_atoms(&source, &target).is_some());
+        let source = vec![Atom::new("r", vec![v("X"), v("X")])];
+        let target = vec![Atom::new("r", vec![v("A"), v("B")])];
+        assert!(find_homomorphism_into_atoms(&source, &target).is_none());
+    }
+
+    #[test]
+    fn freezing_preserves_ground_terms() {
+        let a = Atom::new("r", vec![Term::constant("a"), v("X")]);
+        let f = freeze_atom(&a);
+        assert_eq!(f.terms[0], Term::constant("a"));
+        assert!(f.terms[1].is_constant());
+        assert!(f.is_ground());
+    }
+
+    #[test]
+    fn freezing_substitution_maps_each_variable_once() {
+        let atoms = vec![Atom::new("r", vec![v("X"), v("Y"), v("X")])];
+        let s = freezing_substitution(&atoms);
+        assert_eq!(s.len(), 2);
+        assert!(s.is_ground());
+    }
+
+    #[test]
+    fn empty_atom_list_has_trivial_homomorphism() {
+        let db = sample_instance();
+        let h = find_homomorphism(&[], &db, &Substitution::new()).unwrap();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn zero_arity_atoms_match_only_if_present() {
+        let mut db = Instance::new();
+        db.insert(Atom::new("alarm", vec![]));
+        assert!(has_homomorphism(&[Atom::new("alarm", vec![])], &db));
+        assert!(!has_homomorphism(&[Atom::new("quiet", vec![])], &db));
+    }
+}

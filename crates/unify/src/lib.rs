@@ -1,0 +1,30 @@
+//! # ontorew-unify
+//!
+//! Unification machinery for TGD reasoning:
+//!
+//! * [`mgu`] — most general unifiers over function-free atoms;
+//! * [`homomorphism`] — homomorphism search from atom sets into instances
+//!   (the work-horse of chase triggers and certain-answer checks);
+//! * [`containment`] — conjunctive-query containment, equivalence and
+//!   minimization (Chandra–Merlin);
+//! * [`piece`] — piece unification between queries and TGD heads, the
+//!   admissibility condition behind every rewriting step the paper's graphs
+//!   approximate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod containment;
+pub mod homomorphism;
+pub mod mgu;
+pub mod piece;
+
+pub use containment::{are_equivalent, is_contained_in, minimize, prune_ucq};
+pub use homomorphism::{
+    all_homomorphisms, find_homomorphism, find_homomorphism_into_atoms, freeze_atom,
+    freeze_atoms, freeze_term, freezing_substitution, has_homomorphism,
+};
+pub use mgu::{
+    extend_unifier, unifiable, unify_all_with, unify_atom_lists, unify_atoms, unify_term_lists,
+};
+pub use piece::{piece_unifiers, PieceUnifier};

@@ -1,0 +1,250 @@
+//! Most general unifiers over flat (function-free) atoms.
+//!
+//! Because TGDs and conjunctive queries are function-free, unification never
+//! needs an occurs check: terms are constants, labelled nulls or variables.
+//! A unifier is represented as an [`Substitution`]; the functions in this
+//! module always return unifiers in *resolved* form (no bound variable maps
+//! to another bound variable), so a single application suffices.
+
+use ontorew_model::prelude::*;
+
+/// Attempt to unify two terms under an existing partial unifier.
+///
+/// Returns `false` (leaving `unifier` in an unspecified but consistent state
+/// only on success paths) if the terms are not unifiable.
+fn unify_terms_into(unifier: &mut Substitution, s: Term, t: Term) -> bool {
+    let s = unifier.apply_term_deep(s);
+    let t = unifier.apply_term_deep(t);
+    if s == t {
+        return true;
+    }
+    match (s, t) {
+        (Term::Variable(v), other) => {
+            unifier.bind(v, other);
+            true
+        }
+        (other, Term::Variable(v)) => {
+            unifier.bind(v, other);
+            true
+        }
+        // Two distinct ground terms (constants or nulls) never unify under
+        // the Unique Name Assumption.
+        _ => false,
+    }
+}
+
+/// Compute the most general unifier of two term lists of equal length.
+pub fn unify_term_lists(left: &[Term], right: &[Term]) -> Option<Substitution> {
+    if left.len() != right.len() {
+        return None;
+    }
+    let mut unifier = Substitution::new();
+    for (s, t) in left.iter().zip(right.iter()) {
+        if !unify_terms_into(&mut unifier, *s, *t) {
+            return None;
+        }
+    }
+    Some(unifier.resolved())
+}
+
+/// Compute the most general unifier of two atoms.
+///
+/// Atoms over different predicates (name or arity) never unify.
+pub fn unify_atoms(left: &Atom, right: &Atom) -> Option<Substitution> {
+    if left.predicate != right.predicate {
+        return None;
+    }
+    unify_term_lists(&left.terms, &right.terms)
+}
+
+/// Extend an existing unifier so that it also unifies `left` and `right`.
+///
+/// This is the incremental form used when unifying a whole set of atom pairs.
+pub fn extend_unifier(
+    unifier: &Substitution,
+    left: &Atom,
+    right: &Atom,
+) -> Option<Substitution> {
+    if left.predicate != right.predicate {
+        return None;
+    }
+    let mut u = unifier.clone();
+    for (s, t) in left.terms.iter().zip(right.terms.iter()) {
+        if !unify_terms_into(&mut u, *s, *t) {
+            return None;
+        }
+    }
+    Some(u.resolved())
+}
+
+/// Simultaneously unify the paired atoms of two equally long atom lists.
+pub fn unify_atom_lists(left: &[Atom], right: &[Atom]) -> Option<Substitution> {
+    if left.len() != right.len() {
+        return None;
+    }
+    let mut unifier = Substitution::new();
+    for (l, r) in left.iter().zip(right.iter()) {
+        unifier = extend_unifier(&unifier, l, r)?;
+    }
+    Some(unifier)
+}
+
+/// Unify every atom of `atoms` with the single atom `target` (used to
+/// *factorize* a set of query atoms into one atom, and to unify a query piece
+/// with a single-atom rule head).
+pub fn unify_all_with(atoms: &[Atom], target: &Atom) -> Option<Substitution> {
+    let mut unifier = Substitution::new();
+    for a in atoms {
+        unifier = extend_unifier(&unifier, a, target)?;
+    }
+    Some(unifier)
+}
+
+/// True if the two atoms are unifiable.
+pub fn unifiable(left: &Atom, right: &Atom) -> bool {
+    unify_atoms(left, right).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::variable(n)
+    }
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+
+    #[test]
+    fn identical_atoms_unify_with_empty_mgu() {
+        let a = Atom::new("r", vec![v("X"), c("a")]);
+        let mgu = unify_atoms(&a, &a).unwrap();
+        assert!(mgu.is_empty());
+    }
+
+    #[test]
+    fn variable_constant_unification() {
+        let a = Atom::new("r", vec![v("X"), v("Y")]);
+        let b = Atom::new("r", vec![c("a"), c("b")]);
+        let mgu = unify_atoms(&a, &b).unwrap();
+        assert_eq!(mgu.apply_atom(&a), b);
+    }
+
+    #[test]
+    fn different_predicates_never_unify() {
+        let a = Atom::new("r", vec![v("X")]);
+        let b = Atom::new("s", vec![v("X")]);
+        assert!(unify_atoms(&a, &b).is_none());
+        let b2 = Atom::new("r", vec![v("X"), v("Y")]);
+        assert!(unify_atoms(&a, &b2).is_none());
+    }
+
+    #[test]
+    fn clashing_constants_fail() {
+        let a = Atom::new("r", vec![c("a")]);
+        let b = Atom::new("r", vec![c("b")]);
+        assert!(unify_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn repeated_variables_propagate_constraints() {
+        // r(X, X) vs r(a, Y)  =>  X = a, Y = a
+        let a = Atom::new("r", vec![v("X"), v("X")]);
+        let b = Atom::new("r", vec![c("a"), v("Y")]);
+        let mgu = unify_atoms(&a, &b).unwrap();
+        assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));
+        assert_eq!(
+            mgu.apply_term_deep(Term::variable("Y")),
+            Term::constant("a")
+        );
+    }
+
+    #[test]
+    fn repeated_variables_can_make_unification_fail() {
+        // r(X, X) vs r(a, b) is not unifiable.
+        let a = Atom::new("r", vec![v("X"), v("X")]);
+        let b = Atom::new("r", vec![c("a"), c("b")]);
+        assert!(unify_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn mgu_is_most_general_variable_to_variable() {
+        // r(X, Y) vs r(Y, Z): the unifier must identify the three variables
+        // without introducing constants.
+        let a = Atom::new("r", vec![v("X"), v("Y")]);
+        let b = Atom::new("r", vec![v("Y"), v("Z")]);
+        let mgu = unify_atoms(&a, &b).unwrap();
+        assert_eq!(mgu.apply_atom_deep(&a), mgu.apply_atom_deep(&b));
+        assert!(mgu.iter().all(|(_, t)| t.is_variable()));
+    }
+
+    #[test]
+    fn nulls_behave_like_constants() {
+        let n = Term::fresh_null();
+        let a = Atom::new("r", vec![n]);
+        let b = Atom::new("r", vec![c("a")]);
+        assert!(unify_atoms(&a, &b).is_none());
+        let d = Atom::new("r", vec![v("X")]);
+        let mgu = unify_atoms(&d, &a).unwrap();
+        assert_eq!(mgu.apply_atom(&d), a);
+    }
+
+    #[test]
+    fn atom_list_unification_is_simultaneous() {
+        // [r(X, b), s(X)] vs [r(a, Y), s(a)] unifies with X=a, Y=b.
+        let l = vec![
+            Atom::new("r", vec![v("X"), c("b")]),
+            Atom::new("s", vec![v("X")]),
+        ];
+        let r = vec![
+            Atom::new("r", vec![c("a"), v("Y")]),
+            Atom::new("s", vec![c("a")]),
+        ];
+        let mgu = unify_atom_lists(&l, &r).unwrap();
+        assert_eq!(mgu.apply_atoms(&l), mgu.apply_atoms(&r));
+    }
+
+    #[test]
+    fn atom_list_unification_detects_cross_atom_conflicts() {
+        // [r(X), s(X)] vs [r(a), s(b)] must fail because X cannot be both.
+        let l = vec![Atom::new("r", vec![v("X")]), Atom::new("s", vec![v("X")])];
+        let r = vec![Atom::new("r", vec![c("a")]), Atom::new("s", vec![c("b")])];
+        assert!(unify_atom_lists(&l, &r).is_none());
+        assert!(unify_atom_lists(&l, &l[..1]).is_none());
+    }
+
+    #[test]
+    fn unify_all_with_factorizes() {
+        // {p(X, Y), p(Y, Z)} unified with p(U, U) forces X=Y=Z.
+        let atoms = vec![
+            Atom::new("p", vec![v("X"), v("Y")]),
+            Atom::new("p", vec![v("Y"), v("Z")]),
+        ];
+        let target = Atom::new("p", vec![v("U"), v("U")]);
+        let mgu = unify_all_with(&atoms, &target).unwrap();
+        let a0 = mgu.apply_atom_deep(&atoms[0]);
+        let a1 = mgu.apply_atom_deep(&atoms[1]);
+        let t = mgu.apply_atom_deep(&target);
+        assert_eq!(a0, a1);
+        assert_eq!(a0, t);
+    }
+
+    #[test]
+    fn extend_unifier_respects_existing_bindings() {
+        let mut base = Substitution::new();
+        base.bind(Variable::new("X"), c("a"));
+        let l = Atom::new("r", vec![v("X")]);
+        let r_ok = Atom::new("r", vec![c("a")]);
+        let r_bad = Atom::new("r", vec![c("b")]);
+        assert!(extend_unifier(&base, &l, &r_ok).is_some());
+        assert!(extend_unifier(&base, &l, &r_bad).is_none());
+    }
+
+    #[test]
+    fn unifiable_is_consistent_with_unify() {
+        let a = Atom::new("r", vec![v("X"), c("a")]);
+        let b = Atom::new("r", vec![c("b"), v("Y")]);
+        assert_eq!(unifiable(&a, &b), unify_atoms(&a, &b).is_some());
+    }
+}

@@ -1,0 +1,364 @@
+//! Piece unification between conjunctive queries and TGD heads.
+//!
+//! A *rewriting step* (the operation the paper's position graph and P-node
+//! graph approximate, §4) replaces a set of query atoms that unify with the
+//! head of a TGD by the body of that TGD. The unification is only admissible
+//! when the existential head variables of the rule are not forced to be equal
+//! to anything the rest of the query can observe; this is captured by the
+//! classical notion of a **piece unifier** from the existential-rule
+//! literature.
+//!
+//! Given a query `q` with body `Q` and answer variables `x`, and a TGD
+//! `R : B → H` whose variables are disjoint from those of `q` (standardise
+//! apart with [`Tgd::freshen`] first), a piece unifier is a pair `(Q', u)`
+//! where `Q' ⊆ Q` is non-empty, every atom of `Q'` unifies (simultaneously,
+//! through `u`) with one head atom `α ∈ H`, and for every existential head
+//! variable `z` of `R` occurring in `α`, the equivalence class of `z` induced
+//! by `u` contains **only** `z` and variables of `q` that
+//!   * are not answer variables of `q`, and
+//!   * do not occur in `Q \ Q'` (they are local to the piece).
+//!
+//! In particular the class may not contain constants, frontier variables of
+//! `R`, or other existential variables of `R`.
+//!
+//! For multi-atom heads this module unifies a piece against a *single* head
+//! atom at a time (after [`ontorew_model::TgdProgram::with_split_heads`] this
+//! is exact; for genuinely entangled multi-head rules it is sound but may miss
+//! rewritings — see `ontorew-rewrite` for how this is surfaced).
+
+use crate::mgu::extend_unifier;
+use ontorew_model::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A piece unifier of a query with (one head atom of) a TGD.
+#[derive(Clone, Debug)]
+pub struct PieceUnifier {
+    /// Indices (into the query body) of the atoms forming the piece `Q'`.
+    pub piece: Vec<usize>,
+    /// Index (into the rule head) of the head atom the piece unifies with.
+    pub head_index: usize,
+    /// The unifier `u`, in resolved form.
+    pub unifier: Substitution,
+}
+
+/// Upper bound on the number of candidate atoms for which *all* subsets are
+/// enumerated; beyond this, only singleton and two-element pieces are tried
+/// (larger pieces are extremely rare in practice and the bound keeps the
+/// enumeration polynomial for pathological queries).
+const EXHAUSTIVE_PIECE_LIMIT: usize = 10;
+
+/// Enumerate every piece unifier of the query body `query_atoms` (with answer
+/// variables `answer_vars`) with the TGD `rule`.
+///
+/// `rule` must be standardised apart from the query (no shared variables);
+/// callers normally pass `rule.freshen()`.
+pub fn piece_unifiers(
+    query_atoms: &[Atom],
+    answer_vars: &[Variable],
+    rule: &Tgd,
+) -> Vec<PieceUnifier> {
+    let mut out = Vec::new();
+    let answer_set: BTreeSet<Variable> = answer_vars.iter().copied().collect();
+    let frontier: BTreeSet<Variable> = rule.frontier().into_iter().collect();
+    let existentials: BTreeSet<Variable> =
+        rule.existential_head_variables().into_iter().collect();
+
+    for (head_index, head_atom) in rule.head.iter().enumerate() {
+        // Candidate query atoms: same predicate and individually unifiable.
+        let candidates: Vec<usize> = query_atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.predicate == head_atom.predicate && crate::mgu::unifiable(a, head_atom)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+
+        let subsets = enumerate_pieces(&candidates);
+        for piece in subsets {
+            if let Some(unifier) = unify_piece(query_atoms, &piece, head_atom) {
+                if piece_is_admissible(
+                    query_atoms,
+                    &piece,
+                    head_atom,
+                    &unifier,
+                    &answer_set,
+                    &frontier,
+                    &existentials,
+                ) {
+                    out.push(PieceUnifier {
+                        piece: piece.clone(),
+                        head_index,
+                        unifier,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate candidate pieces (non-empty subsets of the candidate indices),
+/// bounded as described on [`EXHAUSTIVE_PIECE_LIMIT`].
+fn enumerate_pieces(candidates: &[usize]) -> Vec<Vec<usize>> {
+    let n = candidates.len();
+    let mut out = Vec::new();
+    if n <= EXHAUSTIVE_PIECE_LIMIT {
+        for mask in 1u32..(1u32 << n) {
+            let piece: Vec<usize> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| candidates[i])
+                .collect();
+            out.push(piece);
+        }
+    } else {
+        for i in 0..n {
+            out.push(vec![candidates[i]]);
+            for j in (i + 1)..n {
+                out.push(vec![candidates[i], candidates[j]]);
+            }
+        }
+    }
+    out
+}
+
+/// Simultaneously unify every atom of the piece with the head atom.
+fn unify_piece(query_atoms: &[Atom], piece: &[usize], head_atom: &Atom) -> Option<Substitution> {
+    let mut unifier = Substitution::new();
+    for &i in piece {
+        unifier = extend_unifier(&unifier, &query_atoms[i], head_atom)?;
+    }
+    Some(unifier)
+}
+
+/// Check the admissibility condition on existential head variables.
+#[allow(clippy::too_many_arguments)]
+fn piece_is_admissible(
+    query_atoms: &[Atom],
+    piece: &[usize],
+    head_atom: &Atom,
+    unifier: &Substitution,
+    answer_vars: &BTreeSet<Variable>,
+    frontier: &BTreeSet<Variable>,
+    existentials: &BTreeSet<Variable>,
+) -> bool {
+    // Variables occurring in query atoms outside the piece.
+    let piece_set: BTreeSet<usize> = piece.iter().copied().collect();
+    let outside_vars: BTreeSet<Variable> = query_atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !piece_set.contains(i))
+        .flat_map(|(_, a)| a.variable_set())
+        .collect();
+
+    // Group every term of interest by its representative under the unifier.
+    let mut classes: BTreeMap<Term, BTreeSet<Term>> = BTreeMap::new();
+    let mut add = |t: Term| {
+        let rep = unifier.apply_term_deep(t);
+        classes.entry(rep).or_default().insert(t);
+    };
+    for &i in piece {
+        for t in &query_atoms[i].terms {
+            add(*t);
+        }
+    }
+    for t in &head_atom.terms {
+        add(*t);
+    }
+
+    for z in head_atom.variable_set() {
+        if !existentials.contains(&z) {
+            continue;
+        }
+        let rep = unifier.apply_term_deep(Term::Variable(z));
+        // The representative itself must not be a ground term.
+        if rep.is_constant() || rep.is_null() {
+            return false;
+        }
+        let class = match classes.get(&rep) {
+            Some(c) => c,
+            None => continue,
+        };
+        for member in class {
+            match member {
+                Term::Variable(v) if *v == z => {}
+                Term::Variable(v) => {
+                    // Another rule variable (frontier or existential) in the
+                    // class makes the unification inadmissible.
+                    if frontier.contains(v) || existentials.contains(v) {
+                        return false;
+                    }
+                    // A query variable must be purely local to the piece and
+                    // non-distinguished.
+                    if answer_vars.contains(v) || outside_vars.contains(v) {
+                        return false;
+                    }
+                }
+                // Constants / nulls in the class are never admissible.
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::variable(n)
+    }
+    fn var(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    /// person(X) -> hasParent(X, Z)   (Z existential)
+    fn has_parent_rule() -> Tgd {
+        Tgd::labelled(
+            "Rp",
+            vec![Atom::new("person", vec![v("X0")])],
+            vec![Atom::new("hasParent", vec![v("X0"), v("Z0")])],
+        )
+    }
+
+    #[test]
+    fn simple_piece_unifier_exists() {
+        // q(U) :- hasParent(U, W)   — W is existential and local, so the atom
+        // can be rewritten with the rule.
+        let body = vec![Atom::new("hasParent", vec![v("U"), v("W")])];
+        let pus = piece_unifiers(&body, &[var("U")], &has_parent_rule());
+        assert_eq!(pus.len(), 1);
+        assert_eq!(pus[0].piece, vec![0]);
+        assert_eq!(pus[0].head_index, 0);
+    }
+
+    #[test]
+    fn answer_variable_blocks_existential_unification() {
+        // q(U, W) :- hasParent(U, W) — W is an answer variable, so unifying it
+        // with the existential Z is not admissible.
+        let body = vec![Atom::new("hasParent", vec![v("U"), v("W")])];
+        let pus = piece_unifiers(&body, &[var("U"), var("W")], &has_parent_rule());
+        assert!(pus.is_empty());
+    }
+
+    #[test]
+    fn shared_variable_outside_piece_blocks_unification() {
+        // q(U) :- hasParent(U, W), person(W) — W also occurs outside the
+        // candidate piece {hasParent(U, W)}, so that singleton piece is not
+        // admissible (and person(W) does not unify with the head at all).
+        let body = vec![
+            Atom::new("hasParent", vec![v("U"), v("W")]),
+            Atom::new("person", vec![v("W")]),
+        ];
+        let pus = piece_unifiers(&body, &[var("U")], &has_parent_rule());
+        assert!(pus.is_empty());
+    }
+
+    #[test]
+    fn constant_blocks_existential_unification() {
+        // q(U) :- hasParent(U, "bob") — the existential cannot be a constant.
+        let body = vec![Atom::new(
+            "hasParent",
+            vec![v("U"), Term::constant("bob")],
+        )];
+        let pus = piece_unifiers(&body, &[var("U")], &has_parent_rule());
+        assert!(pus.is_empty());
+    }
+
+    #[test]
+    fn frontier_position_accepts_constants() {
+        // person(X) -> employed(Z, X): constant in the frontier position is fine.
+        let rule = Tgd::new(
+            vec![Atom::new("person", vec![v("X0")])],
+            vec![Atom::new("employed", vec![v("Z0"), v("X0")])],
+        );
+        let body = vec![Atom::new(
+            "employed",
+            vec![v("W"), Term::constant("alice")],
+        )];
+        let pus = piece_unifiers(&body, &[], &rule);
+        assert_eq!(pus.len(), 1);
+    }
+
+    #[test]
+    fn two_atom_piece_is_found() {
+        // rule: project(X) -> member(X, Z)
+        // q() :- member(U, W), member(V, W)
+        // Both atoms must be rewritten together: W is shared between them, so
+        // singleton pieces are inadmissible but the two-atom piece is fine.
+        let rule = Tgd::new(
+            vec![Atom::new("project", vec![v("X0")])],
+            vec![Atom::new("member", vec![v("X0"), v("Z0")])],
+        );
+        let body = vec![
+            Atom::new("member", vec![v("U"), v("W")]),
+            Atom::new("member", vec![v("V"), v("W")]),
+        ];
+        let pus = piece_unifiers(&body, &[], &rule);
+        let pieces: Vec<_> = pus.iter().map(|p| p.piece.clone()).collect();
+        assert!(pieces.contains(&vec![0, 1]));
+        assert!(!pieces.contains(&vec![0]));
+        assert!(!pieces.contains(&vec![1]));
+    }
+
+    #[test]
+    fn two_existentials_cannot_be_identified() {
+        // rule: p(X) -> r(Z1, Z2); query atom r(U, U) would force Z1 = Z2.
+        let rule = Tgd::new(
+            vec![Atom::new("p", vec![v("X0")])],
+            vec![Atom::new("r", vec![v("Z1"), v("Z2")])],
+        );
+        let body = vec![Atom::new("r", vec![v("U"), v("U")])];
+        let pus = piece_unifiers(&body, &[], &rule);
+        assert!(pus.is_empty());
+    }
+
+    #[test]
+    fn full_rule_unifies_freely() {
+        // Datalog rule (no existentials): s(X, Y) -> r(X, Y). Any r-atom can
+        // be rewritten, even with answer variables and constants.
+        let rule = Tgd::new(
+            vec![Atom::new("s", vec![v("X0"), v("Y0")])],
+            vec![Atom::new("r", vec![v("X0"), v("Y0")])],
+        );
+        let body = vec![Atom::new("r", vec![v("A"), Term::constant("c")])];
+        let pus = piece_unifiers(&body, &[var("A")], &rule);
+        assert_eq!(pus.len(), 1);
+    }
+
+    #[test]
+    fn no_unifier_for_unrelated_predicates() {
+        let body = vec![Atom::new("teaches", vec![v("U"), v("W")])];
+        let pus = piece_unifiers(&body, &[var("U")], &has_parent_rule());
+        assert!(pus.is_empty());
+    }
+
+    #[test]
+    fn multi_head_rules_offer_one_unifier_per_head_atom() {
+        // p(X) -> q(X), t(X): both head atoms can resolve query atoms.
+        let rule = Tgd::new(
+            vec![Atom::new("p", vec![v("X0")])],
+            vec![Atom::new("q", vec![v("X0")]), Atom::new("t", vec![v("X0")])],
+        );
+        let body = vec![Atom::new("q", vec![v("U")]), Atom::new("t", vec![v("U")])];
+        let pus = piece_unifiers(&body, &[], &rule);
+        let head_indices: BTreeSet<usize> = pus.iter().map(|p| p.head_index).collect();
+        assert_eq!(head_indices, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn frontier_variable_cannot_join_existential_class() {
+        // rule: p(X) -> r(X, Z); query atom r(V, V) forces X = Z via V.
+        let rule = Tgd::new(
+            vec![Atom::new("p", vec![v("X0")])],
+            vec![Atom::new("r", vec![v("X0"), v("Z0")])],
+        );
+        let body = vec![Atom::new("r", vec![v("V"), v("V")])];
+        let pus = piece_unifiers(&body, &[], &rule);
+        assert!(pus.is_empty());
+    }
+}

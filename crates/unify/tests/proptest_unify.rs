@@ -1,0 +1,158 @@
+//! Property-based tests for unification, homomorphisms and containment.
+
+use ontorew_model::prelude::*;
+use ontorew_unify::*;
+use proptest::prelude::*;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop::sample::select(vec!["X", "Y", "Z", "W"]).prop_map(|v| Term::variable(v)),
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(|c| Term::constant(c)),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (1usize..=3, prop::collection::vec(term_strategy(), 3)).prop_map(|(arity, terms)| {
+        Atom::new(&format!("rel{arity}"), terms.into_iter().take(arity).collect())
+    })
+}
+
+fn ground_atom_strategy() -> impl Strategy<Value = Atom> {
+    (1usize..=3, prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 3)).prop_map(
+        |(arity, names)| {
+            Atom::new(
+                &format!("rel{arity}"),
+                names
+                    .into_iter()
+                    .take(arity)
+                    .map(|n| Term::constant(n))
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    /// The computed unifier is a unifier, and unifiability agrees with it.
+    #[test]
+    fn unifier_unifies(a in atom_strategy(), b in atom_strategy()) {
+        match unify_atoms(&a, &b) {
+            Some(u) => {
+                prop_assert!(unifiable(&a, &b));
+                prop_assert_eq!(u.apply_atom_deep(&a), u.apply_atom_deep(&b));
+            }
+            None => prop_assert!(!unifiable(&a, &b)),
+        }
+    }
+
+    /// An atom always unifies with a freshened copy of itself, and the unifier
+    /// maps it onto that copy.
+    #[test]
+    fn atom_unifies_with_its_renaming(a in atom_strategy()) {
+        let (renamed, _) = freshen_variables(std::slice::from_ref(&a));
+        let u = unify_atoms(&a, &renamed[0]);
+        prop_assert!(u.is_some());
+    }
+
+    /// The MGU is most general: for ground instances obtained by any grounding
+    /// of both atoms that makes them equal, the grounding factors through the
+    /// MGU (checked on the ground case: if a grounding makes both equal, the
+    /// MGU exists).
+    #[test]
+    fn ground_equality_implies_unifiability(
+        a in atom_strategy(),
+        grounding in prop::collection::vec(prop::sample::select(vec!["a", "b", "c"]), 4),
+    ) {
+        // Ground `a` with an arbitrary assignment.
+        let vars = a.variables();
+        let subst = Substitution::from_bindings(
+            vars.iter().enumerate().map(|(i, v)| {
+                (*v, Term::constant(grounding[i % grounding.len()]))
+            }),
+        );
+        let grounded = subst.apply_atom(&a);
+        prop_assert!(unifiable(&a, &grounded));
+    }
+
+    /// Homomorphism search agrees with brute-force enumeration of candidate
+    /// assignments on small instances.
+    #[test]
+    fn homomorphism_existence_is_sound(
+        pattern in atom_strategy(),
+        facts in prop::collection::vec(ground_atom_strategy(), 0..8),
+    ) {
+        let instance: Instance = facts.into_iter().collect();
+        let found = find_homomorphism(std::slice::from_ref(&pattern), &instance, &Substitution::new());
+        match found {
+            Some(h) => {
+                let image = h.apply_atom(&pattern);
+                prop_assert!(image.is_ground());
+                prop_assert!(instance.contains(&image));
+            }
+            None => {
+                // Brute force: no stored tuple of the right predicate matches.
+                let matches = instance
+                    .tuples(pattern.predicate)
+                    .any(|tuple| {
+                        let mut s = Substitution::new();
+                        tuple.iter().zip(pattern.terms.iter()).all(|(value, pat)| match pat {
+                            Term::Variable(v) => match s.get(*v) {
+                                Some(existing) => existing == *value,
+                                None => {
+                                    s.bind(*v, *value);
+                                    true
+                                }
+                            },
+                            ground => ground == value,
+                        })
+                    });
+                prop_assert!(!matches);
+            }
+        }
+    }
+
+    /// Containment is reflexive and invariant under variable renaming, and
+    /// adding atoms to a body only makes the query more specific.
+    #[test]
+    fn containment_laws(
+        atoms in prop::collection::vec(atom_strategy(), 1..4),
+        extra in atom_strategy(),
+    ) {
+        let q = ConjunctiveQuery::boolean(atoms.clone());
+        prop_assert!(is_contained_in(&q, &q));
+        prop_assert!(is_contained_in(&q.freshen(), &q));
+        let mut bigger_body = atoms;
+        bigger_body.push(extra);
+        let bigger = ConjunctiveQuery::boolean(bigger_body);
+        prop_assert!(is_contained_in(&bigger, &q));
+    }
+
+    /// Minimization is idempotent.
+    #[test]
+    fn minimization_is_idempotent(atoms in prop::collection::vec(atom_strategy(), 1..4)) {
+        let q = ConjunctiveQuery::boolean(atoms);
+        let once = minimize(&q);
+        let twice = minimize(&once);
+        prop_assert_eq!(once.body.len(), twice.body.len());
+        prop_assert!(are_equivalent(&once, &twice));
+    }
+
+    /// Pruning a UCQ never changes the set of certain answers it captures:
+    /// every pruned disjunct is contained in some surviving disjunct.
+    #[test]
+    fn ucq_pruning_is_lossless(disjuncts in prop::collection::vec(
+        prop::collection::vec(atom_strategy(), 1..3), 1..4)
+    ) {
+        let ucq = UnionOfConjunctiveQueries::new(
+            disjuncts.iter().cloned().map(ConjunctiveQuery::boolean).collect(),
+        );
+        let pruned = prune_ucq(&ucq);
+        prop_assert!(pruned.len() <= ucq.len());
+        for original in ucq.iter() {
+            prop_assert!(
+                pruned.iter().any(|kept| is_contained_in(original, kept)),
+                "disjunct lost by pruning"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Data (ABox) generators: the extensional databases the OBDA benchmarks run
+//! over.
+
+use ontorew_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_abox`].
+#[derive(Clone, Copy, Debug)]
+pub struct AboxConfig {
+    /// Number of facts to generate.
+    pub facts: usize,
+    /// Size of the constant pool.
+    pub constants: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AboxConfig {
+    fn default() -> Self {
+        AboxConfig {
+            facts: 1_000,
+            constants: 200,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a random database over the signature of `program`: facts are drawn
+/// uniformly over the program's predicates with constants from a fixed pool.
+///
+/// The signature can hold only finitely many distinct facts
+/// (`Σ constants^arity`), so the generator produces
+/// `min(config.facts, capacity)` facts; a bound on the number of draws keeps
+/// near-capacity requests from degenerating into a coupon-collector tail.
+pub fn random_abox(program: &TgdProgram, config: &AboxConfig) -> Instance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let predicates: Vec<Predicate> = program.predicates().into_iter().collect();
+    let mut db = Instance::new();
+    if predicates.is_empty() || config.facts == 0 {
+        return db;
+    }
+    let pool = config.constants.max(1);
+    let capacity: usize = predicates
+        .iter()
+        .map(|p| pool.saturating_pow(p.arity.min(u32::MAX as usize) as u32))
+        .fold(0usize, usize::saturating_add);
+    let target = config.facts.min(capacity);
+    let max_draws = target.saturating_mul(64).max(1024);
+    let mut draws = 0usize;
+    while db.len() < target && draws < max_draws {
+        draws += 1;
+        let p = predicates[rng.gen_range(0..predicates.len())];
+        let terms: Vec<Term> = (0..p.arity)
+            .map(|_| Term::constant(&format!("c{}", rng.gen_range(0..pool))))
+            .collect();
+        db.insert(Atom::from_predicate(p, terms));
+    }
+    db
+}
+
+/// Generate a university-style database with `students` students, `professors`
+/// professors and `courses` courses, shaped for the ontology of
+/// `ontorew_core::examples::university_ontology`: professors teach courses,
+/// students attend them, some students are PhD students advised by professors.
+pub fn university_abox(students: usize, professors: usize, courses: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Instance::new();
+    for c in 0..courses {
+        db.insert_fact("course", &[&format!("course{c}")]);
+    }
+    for p in 0..professors {
+        let name = format!("prof{p}");
+        db.insert_fact("professor", &[&name]);
+        // Each professor teaches one to three courses.
+        for _ in 0..rng.gen_range(1..=3usize) {
+            if courses > 0 {
+                let c = rng.gen_range(0..courses);
+                db.insert_fact("teaches", &[&name, &format!("course{c}")]);
+            }
+        }
+    }
+    for s in 0..students {
+        let name = format!("student{s}");
+        db.insert_fact("student", &[&name]);
+        for _ in 0..rng.gen_range(1..=4usize) {
+            if courses > 0 {
+                let c = rng.gen_range(0..courses);
+                db.insert_fact("attends", &[&name, &format!("course{c}")]);
+            }
+        }
+        // Every tenth student is a PhD student with an advisor.
+        if s % 10 == 0 && professors > 0 {
+            db.insert_fact("phdStudent", &[&name]);
+            let p = rng.gen_range(0..professors);
+            db.insert_fact("advisedBy", &[&name, &format!("prof{p}")]);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::chain_program;
+
+    #[test]
+    fn random_abox_has_the_requested_size_and_signature() {
+        // star_program has binary hub predicates, so the signature capacity
+        // (200^2 per predicate) comfortably exceeds the requested 1000 facts.
+        let p = crate::generators::star_program(3);
+        let db = random_abox(&p, &AboxConfig::default());
+        assert_eq!(db.len(), 1_000);
+        assert!(p.signature().contains_signature(&db.signature()));
+    }
+
+    #[test]
+    fn random_abox_is_capped_by_the_signature_capacity() {
+        // chain_program(3) has 4 unary predicates; with a 10-constant pool at
+        // most 40 distinct facts exist, so asking for 1000 must terminate and
+        // return at most 40.
+        let p = chain_program(3);
+        let db = random_abox(
+            &p,
+            &AboxConfig {
+                facts: 1_000,
+                constants: 10,
+                seed: 3,
+            },
+        );
+        assert!(db.len() <= 40);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn random_abox_is_reproducible() {
+        let p = chain_program(3);
+        let a = random_abox(&p, &AboxConfig::default());
+        let b = random_abox(&p, &AboxConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_program_yields_empty_abox() {
+        let db = random_abox(&TgdProgram::new(), &AboxConfig::default());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn university_abox_is_populated_consistently() {
+        let db = university_abox(100, 10, 20, 1);
+        assert_eq!(db.relation_size(Predicate::new("student", 1)), 100);
+        assert_eq!(db.relation_size(Predicate::new("professor", 1)), 10);
+        assert_eq!(db.relation_size(Predicate::new("course", 1)), 20);
+        assert_eq!(db.relation_size(Predicate::new("phdStudent", 1)), 10);
+        assert!(db.relation_size(Predicate::new("teaches", 2)) >= 10);
+        assert!(db.relation_size(Predicate::new("attends", 2)) >= 100);
+        assert_eq!(db.relation_size(Predicate::new("advisedBy", 2)), 10);
+    }
+
+    #[test]
+    fn university_abox_scales_with_parameters() {
+        let small = university_abox(10, 2, 5, 1);
+        let large = university_abox(1000, 20, 50, 1);
+        assert!(large.len() > small.len());
+    }
+}

@@ -1,0 +1,265 @@
+//! Ontology (TGD set) generators.
+
+use ontorew_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn var(name: &str) -> Term {
+    Term::variable(name)
+}
+
+/// A linear chain of `n` rules `p0(X) -> p1(X) -> ... -> pn(X)` — the
+/// simplest FO-rewritable (Linear, SWR) family; the rewriting of a query over
+/// `pn` has exactly `n + 1` disjuncts.
+pub fn chain_program(n: usize) -> TgdProgram {
+    let mut rules = Vec::with_capacity(n);
+    for i in 0..n {
+        rules.push(Tgd::labelled(
+            &format!("C{i}"),
+            vec![Atom::new(&format!("p{i}"), vec![var("X")])],
+            vec![Atom::new(&format!("p{}", i + 1), vec![var("X")])],
+        ));
+    }
+    TgdProgram::from_rules(rules)
+}
+
+/// A class hierarchy shaped like a complete binary tree of depth `depth`:
+/// every class `c_k` has two sub-classes whose members are members of `c_k`.
+/// DL-Lite-style, Linear, SWR; the number of rules is `2^(depth+1) - 2`.
+pub fn hierarchy_program(depth: usize) -> TgdProgram {
+    let mut rules = Vec::new();
+    let mut index = 0usize;
+    // Node k has children 2k+1 and 2k+2 in a heap layout.
+    let nodes_before_leaves = (1usize << depth).saturating_sub(1);
+    for parent in 0..nodes_before_leaves {
+        for child in [2 * parent + 1, 2 * parent + 2] {
+            rules.push(Tgd::labelled(
+                &format!("H{index}"),
+                vec![Atom::new(&format!("c{child}"), vec![var("X")])],
+                vec![Atom::new(&format!("c{parent}"), vec![var("X")])],
+            ));
+            index += 1;
+        }
+    }
+    TgdProgram::from_rules(rules)
+}
+
+/// A star family: `n` rules, each joining a hub atom with a spoke atom on an
+/// existential variable that is *dropped* from the head, i.e. rules of the
+/// form `hub_i(X, Z), spoke_i(Z) -> out_i(X)`. Each rule on its own is
+/// harmless, but the family exercises the m/s labelling of the position graph
+/// (every rule produces both an m-edge and an s-edge out of `out_i[ ]`).
+pub fn star_program(n: usize) -> TgdProgram {
+    let mut rules = Vec::with_capacity(n);
+    for i in 0..n {
+        rules.push(Tgd::labelled(
+            &format!("S{i}"),
+            vec![
+                Atom::new(&format!("hub{i}"), vec![var("X"), var("Z")]),
+                Atom::new(&format!("spoke{i}"), vec![var("Z")]),
+            ],
+            vec![Atom::new(&format!("out{i}"), vec![var("X")])],
+        ));
+    }
+    TgdProgram::from_rules(rules)
+}
+
+/// A sticky family of `n` rules `r_i(X, Y) -> r_{i+1}(X, Z)`: every rule
+/// propagates its first argument and invents the second. Linear, Sticky, SWR;
+/// not weakly acyclic once `n >= 1` and the chain is closed into a cycle
+/// (`closed = true`).
+pub fn sticky_family_program(n: usize, closed: bool) -> TgdProgram {
+    let mut rules = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        rules.push(Tgd::labelled(
+            &format!("K{i}"),
+            vec![Atom::new(&format!("r{i}"), vec![var("X"), var("Y")])],
+            vec![Atom::new(&format!("r{}", i + 1), vec![var("X"), var("Z")])],
+        ));
+    }
+    if closed && n > 0 {
+        rules.push(Tgd::labelled(
+            "Kclose",
+            vec![Atom::new(&format!("r{n}"), vec![var("X"), var("Y")])],
+            vec![Atom::new("r0", vec![var("X"), var("Z")])],
+        ));
+    }
+    TgdProgram::from_rules(rules)
+}
+
+/// Configuration for [`random_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomProgramConfig {
+    /// Number of rules to generate.
+    pub rules: usize,
+    /// Number of predicates to draw from.
+    pub predicates: usize,
+    /// Maximum predicate arity (at least 1).
+    pub max_arity: usize,
+    /// Maximum number of body atoms per rule (at least 1).
+    pub max_body_atoms: usize,
+    /// Probability that a head argument is a fresh existential variable.
+    pub existential_probability: f64,
+    /// RNG seed (runs are reproducible for a fixed configuration).
+    pub seed: u64,
+}
+
+impl Default for RandomProgramConfig {
+    fn default() -> Self {
+        RandomProgramConfig {
+            rules: 20,
+            predicates: 10,
+            max_arity: 3,
+            max_body_atoms: 2,
+            existential_probability: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a random TGD program. The generated rules are *simple* TGDs
+/// (single head atom, no constants, no repeated variables inside an atom), so
+/// the SWR test applies to them; whether a particular draw is SWR depends on
+/// the rule structure, which is the point of the classification benchmarks.
+pub fn random_program(config: &RandomProgramConfig) -> TgdProgram {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let max_arity = config.max_arity.max(1);
+    let arities: Vec<usize> = (0..config.predicates.max(1))
+        .map(|_| rng.gen_range(1..=max_arity))
+        .collect();
+
+    let mut rules = Vec::with_capacity(config.rules);
+    for rule_index in 0..config.rules {
+        let body_atoms = rng.gen_range(1..=config.max_body_atoms.max(1));
+        let mut body = Vec::with_capacity(body_atoms);
+        let mut variable_pool: Vec<String> = Vec::new();
+        let mut next_var = 0usize;
+        for _ in 0..body_atoms {
+            let predicate = rng.gen_range(0..arities.len());
+            let mut terms = Vec::with_capacity(arities[predicate]);
+            let mut used_in_atom: Vec<String> = Vec::new();
+            for _ in 0..arities[predicate] {
+                // Reuse a pool variable (to create joins) or mint a new one;
+                // never reuse a variable already used in this atom (simple
+                // TGDs have no repeated variables inside an atom).
+                let reusable: Vec<&String> = variable_pool
+                    .iter()
+                    .filter(|v| !used_in_atom.contains(v))
+                    .collect();
+                let name = if !reusable.is_empty() && rng.gen_bool(0.5) {
+                    reusable[rng.gen_range(0..reusable.len())].clone()
+                } else {
+                    let name = format!("V{next_var}");
+                    next_var += 1;
+                    variable_pool.push(name.clone());
+                    name
+                };
+                used_in_atom.push(name.clone());
+                terms.push(var(&name));
+            }
+            body.push(Atom::new(&format!("q{predicate}"), terms));
+        }
+
+        // Head: one atom over a random predicate; arguments are either body
+        // variables or fresh existentials, without repetitions.
+        let head_predicate = rng.gen_range(0..arities.len());
+        let mut head_terms = Vec::with_capacity(arities[head_predicate]);
+        let mut used_in_head: Vec<String> = Vec::new();
+        for _ in 0..arities[head_predicate] {
+            let candidates: Vec<&String> = variable_pool
+                .iter()
+                .filter(|v| !used_in_head.contains(v))
+                .collect();
+            let name = if !candidates.is_empty()
+                && !rng.gen_bool(config.existential_probability)
+            {
+                candidates[rng.gen_range(0..candidates.len())].clone()
+            } else {
+                let name = format!("E{next_var}");
+                next_var += 1;
+                name
+            };
+            used_in_head.push(name.clone());
+            head_terms.push(var(&name));
+        }
+        let head = vec![Atom::new(&format!("q{head_predicate}"), head_terms)];
+        rules.push(Tgd::labelled(&format!("G{rule_index}"), body, head));
+    }
+    TgdProgram::from_rules(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_program_shape() {
+        let p = chain_program(5);
+        assert_eq!(p.len(), 5);
+        assert!(p.is_simple());
+        assert!(p.iter().all(|r| r.body.len() == 1 && r.head.len() == 1));
+    }
+
+    #[test]
+    fn hierarchy_program_size_is_exponential_in_depth() {
+        assert_eq!(hierarchy_program(1).len(), 2);
+        assert_eq!(hierarchy_program(2).len(), 6);
+        assert_eq!(hierarchy_program(3).len(), 14);
+        assert!(hierarchy_program(3).is_simple());
+    }
+
+    #[test]
+    fn star_program_has_two_body_atoms_per_rule() {
+        let p = star_program(4);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|r| r.body.len() == 2));
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn sticky_family_open_and_closed() {
+        let open = sticky_family_program(3, false);
+        let closed = sticky_family_program(3, true);
+        assert_eq!(open.len(), 3);
+        assert_eq!(closed.len(), 4);
+        assert!(open.is_simple());
+    }
+
+    #[test]
+    fn random_program_is_reproducible_and_simple() {
+        let config = RandomProgramConfig::default();
+        let a = random_program(&config);
+        let b = random_program(&config);
+        assert_eq!(a.len(), config.rules);
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert!(a.is_simple());
+    }
+
+    #[test]
+    fn random_programs_differ_across_seeds() {
+        let a = random_program(&RandomProgramConfig {
+            seed: 1,
+            ..RandomProgramConfig::default()
+        });
+        let b = random_program(&RandomProgramConfig {
+            seed: 2,
+            ..RandomProgramConfig::default()
+        });
+        assert_ne!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn random_program_respects_limits() {
+        let config = RandomProgramConfig {
+            rules: 50,
+            predicates: 5,
+            max_arity: 4,
+            max_body_atoms: 3,
+            ..RandomProgramConfig::default()
+        };
+        let p = random_program(&config);
+        assert!(p.max_arity() <= 4);
+        assert!(p.iter().all(|r| r.body.len() <= 3));
+        assert!(p.predicates().len() <= 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: parse an ontology, classify it, rewrite a query and answer it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ontorew::prelude::*;
+
+fn main() {
+    // 1. The ontology: a handful of TGDs (existential rules). `Y` in E2 is an
+    //    existential head variable — every person has some (possibly unknown)
+    //    parent.
+    let ontology = parse_program(
+        "[E1] student(X) -> person(X).\n\
+         [E2] person(X) -> hasParent(X, Y).\n\
+         [E3] hasParent(X, Y) -> person(Y).",
+    )
+    .expect("ontology parses");
+
+    // 2. Classify it: which known classes does it fall in, and is query
+    //    answering FO-rewritable?
+    let report = ontorew::core::classify(&ontology);
+    println!("classes        : {:?}", report.member_classes());
+    println!("FO-rewritable  : {}", report.fo_rewritable());
+    println!("chase terminates: {}", report.chase_terminates());
+
+    // 3. The data: a tiny extensional database.
+    let mut data = Instance::new();
+    data.insert_fact("student", &["sara"]);
+    data.insert_fact("hasParent", &["sara", "ben"]);
+
+    // 4. A conjunctive query: who is known to be a person?
+    let query = parse_query("q(X) :- person(X)").expect("query parses");
+
+    // 5. Rewrite the query under the ontology and show the rewriting.
+    let rewriting = ontorew::rewrite::rewrite(&ontology, &query, &RewriteConfig::default());
+    println!("\nperfect rewriting ({} disjuncts):", rewriting.ucq.len());
+    for disjunct in rewriting.ucq.iter() {
+        println!("  {disjunct}");
+    }
+    println!(
+        "\nas SQL:\n{}",
+        ontorew::storage::ucq_to_sql(&rewriting.ucq)
+    );
+
+    // 6. Answer through the OBDA facade (strategy chosen automatically).
+    let system = ObdaSystem::new(ontology, data);
+    let result = system.answer(&query, Strategy::Auto);
+    println!("\nanswers ({} tuples, exact = {}):", result.answers.len(), result.exact);
+    for row in result.answers.iter() {
+        println!("  {row:?}");
+    }
+}

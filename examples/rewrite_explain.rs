@@ -1,0 +1,47 @@
+//! Watch the rewriting diverge: Example 2 of the paper and its unbounded
+//! chain of existential join variables, contrasted with the terminating
+//! rewriting of Example 3.
+//!
+//! Run with `cargo run --example rewrite_explain`.
+
+use ontorew::core::examples::{example2, example2_query, example3};
+use ontorew::prelude::*;
+use ontorew::rewrite::{analyze_patterns, rewriting_growth};
+
+fn main() {
+    // Example 2: q() :- r("a", X) has no finite rewriting; the number of
+    // generated CQs keeps growing with the depth bound (the paper's
+    // "unbounded chain").
+    let program = example2();
+    let query = example2_query();
+    println!("Example 2 ontology:\n{program}");
+    println!("query: {query}\n");
+    println!("depth  generated CQs  complete?");
+    for (depth, generated, complete) in rewriting_growth(&program, &query, &[1, 2, 3, 4, 5, 6]) {
+        println!("{depth:>5}  {generated:>13}  {complete}");
+    }
+
+    let analysis = analyze_patterns(&program, &query, 6);
+    println!(
+        "\nquery patterns observed: {} (recurrent: {})",
+        analysis.observed.len(),
+        analysis.recurrent_patterns().len()
+    );
+    println!(
+        "pattern-based verdict: looks FO-rewritable = {}",
+        analysis.looks_fo_rewritable()
+    );
+
+    // Example 3: the recursion is only apparent; the rewriting terminates.
+    let program3 = example3();
+    let query3 = parse_query("ans(A, B) :- s(A, A, B)").expect("query parses");
+    let rewriting = rewrite(&program3, &query3, &RewriteConfig::default());
+    println!(
+        "\nExample 3: rewriting of {query3} terminates with {} disjuncts (complete = {}):",
+        rewriting.ucq.len(),
+        rewriting.complete
+    );
+    for disjunct in rewriting.ucq.iter() {
+        println!("  {disjunct}");
+    }
+}

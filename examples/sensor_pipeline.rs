@@ -1,0 +1,61 @@
+//! An Optique-style OBDA pipeline over a sensor-network ontology: classify
+//! the ontology, rewrite the monitoring queries, export them as SQL, answer
+//! them over generated data and check integrity constraints.
+//!
+//! Run with `cargo run --example sensor_pipeline`.
+
+use ontorew::obda::{check_constraints, ConstraintSet, Egd, NegativeConstraint, ObdaSystem, Strategy};
+use ontorew::storage::ucq_to_sql;
+use ontorew::workloads::{sensor_network_abox, sensor_network_ontology, sensor_network_queries};
+
+fn main() {
+    // 1. The ontology: joins and navigation chains beyond DL-Lite.
+    let ontology = sensor_network_ontology();
+    let report = ontorew::core::classify(&ontology);
+    println!("sensor ontology: {} rules", ontology.len());
+    println!("classes: {:?}", report.member_classes());
+    println!("FO-rewritable: {}\n", report.fo_rewritable());
+
+    // 2. Data: 40 sensors on 8 pieces of equipment, 2000 measurements.
+    let data = sensor_network_abox(40, 8, 2_000, 42);
+    println!("generated ABox: {} facts", data.len());
+    let system = ObdaSystem::new(ontology.clone(), data);
+
+    // 3. The monitoring queries, answered by rewriting; show the SQL that a
+    //    real OBDA deployment would push to the DBMS.
+    for query in sensor_network_queries() {
+        let rewriting = ontorew::rewrite::rewrite(
+            &ontology,
+            &query,
+            &ontorew::rewrite::RewriteConfig::default(),
+        );
+        let result = system.answer(&query, Strategy::Auto);
+        println!(
+            "\nquery {query}\n  rewriting: {} disjuncts (complete = {})",
+            rewriting.ucq.len(),
+            rewriting.complete
+        );
+        println!("  answers: {} (exact = {})", result.answers.len(), result.exact);
+        let sql = ucq_to_sql(&rewriting.ucq);
+        let first_line = sql.lines().next().unwrap_or_default();
+        println!("  SQL (first disjunct): {first_line}");
+    }
+
+    // 4. Integrity: a measurement must not be produced by two sensors, and a
+    //    device must not be both a temperature and a pressure sensor.
+    let mut constraints = ConstraintSet::new();
+    constraints.push_egd(Egd::functional("producedBy"));
+    constraints.push_nc(
+        NegativeConstraint::parse("temperatureSensor(X), pressureSensor(X)")
+            .expect("constraint parses"),
+    );
+    let report = check_constraints(&system, &constraints, Strategy::Auto);
+    println!(
+        "\nintegrity: {} constraints checked, consistent = {}",
+        report.checked,
+        report.is_consistent()
+    );
+    for violation in &report.violations {
+        println!("  violated: {} ({:?})", violation.constraint, violation.kind);
+    }
+}

@@ -1,0 +1,73 @@
+//! A full OBDA scenario: a university ontology over a legacy relational
+//! schema, bridged by mappings, answered by rewriting and cross-checked
+//! against chase materialization.
+//!
+//! Run with `cargo run --example university_obda`.
+
+use ontorew::core::examples::university_ontology;
+use ontorew::obda::{cross_check, Mapping, MappingSet, ObdaSystem, Strategy};
+use ontorew::prelude::*;
+use ontorew_model::Predicate;
+
+fn main() {
+    // 1. The ontology: DL-Lite style TGDs about a university domain.
+    let ontology = university_ontology();
+    let report = ontorew::core::classify(&ontology);
+    println!("ontology classes: {:?}", report.member_classes());
+
+    // 2. A legacy source schema that does NOT match the ontology vocabulary:
+    //    people(id, name, role) and enrolment(person, course, grade).
+    let mut source = RelationalStore::new();
+    source.insert_fact("people", &["p1", "Ada", "professor"]);
+    source.insert_fact("people", &["p2", "Grace", "lecturer"]);
+    source.insert_fact("people", &["s1", "Tim", "student"]);
+    source.insert_fact("people", &["s2", "Barbara", "student"]);
+    source.insert_fact("teaching", &["p1", "logic101"]);
+    source.insert_fact("teaching", &["p2", "db201"]);
+    source.insert_fact("enrolment", &["s1", "logic101", "A"]);
+    source.insert_fact("enrolment", &["s2", "logic101", "B"]);
+    source.insert_fact("enrolment", &["s2", "db201", "A"]);
+
+    // 3. Mappings: populate the ontology predicates from the legacy columns.
+    //    (Role-based filtering would need conditional mappings; here the demo
+    //    keeps the common projection case and feeds professors explicitly.)
+    let mut mappings = MappingSet::new();
+    mappings.push(Mapping::new(
+        Predicate::new("teaching", 2),
+        Predicate::new("teaches", 2),
+        vec![0, 1],
+    ));
+    mappings.push(Mapping::new(
+        Predicate::new("enrolment", 3),
+        Predicate::new("attends", 2),
+        vec![0, 1],
+    ));
+    mappings.push(Mapping::new(
+        Predicate::new("teaching", 2),
+        Predicate::new("professor", 1),
+        vec![0],
+    ));
+
+    let system = ObdaSystem::with_mappings(ontology, mappings, source);
+    println!("retrieved ABox: {} facts", system.retrieved_abox().len());
+
+    // 4. Queries over the *ontology* vocabulary, answered by rewriting.
+    let queries = [
+        ("who teaches something attended by someone", "q(T) :- teaches(T, C), attends(S, C)"),
+        ("who is a person", "q(X) :- person(X)"),
+        ("which courses exist", "q(C) :- course(C)"),
+        ("who is an employee", "q(X) :- employee(X)"),
+    ];
+    for (label, text) in queries {
+        let query = parse_query(text).expect("query parses");
+        let result = system.answer(&query, Strategy::Auto);
+        println!("\n{label}  [{text}]  ->  {} answers (exact = {})", result.answers.len(), result.exact);
+        for row in result.answers.iter() {
+            println!("   {row:?}");
+        }
+        // Cross-check the two strategies (Theorem 1 in executable form).
+        let check = cross_check(&system, &query);
+        assert!(check.is_consistent(), "strategies disagree: {check:?}");
+    }
+    println!("\nrewriting and materialization agreed on every query.");
+}

@@ -1,0 +1,49 @@
+//! # ontorew
+//!
+//! Umbrella crate for the `ontorew` workspace — a from-scratch Rust
+//! reproduction of *"Query Answering over Ontologies Specified via Database
+//! Dependencies"* (Civili, SIGMOD 2014 PhD Symposium).
+//!
+//! The workspace is organised as one crate per subsystem; this crate simply
+//! re-exports them so applications can depend on a single package:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `ontorew-model` | terms, atoms, TGDs, queries, instances, parser |
+//! | [`unify`] | `ontorew-unify` | MGUs, homomorphisms, CQ containment, piece unification |
+//! | [`storage`] | `ontorew-storage` | indexed relational store, CQ/UCQ evaluation, SQL rendering |
+//! | [`chase`] | `ontorew-chase` | oblivious/restricted chase, weak acyclicity, certain answers |
+//! | [`rewrite`] | `ontorew-rewrite` | UCQ rewriting engine, answering by rewriting, query patterns |
+//! | [`core`] | `ontorew-core` | position graph, SWR, P-node graph, WR, baseline classes, classifier |
+//! | [`obda`] | `ontorew-obda` | ontology + mappings + source facade with strategy selection |
+//! | [`workloads`] | `ontorew-workloads` | synthetic ontology and data generators |
+//!
+//! ```
+//! // Example 3 of the paper: outside every previously known FO-rewritable
+//! // class, yet Weakly Recursive, hence FO-rewritable.
+//! let report = ontorew::core::classify(&ontorew::core::examples::example3());
+//! assert!(!report.swr.is_swr);
+//! assert_eq!(report.wr.is_wr(), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ontorew_chase as chase;
+pub use ontorew_core as core;
+pub use ontorew_model as model;
+pub use ontorew_obda as obda;
+pub use ontorew_rewrite as rewrite;
+pub use ontorew_storage as storage;
+pub use ontorew_unify as unify;
+pub use ontorew_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use ontorew_chase::{certain_answers, chase, ChaseConfig};
+    pub use ontorew_core::{classify, is_swr, is_wr, PNodeGraph, PNodeGraphConfig, PositionGraph};
+    pub use ontorew_model::prelude::*;
+    pub use ontorew_obda::{ObdaSystem, Strategy};
+    pub use ontorew_rewrite::{answer_by_rewriting, rewrite, RewriteConfig};
+    pub use ontorew_storage::{evaluate_cq, evaluate_ucq, RelationalStore};
+}
