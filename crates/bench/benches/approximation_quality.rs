@@ -6,7 +6,10 @@ use ontorew_core::examples::{example2, example2_query};
 use ontorew_rewrite::{analyze_patterns, approximate_rewrite};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5]));
+    println!(
+        "{}",
+        ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5])
+    );
 
     let program = example2();
     let query = example2_query();

@@ -41,10 +41,7 @@ fn bench(c: &mut Criterion) {
                     statistics: None,
                 },
             ),
-            (
-                "planner + indexes",
-                EvalConfig::default(),
-            ),
+            ("planner + indexes", EvalConfig::default()),
             (
                 "planner + indexes + stats",
                 EvalConfig {

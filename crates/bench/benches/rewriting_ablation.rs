@@ -32,10 +32,15 @@ fn bench(c: &mut Criterion) {
         let configs = [
             ("full (prune + factorize)", RewriteConfig::default()),
             ("no pruning", RewriteConfig::default().without_pruning()),
-            ("no factorization", RewriteConfig::default().without_factorization()),
+            (
+                "no factorization",
+                RewriteConfig::default().without_factorization(),
+            ),
             (
                 "neither",
-                RewriteConfig::default().without_pruning().without_factorization(),
+                RewriteConfig::default()
+                    .without_pruning()
+                    .without_factorization(),
             ),
         ];
         for (label, config) in configs {
@@ -60,11 +65,9 @@ fn bench(c: &mut Criterion) {
                 RewriteConfig::default().without_factorization(),
             ),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(*name, label),
-                &config,
-                |b, cfg| b.iter(|| rewrite(std::hint::black_box(ontology), query, cfg)),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, label), &config, |b, cfg| {
+                b.iter(|| rewrite(std::hint::black_box(ontology), query, cfg))
+            });
         }
     }
     group.finish();

@@ -9,7 +9,10 @@ use ontorew_storage::RelationalStore;
 use ontorew_workloads::university_abox;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ontorew_bench::experiment_rewriting_vs_chase(&[50, 200]));
+    println!(
+        "{}",
+        ontorew_bench::experiment_rewriting_vs_chase(&[50, 200])
+    );
 
     let ontology = university_ontology();
     let query = university_query();

@@ -6,7 +6,10 @@ use ontorew_core::is_swr;
 use ontorew_workloads::{chain_program, random_program, star_program, RandomProgramConfig};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ontorew_bench::experiment_swr_scaling(&[10, 50, 100, 250]));
+    println!(
+        "{}",
+        ontorew_bench::experiment_swr_scaling(&[10, 50, 100, 250])
+    );
 
     let mut group = c.benchmark_group("swr_check");
     group.sample_size(20);

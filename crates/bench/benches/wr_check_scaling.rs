@@ -6,7 +6,10 @@ use ontorew_core::{check_wr_with, is_swr, PNodeGraphConfig};
 use ontorew_workloads::{chain_program, star_program};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ontorew_bench::experiment_wr_scaling(&[4, 8, 16, 32], 4_000));
+    println!(
+        "{}",
+        ontorew_bench::experiment_wr_scaling(&[4, 8, 16, 32], 4_000)
+    );
 
     let mut group = c.benchmark_group("wr_vs_swr_check");
     group.sample_size(10);
@@ -17,13 +20,23 @@ fn bench(c: &mut Criterion) {
             b.iter(|| is_swr(std::hint::black_box(p)))
         });
         group.bench_with_input(BenchmarkId::new("wr/chain", rules), &chain, |b, p| {
-            b.iter(|| check_wr_with(std::hint::black_box(p), &PNodeGraphConfig { max_nodes: 4_000 }))
+            b.iter(|| {
+                check_wr_with(
+                    std::hint::black_box(p),
+                    &PNodeGraphConfig { max_nodes: 4_000 },
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("swr/star", rules), &star, |b, p| {
             b.iter(|| is_swr(std::hint::black_box(p)))
         });
         group.bench_with_input(BenchmarkId::new("wr/star", rules), &star, |b, p| {
-            b.iter(|| check_wr_with(std::hint::black_box(p), &PNodeGraphConfig { max_nodes: 4_000 }))
+            b.iter(|| {
+                check_wr_with(
+                    std::hint::black_box(p),
+                    &PNodeGraphConfig { max_nodes: 4_000 },
+                )
+            })
         });
     }
     group.finish();

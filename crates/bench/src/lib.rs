@@ -14,10 +14,10 @@ use ontorew_core::examples::{
     example1, example2, example2_query, example3, university_ontology, university_query,
 };
 use ontorew_core::{
-    classify, is_swr, check_wr_with, PNodeGraph, PNodeGraphConfig, PositionGraph, WrVerdict,
+    check_wr_with, classify, is_swr, PNodeGraph, PNodeGraphConfig, PositionGraph, WrVerdict,
 };
-use ontorew_model::prelude::*;
 use ontorew_model::parse_query;
+use ontorew_model::prelude::*;
 use ontorew_obda::{cross_check, ObdaSystem, Strategy};
 use ontorew_rewrite::{
     answer_by_rewriting, approximate_rewrite, rewrite, rewriting_growth, RewriteConfig,
@@ -61,7 +61,11 @@ pub fn experiment_fig2(depths: &[usize]) -> String {
     let program = example2();
     let graph = PositionGraph::build(&program);
     let mut out = String::new();
-    writeln!(out, "E2 / Figure 2 — position graph of Example 2 + rewriting growth").unwrap();
+    writeln!(
+        out,
+        "E2 / Figure 2 — position graph of Example 2 + rewriting growth"
+    )
+    .unwrap();
     writeln!(
         out,
         "position graph: nodes={} edges={} s-edges={} dangerous-cycle={} (the false negative)",
@@ -166,7 +170,11 @@ pub fn experiment_class_subsumption(seeds: u64, rules_per_program: usize) -> Str
         }
     }
     let mut out = String::new();
-    writeln!(out, "E5 — class subsumption on {total} random simple programs").unwrap();
+    writeln!(
+        out,
+        "E5 — class subsumption on {total} random simple programs"
+    )
+    .unwrap();
     writeln!(
         out,
         "linear⊆SWR witnesses={linear_and_swr}  sticky⊆SWR witnesses={sticky_and_swr}  SWR programs={swr_count}  SWR∧WR={swr_and_wr}  subsumption violations={violations}"
@@ -213,7 +221,10 @@ pub fn experiment_wr_scaling(sizes: &[usize], max_nodes: usize) -> String {
         for (family, program) in [
             ("chain", chain_program(n)),
             ("star", star_program(n)),
-            ("hierarchy", hierarchy_program((n as f64).log2().ceil() as usize)),
+            (
+                "hierarchy",
+                hierarchy_program((n as f64).log2().ceil() as usize),
+            ),
         ] {
             let start = Instant::now();
             let _ = is_swr(&program);
@@ -241,7 +252,11 @@ pub fn experiment_rewriting_vs_chase(student_counts: &[usize]) -> String {
     let query = university_query();
     let rewriting = rewrite(&ontology, &query, &RewriteConfig::default());
     let mut out = String::new();
-    writeln!(out, "E8 — rewriting vs materialization (university workload)").unwrap();
+    writeln!(
+        out,
+        "E8 — rewriting vs materialization (university workload)"
+    )
+    .unwrap();
     writeln!(
         out,
         "rewriting: {} disjuncts, complete={}",
@@ -249,14 +264,19 @@ pub fn experiment_rewriting_vs_chase(student_counts: &[usize]) -> String {
         rewriting.complete
     )
     .unwrap();
-    writeln!(out, "students  facts  rewrite_ms  chase_ms  chase_facts  answers").unwrap();
+    writeln!(
+        out,
+        "students  facts  rewrite_ms  chase_ms  chase_facts  answers"
+    )
+    .unwrap();
     for &students in student_counts {
         let data = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
         let facts = data.len();
         let store = RelationalStore::from_instance(&data);
 
         let start = Instant::now();
-        let by_rewriting = answer_by_rewriting(&ontology, &query, &store, &RewriteConfig::default());
+        let by_rewriting =
+            answer_by_rewriting(&ontology, &query, &store, &RewriteConfig::default());
         let rewrite_ms = start.elapsed().as_millis();
 
         let start = Instant::now();
@@ -344,8 +364,7 @@ pub fn experiment_approximation_quality(depths: &[usize]) -> String {
     writeln!(out, "depth  disjuncts  answered  recurrent-patterns").unwrap();
     for &depth in depths {
         let approx = approximate_rewrite(&program, &query, depth);
-        let answers =
-            ontorew_rewrite::evaluate_rewriting(&approx.rewriting, &query, &store);
+        let answers = ontorew_rewrite::evaluate_rewriting(&approx.rewriting, &query, &store);
         writeln!(
             out,
             "{depth:>5} {:>10} {:>9} {:>19}",

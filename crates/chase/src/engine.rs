@@ -222,10 +222,7 @@ mod tests {
         let result = chase(&p, &db, &ChaseConfig::default());
         assert!(result.is_universal_model());
         assert!(result.instance.contains(&Atom::fact("path", &["a", "d"])));
-        assert_eq!(
-            result.instance.relation_size(Predicate::new("path", 2)),
-            6
-        );
+        assert_eq!(result.instance.relation_size(Predicate::new("path", 2)), 6);
         assert!(is_model(&p, &result.instance));
     }
 

@@ -93,8 +93,7 @@ impl DependencyGraph {
     pub fn is_weakly_acyclic(&self) -> bool {
         // A cycle through a special edge (u ⇒ v) exists iff v can reach u
         // using any edges. Check each special edge with a DFS/BFS.
-        let mut successors: BTreeMap<DependencyPosition, Vec<DependencyPosition>> =
-            BTreeMap::new();
+        let mut successors: BTreeMap<DependencyPosition, Vec<DependencyPosition>> = BTreeMap::new();
         for (a, b) in self.edges.iter().chain(self.special_edges.iter()) {
             successors.entry(*a).or_default().push(*b);
         }

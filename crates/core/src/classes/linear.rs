@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn single_body_atom_rules_are_linear() {
-        assert!(rule_is_linear(&parse_tgd("student(X) -> person(X)").unwrap()));
+        assert!(rule_is_linear(
+            &parse_tgd("student(X) -> person(X)").unwrap()
+        ));
         assert!(!rule_is_linear(
             &parse_tgd("p(X), q(X) -> person(X)").unwrap()
         ));

@@ -19,9 +19,7 @@ pub mod weakly_sticky;
 
 pub use acyclic_grd::{depends_on, is_acyclic_grd, rule_dependency_graph};
 pub use domain_restricted::{is_domain_restricted, rule_is_domain_restricted};
-pub use guarded::{
-    is_frontier_guarded, is_guarded, rule_is_frontier_guarded, rule_is_guarded,
-};
+pub use guarded::{is_frontier_guarded, is_guarded, rule_is_frontier_guarded, rule_is_guarded};
 pub use jointly_acyclic::{
     existential_dependency_graph, is_jointly_acyclic, move_sets, ExistentialId,
 };
@@ -56,7 +54,10 @@ mod tests {
                 assert!(is_warded(&p), "linear ⊄ warded on {text}");
             }
             if is_guarded(&p) {
-                assert!(is_frontier_guarded(&p), "guarded ⊄ frontier-guarded on {text}");
+                assert!(
+                    is_frontier_guarded(&p),
+                    "guarded ⊄ frontier-guarded on {text}"
+                );
             }
             if is_sticky(&p) {
                 assert!(is_sticky_join(&p), "sticky ⊄ sticky-join on {text}");

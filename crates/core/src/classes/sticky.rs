@@ -44,11 +44,15 @@ pub struct Marking {
 
 impl Marking {
     /// True if the given variable is marked in the given rule.
-    pub fn variable_is_marked(&self, program: &TgdProgram, rule_index: usize, var: Variable) -> bool {
+    pub fn variable_is_marked(
+        &self,
+        program: &TgdProgram,
+        rule_index: usize,
+        var: Variable,
+    ) -> bool {
         let rule = &program.rules()[rule_index];
         self.occurrences.iter().any(|(r, b, a)| {
-            *r == rule_index
-                && rule.body[*b].terms.get(*a).and_then(Term::as_variable) == Some(var)
+            *r == rule_index && rule.body[*b].terms.get(*a).and_then(Term::as_variable) == Some(var)
         })
     }
 }
@@ -209,9 +213,7 @@ mod tests {
         )
         .unwrap();
         let marking = compute_marking(&p);
-        assert!(marking
-            .positions
-            .contains(&(Predicate::new("q", 1), 0)));
+        assert!(marking.positions.contains(&(Predicate::new("q", 1), 0)));
         assert!(!is_sticky(&p));
         assert!(!is_sticky_join(&p));
     }

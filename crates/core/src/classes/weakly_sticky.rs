@@ -158,7 +158,10 @@ mod tests {
         for text in programs {
             let p = parse_program(text).unwrap();
             assert!(is_weakly_acyclic(&p), "expected weakly acyclic: {text}");
-            assert!(is_weakly_sticky(&p), "weakly acyclic but not weakly sticky: {text}");
+            assert!(
+                is_weakly_sticky(&p),
+                "weakly acyclic but not weakly sticky: {text}"
+            );
         }
     }
 
@@ -199,10 +202,8 @@ mod tests {
 
     #[test]
     fn weakly_acyclic_program_has_no_infinite_rank_positions() {
-        let p = parse_program(
-            "[R1] emp(X) -> worksFor(X, D).\n[R2] worksFor(X, D) -> dept(D).",
-        )
-        .unwrap();
+        let p = parse_program("[R1] emp(X) -> worksFor(X, D).\n[R2] worksFor(X, D) -> dept(D).")
+            .unwrap();
         assert!(infinite_rank_positions(&p).is_empty());
     }
 

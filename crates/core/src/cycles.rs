@@ -106,9 +106,8 @@ impl<L: Clone + Ord + Eq + Hash> LabeledGraph<L> {
                 continue;
             }
             if required.iter().all(|l| labels.contains(l)) {
-                let members: Vec<usize> = (0..self.node_count)
-                    .filter(|n| sccs[*n] == *scc)
-                    .collect();
+                let members: Vec<usize> =
+                    (0..self.node_count).filter(|n| sccs[*n] == *scc).collect();
                 return Some(members);
             }
         }

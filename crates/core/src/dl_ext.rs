@@ -46,10 +46,7 @@ impl ExtendedConcept {
 
     /// The unqualified existential `∃R`.
     pub fn exists(role: &str) -> Self {
-        ExtendedConcept::QualifiedExists(
-            Role::Atomic(role.into()),
-            Box::new(ExtendedConcept::Top),
-        )
+        ExtendedConcept::QualifiedExists(Role::Atomic(role.into()), Box::new(ExtendedConcept::Top))
     }
 
     /// The qualified existential `∃R.C` over an atomic filler.
@@ -99,8 +96,7 @@ impl ExtendedOntology {
 
     /// Add a concept inclusion `sub ⊑ sup`.
     pub fn include(mut self, sub: ExtendedConcept, sup: ExtendedConcept) -> Self {
-        self.axioms
-            .push(ExtendedAxiom::ConceptInclusion(sub, sup));
+        self.axioms.push(ExtendedAxiom::ConceptInclusion(sub, sup));
         self
     }
 
@@ -111,12 +107,18 @@ impl ExtendedOntology {
 
     /// Add `A ⊑ ∃R.B` (qualified mandatory participation).
     pub fn some_values(self, sub: &str, role: &str, filler: &str) -> Self {
-        self.include(ExtendedConcept::atomic(sub), ExtendedConcept::some(role, filler))
+        self.include(
+            ExtendedConcept::atomic(sub),
+            ExtendedConcept::some(role, filler),
+        )
     }
 
     /// Add `∃R.B ⊑ A` (qualified domain restriction).
     pub fn some_values_domain(self, role: &str, filler: &str, sup: &str) -> Self {
-        self.include(ExtendedConcept::some(role, filler), ExtendedConcept::atomic(sup))
+        self.include(
+            ExtendedConcept::some(role, filler),
+            ExtendedConcept::atomic(sup),
+        )
     }
 
     /// Add a role inclusion `R ⊑ S`.
@@ -180,7 +182,7 @@ impl ExtendedOntology {
                 ExtendedConcept::Atomic(a) => vec![Atom::new(a, vec![var])],
                 ExtendedConcept::Top => vec![],
                 ExtendedConcept::QualifiedExists(role, filler) => {
-                    let mut atoms = vec![role_atom(role, var, aux.clone())];
+                    let mut atoms = vec![role_atom(role, var, aux)];
                     match filler.as_ref() {
                         ExtendedConcept::Top => {}
                         ExtendedConcept::Atomic(b) => atoms.push(Atom::new(b, vec![aux])),
@@ -256,7 +258,7 @@ fn concept_atoms_inner(
         ExtendedConcept::Atomic(a) => vec![Atom::new(a, vec![var])],
         ExtendedConcept::Top => vec![],
         ExtendedConcept::QualifiedExists(role, filler) => {
-            let mut atoms = vec![role_atom(role, var, aux.clone())];
+            let mut atoms = vec![role_atom(role, var, aux)];
             match filler.as_ref() {
                 ExtendedConcept::Top => {}
                 ExtendedConcept::Atomic(b) => atoms.push(Atom::new(b, vec![aux])),
@@ -368,11 +370,8 @@ mod tests {
         use ontorew_model::parse_query;
         let program = research_group().to_tgds();
         let query = parse_query("q(X) :- knows(X, Y)").unwrap();
-        let rewriting = ontorew_rewrite::rewrite(
-            &program,
-            &query,
-            &ontorew_rewrite::RewriteConfig::default(),
-        );
+        let rewriting =
+            ontorew_rewrite::rewrite(&program, &query, &ontorew_rewrite::RewriteConfig::default());
         // The ontology has a rule whose head atoms share an existential
         // variable (advisedBy(X, Z), professor(Z)); the engine reports such
         // rewritings as incomplete because joins across the two head atoms

@@ -268,8 +268,7 @@ impl PNodeGraph {
             for rule in program.iter() {
                 let fresh = rule.freshen();
                 for (head_index, alpha) in fresh.head.iter().enumerate() {
-                    let new_ids =
-                        builder.expand(node_id, &node, &fresh, head_index, alpha, config);
+                    let new_ids = builder.expand(node_id, &node, &fresh, head_index, alpha, config);
                     for id in new_ids {
                         worklist.push_back(id);
                     }
@@ -402,16 +401,13 @@ impl PNodeGraph {
                 // i: beta is isolated in the rule body.
                 if rule.body.len() >= 2 {
                     let beta_vars = beta.variable_set();
-                    let has_distinguished =
-                        beta_vars.iter().any(|v| distinguished.contains(v));
+                    let has_distinguished = beta_vars.iter().any(|v| distinguished.contains(v));
                     let shares = rule
                         .body
                         .iter()
                         .enumerate()
                         .filter(|(i, _)| *i != body_index)
-                        .any(|(_, other)| {
-                            !other.variable_set().is_disjoint(&beta_vars)
-                        });
+                        .any(|(_, other)| !other.variable_set().is_disjoint(&beta_vars));
                     if !has_distinguished && !shares {
                         labels.push(PEdgeLabel::Isolated);
                     }
@@ -509,9 +505,7 @@ impl PNodeGraph {
     }
 
     /// Iterate over all edges as `(from, to, labels)`.
-    pub fn edges(
-        &self,
-    ) -> impl Iterator<Item = (&PNode, &PNode, &BTreeSet<PEdgeLabel>)> + '_ {
+    pub fn edges(&self) -> impl Iterator<Item = (&PNode, &PNode, &BTreeSet<PEdgeLabel>)> + '_ {
         self.graph
             .edges()
             .map(move |(a, b, l)| (&self.nodes[a], &self.nodes[b], l))
@@ -588,17 +582,39 @@ mod tests {
     #[test]
     fn canonicalization_is_renaming_invariant() {
         let a = PNode::new(
-            Atom::new("s", vec![Term::variable("A"), Term::variable("A"), Term::variable("B")]),
+            Atom::new(
+                "s",
+                vec![
+                    Term::variable("A"),
+                    Term::variable("A"),
+                    Term::variable("B"),
+                ],
+            ),
             vec![Atom::new(
                 "s",
-                vec![Term::variable("A"), Term::variable("A"), Term::variable("B")],
+                vec![
+                    Term::variable("A"),
+                    Term::variable("A"),
+                    Term::variable("B"),
+                ],
             )],
         );
         let b = PNode::new(
-            Atom::new("s", vec![Term::variable("U"), Term::variable("U"), Term::variable("W")]),
+            Atom::new(
+                "s",
+                vec![
+                    Term::variable("U"),
+                    Term::variable("U"),
+                    Term::variable("W"),
+                ],
+            ),
             vec![Atom::new(
                 "s",
-                vec![Term::variable("U"), Term::variable("U"), Term::variable("W")],
+                vec![
+                    Term::variable("U"),
+                    Term::variable("U"),
+                    Term::variable("W"),
+                ],
             )],
         );
         assert_eq!(a, b);
@@ -691,10 +707,7 @@ mod tests {
             assert!(t_node.is_bounded(Variable::new("z")));
             // No outgoing edge from that node reaches an r-node (which is what
             // R1 would produce).
-            let outgoing: Vec<_> = g
-                .edges()
-                .filter(|(from, _, _)| **from == t_node)
-                .collect();
+            let outgoing: Vec<_> = g.edges().filter(|(from, _, _)| **from == t_node).collect();
             assert!(
                 outgoing
                     .iter()

@@ -307,7 +307,10 @@ mod tests {
     fn figure1_edges_and_labels_of_example1() {
         let g = PositionGraph::build(&example1());
         // r[ ] -> s[ ] and r[ ] -> s[2] are unlabelled; r[ ] -> t[ ] carries m.
-        assert!(g.edge_labels(&whole("r", 2), &whole("s", 3)).unwrap().is_empty());
+        assert!(g
+            .edge_labels(&whole("r", 2), &whole("s", 3))
+            .unwrap()
+            .is_empty());
         assert!(g
             .edge_labels(&whole("r", 2), &arg("s", 3, 2))
             .unwrap()
@@ -321,9 +324,15 @@ mod tests {
             .edge_labels(&whole("s", 3), &whole("q", 1))
             .unwrap()
             .contains(&PositionEdgeLabel::Missing));
-        assert!(g.edge_labels(&whole("s", 3), &whole("v", 2)).unwrap().is_empty());
+        assert!(g
+            .edge_labels(&whole("s", 3), &whole("v", 2))
+            .unwrap()
+            .is_empty());
         // v[ ] -> r[ ] closes the harmless cycle with no labels.
-        assert!(g.edge_labels(&whole("v", 2), &whole("r", 2)).unwrap().is_empty());
+        assert!(g
+            .edge_labels(&whole("v", 2), &whole("r", 2))
+            .unwrap()
+            .is_empty());
         // Exactly as the paper observes: there are no s-edges at all.
         assert_eq!(g.s_edge_count(), 0);
         assert_eq!(g.m_edge_count(), 3); // r->t[], r->t[1], s->q[]
@@ -383,9 +392,7 @@ mod tests {
         let p = parse_program("[R1] p(X, Z), q(Z) -> h(X).").unwrap();
         let g = PositionGraph::build(&p);
         assert!(g.s_edge_count() > 0);
-        let labels = g
-            .edge_labels(&whole("h", 1), &whole("p", 2))
-            .unwrap();
+        let labels = g.edge_labels(&whole("h", 1), &whole("p", 2)).unwrap();
         assert!(labels.contains(&PositionEdgeLabel::Splitting));
         // And the edges also carry m because Z... no: the only distinguished
         // variable X occurs in p but not in q.

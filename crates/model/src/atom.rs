@@ -105,18 +105,12 @@ impl Atom {
 
     /// The set of variables occurring in this atom.
     pub fn variable_set(&self) -> BTreeSet<Variable> {
-        self.terms
-            .iter()
-            .filter_map(|t| t.as_variable())
-            .collect()
+        self.terms.iter().filter_map(|t| t.as_variable()).collect()
     }
 
     /// The constants occurring in this atom, without duplicates.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.terms
-            .iter()
-            .filter_map(|t| t.as_constant())
-            .collect()
+        self.terms.iter().filter_map(|t| t.as_constant()).collect()
     }
 
     /// True if the atom contains no variables.

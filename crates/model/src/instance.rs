@@ -83,7 +83,10 @@ impl Instance {
 
     /// Number of facts for the given predicate.
     pub fn relation_size(&self, predicate: Predicate) -> usize {
-        self.relations.get(&predicate).map(BTreeSet::len).unwrap_or(0)
+        self.relations
+            .get(&predicate)
+            .map(BTreeSet::len)
+            .unwrap_or(0)
     }
 
     /// The predicates that have at least one fact.

@@ -53,9 +53,10 @@ pub fn parse_program(input: &str) -> Result<TgdProgram, ParseError> {
 /// (the trailing period is optional for single queries).
 pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
     let doc = parse_document(ensure_period(input).as_ref())?;
-    doc.queries.into_iter().next().ok_or_else(|| {
-        ParseError::new(1, 1, "expected a conjunctive query (name(vars) :- body)")
-    })
+    doc.queries
+        .into_iter()
+        .next()
+        .ok_or_else(|| ParseError::new(1, 1, "expected a conjunctive query (name(vars) :- body)"))
 }
 
 /// Parse a single TGD, e.g. `p(X) -> q(X, Y).`
@@ -200,9 +201,7 @@ impl Parser {
                     match t {
                         Term::Variable(v) => answer_vars.push(*v),
                         _ => {
-                            return Err(self.error_here(
-                                "query answer arguments must be variables",
-                            ))
+                            return Err(self.error_here("query answer arguments must be variables"))
                         }
                     }
                 }
@@ -218,8 +217,8 @@ impl Parser {
                         )));
                     }
                 }
-                let q = ConjunctiveQuery::new(answer_vars, body)
-                    .named(head.predicate.name.as_str());
+                let q =
+                    ConjunctiveQuery::new(answer_vars, body).named(head.predicate.name.as_str());
                 doc.queries.push(q);
                 Ok(())
             }
@@ -602,10 +601,9 @@ mod tests {
 
     #[test]
     fn round_trip_program_display_then_parse() {
-        let original = parse_program(
-            "[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n[R2] r(X, Y) -> v(X, Y).",
-        )
-        .unwrap();
+        let original =
+            parse_program("[R1] s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n[R2] r(X, Y) -> v(X, Y).")
+                .unwrap();
         let rendered = original.to_string();
         let reparsed = parse_program(&rendered).unwrap();
         assert_eq!(original.len(), reparsed.len());

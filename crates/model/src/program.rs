@@ -144,10 +144,7 @@ impl TgdProgram {
     /// Total number of atoms across all rules (a size measure used by the
     /// scaling experiments).
     pub fn total_atoms(&self) -> usize {
-        self.rules
-            .iter()
-            .map(|r| r.body.len() + r.head.len())
-            .sum()
+        self.rules.iter().map(|r| r.body.len() + r.head.len()).sum()
     }
 }
 

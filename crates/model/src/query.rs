@@ -328,10 +328,8 @@ mod tests {
 
     #[test]
     fn boolean_query_construction() {
-        let q = ConjunctiveQuery::boolean(vec![Atom::new(
-            "r",
-            vec![Term::constant("a"), var("X")],
-        )]);
+        let q =
+            ConjunctiveQuery::boolean(vec![Atom::new("r", vec![Term::constant("a"), var("X")])]);
         assert!(q.is_boolean());
         assert_eq!(q.arity(), 0);
         assert_eq!(q.existential_variables(), vec![Variable::new("X")]);

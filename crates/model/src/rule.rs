@@ -135,7 +135,10 @@ impl Tgd {
 
     /// True if the rule contains a constant anywhere.
     pub fn has_constants(&self) -> bool {
-        self.body.iter().chain(self.head.iter()).any(Atom::has_constants)
+        self.body
+            .iter()
+            .chain(self.head.iter())
+            .any(Atom::has_constants)
     }
 
     /// True if some atom of the rule contains a repeated variable.
@@ -150,9 +153,7 @@ impl Tgd {
     /// (i) no atom contains a repeated variable, (ii) no constants occur, and
     /// (iii) the head is a single atom.
     pub fn is_simple(&self) -> bool {
-        self.head.len() == 1
-            && !self.has_constants()
-            && !self.has_repeated_variables_in_an_atom()
+        self.head.len() == 1 && !self.has_constants() && !self.has_repeated_variables_in_an_atom()
     }
 
     /// True if the rule has a single head atom (condition (iii) of simplicity).
@@ -301,10 +302,7 @@ mod tests {
         assert!(r1.is_full());
 
         let r2 = example1_r2();
-        assert_eq!(
-            r2.existential_head_variables(),
-            vec![Variable::new("Y3")]
-        );
+        assert_eq!(r2.existential_head_variables(), vec![Variable::new("Y3")]);
         assert!(!r2.is_full());
     }
 

@@ -24,7 +24,10 @@ fn term_strategy() -> impl Strategy<Value = Term> {
 }
 
 fn atom_strategy() -> impl Strategy<Value = Atom> {
-    (predicate_name(), prop::collection::vec(term_strategy(), 1..4))
+    (
+        predicate_name(),
+        prop::collection::vec(term_strategy(), 1..4),
+    )
         .prop_map(|(p, terms)| Atom::new(&format!("{p}{}", terms.len()), terms))
 }
 

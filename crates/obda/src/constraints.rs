@@ -105,8 +105,9 @@ impl Egd {
     /// the body.
     pub fn new(body: Vec<Atom>, left: Variable, right: Variable) -> Self {
         assert!(!body.is_empty(), "an EGD must have at least one body atom");
-        let vars: std::collections::BTreeSet<Variable> =
-            ontorew_model::atom::variables_of(&body).into_iter().collect();
+        let vars: std::collections::BTreeSet<Variable> = ontorew_model::atom::variables_of(&body)
+            .into_iter()
+            .collect();
         assert!(
             vars.contains(&left) && vars.contains(&right),
             "both equated variables of an EGD must occur in its body"
@@ -155,8 +156,7 @@ impl Egd {
     /// The CQ whose certain answers witness violations: answer pairs binding
     /// the two equated variables to distinct constants.
     pub fn violation_query(&self) -> ConjunctiveQuery {
-        ConjunctiveQuery::new(vec![self.left, self.right], self.body.clone())
-            .named("egd_violation")
+        ConjunctiveQuery::new(vec![self.left, self.right], self.body.clone()).named("egd_violation")
     }
 }
 

@@ -136,8 +136,7 @@ impl ObdaSystem {
         // Rewriting is evaluated over the retrieved ABox (ontology vocabulary);
         // with identity mappings this is the source itself.
         let abox_store = RelationalStore::from_instance(&self.retrieved_abox());
-        let result =
-            answer_by_rewriting(&self.ontology, query, &abox_store, &self.rewrite_config);
+        let result = answer_by_rewriting(&self.ontology, query, &abox_store, &self.rewrite_config);
         let exact = result.is_exact();
         ObdaAnswers {
             answers: result.answers,

@@ -38,10 +38,7 @@ pub fn answer_by_rewriting(
 ) -> RewritingAnswers {
     let rewriting = rewrite(program, query, config);
     let answers = evaluate_rewriting(&rewriting, query, store);
-    RewritingAnswers {
-        answers,
-        rewriting,
-    }
+    RewritingAnswers { answers, rewriting }
 }
 
 /// Evaluate an already-computed rewriting over a store.
@@ -61,11 +58,7 @@ pub fn evaluate_rewriting(
 /// Evaluate a disjunct whose answer tuple contains constants: the body is
 /// evaluated as a CQ over its answer *variables* only, and each resulting row
 /// is expanded into the full answer tuple with the constants filled in.
-fn evaluate_grounded_disjunct(
-    disjunct: &RQuery,
-    store: &RelationalStore,
-    answers: &mut AnswerSet,
-) {
+fn evaluate_grounded_disjunct(disjunct: &RQuery, store: &RelationalStore, answers: &mut AnswerSet) {
     // Collect the distinct variables appearing in answer positions.
     let mut answer_variables: Vec<Variable> = Vec::new();
     for t in &disjunct.answer {
@@ -87,8 +80,11 @@ fn evaluate_grounded_disjunct(
     let cq = ConjunctiveQuery::new(answer_variables.clone(), disjunct.body.clone());
     let partial = evaluate_cq(store, &cq);
     for row in partial.iter() {
-        let binding: BTreeMap<Variable, Term> =
-            answer_variables.iter().copied().zip(row.iter().copied()).collect();
+        let binding: BTreeMap<Variable, Term> = answer_variables
+            .iter()
+            .copied()
+            .zip(row.iter().copied())
+            .collect();
         let full: Vec<Term> = disjunct
             .answer
             .iter()
@@ -178,8 +174,7 @@ mod tests {
         db.insert_fact("teaches", &["alice", "db101"]);
         let q = parse_query("q(X) :- person(X)").unwrap();
 
-        let by_rewriting =
-            answer_by_rewriting(&p, &q, &db, &RewriteConfig::default());
+        let by_rewriting = answer_by_rewriting(&p, &q, &db, &RewriteConfig::default());
         let by_chase = ontorew_chase::certain_answers(
             &p,
             &db.to_instance(),

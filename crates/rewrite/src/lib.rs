@@ -34,8 +34,7 @@ pub mod step;
 
 pub use answer::{answer_by_rewriting, evaluate_rewriting, RewritingAnswers};
 pub use engine::{
-    disjunct_keys, rewrite, rewrite_ucq, rewriting_growth, RewriteConfig, RewriteStats,
-    Rewriting,
+    disjunct_keys, rewrite, rewrite_ucq, rewriting_growth, RewriteConfig, RewriteStats, Rewriting,
 };
 pub use patterns::{
     analyze_patterns, approximate_rewrite, ApproximateRewriting, ArgKind, AtomPattern,

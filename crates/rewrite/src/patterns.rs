@@ -77,8 +77,7 @@ impl QueryPattern {
                     .iter()
                     .map(|t| match t {
                         Term::Variable(v) => {
-                            let shared_across_atoms =
-                                atom_count.get(v).copied().unwrap_or(0) > 1;
+                            let shared_across_atoms = atom_count.get(v).copied().unwrap_or(0) > 1;
                             let repeated_within_atom = atom.occurrences_of(*v) > 1;
                             if answer_vars.contains(v)
                                 || shared_across_atoms
@@ -162,9 +161,10 @@ pub fn analyze_patterns(
 ) -> PatternAnalysis {
     let mut observed: BTreeMap<QueryPattern, Vec<usize>> = BTreeMap::new();
     let mut atom_observed: BTreeMap<AtomPattern, Vec<usize>> = BTreeMap::new();
-    let record = |q: &RQuery, d: usize,
-                      observed: &mut BTreeMap<QueryPattern, Vec<usize>>,
-                      atom_observed: &mut BTreeMap<AtomPattern, Vec<usize>>| {
+    let record = |q: &RQuery,
+                  d: usize,
+                  observed: &mut BTreeMap<QueryPattern, Vec<usize>>,
+                  atom_observed: &mut BTreeMap<AtomPattern, Vec<usize>>| {
         let pattern = QueryPattern::of_rquery(q);
         for atom_pattern in &pattern.atoms {
             atom_observed
@@ -343,15 +343,10 @@ mod tests {
         let mut db = Instance::new();
         db.insert_fact("s", &["c", "c", "a"]);
         let store = ontorew_storage::RelationalStore::from_instance(&db);
-        let answers =
-            crate::answer::evaluate_rewriting(&approx.rewriting, &q, &store);
+        let answers = crate::answer::evaluate_rewriting(&approx.rewriting, &q, &store);
         assert!(answers.as_boolean());
-        let certain = ontorew_chase::certain_answers(
-            &p,
-            &db,
-            &q,
-            &ontorew_chase::ChaseConfig::default(),
-        );
+        let certain =
+            ontorew_chase::certain_answers(&p, &db, &q, &ontorew_chase::ChaseConfig::default());
         assert!(certain.answers.as_boolean());
     }
 

@@ -110,8 +110,8 @@ impl RQuery {
         let mut mapping: BTreeMap<Variable, Term> = BTreeMap::new();
         let mut counter = 0usize;
         let mut rename = |v: Variable, mapping: &mut BTreeMap<Variable, Term>| {
-            if !mapping.contains_key(&v) {
-                mapping.insert(v, Term::variable(&format!("X{counter}")));
+            if let std::collections::btree_map::Entry::Vacant(e) = mapping.entry(v) {
+                e.insert(Term::variable(&format!("X{counter}")));
                 counter += 1;
             }
         };

@@ -202,10 +202,7 @@ mod tests {
         assert_eq!(steps[0].resolved_atoms, vec![0, 1]);
         let produced = &steps[0].query;
         assert_eq!(produced.body.len(), 1); // project(U) == project(V) after unification
-        assert_eq!(
-            produced.body[0].predicate,
-            Predicate::new("project", 1)
-        );
+        assert_eq!(produced.body[0].predicate, Predicate::new("project", 1));
     }
 
     #[test]

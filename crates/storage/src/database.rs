@@ -78,7 +78,10 @@ impl RelationalStore {
 
     /// Number of tuples in the relation for `predicate` (0 if absent).
     pub fn relation_size(&self, predicate: Predicate) -> usize {
-        self.relations.get(&predicate).map(Relation::len).unwrap_or(0)
+        self.relations
+            .get(&predicate)
+            .map(Relation::len)
+            .unwrap_or(0)
     }
 
     /// Total number of tuples across all relations.

@@ -232,7 +232,10 @@ fn plan_order(
                     Some(stats) => stats.estimated_matches(a) as i64,
                     None => store.relation_size(a.predicate) as i64,
                 };
-                (i, bound_vars * 1_000_000 + ground * 10_000 - size.min(9_999))
+                (
+                    i,
+                    bound_vars * 1_000_000 + ground * 10_000 - size.min(9_999),
+                )
             })
             .max_by_key(|(_, score)| *score)
             .expect("remaining is non-empty");
@@ -297,7 +300,16 @@ fn join(
             for (v, t) in extension.iter() {
                 bindings.bind(v, t);
             }
-            join(store, atoms, idx + 1, bindings, cache, config, stats, on_answer);
+            join(
+                store,
+                atoms,
+                idx + 1,
+                bindings,
+                cache,
+                config,
+                stats,
+                on_answer,
+            );
             *bindings = saved;
         }
     }
@@ -457,10 +469,7 @@ mod tests {
             terms: vec![Term::Null(Null(1))],
         });
         db.insert_fact("p", &["a"]);
-        let q = ConjunctiveQuery::new(
-            vec![Variable::new("X")],
-            vec![Atom::new("p", vec![v("X")])],
-        );
+        let q = ConjunctiveQuery::new(vec![Variable::new("X")], vec![Atom::new("p", vec![v("X")])]);
         let answers = evaluate_cq(&db, &q);
         assert_eq!(answers.len(), 2);
         assert_eq!(answers.without_nulls().len(), 1);
@@ -517,8 +526,7 @@ mod tests {
                 Atom::new("attends", vec![v("S"), v("C")]),
             ],
         );
-        let (_, with_indexes) =
-            evaluate_cq_instrumented(&db, &q, &EvalConfig::default());
+        let (_, with_indexes) = evaluate_cq_instrumented(&db, &q, &EvalConfig::default());
         let (_, without_indexes) = evaluate_cq_instrumented(
             &db,
             &q,
@@ -549,8 +557,7 @@ mod tests {
                 Atom::new("teaches", vec![Term::constant("alice"), v("C")]),
             ],
         );
-        let (planned_answers, planned) =
-            evaluate_cq_instrumented(&db, &q, &EvalConfig::default());
+        let (planned_answers, planned) = evaluate_cq_instrumented(&db, &q, &EvalConfig::default());
         let (naive_answers, naive) = evaluate_cq_instrumented(
             &db,
             &q,
@@ -604,8 +611,7 @@ mod tests {
             ],
         );
         let fast = evaluate_cq(&db, &q);
-        let homs =
-            ontorew_unify::all_homomorphisms(&q.body, &inst, &Substitution::new());
+        let homs = ontorew_unify::all_homomorphisms(&q.body, &inst, &Substitution::new());
         let mut slow: BTreeSet<Vec<Term>> = BTreeSet::new();
         for h in homs {
             slow.insert(vec![h.apply_term(v("T"))]);

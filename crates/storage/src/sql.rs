@@ -116,10 +116,7 @@ mod tests {
 
     #[test]
     fn constants_become_filters() {
-        let q = ConjunctiveQuery::boolean(vec![Atom::new(
-            "r",
-            vec![Term::constant("a"), v("X")],
-        )]);
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("r", vec![Term::constant("a"), v("X")])]);
         let sql = cq_to_sql(&q);
         assert!(sql.contains("SELECT DISTINCT 1"));
         assert!(sql.contains("t0.c0 = 'a'"));
@@ -134,14 +131,10 @@ mod tests {
 
     #[test]
     fn ucq_is_a_union() {
-        let q1 = ConjunctiveQuery::new(
-            vec![Variable::new("X")],
-            vec![Atom::new("r", vec![v("X")])],
-        );
-        let q2 = ConjunctiveQuery::new(
-            vec![Variable::new("X")],
-            vec![Atom::new("s", vec![v("X")])],
-        );
+        let q1 =
+            ConjunctiveQuery::new(vec![Variable::new("X")], vec![Atom::new("r", vec![v("X")])]);
+        let q2 =
+            ConjunctiveQuery::new(vec![Variable::new("X")], vec![Atom::new("s", vec![v("X")])]);
         let sql = ucq_to_sql(&UnionOfConjunctiveQueries::new(vec![q1, q2]));
         assert_eq!(sql.matches("SELECT DISTINCT").count(), 2);
         assert!(sql.contains("\nUNION\n"));

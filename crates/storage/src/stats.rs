@@ -110,11 +110,7 @@ impl StoreStatistics {
         }
         for (i, term) in atom.terms.iter().enumerate() {
             if term.is_ground() {
-                let distinct = stats
-                    .columns
-                    .get(i)
-                    .map(|c| c.distinct.max(1))
-                    .unwrap_or(1) as f64;
+                let distinct = stats.columns.get(i).map(|c| c.distinct.max(1)).unwrap_or(1) as f64;
                 estimate /= distinct;
             }
         }
@@ -171,10 +167,7 @@ mod tests {
     #[test]
     fn estimated_matches_accounts_for_ground_terms() {
         let stats = StoreStatistics::collect(&store());
-        let unbound = Atom::new(
-            "teaches",
-            vec![Term::variable("X"), Term::variable("Y")],
-        );
+        let unbound = Atom::new("teaches", vec![Term::variable("X"), Term::variable("Y")]);
         let bound = Atom::new(
             "teaches",
             vec![Term::constant("alice"), Term::variable("Y")],

@@ -222,7 +222,10 @@ mod tests {
             ],
         );
         let m = minimize(&query);
-        assert!(m.body.iter().any(|a| a.variable_set().contains(&Variable::new("Z"))));
+        assert!(m
+            .body
+            .iter()
+            .any(|a| a.variable_set().contains(&Variable::new("Z"))));
         assert!(are_equivalent(&m, &query));
     }
 

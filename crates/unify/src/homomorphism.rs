@@ -108,7 +108,10 @@ fn plan_order(atoms: &[Atom], seed: &Substitution) -> Vec<Atom> {
                 let bound_vars = vars.iter().filter(|v| bound.contains(v)).count();
                 let ground_terms = a.terms.iter().filter(|t| t.is_ground()).count();
                 // Higher score = scheduled earlier.
-                (i, (bound_vars * 100 + ground_terms * 10) as i64 - vars.len() as i64)
+                (
+                    i,
+                    (bound_vars * 100 + ground_terms * 10) as i64 - vars.len() as i64,
+                )
             })
             .max_by_key(|(_, score)| *score)
             .expect("remaining is non-empty");

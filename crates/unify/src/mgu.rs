@@ -60,11 +60,7 @@ pub fn unify_atoms(left: &Atom, right: &Atom) -> Option<Substitution> {
 /// Extend an existing unifier so that it also unifies `left` and `right`.
 ///
 /// This is the incremental form used when unifying a whole set of atom pairs.
-pub fn extend_unifier(
-    unifier: &Substitution,
-    left: &Atom,
-    right: &Atom,
-) -> Option<Substitution> {
+pub fn extend_unifier(unifier: &Substitution, left: &Atom, right: &Atom) -> Option<Substitution> {
     if left.predicate != right.predicate {
         return None;
     }

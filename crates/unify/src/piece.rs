@@ -60,8 +60,7 @@ pub fn piece_unifiers(
     let mut out = Vec::new();
     let answer_set: BTreeSet<Variable> = answer_vars.iter().copied().collect();
     let frontier: BTreeSet<Variable> = rule.frontier().into_iter().collect();
-    let existentials: BTreeSet<Variable> =
-        rule.existential_head_variables().into_iter().collect();
+    let existentials: BTreeSet<Variable> = rule.existential_head_variables().into_iter().collect();
 
     for (head_index, head_atom) in rule.head.iter().enumerate() {
         // Candidate query atoms: same predicate and individually unifiable.
@@ -261,10 +260,7 @@ mod tests {
     #[test]
     fn constant_blocks_existential_unification() {
         // q(U) :- hasParent(U, "bob") — the existential cannot be a constant.
-        let body = vec![Atom::new(
-            "hasParent",
-            vec![v("U"), Term::constant("bob")],
-        )];
+        let body = vec![Atom::new("hasParent", vec![v("U"), Term::constant("bob")])];
         let pus = piece_unifiers(&body, &[var("U")], &has_parent_rule());
         assert!(pus.is_empty());
     }
@@ -276,10 +272,7 @@ mod tests {
             vec![Atom::new("person", vec![v("X0")])],
             vec![Atom::new("employed", vec![v("Z0"), v("X0")])],
         );
-        let body = vec![Atom::new(
-            "employed",
-            vec![v("W"), Term::constant("alice")],
-        )];
+        let body = vec![Atom::new("employed", vec![v("W"), Term::constant("alice")])];
         let pus = piece_unifiers(&body, &[], &rule);
         assert_eq!(pus.len(), 1);
     }

@@ -6,30 +6,31 @@ use proptest::prelude::*;
 
 fn term_strategy() -> impl Strategy<Value = Term> {
     prop_oneof![
-        prop::sample::select(vec!["X", "Y", "Z", "W"]).prop_map(|v| Term::variable(v)),
-        prop::sample::select(vec!["a", "b", "c"]).prop_map(|c| Term::constant(c)),
+        prop::sample::select(vec!["X", "Y", "Z", "W"]).prop_map(Term::variable),
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(Term::constant),
     ]
 }
 
 fn atom_strategy() -> impl Strategy<Value = Atom> {
     (1usize..=3, prop::collection::vec(term_strategy(), 3)).prop_map(|(arity, terms)| {
-        Atom::new(&format!("rel{arity}"), terms.into_iter().take(arity).collect())
+        Atom::new(
+            &format!("rel{arity}"),
+            terms.into_iter().take(arity).collect(),
+        )
     })
 }
 
 fn ground_atom_strategy() -> impl Strategy<Value = Atom> {
-    (1usize..=3, prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 3)).prop_map(
-        |(arity, names)| {
+    (
+        1usize..=3,
+        prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 3),
+    )
+        .prop_map(|(arity, names)| {
             Atom::new(
                 &format!("rel{arity}"),
-                names
-                    .into_iter()
-                    .take(arity)
-                    .map(|n| Term::constant(n))
-                    .collect(),
+                names.into_iter().take(arity).map(Term::constant).collect(),
             )
-        },
-    )
+        })
 }
 
 proptest! {

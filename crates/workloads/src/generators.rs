@@ -170,9 +170,7 @@ pub fn random_program(config: &RandomProgramConfig) -> TgdProgram {
                 .iter()
                 .filter(|v| !used_in_head.contains(v))
                 .collect();
-            let name = if !candidates.is_empty()
-                && !rng.gen_bool(config.existential_probability)
-            {
+            let name = if !candidates.is_empty() && !rng.gen_bool(config.existential_probability) {
                 candidates[rng.gen_range(0..candidates.len())].clone()
             } else {
                 let name = format!("E{next_var}");

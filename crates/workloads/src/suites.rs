@@ -154,7 +154,10 @@ pub fn sensor_network_abox(
     let mut db = Instance::new();
     for e in 0..equipment {
         db.insert_fact("equipment", &[&format!("eq{e}")]);
-        db.insert_fact("locatedIn", &[&format!("eq{e}"), &format!("plant{}", e % 4)]);
+        db.insert_fact(
+            "locatedIn",
+            &[&format!("eq{e}"), &format!("plant{}", e % 4)],
+        );
     }
     for s in 0..sensors {
         let name = format!("sensor{s}");

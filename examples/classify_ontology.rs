@@ -38,11 +38,22 @@ fn show(name: &str, figure: &str, program: &TgdProgram) {
         pnode_graph.node_count(),
         pnode_graph.edge_count()
     );
-    println!("{}", pnode_graph_to_dot(&pnode_graph, &format!("{figure}-pnode")));
+    println!(
+        "{}",
+        pnode_graph_to_dot(&pnode_graph, &format!("{figure}-pnode"))
+    );
 }
 
 fn main() {
     show("Example 1 (SWR, Figure 1)", "figure1", &example1());
-    show("Example 2 (not WR, Figures 2 and 3)", "figure2", &example2());
-    show("Example 3 (WR but outside the known classes)", "example3", &example3());
+    show(
+        "Example 2 (not WR, Figures 2 and 3)",
+        "figure2",
+        &example2(),
+    );
+    show(
+        "Example 3 (WR but outside the known classes)",
+        "example3",
+        &example3(),
+    );
 }

@@ -44,7 +44,11 @@ fn main() {
     // 6. Answer through the OBDA facade (strategy chosen automatically).
     let system = ObdaSystem::new(ontology, data);
     let result = system.answer(&query, Strategy::Auto);
-    println!("\nanswers ({} tuples, exact = {}):", result.answers.len(), result.exact);
+    println!(
+        "\nanswers ({} tuples, exact = {}):",
+        result.answers.len(),
+        result.exact
+    );
     for row in result.answers.iter() {
         println!("  {row:?}");
     }

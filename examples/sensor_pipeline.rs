@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --example sensor_pipeline`.
 
-use ontorew::obda::{check_constraints, ConstraintSet, Egd, NegativeConstraint, ObdaSystem, Strategy};
+use ontorew::obda::{
+    check_constraints, ConstraintSet, Egd, NegativeConstraint, ObdaSystem, Strategy,
+};
 use ontorew::storage::ucq_to_sql;
 use ontorew::workloads::{sensor_network_abox, sensor_network_ontology, sensor_network_queries};
 
@@ -35,7 +37,11 @@ fn main() {
             rewriting.ucq.len(),
             rewriting.complete
         );
-        println!("  answers: {} (exact = {})", result.answers.len(), result.exact);
+        println!(
+            "  answers: {} (exact = {})",
+            result.answers.len(),
+            result.exact
+        );
         let sql = ucq_to_sql(&rewriting.ucq);
         let first_line = sql.lines().next().unwrap_or_default();
         println!("  SQL (first disjunct): {first_line}");
@@ -56,6 +62,9 @@ fn main() {
         report.is_consistent()
     );
     for violation in &report.violations {
-        println!("  violated: {} ({:?})", violation.constraint, violation.kind);
+        println!(
+            "  violated: {} ({:?})",
+            violation.constraint, violation.kind
+        );
     }
 }

@@ -53,7 +53,10 @@ fn main() {
 
     // 4. Queries over the *ontology* vocabulary, answered by rewriting.
     let queries = [
-        ("who teaches something attended by someone", "q(T) :- teaches(T, C), attends(S, C)"),
+        (
+            "who teaches something attended by someone",
+            "q(T) :- teaches(T, C), attends(S, C)",
+        ),
         ("who is a person", "q(X) :- person(X)"),
         ("which courses exist", "q(C) :- course(C)"),
         ("who is an employee", "q(X) :- employee(X)"),
@@ -61,7 +64,11 @@ fn main() {
     for (label, text) in queries {
         let query = parse_query(text).expect("query parses");
         let result = system.answer(&query, Strategy::Auto);
-        println!("\n{label}  [{text}]  ->  {} answers (exact = {})", result.answers.len(), result.exact);
+        println!(
+            "\n{label}  [{text}]  ->  {} answers (exact = {})",
+            result.answers.len(),
+            result.exact
+        );
         for row in result.answers.iter() {
             println!("   {row:?}");
         }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json from the experiment harness.
+#
+# Usage: scripts/record_baseline.sh [output-file]
+#
+# Runs every experiment of crates/bench (E1-E10) in release mode and wraps
+# the per-experiment reports into a JSON document with machine metadata, so
+# future perf PRs can diff their numbers against the checked-in baseline.
+set -euo pipefail
+
+out="${1:-BENCH_baseline.json}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+report="$(mktemp)"
+trap 'rm -f "$report"' EXIT
+
+cargo run -q --release -p ontorew-bench --bin run_experiments > "$report"
+
+python3 - "$report" "$out" <<'PY'
+import json
+import platform
+import re
+import subprocess
+import sys
+
+report_path, out_path = sys.argv[1], sys.argv[2]
+with open(report_path) as f:
+    text = f.read()
+
+# Reports are separated by blank lines before each "E<n> ..." header.
+experiments = {}
+current = None
+for line in text.splitlines():
+    header = re.match(r"^(E\d+)\b", line)
+    if header:
+        current = header.group(1)
+        experiments[current] = []
+    if current is not None:
+        experiments[current].append(line)
+
+rustc = subprocess.run(
+    ["rustc", "--version"], capture_output=True, text=True, check=True
+).stdout.strip()
+
+doc = {
+    "_comment": (
+        "Benchmark baseline recorded by scripts/record_baseline.sh. "
+        "Numbers are wall-clock and machine-dependent; compare trends, "
+        "not absolutes, and re-record when hardware changes."
+    ),
+    "rustc": rustc,
+    "platform": platform.platform(),
+    "profile": "release",
+    "experiments": {
+        key: "\n".join(lines).strip() for key, lines in experiments.items()
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} with {len(experiments)} experiments")
+PY

@@ -132,12 +132,8 @@ fn rewriting_agrees_with_chase_on_random_swr_programs() {
         // Boolean query over the first predicate.
         let predicate = program.signature().predicates().next().unwrap();
         let vars: Vec<String> = (0..predicate.arity).map(|i| format!("V{i}")).collect();
-        let query = parse_query(&format!(
-            "q() :- {}({})",
-            predicate.name,
-            vars.join(", ")
-        ))
-        .unwrap();
+        let query =
+            parse_query(&format!("q() :- {}({})", predicate.name, vars.join(", "))).unwrap();
 
         let store = RelationalStore::from_instance(&data);
         let by_rewriting = answer_by_rewriting(&program, &query, &store, &RewriteConfig::default());
@@ -175,7 +171,10 @@ fn sql_rendering_of_a_real_rewriting_mentions_every_relation() {
     let rewriting = rewrite(&program, &query, &RewriteConfig::default());
     let sql = ontorew::storage::ucq_to_sql(&rewriting.ucq);
     for relation in ["p0", "p1", "p2", "p3"] {
-        assert!(sql.contains(&format!("FROM {relation} AS")), "missing {relation} in:\n{sql}");
+        assert!(
+            sql.contains(&format!("FROM {relation} AS")),
+            "missing {relation} in:\n{sql}"
+        );
     }
     assert_eq!(sql.matches("SELECT DISTINCT").count(), 4);
 }

@@ -1,0 +1,73 @@
+//! Smoke test: every example binary builds, runs to completion and prints
+//! something. Examples are living documentation; this keeps them from
+//! silently rotting when APIs change.
+//!
+//! Each test shells out to `cargo run --example <name>` (using the same
+//! `cargo` that is running this test), so a broken example fails `cargo test`
+//! rather than only failing whoever next copies the snippet.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs one example to completion and returns its stdout.
+fn run_example(name: &str) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(
+        !stdout.trim().is_empty(),
+        "example {name} succeeded but printed nothing"
+    );
+    stdout
+}
+
+#[test]
+fn example_quickstart_runs() {
+    let out = run_example("quickstart");
+    assert!(out.contains("sara"), "quickstart output changed: {out}");
+}
+
+#[test]
+fn example_classify_ontology_runs() {
+    run_example("classify_ontology");
+}
+
+#[test]
+fn example_dl_modeling_runs() {
+    run_example("dl_modeling");
+}
+
+#[test]
+fn example_rewrite_explain_runs() {
+    run_example("rewrite_explain");
+}
+
+#[test]
+fn example_sensor_pipeline_runs() {
+    let out = run_example("sensor_pipeline");
+    assert!(
+        out.contains("consistent = true"),
+        "sensor_pipeline no longer reports a consistent pipeline: {out}"
+    );
+}
+
+#[test]
+fn example_university_obda_runs() {
+    let out = run_example("university_obda");
+    assert!(
+        out.contains("agreed on every query"),
+        "university_obda no longer reports rewriting/materialization agreement: {out}"
+    );
+}

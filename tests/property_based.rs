@@ -29,7 +29,10 @@ fn term() -> impl Strategy<Value = Term> {
 /// Strategy: an atom over a small signature (predicates p1/1, p2/2, p3/3).
 fn atom() -> impl Strategy<Value = Atom> {
     (1usize..=3, prop::collection::vec(term(), 3)).prop_map(|(arity, terms)| {
-        Atom::new(&format!("p{arity}"), terms.into_iter().take(arity).collect())
+        Atom::new(
+            &format!("p{arity}"),
+            terms.into_iter().take(arity).collect(),
+        )
     })
 }
 
@@ -38,7 +41,11 @@ fn ground_atom() -> impl Strategy<Value = Atom> {
     (1usize..=3, prop::collection::vec(constant_name(), 3)).prop_map(|(arity, names)| {
         Atom::new(
             &format!("p{arity}"),
-            names.into_iter().take(arity).map(|n| Term::constant(&n)).collect(),
+            names
+                .into_iter()
+                .take(arity)
+                .map(|n| Term::constant(&n))
+                .collect(),
         )
     })
 }

@@ -89,11 +89,14 @@ fn constraint_checking_over_the_lubm_suite() {
     // Students and professors both become persons, but nothing forces an
     // individual into both roles in the generated data.
     let mut constraints = ConstraintSet::new();
-    constraints
-        .push_nc(NegativeConstraint::parse("student(X), professor(X)").unwrap());
+    constraints.push_nc(NegativeConstraint::parse("student(X), professor(X)").unwrap());
     constraints.push_egd(Egd::functional("worksFor"));
     let report = check_constraints(&system, &constraints, Strategy::Auto);
-    assert!(report.is_consistent(), "violations: {:?}", report.violations);
+    assert!(
+        report.is_consistent(),
+        "violations: {:?}",
+        report.violations
+    );
 
     // Injecting a conflicting assertion is detected through inference
     // (graduateStudent ⊑ student, fullProfessor ⊑ professor).
@@ -112,13 +115,20 @@ fn extended_dl_ontologies_classify_and_answer_end_to_end() {
         .role_chain("controlledBy", "locatedIn", "operatesIn")
         .to_tgds();
     let report = classify(&ontology);
-    assert!(report.fo_rewritable(), "classes: {:?}", report.member_classes());
+    assert!(
+        report.fo_rewritable(),
+        "classes: {:?}",
+        report.member_classes()
+    );
 
     let mut data = Instance::new();
     data.insert_fact("robot", &["r2"]);
     data.insert_fact("maintains", &["mika", "r2"]);
     let system = ObdaSystem::new(ontology, data);
-    let technicians = system.answer(&parse_query("q(X) :- technician(X)").unwrap(), Strategy::Auto);
+    let technicians = system.answer(
+        &parse_query("q(X) :- technician(X)").unwrap(),
+        Strategy::Auto,
+    );
     assert!(technicians.answers.contains_constants(&["mika"]));
     let devices = system.answer(&parse_query("q(X) :- device(X)").unwrap(), Strategy::Auto);
     assert!(devices.answers.contains_constants(&["r2"]));

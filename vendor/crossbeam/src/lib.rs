@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API used by this workspace is provided, implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63). The call shape
+//! matches `crossbeam::thread::scope`: the closure receives a scope handle
+//! whose `spawn` takes a closure that itself receives the scope (ignored by
+//! all call sites here), and `scope` returns a `Result` like crossbeam does.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-utils compatible subset).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Handle passed to the [`scope`] closure; spawns scoped workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (`Err` if the
+        /// thread panicked).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The worker closure receives the scope
+        /// handle for nested spawning, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which scoped threads can be spawned; all
+    /// spawned threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates at the end of
+    /// `std::thread::scope`, so the `Err` branch here is never produced — the
+    /// `Result` wrapper exists only for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join() {
+        let data = [1, 2, 3, 4];
+        let total: usize = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<usize>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

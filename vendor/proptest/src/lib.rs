@@ -1,0 +1,464 @@
+//! Offline mini-proptest.
+//!
+//! The container this workspace builds in cannot fetch the real `proptest`
+//! from crates.io, so this crate re-implements the subset its property suites
+//! use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges,
+//!   tuples and boxed strategies;
+//! * [`collection::vec`] and [`sample::select`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`]
+//!   and [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted: cases are generated
+//! from a fixed per-test seed (fully deterministic across runs), there is no
+//! shrinking (a failure reports the generated inputs via the assertion
+//! message instead of a minimized counterexample), and the case count is a
+//! compile-time constant ([`test_runner::CASES`]) rather than configurable.
+
+#![warn(missing_docs)]
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// simply produces a value from the test rng.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternative strategies (see [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof!
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// An empty union; populate with [`Union::or`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Adds an alternative.
+        pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection-size specification: an exact size or a size range.
+    ///
+    /// Mirrors proptest's `SizeRange` so call sites can pass `3`, `0..20` or
+    /// `1..=4` for the length argument of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        length: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `length` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, length: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            length: length.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.length.lo..self.length.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly among `options` (which must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng.gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Number of cases each property runs.
+    pub const CASES: usize = 64;
+
+    /// The rng handed to strategies. Deterministic per test name.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates a deterministic rng whose stream depends on `name`
+        /// (so different properties exercise different data).
+        pub fn deterministic(name: &str) -> TestRng {
+            // FNV-1a over the test path gives a stable per-test seed.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module alias so `prop::collection::vec` etc. resolve, as in real
+    /// proptest's prelude.
+    pub mod prop {
+        pub use crate::{collection, sample, strategy};
+    }
+}
+
+/// Defines property tests.
+///
+/// Accepts the real-proptest surface used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     /// docs
+///     #[test]
+///     fn my_property(x in 0usize..10, mut v in prop::collection::vec(0u32..5, 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..$crate::test_runner::CASES {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
+                    );
+                    let outcome = (move ||
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            $crate::test_runner::CASES,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// This mini-proptest counts an assumed-away case as passing (real proptest
+/// re-draws; without shrinking the distinction is immaterial).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_word() -> impl Strategy<Value = String> {
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(String::from)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 2usize..9) {
+            prop_assert!((2..9).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            (w, v) in (small_word(), prop::collection::vec(0u32..5, 1..4)),
+        ) {
+            prop_assert!(["a", "b", "c"].contains(&w.as_str()));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_picks_each_arm(mut tag in prop_oneof![0usize..1, 5usize..6]) {
+            tag += 1;
+            prop_assert!(tag == 1 || tag == 6);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        use crate::strategy::Strategy;
+        let s = 0usize..1000;
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates its model types with `#[derive(Serialize,
+//! Deserialize)]` and hand-writes one impl pair (for interned symbols), but
+//! never actually drives a serializer — there is no `serde_json` in the tree.
+//! This stub therefore provides just enough to compile those items: the four
+//! core traits with the exact method shapes the hand-written impls use, plus
+//! no-op derive macros re-exported from `serde_derive`.
+//!
+//! If a future PR needs real serialization, replace this stub with the real
+//! crate (requires network) or extend the traits and derives here.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data format that can serialize values (stub subset).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be serialized (stub subset).
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can deserialize values (stub subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error;
+
+    /// Deserializes an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Deserializes a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+/// A value that can be deserialized (stub subset).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for &str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+/// `serde::ser` module alias for path compatibility.
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+/// `serde::de` module alias for path compatibility.
+pub mod de {
+    pub use crate::{Deserialize, Deserializer};
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde stub.
+//!
+//! The workspace never drives a serializer, so deriving an actual impl is
+//! unnecessary — these derives accept the annotation (including `#[serde(...)]`
+//! helper attributes) and expand to nothing. Types relying on the derive do
+//! not implement the stub traits; only hand-written impls do.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
