@@ -1,0 +1,52 @@
+//! E11: chase engine scaling — the naive (full rescan) versus the semi-naive
+//! (delta-driven, index-backed) chase on Datalog transitive closure and on
+//! the E8 university workload, at growing sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ontorew_bench::{chain_edges, transitive_closure_program};
+use ontorew_chase::{chase, ChaseConfig, ChaseStrategy};
+use ontorew_core::examples::university_ontology;
+use ontorew_workloads::university_abox;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        ontorew_bench::experiment_chase_scaling(&[32, 64], &[200])
+    );
+
+    let tc = transitive_closure_program();
+    let mut group = c.benchmark_group("chase_scaling/transitive_closure");
+    group.sample_size(10);
+    for size in [32usize, 64, 128] {
+        let db = chain_edges(size);
+        let config = ChaseConfig::restricted(size + 2);
+        group.throughput(Throughput::Elements(db.len() as u64));
+        group.bench_with_input(BenchmarkId::new("semi_naive", size), &size, |b, _| {
+            b.iter(|| chase(&tc, &db, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", size), &size, |b, _| {
+            b.iter(|| chase(&tc, &db, &config.with_strategy(ChaseStrategy::Naive)))
+        });
+    }
+    group.finish();
+
+    let ontology = university_ontology();
+    let mut group = c.benchmark_group("chase_scaling/university");
+    group.sample_size(10);
+    for students in [500usize, 2_000] {
+        let db = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+        group.throughput(Throughput::Elements(db.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("semi_naive", students),
+            &students,
+            |b, _| b.iter(|| chase(&ontology, &db, &ChaseConfig::default())),
+        );
+        group.bench_with_input(BenchmarkId::new("naive", students), &students, |b, _| {
+            b.iter(|| chase(&ontology, &db, &ChaseConfig::naive()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E10) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E11) and print the tables.
 //!
 //! `cargo run -p ontorew-bench --release --bin run_experiments`
 
@@ -14,6 +14,7 @@ fn main() {
         ontorew_bench::experiment_rewriting_vs_chase(&[100, 1_000, 5_000, 20_000]),
         ontorew_bench::experiment_rewriting_soundness(),
         ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5, 6]),
+        ontorew_bench::experiment_chase_scaling(&[64, 128, 256], &[1_000, 5_000, 20_000]),
     ];
     for (i, report) in experiments.iter().enumerate() {
         if i > 0 {

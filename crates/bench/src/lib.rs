@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use ontorew_chase::{certain_answers, ChaseConfig};
+use ontorew_chase::{certain_answers, chase, ChaseConfig, ChaseStrategy};
 use ontorew_core::examples::{
     example1, example2, example2_query, example3, university_ontology, university_query,
 };
@@ -299,6 +299,78 @@ pub fn experiment_rewriting_vs_chase(student_counts: &[usize]) -> String {
     out
 }
 
+/// A transitive-closure chain database: edges `n0 -> n1 -> ... -> n_size`.
+/// Shared between the E11 experiment and the `chase_scaling` bench.
+pub fn chain_edges(size: usize) -> Instance {
+    let mut db = Instance::new();
+    for i in 0..size {
+        db.insert_fact("edge", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+    }
+    db
+}
+
+/// The Datalog transitive-closure program used by the E11 experiment and the
+/// `chase_scaling` bench.
+pub fn transitive_closure_program() -> TgdProgram {
+    parse_program(
+        "[R1] edge(X, Y) -> path(X, Y).\n\
+         [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+    )
+    .expect("transitive closure parses")
+}
+
+/// E11 — chase engine scaling: wall-clock of the naive (full rescan) vs the
+/// semi-naive (delta-driven, index-backed) restricted chase on Datalog
+/// transitive closure and on the university workload, at growing sizes.
+pub fn experiment_chase_scaling(chain_lengths: &[usize], student_counts: &[usize]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E11 — chase engine scaling: naive vs semi-naive (restricted chase)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "workload      size   facts  naive_ms  semi_ms  speedup  chase_facts"
+    )
+    .unwrap();
+    let mut row =
+        |workload: &str, size: usize, program: &TgdProgram, db: &Instance, rounds: usize| {
+            let naive_config = ChaseConfig::restricted(rounds).with_strategy(ChaseStrategy::Naive);
+            let start = Instant::now();
+            let naive = chase(program, db, &naive_config);
+            let naive_us = start.elapsed().as_micros() as f64;
+            let start = Instant::now();
+            let semi = chase(program, db, &ChaseConfig::restricted(rounds));
+            let semi_us = start.elapsed().as_micros() as f64;
+            assert_eq!(
+                naive.instance.len(),
+                semi.instance.len(),
+                "engines disagree on {workload} at size {size}"
+            );
+            writeln!(
+                out,
+                "{workload:<12} {size:>5} {:>7} {:>9.1} {:>8.1} {:>7.1}x {:>12}",
+                db.len(),
+                naive_us / 1_000.0,
+                semi_us / 1_000.0,
+                naive_us / semi_us.max(1.0),
+                semi.instance.len()
+            )
+            .unwrap();
+        };
+    let tc = transitive_closure_program();
+    for &n in chain_lengths {
+        row("tc-chain", n, &tc, &chain_edges(n), n + 2);
+    }
+    let ontology = university_ontology();
+    for &students in student_counts {
+        let db = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+        row("university", students, &ontology, &db, 64);
+    }
+    out
+}
+
 /// E9 — rewriting soundness & completeness: cross-check the two strategies on
 /// the university workload and on the paper's examples.
 pub fn experiment_rewriting_soundness() -> String {
@@ -393,5 +465,6 @@ mod tests {
         assert!(experiment_rewriting_vs_chase(&[20]).contains("students"));
         assert!(experiment_rewriting_soundness().contains("consistent=true"));
         assert!(experiment_approximation_quality(&[1, 3]).contains("ground truth"));
+        assert!(experiment_chase_scaling(&[8], &[30]).contains("speedup"));
     }
 }

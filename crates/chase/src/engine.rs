@@ -16,11 +16,25 @@
 //!   fired only if its head cannot already be satisfied in the current
 //!   instance; produces smaller instances.
 //!
+//! Orthogonally, two evaluation strategies are provided:
+//!
+//! * **Semi-naive** ([`ChaseStrategy::SemiNaive`], the default): each round
+//!   only searches for triggers whose body uses at least one fact derived in
+//!   the previous round (the *delta*), probing the instance's per-column
+//!   hash indexes. The delta invariant — every trigger is enumerated exactly
+//!   once, in the first round in which its body image exists — eliminates
+//!   both the full-instance rescan and the replay of previously fired
+//!   triggers that make the naive loop superlinear.
+//! * **Naive** ([`ChaseStrategy::Naive`]): re-runs the full trigger search
+//!   every round and skips already-fired triggers through their keys. Kept
+//!   as the reference implementation; the equivalence property tests check
+//!   that both strategies produce the same result up to null renaming.
+//!
 //! Neither variant terminates on every program (the problem is undecidable);
 //! the engine therefore runs under a budget ([`ChaseConfig`]) and reports how
 //! it stopped ([`ChaseOutcome`]).
 
-use crate::trigger::{find_rule_triggers, TriggerKey};
+use crate::trigger::{find_rule_triggers, find_rule_triggers_delta, RulePlan, Trigger, TriggerKey};
 use ontorew_model::prelude::*;
 use std::collections::HashSet;
 
@@ -33,11 +47,24 @@ pub enum ChaseVariant {
     Restricted,
 }
 
+/// How trigger search is evaluated across rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaseStrategy {
+    /// Full trigger search every round, deduplicated by trigger key. The
+    /// reference implementation — quadratic in practice.
+    Naive,
+    /// Delta-driven rounds: only triggers using at least one fact from the
+    /// previous round's delta are searched (index-backed). The default.
+    SemiNaive,
+}
+
 /// Budget and policy for a chase run.
 #[derive(Clone, Copy, Debug)]
 pub struct ChaseConfig {
     /// The firing policy.
     pub variant: ChaseVariant,
+    /// The evaluation strategy (semi-naive by default).
+    pub strategy: ChaseStrategy,
     /// Maximum number of rounds (breadth-first levels). Each round fires all
     /// triggers found on the instance produced by the previous round.
     pub max_rounds: usize,
@@ -50,6 +77,7 @@ impl Default for ChaseConfig {
     fn default() -> Self {
         ChaseConfig {
             variant: ChaseVariant::Restricted,
+            strategy: ChaseStrategy::SemiNaive,
             max_rounds: 64,
             max_facts: 1_000_000,
         }
@@ -79,6 +107,17 @@ impl ChaseConfig {
     pub fn with_max_facts(mut self, max_facts: usize) -> Self {
         self.max_facts = max_facts;
         self
+    }
+
+    /// Set the evaluation strategy.
+    pub fn with_strategy(mut self, strategy: ChaseStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The default configuration with the naive reference strategy.
+    pub fn naive() -> Self {
+        ChaseConfig::default().with_strategy(ChaseStrategy::Naive)
     }
 }
 
@@ -115,11 +154,66 @@ impl ChaseResult {
 }
 
 /// Run the chase of `program` on `database` under `config`.
+///
+/// Both strategies share one breadth-first round driver; they differ only in
+/// how a round enumerates triggers. The naive strategy re-runs the full
+/// search and relies on the trigger keys to skip replays; the semi-naive
+/// strategy searches only for triggers whose body uses at least one fact of
+/// the previous round's delta (round 1 treats the whole input database as
+/// the delta). **Delta invariant:** under the semi-naive strategy every
+/// trigger is enumerated in exactly one round — the first in which its whole
+/// body image exists — so the keys only deduplicate distinct homomorphisms
+/// sharing a frontier image (the semi-oblivious firing policy), never
+/// replays: there are none.
 pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) -> ChaseResult {
+    let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
+    run_chase_rounds(program, &plans, database, config, |instance, delta| {
+        let mut triggers = Vec::new();
+        for (rule_index, rule) in program.iter().enumerate() {
+            match (config.strategy, delta) {
+                // A full search when there is no delta to restrict to: the
+                // naive strategy always, the semi-naive one in round 1
+                // (where the delta is the whole instance and the plain
+                // search finds the same triggers without the per-pivot
+                // old-fact filtering).
+                (ChaseStrategy::Naive, _) | (ChaseStrategy::SemiNaive, None) => {
+                    triggers.extend(find_rule_triggers(rule_index, rule, instance));
+                }
+                (ChaseStrategy::SemiNaive, Some(delta)) => {
+                    if plans[rule_index].body_touches(delta) {
+                        triggers
+                            .extend(find_rule_triggers_delta(rule_index, rule, instance, delta));
+                    }
+                }
+            }
+        }
+        triggers
+    })
+}
+
+/// The breadth-first round driver shared by [`chase`] and
+/// [`crate::chase_parallel`]: budget checks, trigger-key deduplication, the
+/// firing policy, and delta maintenance all live here, so the sequential and
+/// parallel engines cannot drift apart. `search_round(instance, delta)`
+/// supplies one round's triggers in rule order — the full search for the
+/// naive strategy, the delta-restricted search for the semi-naive one.
+/// `delta` is `None` in round 1, where the delta would be the whole
+/// instance and a plain full search finds the same triggers cheaper.
+pub(crate) fn run_chase_rounds(
+    program: &TgdProgram,
+    plans: &[RulePlan],
+    database: &Instance,
+    config: &ChaseConfig,
+    mut search_round: impl FnMut(&Instance, Option<&Instance>) -> Vec<Trigger>,
+) -> ChaseResult {
     let mut instance = database.clone();
     let mut fired_keys: HashSet<TriggerKey> = HashSet::new();
     let mut fired = 0usize;
     let mut rounds = 0usize;
+    // `None` means "the delta is the whole instance" (round 1); afterwards
+    // the delta is the set of facts the previous round derived. Only the
+    // semi-naive strategy reads it.
+    let mut delta: Option<Instance> = None;
 
     loop {
         if rounds >= config.max_rounds {
@@ -135,32 +229,52 @@ pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) ->
         // Collect the facts produced in this round, firing against the
         // instance as it stood at the beginning of the round (breadth-first,
         // level-saturating strategy — a fair firing order).
+        let triggers = search_round(&instance, delta.as_ref());
         let mut new_facts: Vec<Atom> = Vec::new();
-        for (rule_index, rule) in program.iter().enumerate() {
-            for trigger in find_rule_triggers(rule_index, rule, &instance) {
-                let key = trigger.key(rule);
-                if fired_keys.contains(&key) {
-                    continue;
-                }
-                let fire = match config.variant {
-                    ChaseVariant::Oblivious => true,
-                    ChaseVariant::Restricted => trigger.is_active(rule, &instance),
-                };
-                if fire {
-                    new_facts.extend(trigger.fire(rule));
-                    fired += 1;
-                }
-                // For the restricted chase, a satisfied trigger is recorded as
-                // fired as well: its head is already entailed, so it never
-                // needs to fire later (the instance only grows).
-                fired_keys.insert(key);
+        for trigger in triggers {
+            let rule = &program.rules()[trigger.rule_index];
+            let plan = &plans[trigger.rule_index];
+            let key = trigger.key_with(&plan.frontier);
+            if fired_keys.contains(&key) {
+                continue;
             }
+            let fire = match config.variant {
+                ChaseVariant::Oblivious => true,
+                ChaseVariant::Restricted => {
+                    trigger.is_active_with(&rule.head, &plan.frontier, &instance)
+                }
+            };
+            if fire {
+                new_facts.extend(trigger.fire_with(&rule.head, &plan.existentials));
+                fired += 1;
+            }
+            // For the restricted chase, a satisfied trigger is recorded as
+            // fired as well: its head is already entailed, so it never
+            // needs to fire later (the instance only grows).
+            fired_keys.insert(key);
         }
 
+        // The naive strategy never reads the delta, so it skips the
+        // bookkeeping and only tracks growth.
+        let mut next_delta = Instance::new();
         let mut grew = false;
         for fact in new_facts {
-            if instance.insert(fact) {
-                grew = true;
+            match config.strategy {
+                ChaseStrategy::SemiNaive => {
+                    // Duplicate derivations dominate late rounds; test
+                    // membership first so only genuinely new facts pay the
+                    // clone into the delta.
+                    if !instance.contains(&fact) {
+                        instance.insert(fact.clone());
+                        next_delta.insert(fact);
+                        grew = true;
+                    }
+                }
+                ChaseStrategy::Naive => {
+                    if instance.insert(fact) {
+                        grew = true;
+                    }
+                }
             }
             if instance.len() > config.max_facts {
                 return ChaseResult {
@@ -180,6 +294,7 @@ pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) ->
                 outcome: ChaseOutcome::Terminated,
             };
         }
+        delta = Some(next_delta);
     }
 }
 
@@ -207,6 +322,21 @@ mod tests {
         db
     }
 
+    /// Run a closure over both strategies, so every engine test covers the
+    /// semi-naive default and the naive reference.
+    fn for_both_strategies(test: impl Fn(ChaseStrategy)) {
+        test(ChaseStrategy::SemiNaive);
+        test(ChaseStrategy::Naive);
+    }
+
+    #[test]
+    fn default_config_is_semi_naive_restricted() {
+        let config = ChaseConfig::default();
+        assert_eq!(config.strategy, ChaseStrategy::SemiNaive);
+        assert_eq!(config.variant, ChaseVariant::Restricted);
+        assert_eq!(ChaseConfig::naive().strategy, ChaseStrategy::Naive);
+    }
+
     #[test]
     fn datalog_program_reaches_fixpoint() {
         // Transitive closure — a full (Datalog) program always terminates.
@@ -219,35 +349,47 @@ mod tests {
         db.insert_fact("edge", &["a", "b"]);
         db.insert_fact("edge", &["b", "c"]);
         db.insert_fact("edge", &["c", "d"]);
-        let result = chase(&p, &db, &ChaseConfig::default());
-        assert!(result.is_universal_model());
-        assert!(result.instance.contains(&Atom::fact("path", &["a", "d"])));
-        assert_eq!(result.instance.relation_size(Predicate::new("path", 2)), 6);
-        assert!(is_model(&p, &result.instance));
+        for_both_strategies(|strategy| {
+            let result = chase(&p, &db, &ChaseConfig::default().with_strategy(strategy));
+            assert!(result.is_universal_model());
+            assert!(result.instance.contains(&Atom::fact("path", &["a", "d"])));
+            assert_eq!(result.instance.relation_size(Predicate::new("path", 2)), 6);
+            assert!(is_model(&p, &result.instance));
+        });
     }
 
     #[test]
     fn restricted_chase_terminates_when_witnesses_exist() {
-        // person(X) -> hasParent(X, Y), person(Y) would diverge obliviously,
-        // but with a loop back to an existing person the restricted chase can
-        // reuse witnesses... here we give alice a known parent so the first
-        // rule is satisfied without inventing anything.
+        // person(X) -> hasParent(X, Y) would diverge obliviously, but with a
+        // known parent the restricted chase has nothing to do.
         let p = parse_program("[R1] person(X) -> hasParent(X, Y).").unwrap();
         let mut db = person_db();
         db.insert_fact("hasParent", &["alice", "zoe"]);
-        let result = chase(&p, &db, &ChaseConfig::restricted(16));
-        assert!(result.is_universal_model());
-        assert_eq!(result.fired, 0);
-        assert_eq!(result.instance.len(), db.len());
+        for_both_strategies(|strategy| {
+            let result = chase(
+                &p,
+                &db,
+                &ChaseConfig::restricted(16).with_strategy(strategy),
+            );
+            assert!(result.is_universal_model());
+            assert_eq!(result.fired, 0);
+            assert_eq!(result.instance.len(), db.len());
+        });
     }
 
     #[test]
     fn restricted_chase_invents_nulls_when_needed() {
         let p = parse_program("[R1] person(X) -> hasParent(X, Y).").unwrap();
-        let result = chase(&p, &person_db(), &ChaseConfig::restricted(16));
-        assert!(result.is_universal_model());
-        assert_eq!(result.instance.nulls().len(), 1);
-        assert!(is_model(&p, &result.instance));
+        for_both_strategies(|strategy| {
+            let result = chase(
+                &p,
+                &person_db(),
+                &ChaseConfig::restricted(16).with_strategy(strategy),
+            );
+            assert!(result.is_universal_model());
+            assert_eq!(result.instance.nulls().len(), 1);
+            assert!(is_model(&p, &result.instance));
+        });
     }
 
     #[test]
@@ -255,11 +397,13 @@ mod tests {
         let p = parse_program("[R1] person(X) -> hasParent(X, Y).").unwrap();
         let mut db = person_db();
         db.insert_fact("hasParent", &["alice", "zoe"]);
-        let result = chase(&p, &db, &ChaseConfig::oblivious(16));
-        assert!(result.is_universal_model());
-        // The trigger fired although alice already had a parent.
-        assert_eq!(result.fired, 1);
-        assert_eq!(result.instance.nulls().len(), 1);
+        for_both_strategies(|strategy| {
+            let result = chase(&p, &db, &ChaseConfig::oblivious(16).with_strategy(strategy));
+            assert!(result.is_universal_model());
+            // The trigger fired although alice already had a parent.
+            assert_eq!(result.fired, 1);
+            assert_eq!(result.instance.nulls().len(), 1);
+        });
     }
 
     #[test]
@@ -271,9 +415,15 @@ mod tests {
              [R2] hasParent(X, Y) -> person(Y).",
         )
         .unwrap();
-        let result = chase(&p, &person_db(), &ChaseConfig::restricted(5));
-        assert_eq!(result.outcome, ChaseOutcome::RoundBudgetExhausted);
-        assert!(result.instance.len() > 5);
+        for_both_strategies(|strategy| {
+            let result = chase(
+                &p,
+                &person_db(),
+                &ChaseConfig::restricted(5).with_strategy(strategy),
+            );
+            assert_eq!(result.outcome, ChaseOutcome::RoundBudgetExhausted);
+            assert!(result.instance.len() > 5);
+        });
     }
 
     #[test]
@@ -283,10 +433,14 @@ mod tests {
              [R2] hasParent(X, Y) -> person(Y).",
         )
         .unwrap();
-        let config = ChaseConfig::restricted(1000).with_max_facts(20);
-        let result = chase(&p, &person_db(), &config);
-        assert_eq!(result.outcome, ChaseOutcome::FactBudgetExhausted);
-        assert!(result.instance.len() <= 22); // budget plus the last fired head
+        for_both_strategies(|strategy| {
+            let config = ChaseConfig::restricted(1000)
+                .with_max_facts(20)
+                .with_strategy(strategy);
+            let result = chase(&p, &person_db(), &config);
+            assert_eq!(result.outcome, ChaseOutcome::FactBudgetExhausted);
+            assert!(result.instance.len() <= 22); // budget plus the last fired head
+        });
     }
 
     #[test]
@@ -297,10 +451,12 @@ mod tests {
         let mut db = Instance::new();
         db.insert_fact("r", &["a", "b1"]);
         db.insert_fact("r", &["a", "b2"]);
-        let result = chase(&p, &db, &ChaseConfig::oblivious(16));
-        assert!(result.is_universal_model());
-        assert_eq!(result.fired, 1);
-        assert_eq!(result.instance.relation_size(Predicate::new("s", 2)), 1);
+        for_both_strategies(|strategy| {
+            let result = chase(&p, &db, &ChaseConfig::oblivious(16).with_strategy(strategy));
+            assert!(result.is_universal_model());
+            assert_eq!(result.fired, 1);
+            assert_eq!(result.instance.relation_size(Predicate::new("s", 2)), 1);
+        });
     }
 
     #[test]
@@ -308,21 +464,48 @@ mod tests {
         let p = parse_program("[R1] emp(X) -> works(X, D), dept(D).").unwrap();
         let mut db = Instance::new();
         db.insert_fact("emp", &["alice"]);
-        let result = chase(&p, &db, &ChaseConfig::restricted(8));
-        assert!(result.is_universal_model());
-        // One null shared between works and dept.
-        assert_eq!(result.instance.nulls().len(), 1);
-        assert_eq!(result.instance.relation_size(Predicate::new("works", 2)), 1);
-        assert_eq!(result.instance.relation_size(Predicate::new("dept", 1)), 1);
+        for_both_strategies(|strategy| {
+            let result = chase(&p, &db, &ChaseConfig::restricted(8).with_strategy(strategy));
+            assert!(result.is_universal_model());
+            // One null shared between works and dept.
+            assert_eq!(result.instance.nulls().len(), 1);
+            assert_eq!(result.instance.relation_size(Predicate::new("works", 2)), 1);
+            assert_eq!(result.instance.relation_size(Predicate::new("dept", 1)), 1);
+        });
     }
 
     #[test]
     fn chase_of_empty_database_is_empty() {
         let p = parse_program("[R1] person(X) -> hasParent(X, Y).").unwrap();
-        let result = chase(&p, &Instance::new(), &ChaseConfig::default());
+        for_both_strategies(|strategy| {
+            let result = chase(
+                &p,
+                &Instance::new(),
+                &ChaseConfig::default().with_strategy(strategy),
+            );
+            assert!(result.is_universal_model());
+            assert!(result.instance.is_empty());
+            assert_eq!(result.rounds, 1);
+        });
+    }
+
+    #[test]
+    fn late_joining_facts_still_trigger_rules() {
+        // A two-atom body whose second atom is only derived in a later round:
+        // the semi-naive search must find the join when either side is new.
+        let p = parse_program(
+            "[R1] a(X) -> b(X).\n\
+             [R2] b(X), c(X) -> d(X).\n\
+             [R3] a(X) -> c(X).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("a", &["x"]);
+        db.insert_fact("c", &["y"]);
+        let result = chase(&p, &db, &ChaseConfig::default());
         assert!(result.is_universal_model());
-        assert!(result.instance.is_empty());
-        assert_eq!(result.rounds, 1);
+        assert!(result.instance.contains(&Atom::fact("d", &["x"])));
+        assert!(!result.instance.contains(&Atom::fact("d", &["y"])));
     }
 
     #[test]

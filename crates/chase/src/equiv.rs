@@ -1,0 +1,111 @@
+//! Comparing chased instances up to the renaming of labelled nulls.
+//!
+//! Two chase runs of the same program and database may number their invented
+//! nulls differently (null ids come from a process-global counter, and the
+//! semi-naive engine fires triggers in a different order than the naive
+//! one). [`equivalent_up_to_null_renaming`] is the equality notion the
+//! equivalence tests use: same cardinalities per predicate, same number of
+//! nulls, and a homomorphism in both directions treating nulls as variables.
+//! For instances produced by chase variants that agree round-by-round (as
+//! the naive and semi-naive engines do) this coincides with isomorphism.
+
+use ontorew_model::prelude::*;
+use ontorew_unify::find_homomorphism;
+
+/// True if `a` and `b` contain the same facts up to a renaming of their
+/// labelled nulls.
+pub fn equivalent_up_to_null_renaming(a: &Instance, b: &Instance) -> bool {
+    if a.len() != b.len() || a.nulls().len() != b.nulls().len() {
+        return false;
+    }
+    if a.predicates().count() != b.predicates().count() {
+        return false;
+    }
+    for p in a.predicates() {
+        if a.relation_size(p) != b.relation_size(p) {
+            return false;
+        }
+    }
+    maps_into(a, b) && maps_into(b, a)
+}
+
+/// True if the atoms of `src`, with nulls read as variables, have a
+/// homomorphism into `dst`.
+fn maps_into(src: &Instance, dst: &Instance) -> bool {
+    let pattern: Vec<Atom> = src.atoms().map(nulls_to_variables).collect();
+    find_homomorphism(&pattern, dst, &Substitution::new()).is_some()
+}
+
+/// Replace every labelled null of the atom with a variable named after it,
+/// so that a homomorphism search can rename nulls freely while keeping
+/// repeated nulls consistent.
+fn nulls_to_variables(atom: Atom) -> Atom {
+    Atom {
+        predicate: atom.predicate,
+        terms: atom
+            .terms
+            .into_iter()
+            .map(|t| match t {
+                Term::Null(n) => Term::variable(&format!("__null_{}", n.id())),
+                other => other,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::atom::Predicate;
+    use ontorew_model::term::Null;
+
+    fn with_null(pred: &str, constant: &str, null: u64) -> Atom {
+        Atom {
+            predicate: Predicate::new(pred, 2),
+            terms: vec![Term::constant(constant), Term::Null(Null(null))],
+        }
+    }
+
+    #[test]
+    fn identical_instances_are_equivalent() {
+        let mut a = Instance::new();
+        a.insert_fact("r", &["x", "y"]);
+        assert!(equivalent_up_to_null_renaming(&a, &a.clone()));
+    }
+
+    #[test]
+    fn renamed_nulls_are_equivalent() {
+        let a = Instance::from_atoms([with_null("p", "a", 1), with_null("q", "a", 1)]);
+        let b = Instance::from_atoms([with_null("p", "a", 77), with_null("q", "a", 77)]);
+        assert!(equivalent_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn different_null_sharing_is_not_equivalent() {
+        // a shares one null between p and q; b uses two distinct nulls.
+        let a = Instance::from_atoms([with_null("p", "a", 1), with_null("q", "a", 1)]);
+        let b = Instance::from_atoms([with_null("p", "a", 2), with_null("q", "a", 3)]);
+        assert!(!equivalent_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn different_facts_are_not_equivalent() {
+        let mut a = Instance::new();
+        a.insert_fact("r", &["x", "y"]);
+        let mut b = Instance::new();
+        b.insert_fact("r", &["x", "z"]);
+        assert!(!equivalent_up_to_null_renaming(&a, &b));
+        let mut c = Instance::new();
+        c.insert_fact("s", &["x", "y"]);
+        assert!(!equivalent_up_to_null_renaming(&a, &c));
+    }
+
+    #[test]
+    fn constants_are_not_renamed() {
+        let mut a = Instance::new();
+        a.insert_fact("r", &["x"]);
+        let mut b = Instance::new();
+        b.insert_fact("r", &["y"]);
+        assert!(!equivalent_up_to_null_renaming(&a, &b));
+    }
+}

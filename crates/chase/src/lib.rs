@@ -3,24 +3,34 @@
 //! The chase procedure for TGD programs and the certain-answer semantics it
 //! induces (§3 of the paper):
 //!
-//! * [`trigger`] — rule-body matches on an instance and their firing;
-//! * [`engine`] — the semi-oblivious and restricted chase under a budget;
+//! * [`trigger`] — rule-body matches on an instance and their firing,
+//!   including the delta-restricted search of the semi-naive engine;
+//! * [`engine`] — the semi-oblivious and restricted chase under a budget,
+//!   with semi-naive (delta-driven, index-backed) and naive strategies;
 //! * [`termination`] — weak acyclicity, the classical chase-termination test;
 //! * [`certain`] — certain answers by chase materialization (the ground truth
 //!   the rewriting engine is validated against);
-//! * [`parallel`] — crossbeam-parallel trigger search for large instances.
+//! * [`parallel`] — crossbeam-parallel trigger search for large instances;
+//! * [`equiv`] — comparing chased instances up to null renaming (used by the
+//!   naive-vs-semi-naive equivalence tests).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod certain;
 pub mod engine;
+pub mod equiv;
 pub mod parallel;
 pub mod termination;
 pub mod trigger;
 
 pub use certain::{certain_answers, certain_answers_ucq, CertainAnswers, ChaseStats};
-pub use engine::{chase, is_model, ChaseConfig, ChaseOutcome, ChaseResult, ChaseVariant};
-pub use parallel::{chase_parallel, find_triggers_parallel};
+pub use engine::{
+    chase, is_model, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStrategy, ChaseVariant,
+};
+pub use equiv::equivalent_up_to_null_renaming;
+pub use parallel::{chase_parallel, find_triggers_delta_parallel, find_triggers_parallel};
 pub use termination::{is_weakly_acyclic, DependencyGraph, DependencyPosition};
-pub use trigger::{find_rule_triggers, find_triggers, Trigger, TriggerKey};
+pub use trigger::{
+    find_rule_triggers, find_rule_triggers_delta, find_triggers, RulePlan, Trigger, TriggerKey,
+};

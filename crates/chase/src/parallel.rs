@@ -5,12 +5,13 @@
 //! only reads the shared instance. This module partitions the rules across a
 //! scoped thread pool (crossbeam) and merges the per-rule trigger lists, and
 //! offers [`chase_parallel`], a drop-in variant of [`crate::chase`] that uses
-//! the parallel search inside each round.
+//! the parallel search inside each round. Like the sequential engine it is
+//! semi-naive by default: each worker only searches for triggers whose body
+//! uses the previous round's delta.
 
-use crate::engine::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseVariant};
-use crate::trigger::{find_rule_triggers, Trigger, TriggerKey};
+use crate::engine::{ChaseConfig, ChaseResult, ChaseStrategy};
+use crate::trigger::{find_rule_triggers, find_rule_triggers_delta, RulePlan, Trigger};
 use ontorew_model::prelude::*;
-use std::collections::HashSet;
 
 /// Enumerate every trigger of `program` on `instance`, searching rules in
 /// parallel across `threads` worker threads.
@@ -19,8 +20,43 @@ pub fn find_triggers_parallel(
     instance: &Instance,
     threads: usize,
 ) -> Vec<Trigger> {
-    let threads = threads.max(1);
     let rules: Vec<(usize, &Tgd)> = program.iter().enumerate().collect();
+    run_partitioned(&rules, threads, |(rule_index, rule)| {
+        find_rule_triggers(rule_index, rule, instance)
+    })
+}
+
+/// Enumerate every trigger of `program` on `instance` whose body uses at
+/// least one fact of `delta` (see
+/// [`crate::trigger::find_rule_triggers_delta`]), searching rules in
+/// parallel. Rules whose body predicates miss the delta entirely are skipped
+/// without a search.
+pub fn find_triggers_delta_parallel(
+    program: &TgdProgram,
+    plans: &[RulePlan],
+    instance: &Instance,
+    delta: &Instance,
+    threads: usize,
+) -> Vec<Trigger> {
+    let rules: Vec<(usize, &Tgd)> = program
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| plans[*i].body_touches(delta))
+        .collect();
+    run_partitioned(&rules, threads, |(rule_index, rule)| {
+        find_rule_triggers_delta(rule_index, rule, instance, delta)
+    })
+}
+
+/// Partition `rules` into `threads` chunks and run `search` over each chunk
+/// on its own scoped thread, concatenating the per-rule trigger lists in
+/// rule order.
+fn run_partitioned<'a>(
+    rules: &[(usize, &'a Tgd)],
+    threads: usize,
+    search: impl Fn((usize, &'a Tgd)) -> Vec<Trigger> + Sync,
+) -> Vec<Trigger> {
+    let threads = threads.max(1);
     if rules.is_empty() {
         return Vec::new();
     }
@@ -29,11 +65,11 @@ pub fn find_triggers_parallel(
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in rules.chunks(chunk_size) {
-            let chunk: Vec<(usize, &Tgd)> = chunk.to_vec();
+            let search = &search;
             handles.push(scope.spawn(move |_| {
                 let mut local = Vec::new();
-                for (rule_index, rule) in chunk {
-                    local.extend(find_rule_triggers(rule_index, rule, instance));
+                for entry in chunk {
+                    local.extend(search(*entry));
                 }
                 local
             }));
@@ -49,78 +85,35 @@ pub fn find_triggers_parallel(
 /// Run the chase using parallel trigger search inside each round.
 ///
 /// Produces the same result as [`crate::chase`] (up to the naming of invented
-/// nulls) because firing still happens sequentially against a per-round
-/// snapshot of the instance.
+/// nulls) because it shares the sequential engine's round driver — only the
+/// per-round trigger search is parallelised. Honours `config.strategy`
+/// exactly like the sequential engine.
 pub fn chase_parallel(
     program: &TgdProgram,
     database: &Instance,
     config: &ChaseConfig,
     threads: usize,
 ) -> ChaseResult {
-    let mut instance = database.clone();
-    let mut fired_keys: HashSet<TriggerKey> = HashSet::new();
-    let mut fired = 0usize;
-    let mut rounds = 0usize;
-
-    loop {
-        if rounds >= config.max_rounds {
-            return ChaseResult {
-                instance,
-                rounds,
-                fired,
-                outcome: ChaseOutcome::RoundBudgetExhausted,
-            };
-        }
-        rounds += 1;
-
-        let triggers = find_triggers_parallel(program, &instance, threads);
-        let mut new_facts: Vec<Atom> = Vec::new();
-        for trigger in triggers {
-            let rule = &program.rules()[trigger.rule_index];
-            let key = trigger.key(rule);
-            if fired_keys.contains(&key) {
-                continue;
+    let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
+    crate::engine::run_chase_rounds(program, &plans, database, config, |instance, delta| {
+        match (config.strategy, delta) {
+            // Full parallel search when there is no delta to restrict to
+            // (the naive strategy, or the semi-naive strategy's round 1).
+            (ChaseStrategy::Naive, _) | (ChaseStrategy::SemiNaive, None) => {
+                find_triggers_parallel(program, instance, threads)
             }
-            let fire = match config.variant {
-                ChaseVariant::Oblivious => true,
-                ChaseVariant::Restricted => trigger.is_active(rule, &instance),
-            };
-            if fire {
-                new_facts.extend(trigger.fire(rule));
-                fired += 1;
-            }
-            fired_keys.insert(key);
-        }
-
-        let mut grew = false;
-        for fact in new_facts {
-            if instance.insert(fact) {
-                grew = true;
-            }
-            if instance.len() > config.max_facts {
-                return ChaseResult {
-                    instance,
-                    rounds,
-                    fired,
-                    outcome: ChaseOutcome::FactBudgetExhausted,
-                };
+            (ChaseStrategy::SemiNaive, Some(delta)) => {
+                find_triggers_delta_parallel(program, &plans, instance, delta, threads)
             }
         }
-        if !grew {
-            return ChaseResult {
-                instance,
-                rounds,
-                fired,
-                outcome: ChaseOutcome::Terminated,
-            };
-        }
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::chase;
+    use crate::equiv::equivalent_up_to_null_renaming;
     use ontorew_model::parse_program;
 
     fn transitive_closure_setup() -> (TgdProgram, Instance) {
@@ -145,6 +138,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_delta_search_matches_sequential_delta_search() {
+        let (p, db) = transitive_closure_setup();
+        let plans: Vec<RulePlan> = p.iter().map(RulePlan::new).collect();
+        let mut delta = Instance::new();
+        delta.insert_fact("edge", &["n0", "n1"]);
+        let sequential: usize = p
+            .iter()
+            .enumerate()
+            .map(|(i, r)| crate::trigger::find_rule_triggers_delta(i, r, &db, &delta).len())
+            .sum();
+        let parallel = find_triggers_delta_parallel(&p, &plans, &db, &delta, 4);
+        assert_eq!(sequential, parallel.len());
+    }
+
+    #[test]
     fn parallel_chase_matches_sequential_on_datalog() {
         let (p, db) = transitive_closure_setup();
         let seq = chase(&p, &db, &ChaseConfig::default());
@@ -153,6 +161,17 @@ mod tests {
         assert!(par.is_universal_model());
         // Datalog programs invent no nulls, so the instances must be equal.
         assert_eq!(seq.instance, par.instance);
+    }
+
+    #[test]
+    fn parallel_naive_strategy_matches_semi_naive() {
+        let (p, db) = transitive_closure_setup();
+        let naive = chase_parallel(&p, &db, &ChaseConfig::naive(), 4);
+        let semi = chase_parallel(&p, &db, &ChaseConfig::default(), 4);
+        assert!(naive.is_universal_model());
+        assert!(semi.is_universal_model());
+        assert_eq!(naive.instance, semi.instance);
+        assert_eq!(naive.fired, semi.fired);
     }
 
     #[test]
@@ -165,6 +184,7 @@ mod tests {
         let par = chase_parallel(&p, &db, &ChaseConfig::default(), 2);
         assert_eq!(seq.instance.len(), par.instance.len());
         assert_eq!(seq.instance.nulls().len(), par.instance.nulls().len());
+        assert!(equivalent_up_to_null_renaming(&seq.instance, &par.instance));
     }
 
     #[test]

@@ -1,22 +1,192 @@
 //! Instances (databases): finite sets of ground atoms over a signature.
 //!
 //! An [`Instance`] stores atoms whose terms are constants or labelled nulls
-//! (no variables). It is the representation used by the chase; the
-//! `ontorew-storage` crate offers an indexed relational store for efficient
-//! query evaluation and converts to/from this type.
+//! (no variables). It is the representation used by the chase, so its layout
+//! is optimised for the chase's two hot operations:
+//!
+//! * **matching** a partially ground atom against a relation — served by
+//!   eager per-column hash indexes over interned term ids
+//!   ([`Instance::candidates`] picks the most selective bound column and
+//!   probes its posting list instead of scanning the relation);
+//! * **inserting** a fact with duplicate detection — served by dense
+//!   `Vec`-of-rows storage plus a hash set, both O(1) amortised.
+//!
+//! The `ontorew-storage` crate builds its relational store on the same
+//! [`IndexedRelation`] machinery and converts to/from this type.
 
 use crate::atom::{Atom, Predicate};
 use crate::signature::Signature;
 use crate::term::Term;
 use serde::{Deserialize, Serialize};
-use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
 
-/// A finite set of ground atoms, grouped by predicate.
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// The stored rows of one predicate, with eager per-column hash indexes.
+///
+/// Rows live in a dense `Vec` in insertion order (cache-friendly scans),
+/// duplicates are rejected through a map from row hash to the (rarely more
+/// than one) row ids with that hash — so each row is stored once — and every
+/// column keeps a posting list from term to row ids that is maintained on
+/// insert. Because the indexes are always current, lookups need only shared
+/// (`&self`) access — which is what lets the homomorphism search and the
+/// parallel trigger search probe them without locking.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedRelation {
+    rows: Vec<Vec<Term>>,
+    /// `dedup[hash]` = ids of the rows hashing to `hash` (collision bucket);
+    /// candidates are confirmed against `rows` by equality.
+    dedup: HashMap<u64, Vec<u32>>,
+    /// `indexes[col][term]` = ids of the rows whose column `col` is `term`.
+    indexes: Vec<HashMap<Term, Vec<u32>>>,
+}
+
+/// The dedup hash of a row.
+fn row_hash(row: &[Term]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    row.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl IndexedRelation {
+    /// An empty relation for predicates of the given arity.
+    pub fn with_arity(arity: usize) -> Self {
+        IndexedRelation {
+            rows: Vec::new(),
+            dedup: HashMap::new(),
+            indexes: vec![HashMap::new(); arity],
+        }
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The arity the relation was created with.
+    pub fn arity(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Insert a row; returns `true` if it was new. All column indexes are
+    /// updated eagerly.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the row arity does not match.
+    pub fn insert(&mut self, row: Vec<Term>) -> bool {
+        debug_assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        let hash = row_hash(&row);
+        if self.ids_contain_row(self.dedup.get(&hash), &row) {
+            return false;
+        }
+        let row_id = self.rows.len() as u32;
+        self.dedup.entry(hash).or_default().push(row_id);
+        for (col, term) in row.iter().enumerate() {
+            self.indexes[col].entry(*term).or_default().push(row_id);
+        }
+        self.rows.push(row);
+        true
+    }
+
+    /// True if the relation contains the row.
+    pub fn contains(&self, row: &[Term]) -> bool {
+        self.ids_contain_row(self.dedup.get(&row_hash(row)), row)
+    }
+
+    /// True if one of the rows named by `ids` equals `row`.
+    fn ids_contain_row(&self, ids: Option<&Vec<u32>>, row: &[Term]) -> bool {
+        ids.is_some_and(|ids| ids.iter().any(|&id| self.rows[id as usize] == row))
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<Term>] {
+        &self.rows
+    }
+
+    /// Ids of the rows whose column `col` equals `value`.
+    pub fn postings(&self, col: usize, value: &Term) -> &[u32] {
+        self.indexes[col]
+            .get(value)
+            .map(|ids| ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The rows that can match `pattern`, a tuple of ground terms and
+    /// variables: probes the posting list of the most selective ground
+    /// column, falling back to a full scan when no column is ground.
+    ///
+    /// Every returned row agrees with `pattern` on the chosen column; the
+    /// caller still has to check the remaining positions (and repeated
+    /// variables).
+    pub fn candidates(&self, pattern: &[Term]) -> Candidates<'_> {
+        debug_assert_eq!(pattern.len(), self.arity(), "pattern arity mismatch");
+        let mut best: Option<&[u32]> = None;
+        for (col, term) in pattern.iter().enumerate() {
+            if term.is_ground() {
+                let ids = self.postings(col, term);
+                if ids.is_empty() {
+                    return Candidates::Empty;
+                }
+                if best.is_none_or(|b| ids.len() < b.len()) {
+                    best = Some(ids);
+                }
+            }
+        }
+        match best {
+            Some(ids) => Candidates::Selected {
+                rows: &self.rows,
+                ids: ids.iter(),
+            },
+            None => Candidates::All(self.rows.iter()),
+        }
+    }
+}
+
+/// Iterator over the candidate rows of an index probe
+/// (see [`IndexedRelation::candidates`] and [`Instance::candidates`]).
+pub enum Candidates<'a> {
+    /// No row can match (unknown predicate, or an empty posting list).
+    Empty,
+    /// Full scan: no column of the pattern was ground.
+    All(std::slice::Iter<'a, Vec<Term>>),
+    /// Posting list of the most selective ground column.
+    Selected {
+        /// The relation's dense row storage.
+        rows: &'a [Vec<Term>],
+        /// Ids of the candidate rows within `rows`.
+        ids: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a Vec<Term>;
+
+    fn next(&mut self) -> Option<&'a Vec<Term>> {
+        match self {
+            Candidates::Empty => None,
+            Candidates::All(rows) => rows.next(),
+            Candidates::Selected { rows, ids } => ids.next().map(|&id| &rows[id as usize]),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Candidates::Empty => (0, Some(0)),
+            Candidates::All(rows) => rows.size_hint(),
+            Candidates::Selected { ids, .. } => ids.size_hint(),
+        }
+    }
+}
+
+/// A finite set of ground atoms, grouped by predicate and indexed per column.
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct Instance {
-    relations: BTreeMap<Predicate, BTreeSet<Vec<Term>>>,
+    relations: BTreeMap<Predicate, IndexedRelation>,
     size: usize,
 }
 
@@ -50,7 +220,7 @@ impl Instance {
         let added = self
             .relations
             .entry(atom.predicate)
-            .or_default()
+            .or_insert_with(|| IndexedRelation::with_arity(atom.predicate.arity))
             .insert(atom.terms);
         if added {
             self.size += 1;
@@ -65,9 +235,14 @@ impl Instance {
 
     /// True if the instance contains the given ground atom.
     pub fn contains(&self, atom: &Atom) -> bool {
+        self.contains_tuple(atom.predicate, &atom.terms)
+    }
+
+    /// True if the instance contains the tuple under `predicate`.
+    pub fn contains_tuple(&self, predicate: Predicate, tuple: &[Term]) -> bool {
         self.relations
-            .get(&atom.predicate)
-            .map(|tuples| tuples.contains(&atom.terms))
+            .get(&predicate)
+            .map(|r| r.contains(tuple))
             .unwrap_or(false)
     }
 
@@ -85,15 +260,21 @@ impl Instance {
     pub fn relation_size(&self, predicate: Predicate) -> usize {
         self.relations
             .get(&predicate)
-            .map(BTreeSet::len)
+            .map(IndexedRelation::len)
             .unwrap_or(0)
+    }
+
+    /// The stored relation of `predicate`, if it has any rows. Grants direct
+    /// access to the per-column indexes.
+    pub fn relation(&self, predicate: Predicate) -> Option<&IndexedRelation> {
+        self.relations.get(&predicate).filter(|r| !r.is_empty())
     }
 
     /// The predicates that have at least one fact.
     pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
         self.relations
             .iter()
-            .filter(|(_, tuples)| !tuples.is_empty())
+            .filter(|(_, rel)| !rel.is_empty())
             .map(|(p, _)| *p)
     }
 
@@ -102,18 +283,28 @@ impl Instance {
         self.predicates().collect()
     }
 
-    /// Iterate over the tuples of a predicate.
+    /// Iterate over the tuples of a predicate (insertion order).
     pub fn tuples(&self, predicate: Predicate) -> impl Iterator<Item = &Vec<Term>> + '_ {
         self.relations
             .get(&predicate)
             .into_iter()
-            .flat_map(|tuples| tuples.iter())
+            .flat_map(|rel| rel.rows().iter())
+    }
+
+    /// The tuples of `atom.predicate` that can match `atom` (whose terms may
+    /// be variables): probes the most selective per-column index, falling
+    /// back to a full scan of the relation only when no term is ground.
+    pub fn candidates(&self, atom: &Atom) -> Candidates<'_> {
+        match self.relations.get(&atom.predicate) {
+            Some(rel) => rel.candidates(&atom.terms),
+            None => Candidates::Empty,
+        }
     }
 
     /// Iterate over every fact as an [`Atom`].
     pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
-        self.relations.iter().flat_map(|(p, tuples)| {
-            tuples.iter().map(move |t| Atom {
+        self.relations.iter().flat_map(|(p, rel)| {
+            rel.rows().iter().map(move |t| Atom {
                 predicate: *p,
                 terms: t.clone(),
             })
@@ -127,18 +318,14 @@ impl Instance {
 
     /// Add every fact of `other` into `self`.
     pub fn extend_from(&mut self, other: &Instance) {
-        for (p, tuples) in &other.relations {
-            match self.relations.entry(*p) {
-                Entry::Vacant(e) => {
-                    self.size += tuples.len();
-                    e.insert(tuples.clone());
-                }
-                Entry::Occupied(mut e) => {
-                    for t in tuples {
-                        if e.get_mut().insert(t.clone()) {
-                            self.size += 1;
-                        }
-                    }
+        for (p, rel) in &other.relations {
+            let target = self
+                .relations
+                .entry(*p)
+                .or_insert_with(|| IndexedRelation::with_arity(p.arity));
+            for row in rel.rows() {
+                if target.insert(row.clone()) {
+                    self.size += 1;
                 }
             }
         }
@@ -149,7 +336,7 @@ impl Instance {
     pub fn constants(&self) -> BTreeSet<crate::term::Constant> {
         self.relations
             .values()
-            .flatten()
+            .flat_map(|rel| rel.rows().iter())
             .flatten()
             .filter_map(Term::as_constant)
             .collect()
@@ -159,7 +346,7 @@ impl Instance {
     pub fn nulls(&self) -> BTreeSet<crate::term::Null> {
         self.relations
             .values()
-            .flatten()
+            .flat_map(|rel| rel.rows().iter())
             .flatten()
             .filter_map(Term::as_null)
             .collect()
@@ -171,6 +358,23 @@ impl Instance {
         self.nulls().is_empty()
     }
 }
+
+impl PartialEq for Instance {
+    /// Set equality: same facts, regardless of insertion order.
+    fn eq(&self, other: &Self) -> bool {
+        if self.size != other.size {
+            return false;
+        }
+        self.relations.iter().all(|(p, rel)| {
+            rel.is_empty()
+                || other.relations.get(p).is_some_and(|o| {
+                    rel.len() == o.len() && rel.rows().iter().all(|row| o.contains(row))
+                })
+        })
+    }
+}
+
+impl Eq for Instance {}
 
 impl fmt::Debug for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -286,5 +490,78 @@ mod tests {
         let p = Predicate::new("r", 2);
         assert_eq!(db.tuples(p).count(), 2);
         assert_eq!(db.tuples(Predicate::new("zzz", 2)).count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Instance::new();
+        a.insert_fact("r", &["a", "b"]);
+        a.insert_fact("r", &["c", "d"]);
+        let mut b = Instance::new();
+        b.insert_fact("r", &["c", "d"]);
+        b.insert_fact("r", &["a", "b"]);
+        assert_eq!(a, b);
+        b.insert_fact("s", &["x"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn candidates_probe_the_most_selective_column() {
+        let mut db = Instance::new();
+        for i in 0..10 {
+            db.insert_fact("edge", &["hub", &format!("n{i}")]);
+        }
+        db.insert_fact("edge", &["n3", "hub"]);
+        // Pattern edge("hub", X): the index on column 0 serves 10 candidates.
+        let probe = Atom::new("edge", vec![Term::constant("hub"), Term::variable("X")]);
+        assert_eq!(db.candidates(&probe).count(), 10);
+        // Pattern edge(X, "hub"): column 1 is more selective (1 candidate).
+        let probe = Atom::new("edge", vec![Term::variable("X"), Term::constant("hub")]);
+        assert_eq!(db.candidates(&probe).count(), 1);
+        // Fully ground pattern that matches nothing: empty, not a scan.
+        let probe = Atom::fact("edge", &["nope", "hub"]);
+        assert_eq!(db.candidates(&probe).count(), 0);
+        // No ground column: full scan.
+        let probe = Atom::new("edge", vec![Term::variable("X"), Term::variable("Y")]);
+        assert_eq!(db.candidates(&probe).count(), 11);
+        // Unknown predicate: empty.
+        let probe = Atom::new("zzz", vec![Term::variable("X")]);
+        assert_eq!(db.candidates(&probe).count(), 0);
+    }
+
+    #[test]
+    fn candidates_all_agree_with_pattern_column() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("r", &["a", "c"]);
+        db.insert_fact("r", &["d", "b"]);
+        let probe = Atom::new("r", vec![Term::constant("a"), Term::variable("Y")]);
+        for row in db.candidates(&probe) {
+            assert_eq!(row[0], Term::constant("a"));
+        }
+    }
+
+    #[test]
+    fn indexed_relation_maintains_postings_on_insert() {
+        let mut rel = IndexedRelation::with_arity(2);
+        assert!(rel.insert(vec![Term::constant("a"), Term::constant("b")]));
+        assert!(!rel.insert(vec![Term::constant("a"), Term::constant("b")]));
+        assert!(rel.insert(vec![Term::constant("a"), Term::constant("c")]));
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.postings(0, &Term::constant("a")).len(), 2);
+        assert_eq!(rel.postings(1, &Term::constant("b")).len(), 1);
+        assert!(rel.postings(1, &Term::constant("zzz")).is_empty());
+        assert!(rel.contains(&[Term::constant("a"), Term::constant("c")]));
+    }
+
+    #[test]
+    fn sorted_atoms_round_trip_preserves_equality() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["b", "a"]);
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("s", &["c"]);
+        let mut atoms: Vec<Atom> = db.atoms().collect();
+        atoms.sort();
+        assert_eq!(db, Instance::from_atoms(atoms));
     }
 }

@@ -3,14 +3,15 @@
 //! Evaluation is an index-nested-loop join: atoms are ordered greedily so
 //! that each atom shares as many variables as possible with the atoms already
 //! joined (and constants are exploited first), and for each atom the matching
-//! tuples are fetched through a per-column hash index. Indexes are built
-//! lazily per query in a local cache, so evaluation only needs shared access
-//! to the store.
+//! tuples are fetched through the relation's eagerly maintained per-column
+//! hash indexes (the most selective bound column wins), so evaluation only
+//! needs shared access to the store.
 
 use crate::database::RelationalStore;
 use crate::stats::StoreStatistics;
+use ontorew_model::instance::Candidates;
 use ontorew_model::prelude::*;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Configuration of the CQ evaluator.
 ///
@@ -135,9 +136,6 @@ impl AnswerSet {
     }
 }
 
-/// A per-query cache of column indexes, keyed by predicate and column.
-type IndexCache = HashMap<(Predicate, usize), HashMap<Term, Vec<usize>>>;
-
 /// Evaluate a conjunctive query over the store with the default
 /// configuration.
 pub fn evaluate_cq(store: &RelationalStore, query: &ConjunctiveQuery) -> AnswerSet {
@@ -161,14 +159,12 @@ pub fn evaluate_cq_instrumented(
         atoms: order.len(),
         ..EvalStats::default()
     };
-    let mut cache: IndexCache = HashMap::new();
     let mut bindings = Substitution::new();
     join(
         store,
         &order,
         0,
         &mut bindings,
-        &mut cache,
         config,
         &mut stats,
         &mut |final_bindings, stats| {
@@ -246,13 +242,11 @@ fn plan_order(
     ordered
 }
 
-#[allow(clippy::too_many_arguments)]
 fn join(
     store: &RelationalStore,
     atoms: &[Atom],
     idx: usize,
     bindings: &mut Substitution,
-    cache: &mut IndexCache,
     config: &EvalConfig<'_>,
     stats: &mut EvalStats,
     on_answer: &mut dyn FnMut(&Substitution, &mut EvalStats),
@@ -267,49 +261,26 @@ fn join(
         None => return, // empty relation: no matches
     };
 
-    // Choose an access path: an index on some bound column, or a full scan.
-    let bound_column = if config.use_indexes {
-        atom.terms.iter().position(Term::is_ground)
+    // Choose an access path: the most selective bound-column index, or a
+    // full scan (always a scan when indexes are disabled for ablation).
+    let candidates = if config.use_indexes {
+        relation.candidates(&atom.terms)
     } else {
-        None
+        Candidates::All(relation.rows().iter())
     };
-    let candidate_rows: Vec<usize> = match bound_column {
-        Some(col) => {
-            stats.index_probes += 1;
-            let key = (atom.predicate, col);
-            let index = cache.entry(key).or_insert_with(|| {
-                let mut index: HashMap<Term, Vec<usize>> = HashMap::new();
-                for (row_id, row) in relation.scan().enumerate() {
-                    index.entry(row[col]).or_default().push(row_id);
-                }
-                index
-            });
-            index.get(&atom.terms[col]).cloned().unwrap_or_default()
-        }
-        None => {
-            stats.full_scans += 1;
-            (0..relation.len()).collect()
-        }
-    };
+    match &candidates {
+        Candidates::All(_) => stats.full_scans += 1,
+        _ => stats.index_probes += 1,
+    }
 
-    for row_id in candidate_rows {
+    for row in candidates {
         stats.rows_fetched += 1;
-        let row = relation.row(row_id);
         if let Some(extension) = match_row(&atom, row) {
             let saved = bindings.clone();
             for (v, t) in extension.iter() {
                 bindings.bind(v, t);
             }
-            join(
-                store,
-                atoms,
-                idx + 1,
-                bindings,
-                cache,
-                config,
-                stats,
-                on_answer,
-            );
+            join(store, atoms, idx + 1, bindings, config, stats, on_answer);
             *bindings = saved;
         }
     }

@@ -1,9 +1,12 @@
 //! # ontorew-storage
 //!
 //! The relational substrate of the OBDA stack: an in-memory store of
-//! relations with lazy per-column hash indexes, an index-nested-loop join
-//! evaluator for conjunctive queries and UCQs, and a SQL renderer for
+//! relations with eager per-column hash indexes (the [`IndexedRelation`]
+//! machinery shared with `ontorew-model`'s `Instance`), an index-nested-loop
+//! join evaluator for conjunctive queries and UCQs, and a SQL renderer for
 //! rewritings.
+//!
+//! [`IndexedRelation`]: ontorew_model::instance::IndexedRelation
 //!
 //! The paper assumes the extensional data lives in a standard relational
 //! DBMS; this crate is the simulation of that DBMS (see DESIGN.md §1 for the
@@ -19,7 +22,6 @@ pub mod eval;
 pub mod relation;
 pub mod sql;
 pub mod stats;
-pub mod tuple;
 
 pub use database::RelationalStore;
 pub use eval::{
@@ -29,4 +31,3 @@ pub use eval::{
 pub use relation::Relation;
 pub use sql::{cq_to_sql, ucq_to_sql};
 pub use stats::{ColumnStats, RelationStats, StoreStatistics};
-pub use tuple::{decode_tuple, encode_tuple, EncodedTuple};

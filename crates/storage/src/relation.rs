@@ -1,22 +1,20 @@
 //! A single stored relation with per-column hash indexes.
 
-use crate::tuple::{encode_tuple, EncodedTuple};
+use ontorew_model::instance::{Candidates, IndexedRelation};
 use ontorew_model::prelude::*;
-use std::collections::{HashMap, HashSet};
 
 /// A stored relation: the extension of one predicate.
 ///
-/// Tuples are kept in insertion order in a dense `Vec` (so scans are cache
-/// friendly), deduplicated through a hash set of [`EncodedTuple`]s, and
-/// indexed per column on demand: the first lookup on a column builds a hash
-/// index from term to row ids, which subsequent lookups reuse.
+/// A thin wrapper around the [`IndexedRelation`] machinery shared with
+/// [`Instance`]: tuples are kept in insertion order in a dense `Vec` (so
+/// scans are cache friendly), deduplicated through a hash set, and every
+/// column maintains an eager hash index from term to row ids. Because the
+/// indexes are always current, lookups need only shared access — the query
+/// evaluator probes them without building per-query caches.
 #[derive(Clone, Debug)]
 pub struct Relation {
     predicate: Predicate,
-    rows: Vec<Vec<Term>>,
-    dedup: HashSet<EncodedTuple>,
-    /// Lazily built per-column indexes: `indexes[col][term] -> row ids`.
-    indexes: Vec<Option<HashMap<Term, Vec<usize>>>>,
+    data: IndexedRelation,
 }
 
 impl Relation {
@@ -24,9 +22,7 @@ impl Relation {
     pub fn new(predicate: Predicate) -> Self {
         Relation {
             predicate,
-            rows: Vec::new(),
-            dedup: HashSet::new(),
-            indexes: vec![None; predicate.arity],
+            data: IndexedRelation::with_arity(predicate.arity),
         }
     }
 
@@ -37,12 +33,12 @@ impl Relation {
 
     /// Number of (distinct) tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.data.len()
     }
 
     /// True if the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.data.is_empty()
     }
 
     /// Insert a tuple; returns `true` if it was new.
@@ -61,73 +57,40 @@ impl Relation {
             tuple.iter().all(Term::is_ground),
             "cannot store a tuple containing variables"
         );
-        let encoded = encode_tuple(&tuple);
-        if !self.dedup.insert(encoded) {
-            return false;
-        }
-        let row_id = self.rows.len();
-        for (col, term) in tuple.iter().enumerate() {
-            if let Some(index) = &mut self.indexes[col] {
-                index.entry(*term).or_default().push(row_id);
-            }
-        }
-        self.rows.push(tuple);
-        true
+        self.data.insert(tuple)
     }
 
     /// True if the relation contains the tuple.
     pub fn contains(&self, tuple: &[Term]) -> bool {
-        self.dedup.contains(&encode_tuple(tuple))
+        self.data.contains(tuple)
     }
 
     /// Iterate over all tuples in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = &Vec<Term>> {
-        self.rows.iter()
+        self.data.rows().iter()
+    }
+
+    /// All tuples in insertion order, as a dense slice.
+    pub fn rows(&self) -> &[Vec<Term>] {
+        self.data.rows()
     }
 
     /// The tuple stored at `row_id`.
     pub fn row(&self, row_id: usize) -> &Vec<Term> {
-        &self.rows[row_id]
+        &self.data.rows()[row_id]
     }
 
-    /// Row ids of tuples whose column `col` equals `value`, building the
-    /// column index on first use.
-    pub fn lookup(&mut self, col: usize, value: Term) -> &[usize] {
+    /// Row ids of tuples whose column `col` equals `value`.
+    pub fn lookup(&self, col: usize, value: Term) -> &[u32] {
         assert!(col < self.predicate.arity, "column out of range");
-        if self.indexes[col].is_none() {
-            let mut index: HashMap<Term, Vec<usize>> = HashMap::new();
-            for (row_id, row) in self.rows.iter().enumerate() {
-                index.entry(row[col]).or_default().push(row_id);
-            }
-            self.indexes[col] = Some(index);
-        }
-        self.indexes[col]
-            .as_ref()
-            .expect("index was just built")
-            .get(&value)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.data.postings(col, &value)
     }
 
-    /// Like [`Relation::lookup`] but without building an index (pure scan);
-    /// used when the relation is borrowed immutably.
-    pub fn lookup_scan(&self, col: usize, value: Term) -> Vec<usize> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(|(_, row)| row[col] == value)
-            .map(|(i, _)| i)
-            .collect()
-    }
-
-    /// Number of columns that currently have a materialised index.
-    pub fn indexed_columns(&self) -> usize {
-        self.indexes.iter().filter(|i| i.is_some()).count()
-    }
-
-    /// Eagerly build the index on column `col`.
-    pub fn build_index(&mut self, col: usize) {
-        let _ = self.lookup(col, Term::constant("__index_warmup__"));
+    /// The tuples that can match `pattern` (a tuple of ground terms and
+    /// variables): probes the posting list of the most selective ground
+    /// column, or falls back to a full scan when no column is ground.
+    pub fn candidates(&self, pattern: &[Term]) -> Candidates<'_> {
+        self.data.candidates(pattern)
     }
 }
 
@@ -178,31 +141,41 @@ mod tests {
     }
 
     #[test]
-    fn lookup_builds_index_lazily_and_stays_correct_after_inserts() {
+    fn lookup_stays_correct_after_inserts() {
         let mut r = sample();
-        assert_eq!(r.indexed_columns(), 0);
-        let rows = r.lookup(0, c("alice")).to_vec();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(r.indexed_columns(), 1);
-        // Insert after the index is built; the index must be maintained.
+        assert_eq!(r.lookup(0, c("alice")).len(), 2);
+        // Insert after lookups; the eager index must be maintained.
         r.insert(vec![c("alice"), c("pl104")]);
         assert_eq!(r.lookup(0, c("alice")).len(), 3);
         assert_eq!(r.lookup(0, c("zoe")).len(), 0);
     }
 
     #[test]
-    fn lookup_scan_matches_lookup() {
-        let mut r = sample();
-        let scan = r.lookup_scan(1, c("ai102"));
-        let indexed = r.lookup(1, c("ai102")).to_vec();
-        assert_eq!(scan, indexed);
+    fn lookup_agrees_with_scan() {
+        let r = sample();
+        let scanned: Vec<usize> = r
+            .scan()
+            .enumerate()
+            .filter(|(_, row)| row[1] == c("ai102"))
+            .map(|(i, _)| i)
+            .collect();
+        let indexed: Vec<usize> = r
+            .lookup(1, c("ai102"))
+            .iter()
+            .map(|&id| id as usize)
+            .collect();
+        assert_eq!(scanned, indexed);
     }
 
     #[test]
-    fn build_index_is_idempotent() {
-        let mut r = sample();
-        r.build_index(0);
-        r.build_index(0);
-        assert_eq!(r.indexed_columns(), 1);
+    fn candidates_pick_the_most_selective_column() {
+        let r = sample();
+        // alice appears twice in column 0, db101 once in column 1.
+        let pattern = vec![c("alice"), c("db101")];
+        assert_eq!(r.candidates(&pattern).count(), 1);
+        let pattern = vec![c("alice"), Term::variable("C")];
+        assert_eq!(r.candidates(&pattern).count(), 2);
+        let pattern = vec![Term::variable("T"), Term::variable("C")];
+        assert_eq!(r.candidates(&pattern).count(), 3);
     }
 }

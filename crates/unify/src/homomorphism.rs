@@ -5,13 +5,18 @@
 //! and is the identity on constants. Homomorphism search is the work-horse of
 //! chase trigger detection, certain-answer checking and CQ containment.
 //!
-//! The search is a straightforward backtracking join with two standard
-//! optimisations: atoms are matched in an order that prefers already-bound
-//! variables (a greedy bound-first ordering), and candidate tuples are taken
-//! from the smallest relation first.
+//! The search is a backtracking join with three standard optimisations:
+//! atoms are matched in an order that prefers already-bound variables (a
+//! greedy bound-first ordering), candidate tuples for an atom with at least
+//! one ground position are fetched through the instance's per-column hash
+//! indexes ([`Instance::candidates`]) instead of scanning the relation, and
+//! [`all_homomorphisms_delta`] restricts the search to matches that use at
+//! least one atom of a delta instance (the semi-naive decomposition the
+//! chase engine is built on).
 
 use ontorew_model::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{OnceLock, RwLock};
 
 /// Find one homomorphism from `atoms` into `instance`, extending `seed`
 /// (bindings in `seed` are fixed in advance; typically the identity or a
@@ -47,6 +52,45 @@ pub fn has_homomorphism(atoms: &[Atom], instance: &Instance) -> bool {
     find_homomorphism(atoms, instance, &Substitution::new()).is_some()
 }
 
+/// Which instance an atom is matched against in the semi-naive decomposition
+/// used by [`all_homomorphisms_delta`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeltaSource {
+    /// `full \ delta`: the facts that already existed before the delta.
+    Old,
+    /// The delta itself.
+    Delta,
+    /// The whole instance.
+    Full,
+}
+
+/// Find every homomorphism from `atoms` into `full` (extending `seed`) that
+/// maps **at least one atom into `delta`**, where `delta ⊆ full`.
+///
+/// This is the semi-naive decomposition: for each pivot position `i`, atoms
+/// before `i` are matched against `full \ delta`, atom `i` against `delta`,
+/// and atoms after `i` against `full`. The union over pivots enumerates each
+/// qualifying homomorphism exactly once, so a chase round that calls this
+/// with the previous round's delta sees every *new* trigger once and no old
+/// ones.
+///
+/// Returns the empty vector when `atoms` is empty (an empty body has no atom
+/// in the delta), unlike [`all_homomorphisms`] which returns the seed.
+pub fn all_homomorphisms_delta(
+    atoms: &[Atom],
+    full: &Instance,
+    delta: &Instance,
+    seed: &Substitution,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for pivot in 0..atoms.len() {
+        let order = plan_order_delta(atoms, pivot, seed);
+        let mut current = seed.clone();
+        search_delta(&order, 0, full, delta, &mut current, &mut out);
+    }
+    out
+}
+
 /// Find a homomorphism from `source` into the atom set `target`, treating
 /// every variable of `target` as a frozen constant (i.e. the classical
 /// "freezing" used for CQ containment).
@@ -75,11 +119,27 @@ pub fn freeze_atom(atom: &Atom) -> Atom {
 
 /// Freeze a term: variables become distinguished constants, ground terms are
 /// unchanged.
+///
+/// The frozen constant for a variable is memoized process-wide, so the
+/// containment hot path pays one string formatting + interning per distinct
+/// variable instead of one per occurrence.
 pub fn freeze_term(term: Term) -> Term {
     match term {
-        Term::Variable(v) => Term::constant(&format!("__frozen_{}", v.name())),
+        Term::Variable(v) => Term::Constant(frozen_constant(v)),
         other => other,
     }
+}
+
+/// The memoized `__frozen_<name>` constant for a variable.
+fn frozen_constant(v: Variable) -> Constant {
+    static CACHE: OnceLock<RwLock<HashMap<Symbol, Constant>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(c) = cache.read().expect("frozen cache poisoned").get(&v.0) {
+        return *c;
+    }
+    let c = Constant::new(&format!("__frozen_{}", v.name()));
+    cache.write().expect("frozen cache poisoned").insert(v.0, c);
+    c
 }
 
 /// The substitution freezing every variable of `atoms` (useful to translate
@@ -100,24 +160,65 @@ fn plan_order(atoms: &[Atom], seed: &Substitution) -> Vec<Atom> {
     let mut bound: BTreeSet<Variable> = seed.domain().collect();
     let mut ordered = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
-        let (best_idx, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let vars = a.variable_set();
-                let bound_vars = vars.iter().filter(|v| bound.contains(v)).count();
-                let ground_terms = a.terms.iter().filter(|t| t.is_ground()).count();
-                // Higher score = scheduled earlier.
-                (
-                    i,
-                    (bound_vars * 100 + ground_terms * 10) as i64 - vars.len() as i64,
-                )
-            })
-            .max_by_key(|(_, score)| *score)
-            .expect("remaining is non-empty");
+        let best_idx = pick_next_atom(remaining.iter(), &bound);
         let atom = remaining.remove(best_idx);
         bound.extend(atom.variable_set());
         ordered.push(atom);
+    }
+    ordered
+}
+
+/// Index into `remaining` of the greedily best atom to match next: prefer
+/// atoms with many already-bound variables and ground terms, few variables.
+fn pick_next_atom<'a>(
+    remaining: impl Iterator<Item = &'a Atom>,
+    bound: &BTreeSet<Variable>,
+) -> usize {
+    remaining
+        .enumerate()
+        .map(|(i, a)| {
+            let vars = a.variable_set();
+            let bound_vars = vars.iter().filter(|v| bound.contains(v)).count();
+            let ground_terms = a.terms.iter().filter(|t| t.is_ground()).count();
+            // Higher score = scheduled earlier.
+            (
+                i,
+                (bound_vars * 100 + ground_terms * 10) as i64 - vars.len() as i64,
+            )
+        })
+        .max_by_key(|(_, score)| *score)
+        .expect("remaining is non-empty")
+        .0
+}
+
+/// Plan the evaluation order for the semi-naive pivot decomposition: the
+/// pivot atom (matched against the delta, usually the smallest relation)
+/// goes first; the rest follow the greedy bound-first ordering. Sources are
+/// assigned by *original* position — before the pivot `Old`, after it
+/// `Full` — which is what makes the union over pivots duplicate-free.
+fn plan_order_delta(atoms: &[Atom], pivot: usize, seed: &Substitution) -> Vec<(Atom, DeltaSource)> {
+    let mut remaining: Vec<(Atom, DeltaSource)> = atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != pivot)
+        .map(|(i, a)| {
+            let source = if i < pivot {
+                DeltaSource::Old
+            } else {
+                DeltaSource::Full
+            };
+            (a.clone(), source)
+        })
+        .collect();
+    let mut bound: BTreeSet<Variable> = seed.domain().collect();
+    let mut ordered = Vec::with_capacity(atoms.len());
+    bound.extend(atoms[pivot].variable_set());
+    ordered.push((atoms[pivot].clone(), DeltaSource::Delta));
+    while !remaining.is_empty() {
+        let best_idx = pick_next_atom(remaining.iter().map(|(a, _)| a), &bound);
+        let (atom, source) = remaining.remove(best_idx);
+        bound.extend(atom.variable_set());
+        ordered.push((atom, source));
     }
     ordered
 }
@@ -133,7 +234,7 @@ fn search(
     }
     let atom = &atoms[idx];
     let grounded = current.apply_atom(atom);
-    for tuple in instance.tuples(atom.predicate) {
+    for tuple in instance.candidates(&grounded) {
         if let Some(extension) = match_tuple(&grounded, tuple) {
             let saved = current.clone();
             for (v, t) in extension.iter() {
@@ -161,13 +262,46 @@ fn search_all(
     }
     let atom = &atoms[idx];
     let grounded = current.apply_atom(atom);
-    for tuple in instance.tuples(atom.predicate) {
+    for tuple in instance.candidates(&grounded) {
         if let Some(extension) = match_tuple(&grounded, tuple) {
             let saved = current.clone();
             for (v, t) in extension.iter() {
                 current.bind(v, t);
             }
             search_all(atoms, idx + 1, instance, current, out);
+            *current = saved;
+        }
+    }
+}
+
+fn search_delta(
+    atoms: &[(Atom, DeltaSource)],
+    idx: usize,
+    full: &Instance,
+    delta: &Instance,
+    current: &mut Substitution,
+    out: &mut Vec<Substitution>,
+) {
+    if idx == atoms.len() {
+        out.push(current.clone());
+        return;
+    }
+    let (atom, source) = &atoms[idx];
+    let grounded = current.apply_atom(atom);
+    let candidates = match source {
+        DeltaSource::Delta => delta.candidates(&grounded),
+        DeltaSource::Old | DeltaSource::Full => full.candidates(&grounded),
+    };
+    for tuple in candidates {
+        if *source == DeltaSource::Old && delta.contains_tuple(grounded.predicate, tuple) {
+            continue;
+        }
+        if let Some(extension) = match_tuple(&grounded, tuple) {
+            let saved = current.clone();
+            for (v, t) in extension.iter() {
+                current.bind(v, t);
+            }
+            search_delta(atoms, idx + 1, full, delta, current, out);
             *current = saved;
         }
     }
@@ -319,6 +453,73 @@ mod tests {
         let db = sample_instance();
         let h = find_homomorphism(&[], &db, &Substitution::new()).unwrap();
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn delta_homomorphisms_are_exactly_the_new_ones() {
+        // full = old ∪ delta; the delta-restricted search must return exactly
+        // the homomorphisms of `full` that are not homomorphisms of `old`,
+        // each exactly once.
+        let mut old = Instance::new();
+        old.insert_fact("r", &["a", "b"]);
+        old.insert_fact("s", &["b", "c"]);
+        let mut delta = Instance::new();
+        delta.insert_fact("r", &["d", "b"]);
+        delta.insert_fact("s", &["b", "e"]);
+        let mut full = old.clone();
+        full.extend_from(&delta);
+
+        let atoms = vec![
+            Atom::new("r", vec![v("X"), v("Y")]),
+            Atom::new("s", vec![v("Y"), v("Z")]),
+        ];
+        let all_full = all_homomorphisms(&atoms, &full, &Substitution::new());
+        let all_old = all_homomorphisms(&atoms, &old, &Substitution::new());
+        let new = all_homomorphisms_delta(&atoms, &full, &delta, &Substitution::new());
+        assert_eq!(all_full.len(), 4);
+        assert_eq!(all_old.len(), 1);
+        assert_eq!(new.len(), all_full.len() - all_old.len());
+        // No duplicates, and none of the old homomorphisms appears.
+        for (i, h) in new.iter().enumerate() {
+            assert!(!all_old.contains(h));
+            assert!(all_full.contains(h));
+            assert!(!new[i + 1..].contains(h));
+        }
+    }
+
+    #[test]
+    fn delta_equal_to_full_recovers_all_homomorphisms() {
+        let db = sample_instance();
+        let atoms = vec![
+            Atom::new("teaches", vec![v("X"), v("C")]),
+            Atom::new("attends", vec![v("S"), v("C")]),
+        ];
+        let all = all_homomorphisms(&atoms, &db, &Substitution::new());
+        let delta_all = all_homomorphisms_delta(&atoms, &db, &db, &Substitution::new());
+        assert_eq!(all.len(), delta_all.len());
+        for h in &delta_all {
+            assert!(all.contains(h));
+        }
+    }
+
+    #[test]
+    fn empty_delta_yields_no_homomorphisms() {
+        let db = sample_instance();
+        let atoms = vec![Atom::new("teaches", vec![v("X"), v("Y")])];
+        let new = all_homomorphisms_delta(&atoms, &db, &Instance::new(), &Substitution::new());
+        assert!(new.is_empty());
+        // Unlike the unrestricted search, an empty atom list has no "new"
+        // homomorphism either.
+        assert!(all_homomorphisms_delta(&[], &db, &db, &Substitution::new()).is_empty());
+    }
+
+    #[test]
+    fn freezing_is_memoized_consistently() {
+        let a = freeze_term(Term::variable("MemoX"));
+        let b = freeze_term(Term::variable("MemoX"));
+        assert_eq!(a, b);
+        assert_eq!(a, Term::constant("__frozen_MemoX"));
+        assert_ne!(a, freeze_term(Term::variable("MemoY")));
     }
 
     #[test]

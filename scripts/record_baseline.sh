@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_baseline.json from the experiment harness.
+# Regenerates a benchmark snapshot from the experiment harness.
 #
 # Usage: scripts/record_baseline.sh [output-file]
 #
-# Runs every experiment of crates/bench (E1-E10) in release mode and wraps
+# Runs every experiment of crates/bench (E1-E11) in release mode and wraps
 # the per-experiment reports into a JSON document with machine metadata, so
 # future perf PRs can diff their numbers against the checked-in baseline.
+#
+# Per-PR snapshots are recorded next to BENCH_baseline.json under a PR
+# suffix, e.g. `scripts/record_baseline.sh BENCH_pr2.json` for the PR that
+# made the chase semi-naive (re-running E8 and adding the E11 naive-vs-semi
+# scaling table). Compare rows of the same experiment across snapshots
+# recorded on the same machine.
 set -euo pipefail
 
 out="${1:-BENCH_baseline.json}"

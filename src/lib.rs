@@ -40,7 +40,9 @@ pub use ontorew_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use ontorew_chase::{certain_answers, chase, ChaseConfig};
+    pub use ontorew_chase::{
+        certain_answers, chase, equivalent_up_to_null_renaming, ChaseConfig, ChaseStrategy,
+    };
     pub use ontorew_core::{classify, is_swr, is_wr, PNodeGraph, PNodeGraphConfig, PositionGraph};
     pub use ontorew_model::prelude::*;
     pub use ontorew_obda::{ObdaSystem, Strategy};
