@@ -1,0 +1,207 @@
+//! `load_gen`: drive a running `ontorew-server` over TCP.
+//!
+//! Two modes:
+//!
+//! * `load` (default) — N client threads firing the E12 serving query mix
+//!   as fast as the server answers, reporting aggregate QPS and latency
+//!   percentiles:
+//!   ```text
+//!   load_gen load --addr 127.0.0.1:7411 --threads 4 --requests 1000
+//!   ```
+//! * `smoke` — the scripted PREPARE/QUERY/INSERT/QUERY exchange the CI
+//!   workflow runs against a fresh server preloaded with `--students 0`
+//!   (exact expected answer counts are asserted; exits non-zero on any
+//!   mismatch), then shuts the server down:
+//!   ```text
+//!   load_gen smoke --addr 127.0.0.1:7411
+//!   ```
+
+use ontorew_bench::percentile;
+use ontorew_serve::ServeClient;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn run_load(addr: &str, threads: usize, requests: usize) -> ExitCode {
+    let queries: Vec<String> = ontorew_bench::serving_query_mix()
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    eprintln!("load: {threads} threads x {requests} requests against {addr}");
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..threads.max(1))
+        .map(|_| {
+            let addr = addr.to_string();
+            let queries = queries.clone();
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+                let mut latencies = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let start = Instant::now();
+                    client
+                        .query(&queries[i % queries.len()])
+                        .map_err(|e| e.to_string())?;
+                    latencies.push(start.elapsed().as_micros() as u64);
+                }
+                client.quit().map_err(|e| e.to_string())?;
+                Ok(latencies)
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = Vec::new();
+    for h in handles {
+        match h.join().expect("load thread") {
+            Ok(latencies) => all.extend(latencies),
+            Err(e) => {
+                eprintln!("load thread failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    all.sort_unstable();
+    println!(
+        "requests={} qps={:.0} p50_us={} p99_us={} max_us={}",
+        all.len(),
+        all.len() as f64 / wall_s.max(1e-9),
+        percentile(&all, 0.50),
+        percentile(&all, 0.99),
+        all.last().copied().unwrap_or(0),
+    );
+    ExitCode::SUCCESS
+}
+
+/// One step of the scripted smoke exchange: run, compare, complain.
+fn check(step: &str, got: usize, want: usize) -> Result<(), String> {
+    if got == want {
+        println!("ok   {step}: {got}");
+        Ok(())
+    } else {
+        Err(format!("FAIL {step}: expected {want}, got {got}"))
+    }
+}
+
+fn run_smoke(addr: &str) -> ExitCode {
+    match smoke_exchange(addr) {
+        Ok(()) => {
+            println!("smoke: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The scripted exchange. Expects a server started with `--students 0`
+/// (empty store, university ontology).
+fn smoke_exchange(addr: &str) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+
+    // PREPARE compiles the person-query rewriting (9 disjuncts: person and
+    // its subclass chain through student/phdStudent/employee/faculty/...).
+    let prepared = client
+        .prepare("q(X) :- person(X)")
+        .map_err(|e| format!("prepare: {e}"))?;
+    if prepared.get("cached").map(String::as_str) != Some("false") {
+        return Err(format!(
+            "FAIL prepare: expected a cold cache, got {prepared:?}"
+        ));
+    }
+
+    // Empty store: no persons yet.
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("query#1: {e}"))?;
+    check("empty store answers", reply.count, 0)?;
+    if !reply.cache_hit {
+        return Err("FAIL query#1: PREPARE should have warmed the cache".into());
+    }
+
+    // Insert: two students (one also attends), a professor who teaches.
+    let (added, epoch) = client
+        .insert("student(sara); attends(ada, db101); teaches(kim, db101); professor(kim)")
+        .map_err(|e| format!("insert: {e}"))?;
+    check("facts added", added, 4)?;
+    check("epoch after insert", epoch as usize, 1)?;
+
+    // person(X) now: sara (student), ada (attends -> student), kim
+    // (professor -> faculty -> employee).
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("query#2: {e}"))?;
+    check("persons after insert", reply.count, 3)?;
+
+    // The α-renamed variant hits the same cache entry.
+    let reply = client
+        .query("people(Someone) :- person(Someone)")
+        .map_err(|e| format!("query#3: {e}"))?;
+    check("renamed variant answers", reply.count, 3)?;
+    if !reply.cache_hit {
+        return Err("FAIL query#3: α-renamed variant missed the cache".into());
+    }
+
+    // A join query: teachers of attended courses.
+    let reply = client
+        .query("q(T) :- teaches(T, C), attends(S, C)")
+        .map_err(|e| format!("query#4: {e}"))?;
+    check("teachers of attended courses", reply.count, 1)?;
+    if reply.rows != vec![vec!["kim".to_string()]] {
+        return Err(format!("FAIL query#4 rows: {:?}", reply.rows));
+    }
+
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let hits: u64 = stats
+        .get("cache_hits")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL stats: no cache_hits field")?;
+    if hits < 3 {
+        return Err(format!("FAIL stats: expected >=3 cache hits, got {hits}"));
+    }
+
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut threads = 4usize;
+    let mut requests = 1000usize;
+    let mut mode = "load".to_string();
+    let mut args = std::env::args().skip(1).peekable();
+    if let Some(first) = args.peek() {
+        if first == "load" || first == "smoke" {
+            mode = args.next().unwrap();
+        }
+    }
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--threads" => threads = take("--threads").parse().expect("--threads: not a number"),
+            "--requests" => {
+                requests = take("--requests")
+                    .parse()
+                    .expect("--requests: not a number")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: load_gen [load|smoke] [--addr HOST:PORT] [--threads N] [--requests N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match mode.as_str() {
+        "smoke" => run_smoke(&addr),
+        _ => run_load(&addr, threads, requests),
+    }
+}

@@ -1,25 +1,108 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E11) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E12) and print the tables.
 //!
-//! `cargo run -p ontorew-bench --release --bin run_experiments`
+//! ```text
+//! cargo run -p ontorew-bench --release --bin run_experiments [--json] [--only E8,E12]
+//! ```
+//!
+//! By default the human-readable tables are printed, separated by blank
+//! lines. With `--json` one JSON object per experiment is emitted per line
+//! (NDJSON: `{"id": "E8", "report": "..."}`), which is what
+//! `scripts/record_baseline.sh` consumes — no scraping of human-formatted
+//! output.
 
-fn main() {
-    let experiments: Vec<String> = vec![
-        ontorew_bench::experiment_fig1(),
-        ontorew_bench::experiment_fig2(&[1, 2, 3, 4, 5, 6, 7]),
-        ontorew_bench::experiment_fig3(),
-        ontorew_bench::experiment_example3(),
-        ontorew_bench::experiment_class_subsumption(40, 8),
-        ontorew_bench::experiment_swr_scaling(&[10, 50, 100, 250, 500, 1000]),
-        ontorew_bench::experiment_wr_scaling(&[4, 8, 16, 32], 4_000),
-        ontorew_bench::experiment_rewriting_vs_chase(&[100, 1_000, 5_000, 20_000]),
-        ontorew_bench::experiment_rewriting_soundness(),
-        ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5, 6]),
-        ontorew_bench::experiment_chase_scaling(&[64, 128, 256], &[1_000, 5_000, 20_000]),
-    ];
-    for (i, report) in experiments.iter().enumerate() {
-        if i > 0 {
-            println!();
+use std::process::ExitCode;
+
+/// Minimal JSON string escaping (the reports are plain UTF-8 text).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-        println!("{report}");
     }
+    out
+}
+
+/// One experiment: its id and the thunk producing the report.
+type Experiment = (&'static str, fn() -> String);
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut only: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--only" => {
+                let list = args.next().expect("--only needs a comma-separated list");
+                only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: run_experiments [--json] [--only E8,E12]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let experiments: Vec<Experiment> = vec![
+        ("E1", ontorew_bench::experiment_fig1),
+        ("E2", || {
+            ontorew_bench::experiment_fig2(&[1, 2, 3, 4, 5, 6, 7])
+        }),
+        ("E3", ontorew_bench::experiment_fig3),
+        ("E4", ontorew_bench::experiment_example3),
+        ("E5", || ontorew_bench::experiment_class_subsumption(40, 8)),
+        ("E6", || {
+            ontorew_bench::experiment_swr_scaling(&[10, 50, 100, 250, 500, 1000])
+        }),
+        ("E7", || {
+            ontorew_bench::experiment_wr_scaling(&[4, 8, 16, 32], 4_000)
+        }),
+        ("E8", || {
+            ontorew_bench::experiment_rewriting_vs_chase(&[100, 1_000, 5_000, 20_000])
+        }),
+        ("E9", ontorew_bench::experiment_rewriting_soundness),
+        ("E10", || {
+            ontorew_bench::experiment_approximation_quality(&[1, 2, 3, 4, 5, 6])
+        }),
+        ("E11", || {
+            ontorew_bench::experiment_chase_scaling(&[64, 128, 256], &[1_000, 5_000, 20_000])
+        }),
+        ("E12", || {
+            ontorew_bench::experiment_serve_throughput(1_000, 100, 4)
+        }),
+    ];
+
+    let mut first = true;
+    for (id, run) in experiments {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == id) {
+                continue;
+            }
+        }
+        let report = run();
+        if json {
+            println!(
+                "{{\"id\": \"{id}\", \"report\": \"{}\"}}",
+                json_escape(report.trim_end())
+            );
+        } else {
+            if !first {
+                println!();
+            }
+            println!("{report}");
+        }
+        first = false;
+    }
+    ExitCode::SUCCESS
 }

@@ -1,10 +1,10 @@
 //! # ontorew-bench
 //!
-//! The benchmark harness that regenerates every figure and experiment of
-//! EXPERIMENTS.md (E1–E10). Each experiment is available both as a Criterion
-//! bench target (`cargo bench -p ontorew-bench`) and as a plain function used
-//! by the `run_experiments` binary, which prints the tables recorded in
-//! EXPERIMENTS.md.
+//! The benchmark harness that regenerates every figure and experiment
+//! (E1–E12). Each experiment is available both as a Criterion bench target
+//! (`cargo bench -p ontorew-bench`) and as a plain function used by the
+//! `run_experiments` binary, which prints the tables (or, with `--json`,
+//! NDJSON consumed by `scripts/record_baseline.sh`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -371,6 +371,192 @@ pub fn experiment_chase_scaling(chain_lengths: &[usize], student_counts: &[usize
     out
 }
 
+/// The E12 serving mix: multi-atom join queries with class-membership atoms
+/// over the university ontology — the DL-Lite-style conjunctive shape §1 of
+/// the paper motivates, where the class hierarchy makes the rewriting
+/// fixpoint (not the indexed evaluation) dominate the uncached cost, so a
+/// prepared-query cache has real work to amortise. Shared between E12 and
+/// the `serve_throughput` bench.
+pub fn serving_query_mix() -> Vec<ConjunctiveQuery> {
+    [
+        "q(S, P) :- advisedBy(S, P), professor(P), employee(P), person(S)",
+        "q(X) :- person(X), employee(X), faculty(X)",
+        "q(T, C) :- teaches(T, C), employee(T), person(T)",
+        "q(S) :- advisedBy(S, P), teaches(P, C), attends(S2, C), person(S2)",
+        "q(P) :- professor(P), teaches(P, C), course(C)",
+    ]
+    .iter()
+    .map(|text| parse_query(text).expect("serving mix query parses"))
+    .collect()
+}
+
+pub use ontorew_serve::percentile;
+
+/// E12 — serving throughput: the uncached `answer_by_rewriting` path vs the
+/// `ontorew-serve` query service (cold cache, then warm repeat-query
+/// traffic), plus the same warm traffic through the TCP server from
+/// concurrent load-generator clients. Cross-checks every path against the
+/// chase ground truth before timing anything.
+pub fn experiment_serve_throughput(students: usize, repeats: usize, tcp_threads: usize) -> String {
+    use ontorew_serve::{serve, QueryService, ServeClient, ServerConfig, ServiceConfig};
+    use std::sync::Arc;
+
+    let ontology = university_ontology();
+    let abox = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+    let store = RelationalStore::from_instance(&abox);
+    let queries = serving_query_mix();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E12 — concurrent query service: prepared-query cache + snapshot isolation"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "university workload: students={students} facts={} mix={} queries repeats={repeats}",
+        store.len(),
+        queries.len()
+    )
+    .unwrap();
+
+    let service = Arc::new(QueryService::new(
+        ontology.clone(),
+        store.clone(),
+        ServiceConfig::default(),
+    ));
+
+    // Correctness first: the served answers must equal both the unserved
+    // rewriting path and the chase ground truth.
+    for q in &queries {
+        let served = service.query(q).expect("serve answers");
+        let direct = answer_by_rewriting(&ontology, q, &store, &RewriteConfig::default());
+        let truth = certain_answers(&ontology, &abox, q, &ChaseConfig::default());
+        assert!(served.exact && direct.is_exact() && truth.complete);
+        assert!(
+            served.answers.iter().eq(direct.answers.iter())
+                && served.answers.iter().eq(truth.answers.iter()),
+            "serving path disagrees on {q}"
+        );
+    }
+    writeln!(
+        out,
+        "answers: identical across serve / answer_by_rewriting / chase on all {} queries",
+        queries.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "mode          requests      qps  p50_us  p99_us  hit_rate"
+    )
+    .unwrap();
+    let mut row = |mode: &str, latencies: &mut Vec<u64>, hit_rate: Option<f64>| -> f64 {
+        latencies.sort_unstable();
+        let total_us: u64 = latencies.iter().sum();
+        let qps = latencies.len() as f64 / (total_us.max(1) as f64 / 1_000_000.0);
+        writeln!(
+            out,
+            "{mode:<12} {:>9} {:>8.0} {:>7} {:>7}  {}",
+            latencies.len(),
+            qps,
+            percentile(latencies, 0.50),
+            percentile(latencies, 0.99),
+            hit_rate
+                .map(|r| format!("{:>7.1}%", r * 100.0))
+                .unwrap_or_else(|| "      -".to_string()),
+        )
+        .unwrap();
+        qps
+    };
+
+    // Uncached baseline: every request pays the full rewriting fixpoint.
+    let mut uncached_us: Vec<u64> = Vec::with_capacity(repeats * queries.len());
+    for _ in 0..repeats {
+        for q in &queries {
+            let start = Instant::now();
+            let result = answer_by_rewriting(&ontology, q, &store, &RewriteConfig::default());
+            uncached_us.push(start.elapsed().as_micros() as u64);
+            assert!(result.is_exact());
+        }
+    }
+    let uncached_qps = row("uncached", &mut uncached_us, None);
+
+    // Served: a fresh service so the cold pass is genuinely cold.
+    let timed = Arc::new(QueryService::new(
+        ontology.clone(),
+        store.clone(),
+        ServiceConfig::default(),
+    ));
+    let mut cold_us: Vec<u64> = Vec::new();
+    let mut warm_us: Vec<u64> = Vec::new();
+    for rep in 0..repeats {
+        for q in &queries {
+            let start = Instant::now();
+            let response = timed.query(q).expect("serve answers");
+            let us = start.elapsed().as_micros() as u64;
+            assert_eq!(response.cache_hit, rep > 0, "unexpected cache state");
+            if rep == 0 {
+                cold_us.push(us);
+            } else {
+                warm_us.push(us);
+            }
+        }
+    }
+    let stats = timed.stats();
+    row("serve-cold", &mut cold_us, Some(0.0));
+    let warm_qps = row("serve-warm", &mut warm_us, Some(stats.cache.hit_rate()));
+
+    // The same warm traffic through TCP, from concurrent clients.
+    let handle = serve(Arc::clone(&timed), ServerConfig::default()).expect("server binds");
+    let per_thread = (repeats.max(2) / 2) * queries.len();
+    let wall = Instant::now();
+    let threads: Vec<_> = (0..tcp_threads.max(1))
+        .map(|_| {
+            let addr = handle.addr();
+            let texts: Vec<String> = queries.iter().map(|q| format!("{q}")).collect();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("client connects");
+                let mut latencies = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let text = &texts[i % texts.len()];
+                    let start = Instant::now();
+                    let reply = client.query(text).expect("tcp query");
+                    latencies.push(start.elapsed().as_micros() as u64);
+                    assert!(reply.cache_hit, "tcp traffic must be warm");
+                }
+                client.quit().expect("quit");
+                latencies
+            })
+        })
+        .collect();
+    let mut tcp_us: Vec<u64> = Vec::new();
+    for t in threads {
+        tcp_us.extend(t.join().expect("tcp thread"));
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    handle.shutdown();
+    // Concurrent wall-clock throughput (not the sum of per-request times).
+    tcp_us.sort_unstable();
+    let tcp_qps = tcp_us.len() as f64 / wall_s.max(1e-9);
+    writeln!(
+        out,
+        "tcp-warm x{:<2} {:>9} {:>8.0} {:>7} {:>7}  {:>7}",
+        tcp_threads,
+        tcp_us.len(),
+        tcp_qps,
+        percentile(&tcp_us, 0.50),
+        percentile(&tcp_us, 0.99),
+        "warm"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "warm-cache speedup over uncached: {:.1}x",
+        warm_qps / uncached_qps.max(1e-9)
+    )
+    .unwrap();
+    out
+}
+
 /// E9 — rewriting soundness & completeness: cross-check the two strategies on
 /// the university workload and on the paper's examples.
 pub fn experiment_rewriting_soundness() -> String {
@@ -466,5 +652,8 @@ mod tests {
         assert!(experiment_rewriting_soundness().contains("consistent=true"));
         assert!(experiment_approximation_quality(&[1, 3]).contains("ground truth"));
         assert!(experiment_chase_scaling(&[8], &[30]).contains("speedup"));
+        let e12 = experiment_serve_throughput(60, 4, 2);
+        assert!(e12.contains("identical across serve"));
+        assert!(e12.contains("warm-cache speedup"));
     }
 }

@@ -24,19 +24,29 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 
 /// The stored rows of one predicate, with eager per-column hash indexes.
 ///
-/// Rows live in a dense `Vec` in insertion order (cache-friendly scans),
-/// duplicates are rejected through a map from row hash to the (rarely more
-/// than one) row ids with that hash — so each row is stored once — and every
-/// column keeps a posting list from term to row ids that is maintained on
-/// insert. Because the indexes are always current, lookups need only shared
-/// (`&self`) access — which is what lets the homomorphism search and the
-/// parallel trigger search probe them without locking.
+/// Rows live in a dense `Vec` in insertion order (cache-friendly scans), and
+/// every column keeps a posting list from term to row ids that is maintained
+/// on insert. Because the indexes are always current, lookups need only
+/// shared (`&self`) access — which is what lets the homomorphism search and
+/// the parallel trigger search probe them without locking.
+///
+/// Duplicate detection interns whole tuples as `u64` ids: each stored row is
+/// represented in the dedup structure by its 64-bit content hash mapping to
+/// its interned row id — 12 bytes per row instead of a per-row `Vec<u32>`
+/// bucket allocation (let alone a `HashSet<Vec<Term>>`, which would clone
+/// every tuple). Rows whose hash collides with an earlier, different row
+/// (vanishingly rare for 64-bit hashes) go to a small overflow list that is
+/// scanned linearly; candidates are always confirmed against `rows` by
+/// equality, so collisions cost time, never correctness.
 #[derive(Clone, Debug, Default)]
 pub struct IndexedRelation {
     rows: Vec<Vec<Term>>,
-    /// `dedup[hash]` = ids of the rows hashing to `hash` (collision bucket);
+    /// `dedup[hash]` = interned id of the first row hashing to `hash`;
     /// candidates are confirmed against `rows` by equality.
-    dedup: HashMap<u64, Vec<u32>>,
+    dedup: HashMap<u64, u32>,
+    /// Rows whose hash collided with a different, earlier row: `(hash, id)`
+    /// pairs, scanned linearly (almost always empty).
+    dedup_overflow: Vec<(u64, u32)>,
     /// `indexes[col][term]` = ids of the rows whose column `col` is `term`.
     indexes: Vec<HashMap<Term, Vec<u32>>>,
 }
@@ -54,6 +64,7 @@ impl IndexedRelation {
         IndexedRelation {
             rows: Vec::new(),
             dedup: HashMap::new(),
+            dedup_overflow: Vec::new(),
             indexes: vec![HashMap::new(); arity],
         }
     }
@@ -79,13 +90,30 @@ impl IndexedRelation {
     /// # Panics
     /// Panics (in debug builds) if the row arity does not match.
     pub fn insert(&mut self, row: Vec<Term>) -> bool {
-        debug_assert_eq!(row.len(), self.arity(), "row arity mismatch");
         let hash = row_hash(&row);
-        if self.ids_contain_row(self.dedup.get(&hash), &row) {
-            return false;
-        }
+        self.insert_with_hash(row, hash)
+    }
+
+    /// [`IndexedRelation::insert`] with the dedup hash supplied by the
+    /// caller; separated out so tests can force hash collisions and exercise
+    /// the overflow path.
+    fn insert_with_hash(&mut self, row: Vec<Term>, hash: u64) -> bool {
+        debug_assert_eq!(row.len(), self.arity(), "row arity mismatch");
         let row_id = self.rows.len() as u32;
-        self.dedup.entry(hash).or_default().push(row_id);
+        match self.dedup.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(row_id);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // A row with this hash exists: either it is this row (a
+                // duplicate insert) or we hit a 64-bit collision and the new
+                // row is interned through the overflow list.
+                if self.rows[*e.get() as usize] == row || self.overflow_contains(hash, &row) {
+                    return false;
+                }
+                self.dedup_overflow.push((hash, row_id));
+            }
+        }
         for (col, term) in row.iter().enumerate() {
             self.indexes[col].entry(*term).or_default().push(row_id);
         }
@@ -95,12 +123,19 @@ impl IndexedRelation {
 
     /// True if the relation contains the row.
     pub fn contains(&self, row: &[Term]) -> bool {
-        self.ids_contain_row(self.dedup.get(&row_hash(row)), row)
+        let hash = row_hash(row);
+        match self.dedup.get(&hash) {
+            Some(&id) => self.rows[id as usize] == row || self.overflow_contains(hash, row),
+            None => false,
+        }
     }
 
-    /// True if one of the rows named by `ids` equals `row`.
-    fn ids_contain_row(&self, ids: Option<&Vec<u32>>, row: &[Term]) -> bool {
-        ids.is_some_and(|ids| ids.iter().any(|&id| self.rows[id as usize] == row))
+    /// True if some overflow row (same hash, different first-interned row)
+    /// equals `row`.
+    fn overflow_contains(&self, hash: u64, row: &[Term]) -> bool {
+        self.dedup_overflow
+            .iter()
+            .any(|&(h, id)| h == hash && self.rows[id as usize] == row)
     }
 
     /// All rows, in insertion order.
@@ -552,6 +587,28 @@ mod tests {
         assert_eq!(rel.postings(1, &Term::constant("b")).len(), 1);
         assert!(rel.postings(1, &Term::constant("zzz")).is_empty());
         assert!(rel.contains(&[Term::constant("a"), Term::constant("c")]));
+    }
+
+    #[test]
+    fn forced_hash_collisions_go_through_the_overflow_list() {
+        let mut rel = IndexedRelation::with_arity(1);
+        let a = vec![Term::constant("a")];
+        let b = vec![Term::constant("b")];
+        let c = vec![Term::constant("c")];
+        // All three rows interned under the same 64-bit id: the first takes
+        // the dedup slot, the others go to the overflow list.
+        assert!(rel.insert_with_hash(a.clone(), 7));
+        assert!(rel.insert_with_hash(b.clone(), 7));
+        assert!(rel.insert_with_hash(c.clone(), 7));
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.dedup_overflow.len(), 2);
+        // Duplicates of both the slot row and the overflow rows are caught.
+        assert!(!rel.insert_with_hash(a, 7));
+        assert!(!rel.insert_with_hash(b, 7));
+        assert!(!rel.insert_with_hash(c, 7));
+        assert_eq!(rel.len(), 3);
+        // Per-column postings were still maintained for overflow rows.
+        assert_eq!(rel.postings(0, &Term::constant("b")).len(), 1);
     }
 
     #[test]

@@ -189,6 +189,38 @@ mod tests {
     }
 
     #[test]
+    fn deep_join_queries_match_chase_answers() {
+        // Regression test: the canonical renaming used to be applied
+        // *deeply*, following cyclic rename chains and collapsing distinct
+        // variables — on 4-atom join queries whole expansion disjuncts were
+        // corrupted and certain answers silently lost (while the rewriting
+        // still claimed completeness).
+        let p = parse_program(
+            "[U5] student(X) -> person(X).\n\
+             [U10] attends(S, C) -> student(S).\n\
+             [U12] advisedBy(X, Y) -> professor(Y).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("advisedBy", &["gina", "alice"]);
+        db.insert_fact("teaches", &["alice", "db101"]);
+        db.insert_fact("attends", &["sara", "db101"]);
+        let q = parse_query("q(S) :- advisedBy(S, P), teaches(P, C), attends(S2, C), person(S2)")
+            .unwrap();
+        let store = RelationalStore::from_instance(&db);
+        let by_rewriting = answer_by_rewriting(&p, &q, &store, &RewriteConfig::default());
+        let by_chase =
+            ontorew_chase::certain_answers(&p, &db, &q, &ontorew_chase::ChaseConfig::default());
+        assert!(by_rewriting.is_exact());
+        assert!(by_chase.complete);
+        assert_eq!(by_rewriting.answers.len(), 1);
+        assert!(by_rewriting.answers.contains_constants(&["gina"]));
+        let a: Vec<_> = by_rewriting.answers.iter().cloned().collect();
+        let b: Vec<_> = by_chase.answers.iter().cloned().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn evaluate_rewriting_reuses_a_precomputed_rewriting() {
         let p = parse_program("[R1] student(X) -> person(X).").unwrap();
         let q = parse_query("q(X) :- person(X)").unwrap();

@@ -34,10 +34,18 @@ pub struct RewriteConfig {
 }
 
 impl Default for RewriteConfig {
+    /// Budgets sized for practical saturations. The *query* budget is the
+    /// real work bound: terminating workloads in the tree generate at most
+    /// ~80 canonical queries (chains of length `n` generate `n + 1`), while
+    /// non-FO-rewritable programs grow their frontier exponentially with
+    /// depth (see the supply-chain suite) and therefore hit the query budget
+    /// long before any plausible depth bound — the depth limit is only a
+    /// backstop for linear-growth divergence. Runs that hit either budget
+    /// report `complete = false`.
     fn default() -> Self {
         RewriteConfig {
             max_depth: 25,
-            max_queries: 20_000,
+            max_queries: 500,
             factorize: true,
             prune_subsumed: true,
         }
@@ -156,7 +164,7 @@ pub fn rewrite_ucq(
     let mut complete = !cross_atom_existentials;
 
     for q in &query.disjuncts {
-        let rq = RQuery::from_cq(q).canonical();
+        let rq = RQuery::from_cq(q).condense().canonical();
         let key = rq.canonical_key();
         if seen.insert(key, rq.clone()).is_none() {
             queue.push_back((rq, 0));
@@ -186,7 +194,10 @@ pub fn rewrite_ucq(
         }
 
         for new_query in produced {
-            let canonical = new_query.canonical();
+            // Condensation keeps the saturation finite: see
+            // [`RQuery::condense`]. The condensed query is equivalent, so
+            // neither soundness nor completeness is affected.
+            let canonical = new_query.condense().canonical();
             let key = canonical.canonical_key();
             if seen.contains_key(&key) {
                 continue;
@@ -214,13 +225,20 @@ pub fn rewrite_ucq(
     cq_disjuncts.sort_by_key(|q| format!("{q}"));
     grounded.sort();
 
+    // Subsumption pruning is quadratic in disjuncts with a containment
+    // (homomorphism) check per pair, so it is only worth running on
+    // reasonably sized results; a budget-cut run of a non-terminating
+    // program can return thousands of disjuncts, where pruning would cost
+    // far more than the evaluation it saves. Canonical deduplication has
+    // already happened either way.
+    const PRUNE_DISJUNCT_LIMIT: usize = 512;
     let ucq = if cq_disjuncts.is_empty() {
         // Degenerate case: every disjunct is grounded. Keep the original
         // query so the UCQ stays well-formed (it is still a sound disjunct).
         query.clone()
     } else {
         let raw = UnionOfConjunctiveQueries::new(cq_disjuncts);
-        if config.prune_subsumed {
+        if config.prune_subsumed && raw.len() <= PRUNE_DISJUNCT_LIMIT {
             prune_ucq(&raw)
         } else {
             raw

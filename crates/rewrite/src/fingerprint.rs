@@ -1,0 +1,529 @@
+//! Canonical forms and fingerprints for queries and programs.
+//!
+//! The serving layer (`ontorew-serve`) caches finished rewritings keyed by
+//! *what* is being rewritten, not *how it is spelled*: two conjunctive
+//! queries that differ only by a bijective variable renaming (α-renaming)
+//! and/or by the order of their body atoms must map to the same cache entry,
+//! and likewise two programs that differ only in rule order, rule labels or
+//! per-rule variable names.
+//!
+//! The engine-internal [`RQuery::canonical`](crate::rq::RQuery::canonical)
+//! form is a cheap rename-then-sort heuristic: good enough for best-effort
+//! deduplication inside one rewriting run (a miss only costs duplicate work,
+//! later removed by subsumption pruning), but *not* a true canonical form —
+//! atoms sort by interned symbol ids, so the fixpoint it reaches can depend
+//! on the input's atom order. A cache key must be exactly invariant, so this
+//! module computes one properly: the **lexicographically minimal
+//! serialization** of the query over all body-atom orderings, with variables
+//! numbered by first occurrence (answer variables pinned first, in answer
+//! order). That minimum is found by a greedy branch-and-bound which, thanks
+//! to prefix-free atom serializations, explores only tied minimal prefixes —
+//! linear-ish on real queries, exponential only on highly symmetric bodies,
+//! which a node budget intercepts (falling back to a coarser but still
+//! order-invariant key). Fingerprints are the FNV-1a hash of that canonical
+//! text, so they are stable across processes and printable in logs and on
+//! the wire.
+
+use crate::rq::RQuery;
+use ontorew_model::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// 64-bit FNV-1a over a byte string: tiny, dependency-free and stable across
+/// processes (unlike `DefaultHasher`, whose algorithm is unspecified).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The fingerprint of a conjunctive query, invariant under α-renaming and
+/// body-atom reordering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(pub u64);
+
+impl fmt::Display for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueryFingerprint({self})")
+    }
+}
+
+/// The fingerprint of a TGD program, invariant under rule reordering, rule
+/// relabelling and per-rule variable renaming.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramFingerprint(pub u64);
+
+impl fmt::Display for ProgramFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for ProgramFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProgramFingerprint({self})")
+    }
+}
+
+/// The cache key of a prepared query: the pair (program, query) fingerprint.
+/// A rewriting is only reusable under the exact program it was computed for.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PreparedKey {
+    /// Fingerprint of the program the rewriting was computed under.
+    pub program: ProgramFingerprint,
+    /// Fingerprint of the (canonicalized) query.
+    pub query: QueryFingerprint,
+}
+
+impl fmt::Display for PreparedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.program, self.query)
+    }
+}
+
+impl fmt::Debug for PreparedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PreparedKey({self})")
+    }
+}
+
+/// Fingerprint a conjunctive query: the hash of [`canonical_query_text`].
+pub fn fingerprint_query(query: &ConjunctiveQuery) -> QueryFingerprint {
+    query_identity(query).1
+}
+
+/// The canonical text of a query together with its fingerprint, computed in
+/// one pass. Callers that need both — e.g. a cache that keys on the
+/// fingerprint but confirms hits against the text, since a 64-bit FNV hash
+/// is compact but not collision-resistant — should use this instead of
+/// calling [`canonical_query_text`] and [`fingerprint_query`] separately.
+pub fn query_identity(query: &ConjunctiveQuery) -> (String, QueryFingerprint) {
+    let text = canonical_query_text(query);
+    let fingerprint = QueryFingerprint(fnv1a(text.as_bytes()));
+    (text, fingerprint)
+}
+
+/// Fingerprint a TGD program: each rule is canonicalized independently
+/// (label dropped, body and head atom order and variable names abstracted
+/// away), the canonical rule strings are sorted and deduplicated, and the
+/// result is hashed — so rule order, labels, duplicate rules and variable
+/// spellings do not affect the fingerprint.
+pub fn fingerprint_program(program: &TgdProgram) -> ProgramFingerprint {
+    let mut rules: Vec<String> = program.iter().map(canonical_rule_text).collect();
+    rules.sort();
+    rules.dedup();
+    ProgramFingerprint(fnv1a(rules.join("\n").as_bytes()))
+}
+
+/// Fingerprint a (program, query) pair into a prepared-query cache key.
+pub fn prepared_key(program: &TgdProgram, query: &ConjunctiveQuery) -> PreparedKey {
+    PreparedKey {
+        program: fingerprint_program(program),
+        query: fingerprint_query(query),
+    }
+}
+
+/// The canonical text of a conjunctive query: identical for any α-renamed
+/// and/or body-permuted variant, distinct for structurally different queries.
+/// The query name is ignored: `q(X) :- person(X)` and `people(Y) :-
+/// person(Y)` are the same shape.
+pub fn canonical_query_text(query: &ConjunctiveQuery) -> String {
+    canonical_rquery_text(&RQuery::from_cq(query))
+}
+
+/// [`canonical_query_text`] for the rewriting engine's internal query form
+/// (answer terms may be constants). This is also the engine's deduplication
+/// key — see [`RQuery::canonical_key`].
+pub fn canonical_rquery_text(rq: &RQuery) -> String {
+    canonical_text(&rq.answer, &[(&rq.body, "")])
+}
+
+/// The canonical text of one TGD: invariant under body-atom and head-atom
+/// reordering and variable renaming; the label is dropped.
+pub fn canonical_rule_text(rule: &Tgd) -> String {
+    canonical_text(&[], &[(&rule.body, "B"), (&rule.head, "H")])
+}
+
+/// Budget on branch-and-bound nodes. Real queries stay far below this; only
+/// adversarially symmetric bodies (many interchangeable atoms) can reach it,
+/// at which point the coarse fallback key keeps the result order-invariant.
+const CANONICAL_NODE_BUDGET: usize = 20_000;
+
+/// Compute the canonical serialization of `answer` plus the tagged atom
+/// groups. Tags separate body from head atoms in rules; within the search
+/// every atom serializes with its tag as prefix, so groups order before one
+/// another lexicographically while sharing one variable numbering.
+fn canonical_text(answer: &[Term], groups: &[(&[Atom], &str)]) -> String {
+    // Set semantics of conjunction: drop duplicate atoms within each group
+    // up front (idempotence), which also removes the most common source of
+    // ties in the search.
+    let mut atoms: Vec<(Atom, &str)> = Vec::new();
+    for (group, tag) in groups {
+        for atom in *group {
+            if !atoms.iter().any(|(a, t)| t == tag && a == atom) {
+                atoms.push((atom.clone(), tag));
+            }
+        }
+    }
+    // Answer variables are pinned first, in answer-tuple order (the answer
+    // tuple is semantically ordered, so this is not a degree of freedom).
+    let mut assignment: BTreeMap<Variable, usize> = BTreeMap::new();
+    for term in answer {
+        if let Term::Variable(v) = term {
+            let next = assignment.len();
+            assignment.entry(*v).or_insert(next);
+        }
+    }
+    let mut header = String::from("(");
+    for (i, term) in answer.iter().enumerate() {
+        if i > 0 {
+            header.push(',');
+        }
+        serialize_term(&mut header, term, &assignment);
+    }
+    header.push_str(") ");
+
+    let mut search = CanonicalSearch {
+        atoms,
+        best: None,
+        nodes: 0,
+    };
+    let used = vec![false; search.atoms.len()];
+    search.explore(&header, &used, &assignment);
+    match search.best {
+        Some(best) => best,
+        // Budget exhausted (pathologically symmetric body): fall back to the
+        // greedy serialization — no tie branching, first minimal candidate
+        // wins. Still a *faithful* serialization of the query (equal texts
+        // imply α-equivalent queries, so deduplication never over-merges),
+        // merely no longer guaranteed invariant under input order.
+        None => greedy_text(&header, &search.atoms, &assignment),
+    }
+}
+
+struct CanonicalSearch<'a> {
+    atoms: Vec<(Atom, &'a str)>,
+    best: Option<String>,
+    nodes: usize,
+}
+
+impl CanonicalSearch<'_> {
+    /// Depth-first branch-and-bound: at each level serialize every unused
+    /// atom under the current variable assignment (numbering its unseen
+    /// variables tentatively, in atom-local order), keep only the atoms
+    /// whose serialization is lexicographically minimal, and branch on those
+    /// ties. Atom serializations are prefix-free (indices are fixed-width,
+    /// names are delimited), so the greedy minimal prefix is the global
+    /// minimum and non-minimal branches can be discarded outright.
+    fn explore(&mut self, prefix: &str, used: &[bool], assignment: &BTreeMap<Variable, usize>) {
+        self.nodes += 1;
+        if self.nodes > CANONICAL_NODE_BUDGET {
+            self.best = None;
+            return;
+        }
+        if used.iter().all(|&u| u) {
+            match &self.best {
+                Some(best) if best.as_str() <= prefix => {}
+                _ => self.best = Some(prefix.to_string()),
+            }
+            return;
+        }
+        let mut min_text: Option<String> = None;
+        let mut ties: Vec<usize> = Vec::new();
+        for (i, (atom, tag)) in self.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let text = serialize_atom(atom, tag, assignment);
+            match &min_text {
+                Some(current) => {
+                    if text < *current {
+                        min_text = Some(text);
+                        ties.clear();
+                        ties.push(i);
+                    } else if text == *current {
+                        ties.push(i);
+                    }
+                }
+                None => {
+                    min_text = Some(text);
+                    ties.push(i);
+                }
+            }
+        }
+        let min_text = min_text.expect("some atom is unused");
+        for i in ties {
+            let mut next_assignment = assignment.clone();
+            for term in &self.atoms[i].0.terms {
+                if let Term::Variable(v) = term {
+                    let next = next_assignment.len();
+                    next_assignment.entry(*v).or_insert(next);
+                }
+            }
+            let mut next_prefix = String::with_capacity(prefix.len() + min_text.len() + 1);
+            next_prefix.push_str(prefix);
+            next_prefix.push_str(&min_text);
+            next_prefix.push(';');
+            let mut next_used = used.to_vec();
+            next_used[i] = true;
+            self.explore(&next_prefix, &next_used, &next_assignment);
+            if self.nodes > CANONICAL_NODE_BUDGET {
+                return;
+            }
+        }
+    }
+}
+
+/// Serialize one atom under a (partial) variable assignment. Variables not
+/// yet assigned are numbered tentatively, continuing from the assignment
+/// size in atom-local first-occurrence order — exactly the numbers they
+/// would receive if this atom were chosen next.
+fn serialize_atom(atom: &Atom, tag: &str, assignment: &BTreeMap<Variable, usize>) -> String {
+    let mut local: BTreeMap<Variable, usize> = BTreeMap::new();
+    let mut out = String::new();
+    out.push_str(tag);
+    out.push_str(atom.predicate.name_str());
+    out.push('(');
+    for (i, term) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match term {
+            Term::Variable(v) => {
+                let id = assignment.get(v).copied().unwrap_or_else(|| {
+                    let next = assignment.len() + local.len();
+                    *local.entry(*v).or_insert(next)
+                });
+                write!(out, "?{id:04}").unwrap();
+            }
+            other => serialize_term(&mut out, other, assignment),
+        }
+    }
+    out.push(')');
+    out
+}
+
+fn serialize_term(out: &mut String, term: &Term, assignment: &BTreeMap<Variable, usize>) {
+    match term {
+        Term::Constant(c) => {
+            // Escape the delimiter characters: the canonical text must be a
+            // *faithful* serialization (equal texts ⇒ equal queries), which
+            // an embedded unescaped quote would break — a constant spelled
+            // `x","y` must not read like two constants.
+            let escaped = c.name().replace('\\', "\\\\").replace('"', "\\\"");
+            write!(out, "\"{escaped}\"").unwrap();
+        }
+        Term::Variable(v) => match assignment.get(v) {
+            Some(id) => write!(out, "?{id:04}").unwrap(),
+            None => write!(out, "?unbound").unwrap(),
+        },
+        Term::Null(n) => {
+            write!(out, "_:n{}", n.id()).unwrap();
+        }
+    }
+}
+
+/// Greedy (branch-free) serialization used when the exact search exhausts
+/// its budget: repeatedly append the lexicographically minimal unused atom
+/// under the evolving assignment, first tie wins. Faithful but only
+/// heuristically order-invariant.
+fn greedy_text(
+    header: &str,
+    atoms: &[(Atom, &str)],
+    assignment: &BTreeMap<Variable, usize>,
+) -> String {
+    let mut assignment = assignment.clone();
+    let mut used = vec![false; atoms.len()];
+    let mut out = String::from(header);
+    for _ in 0..atoms.len() {
+        let (i, text) = atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, (a, tag))| (i, serialize_atom(a, tag, &assignment)))
+            .min_by(|(_, a), (_, b)| a.cmp(b))
+            .expect("an unused atom remains");
+        used[i] = true;
+        for term in &atoms[i].0.terms {
+            if let Term::Variable(v) = term {
+                let next = assignment.len();
+                assignment.entry(*v).or_insert(next);
+            }
+        }
+        out.push_str(&text);
+        out.push(';');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_query};
+
+    #[test]
+    fn alpha_renamed_queries_share_a_fingerprint() {
+        let a = parse_query("q(X) :- teaches(X, C), attends(S, C)").unwrap();
+        let b = parse_query("q(T) :- teaches(T, K), attends(Z, K)").unwrap();
+        assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn atom_order_does_not_matter() {
+        let a = parse_query("q(X) :- teaches(X, C), attends(S, C)").unwrap();
+        let b = parse_query("q(X) :- attends(S, C), teaches(X, C)").unwrap();
+        assert_eq!(canonical_query_text(&a), canonical_query_text(&b));
+        assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn renaming_and_reordering_together() {
+        let a = parse_query("q(X, Y) :- r(X, Z), s(Z, Y), t(Y, X)").unwrap();
+        let b = parse_query("q(A, B) :- t(B, A), s(W, B), r(A, W)").unwrap();
+        assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn query_name_does_not_matter() {
+        let a = parse_query("q(X) :- person(X)").unwrap();
+        let b = parse_query("people(X) :- person(X)").unwrap();
+        assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn duplicate_atoms_are_idempotent() {
+        let a = parse_query("q(X) :- r(X, Y), r(X, Y)").unwrap();
+        let b = parse_query("q(X) :- r(X, Y)").unwrap();
+        assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn different_queries_get_different_fingerprints() {
+        let a = parse_query("q(X) :- person(X)").unwrap();
+        let b = parse_query("q(X) :- student(X)").unwrap();
+        assert_ne!(fingerprint_query(&a), fingerprint_query(&b));
+        // Same atoms, different join structure.
+        let c = parse_query("q(X) :- r(X, Y), s(Y, Z)").unwrap();
+        let d = parse_query("q(X) :- r(X, Y), s(X, Z)").unwrap();
+        assert_ne!(fingerprint_query(&c), fingerprint_query(&d));
+    }
+
+    #[test]
+    fn answer_variable_choice_matters() {
+        let a = parse_query("q(X) :- r(X, Y)").unwrap();
+        let b = parse_query("q(Y) :- r(X, Y)").unwrap();
+        assert_ne!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn constants_with_quotes_do_not_collide_across_arities() {
+        // Without escaping, r/1 over the constant `x","y` and r/2 over
+        // (`x`, `y`) would serialize identically.
+        let tricky =
+            ConjunctiveQuery::boolean(vec![Atom::new("r", vec![Term::constant("x\",\"y")])]);
+        let plain = ConjunctiveQuery::boolean(vec![Atom::new(
+            "r",
+            vec![Term::constant("x"), Term::constant("y")],
+        )]);
+        assert_ne!(canonical_query_text(&tricky), canonical_query_text(&plain));
+        assert_ne!(fingerprint_query(&tricky), fingerprint_query(&plain));
+        // Backslashes are escaped too, so `a\` + `"b` ≠ `a\"` + `b`-ish games.
+        let a = ConjunctiveQuery::boolean(vec![Atom::new(
+            "r",
+            vec![Term::constant("a\\"), Term::constant("b")],
+        )]);
+        let b = ConjunctiveQuery::boolean(vec![Atom::new(
+            "r",
+            vec![Term::constant("a"), Term::constant("\\b")],
+        )]);
+        assert_ne!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    #[test]
+    fn constants_are_distinguished_from_variables() {
+        let a = parse_query("q(X) :- r(X, a)").unwrap();
+        let b = parse_query("q(X) :- r(X, Y)").unwrap();
+        assert_ne!(fingerprint_query(&a), fingerprint_query(&b));
+        let c = parse_query("q(X) :- r(X, b)").unwrap();
+        assert_ne!(fingerprint_query(&a), fingerprint_query(&c));
+    }
+
+    #[test]
+    fn symmetric_bodies_are_still_invariant() {
+        // A 3-cycle: every rotation is an automorphism, so the search
+        // branches on ties — all branches must agree on the minimum.
+        let a = parse_query("q() :- r(X, Y), r(Y, Z), r(Z, X)").unwrap();
+        let b = parse_query("q() :- r(C, A), r(A, B), r(B, C)").unwrap();
+        assert_eq!(canonical_query_text(&a), canonical_query_text(&b));
+        // ... and a 3-cycle is not a 3-chain.
+        let c = parse_query("q() :- r(X, Y), r(Y, Z), r(Z, W)").unwrap();
+        assert_ne!(fingerprint_query(&a), fingerprint_query(&c));
+    }
+
+    #[test]
+    fn program_fingerprint_ignores_order_labels_and_variable_names() {
+        let a = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] professor(P) -> employee(P).",
+        )
+        .unwrap();
+        let b = parse_program(
+            "[Other] professor(Z) -> employee(Z).\n\
+             [Names] student(W) -> person(W).",
+        )
+        .unwrap();
+        assert_eq!(fingerprint_program(&a), fingerprint_program(&b));
+    }
+
+    #[test]
+    fn program_fingerprint_separates_different_programs() {
+        let a = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let b = parse_program("[R1] student(X) -> employee(X).").unwrap();
+        assert_ne!(fingerprint_program(&a), fingerprint_program(&b));
+    }
+
+    #[test]
+    fn rule_canonicalization_keeps_frontier_links() {
+        // X is a frontier variable in one, not the other.
+        let a = parse_tgd_text("r(X, Y) -> s(X)");
+        let b = parse_tgd_text("r(X, Y) -> s(Z)");
+        assert_ne!(canonical_rule_text(&a), canonical_rule_text(&b));
+        // Head atom order is abstracted away.
+        let c = parse_tgd_text("r(X, Y) -> s(X), t(Y)");
+        let d = parse_tgd_text("r(X, Y) -> t(Y), s(X)");
+        assert_eq!(canonical_rule_text(&c), canonical_rule_text(&d));
+    }
+
+    fn parse_tgd_text(text: &str) -> Tgd {
+        ontorew_model::parse_tgd(text).unwrap()
+    }
+
+    #[test]
+    fn prepared_key_combines_both_fingerprints() {
+        let p = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let key = prepared_key(&p, &q);
+        assert_eq!(key.program, fingerprint_program(&p));
+        assert_eq!(key.query, fingerprint_query(&q));
+        let shown = key.to_string();
+        assert!(shown.starts_with('p') && shown.contains("/q"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_calls() {
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        assert_eq!(fingerprint_query(&q), fingerprint_query(&q));
+    }
+}

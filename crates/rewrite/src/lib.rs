@@ -10,7 +10,9 @@
 //!   terminates) UCQ rewriting;
 //! * [`answer`] — answering over a relational store by rewriting + evaluation;
 //! * [`patterns`] — query patterns, divergence heuristics and sound bounded
-//!   approximations for non-FO-rewritable programs (§7 of the paper).
+//!   approximations for non-FO-rewritable programs (§7 of the paper);
+//! * [`fingerprint`] — α-renaming- and atom-order-invariant fingerprints of
+//!   queries and programs, the cache keys of the `ontorew-serve` layer.
 //!
 //! ```
 //! use ontorew_model::{parse_program, parse_query};
@@ -28,6 +30,7 @@
 
 pub mod answer;
 pub mod engine;
+pub mod fingerprint;
 pub mod patterns;
 pub mod rq;
 pub mod step;
@@ -35,6 +38,10 @@ pub mod step;
 pub use answer::{answer_by_rewriting, evaluate_rewriting, RewritingAnswers};
 pub use engine::{
     disjunct_keys, rewrite, rewrite_ucq, rewriting_growth, RewriteConfig, RewriteStats, Rewriting,
+};
+pub use fingerprint::{
+    fingerprint_program, fingerprint_query, prepared_key, PreparedKey, ProgramFingerprint,
+    QueryFingerprint,
 };
 pub use patterns::{
     analyze_patterns, approximate_rewrite, ApproximateRewriting, ArgKind, AtomPattern,

@@ -128,12 +128,101 @@ impl RQuery {
             }
         }
         let subst = Substitution::from_bindings(mapping);
-        self.apply(&subst)
+        // The mapping is a bijective α-renaming, so it must be applied
+        // *shallowly*: its target names reuse the `X<n>` namespace, so a
+        // query already canonically named yields cyclic chains like
+        // {X3→X1, X1→X2, X2→X3}, and the deep application of
+        // [`RQuery::apply`] (meant for MGU chains) would follow them and
+        // collapse distinct variables — corrupting the disjunct, not just
+        // the dedup key.
+        RQuery {
+            answer: self.answer.iter().map(|t| subst.apply_term(*t)).collect(),
+            body: subst.apply_atoms(&self.body),
+        }
     }
 
-    /// A printable, hashable canonical key.
+    /// Remove redundant atoms: an atom is dropped when a substitution of its
+    /// *purely local* existential variables (variables occurring in no other
+    /// atom and in no answer position) maps it onto another body atom. The
+    /// result is a retract of the query — equivalent to it (each query maps
+    /// homomorphically into the other fixing the answer), just smaller.
+    ///
+    /// Rewriting steps keep minting such atoms (e.g. a fresh `t(Y)` with
+    /// isolated existential `Y` per application of a rule with a `t` body
+    /// atom), and without condensation the saturation would enumerate an
+    /// infinite chain `t(Y1)`, `t(Y1), t(Y2)`, ... of pairwise inequivalent
+    /// spellings of the same query, never reaching the fixpoint the paper's
+    /// SWR/WR theorems promise.
+    pub fn condense(&self) -> RQuery {
+        let mut body = self.body.clone();
+        body.sort();
+        body.dedup();
+        loop {
+            let mut removed = None;
+            'candidates: for i in 0..body.len() {
+                // Variables of body[i] that occur nowhere else.
+                let answer_vars: Vec<Variable> =
+                    self.answer.iter().filter_map(Term::as_variable).collect();
+                let is_local = |v: Variable| {
+                    !answer_vars.contains(&v)
+                        && body
+                            .iter()
+                            .enumerate()
+                            .all(|(j, a)| j == i || !a.variable_set().contains(&v))
+                };
+                for j in 0..body.len() {
+                    if i == j || body[j].predicate != body[i].predicate {
+                        continue;
+                    }
+                    // Try θ on the local variables with θ(body[i]) = body[j].
+                    let mut theta: BTreeMap<Variable, Term> = BTreeMap::new();
+                    let mut ok = true;
+                    for (s, t) in body[i].terms.iter().zip(body[j].terms.iter()) {
+                        match s {
+                            Term::Variable(v) if is_local(*v) => match theta.get(v) {
+                                Some(bound) if bound != t => {
+                                    ok = false;
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => {
+                                    theta.insert(*v, *t);
+                                }
+                            },
+                            other if other == t => {}
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        removed = Some(i);
+                        break 'candidates;
+                    }
+                }
+            }
+            match removed {
+                Some(i) => {
+                    body.remove(i);
+                }
+                None => break,
+            }
+        }
+        RQuery {
+            answer: self.answer.clone(),
+            body,
+        }
+    }
+
+    /// A hashable canonical key: the exact canonical serialization from
+    /// [`crate::fingerprint`], identical for any α-renamed and/or
+    /// atom-permuted variant of the query. The engine's saturation loop
+    /// depends on this exactness — with an order-sensitive key, α-equivalent
+    /// duplicates would keep re-entering the queue and rewriting fixpoints
+    /// that the paper's SWR/WR theorems promise would never be reached.
     pub fn canonical_key(&self) -> String {
-        format!("{}", self.canonical())
+        crate::fingerprint::canonical_rquery_text(self)
     }
 }
 
@@ -199,6 +288,39 @@ mod tests {
             body: vec![Atom::new("r", vec![v("Y")])],
         };
         assert!(rq.to_cq().is_none());
+    }
+
+    #[test]
+    fn condense_drops_atoms_redundant_modulo_local_existentials() {
+        // t(Z) and t(W) are spellings of the same constraint: W is local.
+        let q = RQuery::from_cq(&parse_query("q(X) :- r(X, Y), t(Z), t(W)").unwrap());
+        let condensed = q.condense();
+        assert_eq!(condensed.len(), 2);
+        // s(X, A, Z) with local A maps onto s(X, B, Z) with local B.
+        let q = RQuery::from_cq(&parse_query("q(X) :- s(X, A, Z), s(X, B, Z), u(Z)").unwrap());
+        assert_eq!(q.condense().len(), 2);
+    }
+
+    #[test]
+    fn condense_keeps_atoms_whose_variables_are_shared() {
+        // Y joins r and s: nothing is redundant.
+        let q = RQuery::from_cq(&parse_query("q(X) :- r(X, Y), s(Y), s(Z)").unwrap());
+        // s(Z) maps onto s(Y) (Z local) — but s(Y) itself must stay.
+        let condensed = q.condense();
+        assert_eq!(condensed.len(), 2);
+        // Answer variables are never treated as local.
+        let q = RQuery::from_cq(&parse_query("q(A, B) :- r(A, C), r(B, C)").unwrap());
+        assert_eq!(q.condense().len(), 2);
+        // A local variable used twice must map consistently: here W would
+        // need both W->Y and W->c, and Y cannot absorb the constant either.
+        let q = RQuery::from_cq(&parse_query(r#"q(X) :- r(X, W, W), r(X, Y, "c")"#).unwrap());
+        assert_eq!(q.condense().len(), 2);
+        // But a doubled local variable can absorb a more general atom:
+        // r(X, Y, Z) maps onto r(X, W, W) via Y->W, Z->W.
+        let q = RQuery::from_cq(&parse_query("q(X) :- r(X, W, W), r(X, Y, Z)").unwrap());
+        let condensed = q.condense();
+        assert_eq!(condensed.len(), 1);
+        assert_eq!(condensed.body[0].terms[1], condensed.body[0].terms[2]);
     }
 
     #[test]

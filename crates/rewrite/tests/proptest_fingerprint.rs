@@ -1,0 +1,168 @@
+//! Property-based tests for the canonical query/program fingerprints: any
+//! α-renamed and/or atom-permuted variant of a CQ must produce the identical
+//! fingerprint, and structurally distinct queries must produce distinct ones
+//! (fingerprints equal exactly when canonical texts are equal).
+
+use ontorew_model::prelude::*;
+use ontorew_rewrite::fingerprint::canonical_query_text;
+use ontorew_rewrite::{fingerprint_program, fingerprint_query};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn variable_pool() -> Vec<&'static str> {
+    vec!["X", "Y", "Z", "W", "U", "V"]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop::sample::select(variable_pool()).prop_map(Term::variable),
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(Term::constant),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (
+        prop::sample::select(vec!["r", "s", "t", "edge", "p"]),
+        prop::collection::vec(term_strategy(), 1..4),
+    )
+        .prop_map(|(p, terms)| Atom::new(&format!("{p}{}", terms.len()), terms))
+}
+
+/// A random CQ: 1–5 atoms, answer variables = up to two of the body
+/// variables (in order of first occurrence), boolean when variable-free.
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    (prop::collection::vec(atom_strategy(), 1..5), 0usize..3).prop_map(|(body, answers)| {
+        let vars = ontorew_model::atom::variables_of(&body);
+        let answer_vars: Vec<Variable> = vars.into_iter().take(answers).collect();
+        ConjunctiveQuery::new(answer_vars, body)
+    })
+}
+
+/// Produce an α-renamed, atom-permuted variant of `query`, driven by `seed`.
+fn variant_of(query: &ConjunctiveQuery, seed: u64) -> ConjunctiveQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Bijectively rename every variable into a fresh namespace, with the
+    // name assignment order shuffled so the renaming is "random".
+    let vars = query.variables();
+    let mut numbers: Vec<usize> = (0..vars.len()).collect();
+    shuffle(&mut numbers, &mut rng);
+    let mut renaming = Substitution::new();
+    for (v, n) in vars.iter().zip(numbers) {
+        renaming.bind(*v, Term::variable(&format!("Renamed{n}")));
+    }
+    let renamed = query.apply(&renaming);
+    // Permute the body atoms.
+    let mut body = renamed.body.clone();
+    shuffle(&mut body, &mut rng);
+    ConjunctiveQuery {
+        name: renamed.name,
+        answer_vars: renamed.answer_vars,
+        body,
+    }
+}
+
+/// Fisher–Yates, driven by the vendored rng.
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// A random simple TGD over the same vocabulary.
+fn rule_strategy() -> impl Strategy<Value = Tgd> {
+    (
+        prop::collection::vec(atom_strategy(), 1..3),
+        prop::collection::vec(atom_strategy(), 1..2),
+    )
+        .prop_map(|(body, head)| Tgd {
+            label: None,
+            body,
+            head,
+        })
+}
+
+proptest! {
+    /// The satellite property from the issue: α-renamed / atom-permuted
+    /// variants of a CQ produce identical fingerprints.
+    #[test]
+    fn variants_share_the_fingerprint(query in query_strategy(), seed in 0u64..1_000_000) {
+        let variant = variant_of(&query, seed);
+        prop_assert_eq!(
+            fingerprint_query(&query),
+            fingerprint_query(&variant),
+            "query {} and variant {} disagree",
+            query,
+            variant
+        );
+    }
+
+    /// Two independent random variants of the same query also agree (the
+    /// fingerprint is a function of the equivalence class, not of the
+    /// starting spelling).
+    #[test]
+    fn variant_of_variant_is_stable(query in query_strategy(), s1 in 0u64..1_000_000, s2 in 0u64..1_000_000) {
+        let a = variant_of(&query, s1);
+        let b = variant_of(&a, s2);
+        prop_assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    /// Distinct queries get distinct fingerprints: fingerprints are equal
+    /// exactly when canonical texts are equal, so there is no collapsing
+    /// beyond the intended equivalence.
+    #[test]
+    fn fingerprints_separate_distinct_queries(a in query_strategy(), b in query_strategy()) {
+        let same_class = canonical_query_text(&a) == canonical_query_text(&b);
+        prop_assert_eq!(
+            same_class,
+            fingerprint_query(&a) == fingerprint_query(&b),
+            "queries {} and {} break the class/fingerprint correspondence",
+            a,
+            b
+        );
+    }
+
+    /// Program fingerprints ignore rule order, labels and per-rule variable
+    /// spellings.
+    #[test]
+    fn program_fingerprint_is_presentation_invariant(
+        rules in prop::collection::vec(rule_strategy(), 1..5),
+        seed in 0u64..1_000_000,
+    ) {
+        let program = TgdProgram::from_rules(rules.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Relabel, rename per-rule, and shuffle the rule order.
+        let mut scrambled: Vec<Tgd> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, rule)| {
+                let mut renaming = Substitution::new();
+                let vars = ontorew_model::atom::variables_of(
+                    &rule.body
+                        .iter()
+                        .chain(rule.head.iter())
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                );
+                let mut numbers: Vec<usize> = (0..vars.len()).collect();
+                shuffle(&mut numbers, &mut rng);
+                for (v, n) in vars.iter().zip(numbers) {
+                    renaming.bind(*v, Term::variable(&format!("Rv{n}")));
+                }
+                let mut body = renaming.apply_atoms(&rule.body);
+                shuffle(&mut body, &mut rng);
+                Tgd {
+                    label: Some(ontorew_model::symbols::Symbol::intern(&format!("L{i}"))),
+                    body,
+                    head: renaming.apply_atoms(&rule.head),
+                }
+            })
+            .collect();
+        shuffle(&mut scrambled, &mut rng);
+        prop_assert_eq!(
+            fingerprint_program(&program),
+            fingerprint_program(&TgdProgram::from_rules(scrambled))
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! `ontorew-server`: stand-alone TCP query server.
+//!
+//! ```text
+//! ontorew-server [--addr 127.0.0.1:7411] [--workers 8] [--students 1000]
+//! ```
+//!
+//! Serves the built-in university ontology (the E8/E12 workload) with a
+//! synthetic ABox of `--students` students preloaded (0 for an empty store).
+//! Prints `listening on <addr>` once ready — scripts wait for that line —
+//! and runs until a client sends `SHUTDOWN`.
+
+use ontorew_serve::{serve, QueryService, ServerConfig, ServiceConfig};
+use ontorew_storage::RelationalStore;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut workers = 8usize;
+    let mut students = 1000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--workers" => workers = take("--workers").parse().expect("--workers: not a number"),
+            "--students" => {
+                students = take("--students")
+                    .parse()
+                    .expect("--students: not a number")
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: ontorew-server [--addr HOST:PORT] [--workers N] [--students N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let program = ontorew_core::examples::university_ontology();
+    let store = if students == 0 {
+        RelationalStore::new()
+    } else {
+        let abox =
+            ontorew_workloads::university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+        RelationalStore::from_instance(&abox)
+    };
+    eprintln!(
+        "university ontology: {} rules, {} preloaded facts",
+        program.len(),
+        store.len()
+    );
+    let service = Arc::new(QueryService::new(program, store, ServiceConfig::default()));
+    let handle = match serve(service, ServerConfig { addr, workers }) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-readable readiness line (scripts/serve_smoke.sh waits for it);
+    // flush explicitly because stdout is block-buffered under a pipe.
+    println!("listening on {}", handle.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    handle.wait();
+    let stats = handle.service().stats();
+    eprintln!(
+        "shutting down: {} queries, {} inserts, cache hit rate {:.1}%",
+        stats.queries,
+        stats.inserts,
+        stats.cache.hit_rate() * 100.0
+    );
+    ExitCode::SUCCESS
+}

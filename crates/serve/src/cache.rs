@@ -1,0 +1,344 @@
+//! The sharded LRU prepared-query cache.
+//!
+//! Rewriting a query under an ontology is the expensive, amortisable step of
+//! the answering pipeline; the finished [`Rewriting`] is an immutable
+//! compiled artifact that any number of threads can evaluate concurrently.
+//! This cache stores those artifacts keyed by [`PreparedKey`] — the pair of
+//! program and query fingerprints, both invariant under α-renaming and atom
+//! reordering — so structurally identical queries, however spelled, hit the
+//! same entry.
+//!
+//! The map is split into shards, each behind its own mutex, so concurrent
+//! lookups for different queries rarely contend; the value is handed out as
+//! an `Arc`, so the lock is held only for the map operation, never during
+//! rewriting or evaluation. Eviction is least-recently-used per shard, with
+//! recency tracked by a global atomic tick — cheap, contention-free, and
+//! precise enough at cache granularity.
+
+use ontorew_rewrite::{PreparedKey, Rewriting};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of the prepared-query cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of shards (rounded up to at least 1). More shards mean less
+    /// lock contention; 16 is plenty below a few hundred threads.
+    pub shards: usize,
+    /// Maximum entries per shard; the least-recently-used entry is evicted
+    /// when a shard grows past this.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            capacity_per_shard: 256,
+        }
+    }
+}
+
+struct Entry {
+    /// The canonical text of the query the rewriting was compiled for. The
+    /// 64-bit fingerprint pair in the key is compact but not
+    /// collision-resistant, so every hit is confirmed against this text —
+    /// like the relation dedup in `ontorew-model`, a collision may cost
+    /// time (the colliding queries fight over one slot and recompute), but
+    /// never correctness.
+    canonical: String,
+    rewriting: Arc<Rewriting>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<PreparedKey, Entry>,
+}
+
+/// A sharded, LRU-evicting map from [`PreparedKey`] to compiled
+/// [`Rewriting`]s. All methods take `&self`; the cache is meant to be shared
+/// behind an `Arc` by every server worker.
+pub struct ShardedRewritingCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident, across all shards.
+    pub entries: usize,
+    /// Entries evicted by the LRU policy so far.
+    pub evictions: u64,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ShardedRewritingCache {
+    /// An empty cache with the given sharding configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        ShardedRewritingCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &PreparedKey) -> &Mutex<Shard> {
+        // Mix both fingerprints; they are already high-quality 64-bit hashes,
+        // so a rotate-xor spreads shards evenly.
+        let mixed = key.program.0.rotate_left(32) ^ key.query.0;
+        &self.shards[(mixed % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a prepared rewriting, refreshing its recency. `canonical` is
+    /// the canonical text of the query being looked up; a resident entry
+    /// whose text differs (a fingerprint collision) is treated as a miss.
+    /// Counts a hit or a miss.
+    pub fn lookup(&self, key: &PreparedKey, canonical: &str) -> Option<Arc<Rewriting>> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock();
+        match shard.entries.get_mut(key) {
+            Some(entry) if entry.canonical == canonical => {
+                entry.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.rewriting))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a prepared rewriting, evicting the shard's
+    /// least-recently-used entry if the shard is full. Returns the stored
+    /// value — the existing one if another thread inserted the same query
+    /// first, so racing preparers converge on a single artifact. A colliding
+    /// entry (same key, different canonical text) is displaced.
+    pub fn insert(
+        &self,
+        key: PreparedKey,
+        canonical: &str,
+        rewriting: Arc<Rewriting>,
+    ) -> Arc<Rewriting> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock();
+        if let Some(existing) = shard.entries.get_mut(&key) {
+            if existing.canonical == canonical {
+                existing.last_used = now;
+                return Arc::clone(&existing.rewriting);
+            }
+            // Fingerprint collision: the slot is taken over by the newcomer
+            // (either query recomputes when it next misses; correctness is
+            // preserved by the text confirmation in `lookup`).
+            shard.entries.remove(&key);
+        }
+        if shard.entries.len() >= self.capacity_per_shard {
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                canonical: canonical.to_string(),
+                rewriting: Arc::clone(&rewriting),
+                last_used: now,
+            },
+        );
+        rewriting
+    }
+
+    /// Look up `key`, computing and inserting the rewriting on a miss. The
+    /// computation runs *outside* the shard lock: concurrent misses for the
+    /// same key may compute twice, but the first insert wins and both callers
+    /// receive the same artifact — preferable to holding a lock across a
+    /// potentially long rewriting fixpoint.
+    pub fn get_or_compute<F>(
+        &self,
+        key: PreparedKey,
+        canonical: &str,
+        compute: F,
+    ) -> (Arc<Rewriting>, bool)
+    where
+        F: FnOnce() -> Rewriting,
+    {
+        if let Some(found) = self.lookup(&key, canonical) {
+            return (found, true);
+        }
+        let computed = Arc::new(compute());
+        (self.insert(key, canonical, computed), false)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().entries.len()).sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            shards: self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_query};
+    use ontorew_rewrite::fingerprint::canonical_query_text;
+    use ontorew_rewrite::{prepared_key, rewrite, RewriteConfig};
+
+    fn key_of(program: &str, query: &str) -> (PreparedKey, String) {
+        let q = parse_query(query).unwrap();
+        (
+            prepared_key(&parse_program(program).unwrap(), &q),
+            canonical_query_text(&q),
+        )
+    }
+
+    fn some_rewriting() -> Rewriting {
+        let p = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        rewrite(&p, &q, &RewriteConfig::default())
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = ShardedRewritingCache::new(CacheConfig::default());
+        let (key, text) = key_of("[R1] student(X) -> person(X).", "q(X) :- person(X)");
+        assert!(cache.lookup(&key, &text).is_none());
+        cache.insert(key, &text, Arc::new(some_rewriting()));
+        assert!(cache.lookup(&key, &text).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once_per_key() {
+        let cache = ShardedRewritingCache::new(CacheConfig::default());
+        let (key, text) = key_of("[R1] student(X) -> person(X).", "q(X) :- person(X)");
+        let (first, was_cached) = cache.get_or_compute(key, &text, some_rewriting);
+        assert!(!was_cached);
+        let (second, was_cached) =
+            cache.get_or_compute(key, &text, || panic!("must not recompute"));
+        assert!(was_cached);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn alpha_variants_share_an_entry() {
+        let cache = ShardedRewritingCache::new(CacheConfig::default());
+        let program = "[R1] student(X) -> person(X).";
+        let (a, a_text) = key_of(program, "q(X) :- person(X), enrolled(X, C)");
+        let (b, b_text) = key_of(program, "q(Y) :- enrolled(Y, K), person(Y)");
+        assert_eq!(a, b);
+        assert_eq!(a_text, b_text);
+        cache.insert(a, &a_text, Arc::new(some_rewriting()));
+        assert!(cache.lookup(&b, &b_text).is_some());
+    }
+
+    #[test]
+    fn fingerprint_collisions_are_misses_not_wrong_answers() {
+        let cache = ShardedRewritingCache::new(CacheConfig::default());
+        let (key, text) = key_of("[R1] student(X) -> person(X).", "q(X) :- person(X)");
+        cache.insert(key, &text, Arc::new(some_rewriting()));
+        // Simulate a colliding query: same 128-bit key, different canonical
+        // text. It must miss, and inserting it displaces the old slot.
+        assert!(cache.lookup(&key, "() other(?0000);").is_none());
+        cache.insert(key, "() other(?0000);", Arc::new(some_rewriting()));
+        assert!(cache.lookup(&key, &text).is_none());
+        assert!(cache.lookup(&key, "() other(?0000);").is_some());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        // One shard of two slots so the eviction order is deterministic.
+        let cache = ShardedRewritingCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let program = "[R1] student(X) -> person(X).";
+        let (k1, t1) = key_of(program, "q(X) :- person(X)");
+        let (k2, t2) = key_of(program, "q(X) :- student(X)");
+        let (k3, t3) = key_of(program, "q(X) :- employee(X)");
+        let rw = Arc::new(some_rewriting());
+        cache.insert(k1, &t1, Arc::clone(&rw));
+        cache.insert(k2, &t2, Arc::clone(&rw));
+        // Touch k1 so k2 is the LRU victim.
+        assert!(cache.lookup(&k1, &t1).is_some());
+        cache.insert(k3, &t3, Arc::clone(&rw));
+        assert!(
+            cache.lookup(&k1, &t1).is_some(),
+            "recently used entry survives"
+        );
+        assert!(cache.lookup(&k2, &t2).is_none(), "LRU entry was evicted");
+        assert!(cache.lookup(&k3, &t3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(ShardedRewritingCache::new(CacheConfig::default()));
+        let program = "[R1] student(X) -> person(X).";
+        let keys: Vec<(PreparedKey, String)> = (0..8)
+            .map(|i| key_of(program, &format!("q(X) :- person(X), extra{i}(X)")))
+            .collect();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let keys = keys.clone();
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        let (key, text) = &keys[(t + round) % keys.len()];
+                        let (got, _) = cache.get_or_compute(*key, text, some_rewriting);
+                        assert_eq!(got.ucq.arity, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 50);
+        assert!(stats.entries <= 8);
+    }
+}

@@ -1,0 +1,274 @@
+//! A blocking client for the serve protocol.
+//!
+//! Used by the bench load generator, the CI smoke test and the
+//! `query_server` example; kept deliberately synchronous (one in-flight
+//! request per connection) because that is what the load generator wants to
+//! model — per-request latency under N independent connections.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors surfaced by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server answered something the client cannot parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A parsed `QUERY` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Number of answer tuples.
+    pub count: usize,
+    /// Epoch of the snapshot the answers came from.
+    pub epoch: u64,
+    /// True if the rewriting came from the cache.
+    pub cache_hit: bool,
+    /// True if the rewriting was complete (exact certain answers).
+    pub exact: bool,
+    /// Server-side latency, microseconds.
+    pub server_us: u64,
+    /// The answer rows (constants as plain strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A blocking connection to an `ontorew-serve` server.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to `addr` (e.g. `127.0.0.1:7411`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous timeout so a wedged server fails the caller instead of
+        // hanging it forever.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    fn expect_ok(&mut self, line: String) -> Result<String, ClientError> {
+        if let Some(rest) = line.strip_prefix("OK ") {
+            Ok(rest.to_string())
+        } else if let Some(msg) = line.strip_prefix("ERR ") {
+            Err(ClientError::Server(msg.to_string()))
+        } else {
+            Err(ClientError::Protocol(format!("unexpected reply: {line}")))
+        }
+    }
+
+    /// `PING` → `PONG`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        let reply = self.read_line()?;
+        match self.expect_ok(reply)?.as_str() {
+            "PONG" => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected PONG, got {other}"))),
+        }
+    }
+
+    /// `PREPARE <query>` → (key, disjuncts, complete, cached).
+    pub fn prepare(&mut self, query: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send(&format!("PREPARE {query}"))?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("PREPARED ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected PREPARED, got {rest}")))?;
+        Ok(parse_kv(rest))
+    }
+
+    /// `QUERY <query>` → answers plus response metadata.
+    pub fn query(&mut self, query: &str) -> Result<QueryReply, ClientError> {
+        self.send(&format!("QUERY {query}"))?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("ANSWERS ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected ANSWERS, got {rest}")))?;
+        let kv = parse_kv(rest);
+        let count: usize = field(&kv, "count")?;
+        let mut rows = Vec::with_capacity(count);
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                break;
+            }
+            match line.strip_prefix("ROW") {
+                Some(cells) => rows.push(crate::proto::parse_row(cells)),
+                None => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected ROW or END, got {line}"
+                    )))
+                }
+            }
+        }
+        if rows.len() != count {
+            return Err(ClientError::Protocol(format!(
+                "header said count={count} but {} rows arrived",
+                rows.len()
+            )));
+        }
+        Ok(QueryReply {
+            count,
+            epoch: field(&kv, "epoch")?,
+            cache_hit: kv.get("cache").map(|v| v == "hit").unwrap_or(false),
+            exact: kv.get("exact").map(|v| v == "true").unwrap_or(false),
+            server_us: field(&kv, "us")?,
+            rows,
+        })
+    }
+
+    /// `INSERT <facts>` → (added, epoch).
+    pub fn insert(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
+        self.send(&format!("INSERT {facts}"))?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("INSERTED ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected INSERTED, got {rest}")))?;
+        let kv = parse_kv(rest);
+        Ok((field(&kv, "added")?, field(&kv, "epoch")?))
+    }
+
+    /// `STATS` → all reported fields as a string map.
+    pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send("STATS")?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("STATS ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected STATS, got {rest}")))?;
+        Ok(parse_kv(rest))
+    }
+
+    /// `QUIT`: close this connection politely.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send("QUIT")?;
+        let _ = self.read_line();
+        Ok(())
+    }
+
+    /// `SHUTDOWN`: stop the whole server.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        let _ = self.read_line();
+        Ok(())
+    }
+}
+
+/// Parse `k1=v1 k2=v2 ...` into a map.
+fn parse_kv(text: &str) -> BTreeMap<String, String> {
+    text.split_whitespace()
+        .filter_map(|pair| {
+            pair.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn field<T: std::str::FromStr>(kv: &BTreeMap<String, String>, key: &str) -> Result<T, ClientError> {
+    kv.get(key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("missing or malformed field {key}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServerConfig};
+    use crate::service::{QueryService, ServiceConfig};
+    use ontorew_model::parse_program;
+    use ontorew_storage::RelationalStore;
+    use std::sync::Arc;
+
+    fn start() -> crate::server::ServerHandle {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let mut store = RelationalStore::new();
+        store.insert_fact("student", &["sara"]);
+        let service = Arc::new(QueryService::new(program, store, ServiceConfig::default()));
+        serve(service, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn full_client_session() {
+        let handle = start();
+        let mut client = ServeClient::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+
+        let prepared = client.prepare("q(X) :- person(X)").unwrap();
+        assert_eq!(prepared.get("cached").map(String::as_str), Some("false"));
+        assert!(prepared.get("key").is_some_and(|k| k.starts_with('p')));
+
+        let reply = client.query("q(X) :- person(X)").unwrap();
+        assert_eq!(reply.count, 1);
+        assert!(reply.cache_hit);
+        assert!(reply.exact);
+        assert_eq!(reply.rows, vec![vec!["sara".to_string()]]);
+
+        let (added, epoch) = client.insert("student(zoe); student(ada)").unwrap();
+        assert_eq!((added, epoch), (2, 1));
+        let reply = client.query("q(X) :- person(X)").unwrap();
+        assert_eq!((reply.count, reply.epoch), (3, 1));
+
+        // Constants with whitespace survive the ROW codec end to end.
+        client.insert("nickname(zoe, \"zoe the great\")").unwrap();
+        let reply = client.query("q(N) :- nickname(zoe, N)").unwrap();
+        assert_eq!(reply.rows, vec![vec!["zoe the great".to_string()]]);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("inserts").map(String::as_str), Some("2"));
+
+        // A malformed query surfaces as a server error, not a wedge.
+        let err = client.query("garbage").unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        // The connection is still usable afterwards.
+        client.ping().unwrap();
+        client.quit().unwrap();
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-request service metrics: counters and latency percentiles.
+//!
+//! The recorder keeps a fixed-size ring of recent per-request latencies
+//! (micros) and derives p50/p99 on demand — O(window) with a small constant,
+//! no histogram buckets to tune, and immune to unbounded growth under heavy
+//! traffic. Counters are plain relaxed atomics.
+
+use parking_lot::Mutex;
+use std::sync::atomic::AtomicU64;
+
+/// How many recent samples the latency window retains.
+const LATENCY_WINDOW: usize = 16_384;
+
+/// A ring buffer of recent latency samples.
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+    filled: bool,
+}
+
+/// Ceil-rank percentile over an ascending-sorted sample (0 when empty).
+/// The single implementation behind `STATS`, the E12 experiment and the
+/// `load_gen` binary, so every surface reports p50/p99 with one convention.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency summary over the recorded window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of samples the summary was computed from.
+    pub samples: usize,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Maximum latency in the window, microseconds.
+    pub max_us: u64,
+}
+
+/// Counters and latency window for one service instance.
+pub struct ServeMetrics {
+    /// `QUERY` requests served.
+    pub queries: AtomicU64,
+    /// `PREPARE` requests served.
+    pub prepares: AtomicU64,
+    /// `INSERT` requests served.
+    pub inserts: AtomicU64,
+    /// Requests rejected with an error.
+    pub errors: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            queries: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                samples: Vec::with_capacity(1024),
+                next: 0,
+                filled: false,
+            }),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Record one request latency in microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut ring = self.latencies.lock();
+        if ring.filled {
+            let at = ring.next;
+            ring.samples[at] = us;
+            ring.next = (at + 1) % LATENCY_WINDOW;
+        } else {
+            ring.samples.push(us);
+            if ring.samples.len() == LATENCY_WINDOW {
+                ring.filled = true;
+                ring.next = 0;
+            }
+        }
+    }
+
+    /// Percentile summary of the current window.
+    pub fn latency_stats(&self) -> LatencyStats {
+        let mut sorted = self.latencies.lock().samples.clone();
+        if sorted.is_empty() {
+            return LatencyStats::default();
+        }
+        sorted.sort_unstable();
+        LatencyStats {
+            samples: sorted.len(),
+            p50_us: percentile(&sorted, 0.50),
+            p99_us: percentile(&sorted, 0.99),
+            max_us: *sorted.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn empty_window_reports_zeroes() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.latency_stats(), LatencyStats::default());
+    }
+
+    #[test]
+    fn percentiles_over_a_known_distribution() {
+        let m = ServeMetrics::new();
+        for us in 1..=100 {
+            m.record_latency_us(us);
+        }
+        let stats = m.latency_stats();
+        assert_eq!(stats.samples, 100);
+        assert_eq!(stats.p50_us, 50);
+        assert_eq!(stats.p99_us, 99);
+        assert_eq!(stats.max_us, 100);
+    }
+
+    #[test]
+    fn window_wraps_without_growing() {
+        let m = ServeMetrics::new();
+        for us in 0..(LATENCY_WINDOW as u64 + 500) {
+            m.record_latency_us(us);
+        }
+        let stats = m.latency_stats();
+        assert_eq!(stats.samples, LATENCY_WINDOW);
+        // The oldest 500 samples were overwritten.
+        assert_eq!(stats.max_us, LATENCY_WINDOW as u64 + 499);
+    }
+
+    #[test]
+    fn counters_are_independent() {
+        let m = ServeMetrics::new();
+        m.queries.fetch_add(3, Ordering::Relaxed);
+        m.errors.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.queries.load(Ordering::Relaxed), 3);
+        assert_eq!(m.prepares.load(Ordering::Relaxed), 0);
+        assert_eq!(m.errors.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal fixed-size thread pool.
+//!
+//! Connections are handed to the pool as boxed closures over one shared
+//! `mpsc` channel; workers loop on the receiver until the pool drops the
+//! sender. No work stealing, no dynamic sizing — the server's unit of work
+//! is a whole connection, so a handful of long-lived workers is the right
+//! shape. Everything here is plain `std` threads and channels; the only
+//! lock comes from the workspace's `parking_lot` (offline stub, itself a
+//! thin wrapper over `std::sync`), the same as the rest of the crate.
+
+use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (at least 1) named `<name>-0 ... <name>-n`.
+    pub fn new(size: usize, name: &str) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to dequeue, never while running
+                        // the job.
+                        let job = receiver.lock().recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // all senders gone: shut down
+                        }
+                    })
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `job` on some worker. Jobs submitted after shutdown began are
+    /// dropped silently.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Closes the queue and waits for workers to finish their current jobs.
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4, "test-pool");
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one_worker() {
+        let pool = ThreadPool::new(0, "tiny");
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The wire protocol: newline-delimited text requests and responses.
+//!
+//! One request per line, case-sensitive verb first; one response per
+//! request. `QUERY` responses are multi-line (header, `ROW` lines, `END`);
+//! all other responses are a single line. See the grammar below — this
+//! module is the reference implementation, and the README mirrors it.
+//!
+//! ```text
+//! PREPARE <cq>          compile + cache the rewriting of <cq>
+//!   -> OK PREPARED key=<fp> disjuncts=<n> complete=<bool> cached=<bool>
+//! QUERY <cq>            answer <cq> over the current snapshot
+//!   -> OK ANSWERS count=<n> epoch=<e> cache=<hit|miss> exact=<bool> us=<t>
+//!      ROW <c1> <c2> ...      (count lines; constants are whitespace-free)
+//!      END
+//! INSERT <fact>[; <fact>]*   commit one batch of facts as one new epoch
+//!   -> OK INSERTED added=<n> epoch=<e>
+//! STATS                 service counters and latency percentiles
+//!   -> OK STATS queries=<n> prepares=<n> inserts=<n> errors=<n>
+//!      cache_hits=<n> cache_misses=<n> cache_entries=<n> hit_rate=<f>
+//!      epoch=<e> facts=<n> p50_us=<t> p99_us=<t>      (one line)
+//! PING                  liveness probe        -> OK PONG
+//! QUIT                  close this connection -> OK BYE
+//! SHUTDOWN              stop the whole server -> OK BYE
+//! <anything else>       -> ERR <message>
+//! ```
+//!
+//! `<cq>` is the surface query syntax (`q(X) :- person(X)`); `<fact>` is
+//! `predicate(c1, c2, ...)` over bare or double-quoted constants.
+
+use ontorew_model::parse_query;
+use ontorew_model::prelude::*;
+
+/// A parsed protocol request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Compile and cache a query's rewriting.
+    Prepare(ConjunctiveQuery),
+    /// Answer a query over the current snapshot.
+    Query(ConjunctiveQuery),
+    /// Commit a batch of ground facts as one epoch.
+    Insert(Vec<Atom>),
+    /// Report service statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Close this connection.
+    Quit,
+    /// Stop the server (admin command; the CI smoke test uses it for a clean
+    /// shutdown).
+    Shutdown,
+}
+
+/// Parse one request line. Returns a human-readable error for malformed
+/// input — the server relays it verbatim after `ERR `.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "PREPARE" | "QUERY" => {
+            if rest.is_empty() {
+                return Err(format!(
+                    "{verb} needs a query, e.g. {verb} q(X) :- person(X)"
+                ));
+            }
+            let query = parse_query(rest).map_err(|e| format!("cannot parse query: {e}"))?;
+            Ok(if verb == "PREPARE" {
+                Request::Prepare(query)
+            } else {
+                Request::Query(query)
+            })
+        }
+        "INSERT" => {
+            if rest.is_empty() {
+                return Err("INSERT needs facts, e.g. INSERT student(sara); course(db101)".into());
+            }
+            let mut facts = Vec::new();
+            for part in split_outside_quotes(rest, ';') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                facts.push(parse_fact(part)?);
+            }
+            if facts.is_empty() {
+                return Err("INSERT contained no facts".into());
+            }
+            Ok(Request::Insert(facts))
+        }
+        "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "PING" if rest.is_empty() => Ok(Request::Ping),
+        "QUIT" if rest.is_empty() => Ok(Request::Quit),
+        "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
+        "" => Err("empty request".into()),
+        other => Err(format!(
+            "unknown verb {other:?}; expected PREPARE, QUERY, INSERT, STATS, PING, QUIT or SHUTDOWN"
+        )),
+    }
+}
+
+/// Split `text` at `sep`, but never inside a double-quoted section (with
+/// `\"` escapes). The separators themselves are dropped.
+fn split_outside_quotes(text: &str, sep: char) -> Vec<String> {
+    let mut parts = vec![String::new()];
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if escaped {
+            parts.last_mut().unwrap().push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                parts.last_mut().unwrap().push(c);
+                escaped = true;
+            }
+            '"' => {
+                in_quotes = !in_quotes;
+                parts.last_mut().unwrap().push(c);
+            }
+            c if c == sep && !in_quotes => parts.push(String::new()),
+            c => parts.last_mut().unwrap().push(c),
+        }
+    }
+    parts
+}
+
+/// Decode one fact argument: a bare token, or a double-quoted string with
+/// `\"` escapes (the same convention as [`encode_cell`]).
+fn decode_constant(raw: &str, context: &str) -> Result<String, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(format!("fact {context:?} has an empty argument"));
+    }
+    if let Some(inner) = raw.strip_prefix('"') {
+        // An empty quoted constant `""` is legal — it round-trips through
+        // `encode_cell` / `format_fact`.
+        let inner = inner
+            .strip_suffix('"')
+            .filter(|_| raw.len() >= 2)
+            .ok_or_else(|| format!("fact {context:?} has an unterminated quoted argument"))?;
+        Ok(inner.replace("\\\"", "\""))
+    } else if raw.contains('"') {
+        Err(format!("fact {context:?} has a stray quote in an argument"))
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// Parse a single ground fact `predicate(c1, c2, ...)`. Constants may be
+/// bare identifiers or double-quoted strings — quoting protects commas,
+/// semicolons and whitespace, and `\"` escapes an embedded quote.
+pub fn parse_fact(text: &str) -> Result<Atom, String> {
+    let text = text.trim();
+    let open = text
+        .find('(')
+        .ok_or_else(|| format!("fact {text:?} is missing '('"))?;
+    let name = text[..open].trim();
+    if name.is_empty() {
+        return Err(format!("fact {text:?} is missing a predicate name"));
+    }
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| format!("fact {text:?} is missing ')'"))?;
+    if close < open || !text[close + 1..].trim().is_empty() {
+        return Err(format!("fact {text:?} has trailing garbage"));
+    }
+    let args = &text[open + 1..close];
+    let mut terms = Vec::new();
+    for raw in split_outside_quotes(args, ',') {
+        terms.push(Term::constant(&decode_constant(&raw, text)?));
+    }
+    if terms.is_empty() {
+        return Err(format!("fact {text:?} has no arguments"));
+    }
+    Ok(Atom {
+        predicate: Predicate::new(name, terms.len()),
+        terms,
+    })
+}
+
+/// Encode one constant for the wire (`ROW` cells and `INSERT` fact
+/// arguments): bare when the value contains none of the protocol's
+/// structural characters, double-quoted (with `\"` escapes) otherwise — so
+/// constants like `"sara jones"` or `"a, b; c"` survive unambiguously.
+pub fn encode_cell(value: &str) -> String {
+    let needs_quoting = value.is_empty()
+        || value.contains(|c: char| c.is_whitespace() || matches!(c, '"' | ',' | ';' | '(' | ')'));
+    if needs_quoting {
+        format!("\"{}\"", value.replace('"', "\\\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Split a `ROW` payload into cells, honoring double quotes and `\"`
+/// escapes (the inverse of [`encode_cell`]).
+pub fn parse_row(text: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('"') => {
+                chars.next();
+                let mut cell = String::new();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' if chars.peek() == Some(&'"') => {
+                            chars.next();
+                            cell.push('"');
+                        }
+                        '"' => break,
+                        other => cell.push(other),
+                    }
+                }
+                cells.push(cell);
+            }
+            Some(_) => {
+                let mut cell = String::new();
+                while matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
+                    cell.push(chars.next().unwrap());
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// Render a ground fact in the protocol's `INSERT` syntax, quoting
+/// constants that contain structural characters (the inverse of
+/// [`parse_fact`]).
+pub fn format_fact(atom: &Atom) -> String {
+    let args: Vec<String> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Constant(c) => encode_cell(c.name()),
+            other => encode_cell(&format!("{other}")),
+        })
+        .collect();
+    format!("{}({})", atom.predicate.name_str(), args.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_and_prepare() {
+        let q = parse_request("QUERY q(X) :- person(X)").unwrap();
+        assert!(matches!(q, Request::Query(_)));
+        let p = parse_request("PREPARE q(X) :- person(X)").unwrap();
+        match p {
+            Request::Prepare(cq) => assert_eq!(cq.arity(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_batches() {
+        let r = parse_request("INSERT student(sara); attends(sara, db101)").unwrap();
+        match r {
+            Request::Insert(facts) => {
+                assert_eq!(facts.len(), 2);
+                assert_eq!(facts[0], Atom::fact("student", &["sara"]));
+                assert_eq!(facts[1], Atom::fact("attends", &["sara", "db101"]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_constants_are_unquoted() {
+        let fact = parse_fact("enrolled(\"sara jones\", db101)").unwrap();
+        assert_eq!(fact.terms[0], Term::constant("sara jones"));
+    }
+
+    #[test]
+    fn quoted_constants_protect_structural_characters() {
+        // A comma inside quotes must not split the argument list.
+        let fact = parse_fact(r#"nickname(zoe, "jones, sara")"#).unwrap();
+        assert_eq!(fact.predicate.arity, 2);
+        assert_eq!(fact.terms[1], Term::constant("jones, sara"));
+        // A semicolon inside quotes must not split the fact batch.
+        let r = parse_request(r#"INSERT note(a, "x; y"); note(b, z)"#).unwrap();
+        match r {
+            Request::Insert(facts) => {
+                assert_eq!(facts.len(), 2);
+                assert_eq!(facts[0].terms[1], Term::constant("x; y"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Escaped quotes survive.
+        let fact = parse_fact(r#"says(zoe, "\"hi\"")"#).unwrap();
+        assert_eq!(fact.terms[1], Term::constant("\"hi\""));
+        // An unterminated quote is an error, not silent corruption.
+        assert!(parse_fact(r#"r("unterminated)"#).is_err());
+        assert!(parse_fact(r#"r(stray"quote)"#).is_err());
+    }
+
+    #[test]
+    fn fact_round_trips_through_format() {
+        for constants in [
+            vec!["sara", "db101"],
+            vec!["jones, sara", "a; b"],
+            vec!["with \"quotes\"", "and space"],
+            vec!["paren(thetical)", "x"],
+            vec!["", "empty-first"],
+        ] {
+            let fact = Atom::fact("attends", &constants);
+            assert_eq!(
+                parse_fact(&format_fact(&fact)).unwrap(),
+                fact,
+                "round-trip of {constants:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_cells_round_trip_through_the_codec() {
+        for cells in [
+            vec!["sara", "db101"],
+            vec!["sara jones", "db101"],
+            vec!["", "x"],
+            vec!["with \"quotes\"", "and space"],
+            vec!["_:n7"],
+        ] {
+            let encoded: Vec<String> = cells.iter().map(|c| encode_cell(c)).collect();
+            let decoded = parse_row(&encoded.join(" "));
+            assert_eq!(decoded, cells, "payload {:?}", encoded.join(" "));
+        }
+        assert_eq!(parse_row(""), Vec::<String>::new());
+        assert_eq!(parse_row("  a   b  "), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request(" PING ").unwrap(), Request::Ping);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_request("").unwrap_err().contains("empty"));
+        assert!(parse_request("FROB x")
+            .unwrap_err()
+            .contains("unknown verb"));
+        assert!(parse_request("QUERY")
+            .unwrap_err()
+            .contains("needs a query"));
+        assert!(parse_request("QUERY nonsense here")
+            .unwrap_err()
+            .contains("cannot parse"));
+        assert!(parse_request("INSERT").unwrap_err().contains("needs facts"));
+        assert!(parse_request("INSERT student sara").is_err());
+        assert!(parse_fact("student()").is_err());
+        assert!(parse_fact("(a)").is_err());
+        assert!(parse_fact("student(a) extra").is_err());
+        // STATS with arguments is not a valid request.
+        assert!(parse_request("STATS now").is_err());
+    }
+}

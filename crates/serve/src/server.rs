@@ -1,0 +1,460 @@
+//! The TCP front-end: a thread-pool server speaking the [`crate::proto`]
+//! protocol over newline-delimited text.
+//!
+//! The server owns nothing but plumbing — every request is answered by the
+//! shared [`QueryService`], so all concurrency guarantees (snapshot
+//! isolation, cache coherence) come from the service layer, and the same
+//! behavior is observable in-process. One connection is one unit of work: a
+//! worker thread reads request lines until the peer disconnects, a `QUIT`,
+//! or server shutdown. Reads use a short poll timeout so idle connections
+//! notice shutdown promptly without a dedicated reaper thread.
+
+use crate::pool::ThreadPool;
+use crate::proto::{parse_request, Request};
+use crate::service::QueryService;
+use ontorew_model::prelude::*;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the TCP server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7411`; port 0 picks a free port
+    /// (the bound address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads (= concurrently served connections).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+        }
+    }
+}
+
+/// A handle to a running server: its bound address and shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<QueryService>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service the server answers from.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// True once shutdown has been requested (by [`ServerHandle::shutdown`]
+    /// or a `SHUTDOWN` request on the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested, polling the flag.
+    pub fn wait(&self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Request shutdown and join the accept loop (worker threads finish
+    /// their current connections as the pool drops).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the flag even if idle.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving `service` per `config`. Returns once the listener is bound;
+/// the accept loop and workers run on background threads until shutdown.
+pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&service);
+        let workers = config.workers;
+        std::thread::Builder::new()
+            .name("ontorew-accept".to_string())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers, "ontorew-serve");
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let service = Arc::clone(&service);
+                            let shutdown = Arc::clone(&shutdown);
+                            pool.execute(move || handle_connection(stream, service, shutdown));
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // `pool` drops here: queue closes, workers join.
+            })?
+    };
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+/// Longest accepted request line. Anything a legitimate client sends is
+/// orders of magnitude smaller; without a cap, one peer streaming bytes
+/// with no newline would grow the line buffer until the whole server OOMs.
+const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// Serve one connection until EOF, `QUIT`, `SHUTDOWN`, or server shutdown.
+fn handle_connection(stream: TcpStream, service: Arc<QueryService>, shutdown: Arc<AtomicBool>) {
+    // A short read timeout lets idle connections poll the shutdown flag;
+    // partially read lines stay buffered in `line` across poll rounds.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Requests are accumulated as bytes and decoded per complete line:
+    // unlike `read_line`, `read_until` never drops already-consumed bytes
+    // when a poll timeout lands mid-way through a multi-byte UTF-8
+    // character, and invalid UTF-8 becomes an `ERR` reply instead of a
+    // silently closed connection.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // `take` bounds how much a single read_until call may append, so
+        // not even a fast sender can blow past the cap inside one call.
+        let mut limited = reader.take((MAX_REQUEST_LINE + 1) as u64);
+        let result = limited.read_until(b'\n', &mut line);
+        reader = limited.into_inner();
+        if line.len() > MAX_REQUEST_LINE {
+            let _ = writeln!(writer, "ERR request line exceeds {MAX_REQUEST_LINE} bytes");
+            service.record_error();
+            return;
+        }
+        match result {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                // (A final unterminated line is served as-is; the next read
+                // reports EOF.)
+                let request = match String::from_utf8(std::mem::take(&mut line)) {
+                    Ok(request) => request,
+                    Err(_) => {
+                        service.record_error();
+                        if writeln!(writer, "ERR request is not valid UTF-8").is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                match respond(&request, &service, &shutdown, &mut writer) {
+                    Ok(keep_open) if keep_open => continue,
+                    _ => return,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue; // poll round: re-check shutdown, keep partial line
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handle one request line; returns `Ok(false)` when the connection should
+/// close, `Err` when the peer is gone.
+fn respond(
+    request: &str,
+    service: &QueryService,
+    shutdown: &AtomicBool,
+    writer: &mut TcpStream,
+) -> std::io::Result<bool> {
+    if request.trim().is_empty() {
+        return Ok(true); // blank lines are keep-alive noise
+    }
+    match parse_request(request) {
+        Ok(Request::Prepare(query)) => {
+            let prepared = service.prepare(&query);
+            writeln!(
+                writer,
+                "OK PREPARED key={} disjuncts={} complete={} cached={}",
+                prepared.key,
+                prepared.rewriting.len(),
+                prepared.rewriting.complete,
+                prepared.cache_hit
+            )?;
+        }
+        Ok(Request::Query(query)) => match service.query(&query) {
+            Ok(response) => {
+                writeln!(
+                    writer,
+                    "OK ANSWERS count={} epoch={} cache={} exact={} us={}",
+                    response.answers.len(),
+                    response.epoch,
+                    if response.cache_hit { "hit" } else { "miss" },
+                    response.exact,
+                    response.micros
+                )?;
+                for row in response.answers.iter() {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|t| match t {
+                            Term::Constant(c) => crate::proto::encode_cell(c.name()),
+                            other => crate::proto::encode_cell(&format!("{other}")),
+                        })
+                        .collect();
+                    writeln!(writer, "ROW {}", cells.join(" "))?;
+                }
+                writeln!(writer, "END")?;
+            }
+            Err(e) => {
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
+        Ok(Request::Insert(facts)) => match service.insert_facts(&facts) {
+            Ok((epoch, added)) => {
+                writeln!(writer, "OK INSERTED added={added} epoch={epoch}")?;
+            }
+            Err(e) => {
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
+        Ok(Request::Stats) => {
+            let stats = service.stats();
+            writeln!(
+                writer,
+                "OK STATS queries={} prepares={} inserts={} errors={} cache_hits={} \
+                 cache_misses={} cache_entries={} hit_rate={:.4} epoch={} facts={} \
+                 p50_us={} p99_us={}",
+                stats.queries,
+                stats.prepares,
+                stats.inserts,
+                stats.errors,
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.entries,
+                stats.cache.hit_rate(),
+                stats.epoch,
+                stats.facts,
+                stats.latency.p50_us,
+                stats.latency.p99_us
+            )?;
+        }
+        Ok(Request::Ping) => {
+            writeln!(writer, "OK PONG")?;
+        }
+        Ok(Request::Quit) => {
+            writeln!(writer, "OK BYE")?;
+            return Ok(false);
+        }
+        Ok(Request::Shutdown) => {
+            writeln!(writer, "OK BYE")?;
+            shutdown.store(true, Ordering::SeqCst);
+            return Ok(false);
+        }
+        Err(message) => {
+            service.record_error();
+            writeln!(writer, "ERR {message}")?;
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use ontorew_model::parse_program;
+    use ontorew_storage::RelationalStore;
+    use std::io::BufRead;
+
+    fn start_test_server() -> ServerHandle {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let mut store = RelationalStore::new();
+        store.insert_fact("student", &["sara"]);
+        let service = Arc::new(QueryService::new(program, store, ServiceConfig::default()));
+        serve(
+            service,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+            },
+        )
+        .expect("server binds")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+        writeln!(stream, "{req}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    }
+
+    #[test]
+    fn serves_the_whole_protocol_over_tcp() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "PING").trim(),
+            "OK PONG"
+        );
+
+        let prepared = roundtrip(&mut stream, &mut reader, "PREPARE q(X) :- person(X)");
+        assert!(prepared.starts_with("OK PREPARED key=p"), "{prepared}");
+        assert!(prepared.contains("cached=false"));
+
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        assert!(
+            header.contains("count=1") && header.contains("cache=hit"),
+            "{header}"
+        );
+        let mut row = String::new();
+        reader.read_line(&mut row).unwrap();
+        assert_eq!(row.trim(), "ROW sara");
+        let mut end = String::new();
+        reader.read_line(&mut end).unwrap();
+        assert_eq!(end.trim(), "END");
+
+        let inserted = roundtrip(&mut stream, &mut reader, "INSERT student(zoe)");
+        assert!(
+            inserted.contains("added=1") && inserted.contains("epoch=1"),
+            "{inserted}"
+        );
+
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        assert!(
+            header.contains("count=2") && header.contains("epoch=1"),
+            "{header}"
+        );
+        for _ in 0..3 {
+            let mut skip = String::new();
+            reader.read_line(&mut skip).unwrap();
+        }
+
+        let err = roundtrip(&mut stream, &mut reader, "GARBAGE");
+        assert!(err.starts_with("ERR "), "{err}");
+
+        let stats = roundtrip(&mut stream, &mut reader, "STATS");
+        assert!(
+            stats.contains("queries=2") && stats.contains("errors=1"),
+            "{stats}"
+        );
+
+        assert_eq!(roundtrip(&mut stream, &mut reader, "QUIT").trim(), "OK BYE");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let handle = start_test_server();
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "SHUTDOWN").trim(),
+            "OK BYE"
+        );
+        handle.wait();
+        assert!(handle.is_shutting_down());
+        handle.shutdown();
+        // The listener is gone (or refuses) shortly after.
+        std::thread::sleep(Duration::from_millis(50));
+        let refused = TcpStream::connect(addr)
+            .map(|mut s| {
+                // Accepted by OS backlog at worst; the server won't answer.
+                let _ = writeln!(s, "PING");
+                let mut r = BufReader::new(s);
+                let mut line = String::new();
+                matches!(r.read_line(&mut line), Ok(0) | Err(_))
+            })
+            .unwrap_or(true);
+        assert!(refused, "server still answering after shutdown");
+    }
+
+    #[test]
+    fn oversized_request_lines_are_rejected_not_buffered() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Stream well past the cap without ever sending a newline.
+        let chunk = vec![b'x'; 32 * 1024];
+        for _ in 0..4 {
+            if stream.write_all(&chunk).is_err() {
+                break; // server already hung up
+            }
+        }
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("ERR request line exceeds"),
+            "expected a line-cap rejection, got {reply:?}"
+        );
+        // The connection is closed afterwards.
+        let mut end = String::new();
+        assert!(matches!(reader.read_line(&mut end), Ok(0) | Err(_)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let handle = start_test_server();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    for _ in 0..10 {
+                        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+                        assert!(header.starts_with("OK ANSWERS"), "{header}");
+                        let mut line = String::new();
+                        while line.trim() != "END" {
+                            line.clear();
+                            reader.read_line(&mut line).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        handle.shutdown();
+    }
+}

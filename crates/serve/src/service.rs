@@ -1,0 +1,344 @@
+//! [`QueryService`]: the embeddable serving engine.
+//!
+//! One `QueryService` owns an ontology (fixed for the service's lifetime, as
+//! a compiled artifact cache demands), the sharded prepared-query cache, the
+//! epoch-swapped data store and the metrics. It is entirely `&self`-based
+//! and meant to be shared behind an `Arc` by any number of threads — the TCP
+//! server does exactly that, but the service is just as usable in-process
+//! (the examples and benchmarks drive it directly).
+//!
+//! The request path is the three-step pipeline the crate docs advertise:
+//! **canonicalize** (fingerprint the query), **cache** (fetch or compute the
+//! UCQ rewriting), **evaluate** (run the UCQ over an immutable snapshot).
+
+use crate::cache::{CacheConfig, CacheStats, ShardedRewritingCache};
+use crate::metrics::{LatencyStats, ServeMetrics};
+use crate::snapshot::{EpochStore, Snapshot};
+use ontorew_model::prelude::*;
+use ontorew_rewrite::fingerprint::query_identity;
+use ontorew_rewrite::{
+    evaluate_rewriting, fingerprint_program, rewrite, PreparedKey, ProgramFingerprint,
+    RewriteConfig, Rewriting,
+};
+use ontorew_storage::{AnswerSet, RelationalStore};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a [`QueryService`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// Rewriting engine limits used when compiling uncached queries.
+    pub rewrite: RewriteConfig,
+    /// Prepared-query cache shape.
+    pub cache: CacheConfig,
+}
+
+/// The result of preparing a query (compiling it to a cached rewriting).
+#[derive(Clone)]
+pub struct Prepared {
+    /// The cache key the rewriting is stored under.
+    pub key: PreparedKey,
+    /// The compiled rewriting.
+    pub rewriting: Arc<Rewriting>,
+    /// True if the rewriting was already cached.
+    pub cache_hit: bool,
+}
+
+/// The result of answering a query.
+pub struct QueryResponse {
+    /// The answers, evaluated over exactly one snapshot.
+    pub answers: AnswerSet,
+    /// The epoch of the snapshot the answers came from.
+    pub epoch: u64,
+    /// The cache key of the rewriting that was evaluated.
+    pub key: PreparedKey,
+    /// True if the rewriting came from the cache (no rewriting fixpoint ran).
+    pub cache_hit: bool,
+    /// True if the rewriting is complete (answers are exactly the certain
+    /// answers); false means a sound approximation from a depth-bounded run.
+    pub exact: bool,
+    /// End-to-end service time for this request, microseconds.
+    pub micros: u64,
+}
+
+/// A point-in-time summary of service state and counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// `QUERY` requests served.
+    pub queries: u64,
+    /// `PREPARE` requests served.
+    pub prepares: u64,
+    /// `INSERT` requests served.
+    pub inserts: u64,
+    /// Requests rejected with an error.
+    pub errors: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Latency percentiles over the recent window.
+    pub latency: LatencyStats,
+    /// Currently published epoch.
+    pub epoch: u64,
+    /// Facts in the current epoch.
+    pub facts: usize,
+}
+
+/// Errors a service request can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query refers to a predicate with an arity conflicting with the
+    /// ontology or data — reported rather than silently answering empty.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The concurrent query-answering service. See the module docs.
+pub struct QueryService {
+    program: TgdProgram,
+    program_fp: ProgramFingerprint,
+    rewrite_config: RewriteConfig,
+    cache: ShardedRewritingCache,
+    store: EpochStore,
+    metrics: ServeMetrics,
+}
+
+impl QueryService {
+    /// Build a service for `program` with `initial` data as epoch 0.
+    pub fn new(program: TgdProgram, initial: RelationalStore, config: ServiceConfig) -> Self {
+        let program_fp = fingerprint_program(&program);
+        QueryService {
+            program,
+            program_fp,
+            rewrite_config: config.rewrite,
+            cache: ShardedRewritingCache::new(config.cache),
+            store: EpochStore::new(initial),
+            metrics: ServeMetrics::new(),
+        }
+    }
+
+    /// The ontology this service answers under.
+    pub fn program(&self) -> &TgdProgram {
+        &self.program
+    }
+
+    /// The fingerprint of the ontology (half of every cache key).
+    pub fn program_fingerprint(&self) -> ProgramFingerprint {
+        self.program_fp
+    }
+
+    /// The current data snapshot (for direct evaluation by embedders).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.snapshot()
+    }
+
+    /// The cache key `query` resolves to under this service's program,
+    /// along with the canonical text that confirms cache hits (the 64-bit
+    /// fingerprint pair alone is not collision-resistant).
+    fn identity_of(&self, query: &ConjunctiveQuery) -> (PreparedKey, String) {
+        let (canonical, fingerprint) = query_identity(query);
+        (
+            PreparedKey {
+                program: self.program_fp,
+                query: fingerprint,
+            },
+            canonical,
+        )
+    }
+
+    /// The cache key `query` resolves to under this service's program.
+    pub fn key_of(&self, query: &ConjunctiveQuery) -> PreparedKey {
+        self.identity_of(query).0
+    }
+
+    /// Compile `query` into its UCQ rewriting, caching the artifact. Repeat
+    /// preparations (of this query or any α-renamed / atom-permuted variant)
+    /// are cache hits.
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> Prepared {
+        let start = Instant::now();
+        let (key, canonical) = self.identity_of(query);
+        let (rewriting, cache_hit) = self.cache.get_or_compute(key, &canonical, || {
+            rewrite(&self.program, query, &self.rewrite_config)
+        });
+        self.metrics.prepares.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .record_latency_us(start.elapsed().as_micros() as u64);
+        Prepared {
+            key,
+            rewriting,
+            cache_hit,
+        }
+    }
+
+    /// Answer `query`: fetch or compile its rewriting, then evaluate it over
+    /// the current snapshot. The entire evaluation runs against one immutable
+    /// epoch — concurrent inserts are invisible until the next request.
+    pub fn query(&self, query: &ConjunctiveQuery) -> Result<QueryResponse, ServiceError> {
+        let start = Instant::now();
+        let (key, canonical) = self.identity_of(query);
+        let (rewriting, cache_hit) = self.cache.get_or_compute(key, &canonical, || {
+            rewrite(&self.program, query, &self.rewrite_config)
+        });
+        let snapshot = self.store.snapshot();
+        let answers = evaluate_rewriting(&rewriting, query, snapshot.store());
+        let micros = start.elapsed().as_micros() as u64;
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_latency_us(micros);
+        Ok(QueryResponse {
+            answers,
+            epoch: snapshot.epoch(),
+            key,
+            cache_hit,
+            exact: rewriting.complete,
+            micros,
+        })
+    }
+
+    /// Ingest a batch of ground facts as one new epoch. The whole batch
+    /// becomes visible atomically. Returns `(new epoch, facts added)`.
+    pub fn insert_facts(&self, facts: &[Atom]) -> Result<(u64, usize), ServiceError> {
+        for fact in facts {
+            if !fact.is_ground() {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::BadRequest(format!(
+                    "fact {fact} contains a variable"
+                )));
+            }
+        }
+        let (epoch, added) = self.store.commit_facts(facts);
+        self.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok((epoch, added))
+    }
+
+    /// Count one protocol-level error (bad request line etc.) so it shows in
+    /// `STATS`.
+    pub fn record_error(&self) {
+        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters, cache statistics and latency percentiles.
+    pub fn stats(&self) -> ServiceStats {
+        let snapshot = self.store.snapshot();
+        ServiceStats {
+            queries: self.metrics.queries.load(Ordering::Relaxed),
+            prepares: self.metrics.prepares.load(Ordering::Relaxed),
+            inserts: self.metrics.inserts.load(Ordering::Relaxed),
+            errors: self.metrics.errors.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            latency: self.metrics.latency_stats(),
+            epoch: snapshot.epoch(),
+            facts: snapshot.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_query};
+
+    fn university_service() -> QueryService {
+        let program = ontorew_core::examples::university_ontology();
+        let mut store = RelationalStore::new();
+        store.insert_fact("professor", &["alice"]);
+        store.insert_fact("teaches", &["alice", "db101"]);
+        store.insert_fact("attends", &["sara", "db101"]);
+        store.insert_fact("student", &["sara"]);
+        QueryService::new(program, store, ServiceConfig::default())
+    }
+
+    #[test]
+    fn query_answers_match_answer_by_rewriting() {
+        let service = university_service();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let served = service.query(&q).unwrap();
+        let direct = ontorew_rewrite::answer_by_rewriting(
+            service.program(),
+            &q,
+            service.snapshot().store(),
+            &RewriteConfig::default(),
+        );
+        assert_eq!(served.answers, direct.answers);
+        assert!(served.exact);
+        assert_eq!(served.epoch, 0);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let service = university_service();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        assert!(!service.query(&q).unwrap().cache_hit);
+        assert!(service.query(&q).unwrap().cache_hit);
+        // An α-renamed, atom-permuted variant also hits.
+        let v = parse_query("people(Z) :- person(Z)").unwrap();
+        assert!(service.query(&v).unwrap().cache_hit);
+        let stats = service.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache.hits, 2);
+    }
+
+    #[test]
+    fn prepare_then_query_skips_rewriting() {
+        let service = university_service();
+        let q = parse_query("q(T) :- teaches(T, C), attends(S, C)").unwrap();
+        let prepared = service.prepare(&q);
+        assert!(!prepared.cache_hit);
+        let response = service.query(&q).unwrap();
+        assert!(response.cache_hit);
+        assert_eq!(response.key, prepared.key);
+        assert!(response.answers.contains_constants(&["alice"]));
+    }
+
+    #[test]
+    fn inserts_are_visible_to_later_queries_only() {
+        let service = university_service();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let before = service.query(&q).unwrap();
+        let (epoch, added) = service
+            .insert_facts(&[Atom::fact("student", &["zoe"])])
+            .unwrap();
+        assert_eq!((epoch, added), (1, 1));
+        let after = service.query(&q).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.answers.len(), before.answers.len() + 1);
+        assert!(after.answers.contains_constants(&["zoe"]));
+    }
+
+    #[test]
+    fn non_ground_inserts_are_rejected() {
+        let service = university_service();
+        let bad = Atom::new("student", vec![Term::variable("X")]);
+        let err = service.insert_facts(&[bad]).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(_)));
+        assert_eq!(service.stats().errors, 1);
+        assert_eq!(service.stats().epoch, 0, "no epoch was published");
+    }
+
+    #[test]
+    fn ontology_reasoning_happens_through_the_cache_path() {
+        // person(X) must include professors via faculty ⊆ employee ⊆ person.
+        let program = parse_program(
+            "[R1] professor(X) -> faculty(X).\n\
+             [R2] faculty(X) -> employee(X).\n\
+             [R3] employee(X) -> person(X).",
+        )
+        .unwrap();
+        let mut store = RelationalStore::new();
+        store.insert_fact("professor", &["kim"]);
+        let service = QueryService::new(program, store, ServiceConfig::default());
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let cold = service.query(&q).unwrap();
+        let warm = service.query(&q).unwrap();
+        assert!(cold.answers.contains_constants(&["kim"]));
+        assert_eq!(cold.answers, warm.answers);
+        assert!(warm.cache_hit);
+    }
+}

@@ -1,0 +1,192 @@
+//! Concurrency integration tests: QUERY traffic hammered from N threads
+//! while a writer commits INSERT batches that swap the snapshot epoch.
+//!
+//! The invariant under test is snapshot isolation: every response must be
+//! internally consistent — all answers drawn from exactly one epoch, never a
+//! torn read. The workload makes tears detectable: each epoch `k` commits
+//! the *pair* of facts `marker(mk, a)` and `marker(mk, b)` in one batch, so
+//! in any published epoch `e` the relation holds exactly `2e` rows and every
+//! key has both its `a` and its `b` row. A reader that observed a store
+//! mid-mutation (or mixed two epochs) would see an unpaired key or a row
+//! count that disagrees with the epoch it reports.
+
+use ontorew_model::parse_query;
+use ontorew_model::prelude::*;
+use ontorew_serve::{serve, QueryService, ServeClient, ServerConfig, ServiceConfig};
+use ontorew_storage::RelationalStore;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Check one response: `rows` (key, tag) pairs claimed to come from `epoch`.
+/// Panics with a description of the tear if the invariant is violated.
+fn assert_snapshot_consistent(rows: &[(String, String)], epoch: u64, context: &str) {
+    assert_eq!(
+        rows.len() as u64,
+        epoch * 2,
+        "{context}: epoch {epoch} must hold exactly {} marker rows, saw {}",
+        epoch * 2,
+        rows.len()
+    );
+    let mut by_key: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (key, tag) in rows {
+        by_key.entry(key).or_default().push(tag);
+    }
+    for (key, mut tags) in by_key {
+        tags.sort();
+        assert_eq!(
+            tags,
+            vec!["a", "b"],
+            "{context}: key {key} is unpaired — torn read"
+        );
+    }
+}
+
+#[test]
+fn service_queries_never_observe_torn_epochs() {
+    // An empty ontology keeps the rewriting trivial: the test isolates the
+    // snapshot machinery, not the rewriting engine.
+    let service = Arc::new(QueryService::new(
+        TgdProgram::new(),
+        RelationalStore::new(),
+        ServiceConfig::default(),
+    ));
+    let query = parse_query("q(X, Y) :- marker(X, Y)").unwrap();
+    const EPOCHS: usize = 300;
+    const READERS: usize = 4;
+
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let writer_done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            for k in 0..EPOCHS {
+                let key = format!("m{k}");
+                let (epoch, added) = service
+                    .insert_facts(&[
+                        Atom::fact("marker", &[&key, "a"]),
+                        Atom::fact("marker", &[&key, "b"]),
+                    ])
+                    .expect("insert batch");
+                assert_eq!(epoch, k as u64 + 1);
+                assert_eq!(added, 2);
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let service = Arc::clone(&service);
+            let writer_done = Arc::clone(&writer_done);
+            std::thread::spawn(move || {
+                let query = parse_query("q(X, Y) :- marker(X, Y)").unwrap();
+                let mut last_epoch = 0u64;
+                let mut observed = 0usize;
+                while !writer_done.load(Ordering::SeqCst) || observed == 0 {
+                    let response = service.query(&query).expect("query");
+                    assert!(
+                        response.epoch >= last_epoch,
+                        "reader {r}: epochs went backwards"
+                    );
+                    last_epoch = response.epoch;
+                    let rows: Vec<(String, String)> = response
+                        .answers
+                        .iter()
+                        .map(|row| (row[0].to_string(), row[1].to_string()))
+                        .collect();
+                    let rows: Vec<(String, String)> = rows
+                        .iter()
+                        .map(|(k, t)| (k.trim_matches('"').into(), t.trim_matches('"').into()))
+                        .collect();
+                    assert_snapshot_consistent(&rows, response.epoch, &format!("reader {r}"));
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    let mut total_reads = 0usize;
+    for r in readers {
+        total_reads += r.join().unwrap();
+    }
+    assert!(total_reads >= READERS, "every reader made progress");
+    // Final state: all epochs landed.
+    let final_response = service.query(&query).unwrap();
+    assert_eq!(final_response.epoch, EPOCHS as u64);
+    assert_eq!(final_response.answers.len(), EPOCHS * 2);
+}
+
+#[test]
+fn tcp_queries_never_observe_torn_epochs() {
+    let service = Arc::new(QueryService::new(
+        TgdProgram::new(),
+        RelationalStore::new(),
+        ServiceConfig::default(),
+    ));
+    let handle = serve(
+        service,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 6,
+        },
+    )
+    .expect("server binds");
+    let addr = handle.addr();
+    const EPOCHS: usize = 120;
+    const READERS: usize = 3;
+
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let writer_done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).expect("writer connects");
+            for k in 0..EPOCHS {
+                let (added, epoch) = client
+                    .insert(&format!("marker(m{k}, a); marker(m{k}, b)"))
+                    .expect("insert");
+                assert_eq!((added, epoch), (2, k as u64 + 1));
+            }
+            writer_done.store(true, Ordering::SeqCst);
+            client.quit().expect("writer quits");
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let writer_done = Arc::clone(&writer_done);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("reader connects");
+                let mut last_epoch = 0u64;
+                let mut observed = 0usize;
+                while !writer_done.load(Ordering::SeqCst) || observed == 0 {
+                    let reply = client.query("q(X, Y) :- marker(X, Y)").expect("query");
+                    assert!(reply.epoch >= last_epoch, "reader {r}: epoch regression");
+                    last_epoch = reply.epoch;
+                    let rows: Vec<(String, String)> = reply
+                        .rows
+                        .iter()
+                        .map(|row| (row[0].clone(), row[1].clone()))
+                        .collect();
+                    assert_snapshot_consistent(&rows, reply.epoch, &format!("tcp reader {r}"));
+                    observed += 1;
+                }
+                client.quit().expect("reader quits");
+                observed
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        assert!(r.join().unwrap() >= 1);
+    }
+    // The cache served the repeated query shape: exactly one distinct query
+    // was ever compiled.
+    let stats = handle.service().stats();
+    assert_eq!(stats.cache.entries, 1);
+    assert!(stats.cache.hits >= (READERS as u64), "{stats:?}");
+    handle.shutdown();
+}

@@ -3,15 +3,17 @@
 #
 # Usage: scripts/record_baseline.sh [output-file]
 #
-# Runs every experiment of crates/bench (E1-E11) in release mode and wraps
-# the per-experiment reports into a JSON document with machine metadata, so
-# future perf PRs can diff their numbers against the checked-in baseline.
+# Runs every experiment of crates/bench (E1-E12) in release mode through
+# `run_experiments --json` (NDJSON, one object per experiment — no scraping
+# of the human-formatted tables) and wraps the reports into a JSON document
+# with machine metadata, so future perf PRs can diff their numbers against
+# the checked-in baseline.
 #
 # Per-PR snapshots are recorded next to BENCH_baseline.json under a PR
-# suffix, e.g. `scripts/record_baseline.sh BENCH_pr2.json` for the PR that
-# made the chase semi-naive (re-running E8 and adding the E11 naive-vs-semi
-# scaling table). Compare rows of the same experiment across snapshots
-# recorded on the same machine.
+# suffix, e.g. `scripts/record_baseline.sh BENCH_pr3.json` for the PR that
+# added the serving layer (registering E12, the serve-throughput
+# experiment). Compare rows of the same experiment across snapshots recorded
+# on the same machine.
 set -euo pipefail
 
 out="${1:-BENCH_baseline.json}"
@@ -21,29 +23,23 @@ cd "$repo"
 report="$(mktemp)"
 trap 'rm -f "$report"' EXIT
 
-cargo run -q --release -p ontorew-bench --bin run_experiments > "$report"
+cargo run -q --release -p ontorew-bench --bin run_experiments -- --json > "$report"
 
 python3 - "$report" "$out" <<'PY'
 import json
 import platform
-import re
 import subprocess
 import sys
 
 report_path, out_path = sys.argv[1], sys.argv[2]
-with open(report_path) as f:
-    text = f.read()
-
-# Reports are separated by blank lines before each "E<n> ..." header.
 experiments = {}
-current = None
-for line in text.splitlines():
-    header = re.match(r"^(E\d+)\b", line)
-    if header:
-        current = header.group(1)
-        experiments[current] = []
-    if current is not None:
-        experiments[current].append(line)
+with open(report_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        experiments[obj["id"]] = obj["report"]
 
 rustc = subprocess.run(
     ["rustc", "--version"], capture_output=True, text=True, check=True
@@ -58,9 +54,7 @@ doc = {
     "rustc": rustc,
     "platform": platform.platform(),
     "profile": "release",
-    "experiments": {
-        key: "\n".join(lines).strip() for key, lines in experiments.items()
-    },
+    "experiments": experiments,
 }
 
 with open(out_path, "w") as f:

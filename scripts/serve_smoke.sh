@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Smoke-test the TCP query server end to end.
+#
+# Usage: scripts/serve_smoke.sh [port]
+#
+# Builds the server and the bench client in release mode, starts the server
+# on the given port (default 7411) with the university ontology and an empty
+# store, runs the scripted PREPARE/QUERY/INSERT/QUERY exchange (`load_gen
+# smoke`, which asserts exact answer counts and cache behavior), and lets the
+# exchange's final SHUTDOWN stop the server. Fails if the server does not
+# come up, any check fails, or the server does not exit cleanly.
+set -euo pipefail
+
+port="${1:-7411}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cargo build --release -q -p ontorew-serve -p ontorew-bench --bins
+
+log="$(mktemp)"
+cleanup() {
+    if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+    fi
+    rm -f "$log"
+}
+trap cleanup EXIT
+
+target/release/ontorew-server --addr "127.0.0.1:$port" --students 0 >"$log" 2>&1 &
+server_pid=$!
+
+# Wait (up to ~10s) for the readiness line.
+for _ in $(seq 1 100); do
+    if grep -q "listening on" "$log"; then
+        break
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "server exited before becoming ready:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q "listening on" "$log" || { echo "server never became ready" >&2; cat "$log" >&2; exit 1; }
+
+target/release/load_gen smoke --addr "127.0.0.1:$port"
+
+# The smoke exchange ends with SHUTDOWN; the server must exit on its own.
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        wait "$server_pid" 2>/dev/null || true
+        unset server_pid
+        echo "serve smoke: server shut down cleanly"
+        exit 0
+    fi
+    sleep 0.1
+done
+echo "server did not shut down after SHUTDOWN" >&2
+exit 1

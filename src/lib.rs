@@ -17,6 +17,7 @@
 //! | [`core`] | `ontorew-core` | position graph, SWR, P-node graph, WR, baseline classes, classifier |
 //! | [`obda`] | `ontorew-obda` | ontology + mappings + source facade with strategy selection |
 //! | [`workloads`] | `ontorew-workloads` | synthetic ontology and data generators |
+//! | [`serve`] | `ontorew-serve` | concurrent query service: prepared-query cache, snapshot stores, TCP server |
 //!
 //! ```
 //! // Example 3 of the paper: outside every previously known FO-rewritable
@@ -34,6 +35,7 @@ pub use ontorew_core as core;
 pub use ontorew_model as model;
 pub use ontorew_obda as obda;
 pub use ontorew_rewrite as rewrite;
+pub use ontorew_serve as serve;
 pub use ontorew_storage as storage;
 pub use ontorew_unify as unify;
 pub use ontorew_workloads as workloads;
@@ -47,5 +49,6 @@ pub mod prelude {
     pub use ontorew_model::prelude::*;
     pub use ontorew_obda::{ObdaSystem, Strategy};
     pub use ontorew_rewrite::{answer_by_rewriting, rewrite, RewriteConfig};
+    pub use ontorew_serve::{QueryService, ServeClient, ServiceConfig};
     pub use ontorew_storage::{evaluate_cq, evaluate_ucq, RelationalStore};
 }

@@ -64,6 +64,15 @@ fn example_sensor_pipeline_runs() {
 }
 
 #[test]
+fn example_query_server_runs() {
+    let out = run_example("query_server");
+    assert!(
+        out.contains("cache hit") && out.contains("server stopped"),
+        "query_server no longer demonstrates cache hits and a clean shutdown: {out}"
+    );
+}
+
+#[test]
 fn example_university_obda_runs() {
     let out = run_example("university_obda");
     assert!(
