@@ -8,10 +8,12 @@
 //!   ```text
 //!   load_gen load --addr 127.0.0.1:7411 --threads 4 --requests 1000
 //!   ```
-//! * `smoke` — the scripted PREPARE/QUERY/INSERT/QUERY exchange the CI
-//!   workflow runs against a fresh server preloaded with `--students 0`
-//!   (exact expected answer counts are asserted; exits non-zero on any
-//!   mismatch), then shuts the server down:
+//! * `smoke` — the scripted exchange the CI workflow runs against a fresh
+//!   server preloaded with `--students 0`: PREPARE/QUERY/INSERT/QUERY, an
+//!   `EXPLAIN` of the cached plan, and a two-tenant round trip
+//!   (`TENANT CREATE/USE/DROP` with isolation asserted). Exact expected
+//!   answer counts are asserted; exits non-zero on any mismatch, then shuts
+//!   the server down:
 //!   ```text
 //!   load_gen smoke --addr 127.0.0.1:7411
 //!   ```
@@ -159,6 +161,75 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
     if hits < 3 {
         return Err(format!("FAIL stats: expected >=3 cache hits, got {hits}"));
     }
+
+    // EXPLAIN: the university ontology is FO-rewritable and weakly acyclic,
+    // so the cached plan is hybrid, and the dump names the reason.
+    let explained = client
+        .explain("q(X) :- person(X)")
+        .map_err(|e| format!("explain: {e}"))?;
+    if explained.fields.get("plan").map(String::as_str) != Some("hybrid") {
+        return Err(format!(
+            "FAIL explain: expected plan=hybrid, got {explained:?}"
+        ));
+    }
+    if explained.fields.get("cached").map(String::as_str) != Some("true") {
+        return Err(format!(
+            "FAIL explain: the person-plan should already be cached, got {explained:?}"
+        ));
+    }
+    if !explained.info.iter().any(|l| l.starts_with("reason:")) {
+        return Err(format!("FAIL explain: no reason line in {explained:?}"));
+    }
+    println!(
+        "ok   explain: plan=hybrid, cached, {} info lines",
+        explained.info.len()
+    );
+
+    // Second tenant: its own ontology and store, isolated from the default
+    // tenant, sharing the server's plan cache.
+    client
+        .tenant_create(
+            "hr",
+            "[H1] worksIn(X, D) -> employee(X). [H2] employee(X) -> person(X).",
+        )
+        .map_err(|e| format!("tenant create: {e}"))?;
+    client
+        .tenant_use("hr")
+        .map_err(|e| format!("tenant use: {e}"))?;
+    let (added, _) = client
+        .insert("worksIn(ann, cs); worksIn(bob, math)")
+        .map_err(|e| format!("tenant insert: {e}"))?;
+    check("hr facts added", added, 2)?;
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("tenant query: {e}"))?;
+    check("hr persons", reply.count, 2)?;
+    // The hr ontology has no existential rules: its plan is also decided by
+    // the trichotomy (hybrid — linear and weakly acyclic).
+    let explained = client
+        .explain("q(X) :- person(X)")
+        .map_err(|e| format!("tenant explain: {e}"))?;
+    if explained.fields.get("plan").map(String::as_str) != Some("hybrid") {
+        return Err(format!("FAIL tenant explain: {explained:?}"));
+    }
+    // Back on the default tenant the hr facts are invisible.
+    client
+        .tenant_use("default")
+        .map_err(|e| format!("tenant use default: {e}"))?;
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("default re-query: {e}"))?;
+    check("default persons unchanged", reply.count, 3)?;
+    let tenants = client
+        .tenant_list()
+        .map_err(|e| format!("tenant list: {e}"))?;
+    if tenants != vec!["default".to_string(), "hr".to_string()] {
+        return Err(format!("FAIL tenant list: {tenants:?}"));
+    }
+    client
+        .tenant_drop("hr")
+        .map_err(|e| format!("tenant drop: {e}"))?;
+    println!("ok   tenants: create/use/query/drop isolated as expected");
 
     client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     Ok(())

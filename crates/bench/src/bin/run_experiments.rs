@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E12) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E13) and print the tables.
 //!
 //! ```text
 //! cargo run -p ontorew-bench --release --bin run_experiments [--json] [--only E8,E12]
@@ -80,6 +80,9 @@ fn main() -> ExitCode {
         }),
         ("E12", || {
             ontorew_bench::experiment_serve_throughput(1_000, 100, 4)
+        }),
+        ("E13", || {
+            ontorew_bench::experiment_planner_vs_forced(1_000, 9)
         }),
     ];
 

@@ -13,7 +13,7 @@
 //! * [`classes`] — the previously known baseline classes (Linear,
 //!   Multilinear, Guarded, Frontier-Guarded, Sticky, Sticky-Join,
 //!   Domain-Restricted, acyclic-GRD);
-//! * [`classify`] — the unified classification report and the §7 trichotomy;
+//! * [`mod@classify`] — the unified classification report and the §7 trichotomy;
 //! * [`examples`] — the paper's Examples 1–3 and the figures' inputs;
 //! * [`graphviz`] — DOT rendering of both graphs (Figures 1–3);
 //! * [`cycles`] — the labelled-cycle machinery shared by SWR and WR.

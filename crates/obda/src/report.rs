@@ -7,10 +7,11 @@
 
 use crate::system::{ObdaSystem, Strategy};
 use ontorew_core::FoRewritabilityVerdict;
+use ontorew_plan::PlanKind;
 use std::fmt;
 
 /// A summary of an [`ObdaSystem`]: ontology size, classification outcome,
-/// data statistics and the strategy the `Auto` mode will pick.
+/// data statistics and the plan kind the planner will compile.
 #[derive(Clone, Debug)]
 pub struct SystemReport {
     /// Number of TGDs in the ontology.
@@ -27,21 +28,24 @@ pub struct SystemReport {
     pub chase_terminates: bool,
     /// Number of facts in the retrieved ABox.
     pub abox_facts: usize,
-    /// The strategy `Strategy::Auto` will choose.
+    /// The plan kind the planner compiles for this program (before
+    /// per-query refinement).
+    pub plan: PlanKind,
+    /// The legacy strategy label the plan corresponds to (`Rewriting` for
+    /// rewrite/hybrid/best-effort plans, `Materialization` for chase plans).
     pub auto_strategy: Strategy,
 }
 
 impl SystemReport {
-    /// Build the report for a system.
+    /// Build the report for a system. The strategy summary comes from the
+    /// system's planner — the report performs no dispatch of its own.
     pub fn of(system: &ObdaSystem) -> Self {
         let classification = system.classification();
         let ontology = system.ontology();
-        let auto_strategy = if classification.fo_rewritable() {
-            Strategy::Rewriting
-        } else if classification.chase_terminates() {
-            Strategy::Materialization
-        } else {
-            Strategy::Rewriting
+        let plan = system.planner().plan_kind();
+        let auto_strategy = match plan {
+            PlanKind::Chase => Strategy::Materialization,
+            _ => Strategy::Rewriting,
         };
         SystemReport {
             rules: ontology.len(),
@@ -51,6 +55,7 @@ impl SystemReport {
             verdict: classification.fo_rewritability_verdict(),
             chase_terminates: classification.chase_terminates(),
             abox_facts: system.retrieved_abox().len(),
+            plan,
             auto_strategy,
         }
     }
@@ -68,7 +73,11 @@ impl fmt::Display for SystemReport {
         writeln!(f, "  FO-rewritability: {:?}", self.verdict)?;
         writeln!(f, "  chase terminates: {}", self.chase_terminates)?;
         writeln!(f, "  retrieved ABox  : {} facts", self.abox_facts)?;
-        write!(f, "  auto strategy   : {:?}", self.auto_strategy)
+        write!(
+            f,
+            "  plan            : {} ({:?})",
+            self.plan, self.auto_strategy
+        )
     }
 }
 
@@ -86,11 +95,14 @@ mod tests {
         );
         let report = SystemReport::of(&system);
         assert_eq!(report.rules, 12);
+        // University is FO-rewritable *and* weakly acyclic: hybrid plan,
+        // whose legacy strategy label is Rewriting.
+        assert_eq!(report.plan, PlanKind::Hybrid);
         assert_eq!(report.auto_strategy, Strategy::Rewriting);
         assert_eq!(report.verdict, FoRewritabilityVerdict::Rewritable);
         assert!(report.abox_facts > 30);
         let rendered = report.to_string();
-        assert!(rendered.contains("auto strategy"));
+        assert!(rendered.contains("plan"));
         assert!(rendered.contains("SWR"));
     }
 
@@ -100,6 +112,7 @@ mod tests {
         data.insert_fact("s", &["c", "c", "a"]);
         let system = ObdaSystem::new(example2(), data);
         let report = SystemReport::of(&system);
+        assert_eq!(report.plan, PlanKind::Chase);
         assert_eq!(report.auto_strategy, Strategy::Materialization);
         assert_eq!(report.verdict, FoRewritabilityVerdict::NotKnownRewritable);
         assert!(report.chase_terminates);

@@ -1,36 +1,43 @@
 //! The OBDA system facade.
 //!
 //! An [`ObdaSystem`] bundles the three layers of §1 of the paper — ontology
-//! (TGDs), mappings, and the extensional data source — and answers conjunctive
-//! queries with one of two strategies:
+//! (TGDs), mappings, and the extensional data source — and answers
+//! conjunctive queries by delegating to the classification-driven planner of
+//! `ontorew-plan`: [`ObdaSystem::answer`] prepares a [`PreparedQuery`] whose
+//! plan the trichotomy picks (rewriting where FO-rewritability holds,
+//! materialization where the chase terminates, best-effort otherwise) and
+//! executes it over the retrieved ABox.
 //!
-//! * **Rewriting** — compile the ontology into the query (UCQ rewriting) and
-//!   evaluate the rewriting directly over the source. Complete exactly when
-//!   the rewriting terminates, which the classification machinery of
-//!   `ontorew-core` predicts (SWR/WR ⇒ FO-rewritable).
-//! * **Materialization** — chase the retrieved ABox and evaluate the original
-//!   query over the chased instance. Complete exactly when the chase
-//!   terminates (e.g. weak acyclicity).
-//!
-//! The `Auto` strategy picks between them using the classification report,
-//! which is the workflow §7/§8 of the paper sketches for a working OBDA
-//! system.
+//! [`Strategy`] survives as a **deprecated forced-plan override**: `Auto`
+//! is the planner's choice, while `Rewriting`/`Materialization` force the
+//! corresponding plan kind through [`ontorew_plan::Planner::prepare_forced`]
+//! (useful for cross-checks and ablation experiments, and honest about the
+//! weaker guarantees a forced plan may carry). New code should use
+//! [`ObdaSystem::planner`] and the `ontorew-plan` API directly.
 
 use crate::mapping::MappingSet;
-use ontorew_chase::{certain_answers, ChaseConfig};
-use ontorew_core::{classify, ClassificationReport};
+use ontorew_chase::ChaseConfig;
+use ontorew_core::ClassificationReport;
 use ontorew_model::prelude::*;
-use ontorew_rewrite::{answer_by_rewriting, RewriteConfig};
+use ontorew_plan::{Execution, PlanKind, Planner, PlannerConfig, PreparedQuery, StrategyTaken};
+use ontorew_rewrite::RewriteConfig;
 use ontorew_storage::{AnswerSet, RelationalStore};
 
-/// The query answering strategy.
+/// The query answering strategy override.
+///
+/// **Deprecated** in favor of the planner (`ontorew-plan`), which chooses
+/// the strategy from the classification report and per-query cost signals.
+/// `Auto` simply delegates to the planner; the other two variants force a
+/// plan kind and are kept for cross-checking experiments and backward
+/// compatibility.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
-    /// UCQ rewriting evaluated over the (mapped) source data.
+    /// Force a `RewriteThenEvaluate` plan (UCQ rewriting over the source).
     Rewriting,
-    /// Chase materialization of the retrieved ABox, then plain evaluation.
+    /// Force a `ChaseThenEvaluate` plan (materialization, then evaluation).
     Materialization,
-    /// Choose automatically from the classification report.
+    /// Let the planner choose from the classification report (the default
+    /// and the recommended mode).
     Auto,
 }
 
@@ -44,17 +51,16 @@ pub struct ObdaAnswers {
     /// True if the strategy was complete (perfect rewriting or terminated
     /// chase); false means the answers are a sound under-approximation.
     pub exact: bool,
+    /// The full provenance report of the underlying plan execution.
+    pub provenance: ontorew_plan::Provenance,
 }
 
 /// An ontology-based data access system: ontology + mappings + source data.
 #[derive(Clone, Debug)]
 pub struct ObdaSystem {
-    ontology: TgdProgram,
     mappings: MappingSet,
     source: RelationalStore,
-    rewrite_config: RewriteConfig,
-    chase_config: ChaseConfig,
-    classification: ClassificationReport,
+    planner: Planner,
 }
 
 impl ObdaSystem {
@@ -72,37 +78,51 @@ impl ObdaSystem {
         mappings: MappingSet,
         source: RelationalStore,
     ) -> Self {
-        let classification = classify(&ontology);
         ObdaSystem {
-            ontology,
             mappings,
             source,
-            rewrite_config: RewriteConfig::default(),
-            chase_config: ChaseConfig::default(),
-            classification,
+            planner: Planner::new(ontology),
         }
     }
 
-    /// Override the rewriting configuration (depth/size budgets).
+    /// Override the rewriting configuration (depth/size budgets). Rebuilds
+    /// the planner, so call this before answering queries.
     pub fn with_rewrite_config(mut self, config: RewriteConfig) -> Self {
-        self.rewrite_config = config;
+        let planner_config = PlannerConfig {
+            rewrite: Some(config),
+            chase: *self.planner.chase_config(),
+            ..PlannerConfig::default()
+        };
+        self.planner = Planner::with_config(self.planner.program().clone(), planner_config);
         self
     }
 
-    /// Override the chase configuration (round/fact budgets).
+    /// Override the chase configuration (round/fact budgets). Rebuilds the
+    /// planner, so call this before answering queries.
     pub fn with_chase_config(mut self, config: ChaseConfig) -> Self {
-        self.chase_config = config;
+        let planner_config = PlannerConfig {
+            rewrite: Some(*self.planner.rewrite_config()),
+            chase: config,
+            ..PlannerConfig::default()
+        };
+        self.planner = Planner::with_config(self.planner.program().clone(), planner_config);
         self
     }
 
     /// The ontology.
     pub fn ontology(&self) -> &TgdProgram {
-        &self.ontology
+        self.planner.program()
+    }
+
+    /// The planner this system delegates to (classification, plan
+    /// compilation, materialization cache).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// The classification report of the ontology (computed at construction).
     pub fn classification(&self) -> &ClassificationReport {
-        &self.classification
+        self.planner.classification()
     }
 
     /// The retrieved ABox: the ontology-level facts obtained by applying the
@@ -111,48 +131,42 @@ impl ObdaSystem {
         self.mappings.apply(&self.source)
     }
 
-    /// Answer a conjunctive query.
+    /// Compile `query` into a prepared plan against this system's ontology
+    /// (the planner chooses the kind; see [`ObdaSystem::answer`] for forced
+    /// overrides).
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> PreparedQuery {
+        self.planner.prepare(query)
+    }
+
+    /// Answer a conjunctive query. `Strategy::Auto` delegates the choice to
+    /// the planner; the other variants force a plan kind.
     pub fn answer(&self, query: &ConjunctiveQuery, strategy: Strategy) -> ObdaAnswers {
-        match strategy {
-            Strategy::Rewriting => self.answer_by_rewriting(query),
-            Strategy::Materialization => self.answer_by_materialization(query),
-            Strategy::Auto => {
-                // Prefer rewriting whenever some FO-rewritable class applies
-                // (AC0 data complexity, no materialisation cost); fall back to
-                // materialization when only chase termination is guaranteed;
-                // otherwise run the bounded rewriting (sound approximation).
-                if self.classification.fo_rewritable() {
-                    self.answer_by_rewriting(query)
-                } else if self.classification.chase_terminates() {
-                    self.answer_by_materialization(query)
-                } else {
-                    self.answer_by_rewriting(query)
-                }
-            }
+        let prepared = match strategy {
+            Strategy::Auto => self.planner.prepare(query),
+            Strategy::Rewriting => self.planner.prepare_forced(query, PlanKind::Rewrite),
+            Strategy::Materialization => self.planner.prepare_forced(query, PlanKind::Chase),
+        };
+        let execution = self.execute(&prepared);
+        let strategy = match execution.provenance.strategy {
+            StrategyTaken::Rewriting | StrategyTaken::Combined => Strategy::Rewriting,
+            StrategyTaken::Materialization => Strategy::Materialization,
+        };
+        ObdaAnswers {
+            answers: execution.answers,
+            strategy,
+            exact: execution.provenance.exact,
+            provenance: execution.provenance,
         }
     }
 
-    fn answer_by_rewriting(&self, query: &ConjunctiveQuery) -> ObdaAnswers {
-        // Rewriting is evaluated over the retrieved ABox (ontology vocabulary);
-        // with identity mappings this is the source itself.
+    /// Execute an already-prepared query over the retrieved ABox. The source
+    /// of an `ObdaSystem` is fixed at construction, so materializations are
+    /// cached under one stable version token.
+    pub fn execute(&self, prepared: &PreparedQuery) -> Execution {
+        // Rewritings are evaluated over the retrieved ABox (ontology
+        // vocabulary); with identity mappings this is the source itself.
         let abox_store = RelationalStore::from_instance(&self.retrieved_abox());
-        let result = answer_by_rewriting(&self.ontology, query, &abox_store, &self.rewrite_config);
-        let exact = result.is_exact();
-        ObdaAnswers {
-            answers: result.answers,
-            strategy: Strategy::Rewriting,
-            exact,
-        }
-    }
-
-    fn answer_by_materialization(&self, query: &ConjunctiveQuery) -> ObdaAnswers {
-        let abox = self.retrieved_abox();
-        let result = certain_answers(&self.ontology, &abox, query, &self.chase_config);
-        ObdaAnswers {
-            answers: result.answers,
-            strategy: Strategy::Materialization,
-            exact: result.complete,
-        }
+        prepared.execute_versioned(&abox_store, 0)
     }
 }
 
@@ -241,7 +255,7 @@ mod tests {
     #[test]
     fn auto_falls_back_to_materialization_for_non_rewritable_ontologies() {
         // Example 2 of the paper: not FO-rewritable, but weakly acyclic, so
-        // the Auto strategy materializes.
+        // the planner compiles a chase plan.
         let ontology = ontorew_core::examples::example2();
         let mut data = Instance::new();
         data.insert_fact("s", &["c", "c", "a"]);
@@ -252,6 +266,7 @@ mod tests {
         let q = ontorew_core::examples::example2_query();
         let result = system.answer(&q, Strategy::Auto);
         assert_eq!(result.strategy, Strategy::Materialization);
+        assert_eq!(result.provenance.plan, PlanKind::Chase);
         assert!(result.exact);
         assert!(result.answers.as_boolean());
     }
@@ -262,5 +277,30 @@ mod tests {
         let result = system.answer(&university_query(), Strategy::Auto);
         assert!(result.answers.is_empty());
         assert!(result.exact);
+    }
+
+    #[test]
+    fn answers_carry_the_plan_provenance() {
+        let system = university_system();
+        let result = system.answer(&university_query(), Strategy::Auto);
+        // The university ontology is FO-rewritable *and* weakly acyclic:
+        // the planner compiles a hybrid plan, and the narrow fan-out makes
+        // the executor evaluate the rewriting.
+        assert_eq!(result.provenance.plan, PlanKind::Hybrid);
+        assert_eq!(result.provenance.strategy, StrategyTaken::Rewriting);
+        assert!(result.provenance.reason.contains("hybrid chose rewriting"));
+        assert!(result.provenance.rewriting_complete.unwrap());
+    }
+
+    #[test]
+    fn prepared_queries_can_be_executed_directly() {
+        let system = university_system();
+        let prepared = system.prepare(&university_query());
+        let execution = system.execute(&prepared);
+        let direct = system.answer(&university_query(), Strategy::Auto);
+        assert_eq!(
+            execution.answers.iter().collect::<Vec<_>>(),
+            direct.answers.iter().collect::<Vec<_>>()
+        );
     }
 }

@@ -1,0 +1,106 @@
+//! The result of executing a prepared query: answers plus a uniform
+//! provenance report.
+//!
+//! Every answering surface in the workspace used to report completeness in
+//! its own vocabulary (`Rewriting::complete`, `CertainAnswers::complete`,
+//! `ObdaAnswers::exact`, `QueryResponse::exact`). The [`Provenance`] struct
+//! is the single replacement: which plan was prepared, which strategy
+//! actually ran, whether the answers are exactly the certain answers, *why*
+//! (the trichotomy reason), and where the time went.
+
+use crate::plan::PlanKind;
+use ontorew_storage::AnswerSet;
+use serde::Serialize;
+
+/// The pipeline that actually produced the answers (for a [`Hybrid`] plan
+/// this records the executor's choice, not the plan kind).
+///
+/// [`Hybrid`]: crate::plan::QueryPlan::Hybrid
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum StrategyTaken {
+    /// The UCQ rewriting was evaluated over the source data.
+    Rewriting,
+    /// The query was evaluated over a chase materialization.
+    Materialization,
+    /// Best-effort: the bounded rewriting's answers were unioned with a
+    /// bounded chase's answers (both sound).
+    Combined,
+}
+
+impl std::fmt::Display for StrategyTaken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StrategyTaken::Rewriting => "rewriting",
+            StrategyTaken::Materialization => "materialization",
+            StrategyTaken::Combined => "combined",
+        })
+    }
+}
+
+/// Summary of the chase run behind a materialization-based execution.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ChaseSummary {
+    /// Facts in the materialized instance.
+    pub facts: usize,
+    /// Labelled nulls invented.
+    pub nulls: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// True if the chase reached a fixpoint (universal model).
+    pub complete: bool,
+}
+
+/// Where the execution's time went, microseconds.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Timings {
+    /// Time spent materializing the chase *in this execution* (0 when the
+    /// materialization came from the planner's per-version cache).
+    pub materialize_us: u64,
+    /// Time spent evaluating queries over the store(s).
+    pub evaluate_us: u64,
+    /// End-to-end execution time.
+    pub total_us: u64,
+}
+
+/// The uniform provenance report carried by every [`Execution`].
+#[derive(Clone, Debug, Serialize)]
+pub struct Provenance {
+    /// The plan that was prepared for the query.
+    pub plan: PlanKind,
+    /// The strategy that actually ran.
+    pub strategy: StrategyTaken,
+    /// True when the answers are guaranteed to be *exactly* the certain
+    /// answers; false means a sound under-approximation.
+    pub exact: bool,
+    /// Why: the trichotomy reason from the classification report, plus any
+    /// runtime decision (hybrid choice, budget cut, chase fixpoint).
+    pub reason: String,
+    /// Disjuncts of the evaluated rewriting, when one was evaluated.
+    pub rewriting_disjuncts: Option<usize>,
+    /// Whether that rewriting was complete (a perfect rewriting).
+    pub rewriting_complete: Option<bool>,
+    /// The chase behind the materialization, when one was evaluated.
+    pub chase: Option<ChaseSummary>,
+    /// Whether the materialization came from the planner's per-version
+    /// cache (None when no materialization was involved).
+    pub materialization_cached: Option<bool>,
+    /// Timing breakdown.
+    pub timings: Timings,
+}
+
+/// The answers of one plan execution, with full provenance.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The certain answers (or a sound under-approximation of them — see
+    /// [`Provenance::exact`]).
+    pub answers: AnswerSet,
+    /// How the answers were produced and what they guarantee.
+    pub provenance: Provenance,
+}
+
+impl Execution {
+    /// True when the answers are exactly the certain answers.
+    pub fn is_exact(&self) -> bool {
+        self.provenance.exact
+    }
+}

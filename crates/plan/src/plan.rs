@@ -1,0 +1,139 @@
+//! The compiled, inspectable query plan.
+//!
+//! A [`QueryPlan`] is what [`crate::Planner::prepare`] produces: an explicit
+//! record of *how* a query will be answered, chosen from the trichotomy of
+//! the paper's §7/§8 — FO-rewritable programs compile the ontology into the
+//! query, chase-terminating programs materialize a universal model, and
+//! everything else gets a sound best-effort pipeline. Plans are plain data:
+//! they can be printed (`EXPLAIN` on the serving protocol), cached (the
+//! prepared-plan cache of `ontorew-serve`) and executed any number of times
+//! against different stores.
+
+use ontorew_rewrite::Rewriting;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// The shape of a plan — the coarse strategy the trichotomy picked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum PlanKind {
+    /// Evaluate the (perfect) UCQ rewriting directly over the data: sound
+    /// and complete whenever some FO-rewritable class applies and the
+    /// saturation reached its fixpoint.
+    Rewrite,
+    /// Chase the data into a universal model and evaluate the original
+    /// query over it: sound and complete whenever the chase terminates
+    /// (weak/joint acyclicity, acyclic GRD).
+    Chase,
+    /// Both guarantees hold: the executor picks rewriting or materialization
+    /// per execution from cost signals (rewriting fan-out, store size,
+    /// whether a materialization is already cached).
+    Hybrid,
+    /// No guarantee holds: a budget-bounded rewriting (optionally unioned
+    /// with a budget-bounded chase) yields a sound approximation of the
+    /// certain answers — exact only if one of the budgets happens to reach a
+    /// fixpoint.
+    BestEffort,
+}
+
+impl PlanKind {
+    /// The lowercase wire/CLI label (`rewrite`, `chase`, `hybrid`,
+    /// `besteffort`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::Rewrite => "rewrite",
+            PlanKind::Chase => "chase",
+            PlanKind::Hybrid => "hybrid",
+            PlanKind::BestEffort => "besteffort",
+        }
+    }
+
+    /// Parse a wire/CLI label produced by [`PlanKind::label`].
+    pub fn from_label(label: &str) -> Option<PlanKind> {
+        match label {
+            "rewrite" => Some(PlanKind::Rewrite),
+            "chase" => Some(PlanKind::Chase),
+            "hybrid" => Some(PlanKind::Hybrid),
+            "besteffort" => Some(PlanKind::BestEffort),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether a chase-based plan materializes a *universal model* or only a
+/// budget-bounded prefix of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum MaterializationGuarantee {
+    /// Chase termination is guaranteed (weak/joint acyclicity or an acyclic
+    /// GRD): the materialized instance is a universal model and evaluating
+    /// the query over it yields exactly the certain answers.
+    Terminating,
+    /// No termination guarantee: the chase runs under its round/fact budget
+    /// and the answers are a sound under-approximation unless the run
+    /// happens to reach a fixpoint.
+    Bounded,
+}
+
+/// The compiled plan of one prepared query. Each variant carries the
+/// artifacts its executor needs; the expensive ones (the rewriting) are
+/// behind `Arc`s so cached plans share them.
+#[derive(Clone, Debug)]
+pub enum QueryPlan {
+    /// Evaluate the compiled UCQ rewriting over the store.
+    RewriteThenEvaluate {
+        /// The compiled rewriting (perfect when `complete`).
+        rewriting: Arc<Rewriting>,
+    },
+    /// Materialize the chase of the store (cached per data version by the
+    /// planner), then evaluate the original query over it.
+    ChaseThenEvaluate {
+        /// The termination guarantee of the materialization.
+        materialized: MaterializationGuarantee,
+    },
+    /// Rewriting and materialization are both complete strategies; the
+    /// executor decides per execution which one is cheaper.
+    Hybrid {
+        /// The compiled rewriting, whose fan-out is the main cost signal.
+        rewriting: Arc<Rewriting>,
+    },
+    /// Sound approximation for the unclassified case: evaluate the bounded
+    /// rewriting, and union a bounded chase when the store is small enough
+    /// for materialization to be affordable.
+    BestEffort {
+        /// The budget-bounded rewriting.
+        rewriting: Arc<Rewriting>,
+    },
+}
+
+impl QueryPlan {
+    /// The coarse strategy of this plan.
+    pub fn kind(&self) -> PlanKind {
+        match self {
+            QueryPlan::RewriteThenEvaluate { .. } => PlanKind::Rewrite,
+            QueryPlan::ChaseThenEvaluate { .. } => PlanKind::Chase,
+            QueryPlan::Hybrid { .. } => PlanKind::Hybrid,
+            QueryPlan::BestEffort { .. } => PlanKind::BestEffort,
+        }
+    }
+
+    /// The compiled rewriting, for the plans that carry one.
+    pub fn rewriting(&self) -> Option<&Arc<Rewriting>> {
+        match self {
+            QueryPlan::RewriteThenEvaluate { rewriting }
+            | QueryPlan::Hybrid { rewriting }
+            | QueryPlan::BestEffort { rewriting } => Some(rewriting),
+            QueryPlan::ChaseThenEvaluate { .. } => None,
+        }
+    }
+
+    /// Total rewriting fan-out (0 for pure chase plans) — the per-query cost
+    /// signal the planner and the hybrid executor use.
+    pub fn disjuncts(&self) -> usize {
+        self.rewriting().map(|r| r.len()).unwrap_or(0)
+    }
+}

@@ -1,0 +1,1095 @@
+//! The planner: classify once, compile a plan per query, execute anywhere.
+
+use crate::execution::{ChaseSummary, Execution, Provenance, StrategyTaken, Timings};
+use crate::plan::{MaterializationGuarantee, PlanKind, QueryPlan};
+use ontorew_chase::{chase, ChaseConfig};
+use ontorew_core::{classify, ClassificationReport};
+use ontorew_model::prelude::*;
+use ontorew_rewrite::{evaluate_rewriting, rewrite, RewriteConfig, Rewriting};
+use ontorew_storage::{evaluate_cq, RelationalStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a [`Planner`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// Rewriting budgets. `None` (the default) uses the size-aware
+    /// [`RewriteConfig::for_program`] heuristic.
+    pub rewrite: Option<RewriteConfig>,
+    /// Chase budgets for materialization-based plans.
+    pub chase: ChaseConfig,
+    /// Hybrid cost signal: above this rewriting fan-out, a hybrid plan
+    /// prefers materialization when it is affordable (cached, or the store
+    /// is below [`PlannerConfig::small_store_facts`]).
+    pub hybrid_disjunct_cutoff: usize,
+    /// Stores at or below this many facts count as cheap to materialize —
+    /// used by hybrid plans and by the best-effort chase union.
+    pub small_store_facts: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            rewrite: None,
+            chase: ChaseConfig::default(),
+            hybrid_disjunct_cutoff: 256,
+            small_store_facts: 10_000,
+        }
+    }
+}
+
+/// How many data versions of chase materializations the planner keeps. Epoch
+/// traffic only ever needs the latest one or two; the small surplus absorbs
+/// multi-tenant interleavings.
+const MATERIALIZATION_CACHE_VERSIONS: usize = 4;
+
+/// A chase materialization of one data version: the chased store, its
+/// guarantees, and the run statistics.
+#[derive(Debug)]
+pub struct Materialization {
+    /// The chased store the query is evaluated over.
+    pub store: RelationalStore,
+    /// True if the chase reached a fixpoint (the store is a universal
+    /// model, so evaluation yields exactly the certain answers).
+    pub complete: bool,
+    /// Facts in the chased store.
+    pub facts: usize,
+    /// Labelled nulls invented by the chase.
+    pub nulls: usize,
+    /// Chase rounds executed.
+    pub rounds: usize,
+    /// Wall-clock cost of the chase + re-indexing, microseconds.
+    pub micros: u64,
+    /// Facts of the source store the materialization was computed from — a
+    /// cheap sanity guard against version-token misuse.
+    source_facts: usize,
+}
+
+impl Materialization {
+    fn summary(&self) -> ChaseSummary {
+        ChaseSummary {
+            facts: self.facts,
+            nulls: self.nulls,
+            rounds: self.rounds,
+            complete: self.complete,
+        }
+    }
+}
+
+/// The planner state shared by every [`PreparedQuery`] it hands out.
+pub(crate) struct PlannerShared {
+    program: TgdProgram,
+    classification: ClassificationReport,
+    rewrite_config: RewriteConfig,
+    chase_config: ChaseConfig,
+    hybrid_disjunct_cutoff: usize,
+    small_store_facts: usize,
+    /// Chase materializations keyed by caller-supplied data version, with a
+    /// recency tick per entry (eviction is least-recently-used — versions
+    /// are tenant-tagged, so "smallest version" would always sacrifice the
+    /// lowest-tagged tenant). One materialization serves every chase-plan
+    /// query against that version.
+    materializations: Mutex<MaterializationCache>,
+}
+
+#[derive(Default)]
+struct MaterializationCache {
+    entries: HashMap<u64, (u64, Arc<Materialization>)>,
+    tick: u64,
+}
+
+impl MaterializationCache {
+    /// A cached entry for `version` matching the store's size guard,
+    /// refreshing its recency.
+    fn get(&mut self, version: u64, source_facts: usize) -> Option<Arc<Materialization>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&version) {
+            Some((last_used, m)) if m.source_facts == source_facts => {
+                *last_used = tick;
+                Some(Arc::clone(m))
+            }
+            _ => None,
+        }
+    }
+
+    /// Insert `materialization` under `version`, evicting the
+    /// least-recently-used entry at capacity.
+    fn insert(&mut self, version: u64, materialization: Arc<Materialization>) {
+        self.tick += 1;
+        if self.entries.len() >= MATERIALIZATION_CACHE_VERSIONS
+            && !self.entries.contains_key(&version)
+        {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(version, (self.tick, materialization));
+    }
+}
+
+impl PlannerShared {
+    /// Fetch or compute the materialization of `store`. With a version
+    /// token, the result is cached and shared across queries; without one,
+    /// every call chases afresh. The chase runs outside the cache lock.
+    fn materialize(
+        &self,
+        store: &RelationalStore,
+        version: Option<u64>,
+    ) -> (Arc<Materialization>, bool) {
+        if let Some(v) = version {
+            // The size guard inside `get` catches a caller reusing a version
+            // token for different data; recomputing is then the safe choice.
+            if let Some(m) = self.materializations.lock().get(v, store.len()) {
+                return (m, true);
+            }
+        }
+        let start = Instant::now();
+        let result = chase(&self.program, &store.to_instance(), &self.chase_config);
+        let materialization = Arc::new(Materialization {
+            complete: result.is_universal_model(),
+            facts: result.instance.len(),
+            nulls: result.instance.nulls().len(),
+            rounds: result.rounds,
+            micros: start.elapsed().as_micros() as u64,
+            source_facts: store.len(),
+            store: RelationalStore::from_instance(&result.instance),
+        });
+        if let Some(v) = version {
+            self.materializations
+                .lock()
+                .insert(v, Arc::clone(&materialization));
+        }
+        (materialization, false)
+    }
+}
+
+/// The single entry point for query answering: classifies the program once
+/// at construction, compiles each query into an explicit [`QueryPlan`], and
+/// executes plans with a uniform provenance report.
+///
+/// Cloning a `Planner` is cheap (the state is shared), and every method
+/// takes `&self` — a planner can serve any number of threads, which is how
+/// the `ontorew-serve` layer uses it.
+///
+/// ```
+/// use ontorew_model::{parse_program, parse_query, Instance};
+/// use ontorew_plan::{PlanKind, Planner, StrategyTaken};
+/// use ontorew_storage::RelationalStore;
+///
+/// // Linear (FO-rewritable) *and* weakly acyclic: both strategies are
+/// // complete, so the plan is hybrid and cost signals decide per execution
+/// // (here: narrow fan-out, so the rewriting runs).
+/// let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+/// let planner = Planner::new(program);
+/// let prepared = planner.prepare(&parse_query("q(X) :- person(X)").unwrap());
+/// assert_eq!(prepared.plan().kind(), PlanKind::Hybrid);
+///
+/// let mut store = RelationalStore::new();
+/// store.insert_fact("student", &["sara"]);
+/// let execution = prepared.execute(&store);
+/// assert!(execution.is_exact());
+/// assert_eq!(execution.provenance.strategy, StrategyTaken::Rewriting);
+/// assert!(execution.answers.contains_constants(&["sara"]));
+/// ```
+#[derive(Clone)]
+pub struct Planner {
+    inner: Arc<PlannerShared>,
+}
+
+impl Planner {
+    /// Build a planner for `program` with default budgets (size-aware
+    /// rewriting limits). Runs the full classification once.
+    pub fn new(program: TgdProgram) -> Self {
+        Planner::with_config(program, PlannerConfig::default())
+    }
+
+    /// Build a planner with explicit budgets.
+    pub fn with_config(program: TgdProgram, config: PlannerConfig) -> Self {
+        let classification = classify(&program);
+        let rewrite_config = config
+            .rewrite
+            .unwrap_or_else(|| RewriteConfig::for_program(&program));
+        Planner {
+            inner: Arc::new(PlannerShared {
+                program,
+                classification,
+                rewrite_config,
+                chase_config: config.chase,
+                hybrid_disjunct_cutoff: config.hybrid_disjunct_cutoff,
+                small_store_facts: config.small_store_facts,
+                materializations: Mutex::new(MaterializationCache::default()),
+            }),
+        }
+    }
+
+    /// The program this planner answers under.
+    pub fn program(&self) -> &TgdProgram {
+        &self.inner.program
+    }
+
+    /// The classification report (computed once at construction).
+    pub fn classification(&self) -> &ClassificationReport {
+        &self.inner.classification
+    }
+
+    /// The rewriting budgets plans are compiled under.
+    pub fn rewrite_config(&self) -> &RewriteConfig {
+        &self.inner.rewrite_config
+    }
+
+    /// The chase budgets materialization-based plans run under.
+    pub fn chase_config(&self) -> &ChaseConfig {
+        &self.inner.chase_config
+    }
+
+    /// The plan kind the trichotomy alone dictates for this program — what
+    /// [`Planner::prepare`] compiles before per-query refinement (a
+    /// budget-cut rewriting can still demote `Rewrite` to `BestEffort`, or
+    /// an unexpectedly terminating saturation promote `BestEffort` to
+    /// `Rewrite`). This is the right summary for system-level reports.
+    pub fn plan_kind(&self) -> PlanKind {
+        let classification = &self.inner.classification;
+        match (
+            classification.fo_rewritable(),
+            classification.chase_terminates(),
+        ) {
+            (true, true) => PlanKind::Hybrid,
+            (true, false) => PlanKind::Rewrite,
+            (false, true) => PlanKind::Chase,
+            (false, false) => PlanKind::BestEffort,
+        }
+    }
+
+    /// Fetch or compute the chase materialization of `store`, cached per
+    /// `version` token (callers that mutate data must bump the token —
+    /// `ontorew-serve` passes its epoch). Returns the materialization and
+    /// whether it came from the cache.
+    pub fn materialize(
+        &self,
+        store: &RelationalStore,
+        version: Option<u64>,
+    ) -> (Arc<Materialization>, bool) {
+        self.inner.materialize(store, version)
+    }
+
+    /// Compile `query` into a [`PreparedQuery`] whose plan is chosen from
+    /// the classification report plus per-query cost signals (rewriting
+    /// fan-out under the size-aware budget, program size, store size at
+    /// execution time).
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> PreparedQuery {
+        let start = Instant::now();
+        let classification = &self.inner.classification;
+        let classes = {
+            let members = classification.member_classes();
+            if members.is_empty() {
+                "no implemented class applies".to_string()
+            } else {
+                members.join(", ")
+            }
+        };
+        let fo = classification.fo_rewritable();
+        let terminating = classification.chase_terminates();
+
+        let (plan, reason) = if !fo && terminating {
+            (
+                QueryPlan::ChaseThenEvaluate {
+                    materialized: MaterializationGuarantee::Terminating,
+                },
+                format!(
+                    "not known FO-rewritable, but the chase terminates ({classes}): \
+                     materialization is sound and complete"
+                ),
+            )
+        } else {
+            // Rewriting is (or may be) the right strategy: compile it now —
+            // the expensive, amortisable step every cached plan shares.
+            let rewriting = Arc::new(rewrite(
+                &self.inner.program,
+                query,
+                &self.inner.rewrite_config,
+            ));
+            match (fo, terminating, rewriting.complete) {
+                (true, true, _) => (
+                    QueryPlan::Hybrid { rewriting },
+                    format!(
+                        "FO-rewritable and chase-terminating ({classes}): \
+                         cost signals choose per execution"
+                    ),
+                ),
+                (true, false, true) => (
+                    QueryPlan::RewriteThenEvaluate { rewriting },
+                    format!("FO-rewritable ({classes}): perfect rewriting, AC0 evaluation"),
+                ),
+                (true, false, false) => (
+                    QueryPlan::BestEffort { rewriting },
+                    format!(
+                        "FO-rewritable ({classes}) but the saturation budget was exhausted: \
+                         sound approximation"
+                    ),
+                ),
+                (false, false, true) => (
+                    QueryPlan::RewriteThenEvaluate { rewriting },
+                    "outside every implemented class, yet the saturation reached a fixpoint: \
+                     perfect rewriting"
+                        .to_string(),
+                ),
+                (false, false, false) => (
+                    QueryPlan::BestEffort { rewriting },
+                    format!(
+                        "{}: bounded rewriting (plus bounded chase on small stores) — \
+                         sound approximation",
+                        match classification.fo_rewritability_verdict() {
+                            ontorew_core::FoRewritabilityVerdict::NotKnownRewritable =>
+                                "provably outside WR and every other implemented class",
+                            _ => "classification undetermined within budget",
+                        }
+                    ),
+                ),
+                (false, true, _) => unreachable!("handled by the chase branch above"),
+            }
+        };
+        PreparedQuery {
+            shared: Arc::clone(&self.inner),
+            query: query.clone(),
+            plan,
+            reason,
+            prepare_us: start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Compile `query` under a *forced* plan kind, bypassing the
+    /// classification-driven choice. This is the escape hatch behind the
+    /// deprecated `ontorew_obda::Strategy` override and the forced arms of
+    /// the E13 experiment; the provenance still reports guarantees honestly
+    /// (a forced rewrite of a non-terminating saturation is flagged as a
+    /// sound approximation).
+    pub fn prepare_forced(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PreparedQuery {
+        let start = Instant::now();
+        let terminating = self.inner.classification.chase_terminates();
+        let reason = format!("plan forced to {kind} by the caller");
+        let plan = match kind {
+            PlanKind::Chase => QueryPlan::ChaseThenEvaluate {
+                materialized: if terminating {
+                    MaterializationGuarantee::Terminating
+                } else {
+                    MaterializationGuarantee::Bounded
+                },
+            },
+            PlanKind::Rewrite | PlanKind::Hybrid | PlanKind::BestEffort => {
+                let rewriting = Arc::new(rewrite(
+                    &self.inner.program,
+                    query,
+                    &self.inner.rewrite_config,
+                ));
+                match kind {
+                    PlanKind::Rewrite => QueryPlan::RewriteThenEvaluate { rewriting },
+                    PlanKind::Hybrid => QueryPlan::Hybrid { rewriting },
+                    _ => QueryPlan::BestEffort { rewriting },
+                }
+            }
+        };
+        PreparedQuery {
+            shared: Arc::clone(&self.inner),
+            query: query.clone(),
+            plan,
+            reason,
+            prepare_us: start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Convenience: prepare and execute in one call (no plan reuse, no
+    /// materialization caching). Long-lived callers should prepare once and
+    /// execute many times instead.
+    pub fn answer(&self, query: &ConjunctiveQuery, store: &RelationalStore) -> Execution {
+        self.prepare(query).execute(store)
+    }
+}
+
+impl std::fmt::Debug for Planner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Planner")
+            .field("rules", &self.inner.program.len())
+            .field("fo_rewritable", &self.inner.classification.fo_rewritable())
+            .field(
+                "chase_terminates",
+                &self.inner.classification.chase_terminates(),
+            )
+            .finish()
+    }
+}
+
+/// A query compiled against one planner: the plan, the trichotomy reason,
+/// and an executor. Prepared queries are immutable and thread-safe — the
+/// serving layer caches them behind `Arc`s and executes them concurrently.
+pub struct PreparedQuery {
+    shared: Arc<PlannerShared>,
+    query: ConjunctiveQuery,
+    plan: QueryPlan,
+    reason: String,
+    prepare_us: u64,
+}
+
+impl PreparedQuery {
+    /// The query this plan answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The trichotomy reason behind the plan choice.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// Time spent compiling this plan, microseconds.
+    pub fn prepare_us(&self) -> u64 {
+        self.prepare_us
+    }
+
+    /// True when executing this plan is guaranteed to yield exactly the
+    /// certain answers on *any* store: a perfect rewriting, a terminating
+    /// chase, or a hybrid (which always has at least one of the two to run
+    /// — a budget-cut hybrid rewriting falls back to the terminating
+    /// materialization at execution time).
+    pub fn guarantees_exact(&self) -> bool {
+        match &self.plan {
+            QueryPlan::RewriteThenEvaluate { rewriting } => rewriting.complete,
+            QueryPlan::ChaseThenEvaluate { materialized } => {
+                *materialized == MaterializationGuarantee::Terminating
+            }
+            QueryPlan::Hybrid { rewriting } => {
+                rewriting.complete || self.shared.classification.chase_terminates()
+            }
+            QueryPlan::BestEffort { .. } => false,
+        }
+    }
+
+    /// A multi-line, human-readable dump of the plan — what the serving
+    /// protocol's `EXPLAIN` prints.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("plan: {}\n", self.plan.kind()));
+        out.push_str(&format!("query: {}\n", self.query));
+        out.push_str(&format!("reason: {}\n", self.reason));
+        let classes = self.shared.classification.member_classes();
+        out.push_str(&format!(
+            "classes: {}\n",
+            if classes.is_empty() {
+                "(none)".to_string()
+            } else {
+                classes.join(", ")
+            }
+        ));
+        match &self.plan {
+            QueryPlan::ChaseThenEvaluate { materialized } => {
+                out.push_str(&format!(
+                    "materialization: {} (rounds<={}, facts<={})\n",
+                    match materialized {
+                        MaterializationGuarantee::Terminating => "terminating chase",
+                        MaterializationGuarantee::Bounded => "budget-bounded chase",
+                    },
+                    self.shared.chase_config.max_rounds,
+                    self.shared.chase_config.max_facts
+                ));
+            }
+            plan => {
+                let rewriting = plan.rewriting().expect("non-chase plans carry a rewriting");
+                out.push_str(&format!(
+                    "rewriting: {} disjuncts ({} ucq + {} grounded), complete={}, \
+                     generated={}, depth={}\n",
+                    rewriting.len(),
+                    rewriting.ucq.len(),
+                    rewriting.grounded.len(),
+                    rewriting.complete,
+                    rewriting.stats.generated,
+                    rewriting.stats.depth_reached
+                ));
+                if matches!(plan, QueryPlan::Hybrid { .. }) {
+                    out.push_str(&format!(
+                        "hybrid cutoff: prefer materialization above {} disjuncts \
+                         when affordable\n",
+                        self.shared.hybrid_disjunct_cutoff
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Execute the plan over `store` with no data-version token: chase-based
+    /// plans materialize afresh on every call.
+    pub fn execute(&self, store: &RelationalStore) -> Execution {
+        self.run(store, None)
+    }
+
+    /// Execute the plan over `store`, identifying the store's content by
+    /// `version`: chase materializations are cached in the planner and
+    /// shared across queries and executions of the same version. Callers
+    /// must bump the token whenever the data changes (`ontorew-serve` uses
+    /// its snapshot epoch, tagged per tenant).
+    pub fn execute_versioned(&self, store: &RelationalStore, version: u64) -> Execution {
+        self.run(store, Some(version))
+    }
+
+    fn run(&self, store: &RelationalStore, version: Option<u64>) -> Execution {
+        let start = Instant::now();
+        let mut execution = match &self.plan {
+            QueryPlan::RewriteThenEvaluate { rewriting } => self.run_rewriting(
+                rewriting,
+                store,
+                StrategyTaken::Rewriting,
+                self.reason.clone(),
+            ),
+            QueryPlan::ChaseThenEvaluate { .. } => {
+                self.run_materialization(store, version, self.reason.clone())
+            }
+            QueryPlan::Hybrid { rewriting } => self.run_hybrid(rewriting, store, version),
+            QueryPlan::BestEffort { rewriting } => self.run_best_effort(rewriting, store, version),
+        };
+        execution.provenance.timings.total_us = start.elapsed().as_micros() as u64;
+        execution
+    }
+
+    fn run_rewriting(
+        &self,
+        rewriting: &Arc<Rewriting>,
+        store: &RelationalStore,
+        strategy: StrategyTaken,
+        reason: String,
+    ) -> Execution {
+        let start = Instant::now();
+        let answers = evaluate_rewriting(rewriting, &self.query, store);
+        Execution {
+            answers,
+            provenance: Provenance {
+                plan: self.plan.kind(),
+                strategy,
+                exact: rewriting.complete,
+                reason,
+                rewriting_disjuncts: Some(rewriting.len()),
+                rewriting_complete: Some(rewriting.complete),
+                chase: None,
+                materialization_cached: None,
+                timings: Timings {
+                    materialize_us: 0,
+                    evaluate_us: start.elapsed().as_micros() as u64,
+                    total_us: 0,
+                },
+            },
+        }
+    }
+
+    fn run_materialization(
+        &self,
+        store: &RelationalStore,
+        version: Option<u64>,
+        reason: String,
+    ) -> Execution {
+        let (materialization, cached) = self.shared.materialize(store, version);
+        let start = Instant::now();
+        let answers = evaluate_cq(&materialization.store, &self.query).without_nulls();
+        Execution {
+            answers,
+            provenance: Provenance {
+                plan: self.plan.kind(),
+                strategy: StrategyTaken::Materialization,
+                exact: materialization.complete,
+                reason,
+                rewriting_disjuncts: None,
+                rewriting_complete: None,
+                chase: Some(materialization.summary()),
+                materialization_cached: Some(cached),
+                timings: Timings {
+                    materialize_us: if cached { 0 } else { materialization.micros },
+                    evaluate_us: start.elapsed().as_micros() as u64,
+                    total_us: 0,
+                },
+            },
+        }
+    }
+
+    /// The hybrid cost decision, made per execution because the store size
+    /// (and the materialization cache state) is only known now: prefer the
+    /// rewriting (no materialization cost, AC0 evaluation) unless it is
+    /// incomplete, a *complete* materialization of this data version is
+    /// already cached (then the chase pipeline costs one CQ evaluation —
+    /// cheaper than a multi-disjunct union, as the E13 experiment measures),
+    /// or its fan-out exceeds the cutoff while a materialization is
+    /// affordable (already cached, or the store is small enough to chase
+    /// cheaply).
+    fn run_hybrid(
+        &self,
+        rewriting: &Arc<Rewriting>,
+        store: &RelationalStore,
+        version: Option<u64>,
+    ) -> Execution {
+        // A read-only peek (no recency refresh): riding the cache is decided
+        // here, but the actual use happens in `run_materialization`, which
+        // refreshes recency through the normal lookup.
+        let (materialization_cached, cached_complete) = version
+            .map(
+                |v| match self.shared.materializations.lock().entries.get(&v) {
+                    Some((_, m)) if m.source_facts == store.len() => (true, m.complete),
+                    _ => (false, false),
+                },
+            )
+            .unwrap_or((false, false));
+        let wide_fanout = rewriting.len() > self.shared.hybrid_disjunct_cutoff;
+        let affordable = materialization_cached || store.len() <= self.shared.small_store_facts;
+        let warm_materialization = cached_complete && rewriting.len() > 1;
+        if !rewriting.complete || warm_materialization || (wide_fanout && affordable) {
+            let why = if !rewriting.complete {
+                "rewriting budget exhausted"
+            } else if warm_materialization {
+                "a complete materialization is already cached"
+            } else {
+                "wide rewriting fan-out and a small store"
+            };
+            self.run_materialization(
+                store,
+                version,
+                format!("{}; hybrid chose materialization ({why})", self.reason),
+            )
+        } else {
+            let why = if wide_fanout {
+                "materialization not affordable"
+            } else {
+                "narrow rewriting fan-out"
+            };
+            self.run_rewriting(
+                rewriting,
+                store,
+                StrategyTaken::Rewriting,
+                format!("{}; hybrid chose rewriting ({why})", self.reason),
+            )
+        }
+    }
+
+    /// Best effort for the unclassified case: the bounded rewriting is
+    /// always evaluated (sound); on small stores a bounded chase is unioned
+    /// in — also sound, and if that chase happens to reach a fixpoint the
+    /// combined answers are exact after all.
+    fn run_best_effort(
+        &self,
+        rewriting: &Arc<Rewriting>,
+        store: &RelationalStore,
+        version: Option<u64>,
+    ) -> Execution {
+        let mut execution = self.run_rewriting(
+            rewriting,
+            store,
+            StrategyTaken::Rewriting,
+            self.reason.clone(),
+        );
+        if rewriting.complete || store.len() > self.shared.small_store_facts {
+            return execution;
+        }
+        let (materialization, cached) = self.shared.materialize(store, version);
+        let start = Instant::now();
+        let more = evaluate_cq(&materialization.store, &self.query).without_nulls();
+        execution.answers.union_with(&more);
+        let provenance = &mut execution.provenance;
+        provenance.strategy = StrategyTaken::Combined;
+        provenance.exact = materialization.complete;
+        if materialization.complete {
+            provenance.reason = format!(
+                "{}; the bounded chase reached a fixpoint, so the combined answers are exact",
+                provenance.reason
+            );
+        }
+        provenance.chase = Some(materialization.summary());
+        provenance.materialization_cached = Some(cached);
+        provenance.timings.materialize_us = if cached { 0 } else { materialization.micros };
+        provenance.timings.evaluate_us += start.elapsed().as_micros() as u64;
+        execution
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &format!("{}", self.query))
+            .field("plan", &self.plan.kind())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_core::examples::{example1, example2, example2_query, example3};
+    use ontorew_model::{parse_program, parse_query};
+
+    /// Example 1 of the paper: SWR (hence FO-rewritable) *and* weakly
+    /// acyclic — both guarantees hold, so the trichotomy compiles a hybrid
+    /// plan and the executor picks rewriting for its narrow fan-out.
+    #[test]
+    fn example1_maps_to_a_hybrid_plan() {
+        let planner = Planner::new(example1());
+        assert!(planner.classification().fo_rewritable());
+        assert!(planner.classification().chase_terminates());
+        let prepared = planner.prepare(&parse_query("ans(X, Z) :- r(X, Z)").unwrap());
+        assert_eq!(prepared.plan().kind(), PlanKind::Hybrid);
+
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["a", "b", "c"]);
+        store.insert_fact("t", &["d"]);
+        let execution = prepared.execute(&store);
+        assert!(execution.is_exact());
+        assert_eq!(execution.provenance.strategy, StrategyTaken::Rewriting);
+        assert!(execution.answers.contains_constants(&["a", "c"]));
+    }
+
+    /// Example 2: provably outside WR, but weakly acyclic — the only
+    /// complete strategy is materialization, and that is the plan.
+    #[test]
+    fn example2_maps_to_a_chase_plan() {
+        let planner = Planner::new(example2());
+        assert!(!planner.classification().fo_rewritable());
+        assert!(planner.classification().chase_terminates());
+        let prepared = planner.prepare(&example2_query());
+        assert!(matches!(
+            prepared.plan(),
+            QueryPlan::ChaseThenEvaluate {
+                materialized: MaterializationGuarantee::Terminating
+            }
+        ));
+
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let execution = prepared.execute(&store);
+        assert!(execution.is_exact());
+        assert_eq!(
+            execution.provenance.strategy,
+            StrategyTaken::Materialization
+        );
+        assert!(execution.answers.as_boolean());
+        assert!(execution.provenance.reason.contains("chase terminates"));
+    }
+
+    /// Example 3: outside every previously known FO-rewritable class yet WR
+    /// — rewriting is complete (the paper's separation), and since the
+    /// program is also jointly acyclic both guarantees hold.
+    #[test]
+    fn example3_maps_to_a_hybrid_plan_via_wr() {
+        let planner = Planner::new(example3());
+        let c = planner.classification();
+        assert!(!c.swr.is_swr && c.fo_rewritable(), "WR separates from SWR");
+        assert!(c.chase_terminates(), "jointly acyclic");
+        let query = parse_query("ans(A, B) :- s(A, A, B)").unwrap();
+        let prepared = planner.prepare(&query);
+        assert_eq!(prepared.plan().kind(), PlanKind::Hybrid);
+        assert!(
+            prepared
+                .plan()
+                .rewriting()
+                .expect("hybrid carries a rewriting")
+                .complete
+        );
+    }
+
+    /// A DL-Lite-style ontology with an infinite ancestor chain: rewriting
+    /// is the only complete strategy, so the plan is a pure rewrite.
+    #[test]
+    fn non_terminating_rewritable_ontology_maps_to_a_rewrite_plan() {
+        let program = parse_program(
+            "[R1] student(X) -> person(X).\n\
+             [R2] person(X) -> hasParent(X, Y).\n\
+             [R3] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        let planner = Planner::new(program);
+        assert!(planner.classification().fo_rewritable());
+        assert!(!planner.classification().chase_terminates());
+        let prepared = planner.prepare(&parse_query("q(X) :- person(X)").unwrap());
+        assert_eq!(prepared.plan().kind(), PlanKind::Rewrite);
+        let mut store = RelationalStore::new();
+        store.insert_fact("student", &["sara"]);
+        let execution = prepared.execute(&store);
+        assert!(execution.is_exact());
+        assert_eq!(execution.answers.len(), 1);
+    }
+
+    /// Example 2 plus a rule that breaks weak acyclicity: no guarantee
+    /// holds, so the plan is best-effort — and on a small store the executor
+    /// unions the bounded chase into the bounded rewriting.
+    #[test]
+    fn unclassified_program_maps_to_best_effort() {
+        let program = parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).\n\
+             [R3] r(X, Y) -> t(Y, Z).",
+        )
+        .unwrap();
+        let planner = Planner::new(program);
+        assert!(!planner.classification().fo_rewritable());
+        assert!(!planner.classification().chase_terminates());
+        let prepared = planner.prepare(&parse_query(r#"q() :- r("a", X)"#).unwrap());
+        assert_eq!(prepared.plan().kind(), PlanKind::BestEffort);
+
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let execution = prepared.execute(&store);
+        // The derivation r("a", _) needs one R2 application; both the
+        // bounded rewriting and the bounded chase find it (soundness), so
+        // the answer is certain even though exactness may not be guaranteed.
+        assert!(execution.answers.as_boolean());
+        assert_eq!(execution.provenance.strategy, StrategyTaken::Combined);
+        assert!(execution.provenance.chase.is_some());
+    }
+
+    /// The hybrid cost decision: a wide class hierarchy (large rewriting
+    /// fan-out) over a small store materializes; a high cutoff forces the
+    /// rewriting. Both must agree on the answers.
+    #[test]
+    fn hybrid_cost_signals_pick_materialization_for_wide_fanouts() {
+        let mut text = String::new();
+        for i in 0..400 {
+            text.push_str(&format!("[H{i}] sub{i}(X) -> top(X).\n"));
+        }
+        let program = parse_program(&text).unwrap();
+        let query = parse_query("q(X) :- top(X)").unwrap();
+        let mut store = RelationalStore::new();
+        store.insert_fact("sub3", &["a"]);
+        store.insert_fact("sub7", &["b"]);
+        store.insert_fact("top", &["c"]);
+
+        let planner = Planner::new(program.clone());
+        let prepared = planner.prepare(&query);
+        assert_eq!(prepared.plan().kind(), PlanKind::Hybrid);
+        assert!(prepared.plan().disjuncts() > 256, "401 disjuncts expected");
+        let by_chase = prepared.execute(&store);
+        assert_eq!(by_chase.provenance.strategy, StrategyTaken::Materialization);
+        assert!(by_chase.is_exact());
+        assert_eq!(by_chase.answers.len(), 3);
+
+        let wide_open = Planner::with_config(
+            program,
+            PlannerConfig {
+                hybrid_disjunct_cutoff: 10_000,
+                ..PlannerConfig::default()
+            },
+        );
+        let by_rewriting = wide_open.prepare(&query).execute(&store);
+        assert_eq!(by_rewriting.provenance.strategy, StrategyTaken::Rewriting);
+        assert!(by_rewriting.is_exact());
+        assert_eq!(
+            by_rewriting.answers.iter().collect::<Vec<_>>(),
+            by_chase.answers.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Once a complete materialization of the current data version is
+    /// cached, hybrid plans switch to it: evaluating one CQ over the
+    /// universal model beats evaluating a multi-disjunct union.
+    #[test]
+    fn hybrid_switches_to_a_warm_materialization() {
+        let planner = Planner::new(example1());
+        let query = parse_query("ans(X, Z) :- r(X, Z)").unwrap();
+        let prepared = planner.prepare(&query);
+        assert_eq!(prepared.plan().kind(), PlanKind::Hybrid);
+        assert!(prepared.plan().disjuncts() > 1);
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["a", "b", "c"]);
+        store.insert_fact("t", &["d"]);
+
+        // Cold: narrow fan-out, no materialization — rewriting runs.
+        let cold = prepared.execute_versioned(&store, 3);
+        assert_eq!(cold.provenance.strategy, StrategyTaken::Rewriting);
+        // Materialize the same version (as a chase-plan query would), and
+        // the hybrid executor now rides the cached universal model.
+        let (materialization, _) = planner.materialize(&store, Some(3));
+        assert!(materialization.complete);
+        let warm = prepared.execute_versioned(&store, 3);
+        assert_eq!(warm.provenance.strategy, StrategyTaken::Materialization);
+        assert!(warm.is_exact());
+        assert_eq!(warm.provenance.materialization_cached, Some(true));
+        assert!(warm.provenance.reason.contains("already cached"));
+        assert_eq!(
+            warm.answers.iter().collect::<Vec<_>>(),
+            cold.answers.iter().collect::<Vec<_>>()
+        );
+        // Unversioned executions still pick the rewriting (no cache to ride).
+        let unversioned = prepared.execute(&store);
+        assert_eq!(unversioned.provenance.strategy, StrategyTaken::Rewriting);
+    }
+
+    /// Versioned executions share one chase materialization per version;
+    /// bumping the version recomputes.
+    #[test]
+    fn materializations_are_cached_per_version() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+
+        let first = prepared.execute_versioned(&store, 7);
+        assert_eq!(first.provenance.materialization_cached, Some(false));
+        let second = prepared.execute_versioned(&store, 7);
+        assert_eq!(second.provenance.materialization_cached, Some(true));
+        assert_eq!(second.provenance.timings.materialize_us, 0);
+        // Another query against the same version also hits the shared cache.
+        let other = planner.prepare(&parse_query("p() :- s(X, Y, Z)").unwrap());
+        let reused = other.execute_versioned(&store, 7);
+        assert_eq!(reused.provenance.materialization_cached, Some(true));
+
+        store.insert_fact("t", &["d2", "c"]);
+        let bumped = prepared.execute_versioned(&store, 8);
+        assert_eq!(bumped.provenance.materialization_cached, Some(false));
+    }
+
+    /// Materialization eviction is least-recently-used, not
+    /// smallest-version — tenant-tagged versions must not starve the
+    /// lowest-tagged tenant.
+    #[test]
+    fn materialization_eviction_is_lru_not_lowest_version() {
+        let planner = Planner::new(example2());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+        // Fill the 4-slot cache with versions 10, 20, 30, 40.
+        for v in [10, 20, 30, 40] {
+            assert!(!planner.materialize(&store, Some(v)).1);
+        }
+        // Touch the *lowest* version so it is the most recently used...
+        assert!(planner.materialize(&store, Some(10)).1);
+        // ...then overflow: the LRU victim must be 20, not 10.
+        assert!(!planner.materialize(&store, Some(50)).1);
+        assert!(
+            planner.materialize(&store, Some(10)).1,
+            "the recently-touched lowest version must survive"
+        );
+        assert!(
+            !planner.materialize(&store, Some(20)).1,
+            "the least-recently-used version is the victim"
+        );
+    }
+
+    /// A hybrid plan whose rewriting was budget-cut still *guarantees*
+    /// exactness (execution falls back to the terminating chase), and
+    /// PREPARE-time and QUERY-time exactness must not contradict.
+    #[test]
+    fn budget_cut_hybrid_remains_exact() {
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("[H{i}] sub{i}(X) -> top(X).\n"));
+        }
+        let program = parse_program(&text).unwrap();
+        let planner = Planner::with_config(
+            program,
+            PlannerConfig {
+                // Far too small for the 41-disjunct perfect rewriting.
+                rewrite: Some(RewriteConfig::default().with_max_queries(3)),
+                ..PlannerConfig::default()
+            },
+        );
+        let prepared = planner.prepare(&parse_query("q(X) :- top(X)").unwrap());
+        assert_eq!(prepared.plan().kind(), PlanKind::Hybrid);
+        assert!(!prepared.plan().rewriting().unwrap().complete);
+        assert!(prepared.guarantees_exact(), "chase fallback is exact");
+        let mut store = RelationalStore::new();
+        store.insert_fact("sub7", &["a"]);
+        let execution = prepared.execute(&store);
+        assert_eq!(
+            execution.provenance.strategy,
+            StrategyTaken::Materialization
+        );
+        assert!(execution.is_exact());
+        assert_eq!(execution.answers.len(), 1);
+    }
+
+    /// A stale version token (same number, different data) is detected by
+    /// the source-size guard instead of serving wrong answers.
+    #[test]
+    fn version_token_misuse_recomputes_instead_of_serving_stale_data() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+        assert!(!prepared.execute_versioned(&store, 1).answers.as_boolean());
+        store.insert_fact("s", &["c", "c", "a"]);
+        // Same (wrong) token, new data: the guard forces a fresh chase.
+        let execution = prepared.execute_versioned(&store, 1);
+        assert_eq!(execution.provenance.materialization_cached, Some(false));
+        assert!(execution.answers.as_boolean());
+    }
+
+    /// Forced plans bypass the trichotomy but keep the provenance honest.
+    #[test]
+    fn forced_plans_report_their_guarantees_honestly() {
+        // Forcing the chase on a non-terminating ontology: bounded, sound,
+        // not exact.
+        let program = parse_program(
+            "[R1] person(X) -> hasParent(X, Y).\n\
+             [R2] hasParent(X, Y) -> person(Y).",
+        )
+        .unwrap();
+        let planner = Planner::new(program);
+        let query = parse_query("q(X) :- person(X)").unwrap();
+        let forced = planner.prepare_forced(&query, PlanKind::Chase);
+        assert!(matches!(
+            forced.plan(),
+            QueryPlan::ChaseThenEvaluate {
+                materialized: MaterializationGuarantee::Bounded
+            }
+        ));
+        let mut store = RelationalStore::new();
+        store.insert_fact("person", &["alice"]);
+        let execution = forced.execute(&store);
+        assert!(!execution.is_exact(), "bounded chase is an approximation");
+        assert!(execution.answers.contains_constants(&["alice"]));
+        // Forcing the rewriting on the same ontology is complete (linear).
+        let rewritten = planner
+            .prepare_forced(&query, PlanKind::Rewrite)
+            .execute(&store);
+        assert!(rewritten.is_exact());
+        assert!(execution.provenance.reason.contains("forced"));
+    }
+
+    /// The explain dump names the plan, the reason and the cost artifacts.
+    #[test]
+    fn explain_dumps_the_plan() {
+        let planner = Planner::new(example1());
+        let prepared = planner.prepare(&parse_query("ans(X, Z) :- r(X, Z)").unwrap());
+        let explain = prepared.explain();
+        assert!(explain.contains("plan: hybrid"), "{explain}");
+        assert!(explain.contains("reason:"), "{explain}");
+        assert!(explain.contains("rewriting:"), "{explain}");
+        assert!(explain.contains("classes:"), "{explain}");
+
+        let chase_plan = Planner::new(example2()).prepare(&example2_query());
+        let explain = chase_plan.explain();
+        assert!(explain.contains("plan: chase"), "{explain}");
+        assert!(
+            explain.contains("materialization: terminating chase"),
+            "{explain}"
+        );
+    }
+
+    /// `Planner::answer` is the one-shot convenience path.
+    #[test]
+    fn one_shot_answer_path() {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let planner = Planner::new(program);
+        let mut store = RelationalStore::new();
+        store.insert_fact("student", &["sara"]);
+        let execution = planner.answer(&parse_query("q(X) :- person(X)").unwrap(), &store);
+        assert!(execution.is_exact());
+        assert!(execution.answers.contains_constants(&["sara"]));
+        assert!(execution.provenance.timings.total_us >= execution.provenance.timings.evaluate_us);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based agreement tests for the planner.
+//!
+//! On weakly-acyclic (and FO-rewritable) workloads *both* strategies are
+//! complete, so whatever plan the planner chooses, the answers must be
+//! identical to both a forced chase plan and a forced rewriting plan — and
+//! every path must report exactness. The materialization the chase plan
+//! evaluates over must be the chase of the data up to null renaming.
+
+use ontorew_chase::{chase, equivalent_up_to_null_renaming, ChaseConfig};
+use ontorew_model::prelude::*;
+use ontorew_plan::{PlanKind, Planner};
+use ontorew_storage::RelationalStore;
+use proptest::prelude::*;
+
+/// One generated rule of the linear, weakly-acyclic family: subclass edges,
+/// role-domain typing, and existential role invention. Role *range* rules
+/// are deliberately absent — they would re-introduce the DL-Lite ancestor
+/// cycle and break weak acyclicity.
+#[derive(Clone, Debug)]
+enum RuleSpec {
+    /// `c<i>(X) -> c<j>(X)`
+    Subclass(usize, usize),
+    /// `r<i>(X, Y) -> c<j>(X)`
+    RoleDomain(usize, usize),
+    /// `c<i>(X) -> r<j>(X, Y)`
+    Existential(usize, usize),
+}
+
+const CLASSES: usize = 6;
+const ROLES: usize = 3;
+
+fn rule_strategy() -> impl Strategy<Value = RuleSpec> {
+    prop_oneof![
+        (0..CLASSES, 0..CLASSES).prop_map(|(i, j)| RuleSpec::Subclass(i, j)),
+        (0..ROLES, 0..CLASSES).prop_map(|(i, j)| RuleSpec::RoleDomain(i, j)),
+        (0..CLASSES, 0..ROLES).prop_map(|(i, j)| RuleSpec::Existential(i, j)),
+    ]
+}
+
+fn program_of(specs: &[RuleSpec]) -> TgdProgram {
+    let mut text = String::new();
+    for (n, spec) in specs.iter().enumerate() {
+        match spec {
+            RuleSpec::Subclass(i, j) if i != j => {
+                text.push_str(&format!("[S{n}] c{i}(X) -> c{j}(X).\n"));
+            }
+            RuleSpec::Subclass(..) => {} // c -> c is a tautology; skip
+            RuleSpec::RoleDomain(i, j) => {
+                text.push_str(&format!("[D{n}] r{i}(X, Y) -> c{j}(X).\n"));
+            }
+            RuleSpec::Existential(i, j) => {
+                text.push_str(&format!("[E{n}] c{i}(X) -> r{j}(X, Y).\n"));
+            }
+        }
+    }
+    if text.is_empty() {
+        text.push_str("[S0] c1(X) -> c0(X).\n");
+    }
+    parse_program(&text).expect("generated program parses")
+}
+
+/// A random ABox over the generated signature.
+fn facts_strategy() -> impl Strategy<Value = Vec<(String, Vec<String>)>> {
+    let constants = || prop::sample::select(vec!["a", "b", "c", "d", "e"]);
+    let class_fact =
+        (0..CLASSES, constants()).prop_map(|(i, x)| (format!("c{i}"), vec![x.to_string()]));
+    let role_fact = (0..ROLES, constants(), constants())
+        .prop_map(|(i, x, y)| (format!("r{i}"), vec![x.to_string(), y.to_string()]));
+    prop::collection::vec(prop_oneof![class_fact, role_fact], 1..12)
+}
+
+/// Queries over the signature: a class atom, a role atom, or a join.
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    prop_oneof![
+        (0..CLASSES).prop_map(|i| parse_query(&format!("q(X) :- c{i}(X)")).unwrap()),
+        (0..ROLES).prop_map(|i| parse_query(&format!("q(X, Y) :- r{i}(X, Y)")).unwrap()),
+        (0..CLASSES, 0..ROLES)
+            .prop_map(|(i, j)| { parse_query(&format!("q(X) :- c{i}(X), r{j}(X, Y)")).unwrap() }),
+    ]
+}
+
+fn store_of(facts: &[(String, Vec<String>)]) -> RelationalStore {
+    let mut store = RelationalStore::new();
+    for (p, args) in facts {
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        store.insert_fact(p, &refs);
+    }
+    store
+}
+
+proptest! {
+    /// The planner-chosen plan, a forced chase and a forced rewriting agree
+    /// on every weakly-acyclic workload, and all three claim exactness.
+    #[test]
+    fn planner_and_forced_strategies_agree(
+        specs in prop::collection::vec(rule_strategy(), 1..12),
+        facts in facts_strategy(),
+        query in query_strategy(),
+    ) {
+        let program = program_of(&specs);
+        let planner = Planner::new(program.clone());
+        // The generated family is linear (FO-rewritable) and weakly acyclic.
+        prop_assert!(planner.classification().fo_rewritable());
+        prop_assert!(planner.classification().chase_terminates());
+
+        let store = store_of(&facts);
+        let chosen = planner.prepare(&query).execute(&store);
+        let by_chase = planner.prepare_forced(&query, PlanKind::Chase).execute(&store);
+        let by_rewriting = planner.prepare_forced(&query, PlanKind::Rewrite).execute(&store);
+
+        prop_assert!(chosen.is_exact());
+        prop_assert!(by_chase.is_exact());
+        prop_assert!(by_rewriting.is_exact());
+        prop_assert!(
+            chosen.answers.iter().eq(by_chase.answers.iter()),
+            "chosen {:?} vs chase {:?} on {query}",
+            chosen.answers, by_chase.answers
+        );
+        prop_assert!(
+            chosen.answers.iter().eq(by_rewriting.answers.iter()),
+            "chosen {:?} vs rewriting {:?} on {query}",
+            chosen.answers, by_rewriting.answers
+        );
+    }
+
+    /// The planner's cached materialization is the chase of the data, up to
+    /// null renaming.
+    #[test]
+    fn materialization_is_the_chase_up_to_null_renaming(
+        specs in prop::collection::vec(rule_strategy(), 1..10),
+        facts in facts_strategy(),
+    ) {
+        let program = program_of(&specs);
+        let planner = Planner::new(program.clone());
+        let store = store_of(&facts);
+        let (materialization, cached) = planner.materialize(&store, Some(1));
+        prop_assert!(!cached);
+        prop_assert!(materialization.complete);
+        let reference = chase(&program, &store.to_instance(), &ChaseConfig::default());
+        prop_assert!(equivalent_up_to_null_renaming(
+            &materialization.store.to_instance(),
+            &reference.instance,
+        ));
+        // And the version cache returns the same artifact.
+        let (again, cached) = planner.materialize(&store, Some(1));
+        prop_assert!(cached);
+        prop_assert!(std::sync::Arc::ptr_eq(&materialization, &again));
+    }
+}

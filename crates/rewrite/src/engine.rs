@@ -53,6 +53,34 @@ impl Default for RewriteConfig {
 }
 
 impl RewriteConfig {
+    /// Budgets sized for a specific program (the ROADMAP's "size-aware
+    /// default"). The flat [`RewriteConfig::default`] budget of 500 canonical
+    /// queries is right for small ontologies but silently cuts off wide class
+    /// hierarchies: a hierarchy with `r` subclass rules legitimately rewrites
+    /// a single class atom into `r + 1` disjuncts, and a `k`-atom query
+    /// multiplies those choices. This constructor scales the query budget
+    /// with the program's rule count and maximum predicate arity (each rule
+    /// can specialise each atom position), and the depth bound with the rule
+    /// count (a chain of `n` rules needs depth `n`), while keeping the flat
+    /// defaults as floors so toy programs behave exactly as before. Divergent
+    /// programs still terminate promptly — their frontier grows
+    /// exponentially, so even the scaled budget is hit in well under a
+    /// second, and `complete = false` is reported as always.
+    ///
+    /// The planner (`ontorew-plan`), the OBDA facade and the serving layer
+    /// all use this heuristic when no explicit budget is configured.
+    pub fn for_program(program: &TgdProgram) -> Self {
+        let rules = program.len().max(1);
+        let arity = program.max_arity().max(1);
+        let max_queries = (rules.saturating_mul(arity).saturating_mul(8)).clamp(500, 20_000);
+        let max_depth = (rules + 5).clamp(25, 500);
+        RewriteConfig {
+            max_depth,
+            max_queries,
+            ..RewriteConfig::default()
+        }
+    }
+
     /// A configuration with the given depth bound.
     pub fn with_depth(max_depth: usize) -> Self {
         RewriteConfig {
@@ -225,13 +253,15 @@ pub fn rewrite_ucq(
     cq_disjuncts.sort_by_key(|q| format!("{q}"));
     grounded.sort();
 
-    // Subsumption pruning is quadratic in disjuncts with a containment
-    // (homomorphism) check per pair, so it is only worth running on
-    // reasonably sized results; a budget-cut run of a non-terminating
-    // program can return thousands of disjuncts, where pruning would cost
-    // far more than the evaluation it saves. Canonical deduplication has
-    // already happened either way.
-    const PRUNE_DISJUNCT_LIMIT: usize = 512;
+    // Subsumption pruning runs a containment (homomorphism) check per
+    // candidate pair; since `prune_ucq` buckets disjuncts by their predicate
+    // signature (only signature-compatible pairs can subsume), the expensive
+    // checks are near-linear on hierarchy-shaped rewritings and the limit can
+    // sit well above the old quadratic-era 512. A budget-cut run of a
+    // divergent program can still return tens of thousands of disjuncts,
+    // where even bucketed pruning costs more than the evaluation it saves.
+    // Canonical deduplication has already happened either way.
+    const PRUNE_DISJUNCT_LIMIT: usize = 4096;
     let ucq = if cq_disjuncts.is_empty() {
         // Degenerate case: every disjunct is grounded. Keep the original
         // query so the UCQ stays well-formed (it is still a sound disjunct).
@@ -434,6 +464,44 @@ mod tests {
         assert!(r.stats.steps >= 1);
         assert!(r.stats.generated >= 2);
         assert!(r.stats.depth_reached >= 1);
+    }
+
+    #[test]
+    fn size_aware_budget_scales_with_the_program() {
+        // A toy program keeps the flat floors.
+        let small = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let config = RewriteConfig::for_program(&small);
+        assert_eq!(config.max_queries, 500);
+        assert_eq!(config.max_depth, 25);
+
+        // A wide hierarchy scales the query budget past the flat default
+        // (and the depth bound with the rule count), but stays capped.
+        let mut wide = String::new();
+        for i in 0..120 {
+            wide.push_str(&format!("[W{i}] sub{i}(X, Y) -> top(X, Y).\n"));
+        }
+        let wide = parse_program(&wide).unwrap();
+        let config = RewriteConfig::for_program(&wide);
+        assert_eq!(config.max_queries, 120 * 2 * 8);
+        assert_eq!(config.max_depth, 125);
+        assert!(RewriteConfig::for_program(&wide).max_queries <= 20_000);
+    }
+
+    #[test]
+    fn size_aware_budget_completes_a_hierarchy_the_flat_budget_cuts_off() {
+        // 600 direct subclasses of one class: the perfect rewriting has 601
+        // disjuncts, which the flat 500-query budget cannot reach.
+        let mut text = String::new();
+        for i in 0..600 {
+            text.push_str(&format!("[H{i}] sub{i}(X) -> top(X).\n"));
+        }
+        let program = parse_program(&text).unwrap();
+        let q = parse_query("q(X) :- top(X)").unwrap();
+        let flat = rewrite(&program, &q, &RewriteConfig::default());
+        assert!(!flat.complete, "flat budget should be exhausted");
+        let sized = rewrite(&program, &q, &RewriteConfig::for_program(&program));
+        assert!(sized.complete, "size-aware budget must reach the fixpoint");
+        assert_eq!(sized.ucq.len(), 601);
     }
 
     #[test]

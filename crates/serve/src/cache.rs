@@ -1,27 +1,35 @@
-//! The sharded LRU prepared-query cache.
+//! The sharded LRU prepared-plan cache.
 //!
-//! Rewriting a query under an ontology is the expensive, amortisable step of
-//! the answering pipeline; the finished [`Rewriting`] is an immutable
-//! compiled artifact that any number of threads can evaluate concurrently.
-//! This cache stores those artifacts keyed by [`PreparedKey`] — the pair of
-//! program and query fingerprints, both invariant under α-renaming and atom
-//! reordering — so structurally identical queries, however spelled, hit the
-//! same entry.
+//! Compiling a query — classifying, rewriting, choosing a plan — is the
+//! expensive, amortisable step of the answering pipeline; the finished
+//! [`PreparedQuery`] is an immutable compiled artifact that any number of
+//! threads can execute concurrently. This cache stores those artifacts keyed
+//! by [`PreparedKey`] — the pair of program and query fingerprints, both
+//! invariant under α-renaming and atom reordering — so structurally
+//! identical queries, however spelled, hit the same entry. Because the key
+//! includes the *program* fingerprint, one cache instance is safely shared
+//! across tenants: tenants serving the same ontology share plans, tenants
+//! serving different ontologies never collide.
 //!
 //! The map is split into shards, each behind its own mutex, so concurrent
 //! lookups for different queries rarely contend; the value is handed out as
 //! an `Arc`, so the lock is held only for the map operation, never during
-//! rewriting or evaluation. Eviction is least-recently-used per shard, with
-//! recency tracked by a global atomic tick — cheap, contention-free, and
-//! precise enough at cache granularity.
+//! plan compilation or execution. Eviction is least-recently-used per shard,
+//! with recency tracked by a global atomic tick — cheap, contention-free,
+//! and precise enough at cache granularity.
+//!
+//! The cache is generic over the cached artifact ([`ShardedCache`]); the
+//! serving layer uses [`ShardedPlanCache`] (prepared plans), and
+//! [`ShardedRewritingCache`] remains for callers that cache raw rewritings.
 
+use ontorew_plan::PreparedQuery;
 use ontorew_rewrite::{PreparedKey, Rewriting};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Configuration of the prepared-query cache.
+/// Configuration of the prepared-plan cache.
 #[derive(Clone, Copy, Debug)]
 pub struct CacheConfig {
     /// Number of shards (rounded up to at least 1). More shards mean less
@@ -41,34 +49,50 @@ impl Default for CacheConfig {
     }
 }
 
-struct Entry {
-    /// The canonical text of the query the rewriting was compiled for. The
+struct Entry<V> {
+    /// The canonical text of the query the artifact was compiled for. The
     /// 64-bit fingerprint pair in the key is compact but not
     /// collision-resistant, so every hit is confirmed against this text —
     /// like the relation dedup in `ontorew-model`, a collision may cost
     /// time (the colliding queries fight over one slot and recompute), but
     /// never correctness.
     canonical: String,
-    rewriting: Arc<Rewriting>,
+    value: Arc<V>,
     last_used: u64,
 }
 
-#[derive(Default)]
-struct Shard {
-    entries: HashMap<PreparedKey, Entry>,
+struct Shard<V> {
+    entries: HashMap<PreparedKey, Entry<V>>,
 }
 
-/// A sharded, LRU-evicting map from [`PreparedKey`] to compiled
-/// [`Rewriting`]s. All methods take `&self`; the cache is meant to be shared
-/// behind an `Arc` by every server worker.
-pub struct ShardedRewritingCache {
-    shards: Vec<Mutex<Shard>>,
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            entries: HashMap::new(),
+        }
+    }
+}
+
+/// A sharded, LRU-evicting map from [`PreparedKey`] to compiled artifacts.
+/// All methods take `&self`; the cache is meant to be shared behind an
+/// `Arc` by every server worker (and, via the tenant registry, by every
+/// tenant).
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
     capacity_per_shard: usize,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
+
+/// The cache of compiled [`PreparedQuery`] plans — what `QueryService`
+/// shares across tenants.
+pub type ShardedPlanCache = ShardedCache<PreparedQuery>;
+
+/// The cache of raw [`Rewriting`]s (the pre-planner artifact kind), kept for
+/// embedders that drive the rewriting engine directly.
+pub type ShardedRewritingCache = ShardedCache<Rewriting>;
 
 /// A point-in-time snapshot of cache counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,11 +121,11 @@ impl CacheStats {
     }
 }
 
-impl ShardedRewritingCache {
+impl<V> ShardedCache<V> {
     /// An empty cache with the given sharding configuration.
     pub fn new(config: CacheConfig) -> Self {
         let shards = config.shards.max(1);
-        ShardedRewritingCache {
+        ShardedCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             capacity_per_shard: config.capacity_per_shard.max(1),
             tick: AtomicU64::new(0),
@@ -111,25 +135,25 @@ impl ShardedRewritingCache {
         }
     }
 
-    fn shard_of(&self, key: &PreparedKey) -> &Mutex<Shard> {
+    fn shard_of(&self, key: &PreparedKey) -> &Mutex<Shard<V>> {
         // Mix both fingerprints; they are already high-quality 64-bit hashes,
         // so a rotate-xor spreads shards evenly.
         let mixed = key.program.0.rotate_left(32) ^ key.query.0;
         &self.shards[(mixed % self.shards.len() as u64) as usize]
     }
 
-    /// Look up a prepared rewriting, refreshing its recency. `canonical` is
+    /// Look up a prepared artifact, refreshing its recency. `canonical` is
     /// the canonical text of the query being looked up; a resident entry
     /// whose text differs (a fingerprint collision) is treated as a miss.
     /// Counts a hit or a miss.
-    pub fn lookup(&self, key: &PreparedKey, canonical: &str) -> Option<Arc<Rewriting>> {
+    pub fn lookup(&self, key: &PreparedKey, canonical: &str) -> Option<Arc<V>> {
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(key).lock();
         match shard.entries.get_mut(key) {
             Some(entry) if entry.canonical == canonical => {
                 entry.last_used = now;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.rewriting))
+                Some(Arc::clone(&entry.value))
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -138,23 +162,18 @@ impl ShardedRewritingCache {
         }
     }
 
-    /// Insert (or refresh) a prepared rewriting, evicting the shard's
+    /// Insert (or refresh) a prepared artifact, evicting the shard's
     /// least-recently-used entry if the shard is full. Returns the stored
     /// value — the existing one if another thread inserted the same query
     /// first, so racing preparers converge on a single artifact. A colliding
     /// entry (same key, different canonical text) is displaced.
-    pub fn insert(
-        &self,
-        key: PreparedKey,
-        canonical: &str,
-        rewriting: Arc<Rewriting>,
-    ) -> Arc<Rewriting> {
+    pub fn insert(&self, key: PreparedKey, canonical: &str, value: Arc<V>) -> Arc<V> {
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(&key).lock();
         if let Some(existing) = shard.entries.get_mut(&key) {
             if existing.canonical == canonical {
                 existing.last_used = now;
-                return Arc::clone(&existing.rewriting);
+                return Arc::clone(&existing.value);
             }
             // Fingerprint collision: the slot is taken over by the newcomer
             // (either query recomputes when it next misses; correctness is
@@ -176,26 +195,21 @@ impl ShardedRewritingCache {
             key,
             Entry {
                 canonical: canonical.to_string(),
-                rewriting: Arc::clone(&rewriting),
+                value: Arc::clone(&value),
                 last_used: now,
             },
         );
-        rewriting
+        value
     }
 
-    /// Look up `key`, computing and inserting the rewriting on a miss. The
+    /// Look up `key`, computing and inserting the artifact on a miss. The
     /// computation runs *outside* the shard lock: concurrent misses for the
     /// same key may compute twice, but the first insert wins and both callers
     /// receive the same artifact — preferable to holding a lock across a
-    /// potentially long rewriting fixpoint.
-    pub fn get_or_compute<F>(
-        &self,
-        key: PreparedKey,
-        canonical: &str,
-        compute: F,
-    ) -> (Arc<Rewriting>, bool)
+    /// potentially long plan compilation.
+    pub fn get_or_compute<F>(&self, key: PreparedKey, canonical: &str, compute: F) -> (Arc<V>, bool)
     where
-        F: FnOnce() -> Rewriting,
+        F: FnOnce() -> V,
     {
         if let Some(found) = self.lookup(&key, canonical) {
             return (found, true);
@@ -271,6 +285,21 @@ mod tests {
         assert_eq!(a_text, b_text);
         cache.insert(a, &a_text, Arc::new(some_rewriting()));
         assert!(cache.lookup(&b, &b_text).is_some());
+    }
+
+    #[test]
+    fn plans_for_different_programs_never_collide() {
+        // The program fingerprint is half the key: the same query text under
+        // two ontologies resolves to two distinct entries — the property the
+        // multi-tenant registry relies on to share one cache.
+        let cache = ShardedRewritingCache::new(CacheConfig::default());
+        let (a, a_text) = key_of("[R1] student(X) -> person(X).", "q(X) :- person(X)");
+        let (b, b_text) = key_of("[R1] employee(X) -> person(X).", "q(X) :- person(X)");
+        assert_ne!(a, b);
+        cache.insert(a, &a_text, Arc::new(some_rewriting()));
+        assert!(cache.lookup(&b, &b_text).is_none());
+        cache.insert(b, &b_text, Arc::new(some_rewriting()));
+        assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]

@@ -46,14 +46,30 @@ pub struct QueryReply {
     pub count: usize,
     /// Epoch of the snapshot the answers came from.
     pub epoch: u64,
-    /// True if the rewriting came from the cache.
+    /// The plan kind the server executed (`rewrite`, `chase`, `hybrid`,
+    /// `besteffort`).
+    pub plan: String,
+    /// The strategy that actually ran (`rewriting`, `materialization`,
+    /// `combined`).
+    pub strategy: String,
+    /// True if the plan came from the cache.
     pub cache_hit: bool,
-    /// True if the rewriting was complete (exact certain answers).
+    /// True if the answers are exactly the certain answers.
     pub exact: bool,
     /// Server-side latency, microseconds.
     pub server_us: u64,
     /// The answer rows (constants as plain strings).
     pub rows: Vec<Vec<String>>,
+}
+
+/// A parsed `EXPLAIN` reply: the header fields plus the plan dump lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplainReply {
+    /// The header key-value fields (`key`, `plan`, `disjuncts`, `exact`,
+    /// `cached`).
+    pub fields: BTreeMap<String, String>,
+    /// The `INFO` lines of the plan dump, in order.
+    pub info: Vec<String>,
 }
 
 /// A blocking connection to an `ontorew-serve` server.
@@ -156,11 +172,86 @@ impl ServeClient {
         Ok(QueryReply {
             count,
             epoch: field(&kv, "epoch")?,
+            plan: kv.get("plan").cloned().unwrap_or_default(),
+            strategy: kv.get("strategy").cloned().unwrap_or_default(),
             cache_hit: kv.get("cache").map(|v| v == "hit").unwrap_or(false),
             exact: kv.get("exact").map(|v| v == "true").unwrap_or(false),
             server_us: field(&kv, "us")?,
             rows,
         })
+    }
+
+    /// `EXPLAIN <query>` → the plan header plus the dump lines.
+    pub fn explain(&mut self, query: &str) -> Result<ExplainReply, ClientError> {
+        self.send(&format!("EXPLAIN {query}"))?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("PLAN ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected PLAN, got {rest}")))?;
+        let fields = parse_kv(rest);
+        let mut info = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                break;
+            }
+            match line.strip_prefix("INFO ") {
+                Some(text) => info.push(text.to_string()),
+                None => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected INFO or END, got {line}"
+                    )))
+                }
+            }
+        }
+        Ok(ExplainReply { fields, info })
+    }
+
+    /// `TENANT CREATE <name> <program>` → the reported fields.
+    pub fn tenant_create(
+        &mut self,
+        name: &str,
+        program: &str,
+    ) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send(&format!("TENANT CREATE {name} {program}"))?;
+        self.tenant_reply()
+    }
+
+    /// `TENANT USE <name>`: route this connection's requests to a tenant.
+    pub fn tenant_use(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send(&format!("TENANT USE {name}"))?;
+        self.tenant_reply()
+    }
+
+    /// `TENANT DROP <name>`.
+    pub fn tenant_drop(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send(&format!("TENANT DROP {name}"))?;
+        self.tenant_reply()
+    }
+
+    /// `TENANT LIST` → (count, names).
+    pub fn tenant_list(&mut self) -> Result<Vec<String>, ClientError> {
+        self.send("TENANT LIST")?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("TENANTS ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected TENANTS, got {rest}")))?;
+        let kv = parse_kv(rest);
+        Ok(kv
+            .get("names")
+            .map(|names| names.split(',').map(str::to_string).collect())
+            .unwrap_or_default())
+    }
+
+    fn tenant_reply(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("TENANT ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected TENANT, got {rest}")))?;
+        Ok(parse_kv(rest))
     }
 
     /// `INSERT <facts>` → (added, epoch).
@@ -243,12 +334,22 @@ mod tests {
         let prepared = client.prepare("q(X) :- person(X)").unwrap();
         assert_eq!(prepared.get("cached").map(String::as_str), Some("false"));
         assert!(prepared.get("key").is_some_and(|k| k.starts_with('p')));
+        assert_eq!(prepared.get("plan").map(String::as_str), Some("hybrid"));
 
         let reply = client.query("q(X) :- person(X)").unwrap();
         assert_eq!(reply.count, 1);
         assert!(reply.cache_hit);
         assert!(reply.exact);
+        assert_eq!(reply.plan, "hybrid");
+        assert_eq!(reply.strategy, "rewriting");
         assert_eq!(reply.rows, vec![vec!["sara".to_string()]]);
+
+        let explained = client.explain("q(X) :- person(X)").unwrap();
+        assert_eq!(
+            explained.fields.get("plan").map(String::as_str),
+            Some("hybrid")
+        );
+        assert!(explained.info.iter().any(|l| l.starts_with("reason:")));
 
         let (added, epoch) = client.insert("student(zoe); student(ada)").unwrap();
         assert_eq!((added, epoch), (2, 1));
@@ -268,6 +369,32 @@ mod tests {
         assert!(matches!(err, ClientError::Server(_)), "{err}");
         // The connection is still usable afterwards.
         client.ping().unwrap();
+        client.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_drives_the_tenant_verbs() {
+        let handle = start();
+        let mut client = ServeClient::connect(handle.addr()).unwrap();
+        let created = client
+            .tenant_create("hr", "[R1] worksIn(X, D) -> employee(X).")
+            .unwrap();
+        assert_eq!(created.get("name").map(String::as_str), Some("hr"));
+        assert_eq!(client.tenant_list().unwrap(), vec!["default", "hr"]);
+
+        client.tenant_use("hr").unwrap();
+        client.insert("worksIn(ann, cs)").unwrap();
+        let reply = client.query("q(X) :- employee(X)").unwrap();
+        assert_eq!(reply.rows, vec![vec!["ann".to_string()]]);
+
+        client.tenant_use("default").unwrap();
+        assert_eq!(client.query("q(X) :- employee(X)").unwrap().count, 0);
+
+        let dropped = client.tenant_drop("hr").unwrap();
+        assert_eq!(dropped.get("tenants").map(String::as_str), Some("1"));
+        let err = client.tenant_use("hr").unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
         client.quit().unwrap();
         handle.shutdown();
     }

@@ -3,30 +3,37 @@
 //! The serving layer: turns the rewriting-based query answering of the rest
 //! of the workspace into a long-running, concurrent service.
 //!
-//! The paper's central point is that ontological query answering under
-//! FO-rewritable TGD programs compiles to AC0 evaluation over the relational
-//! data: the expensive step — saturating the UCQ rewriting — happens *once
-//! per query shape*, and everything after is plain database work. This crate
-//! exploits exactly that split:
+//! The paper's central point is that ontological query answering compiles
+//! to cheap evaluation once the expensive per-query artifact — the plan,
+//! with its UCQ rewriting or materialization strategy — has been built:
+//! that compilation happens *once per query shape*, and everything after is
+//! plain database work. This crate exploits exactly that split:
 //!
-//! * [`cache`] — a sharded LRU **prepared-query cache** keyed by
+//! * [`cache`] — a sharded LRU **prepared-plan cache** keyed by
 //!   `(program fingerprint, query fingerprint)` (see
 //!   [`ontorew_rewrite::fingerprint`]); α-renamed and atom-permuted variants
-//!   of the same CQ hit the same entry, so repeat queries skip the rewriting
-//!   fixpoint entirely and go straight to evaluation;
+//!   of the same CQ hit the same entry, so repeat queries skip plan
+//!   compilation entirely and go straight to execution — and because the
+//!   program fingerprint is part of the key, one cache is shared across all
+//!   tenants;
 //! * [`snapshot`] — **snapshot-isolated stores**: readers evaluate against an
 //!   immutable [`Snapshot`] behind an `Arc` while writers build the next
 //!   epoch off to the side and publish it with an atomic pointer swap, so
 //!   fact ingestion never blocks query traffic and no reader ever observes a
 //!   half-applied batch;
 //! * [`service`] — [`QueryService`], the embeddable engine combining the two
-//!   (canonicalize → cache → evaluate over a snapshot) with per-request
-//!   latency and cache-hit [`metrics`];
+//!   (canonicalize → cache → execute the plan over a snapshot, with chase
+//!   materializations cached per epoch by the `ontorew-plan` planner) with
+//!   per-request latency and cache-hit [`metrics`];
+//! * [`tenant`] — the **multi-tenant registry**: one server process hosts
+//!   many ontologies (`TenantRegistry`), each tenant with its own planner
+//!   and epoch store, all sharing the prepared-plan cache;
 //! * [`server`] + [`proto`] — a thread-pool TCP server (no async runtime,
 //!   plain `std` networking and threads) speaking a newline-delimited text
-//!   protocol (`PREPARE`, `QUERY`, `INSERT`, `STATS`, see [`proto`] for the
-//!   reference), plus [`client`], the matching blocking client used by the
-//!   bench load generator and the CI smoke test.
+//!   protocol (`PREPARE`, `EXPLAIN`, `QUERY`, `INSERT`, `TENANT`, `STATS` —
+//!   see [`proto`] for the reference), plus [`client`], the matching
+//!   blocking client used by the bench load generator and the CI smoke
+//!   test.
 //!
 //! ```
 //! use ontorew_model::{parse_program, parse_query};
@@ -58,12 +65,14 @@ pub mod proto;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod tenant;
 
-pub use cache::{CacheConfig, CacheStats, ShardedRewritingCache};
-pub use client::{ClientError, QueryReply, ServeClient};
+pub use cache::{CacheConfig, CacheStats, ShardedCache, ShardedPlanCache, ShardedRewritingCache};
+pub use client::{ClientError, ExplainReply, QueryReply, ServeClient};
 pub use metrics::{percentile, LatencyStats, ServeMetrics};
 pub use pool::ThreadPool;
 pub use proto::{format_fact, parse_fact, parse_request, Request};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_registry, ServerConfig, ServerHandle};
 pub use service::{Prepared, QueryResponse, QueryService, ServiceConfig, ServiceStats};
 pub use snapshot::{EpochStore, Snapshot};
+pub use tenant::{TenantInfo, TenantRegistry, DEFAULT_TENANT};

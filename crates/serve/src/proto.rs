@@ -6,18 +6,31 @@
 //! module is the reference implementation, and the README mirrors it.
 //!
 //! ```text
-//! PREPARE <cq>          compile + cache the rewriting of <cq>
-//!   -> OK PREPARED key=<fp> disjuncts=<n> complete=<bool> cached=<bool>
+//! PREPARE <cq>          compile + cache the plan of <cq>
+//!   -> OK PREPARED key=<fp> plan=<kind> disjuncts=<n> exact=<bool> cached=<bool>
+//! EXPLAIN <cq>          compile (cached like PREPARE) and dump the plan
+//!   -> OK PLAN key=<fp> plan=<kind> disjuncts=<n> exact=<bool> cached=<bool>
+//!      INFO <one line of the plan dump>       (repeated)
+//!      END
 //! QUERY <cq>            answer <cq> over the current snapshot
-//!   -> OK ANSWERS count=<n> epoch=<e> cache=<hit|miss> exact=<bool> us=<t>
+//!   -> OK ANSWERS count=<n> epoch=<e> plan=<kind> strategy=<s>
+//!      cache=<hit|miss> exact=<bool> us=<t>            (one line)
 //!      ROW <c1> <c2> ...      (count lines; constants are whitespace-free)
 //!      END
 //! INSERT <fact>[; <fact>]*   commit one batch of facts as one new epoch
 //!   -> OK INSERTED added=<n> epoch=<e>
-//! STATS                 service counters and latency percentiles
+//! TENANT CREATE <name> <rule>[ <rule>]*   register a tenant (empty store)
+//!   -> OK TENANT name=<n> rules=<r> program=<fp> tenants=<count>
+//! TENANT USE <name>     switch this connection to a tenant
+//!   -> OK TENANT name=<n> epoch=<e> facts=<n>
+//! TENANT DROP <name>    unregister a tenant (default cannot be dropped)
+//!   -> OK TENANT dropped=<n> tenants=<count>
+//! TENANT LIST           enumerate tenants
+//!   -> OK TENANTS count=<n> names=<a,b,...>
+//! STATS                 current-tenant counters and latency percentiles
 //!   -> OK STATS queries=<n> prepares=<n> inserts=<n> errors=<n>
 //!      cache_hits=<n> cache_misses=<n> cache_entries=<n> hit_rate=<f>
-//!      epoch=<e> facts=<n> p50_us=<t> p99_us=<t>      (one line)
+//!      epoch=<e> facts=<n> p50_us=<t> p99_us=<t> tenants=<n>  (one line)
 //! PING                  liveness probe        -> OK PONG
 //! QUIT                  close this connection -> OK BYE
 //! SHUTDOWN              stop the whole server -> OK BYE
@@ -25,21 +38,39 @@
 //! ```
 //!
 //! `<cq>` is the surface query syntax (`q(X) :- person(X)`); `<fact>` is
-//! `predicate(c1, c2, ...)` over bare or double-quoted constants.
+//! `predicate(c1, c2, ...)` over bare or double-quoted constants; `<rule>`
+//! is the ontology syntax (`[R1] student(X) -> person(X).` — the trailing
+//! period terminates each rule, so one line carries a whole program);
+//! `plan=<kind>` is one of `rewrite`, `chase`, `hybrid`, `besteffort`.
 
-use ontorew_model::parse_query;
 use ontorew_model::prelude::*;
+use ontorew_model::{parse_program, parse_query};
 
 /// A parsed protocol request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// Compile and cache a query's rewriting.
+    /// Compile and cache a query's plan.
     Prepare(ConjunctiveQuery),
+    /// Compile (cached) and dump a query's plan.
+    Explain(ConjunctiveQuery),
     /// Answer a query over the current snapshot.
     Query(ConjunctiveQuery),
     /// Commit a batch of ground facts as one epoch.
     Insert(Vec<Atom>),
-    /// Report service statistics.
+    /// Register a new tenant with the given ontology and an empty store.
+    TenantCreate {
+        /// The tenant's name.
+        name: String,
+        /// The tenant's ontology.
+        program: TgdProgram,
+    },
+    /// Switch this connection to the named tenant.
+    TenantUse(String),
+    /// Unregister the named tenant.
+    TenantDrop(String),
+    /// Enumerate the registered tenants.
+    TenantList,
+    /// Report service statistics (of the connection's current tenant).
     Stats,
     /// Liveness probe.
     Ping,
@@ -59,19 +90,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         None => (line, ""),
     };
     match verb {
-        "PREPARE" | "QUERY" => {
+        "PREPARE" | "QUERY" | "EXPLAIN" => {
             if rest.is_empty() {
                 return Err(format!(
                     "{verb} needs a query, e.g. {verb} q(X) :- person(X)"
                 ));
             }
             let query = parse_query(rest).map_err(|e| format!("cannot parse query: {e}"))?;
-            Ok(if verb == "PREPARE" {
-                Request::Prepare(query)
-            } else {
-                Request::Query(query)
+            Ok(match verb {
+                "PREPARE" => Request::Prepare(query),
+                "EXPLAIN" => Request::Explain(query),
+                _ => Request::Query(query),
             })
         }
+        "TENANT" => parse_tenant_request(rest),
         "INSERT" => {
             if rest.is_empty() {
                 return Err("INSERT needs facts, e.g. INSERT student(sara); course(db101)".into());
@@ -95,7 +127,56 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb {other:?}; expected PREPARE, QUERY, INSERT, STATS, PING, QUIT or SHUTDOWN"
+            "unknown verb {other:?}; expected PREPARE, EXPLAIN, QUERY, INSERT, TENANT, STATS, \
+             PING, QUIT or SHUTDOWN"
+        )),
+    }
+}
+
+/// Parse the payload of a `TENANT` request (`CREATE <name> <rules>`,
+/// `USE <name>`, `DROP <name>`, `LIST`).
+fn parse_tenant_request(rest: &str) -> Result<Request, String> {
+    let (subverb, rest) = match rest.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (rest, ""),
+    };
+    match subverb {
+        "CREATE" => {
+            let (name, program_text) = rest
+                .split_once(char::is_whitespace)
+                .map(|(n, p)| (n, p.trim()))
+                .ok_or_else(|| {
+                    "TENANT CREATE needs a name and an ontology, e.g. \
+                     TENANT CREATE hr [R1] student(X) -> person(X)."
+                        .to_string()
+                })?;
+            if program_text.is_empty() {
+                return Err(format!("TENANT CREATE {name}: missing the ontology rules"));
+            }
+            let program =
+                parse_program(program_text).map_err(|e| format!("cannot parse ontology: {e}"))?;
+            if program.is_empty() {
+                return Err("TENANT CREATE: the ontology contained no rules".into());
+            }
+            Ok(Request::TenantCreate {
+                name: name.to_string(),
+                program,
+            })
+        }
+        "USE" | "DROP" => {
+            if rest.is_empty() || rest.split_whitespace().count() != 1 {
+                return Err(format!("TENANT {subverb} needs exactly one tenant name"));
+            }
+            let name = rest.to_string();
+            Ok(if subverb == "USE" {
+                Request::TenantUse(name)
+            } else {
+                Request::TenantDrop(name)
+            })
+        }
+        "LIST" if rest.is_empty() => Ok(Request::TenantList),
+        other => Err(format!(
+            "unknown TENANT subcommand {other:?}; expected CREATE, USE, DROP or LIST"
         )),
     }
 }
@@ -339,6 +420,59 @@ mod tests {
         }
         assert_eq!(parse_row(""), Vec::<String>::new());
         assert_eq!(parse_row("  a   b  "), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn explain_parses_like_query() {
+        let r = parse_request("EXPLAIN q(X) :- person(X)").unwrap();
+        match r {
+            Request::Explain(cq) => assert_eq!(cq.arity(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_request("EXPLAIN")
+            .unwrap_err()
+            .contains("needs a query"));
+    }
+
+    #[test]
+    fn tenant_verbs_parse() {
+        let r = parse_request(
+            "TENANT CREATE hr [R1] worksIn(X, D) -> employee(X). [R2] employee(X) -> person(X).",
+        )
+        .unwrap();
+        match r {
+            Request::TenantCreate { name, program } => {
+                assert_eq!(name, "hr");
+                assert_eq!(program.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_request("TENANT USE hr").unwrap(),
+            Request::TenantUse("hr".into())
+        );
+        assert_eq!(
+            parse_request("TENANT DROP hr").unwrap(),
+            Request::TenantDrop("hr".into())
+        );
+        assert_eq!(parse_request("TENANT LIST").unwrap(), Request::TenantList);
+    }
+
+    #[test]
+    fn malformed_tenant_requests_are_rejected() {
+        assert!(parse_request("TENANT").unwrap_err().contains("subcommand"));
+        assert!(parse_request("TENANT FROB x")
+            .unwrap_err()
+            .contains("subcommand"));
+        assert!(parse_request("TENANT CREATE hr")
+            .unwrap_err()
+            .contains("ontology"));
+        assert!(parse_request("TENANT CREATE hr garbage rules here").is_err());
+        assert!(parse_request("TENANT USE").unwrap_err().contains("name"));
+        assert!(parse_request("TENANT USE two names")
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse_request("TENANT LIST extra").is_err());
     }
 
     #[test]

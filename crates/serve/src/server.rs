@@ -1,19 +1,22 @@
 //! The TCP front-end: a thread-pool server speaking the [`crate::proto`]
 //! protocol over newline-delimited text.
 //!
-//! The server owns nothing but plumbing — every request is answered by the
-//! shared [`QueryService`], so all concurrency guarantees (snapshot
-//! isolation, cache coherence) come from the service layer, and the same
-//! behavior is observable in-process. One connection is one unit of work: a
-//! worker thread reads request lines until the peer disconnects, a `QUIT`,
-//! or server shutdown. Reads use a short poll timeout so idle connections
-//! notice shutdown promptly without a dedicated reaper thread.
+//! The server owns nothing but plumbing — every request is answered by a
+//! [`QueryService`] out of the shared [`TenantRegistry`], so all concurrency
+//! guarantees (snapshot isolation, cache coherence) come from the service
+//! layer, and the same behavior is observable in-process. One connection is
+//! one unit of work: a worker thread reads request lines until the peer
+//! disconnects, a `QUIT`, or server shutdown. Each connection carries one
+//! piece of state — its *current tenant* (initially `default`), switched by
+//! `TENANT USE`. Reads use a short poll timeout so idle connections notice
+//! shutdown promptly without a dedicated reaper thread.
 
 use crate::pool::ThreadPool;
 use crate::proto::{parse_request, Request};
 use crate::service::QueryService;
+use crate::tenant::{TenantRegistry, DEFAULT_TENANT};
 use ontorew_model::prelude::*;
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,7 +47,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    service: Arc<QueryService>,
+    registry: Arc<TenantRegistry>,
+    default_service: Arc<QueryService>,
 }
 
 impl ServerHandle {
@@ -53,9 +57,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The shared service the server answers from.
+    /// The default tenant's service (the whole server, in single-tenant
+    /// deployments).
     pub fn service(&self) -> &Arc<QueryService> {
-        &self.service
+        &self.default_service
+    }
+
+    /// The tenant registry the server answers from.
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.registry
     }
 
     /// True once shutdown has been requested (by [`ServerHandle::shutdown`]
@@ -93,15 +103,29 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Start serving `service` per `config`. Returns once the listener is bound;
-/// the accept loop and workers run on background threads until shutdown.
+/// Start a single-tenant server: `service` becomes the `default` tenant of
+/// a fresh registry (additional tenants can still be created on the wire,
+/// sharing `service`'s plan cache and inheriting its configuration).
+/// Returns once the listener is bound.
 pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let registry = Arc::new(TenantRegistry::around(service));
+    serve_registry(registry, config)
+}
+
+/// Start serving every tenant of `registry` per `config`. Returns once the
+/// listener is bound; the accept loop and workers run on background threads
+/// until shutdown.
+pub fn serve_registry(
+    registry: Arc<TenantRegistry>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let default_service = registry.default_tenant();
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
-        let service = Arc::clone(&service);
+        let registry = Arc::clone(&registry);
         let workers = config.workers;
         std::thread::Builder::new()
             .name("ontorew-accept".to_string())
@@ -113,9 +137,9 @@ pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Resul
                     }
                     match stream {
                         Ok(stream) => {
-                            let service = Arc::clone(&service);
+                            let registry = Arc::clone(&registry);
                             let shutdown = Arc::clone(&shutdown);
-                            pool.execute(move || handle_connection(stream, service, shutdown));
+                            pool.execute(move || handle_connection(stream, registry, shutdown));
                         }
                         Err(_) => continue,
                     }
@@ -127,17 +151,26 @@ pub fn serve(service: Arc<QueryService>, config: ServerConfig) -> std::io::Resul
         addr,
         shutdown,
         accept_thread: Some(accept_thread),
-        service,
+        registry,
+        default_service,
     })
 }
 
 /// Longest accepted request line. Anything a legitimate client sends is
 /// orders of magnitude smaller; without a cap, one peer streaming bytes
 /// with no newline would grow the line buffer until the whole server OOMs.
+/// (`TENANT CREATE` carries a whole ontology on one line, which fits
+/// comfortably: the cap allows ~1000 rules of typical size.)
 const MAX_REQUEST_LINE: usize = 64 * 1024;
 
+/// Per-connection protocol state: the tenant requests are routed to.
+struct Connection {
+    service: Arc<QueryService>,
+    tenant: String,
+}
+
 /// Serve one connection until EOF, `QUIT`, `SHUTDOWN`, or server shutdown.
-fn handle_connection(stream: TcpStream, service: Arc<QueryService>, shutdown: Arc<AtomicBool>) {
+fn handle_connection(stream: TcpStream, registry: Arc<TenantRegistry>, shutdown: Arc<AtomicBool>) {
     // A short read timeout lets idle connections poll the shutdown flag;
     // partially read lines stay buffered in `line` across poll rounds.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
@@ -146,7 +179,11 @@ fn handle_connection(stream: TcpStream, service: Arc<QueryService>, shutdown: Ar
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = std::io::BufReader::new(stream);
+    let mut connection = Connection {
+        service: registry.default_tenant(),
+        tenant: DEFAULT_TENANT.to_string(),
+    };
     // Requests are accumulated as bytes and decoded per complete line:
     // unlike `read_line`, `read_until` never drops already-consumed bytes
     // when a poll timeout lands mid-way through a multi-byte UTF-8
@@ -164,7 +201,7 @@ fn handle_connection(stream: TcpStream, service: Arc<QueryService>, shutdown: Ar
         reader = limited.into_inner();
         if line.len() > MAX_REQUEST_LINE {
             let _ = writeln!(writer, "ERR request line exceeds {MAX_REQUEST_LINE} bytes");
-            service.record_error();
+            connection.service.record_error();
             return;
         }
         match result {
@@ -175,14 +212,14 @@ fn handle_connection(stream: TcpStream, service: Arc<QueryService>, shutdown: Ar
                 let request = match String::from_utf8(std::mem::take(&mut line)) {
                     Ok(request) => request,
                     Err(_) => {
-                        service.record_error();
+                        connection.service.record_error();
                         if writeln!(writer, "ERR request is not valid UTF-8").is_err() {
                             return;
                         }
                         continue;
                     }
                 };
-                match respond(&request, &service, &shutdown, &mut writer) {
+                match respond(&request, &registry, &mut connection, &shutdown, &mut writer) {
                     Ok(keep_open) if keep_open => continue,
                     _ => return,
                 }
@@ -195,49 +232,75 @@ fn handle_connection(stream: TcpStream, service: Arc<QueryService>, shutdown: Ar
     }
 }
 
+/// Render one answer row for the wire.
+fn encode_row(row: &[Term]) -> String {
+    let cells: Vec<String> = row
+        .iter()
+        .map(|t| match t {
+            Term::Constant(c) => crate::proto::encode_cell(c.name()),
+            other => crate::proto::encode_cell(&format!("{other}")),
+        })
+        .collect();
+    cells.join(" ")
+}
+
 /// Handle one request line; returns `Ok(false)` when the connection should
 /// close, `Err` when the peer is gone.
 fn respond(
     request: &str,
-    service: &QueryService,
+    registry: &TenantRegistry,
+    connection: &mut Connection,
     shutdown: &AtomicBool,
     writer: &mut TcpStream,
 ) -> std::io::Result<bool> {
     if request.trim().is_empty() {
         return Ok(true); // blank lines are keep-alive noise
     }
+    let service = Arc::clone(&connection.service);
     match parse_request(request) {
         Ok(Request::Prepare(query)) => {
             let prepared = service.prepare(&query);
             writeln!(
                 writer,
-                "OK PREPARED key={} disjuncts={} complete={} cached={}",
+                "OK PREPARED key={} plan={} disjuncts={} exact={} cached={}",
                 prepared.key,
-                prepared.rewriting.len(),
-                prepared.rewriting.complete,
+                prepared.plan_kind(),
+                prepared.disjuncts(),
+                prepared.is_exact_plan(),
                 prepared.cache_hit
             )?;
+        }
+        Ok(Request::Explain(query)) => {
+            let (prepared, dump) = service.explain(&query);
+            writeln!(
+                writer,
+                "OK PLAN key={} plan={} disjuncts={} exact={} cached={}",
+                prepared.key,
+                prepared.plan_kind(),
+                prepared.disjuncts(),
+                prepared.is_exact_plan(),
+                prepared.cache_hit
+            )?;
+            for info in dump.lines() {
+                writeln!(writer, "INFO {info}")?;
+            }
+            writeln!(writer, "END")?;
         }
         Ok(Request::Query(query)) => match service.query(&query) {
             Ok(response) => {
                 writeln!(
                     writer,
-                    "OK ANSWERS count={} epoch={} cache={} exact={} us={}",
+                    "OK ANSWERS count={} epoch={} plan={} strategy={} cache={} exact={} us={}",
                     response.answers.len(),
                     response.epoch,
+                    response.plan,
+                    response.provenance.strategy,
                     if response.cache_hit { "hit" } else { "miss" },
                     response.exact,
                     response.micros
                 )?;
                 for row in response.answers.iter() {
-                    let cells: Vec<String> = row
-                        .iter()
-                        .map(|t| match t {
-                            Term::Constant(c) => crate::proto::encode_cell(c.name()),
-                            other => crate::proto::encode_cell(&format!("{other}")),
-                        })
-                        .collect();
-                    writeln!(writer, "ROW {}", cells.join(" "))?;
+                    writeln!(writer, "ROW {}", encode_row(row))?;
                 }
                 writeln!(writer, "END")?;
             }
@@ -253,13 +316,78 @@ fn respond(
                 writeln!(writer, "ERR {e}")?;
             }
         },
+        Ok(Request::TenantCreate { name, program }) => match registry.create(&name, program) {
+            Ok(created) => {
+                writeln!(
+                    writer,
+                    "OK TENANT name={} rules={} program={} tenants={}",
+                    name,
+                    created.program().len(),
+                    created.program_fingerprint(),
+                    registry.len()
+                )?;
+            }
+            Err(e) => {
+                service.record_error();
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
+        Ok(Request::TenantUse(name)) => match registry.get(&name) {
+            Some(tenant) => {
+                let snapshot = tenant.snapshot();
+                connection.service = tenant;
+                connection.tenant = name.clone();
+                writeln!(
+                    writer,
+                    "OK TENANT name={} epoch={} facts={}",
+                    name,
+                    snapshot.epoch(),
+                    snapshot.len()
+                )?;
+            }
+            None => {
+                service.record_error();
+                writeln!(writer, "ERR bad request: no tenant {name:?}")?;
+            }
+        },
+        Ok(Request::TenantDrop(name)) => match registry.drop_tenant(&name) {
+            Ok(()) => {
+                // A connection sitting on the dropped tenant falls back to
+                // the default tenant (its handle would otherwise answer
+                // from a ghost store).
+                if connection.tenant == name {
+                    connection.service = registry.default_tenant();
+                    connection.tenant = DEFAULT_TENANT.to_string();
+                }
+                writeln!(
+                    writer,
+                    "OK TENANT dropped={} tenants={}",
+                    name,
+                    registry.len()
+                )?;
+            }
+            Err(e) => {
+                service.record_error();
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
+        Ok(Request::TenantList) => {
+            let rows = registry.list();
+            let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+            writeln!(
+                writer,
+                "OK TENANTS count={} names={}",
+                rows.len(),
+                names.join(",")
+            )?;
+        }
         Ok(Request::Stats) => {
             let stats = service.stats();
             writeln!(
                 writer,
                 "OK STATS queries={} prepares={} inserts={} errors={} cache_hits={} \
                  cache_misses={} cache_entries={} hit_rate={:.4} epoch={} facts={} \
-                 p50_us={} p99_us={}",
+                 p50_us={} p99_us={} tenants={}",
                 stats.queries,
                 stats.prepares,
                 stats.inserts,
@@ -271,7 +399,8 @@ fn respond(
                 stats.epoch,
                 stats.facts,
                 stats.latency.p50_us,
-                stats.latency.p99_us
+                stats.latency.p99_us,
+                registry.len()
             )?;
         }
         Ok(Request::Ping) => {
@@ -300,7 +429,7 @@ mod tests {
     use crate::service::ServiceConfig;
     use ontorew_model::parse_program;
     use ontorew_storage::RelationalStore;
-    use std::io::BufRead;
+    use std::io::{BufRead, BufReader};
 
     fn start_test_server() -> ServerHandle {
         let program = parse_program("[R1] student(X) -> person(X).").unwrap();
@@ -324,6 +453,21 @@ mod tests {
         line
     }
 
+    /// Read lines up to and including `END`.
+    fn read_block(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let trimmed = line.trim().to_string();
+            let done = trimmed == "END";
+            lines.push(trimmed);
+            if done {
+                return lines;
+            }
+        }
+    }
+
     #[test]
     fn serves_the_whole_protocol_over_tcp() {
         let handle = start_test_server();
@@ -337,11 +481,16 @@ mod tests {
 
         let prepared = roundtrip(&mut stream, &mut reader, "PREPARE q(X) :- person(X)");
         assert!(prepared.starts_with("OK PREPARED key=p"), "{prepared}");
-        assert!(prepared.contains("cached=false"));
+        assert!(prepared.contains("plan=hybrid"), "{prepared}");
+        assert!(prepared.contains("cached=false"), "{prepared}");
 
         let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
         assert!(
             header.contains("count=1") && header.contains("cache=hit"),
+            "{header}"
+        );
+        assert!(
+            header.contains("plan=hybrid") && header.contains("strategy=rewriting"),
             "{header}"
         );
         let mut row = String::new();
@@ -375,8 +524,106 @@ mod tests {
             stats.contains("queries=2") && stats.contains("errors=1"),
             "{stats}"
         );
+        assert!(stats.contains("tenants=1"), "{stats}");
 
         assert_eq!(roundtrip(&mut stream, &mut reader, "QUIT").trim(), "OK BYE");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn explain_dumps_the_plan_over_tcp() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let header = roundtrip(&mut stream, &mut reader, "EXPLAIN q(X) :- person(X)");
+        assert!(header.starts_with("OK PLAN key=p"), "{header}");
+        assert!(header.contains("plan=hybrid"), "{header}");
+        let block = read_block(&mut reader);
+        assert!(
+            block.iter().any(|l| l.starts_with("INFO plan: hybrid")),
+            "{block:?}"
+        );
+        assert!(
+            block.iter().any(|l| l.starts_with("INFO reason:")),
+            "{block:?}"
+        );
+        assert_eq!(block.last().map(String::as_str), Some("END"));
+        // EXPLAIN warmed the cache: the same query is a PREPARE hit.
+        let prepared = roundtrip(&mut stream, &mut reader, "PREPARE q(X) :- person(X)");
+        assert!(prepared.contains("cached=true"), "{prepared}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tenants_are_created_used_and_dropped_over_tcp() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        let created = roundtrip(
+            &mut stream,
+            &mut reader,
+            "TENANT CREATE hr [R1] worksIn(X, D) -> employee(X).",
+        );
+        assert!(created.contains("name=hr"), "{created}");
+        assert!(created.contains("rules=1"), "{created}");
+        assert!(created.contains("tenants=2"), "{created}");
+
+        // Switch to hr: empty store, its own ontology.
+        let used = roundtrip(&mut stream, &mut reader, "TENANT USE hr");
+        assert!(
+            used.contains("name=hr") && used.contains("facts=0"),
+            "{used}"
+        );
+        let inserted = roundtrip(&mut stream, &mut reader, "INSERT worksIn(ann, cs)");
+        assert!(inserted.contains("added=1"), "{inserted}");
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- employee(X)");
+        assert!(header.contains("count=1"), "{header}");
+        let block = read_block(&mut reader);
+        assert!(block.contains(&"ROW ann".to_string()), "{block:?}");
+
+        // The default tenant is untouched by hr's insert.
+        let back = roundtrip(&mut stream, &mut reader, "TENANT USE default");
+        assert!(back.contains("facts=1"), "{back}");
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- employee(X)");
+        assert!(header.contains("count=0"), "{header}");
+        read_block(&mut reader);
+
+        let listed = roundtrip(&mut stream, &mut reader, "TENANT LIST");
+        assert!(
+            listed.contains("count=2") && listed.contains("names=default,hr"),
+            "{listed}"
+        );
+
+        let dropped = roundtrip(&mut stream, &mut reader, "TENANT DROP hr");
+        assert!(
+            dropped.contains("dropped=hr") && dropped.contains("tenants=1"),
+            "{dropped}"
+        );
+        let gone = roundtrip(&mut stream, &mut reader, "TENANT USE hr");
+        assert!(gone.starts_with("ERR "), "{gone}");
+        let default_refused = roundtrip(&mut stream, &mut reader, "TENANT DROP default");
+        assert!(default_refused.starts_with("ERR "), "{default_refused}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_current_tenant_falls_back_to_default() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        roundtrip(
+            &mut stream,
+            &mut reader,
+            "TENANT CREATE temp [R1] a(X) -> b(X).",
+        );
+        roundtrip(&mut stream, &mut reader, "TENANT USE temp");
+        let dropped = roundtrip(&mut stream, &mut reader, "TENANT DROP temp");
+        assert!(dropped.starts_with("OK TENANT"), "{dropped}");
+        // Back on default: sara is visible again.
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        assert!(header.contains("count=1"), "{header}");
+        read_block(&mut reader);
         handle.shutdown();
     }
 

@@ -1,25 +1,27 @@
-//! [`QueryService`]: the embeddable serving engine.
+//! [`QueryService`]: the embeddable serving engine for one tenant.
 //!
 //! One `QueryService` owns an ontology (fixed for the service's lifetime, as
-//! a compiled artifact cache demands), the sharded prepared-query cache, the
-//! epoch-swapped data store and the metrics. It is entirely `&self`-based
-//! and meant to be shared behind an `Arc` by any number of threads — the TCP
-//! server does exactly that, but the service is just as usable in-process
-//! (the examples and benchmarks drive it directly).
+//! a compiled artifact cache demands) through its [`Planner`], the sharded
+//! prepared-plan cache (private, or shared across tenants by the
+//! [`crate::tenant::TenantRegistry`]), the epoch-swapped data store and the
+//! metrics. It is entirely `&self`-based and meant to be shared behind an
+//! `Arc` by any number of threads — the TCP server does exactly that, but
+//! the service is just as usable in-process (the examples and benchmarks
+//! drive it directly).
 //!
 //! The request path is the three-step pipeline the crate docs advertise:
-//! **canonicalize** (fingerprint the query), **cache** (fetch or compute the
-//! UCQ rewriting), **evaluate** (run the UCQ over an immutable snapshot).
+//! **canonicalize** (fingerprint the query), **cache** (fetch or compile the
+//! [`PreparedQuery`] plan), **execute** (run the plan over an immutable
+//! snapshot, with chase materializations cached per epoch inside the
+//! planner).
 
-use crate::cache::{CacheConfig, CacheStats, ShardedRewritingCache};
+use crate::cache::{CacheConfig, CacheStats, ShardedPlanCache};
 use crate::metrics::{LatencyStats, ServeMetrics};
 use crate::snapshot::{EpochStore, Snapshot};
 use ontorew_model::prelude::*;
+use ontorew_plan::{PlanKind, Planner, PlannerConfig, PreparedQuery, Provenance};
 use ontorew_rewrite::fingerprint::query_identity;
-use ontorew_rewrite::{
-    evaluate_rewriting, fingerprint_program, rewrite, PreparedKey, ProgramFingerprint,
-    RewriteConfig, Rewriting,
-};
+use ontorew_rewrite::{fingerprint_program, PreparedKey, ProgramFingerprint, RewriteConfig};
 use ontorew_storage::{AnswerSet, RelationalStore};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -28,21 +30,46 @@ use std::time::Instant;
 /// Configuration of a [`QueryService`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceConfig {
-    /// Rewriting engine limits used when compiling uncached queries.
-    pub rewrite: RewriteConfig,
-    /// Prepared-query cache shape.
+    /// Rewriting engine limits used when compiling uncached plans. `None`
+    /// (the default) uses the size-aware `RewriteConfig::for_program`
+    /// heuristic.
+    pub rewrite: Option<RewriteConfig>,
+    /// Prepared-plan cache shape (ignored by services attached to a shared
+    /// cache).
     pub cache: CacheConfig,
 }
 
-/// The result of preparing a query (compiling it to a cached rewriting).
+/// The result of preparing a query (compiling it to a cached plan).
 #[derive(Clone)]
 pub struct Prepared {
-    /// The cache key the rewriting is stored under.
+    /// The cache key the plan is stored under.
     pub key: PreparedKey,
-    /// The compiled rewriting.
-    pub rewriting: Arc<Rewriting>,
-    /// True if the rewriting was already cached.
+    /// The compiled plan.
+    pub prepared: Arc<PreparedQuery>,
+    /// True if the plan was already cached.
     pub cache_hit: bool,
+}
+
+impl Prepared {
+    /// The kind of the compiled plan (part of how the cache entry is
+    /// reported on the wire: `key=<fp> plan=<kind>`).
+    pub fn plan_kind(&self) -> PlanKind {
+        self.prepared.plan().kind()
+    }
+
+    /// Total rewriting fan-out of the plan (0 for pure chase plans).
+    pub fn disjuncts(&self) -> usize {
+        self.prepared.plan().disjuncts()
+    }
+
+    /// True when the plan guarantees exact certain answers (perfect
+    /// rewriting or terminating chase — hybrid plans qualify even when
+    /// their rewriting was budget-cut, because execution falls back to the
+    /// terminating materialization). Delegates to
+    /// [`PreparedQuery::guarantees_exact`].
+    pub fn is_exact_plan(&self) -> bool {
+        self.prepared.guarantees_exact()
+    }
 }
 
 /// The result of answering a query.
@@ -51,13 +78,18 @@ pub struct QueryResponse {
     pub answers: AnswerSet,
     /// The epoch of the snapshot the answers came from.
     pub epoch: u64,
-    /// The cache key of the rewriting that was evaluated.
+    /// The cache key of the plan that was executed.
     pub key: PreparedKey,
-    /// True if the rewriting came from the cache (no rewriting fixpoint ran).
+    /// The kind of the executed plan.
+    pub plan: PlanKind,
+    /// True if the plan came from the cache (no compilation ran).
     pub cache_hit: bool,
-    /// True if the rewriting is complete (answers are exactly the certain
-    /// answers); false means a sound approximation from a depth-bounded run.
+    /// True if the answers are exactly the certain answers; false means a
+    /// sound approximation from a budget-bounded run.
     pub exact: bool,
+    /// The full provenance report of the plan execution (strategy taken,
+    /// reason, timings, materialization cache state).
+    pub provenance: Provenance,
     /// End-to-end service time for this request, microseconds.
     pub micros: u64,
 }
@@ -67,13 +99,14 @@ pub struct QueryResponse {
 pub struct ServiceStats {
     /// `QUERY` requests served.
     pub queries: u64,
-    /// `PREPARE` requests served.
+    /// `PREPARE`/`EXPLAIN` requests served.
     pub prepares: u64,
     /// `INSERT` requests served.
     pub inserts: u64,
     /// Requests rejected with an error.
     pub errors: u64,
-    /// Cache counters.
+    /// Cache counters (of the plan cache, which may be shared across
+    /// tenants).
     pub cache: CacheStats,
     /// Latency percentiles over the recent window.
     pub latency: LatencyStats,
@@ -86,8 +119,9 @@ pub struct ServiceStats {
 /// Errors a service request can fail with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The query refers to a predicate with an arity conflicting with the
-    /// ontology or data — reported rather than silently answering empty.
+    /// The request is malformed at the service level (non-ground insert,
+    /// bad tenant name, unknown tenant, ...) — reported rather than
+    /// silently ignored.
     BadRequest(String),
 }
 
@@ -101,38 +135,84 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// The concurrent query-answering service. See the module docs.
+/// The concurrent query-answering service for one ontology. See the module
+/// docs.
 pub struct QueryService {
-    program: TgdProgram,
+    planner: Planner,
     program_fp: ProgramFingerprint,
-    rewrite_config: RewriteConfig,
-    cache: ShardedRewritingCache,
+    config: ServiceConfig,
+    cache: Arc<ShardedPlanCache>,
     store: EpochStore,
     metrics: ServeMetrics,
+    /// Disambiguates this service's data versions inside the planner's
+    /// materialization cache when the plan cache (and hence prepared plans,
+    /// for identical programs) is shared across tenants: the version token
+    /// is `tenant_tag << 32 | epoch`.
+    tenant_tag: u64,
 }
 
 impl QueryService {
-    /// Build a service for `program` with `initial` data as epoch 0.
+    /// Build a stand-alone service for `program` with `initial` data as
+    /// epoch 0 and a private plan cache.
     pub fn new(program: TgdProgram, initial: RelationalStore, config: ServiceConfig) -> Self {
+        let cache = Arc::new(ShardedPlanCache::new(config.cache));
+        QueryService::with_shared_cache(program, initial, config, cache, 0)
+    }
+
+    /// Build a service that shares `cache` with other tenants. `tenant_tag`
+    /// must be unique per service sharing the cache (the tenant registry
+    /// assigns it) and below 2^32.
+    pub fn with_shared_cache(
+        program: TgdProgram,
+        initial: RelationalStore,
+        config: ServiceConfig,
+        cache: Arc<ShardedPlanCache>,
+        tenant_tag: u64,
+    ) -> Self {
         let program_fp = fingerprint_program(&program);
-        QueryService {
+        let planner = Planner::with_config(
             program,
+            PlannerConfig {
+                rewrite: config.rewrite,
+                ..PlannerConfig::default()
+            },
+        );
+        QueryService {
+            planner,
             program_fp,
-            rewrite_config: config.rewrite,
-            cache: ShardedRewritingCache::new(config.cache),
+            config,
+            cache,
             store: EpochStore::new(initial),
             metrics: ServeMetrics::new(),
+            tenant_tag,
         }
     }
 
     /// The ontology this service answers under.
     pub fn program(&self) -> &TgdProgram {
-        &self.program
+        self.planner.program()
     }
 
-    /// The fingerprint of the ontology (half of every cache key).
+    /// The configuration this service was built with (the tenant registry
+    /// reuses it for tenants created around an existing service).
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// The planner compiling this service's plans.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The fingerprint of the ontology (half of every cache key, and the
+    /// tenant registry's notion of program identity).
     pub fn program_fingerprint(&self) -> ProgramFingerprint {
         self.program_fp
+    }
+
+    /// The plan cache this service reads through (possibly shared).
+    pub fn cache(&self) -> &Arc<ShardedPlanCache> {
+        &self.cache
     }
 
     /// The current data snapshot (for direct evaluation by embedders).
@@ -159,45 +239,64 @@ impl QueryService {
         self.identity_of(query).0
     }
 
-    /// Compile `query` into its UCQ rewriting, caching the artifact. Repeat
+    /// The version token executions run under: the current epoch, tagged by
+    /// tenant so shared planners never mix materializations across tenants.
+    fn version_of(&self, epoch: u64) -> u64 {
+        (self.tenant_tag << 32) | epoch
+    }
+
+    /// Compile `query` into its plan, caching the artifact. Repeat
     /// preparations (of this query or any α-renamed / atom-permuted variant)
     /// are cache hits.
     pub fn prepare(&self, query: &ConjunctiveQuery) -> Prepared {
         let start = Instant::now();
         let (key, canonical) = self.identity_of(query);
-        let (rewriting, cache_hit) = self.cache.get_or_compute(key, &canonical, || {
-            rewrite(&self.program, query, &self.rewrite_config)
-        });
+        let (prepared, cache_hit) = self
+            .cache
+            .get_or_compute(key, &canonical, || self.planner.prepare(query));
         self.metrics.prepares.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .record_latency_us(start.elapsed().as_micros() as u64);
         Prepared {
             key,
-            rewriting,
+            prepared,
             cache_hit,
         }
     }
 
-    /// Answer `query`: fetch or compile its rewriting, then evaluate it over
-    /// the current snapshot. The entire evaluation runs against one immutable
-    /// epoch — concurrent inserts are invisible until the next request.
+    /// The `EXPLAIN` entry point: fetch or compile the plan (cached like
+    /// `prepare`) and return it together with its human-readable dump.
+    pub fn explain(&self, query: &ConjunctiveQuery) -> (Prepared, String) {
+        let prepared = self.prepare(query);
+        let dump = prepared.prepared.explain();
+        (prepared, dump)
+    }
+
+    /// Answer `query`: fetch or compile its plan, then execute it over the
+    /// current snapshot. The entire evaluation runs against one immutable
+    /// epoch — concurrent inserts are invisible until the next request —
+    /// and chase materializations are cached per (tenant, epoch) inside the
+    /// planner.
     pub fn query(&self, query: &ConjunctiveQuery) -> Result<QueryResponse, ServiceError> {
         let start = Instant::now();
         let (key, canonical) = self.identity_of(query);
-        let (rewriting, cache_hit) = self.cache.get_or_compute(key, &canonical, || {
-            rewrite(&self.program, query, &self.rewrite_config)
-        });
+        let (prepared, cache_hit) = self
+            .cache
+            .get_or_compute(key, &canonical, || self.planner.prepare(query));
         let snapshot = self.store.snapshot();
-        let answers = evaluate_rewriting(&rewriting, query, snapshot.store());
+        let execution =
+            prepared.execute_versioned(snapshot.store(), self.version_of(snapshot.epoch()));
         let micros = start.elapsed().as_micros() as u64;
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
         self.metrics.record_latency_us(micros);
         Ok(QueryResponse {
-            answers,
+            answers: execution.answers,
             epoch: snapshot.epoch(),
             key,
+            plan: prepared.plan().kind(),
             cache_hit,
-            exact: rewriting.complete,
+            exact: execution.provenance.exact,
+            provenance: execution.provenance,
             micros,
         })
     }
@@ -244,6 +343,7 @@ impl QueryService {
 mod tests {
     use super::*;
     use ontorew_model::{parse_program, parse_query};
+    use ontorew_plan::StrategyTaken;
 
     fn university_service() -> QueryService {
         let program = ontorew_core::examples::university_ontology();
@@ -269,6 +369,10 @@ mod tests {
         assert_eq!(served.answers, direct.answers);
         assert!(served.exact);
         assert_eq!(served.epoch, 0);
+        // The university ontology satisfies both guarantees: hybrid plan,
+        // rewriting strategy (narrow fan-out).
+        assert_eq!(served.plan, PlanKind::Hybrid);
+        assert_eq!(served.provenance.strategy, StrategyTaken::Rewriting);
     }
 
     #[test]
@@ -286,15 +390,30 @@ mod tests {
     }
 
     #[test]
-    fn prepare_then_query_skips_rewriting() {
+    fn prepare_then_query_skips_compilation() {
         let service = university_service();
         let q = parse_query("q(T) :- teaches(T, C), attends(S, C)").unwrap();
         let prepared = service.prepare(&q);
         assert!(!prepared.cache_hit);
+        assert_eq!(prepared.plan_kind(), PlanKind::Hybrid);
+        assert!(prepared.disjuncts() >= 1);
+        assert!(prepared.is_exact_plan());
         let response = service.query(&q).unwrap();
         assert!(response.cache_hit);
         assert_eq!(response.key, prepared.key);
         assert!(response.answers.contains_constants(&["alice"]));
+    }
+
+    #[test]
+    fn explain_reports_the_plan() {
+        let service = university_service();
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let (prepared, dump) = service.explain(&q);
+        assert_eq!(prepared.plan_kind(), PlanKind::Hybrid);
+        assert!(dump.contains("plan: hybrid"), "{dump}");
+        assert!(dump.contains("reason:"), "{dump}");
+        // EXPLAIN warms the cache like PREPARE does.
+        assert!(service.query(&q).unwrap().cache_hit);
     }
 
     #[test]
@@ -340,5 +459,31 @@ mod tests {
         assert!(cold.answers.contains_constants(&["kim"]));
         assert_eq!(cold.answers, warm.answers);
         assert!(warm.cache_hit);
+    }
+
+    #[test]
+    fn chase_plans_reuse_the_epoch_materialization() {
+        // Example 2: the planner compiles a chase plan; repeated queries on
+        // one epoch share the materialization, and a new epoch invalidates
+        // it through the version token.
+        let program = ontorew_core::examples::example2();
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let service = QueryService::new(program, store, ServiceConfig::default());
+        let q = ontorew_core::examples::example2_query();
+        let cold = service.query(&q).unwrap();
+        assert_eq!(cold.plan, PlanKind::Chase);
+        assert!(cold.exact);
+        assert!(cold.answers.as_boolean());
+        assert_eq!(cold.provenance.materialization_cached, Some(false));
+        let warm = service.query(&q).unwrap();
+        assert_eq!(warm.provenance.materialization_cached, Some(true));
+        service
+            .insert_facts(&[Atom::fact("t", &["d2", "c"])])
+            .unwrap();
+        let fresh = service.query(&q).unwrap();
+        assert_eq!(fresh.epoch, 1);
+        assert_eq!(fresh.provenance.materialization_cached, Some(false));
     }
 }

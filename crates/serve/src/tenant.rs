@@ -1,0 +1,337 @@
+//! Multi-tenant serving: one server process, many ontologies.
+//!
+//! A [`TenantRegistry`] maps tenant names to per-tenant engines — each a
+//! [`QueryService`] with its own [`Planner`] (classification, plan
+//! compilation, per-epoch materialization cache) and its own `EpochStore` —
+//! while **one prepared-plan cache is shared across all tenants**. The cache
+//! key is `(program fingerprint, query fingerprint)`, so two tenants serving
+//! the same ontology (a common fleet shape: many isolated datasets, one
+//! schema) share every compiled plan, and tenants serving different
+//! ontologies can never collide. Each tenant gets a unique tag that
+//! namespaces its data versions inside shared planners, so per-epoch chase
+//! materializations stay tenant-local.
+//!
+//! The TCP protocol drives this through the `TENANT CREATE/USE/DROP/LIST`
+//! verbs; embedders can use the registry directly.
+//!
+//! [`Planner`]: ontorew_plan::Planner
+
+use crate::cache::{CacheStats, ShardedPlanCache};
+use crate::service::{QueryService, ServiceConfig, ServiceError};
+use ontorew_model::prelude::*;
+use ontorew_rewrite::ProgramFingerprint;
+use ontorew_storage::RelationalStore;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The reserved name of the tenant a server starts with (and the one
+/// connections speak to before any `TENANT USE`).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A summary row of one registered tenant.
+#[derive(Clone, Debug)]
+pub struct TenantInfo {
+    /// The tenant's name.
+    pub name: String,
+    /// Fingerprint of the tenant's ontology.
+    pub program: ProgramFingerprint,
+    /// Rules in the tenant's ontology.
+    pub rules: usize,
+    /// Currently published epoch of the tenant's store.
+    pub epoch: u64,
+    /// Facts in the current epoch.
+    pub facts: usize,
+}
+
+/// The registry of tenants sharing one server and one prepared-plan cache.
+pub struct TenantRegistry {
+    config: ServiceConfig,
+    cache: Arc<ShardedPlanCache>,
+    tenants: RwLock<BTreeMap<String, Arc<QueryService>>>,
+    next_tag: AtomicU64,
+}
+
+impl TenantRegistry {
+    /// A registry whose `default` tenant serves `program` over `initial`.
+    pub fn new(program: TgdProgram, initial: RelationalStore, config: ServiceConfig) -> Self {
+        let cache = Arc::new(ShardedPlanCache::new(config.cache));
+        let default = Arc::new(QueryService::with_shared_cache(
+            program,
+            initial,
+            config,
+            Arc::clone(&cache),
+            0,
+        ));
+        let mut tenants = BTreeMap::new();
+        tenants.insert(DEFAULT_TENANT.to_string(), default);
+        TenantRegistry {
+            config,
+            cache,
+            tenants: RwLock::new(tenants),
+            next_tag: AtomicU64::new(1),
+        }
+    }
+
+    /// Wrap an already-built service as the `default` tenant (the
+    /// single-tenant entry path of [`crate::server::serve`]). Later tenants
+    /// share the service's cache and inherit its configuration.
+    pub fn around(service: Arc<QueryService>) -> Self {
+        let cache = Arc::clone(service.cache());
+        let config = service.config();
+        let mut tenants = BTreeMap::new();
+        tenants.insert(DEFAULT_TENANT.to_string(), service);
+        TenantRegistry {
+            config,
+            cache,
+            tenants: RwLock::new(tenants),
+            next_tag: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared prepared-plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The default tenant (always present).
+    pub fn default_tenant(&self) -> Arc<QueryService> {
+        self.get(DEFAULT_TENANT)
+            .expect("the default tenant is never dropped")
+    }
+
+    /// Look up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<Arc<QueryService>> {
+        self.tenants.read().get(name).cloned()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().len()
+    }
+
+    /// True when only the default tenant exists... never: the registry
+    /// always holds at least the default tenant, so this is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Create a tenant named `name` serving `program` over an empty store.
+    /// Fails if the name is taken or invalid (names are `[A-Za-z0-9_-]+`,
+    /// at most 64 bytes).
+    pub fn create(
+        &self,
+        name: &str,
+        program: TgdProgram,
+    ) -> Result<Arc<QueryService>, ServiceError> {
+        validate_tenant_name(name)?;
+        // Compile the service outside the registry lock (classification can
+        // be expensive); losing a creation race is reported as a conflict.
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let service = Arc::new(QueryService::with_shared_cache(
+            program,
+            RelationalStore::new(),
+            self.config,
+            Arc::clone(&self.cache),
+            tag,
+        ));
+        let mut tenants = self.tenants.write();
+        if tenants.contains_key(name) {
+            return Err(ServiceError::BadRequest(format!(
+                "tenant {name:?} already exists"
+            )));
+        }
+        tenants.insert(name.to_string(), Arc::clone(&service));
+        Ok(service)
+    }
+
+    /// Drop the tenant named `name`. The default tenant cannot be dropped;
+    /// connections currently using a dropped tenant keep their handle (and
+    /// its store) alive until they switch or disconnect.
+    pub fn drop_tenant(&self, name: &str) -> Result<(), ServiceError> {
+        if name == DEFAULT_TENANT {
+            return Err(ServiceError::BadRequest(
+                "the default tenant cannot be dropped".into(),
+            ));
+        }
+        match self.tenants.write().remove(name) {
+            Some(_) => Ok(()),
+            None => Err(ServiceError::BadRequest(format!("no tenant {name:?}"))),
+        }
+    }
+
+    /// Summaries of every registered tenant, in name order.
+    pub fn list(&self) -> Vec<TenantInfo> {
+        self.tenants
+            .read()
+            .iter()
+            .map(|(name, service)| {
+                let snapshot = service.snapshot();
+                TenantInfo {
+                    name: name.clone(),
+                    program: service.program_fingerprint(),
+                    rules: service.program().len(),
+                    epoch: snapshot.epoch(),
+                    facts: snapshot.len(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Tenant names travel on the wire as a single token: alphanumerics plus
+/// `-`/`_`, bounded length.
+fn validate_tenant_name(name: &str) -> Result<(), ServiceError> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(ServiceError::BadRequest(
+            "tenant names must be 1-64 characters".into(),
+        ));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(ServiceError::BadRequest(format!(
+            "invalid tenant name {name:?}: use letters, digits, '-' and '_'"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontorew_model::{parse_program, parse_query};
+
+    fn registry() -> TenantRegistry {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let mut store = RelationalStore::new();
+        store.insert_fact("student", &["sara"]);
+        TenantRegistry::new(program, store, ServiceConfig::default())
+    }
+
+    #[test]
+    fn default_tenant_serves_immediately() {
+        let registry = registry();
+        assert_eq!(registry.len(), 1);
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let response = registry.default_tenant().query(&q).unwrap();
+        assert_eq!(response.answers.len(), 1);
+    }
+
+    #[test]
+    fn tenants_are_isolated_but_share_the_plan_cache() {
+        let registry = registry();
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let hr = registry.create("hr", program).unwrap();
+        assert_eq!(registry.len(), 2);
+
+        // Same ontology, different data: the plan compiled for the default
+        // tenant is a cache hit for the new tenant...
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        assert!(!registry.default_tenant().query(&q).unwrap().cache_hit);
+        let hr_response = hr.query(&q).unwrap();
+        assert!(hr_response.cache_hit, "plans are shared across tenants");
+        // ...but the data is not.
+        assert!(hr_response.answers.is_empty());
+        hr.insert_facts(&[Atom::fact("student", &["zoe"])]).unwrap();
+        assert!(hr.query(&q).unwrap().answers.contains_constants(&["zoe"]));
+        assert_eq!(
+            registry.default_tenant().query(&q).unwrap().answers.len(),
+            1,
+            "default tenant unaffected"
+        );
+    }
+
+    #[test]
+    fn chase_materializations_stay_tenant_local() {
+        // Two tenants with the same *chase-plan* ontology and equal-sized
+        // stores: the shared plan must not leak one tenant's
+        // materialization to the other (the tenant tag namespaces the
+        // version token; equal store sizes defeat the size guard, so this
+        // test pins the tag logic).
+        let program = ontorew_core::examples::example2();
+        let registry = TenantRegistry::new(
+            program.clone(),
+            RelationalStore::new(),
+            ServiceConfig::default(),
+        );
+        let a = registry.create("a", program.clone()).unwrap();
+        let b = registry.create("b", program).unwrap();
+        // Same fact count in both tenants, different content.
+        a.insert_facts(&[
+            Atom::fact("s", &["c", "c", "a"]),
+            Atom::fact("t", &["d", "a"]),
+        ])
+        .unwrap();
+        b.insert_facts(&[
+            Atom::fact("s", &["x", "y", "z"]),
+            Atom::fact("t", &["d", "w"]),
+        ])
+        .unwrap();
+        let q = ontorew_core::examples::example2_query();
+        let on_a = a.query(&q).unwrap();
+        let on_b = b.query(&q).unwrap();
+        assert_eq!(on_a.plan, ontorew_plan::PlanKind::Chase);
+        assert!(on_a.answers.as_boolean(), "tenant a derives r(a, _)");
+        assert!(!on_b.answers.as_boolean(), "tenant b must not see a's data");
+    }
+
+    #[test]
+    fn wrapped_registries_inherit_the_service_config() {
+        // serve() wraps an embedder-built service; tenants created on the
+        // wire must compile under the embedder's budgets, not defaults.
+        let custom = ontorew_rewrite::RewriteConfig::default().with_max_queries(7);
+        let service = Arc::new(QueryService::new(
+            parse_program("[R1] student(X) -> person(X).").unwrap(),
+            RelationalStore::new(),
+            ServiceConfig {
+                rewrite: Some(custom),
+                ..ServiceConfig::default()
+            },
+        ));
+        let registry = TenantRegistry::around(Arc::clone(&service));
+        let tenant = registry
+            .create("hr", parse_program("[R1] a(X) -> b(X).").unwrap())
+            .unwrap();
+        assert_eq!(tenant.planner().rewrite_config().max_queries, 7);
+        assert_eq!(service.planner().rewrite_config().max_queries, 7);
+    }
+
+    #[test]
+    fn create_validates_names_and_rejects_duplicates() {
+        let registry = registry();
+        let program = parse_program("[R1] a(X) -> b(X).").unwrap();
+        assert!(registry.create("ok-name_1", program.clone()).is_ok());
+        assert!(registry.create("ok-name_1", program.clone()).is_err());
+        assert!(registry.create("", program.clone()).is_err());
+        assert!(registry.create("bad name", program.clone()).is_err());
+        assert!(registry.create(&"x".repeat(65), program).is_err());
+    }
+
+    #[test]
+    fn default_tenant_cannot_be_dropped() {
+        let registry = registry();
+        assert!(registry.drop_tenant(DEFAULT_TENANT).is_err());
+        assert!(registry.drop_tenant("ghost").is_err());
+        let program = parse_program("[R1] a(X) -> b(X).").unwrap();
+        registry.create("temp", program).unwrap();
+        assert_eq!(registry.len(), 2);
+        registry.drop_tenant("temp").unwrap();
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn list_reports_every_tenant() {
+        let registry = registry();
+        let program = parse_program("[R1] a(X) -> b(X).").unwrap();
+        registry.create("beta", program).unwrap();
+        let rows = registry.list();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "beta");
+        assert_eq!(rows[1].name, "default");
+        assert_eq!(rows[1].facts, 1);
+        assert_ne!(rows[0].program, rows[1].program);
+    }
+}

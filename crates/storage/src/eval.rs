@@ -182,19 +182,75 @@ pub fn evaluate_cq_instrumented(
     (answers, stats)
 }
 
+/// Unions smaller than this are always evaluated sequentially: spawning a
+/// scoped thread costs more than joining a handful of indexed disjuncts.
+const PARALLEL_UCQ_MIN_DISJUNCTS: usize = 8;
+
 /// Evaluate a union of conjunctive queries over the store (set union of the
 /// disjuncts' answers).
+///
+/// Disjuncts are independent — each one only reads the shared store — so
+/// large unions (the shape UCQ rewritings of hierarchy-heavy ontologies
+/// produce) are fanned out across `available_parallelism` scoped threads;
+/// small unions are evaluated inline. Answers are a set union either way, so
+/// the result is identical to the sequential evaluation.
 pub fn evaluate_ucq(store: &RelationalStore, ucq: &UnionOfConjunctiveQueries) -> AnswerSet {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    evaluate_ucq_with(store, ucq, threads)
+}
+
+/// Evaluate a UCQ with an explicit thread budget (`<= 1` forces the
+/// sequential path). Exposed for the plan executor and for tests that pin
+/// the configuration.
+pub fn evaluate_ucq_with(
+    store: &RelationalStore,
+    ucq: &UnionOfConjunctiveQueries,
+    threads: usize,
+) -> AnswerSet {
     let columns = ucq
         .disjuncts
         .first()
         .map(|q| q.answer_vars.clone())
         .unwrap_or_default();
     let mut answers = AnswerSet::empty(columns);
-    for q in &ucq.disjuncts {
-        let part = evaluate_cq(store, q);
-        answers.union_with(&part);
+    let threads = threads.max(1);
+    if threads == 1 || ucq.len() < PARALLEL_UCQ_MIN_DISJUNCTS.max(2 * threads) {
+        for q in &ucq.disjuncts {
+            let part = evaluate_cq(store, q);
+            answers.union_with(&part);
+        }
+        return answers;
     }
+    // Contiguous chunks, one scoped worker per chunk: rewriting disjuncts of
+    // one query have similar shapes (and therefore similar cost), so static
+    // partitioning balances well without a work queue.
+    let chunk_size = ucq.disjuncts.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ucq
+            .disjuncts
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local: Option<AnswerSet> = None;
+                    for q in chunk {
+                        let part = evaluate_cq(store, q);
+                        match &mut local {
+                            Some(acc) => acc.union_with(&part),
+                            None => local = Some(part),
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Some(part) = handle.join().expect("UCQ evaluation worker panicked") {
+                answers.union_with(&part);
+            }
+        }
+    });
     answers
 }
 
@@ -430,6 +486,39 @@ mod tests {
         assert_eq!(answers.len(), 2);
         assert!(answers.contains_constants(&["alice"]));
         assert!(answers.contains_constants(&["carol"]));
+    }
+
+    #[test]
+    fn parallel_ucq_evaluation_matches_sequential() {
+        let mut db = RelationalStore::new();
+        for i in 0..40 {
+            db.insert_fact(
+                &format!("p{i}"),
+                &[&format!("c{i}"), &format!("d{}", i % 7)],
+            );
+            db.insert_fact("shared", &[&format!("d{}", i % 7)]);
+        }
+        // 40 disjuncts (over the parallel threshold), joining each p_i with
+        // the shared relation.
+        let disjuncts: Vec<ConjunctiveQuery> = (0..40)
+            .map(|i| {
+                ConjunctiveQuery::new(
+                    vec![Variable::new("X")],
+                    vec![
+                        Atom::new(&format!("p{i}"), vec![v("X"), v("Y")]),
+                        Atom::new("shared", vec![v("Y")]),
+                    ],
+                )
+            })
+            .collect();
+        let ucq = UnionOfConjunctiveQueries::new(disjuncts);
+        let sequential = evaluate_ucq_with(&db, &ucq, 1);
+        assert_eq!(sequential.len(), 40);
+        for threads in [2, 3, 8, 64] {
+            let parallel = evaluate_ucq_with(&db, &ucq, threads);
+            assert_eq!(parallel, sequential, "threads={threads} changed answers");
+        }
+        assert_eq!(evaluate_ucq(&db, &ucq), sequential);
     }
 
     #[test]

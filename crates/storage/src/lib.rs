@@ -25,8 +25,8 @@ pub mod stats;
 
 pub use database::RelationalStore;
 pub use eval::{
-    evaluate_boolean, evaluate_cq, evaluate_cq_instrumented, evaluate_ucq, AnswerSet, EvalConfig,
-    EvalStats,
+    evaluate_boolean, evaluate_cq, evaluate_cq_instrumented, evaluate_ucq, evaluate_ucq_with,
+    AnswerSet, EvalConfig, EvalStats,
 };
 pub use relation::Relation;
 pub use sql::{cq_to_sql, ucq_to_sql};

@@ -83,13 +83,59 @@ pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
     }
 }
 
+/// The predicate-set signature of a body, as a bitset over the interned
+/// distinct predicates of the UCQ being pruned (one `u64` word per 64
+/// predicates). Two signatures are comparable in O(words).
+fn predicate_signature(
+    body: &[Atom],
+    intern: &mut std::collections::HashMap<Predicate, usize>,
+    words: usize,
+) -> Vec<u64> {
+    let mut sig = vec![0u64; words];
+    for atom in body {
+        let next = intern.len();
+        let bit = *intern.entry(atom.predicate).or_insert(next);
+        if bit / 64 >= sig.len() {
+            sig.resize(bit / 64 + 1, 0);
+        }
+        sig[bit / 64] |= 1 << (bit % 64);
+    }
+    sig
+}
+
+/// True if every bit of `a` is set in `b` (predicate-set inclusion).
+fn signature_subset(a: &[u64], b: &[u64]) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(w, bits)| bits & !b.get(w).copied().unwrap_or(0) == 0)
+}
+
 /// Remove from a UCQ every disjunct that is contained in another disjunct
 /// (keeping the subsuming one), and minimize each surviving disjunct.
 ///
 /// The result is logically equivalent to the input UCQ and is the normal form
 /// produced by the rewriting engine.
+///
+/// The pairwise containment loop is bucketed by predicate signature: a
+/// homomorphism from `sup` into the canonical database of `sub` must map
+/// every atom of `sup` onto a `sub` atom with the same predicate, so
+/// `sub ⊑ sup` requires `preds(sup) ⊆ preds(sub)`. Each disjunct's predicate
+/// set is interned into a small bitset once, and the (expensive) homomorphism
+/// check only runs for pairs passing the O(1)-ish inclusion test. On
+/// hierarchy-shaped rewritings — where disjuncts mostly carry pairwise
+/// incomparable predicate sets — this turns the quadratic homomorphism pass
+/// into a near-linear one (the bitset comparisons that remain are a few
+/// machine words per pair).
 pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
     let minimized: Vec<ConjunctiveQuery> = ucq.disjuncts.iter().map(minimize).collect();
+    let mut intern = std::collections::HashMap::new();
+    let mut words = 1usize;
+    let mut signatures: Vec<Vec<u64>> = Vec::with_capacity(minimized.len());
+    for q in &minimized {
+        let sig = predicate_signature(&q.body, &mut intern, words);
+        words = words.max(sig.len());
+        signatures.push(sig);
+    }
     let mut keep = vec![true; minimized.len()];
     for i in 0..minimized.len() {
         if !keep[i] {
@@ -99,7 +145,11 @@ pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
             if i == j || !keep[j] {
                 continue;
             }
-            // Drop disjunct j if it is contained in disjunct i (i subsumes j).
+            // Drop disjunct j if it is contained in disjunct i (i subsumes
+            // j); possible only when i's predicates all occur in j.
+            if !signature_subset(&signatures[i], &signatures[j]) {
+                continue;
+            }
             if is_contained_in(&minimized[j], &minimized[i]) {
                 // Break ties deterministically: if they are mutually contained
                 // keep the one with the smaller index.
@@ -259,6 +309,25 @@ mod tests {
         let q2 = q(&["X"], vec![Atom::new("s", vec![v("X")])]);
         let pruned = prune_ucq(&UnionOfConjunctiveQueries::new(vec![q1, q2]));
         assert_eq!(pruned.len(), 2);
+    }
+
+    #[test]
+    fn prune_ucq_handles_more_than_64_distinct_predicates() {
+        // Force multi-word signatures: 70 incomparable single-atom disjuncts
+        // plus one subsumed two-atom disjunct referencing the last predicate.
+        let mut disjuncts: Vec<ConjunctiveQuery> = (0..70)
+            .map(|i| q(&["X"], vec![Atom::new(&format!("p{i}"), vec![v("X")])]))
+            .collect();
+        disjuncts.push(q(
+            &["X"],
+            vec![
+                Atom::new("p69", vec![v("X")]),
+                Atom::new("extra", vec![v("X")]),
+            ],
+        ));
+        let pruned = prune_ucq(&UnionOfConjunctiveQueries::new(disjuncts));
+        // The two-atom disjunct is contained in the plain p69 disjunct.
+        assert_eq!(pruned.len(), 70);
     }
 
     #[test]

@@ -64,6 +64,31 @@ fn main() {
         after.count, after.epoch
     );
 
+    // EXPLAIN dumps the plan the cache is serving (the university ontology
+    // is FO-rewritable *and* weakly acyclic, so the planner compiled a
+    // hybrid plan).
+    let explained = client.explain(q).expect("explain");
+    println!(
+        "explain {q}: plan={} ({} info lines)",
+        explained
+            .fields
+            .get("plan")
+            .map(String::as_str)
+            .unwrap_or("?"),
+        explained.info.len()
+    );
+
+    // One server can host many ontologies: tenants have isolated stores and
+    // planners, but share the prepared-plan cache.
+    client
+        .tenant_create("hr", "[H1] worksIn(X, D) -> employee(X).")
+        .expect("tenant create");
+    client.tenant_use("hr").expect("tenant use");
+    client.insert("worksIn(ann, cs)").expect("tenant insert");
+    let hr = client.query("q(X) :- employee(X)").expect("tenant query");
+    println!("tenant hr: {} employees (isolated from default)", hr.count);
+    client.tenant_use("default").expect("back to default");
+
     // The service-side view of all of this.
     let stats = service.stats();
     println!(

@@ -5,10 +5,12 @@
 #
 # Builds the server and the bench client in release mode, starts the server
 # on the given port (default 7411) with the university ontology and an empty
-# store, runs the scripted PREPARE/QUERY/INSERT/QUERY exchange (`load_gen
-# smoke`, which asserts exact answer counts and cache behavior), and lets the
-# exchange's final SHUTDOWN stop the server. Fails if the server does not
-# come up, any check fails, or the server does not exit cleanly.
+# store, runs the scripted exchange (`load_gen smoke`: PREPARE/QUERY/INSERT/
+# QUERY, an EXPLAIN plan dump, and a two-tenant TENANT CREATE/USE/DROP round
+# trip — exact answer counts, cache behavior and tenant isolation are all
+# asserted), and lets the exchange's final SHUTDOWN stop the server. Fails if
+# the server does not come up, any check fails, or the server does not exit
+# cleanly.
 set -euo pipefail
 
 port="${1:-7411}"

@@ -15,9 +15,10 @@
 //! | [`chase`] | `ontorew-chase` | oblivious/restricted chase, weak acyclicity, certain answers |
 //! | [`rewrite`] | `ontorew-rewrite` | UCQ rewriting engine, answering by rewriting, query patterns |
 //! | [`core`] | `ontorew-core` | position graph, SWR, P-node graph, WR, baseline classes, classifier |
-//! | [`obda`] | `ontorew-obda` | ontology + mappings + source facade with strategy selection |
+//! | [`plan`] | `ontorew-plan` | classification-driven planner: `Planner`, `PreparedQuery`, plan provenance |
+//! | [`obda`] | `ontorew-obda` | ontology + mappings + source facade (a shim over the planner) |
 //! | [`workloads`] | `ontorew-workloads` | synthetic ontology and data generators |
-//! | [`serve`] | `ontorew-serve` | concurrent query service: prepared-query cache, snapshot stores, TCP server |
+//! | [`serve`] | `ontorew-serve` | concurrent multi-tenant query service: prepared-plan cache, snapshot stores, TCP server |
 //!
 //! ```
 //! // Example 3 of the paper: outside every previously known FO-rewritable
@@ -34,6 +35,7 @@ pub use ontorew_chase as chase;
 pub use ontorew_core as core;
 pub use ontorew_model as model;
 pub use ontorew_obda as obda;
+pub use ontorew_plan as plan;
 pub use ontorew_rewrite as rewrite;
 pub use ontorew_serve as serve;
 pub use ontorew_storage as storage;
@@ -48,7 +50,10 @@ pub mod prelude {
     pub use ontorew_core::{classify, is_swr, is_wr, PNodeGraph, PNodeGraphConfig, PositionGraph};
     pub use ontorew_model::prelude::*;
     pub use ontorew_obda::{ObdaSystem, Strategy};
+    pub use ontorew_plan::{
+        Execution, PlanKind, Planner, PlannerConfig, PreparedQuery, QueryPlan, StrategyTaken,
+    };
     pub use ontorew_rewrite::{answer_by_rewriting, rewrite, RewriteConfig};
-    pub use ontorew_serve::{QueryService, ServeClient, ServiceConfig};
+    pub use ontorew_serve::{QueryService, ServeClient, ServiceConfig, TenantRegistry};
     pub use ontorew_storage::{evaluate_cq, evaluate_ucq, RelationalStore};
 }

@@ -73,6 +73,23 @@ fn example_query_server_runs() {
 }
 
 #[test]
+fn example_planner_explain_runs() {
+    let out = run_example("planner_explain");
+    for expected in [
+        "plan: hybrid",
+        "plan: chase",
+        "plan: rewrite",
+        "plan: besteffort",
+        "strategy=Materialization exact=true",
+    ] {
+        assert!(
+            out.contains(expected),
+            "planner_explain no longer prints {expected:?}: {out}"
+        );
+    }
+}
+
+#[test]
 fn example_university_obda_runs() {
     let out = run_example("university_obda");
     assert!(
