@@ -10,10 +10,12 @@
 //!   ```
 //! * `smoke` — the scripted exchange the CI workflow runs against a fresh
 //!   server preloaded with `--students 0`: PREPARE/QUERY/INSERT/QUERY, an
-//!   `EXPLAIN` of the cached plan, and a two-tenant round trip
-//!   (`TENANT CREATE/USE/DROP` with isolation asserted). Exact expected
-//!   answer counts are asserted; exits non-zero on any mismatch, then shuts
-//!   the server down:
+//!   `EXPLAIN` of the cached plan, a two-tenant round trip
+//!   (`TENANT CREATE/USE/DROP` with isolation asserted), and an
+//!   insert-heavy commit loop with interleaved queries (the O(delta)
+//!   ingestion + incremental materialization path, over the wire). Exact
+//!   expected answer counts are asserted; exits non-zero on any mismatch,
+//!   then shuts the server down:
 //!   ```text
 //!   load_gen smoke --addr 127.0.0.1:7411
 //!   ```
@@ -230,6 +232,56 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
         .tenant_drop("hr")
         .map_err(|e| format!("tenant drop: {e}"))?;
     println!("ok   tenants: create/use/query/drop isolated as expected");
+
+    // Insert-heavy phase: a commit loop with interleaved queries, so the
+    // O(delta) ingestion path (copy-on-write epoch publish + recorded delta
+    // edges) is exercised over the wire every CI run. Epochs must advance
+    // one per commit and every fourth query must see exactly the committed
+    // state.
+    let base_epoch = 1u64; // the single insert of the scripted exchange
+    let base_persons = 3usize;
+    const COMMITS: usize = 24;
+    for k in 0..COMMITS {
+        let (added, epoch) = client
+            .insert(&format!("student(bulk{k}); attends(bulk{k}, db101)"))
+            .map_err(|e| format!("bulk insert #{k}: {e}"))?;
+        if added != 2 || epoch != base_epoch + k as u64 + 1 {
+            return Err(format!(
+                "FAIL bulk insert #{k}: expected (2, {}), got ({added}, {epoch})",
+                base_epoch + k as u64 + 1
+            ));
+        }
+        if k % 4 == 3 {
+            let reply = client
+                .query("q(X) :- person(X)")
+                .map_err(|e| format!("bulk query #{k}: {e}"))?;
+            check(
+                &format!("persons after {} bulk commits", k + 1),
+                reply.count,
+                base_persons + k + 1,
+            )?;
+        }
+    }
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("final bulk query: {e}"))?;
+    check(
+        "persons after the commit loop",
+        reply.count,
+        base_persons + COMMITS,
+    )?;
+    let stats = client.stats().map_err(|e| format!("final stats: {e}"))?;
+    let epoch: u64 = stats
+        .get("epoch")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL stats: no epoch field")?;
+    if epoch != base_epoch + COMMITS as u64 {
+        return Err(format!(
+            "FAIL stats: expected epoch {}, got {epoch}",
+            base_epoch + COMMITS as u64
+        ));
+    }
+    println!("ok   insert-heavy phase: {COMMITS} commits, epochs and answers consistent");
 
     client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     Ok(())

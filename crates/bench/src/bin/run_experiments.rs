@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E13) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E14) and print the tables.
 //!
 //! ```text
 //! cargo run -p ontorew-bench --release --bin run_experiments [--json] [--only E8,E12]
@@ -83,6 +83,15 @@ fn main() -> ExitCode {
         }),
         ("E13", || {
             ontorew_bench::experiment_planner_vs_forced(1_000, 9)
+        }),
+        ("E14", || {
+            ontorew_bench::experiment_ingestion_incremental(
+                &[1_000, 5_000, 20_000, 50_000],
+                50,
+                20,
+                2_000,
+                30,
+            )
         }),
     ];
 

@@ -1,7 +1,7 @@
 //! # ontorew-bench
 //!
 //! The benchmark harness that regenerates every figure and experiment
-//! (E1–E13). Each experiment is available both as a Criterion bench target
+//! (E1–E14). Each experiment is available both as a Criterion bench target
 //! (`cargo bench -p ontorew-bench`) and as a plain function used by the
 //! `run_experiments` binary, which prints the tables (or, with `--json`,
 //! NDJSON consumed by `scripts/record_baseline.sh`).
@@ -666,6 +666,186 @@ pub fn experiment_planner_vs_forced(students: usize, repeats: usize) -> String {
     out
 }
 
+/// E14 — copy-on-write ingestion and incremental chase maintenance.
+///
+/// **Part A (ingestion)**: `commits` commits of `batch` facts each against
+/// epoch stores preloaded to different sizes. The copy-on-write publish
+/// (freeze + segment-sharing clone) is timed against the pre-PR 5 behavior
+/// — a full deep clone of the working store per commit — on identical
+/// batches. The COW per-commit cost must be flat in the preload size (it
+/// scales with the batch and the amortised segment merges), while the
+/// legacy clone grows linearly with the store.
+///
+/// **Part B (insert→query)**: a commit loop against chase materializations
+/// of the university workload (forced chase plans, as a chase-plan tenant
+/// executes them). One planner receives the insert batches as recorded
+/// delta edges (the serving layer's path since PR 5) and extends its cached
+/// materialization incrementally; the other gets no lineage and re-chases
+/// the store from scratch on every new data version. Answers are asserted
+/// identical on every iteration before anything is reported.
+pub fn experiment_ingestion_incremental(
+    preload_sizes: &[usize],
+    commits: usize,
+    batch: usize,
+    students: usize,
+    inserts: usize,
+) -> String {
+    use ontorew_plan::{MaterializationMode, PlanKind, Planner};
+    use ontorew_serve::EpochStore;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E14 — copy-on-write ingestion + incremental chase maintenance"
+    )
+    .unwrap();
+
+    // Part A: commit cost vs store size.
+    writeln!(
+        out,
+        "ingestion: {commits} commits x {batch} facts (cow = freeze+share, clone = pre-PR5 deep copy)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "preload  cow_us/commit  clone_us/commit  cow_facts/s  speedup"
+    )
+    .unwrap();
+    let mut speedup_at_largest = 0.0f64;
+    for &preload in preload_sizes {
+        let mut base = RelationalStore::new();
+        for i in 0..preload {
+            base.insert_fact("pair", &[&format!("p{i}"), &format!("q{i}")]);
+        }
+        let epoch_store = EpochStore::new(base.clone());
+        let start = Instant::now();
+        for k in 0..commits {
+            let facts: Vec<Atom> = (0..batch)
+                .map(|j| Atom::fact("pair", &[&format!("cow{k}_{j}"), "y"]))
+                .collect();
+            epoch_store.commit_facts(&facts);
+        }
+        let cow_us = start.elapsed().as_micros() as f64;
+
+        // The legacy publish: mutate a working copy, then deep-clone the
+        // whole store (nothing frozen, so clone() copies every row).
+        let mut working = base;
+        let start = Instant::now();
+        for k in 0..commits {
+            for j in 0..batch {
+                working.insert_fact("pair", &[&format!("old{k}_{j}"), "y"]);
+            }
+            let published = working.clone();
+            std::hint::black_box(&published);
+        }
+        let clone_us = start.elapsed().as_micros() as f64;
+
+        let speedup = clone_us / cow_us.max(1.0);
+        speedup_at_largest = speedup;
+        writeln!(
+            out,
+            "{preload:>7} {:>13.1} {:>16.1} {:>12.0} {:>8.1}x",
+            cow_us / commits as f64,
+            clone_us / commits as f64,
+            (commits * batch) as f64 / (cow_us / 1_000_000.0).max(1e-9),
+            speedup
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "commit speedup at {} preloaded facts: {speedup_at_largest:.1}x",
+        preload_sizes.last().copied().unwrap_or(0)
+    )
+    .unwrap();
+
+    // Part B: insert→query with and without incremental maintenance.
+    let ontology = university_ontology();
+    let abox = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+    let query = parse_query("q(X) :- person(X)").expect("person query parses");
+    let incremental_planner = Planner::new(ontology.clone());
+    let scratch_planner = Planner::new(ontology);
+    let inc_plan = incremental_planner.prepare_forced(&query, PlanKind::Chase);
+    let scr_plan = scratch_planner.prepare_forced(&query, PlanKind::Chase);
+    let mut store = RelationalStore::from_instance(&abox);
+    // Warm version 0 on both planners (the chase-plan tenant's steady state).
+    let _ = inc_plan.execute_versioned(&store, 0);
+    let _ = scr_plan.execute_versioned(&store, 0);
+
+    let mut inc_query_us: Vec<u64> = Vec::with_capacity(inserts);
+    let mut scr_query_us: Vec<u64> = Vec::with_capacity(inserts);
+    let mut inc_mat_us: u64 = 0;
+    let mut scr_mat_us: u64 = 0;
+    for k in 0..inserts as u64 {
+        let student = format!("late{k}");
+        let facts = vec![
+            Atom::fact("student", &[&student]),
+            Atom::fact("attends", &[&student, "course0"]),
+        ];
+        for fact in &facts {
+            store.insert_atom(fact);
+        }
+        incremental_planner.record_delta(k, k + 1, &facts, store.len());
+
+        let start = Instant::now();
+        let incremental = inc_plan.execute_versioned(&store, k + 1);
+        inc_query_us.push(start.elapsed().as_micros() as u64);
+        let start = Instant::now();
+        let scratch = scr_plan.execute_versioned(&store, k + 1);
+        scr_query_us.push(start.elapsed().as_micros() as u64);
+
+        assert!(
+            incremental.answers.iter().eq(scratch.answers.iter()),
+            "incremental and scratch answers diverge at insert {k}"
+        );
+        assert!(
+            matches!(
+                incremental.provenance.materialization,
+                Some(MaterializationMode::Incremental { .. })
+            ),
+            "insert {k} did not ride the incremental path"
+        );
+        assert_eq!(
+            scratch.provenance.materialization,
+            Some(MaterializationMode::Scratch)
+        );
+        inc_mat_us += incremental.provenance.timings.materialize_us;
+        scr_mat_us += scratch.provenance.timings.materialize_us;
+    }
+    inc_query_us.sort_unstable();
+    scr_query_us.sort_unstable();
+    writeln!(
+        out,
+        "insert->query over {} facts, {inserts} single-student commits (forced chase plans):",
+        store.len()
+    )
+    .unwrap();
+    writeln!(out, "mode         p50_us  p99_us  materialize_us/commit").unwrap();
+    writeln!(
+        out,
+        "incremental {:>7} {:>7} {:>21.1}",
+        percentile(&inc_query_us, 0.50),
+        percentile(&inc_query_us, 0.99),
+        inc_mat_us as f64 / inserts.max(1) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "scratch     {:>7} {:>7} {:>21.1}",
+        percentile(&scr_query_us, 0.50),
+        percentile(&scr_query_us, 0.99),
+        scr_mat_us as f64 / inserts.max(1) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "incremental materialization speedup on small deltas: {:.1}x (answers identical)",
+        scr_mat_us as f64 / (inc_mat_us as f64).max(1.0)
+    )
+    .unwrap();
+    out
+}
+
 /// E9 — rewriting soundness & completeness: cross-check the two strategies on
 /// the university workload and on the paper's examples.
 pub fn experiment_rewriting_soundness() -> String {
@@ -764,6 +944,9 @@ mod tests {
         let e12 = experiment_serve_throughput(60, 4, 2);
         assert!(e12.contains("identical across serve"));
         assert!(e12.contains("warm-cache speedup"));
+        let e14 = experiment_ingestion_incremental(&[200, 800], 10, 5, 60, 4);
+        assert!(e14.contains("commit speedup"), "{e14}");
+        assert!(e14.contains("incremental materialization speedup"), "{e14}");
         let e13 = experiment_planner_vs_forced(60, 3);
         assert!(e13.contains("agree=true"), "{e13}");
         assert!(!e13.contains("agree=false"), "{e13}");

@@ -143,6 +143,13 @@ pub struct ChaseResult {
     pub fired: usize,
     /// How the run ended.
     pub outcome: ChaseOutcome,
+    /// The (rule, frontier image) keys of every trigger this run fired *or*
+    /// (under the restricted variant) found already satisfied. This is the
+    /// run's per-key satisfaction cache — at most one head-homomorphism
+    /// search per key, within a round and across rounds — and the state an
+    /// incremental continuation ([`chase_incremental`]) seeds from so it
+    /// neither re-fires a frontier image nor re-checks a retired head.
+    pub fired_keys: HashSet<TriggerKey>,
 }
 
 impl ChaseResult {
@@ -167,15 +174,33 @@ impl ChaseResult {
 /// replays: there are none.
 pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) -> ChaseResult {
     let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
-    run_chase_rounds(program, &plans, database, config, |instance, delta| {
+    let (result, _added) = run_chase_rounds(
+        program,
+        &plans,
+        database.clone(),
+        None,
+        HashSet::new(),
+        false,
+        config,
+        sequential_round_search(program, &plans, config),
+    );
+    result
+}
+
+/// The sequential per-round trigger search shared by [`chase`] and
+/// [`chase_incremental`]: a full search when there is no delta to restrict
+/// to (the naive strategy always; the semi-naive one in a round whose delta
+/// would be the whole instance), the delta-restricted index-backed search
+/// otherwise.
+fn sequential_round_search<'a>(
+    program: &'a TgdProgram,
+    plans: &'a [RulePlan],
+    config: &'a ChaseConfig,
+) -> impl FnMut(&Instance, Option<&Instance>) -> Vec<Trigger> + 'a {
+    move |instance, delta| {
         let mut triggers = Vec::new();
         for (rule_index, rule) in program.iter().enumerate() {
             match (config.strategy, delta) {
-                // A full search when there is no delta to restrict to: the
-                // naive strategy always, the semi-naive one in round 1
-                // (where the delta is the whole instance and the plain
-                // search finds the same triggers without the per-pivot
-                // old-fact filtering).
                 (ChaseStrategy::Naive, _) | (ChaseStrategy::SemiNaive, None) => {
                     triggers.extend(find_rule_triggers(rule_index, rule, instance));
                 }
@@ -188,41 +213,149 @@ pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) ->
             }
         }
         triggers
-    })
+    }
 }
 
-/// The breadth-first round driver shared by [`chase`] and
-/// [`crate::chase_parallel`]: budget checks, trigger-key deduplication, the
-/// firing policy, and delta maintenance all live here, so the sequential and
-/// parallel engines cannot drift apart. `search_round(instance, delta)`
+/// The result of an incremental chase continuation (see
+/// [`chase_incremental`]).
+#[derive(Clone, Debug)]
+pub struct IncrementalChase {
+    /// The updated chase state over the merged database: `base ∪ delta`
+    /// closed under the program (a universal model of the merged database
+    /// when `result.outcome == Terminated` and the base was a fixpoint).
+    pub result: ChaseResult,
+    /// Exactly the facts of `result.instance` that are **not** in the base
+    /// instance: the new delta facts plus everything derived from them.
+    /// Callers maintaining a copy-on-write store extend it with these facts
+    /// instead of rebuilding from the full instance — O(closure of the
+    /// delta), not O(store).
+    pub added: Instance,
+}
+
+/// Continue a finished chase over the facts of `delta`, reusing the
+/// semi-naive delta machinery: instead of re-chasing `base ∪ delta` from
+/// scratch, round 1 searches only for triggers whose body uses at least one
+/// *inserted* fact, and the base's fired-key set guarantees no frontier
+/// image fires twice across the two runs.
+///
+/// Guarantees, assuming `base` is a fixpoint of `program`
+/// (`base.outcome == Terminated`):
+///
+/// * the continuation enumerates exactly the triggers that exist on
+///   `base.instance ∪ delta` but not on `base.instance` (the delta
+///   invariant), so when it terminates, `result.instance` is a universal
+///   model of `(program, base-database ∪ delta)` — certain answers computed
+///   over it equal those of a scratch chase of the merged database;
+/// * under the semi-oblivious variant the result is moreover isomorphic
+///   (equal up to null renaming) to the scratch chase, because firing is
+///   determined per frontier image;
+/// * under the restricted variant the result may keep nulls a scratch chase
+///   would avoid (the base fired triggers before the delta could satisfy
+///   them) — still a universal model, just not always a core.
+///
+/// If `base` was *not* a fixpoint the continuation is still sound (it only
+/// fires genuine triggers) but inherits the base's incompleteness.
+///
+/// The evaluation strategy is forced to semi-naive; the variant and budgets
+/// of `config` apply to the continuation itself.
+pub fn chase_incremental(
+    program: &TgdProgram,
+    base: &ChaseResult,
+    delta: &Instance,
+    config: &ChaseConfig,
+) -> IncrementalChase {
+    let config = ChaseConfig {
+        strategy: ChaseStrategy::SemiNaive,
+        ..*config
+    };
+    let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
+    // O(#segments) when the base instance is frozen — the planner freezes
+    // cached materializations for exactly this reason.
+    let mut instance = base.instance.clone();
+    let mut seed = Instance::new();
+    for atom in delta.atoms() {
+        if instance.insert(atom.clone()) {
+            seed.insert(atom);
+        }
+    }
+    if seed.is_empty() {
+        // Every delta fact was already present: the base state is final.
+        return IncrementalChase {
+            result: ChaseResult {
+                instance,
+                rounds: 0,
+                fired: 0,
+                outcome: base.outcome,
+                fired_keys: base.fired_keys.clone(),
+            },
+            added: Instance::new(),
+        };
+    }
+    let mut added = seed.clone();
+    let (result, derived) = run_chase_rounds(
+        program,
+        &plans,
+        instance,
+        Some(seed),
+        base.fired_keys.clone(),
+        true,
+        &config,
+        sequential_round_search(program, &plans, &config),
+    );
+    added.extend_from(&derived);
+    IncrementalChase { result, added }
+}
+
+/// The breadth-first round driver shared by [`chase`], [`chase_incremental`]
+/// and [`crate::chase_parallel`]: budget checks, trigger-key deduplication,
+/// the firing policy, and delta maintenance all live here, so the sequential
+/// and parallel engines cannot drift apart. `search_round(instance, delta)`
 /// supplies one round's triggers in rule order — the full search for the
 /// naive strategy, the delta-restricted search for the semi-naive one.
-/// `delta` is `None` in round 1, where the delta would be the whole
-/// instance and a plain full search finds the same triggers cheaper.
+///
+/// `initial_delta` controls round 1: `None` means "the delta is the whole
+/// instance" (a fresh chase, where a plain full search finds the same
+/// triggers cheaper), `Some(seed)` restricts even the first round to
+/// triggers using the seed (an incremental continuation). `fired_keys`
+/// seeds the per-(rule, frontier image) verdict cache: a key in the set has
+/// fired or been found satisfied before — within a round, across rounds, or
+/// in the base run a continuation extends — and is never checked again
+/// (satisfaction is monotone: the instance only grows). Returns the result
+/// together with the instance of facts inserted during this run — tracked
+/// only when `track_added` is set (the incremental continuation needs it;
+/// a fresh chase should not pay the extra copy per derived fact).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_chase_rounds(
     program: &TgdProgram,
     plans: &[RulePlan],
-    database: &Instance,
+    initial: Instance,
+    initial_delta: Option<Instance>,
+    mut fired_keys: HashSet<TriggerKey>,
+    track_added: bool,
     config: &ChaseConfig,
     mut search_round: impl FnMut(&Instance, Option<&Instance>) -> Vec<Trigger>,
-) -> ChaseResult {
-    let mut instance = database.clone();
-    let mut fired_keys: HashSet<TriggerKey> = HashSet::new();
+) -> (ChaseResult, Instance) {
+    let mut instance = initial;
     let mut fired = 0usize;
     let mut rounds = 0usize;
-    // `None` means "the delta is the whole instance" (round 1); afterwards
-    // the delta is the set of facts the previous round derived. Only the
-    // semi-naive strategy reads it.
-    let mut delta: Option<Instance> = None;
+    let mut added = Instance::new();
+    // `None` means "the delta is the whole instance" (round 1 of a fresh
+    // chase); afterwards the delta is the set of facts the previous round
+    // derived. Only the semi-naive strategy reads it.
+    let mut delta: Option<Instance> = initial_delta;
 
     loop {
         if rounds >= config.max_rounds {
-            return ChaseResult {
-                instance,
-                rounds,
-                fired,
-                outcome: ChaseOutcome::RoundBudgetExhausted,
-            };
+            return (
+                ChaseResult {
+                    instance,
+                    rounds,
+                    fired,
+                    outcome: ChaseOutcome::RoundBudgetExhausted,
+                    fired_keys,
+                },
+                added,
+            );
         }
         rounds += 1;
 
@@ -235,14 +368,17 @@ pub(crate) fn run_chase_rounds(
             let rule = &program.rules()[trigger.rule_index];
             let plan = &plans[trigger.rule_index];
             let key = trigger.key_with(&plan.frontier);
+            // The per-key cache: triggers sharing a (rule, frontier image)
+            // — several homomorphisms differing only in non-frontier
+            // variables, possibly returned by different chunks of the
+            // partitioned parallel search — get exactly one satisfaction
+            // check and one firing between them.
             if fired_keys.contains(&key) {
                 continue;
             }
             let fire = match config.variant {
                 ChaseVariant::Oblivious => true,
-                ChaseVariant::Restricted => {
-                    trigger.is_active_with(&rule.head, &plan.frontier, &instance)
-                }
+                ChaseVariant::Restricted => trigger.is_active_planned(plan, &instance),
             };
             if fire {
                 new_facts.extend(trigger.fire_with(&rule.head, &plan.existentials));
@@ -266,33 +402,49 @@ pub(crate) fn run_chase_rounds(
                     // clone into the delta.
                     if !instance.contains(&fact) {
                         instance.insert(fact.clone());
+                        if track_added {
+                            added.insert(fact.clone());
+                        }
                         next_delta.insert(fact);
                         grew = true;
                     }
                 }
                 ChaseStrategy::Naive => {
-                    if instance.insert(fact) {
+                    if track_added {
+                        if instance.insert(fact.clone()) {
+                            added.insert(fact);
+                            grew = true;
+                        }
+                    } else if instance.insert(fact) {
                         grew = true;
                     }
                 }
             }
             if instance.len() > config.max_facts {
-                return ChaseResult {
-                    instance,
-                    rounds,
-                    fired,
-                    outcome: ChaseOutcome::FactBudgetExhausted,
-                };
+                return (
+                    ChaseResult {
+                        instance,
+                        rounds,
+                        fired,
+                        outcome: ChaseOutcome::FactBudgetExhausted,
+                        fired_keys,
+                    },
+                    added,
+                );
             }
         }
 
         if !grew {
-            return ChaseResult {
-                instance,
-                rounds,
-                fired,
-                outcome: ChaseOutcome::Terminated,
-            };
+            return (
+                ChaseResult {
+                    instance,
+                    rounds,
+                    fired,
+                    outcome: ChaseOutcome::Terminated,
+                    fired_keys,
+                },
+                added,
+            );
         }
         delta = Some(next_delta);
     }
@@ -300,10 +452,18 @@ pub(crate) fn run_chase_rounds(
 
 /// Check whether `instance` satisfies every TGD of `program` (i.e. it is a
 /// model of the program). Used by tests and by the consistency cross-checks.
+///
+/// Triggers sharing a (rule, frontier image) have the same satisfaction
+/// verdict, so each key is head-checked at most once.
 pub fn is_model(program: &TgdProgram, instance: &Instance) -> bool {
     for rule in program.iter() {
+        let plan = RulePlan::new(rule);
+        let mut checked: HashSet<TriggerKey> = HashSet::new();
         for trigger in find_rule_triggers(0, rule, instance) {
-            if trigger.is_active(rule, instance) {
+            if !checked.insert(trigger.key_with(&plan.frontier)) {
+                continue;
+            }
+            if trigger.is_active_planned(&plan, instance) {
                 return false;
             }
         }
@@ -506,6 +666,157 @@ mod tests {
         assert!(result.is_universal_model());
         assert!(result.instance.contains(&Atom::fact("d", &["x"])));
         assert!(!result.instance.contains(&Atom::fact("d", &["y"])));
+    }
+
+    #[test]
+    fn incremental_chase_matches_scratch_on_datalog() {
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("edge", &["a", "b"]);
+        db.insert_fact("edge", &["b", "c"]);
+        let base = chase(&p, &db, &ChaseConfig::default());
+        assert!(base.is_universal_model());
+
+        let mut delta = Instance::new();
+        delta.insert_fact("edge", &["c", "d"]);
+        let incremental = chase_incremental(&p, &base, &delta, &ChaseConfig::default());
+
+        let mut merged = db.clone();
+        merged.extend_from(&delta);
+        let scratch = chase(&p, &merged, &ChaseConfig::default());
+        // Datalog invents no nulls: the instances must be literally equal.
+        assert!(incremental.result.is_universal_model());
+        assert_eq!(incremental.result.instance, scratch.instance);
+        // `added` is exactly the difference to the base.
+        assert!(incremental.added.contains(&Atom::fact("edge", &["c", "d"])));
+        assert!(incremental.added.contains(&Atom::fact("path", &["a", "d"])));
+        assert_eq!(
+            incremental.added.len(),
+            scratch.instance.len() - base.instance.len()
+        );
+        // The continuation fired only delta-driven triggers, far fewer than
+        // the scratch run enumerated.
+        assert!(incremental.result.fired < scratch.fired);
+    }
+
+    #[test]
+    fn incremental_oblivious_chase_is_isomorphic_to_scratch() {
+        // Semi-oblivious firing is determined per frontier image, so the
+        // incremental result must equal the scratch chase up to null
+        // renaming — the seeded fired-key set prevents an old frontier image
+        // from re-firing on a delta-driven re-match.
+        let p = parse_program("[R1] r(X, Y) -> s(X, Z).").unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b1"]);
+        let base = chase(&p, &db, &ChaseConfig::oblivious(16));
+        assert_eq!(base.fired, 1);
+
+        // The delta re-matches the same frontier image {a} and adds a new
+        // one {c}.
+        let mut delta = Instance::new();
+        delta.insert_fact("r", &["a", "b2"]);
+        delta.insert_fact("r", &["c", "b3"]);
+        let incremental = chase_incremental(&p, &base, &delta, &ChaseConfig::oblivious(16));
+        let mut merged = db.clone();
+        merged.extend_from(&delta);
+        let scratch = chase(&p, &merged, &ChaseConfig::oblivious(16));
+        assert!(incremental.result.is_universal_model());
+        // The continuation's own stats: only the new frontier image {c}
+        // fires; {a} is retired by the seeded key set.
+        assert_eq!(incremental.result.fired, 1, "only {{c}} fires");
+        assert!(crate::equiv::equivalent_up_to_null_renaming(
+            &incremental.result.instance,
+            &scratch.instance
+        ));
+    }
+
+    #[test]
+    fn incremental_restricted_chase_is_a_universal_model() {
+        // The restricted continuation may keep nulls a scratch chase would
+        // avoid (the base fired before the delta could satisfy its head),
+        // but it must still be a model of the merged database with the same
+        // certain answers.
+        let p = parse_program("[R1] person(X) -> hasParent(X, Y).").unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("person", &["alice"]);
+        let base = chase(&p, &db, &ChaseConfig::default());
+        assert_eq!(base.instance.nulls().len(), 1);
+
+        let mut delta = Instance::new();
+        delta.insert_fact("hasParent", &["alice", "zoe"]);
+        delta.insert_fact("person", &["bob"]);
+        let incremental = chase_incremental(&p, &base, &delta, &ChaseConfig::default());
+        assert!(incremental.result.is_universal_model());
+        let mut merged = db.clone();
+        merged.extend_from(&delta);
+        assert!(incremental.result.instance.contains_instance(&merged));
+        assert!(is_model(&p, &incremental.result.instance));
+        // bob still needs an invented parent; alice's witness predates the
+        // delta and legitimately remains.
+        assert_eq!(incremental.result.instance.nulls().len(), 2);
+    }
+
+    #[test]
+    fn incremental_chase_with_known_delta_is_a_no_op() {
+        let p = parse_program("[R1] a(X) -> b(X).").unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("a", &["x"]);
+        let base = chase(&p, &db, &ChaseConfig::default());
+        // Every delta fact already present (including a derived one).
+        let mut delta = Instance::new();
+        delta.insert_fact("a", &["x"]);
+        delta.insert_fact("b", &["x"]);
+        let incremental = chase_incremental(&p, &base, &delta, &ChaseConfig::default());
+        assert_eq!(incremental.result.rounds, 0);
+        assert_eq!(incremental.result.fired, 0);
+        assert!(incremental.added.is_empty());
+        assert_eq!(incremental.result.instance, base.instance);
+        assert!(incremental.result.is_universal_model());
+    }
+
+    #[test]
+    fn incremental_chase_joins_delta_facts_with_old_facts() {
+        // A two-atom body joining an old fact with a delta fact: the
+        // continuation must find the cross trigger.
+        let p = parse_program("[R1] b(X), c(X) -> d(X).").unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("b", &["x"]);
+        let base = chase(&p, &db, &ChaseConfig::default());
+        let mut delta = Instance::new();
+        delta.insert_fact("c", &["x"]);
+        let incremental = chase_incremental(&p, &base, &delta, &ChaseConfig::default());
+        assert!(incremental
+            .result
+            .instance
+            .contains(&Atom::fact("d", &["x"])));
+        assert!(incremental.added.contains(&Atom::fact("d", &["x"])));
+    }
+
+    #[test]
+    fn repeated_incremental_commits_converge_to_the_scratch_chase() {
+        // A commit loop: extend the chase state one batch at a time and
+        // compare against chasing the accumulated database from scratch.
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("edge", &["n0", "n1"]);
+        let mut state = chase(&p, &db, &ChaseConfig::default());
+        for i in 1..8 {
+            let mut delta = Instance::new();
+            delta.insert_fact("edge", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+            db.extend_from(&delta);
+            state = chase_incremental(&p, &state, &delta, &ChaseConfig::default()).result;
+            assert!(state.is_universal_model());
+        }
+        let scratch = chase(&p, &db, &ChaseConfig::default());
+        assert_eq!(state.instance, scratch.instance);
     }
 
     #[test]

@@ -26,11 +26,13 @@ pub mod trigger;
 
 pub use certain::{certain_answers, certain_answers_ucq, CertainAnswers, ChaseStats};
 pub use engine::{
-    chase, is_model, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStrategy, ChaseVariant,
+    chase, chase_incremental, is_model, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStrategy,
+    ChaseVariant, IncrementalChase,
 };
 pub use equiv::equivalent_up_to_null_renaming;
 pub use parallel::{chase_parallel, find_triggers_delta_parallel, find_triggers_parallel};
 pub use termination::{is_weakly_acyclic, DependencyGraph, DependencyPosition};
 pub use trigger::{
-    find_rule_triggers, find_rule_triggers_delta, find_triggers, RulePlan, Trigger, TriggerKey,
+    find_rule_triggers, find_rule_triggers_delta, find_rule_triggers_delta_chunk, find_triggers,
+    RulePlan, Trigger, TriggerKey,
 };

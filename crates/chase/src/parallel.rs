@@ -1,17 +1,27 @@
 //! Parallel trigger search.
 //!
 //! Trigger enumeration (homomorphism search per rule) dominates chase time on
-//! large instances and is embarrassingly parallel across rules: every rule
-//! only reads the shared instance. This module partitions the rules across a
-//! scoped thread pool (crossbeam) and merges the per-rule trigger lists, and
-//! offers [`chase_parallel`], a drop-in variant of [`crate::chase`] that uses
-//! the parallel search inside each round. Like the sequential engine it is
+//! large instances and is embarrassingly parallel: every search task only
+//! reads the shared instance. This module partitions the work across a scoped
+//! thread pool (crossbeam) and merges the per-task trigger lists, and offers
+//! [`chase_parallel`], a drop-in variant of [`crate::chase`] that uses the
+//! parallel search inside each round. Like the sequential engine it is
 //! semi-naive by default: each worker only searches for triggers whose body
 //! uses the previous round's delta.
+//!
+//! Work is split at **two** granularities. Across rules, as before — but
+//! also *within* a rule: the semi-naive pivot decomposition enumerates each
+//! rule's triggers as a disjoint union over (pivot atom, pivot match), so a
+//! rule whose pivot can draw from a large delta is split into `(pivot,
+//! chunk)` slices ([`find_rule_triggers_delta_chunk`]) that different
+//! threads search independently. Single-rule recursive programs (transitive
+//! closure) — where the rule-level split left every thread but one idle —
+//! now use the whole pool.
 
 use crate::engine::{ChaseConfig, ChaseResult, ChaseStrategy};
-use crate::trigger::{find_rule_triggers, find_rule_triggers_delta, RulePlan, Trigger};
+use crate::trigger::{find_rule_triggers, find_rule_triggers_delta_chunk, RulePlan, Trigger};
 use ontorew_model::prelude::*;
+use std::collections::HashSet;
 
 /// Enumerate every trigger of `program` on `instance`, searching rules in
 /// parallel across `threads` worker threads.
@@ -26,11 +36,27 @@ pub fn find_triggers_parallel(
     })
 }
 
+/// A delta chunk below this many pivot rows is not worth a dedicated slice:
+/// the spawn/merge overhead would exceed the search it parallelises.
+const MIN_DELTA_ROWS_PER_CHUNK: usize = 32;
+
+/// One slice of a round's delta-restricted trigger search: rule
+/// `rule_index`, pivot atom `pivot`, residue class `chunk` of
+/// `chunk_count`.
+#[derive(Clone, Copy)]
+struct DeltaSlice {
+    rule_index: usize,
+    pivot: usize,
+    chunk: usize,
+    chunk_count: usize,
+}
+
 /// Enumerate every trigger of `program` on `instance` whose body uses at
 /// least one fact of `delta` (see
-/// [`crate::trigger::find_rule_triggers_delta`]), searching rules in
-/// parallel. Rules whose body predicates miss the delta entirely are skipped
-/// without a search.
+/// [`crate::trigger::find_rule_triggers_delta`]), searching in parallel.
+/// Rules whose body predicates miss the delta entirely are skipped without
+/// a search; rules whose pivot draws from a large delta are split into
+/// per-pivot chunks so even a single eligible rule saturates the pool.
 pub fn find_triggers_delta_parallel(
     program: &TgdProgram,
     plans: &[RulePlan],
@@ -38,33 +64,60 @@ pub fn find_triggers_delta_parallel(
     delta: &Instance,
     threads: usize,
 ) -> Vec<Trigger> {
-    let rules: Vec<(usize, &Tgd)> = program
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| plans[*i].body_touches(delta))
-        .collect();
-    run_partitioned(&rules, threads, |(rule_index, rule)| {
-        find_rule_triggers_delta(rule_index, rule, instance, delta)
+    let threads = threads.max(1);
+    let mut slices: Vec<DeltaSlice> = Vec::new();
+    for (rule_index, rule) in program.iter().enumerate() {
+        if !plans[rule_index].body_touches(delta) {
+            continue;
+        }
+        for (pivot, atom) in rule.body.iter().enumerate() {
+            // The pivot atom is matched against the delta first; the number
+            // of delta rows under its predicate bounds that enumeration and
+            // decides how many ways to split it.
+            let pivot_rows = delta.relation_size(atom.predicate);
+            let chunk_count = (pivot_rows / MIN_DELTA_ROWS_PER_CHUNK).clamp(1, threads);
+            for chunk in 0..chunk_count {
+                slices.push(DeltaSlice {
+                    rule_index,
+                    pivot,
+                    chunk,
+                    chunk_count,
+                });
+            }
+        }
+    }
+    let rules = program.rules();
+    run_partitioned(&slices, threads, |slice| {
+        find_rule_triggers_delta_chunk(
+            slice.rule_index,
+            &rules[slice.rule_index],
+            instance,
+            delta,
+            slice.pivot,
+            slice.chunk,
+            slice.chunk_count,
+        )
     })
 }
 
-/// Partition `rules` into `threads` chunks and run `search` over each chunk
-/// on its own scoped thread, concatenating the per-rule trigger lists in
-/// rule order.
-fn run_partitioned<'a>(
-    rules: &[(usize, &'a Tgd)],
+/// Partition `items` into `threads` contiguous runs and run `search` over
+/// each run on its own scoped thread, concatenating the per-item trigger
+/// lists in item order (so the merged list is deterministic for a given
+/// slicing).
+fn run_partitioned<T: Copy + Sync>(
+    items: &[T],
     threads: usize,
-    search: impl Fn((usize, &'a Tgd)) -> Vec<Trigger> + Sync,
+    search: impl Fn(T) -> Vec<Trigger> + Sync,
 ) -> Vec<Trigger> {
     let threads = threads.max(1);
-    if rules.is_empty() {
+    if items.is_empty() {
         return Vec::new();
     }
-    let chunk_size = rules.len().div_ceil(threads);
+    let chunk_size = items.len().div_ceil(threads);
     let mut all = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk in rules.chunks(chunk_size) {
+        for chunk in items.chunks(chunk_size) {
             let search = &search;
             handles.push(scope.spawn(move |_| {
                 let mut local = Vec::new();
@@ -95,8 +148,15 @@ pub fn chase_parallel(
     threads: usize,
 ) -> ChaseResult {
     let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
-    crate::engine::run_chase_rounds(program, &plans, database, config, |instance, delta| {
-        match (config.strategy, delta) {
+    let (result, _added) = crate::engine::run_chase_rounds(
+        program,
+        &plans,
+        database.clone(),
+        None,
+        HashSet::new(),
+        false,
+        config,
+        |instance, delta| match (config.strategy, delta) {
             // Full parallel search when there is no delta to restrict to
             // (the naive strategy, or the semi-naive strategy's round 1).
             (ChaseStrategy::Naive, _) | (ChaseStrategy::SemiNaive, None) => {
@@ -105,8 +165,9 @@ pub fn chase_parallel(
             (ChaseStrategy::SemiNaive, Some(delta)) => {
                 find_triggers_delta_parallel(program, &plans, instance, delta, threads)
             }
-        }
-    })
+        },
+    );
+    result
 }
 
 #[cfg(test)]
@@ -153,6 +214,36 @@ mod tests {
     }
 
     #[test]
+    fn chunked_delta_search_matches_sequential_on_large_deltas() {
+        // A delta big enough to be split within the single recursive rule:
+        // the partitioned search must return exactly the sequential trigger
+        // set (same homomorphisms, no duplicates).
+        let (p, _) = transitive_closure_setup();
+        let plans: Vec<RulePlan> = p.iter().map(RulePlan::new).collect();
+        let mut db = Instance::new();
+        let mut delta = Instance::new();
+        for i in 0..200u32 {
+            db.insert_fact("edge", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+            db.insert_fact("path", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+            delta.insert_fact("path", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        }
+        let sequential: Vec<Trigger> = p
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| crate::trigger::find_rule_triggers_delta(i, r, &db, &delta))
+            .collect();
+        let parallel = find_triggers_delta_parallel(&p, &plans, &db, &delta, 8);
+        assert_eq!(sequential.len(), parallel.len());
+        // Same multiset of (rule, homomorphism) pairs.
+        let key = |t: &Trigger| (t.rule_index, format!("{:?}", t.homomorphism));
+        let mut seq_keys: Vec<_> = sequential.iter().map(key).collect();
+        let mut par_keys: Vec<_> = parallel.iter().map(key).collect();
+        seq_keys.sort();
+        par_keys.sort();
+        assert_eq!(seq_keys, par_keys);
+    }
+
+    #[test]
     fn parallel_chase_matches_sequential_on_datalog() {
         let (p, db) = transitive_closure_setup();
         let seq = chase(&p, &db, &ChaseConfig::default());
@@ -161,6 +252,27 @@ mod tests {
         assert!(par.is_universal_model());
         // Datalog programs invent no nulls, so the instances must be equal.
         assert_eq!(seq.instance, par.instance);
+    }
+
+    #[test]
+    fn parallel_chase_matches_sequential_on_wide_datalog_rounds() {
+        // Large per-round deltas exercise the within-rule chunk split end to
+        // end (200 path-facts per round from one recursive rule).
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        for i in 0..200u32 {
+            db.insert_fact("edge", &[&format!("m{i}"), &format!("m{}", i + 1)]);
+        }
+        let config = ChaseConfig::restricted(8);
+        let seq = chase(&p, &db, &config);
+        let par = chase_parallel(&p, &db, &config, 8);
+        assert_eq!(seq.instance, par.instance);
+        assert_eq!(seq.fired, par.fired);
+        assert_eq!(seq.outcome, par.outcome);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! agreement, and monotonicity of certain answers.
 
 use ontorew_chase::{
-    certain_answers, chase, equivalent_up_to_null_renaming, is_model, is_weakly_acyclic,
-    ChaseConfig, ChaseStrategy, ChaseVariant,
+    certain_answers, chase, chase_incremental, equivalent_up_to_null_renaming, is_model,
+    is_weakly_acyclic, ChaseConfig, ChaseStrategy, ChaseVariant,
 };
 use ontorew_model::prelude::*;
 use ontorew_workloads::{random_abox, random_program, AboxConfig, RandomProgramConfig};
@@ -170,6 +170,102 @@ proptest! {
         let second = chase(&program, &first.instance, &ChaseConfig::default());
         prop_assert_eq!(first.instance, second.instance);
         prop_assert_eq!(second.fired, 0);
+    }
+
+    /// Incremental continuation vs scratch chase of the merged database, on
+    /// random programs and random (base, delta) splits.
+    ///
+    /// Under the **semi-oblivious** variant firing is determined per
+    /// (rule, frontier image), so whenever both runs reach a fixpoint the
+    /// incremental result must equal the scratch result up to null
+    /// renaming. Under the **restricted** variant the continuation may keep
+    /// extra witnesses (the base fired before the delta could satisfy a
+    /// head), but it must still be a model containing the merged database
+    /// with identical certain answers for every predicate.
+    #[test]
+    fn incremental_chase_matches_scratch(
+        program_seed in 0u64..500,
+        base_seed in 0u64..500,
+        delta_seed in 500u64..1_000,
+        oblivious in prop::sample::select(vec![false, true]),
+    ) {
+        let program = random_program(&RandomProgramConfig {
+            rules: 5,
+            predicates: 5,
+            max_arity: 3,
+            max_body_atoms: 2,
+            existential_probability: 0.3,
+            seed: program_seed,
+        });
+        let base_db = random_abox(&program, &AboxConfig {
+            facts: 8,
+            constants: 5,
+            seed: base_seed,
+        });
+        let delta = random_abox(&program, &AboxConfig {
+            facts: 4,
+            constants: 5,
+            seed: delta_seed,
+        });
+        // Random simple programs can diverge (and the oblivious variant can
+        // explode doubly so): tight round and fact budgets keep divergent
+        // draws cheap — equivalence is only claimed at fixpoints anyway.
+        let config = if oblivious {
+            ChaseConfig::oblivious(5).with_max_facts(2_000)
+        } else {
+            ChaseConfig::restricted(5).with_max_facts(2_000)
+        };
+        let base = chase(&program, &base_db, &config);
+        let mut merged = base_db.clone();
+        merged.extend_from(&delta);
+        let scratch = chase(&program, &merged, &config);
+        let incremental = chase_incremental(&program, &base, &delta, &config);
+        // Random simple programs can diverge; equivalence is only claimed
+        // at fixpoints.
+        prop_assume!(base.is_universal_model());
+        prop_assume!(scratch.is_universal_model());
+        prop_assume!(incremental.result.is_universal_model());
+
+        prop_assert!(incremental.result.instance.contains_instance(&merged));
+        prop_assert!(is_model(&program, &incremental.result.instance));
+        // `added` is exactly the difference to the base instance.
+        for atom in incremental.added.atoms() {
+            prop_assert!(!base.instance.contains(&atom));
+            prop_assert!(incremental.result.instance.contains(&atom));
+        }
+        prop_assert_eq!(
+            incremental.result.instance.len(),
+            base.instance.len() + incremental.added.len()
+        );
+        if oblivious {
+            prop_assert!(
+                equivalent_up_to_null_renaming(&incremental.result.instance, &scratch.instance),
+                "oblivious incremental differs beyond null renaming:\n{:?}\nvs\n{:?}",
+                incremental.result.instance,
+                scratch.instance
+            );
+        }
+        // Certain answers agree for an atomic query over every predicate.
+        for predicate in program.predicates() {
+            let vars: Vec<Variable> = (0..predicate.arity)
+                .map(|i| Variable::new(&format!("X{i}")))
+                .collect();
+            let body = vec![Atom::from_predicate(
+                predicate,
+                vars.iter().map(|v| Term::Variable(*v)).collect(),
+            )];
+            let query = ConjunctiveQuery::new(vars, body);
+            let from_scratch = certain_answers(&program, &merged, &query, &config);
+            let store = ontorew_storage::RelationalStore::from_instance(
+                &incremental.result.instance,
+            );
+            let from_incremental =
+                ontorew_storage::evaluate_cq(&store, &query).without_nulls();
+            prop_assert_eq!(
+                &from_incremental, &from_scratch.answers,
+                "certain answers differ for {}", predicate
+            );
+        }
     }
 
     /// The trigger budget is respected.

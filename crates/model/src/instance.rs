@@ -6,10 +6,19 @@
 //!
 //! * **matching** a partially ground atom against a relation — served by
 //!   eager per-column hash indexes over interned term ids
-//!   ([`Instance::candidates`] picks the most selective bound column and
-//!   probes its posting list instead of scanning the relation);
+//!   ([`Instance::candidates`] picks the most selective bound column per
+//!   segment and probes its posting list instead of scanning the relation);
 //! * **inserting** a fact with duplicate detection — served by dense
 //!   `Vec`-of-rows storage plus a hash set, both O(1) amortised.
+//!
+//! Since PR 5 every relation is **segmented and copy-on-write**: rows live
+//! in a stack of immutable, `Arc`-shared frozen segments plus one small
+//! mutable tail. [`IndexedRelation::freeze`] publishes the tail as a new
+//! frozen segment (merging trailing segments LSM-style so the stack stays
+//! logarithmic), after which `clone()` shares every frozen segment by
+//! reference — cloning a frozen relation is O(#segments), not O(#rows).
+//! That is what makes the serving layer's epoch publication and the
+//! planner's incremental materializations O(batch) instead of O(store).
 //!
 //! The `ontorew-storage` crate builds its relational store on the same
 //! [`IndexedRelation`] machinery and converts to/from this type.
@@ -21,8 +30,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
 
-/// The stored rows of one predicate, with eager per-column hash indexes.
+/// One segment of a relation: a dense run of rows with eager per-column hash
+/// indexes and tuple-interning duplicate detection.
 ///
 /// Rows live in a dense `Vec` in insertion order (cache-friendly scans), and
 /// every column keeps a posting list from term to row ids that is maintained
@@ -39,7 +50,7 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 /// scanned linearly; candidates are always confirmed against `rows` by
 /// equality, so collisions cost time, never correctness.
 #[derive(Clone, Debug, Default)]
-pub struct IndexedRelation {
+struct Segment {
     rows: Vec<Vec<Term>>,
     /// `dedup[hash]` = interned id of the first row hashing to `hash`;
     /// candidates are confirmed against `rows` by equality.
@@ -58,10 +69,9 @@ fn row_hash(row: &[Term]) -> u64 {
     hasher.finish()
 }
 
-impl IndexedRelation {
-    /// An empty relation for predicates of the given arity.
-    pub fn with_arity(arity: usize) -> Self {
-        IndexedRelation {
+impl Segment {
+    fn with_arity(arity: usize) -> Self {
+        Segment {
             rows: Vec::new(),
             dedup: HashMap::new(),
             dedup_overflow: Vec::new(),
@@ -69,34 +79,16 @@ impl IndexedRelation {
         }
     }
 
-    /// Number of (distinct) rows.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.rows.len()
     }
 
-    /// True if the relation has no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// The arity the relation was created with.
-    pub fn arity(&self) -> usize {
+    fn arity(&self) -> usize {
         self.indexes.len()
     }
 
-    /// Insert a row; returns `true` if it was new. All column indexes are
-    /// updated eagerly.
-    ///
-    /// # Panics
-    /// Panics (in debug builds) if the row arity does not match.
-    pub fn insert(&mut self, row: Vec<Term>) -> bool {
-        let hash = row_hash(&row);
-        self.insert_with_hash(row, hash)
-    }
-
-    /// [`IndexedRelation::insert`] with the dedup hash supplied by the
-    /// caller; separated out so tests can force hash collisions and exercise
-    /// the overflow path.
+    /// Insert a row known (by the caller) not to be present in any *other*
+    /// segment; returns `true` if it was new *to this segment*.
     fn insert_with_hash(&mut self, row: Vec<Term>, hash: u64) -> bool {
         debug_assert_eq!(row.len(), self.arity(), "row arity mismatch");
         let row_id = self.rows.len() as u32;
@@ -121,9 +113,7 @@ impl IndexedRelation {
         true
     }
 
-    /// True if the relation contains the row.
-    pub fn contains(&self, row: &[Term]) -> bool {
-        let hash = row_hash(row);
+    fn contains_hashed(&self, row: &[Term], hash: u64) -> bool {
         match self.dedup.get(&hash) {
             Some(&id) => self.rows[id as usize] == row || self.overflow_contains(hash, row),
             None => false,
@@ -138,34 +128,25 @@ impl IndexedRelation {
             .any(|&(h, id)| h == hash && self.rows[id as usize] == row)
     }
 
-    /// All rows, in insertion order.
-    pub fn rows(&self) -> &[Vec<Term>] {
-        &self.rows
+    /// Number of rows of this segment whose column `col` equals `value`.
+    fn postings_len(&self, col: usize, value: &Term) -> usize {
+        self.indexes[col].get(value).map(Vec::len).unwrap_or(0)
     }
 
-    /// Ids of the rows whose column `col` equals `value`.
-    pub fn postings(&self, col: usize, value: &Term) -> &[u32] {
-        self.indexes[col]
-            .get(value)
-            .map(|ids| ids.as_slice())
-            .unwrap_or(&[])
-    }
-
-    /// The rows that can match `pattern`, a tuple of ground terms and
-    /// variables: probes the posting list of the most selective ground
-    /// column, falling back to a full scan when no column is ground.
-    ///
-    /// Every returned row agrees with `pattern` on the chosen column; the
-    /// caller still has to check the remaining positions (and repeated
-    /// variables).
-    pub fn candidates(&self, pattern: &[Term]) -> Candidates<'_> {
+    /// The probe for `pattern` against this segment: the posting list of the
+    /// most selective ground column, a full scan when no column is ground,
+    /// or nothing when some ground column has an empty posting list.
+    fn probe(&self, pattern: &[Term]) -> SegmentProbe<'_> {
         debug_assert_eq!(pattern.len(), self.arity(), "pattern arity mismatch");
         let mut best: Option<&[u32]> = None;
         for (col, term) in pattern.iter().enumerate() {
             if term.is_ground() {
-                let ids = self.postings(col, term);
+                let ids = self.indexes[col]
+                    .get(term)
+                    .map(|ids| ids.as_slice())
+                    .unwrap_or(&[]);
                 if ids.is_empty() {
-                    return Candidates::Empty;
+                    return SegmentProbe::Empty;
                 }
                 if best.is_none_or(|b| ids.len() < b.len()) {
                     best = Some(ids);
@@ -173,47 +154,342 @@ impl IndexedRelation {
             }
         }
         match best {
-            Some(ids) => Candidates::Selected {
+            Some(ids) => SegmentProbe::Selected {
                 rows: &self.rows,
                 ids: ids.iter(),
             },
-            None => Candidates::All(self.rows.iter()),
+            None => SegmentProbe::All(self.rows.iter()),
+        }
+    }
+
+    /// Merge two segments into one, oldest first (preserving global
+    /// insertion order). The inputs hold disjoint row sets (the relation
+    /// deduplicates globally on insert), so every row lands in the result.
+    fn merged(older: &Segment, newer: Segment) -> Segment {
+        let mut out = Segment::with_arity(older.arity());
+        out.rows.reserve(older.len() + newer.len());
+        for row in older.rows.iter().cloned() {
+            let hash = row_hash(&row);
+            out.insert_with_hash(row, hash);
+        }
+        for row in newer.rows {
+            let hash = row_hash(&row);
+            out.insert_with_hash(row, hash);
+        }
+        out
+    }
+}
+
+/// The stored rows of one predicate: a stack of immutable, `Arc`-shared
+/// frozen segments plus one mutable tail segment.
+///
+/// * `insert`/`contains` consult every segment's tuple-interning dedup (the
+///   stack is kept logarithmic by the freeze-time merge policy below);
+///   inserts always land in the tail.
+/// * `clone` shares the frozen segments by reference and deep-copies only
+///   the tail — O(#segments) for a frozen relation.
+/// * [`IndexedRelation::freeze`] publishes the tail as a frozen segment,
+///   first folding in trailing frozen segments that are no larger than the
+///   accumulated batch (the classic size-tiered LSM merge), so a row is
+///   re-merged O(log n) times over its life and the segment count stays
+///   O(log n).
+#[derive(Clone, Debug, Default)]
+pub struct IndexedRelation {
+    frozen: Vec<Arc<Segment>>,
+    tail: Segment,
+    len: usize,
+}
+
+impl IndexedRelation {
+    /// An empty relation for predicates of the given arity.
+    pub fn with_arity(arity: usize) -> Self {
+        IndexedRelation {
+            frozen: Vec::new(),
+            tail: Segment::with_arity(arity),
+            len: 0,
+        }
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The arity the relation was created with.
+    pub fn arity(&self) -> usize {
+        self.tail.arity()
+    }
+
+    /// Number of segments (frozen plus a non-empty tail). Kept logarithmic
+    /// in the row count by the freeze-time merge policy.
+    pub fn segment_count(&self) -> usize {
+        self.frozen.len() + usize::from(self.tail.len() > 0)
+    }
+
+    /// Insert a row; returns `true` if it was new. All column indexes are
+    /// updated eagerly; the row lands in the mutable tail segment.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the row arity does not match.
+    pub fn insert(&mut self, row: Vec<Term>) -> bool {
+        let hash = row_hash(&row);
+        self.insert_with_hash(row, hash)
+    }
+
+    /// [`IndexedRelation::insert`] with the dedup hash supplied by the
+    /// caller; separated out so tests can force hash collisions and exercise
+    /// the overflow path.
+    fn insert_with_hash(&mut self, row: Vec<Term>, hash: u64) -> bool {
+        if self
+            .frozen
+            .iter()
+            .any(|seg| seg.contains_hashed(&row, hash))
+        {
+            return false;
+        }
+        let added = self.tail.insert_with_hash(row, hash);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// True if the relation contains the row.
+    pub fn contains(&self, row: &[Term]) -> bool {
+        let hash = row_hash(row);
+        self.tail.contains_hashed(row, hash)
+            || self.frozen.iter().any(|seg| seg.contains_hashed(row, hash))
+    }
+
+    /// Publish the mutable tail as a frozen, shareable segment, after which
+    /// `clone()` shares all rows by reference (until the next insert starts
+    /// a new tail).
+    ///
+    /// To keep the segment stack logarithmic, the new segment first absorbs
+    /// trailing frozen segments that are no larger than it (size-tiered
+    /// merge): frozen segments grow geometrically from oldest to newest, so
+    /// each row is re-merged O(log n) times in total. Clones taken before a
+    /// freeze keep their own view — merges build new segments and never
+    /// mutate shared ones.
+    pub fn freeze(&mut self) {
+        if self.tail.len() == 0 {
+            return;
+        }
+        let arity = self.arity();
+        let mut batch = std::mem::replace(&mut self.tail, Segment::with_arity(arity));
+        while let Some(last) = self.frozen.last() {
+            if last.len() <= batch.len() {
+                let last = self.frozen.pop().expect("just peeked");
+                batch = Segment::merged(&last, batch);
+            } else {
+                break;
+            }
+        }
+        self.frozen.push(Arc::new(batch));
+    }
+
+    /// True if `self` and `other` share all frozen segments by reference
+    /// (the copy-on-write fast path; used by tests and debug assertions).
+    pub fn shares_segments_with(&self, other: &IndexedRelation) -> bool {
+        self.frozen.len() == other.frozen.len()
+            && self
+                .frozen
+                .iter()
+                .zip(other.frozen.iter())
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+
+    /// All rows, oldest segment first, in insertion order within a segment.
+    /// (Global insertion order is preserved: freezes and merges never
+    /// reorder rows across segments.)
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Term>> {
+        self.frozen
+            .iter()
+            .flat_map(|seg| seg.rows.iter())
+            .chain(self.tail.rows.iter())
+    }
+
+    /// Number of rows whose column `col` equals `value`, summed over all
+    /// segments (the per-segment posting lists are internal).
+    pub fn postings_len(&self, col: usize, value: &Term) -> usize {
+        self.frozen
+            .iter()
+            .map(|seg| seg.postings_len(col, value))
+            .sum::<usize>()
+            + self.tail.postings_len(col, value)
+    }
+
+    /// The rows that can match `pattern`, a tuple of ground terms and
+    /// variables: per segment, probes the posting list of the most selective
+    /// ground column, falling back to a segment scan when no column is
+    /// ground.
+    ///
+    /// Every returned row agrees with `pattern` on the chosen column of its
+    /// segment; the caller still has to check the remaining positions (and
+    /// repeated variables). The returned iterator probes later segments
+    /// lazily from the borrowed pattern — no allocation per call, however
+    /// many segments back the relation (this is the per-atom hot path of
+    /// every join and homomorphism search).
+    pub fn candidates<'a>(&'a self, pattern: &'a [Term]) -> Candidates<'a> {
+        let indexed = pattern.iter().any(Term::is_ground);
+        match self.frozen.split_first() {
+            None => Candidates {
+                current: self.tail.probe(pattern),
+                remaining: &[],
+                tail: None,
+                pattern,
+                scan: false,
+                indexed,
+            },
+            Some((first, rest)) => Candidates {
+                current: first.probe(pattern),
+                remaining: rest,
+                tail: Some(&self.tail),
+                pattern,
+                scan: false,
+                indexed,
+            },
+        }
+    }
+
+    /// A full scan of the relation presented as a [`Candidates`] iterator
+    /// (the index-ablation path of the query evaluator).
+    pub fn scan_candidates(&self) -> Candidates<'_> {
+        match self.frozen.split_first() {
+            None => Candidates {
+                current: SegmentProbe::All(self.tail.rows.iter()),
+                remaining: &[],
+                tail: None,
+                pattern: &[],
+                scan: true,
+                indexed: false,
+            },
+            Some((first, rest)) => Candidates {
+                current: SegmentProbe::All(first.rows.iter()),
+                remaining: rest,
+                tail: Some(&self.tail),
+                pattern: &[],
+                scan: true,
+                indexed: false,
+            },
         }
     }
 }
 
-/// Iterator over the candidate rows of an index probe
-/// (see [`IndexedRelation::candidates`] and [`Instance::candidates`]).
-pub enum Candidates<'a> {
-    /// No row can match (unknown predicate, or an empty posting list).
+/// The probe of one segment: how [`Candidates`] walks it.
+enum SegmentProbe<'a> {
+    /// No row of the segment can match (an empty posting list).
     Empty,
-    /// Full scan: no column of the pattern was ground.
+    /// Segment scan: no column of the pattern was ground.
     All(std::slice::Iter<'a, Vec<Term>>),
-    /// Posting list of the most selective ground column.
+    /// Posting list of the segment's most selective ground column.
     Selected {
-        /// The relation's dense row storage.
+        /// The segment's dense row storage.
         rows: &'a [Vec<Term>],
         /// Ids of the candidate rows within `rows`.
         ids: std::slice::Iter<'a, u32>,
     },
 }
 
+impl<'a> SegmentProbe<'a> {
+    fn next(&mut self) -> Option<&'a Vec<Term>> {
+        match self {
+            SegmentProbe::Empty => None,
+            SegmentProbe::All(rows) => rows.next(),
+            SegmentProbe::Selected { rows, ids } => ids.next().map(|&id| &rows[id as usize]),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        match self {
+            SegmentProbe::Empty => 0,
+            SegmentProbe::All(rows) => rows.len(),
+            SegmentProbe::Selected { ids, .. } => ids.len(),
+        }
+    }
+}
+
+/// Iterator over the candidate rows of an index probe, walking the
+/// per-segment probes of a relation (see [`IndexedRelation::candidates`] and
+/// [`Instance::candidates`]). Segments after the first are probed lazily
+/// from the borrowed pattern when the iterator reaches them, so
+/// constructing one never allocates.
+pub struct Candidates<'a> {
+    current: SegmentProbe<'a>,
+    /// Frozen segments not yet probed.
+    remaining: &'a [Arc<Segment>],
+    /// The tail segment, probed last (`None` once consumed or absent).
+    tail: Option<&'a Segment>,
+    /// The probe pattern (unused in scan mode).
+    pattern: &'a [Term],
+    /// True for a full scan: later segments are scanned, not probed.
+    scan: bool,
+    indexed: bool,
+}
+
+impl<'a> Candidates<'a> {
+    /// A probe with no candidates (unknown predicate).
+    pub fn empty() -> Self {
+        Candidates {
+            current: SegmentProbe::Empty,
+            remaining: &[],
+            tail: None,
+            pattern: &[],
+            scan: false,
+            indexed: false,
+        }
+    }
+
+    /// True if the probe pattern had a ground column, i.e. segments are
+    /// served from their posting lists rather than scanned; what the
+    /// evaluator's instrumentation counts.
+    pub fn used_index(&self) -> bool {
+        self.indexed
+    }
+
+    fn probe_segment(&self, segment: &'a Segment) -> SegmentProbe<'a> {
+        if self.scan {
+            SegmentProbe::All(segment.rows.iter())
+        } else {
+            segment.probe(self.pattern)
+        }
+    }
+}
+
 impl<'a> Iterator for Candidates<'a> {
     type Item = &'a Vec<Term>;
 
     fn next(&mut self) -> Option<&'a Vec<Term>> {
-        match self {
-            Candidates::Empty => None,
-            Candidates::All(rows) => rows.next(),
-            Candidates::Selected { rows, ids } => ids.next().map(|&id| &rows[id as usize]),
+        loop {
+            if let Some(row) = self.current.next() {
+                return Some(row);
+            }
+            if let Some((next, rest)) = self.remaining.split_first() {
+                self.current = self.probe_segment(next);
+                self.remaining = rest;
+                continue;
+            }
+            match self.tail.take() {
+                Some(tail) => self.current = self.probe_segment(tail),
+                None => return None,
+            }
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        match self {
-            Candidates::Empty => (0, Some(0)),
-            Candidates::All(rows) => rows.size_hint(),
-            Candidates::Selected { ids, .. } => ids.size_hint(),
+        // `Selected` probes over-count nothing (posting lists are exact for
+        // their column) but the caller still filters rows, so only the upper
+        // bound is meaningful — and it is only known once every segment has
+        // been probed.
+        if self.remaining.is_empty() && self.tail.is_none() {
+            (0, Some(self.current.remaining()))
+        } else {
+            (0, None)
         }
     }
 }
@@ -266,6 +542,15 @@ impl Instance {
     /// Insert a fact given by predicate name and constant names.
     pub fn insert_fact(&mut self, predicate: &str, constants: &[&str]) -> bool {
         self.insert(Atom::fact(predicate, constants))
+    }
+
+    /// Freeze every relation (see [`IndexedRelation::freeze`]): publish all
+    /// mutable tails as `Arc`-shared segments, so the next `clone()` of this
+    /// instance is O(#relations + #segments) instead of O(#facts).
+    pub fn freeze(&mut self) {
+        for rel in self.relations.values_mut() {
+            rel.freeze();
+        }
     }
 
     /// True if the instance contains the given ground atom.
@@ -323,23 +608,24 @@ impl Instance {
         self.relations
             .get(&predicate)
             .into_iter()
-            .flat_map(|rel| rel.rows().iter())
+            .flat_map(|rel| rel.rows())
     }
 
     /// The tuples of `atom.predicate` that can match `atom` (whose terms may
-    /// be variables): probes the most selective per-column index, falling
-    /// back to a full scan of the relation only when no term is ground.
-    pub fn candidates(&self, atom: &Atom) -> Candidates<'_> {
+    /// be variables): probes the most selective per-column index of each
+    /// segment, falling back to a segment scan only when no term is ground.
+    /// The iterator borrows `atom` (later segments are probed lazily).
+    pub fn candidates<'a>(&'a self, atom: &'a Atom) -> Candidates<'a> {
         match self.relations.get(&atom.predicate) {
             Some(rel) => rel.candidates(&atom.terms),
-            None => Candidates::Empty,
+            None => Candidates::empty(),
         }
     }
 
     /// Iterate over every fact as an [`Atom`].
     pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
         self.relations.iter().flat_map(|(p, rel)| {
-            rel.rows().iter().map(move |t| Atom {
+            rel.rows().map(move |t| Atom {
                 predicate: *p,
                 terms: t.clone(),
             })
@@ -371,7 +657,7 @@ impl Instance {
     pub fn constants(&self) -> BTreeSet<crate::term::Constant> {
         self.relations
             .values()
-            .flat_map(|rel| rel.rows().iter())
+            .flat_map(|rel| rel.rows())
             .flatten()
             .filter_map(Term::as_constant)
             .collect()
@@ -381,7 +667,7 @@ impl Instance {
     pub fn nulls(&self) -> BTreeSet<crate::term::Null> {
         self.relations
             .values()
-            .flat_map(|rel| rel.rows().iter())
+            .flat_map(|rel| rel.rows())
             .flatten()
             .filter_map(Term::as_null)
             .collect()
@@ -402,9 +688,10 @@ impl PartialEq for Instance {
         }
         self.relations.iter().all(|(p, rel)| {
             rel.is_empty()
-                || other.relations.get(p).is_some_and(|o| {
-                    rel.len() == o.len() && rel.rows().iter().all(|row| o.contains(row))
-                })
+                || other
+                    .relations
+                    .get(p)
+                    .is_some_and(|o| rel.len() == o.len() && rel.rows().all(|row| o.contains(row)))
         })
     }
 }
@@ -583,9 +870,9 @@ mod tests {
         assert!(!rel.insert(vec![Term::constant("a"), Term::constant("b")]));
         assert!(rel.insert(vec![Term::constant("a"), Term::constant("c")]));
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.postings(0, &Term::constant("a")).len(), 2);
-        assert_eq!(rel.postings(1, &Term::constant("b")).len(), 1);
-        assert!(rel.postings(1, &Term::constant("zzz")).is_empty());
+        assert_eq!(rel.postings_len(0, &Term::constant("a")), 2);
+        assert_eq!(rel.postings_len(1, &Term::constant("b")), 1);
+        assert_eq!(rel.postings_len(1, &Term::constant("zzz")), 0);
         assert!(rel.contains(&[Term::constant("a"), Term::constant("c")]));
     }
 
@@ -601,14 +888,123 @@ mod tests {
         assert!(rel.insert_with_hash(b.clone(), 7));
         assert!(rel.insert_with_hash(c.clone(), 7));
         assert_eq!(rel.len(), 3);
-        assert_eq!(rel.dedup_overflow.len(), 2);
+        assert_eq!(rel.tail.dedup_overflow.len(), 2);
         // Duplicates of both the slot row and the overflow rows are caught.
-        assert!(!rel.insert_with_hash(a, 7));
+        assert!(!rel.insert_with_hash(a.clone(), 7));
+        assert!(!rel.insert_with_hash(b.clone(), 7));
+        assert!(!rel.insert_with_hash(c.clone(), 7));
+        assert_eq!(rel.len(), 3);
+        // Per-column postings were still maintained for overflow rows.
+        assert_eq!(rel.postings_len(0, &Term::constant("b")), 1);
+        // Colliding rows survive a freeze, and the dedup still rejects
+        // duplicates afterwards, now through the frozen segment. (Real
+        // `contains` calls hash the row themselves, so only the forced-hash
+        // entry points are meaningful here.)
+        rel.freeze();
         assert!(!rel.insert_with_hash(b, 7));
         assert!(!rel.insert_with_hash(c, 7));
         assert_eq!(rel.len(), 3);
-        // Per-column postings were still maintained for overflow rows.
-        assert_eq!(rel.postings(0, &Term::constant("b")).len(), 1);
+        assert_eq!(rel.rows().count(), 3);
+    }
+
+    #[test]
+    fn freeze_publishes_the_tail_and_clones_share_segments() {
+        let mut rel = IndexedRelation::with_arity(1);
+        for i in 0..8 {
+            rel.insert(vec![Term::constant(&format!("c{i}"))]);
+        }
+        assert_eq!(rel.segment_count(), 1, "everything lives in the tail");
+        rel.freeze();
+        assert_eq!(rel.segment_count(), 1, "one frozen segment, empty tail");
+        let copy = rel.clone();
+        assert!(copy.shares_segments_with(&rel), "clone shares the segment");
+        assert_eq!(copy.len(), 8);
+        // Divergence after cloning: inserts land in private tails.
+        let mut grown = rel.clone();
+        grown.insert(vec![Term::constant("new")]);
+        assert_eq!(grown.len(), 9);
+        assert_eq!(rel.len(), 8);
+        assert!(!rel.contains(&[Term::constant("new")]));
+        assert!(grown.shares_segments_with(&rel), "frozen part still shared");
+    }
+
+    #[test]
+    fn freeze_merges_size_tiered_so_segments_stay_logarithmic() {
+        let mut rel = IndexedRelation::with_arity(1);
+        // 64 single-row commits: without merging this would be 64 segments.
+        for i in 0..64 {
+            rel.insert(vec![Term::constant(&format!("c{i}"))]);
+            rel.freeze();
+        }
+        assert_eq!(rel.len(), 64);
+        assert!(
+            rel.segment_count() <= 8,
+            "size-tiered merging keeps the stack logarithmic, got {}",
+            rel.segment_count()
+        );
+        // All rows still reachable through indexes and scans.
+        assert_eq!(rel.rows().count(), 64);
+        assert_eq!(rel.postings_len(0, &Term::constant("c17")), 1);
+        assert_eq!(rel.candidates(&[Term::constant("c17")]).count(), 1);
+    }
+
+    #[test]
+    fn candidates_chain_across_frozen_segments_and_tail() {
+        let mut rel = IndexedRelation::with_arity(2);
+        rel.insert(vec![Term::constant("a"), Term::constant("b")]);
+        rel.freeze();
+        rel.insert(vec![Term::constant("a"), Term::constant("c")]);
+        rel.freeze();
+        rel.insert(vec![Term::constant("a"), Term::constant("d")]);
+        // Index probe on column 0 finds rows in every segment.
+        let pattern = vec![Term::constant("a"), Term::variable("Y")];
+        let candidates = rel.candidates(&pattern);
+        assert!(candidates.used_index());
+        assert_eq!(candidates.count(), 3);
+        // Unindexed scans also cross segments.
+        let pattern = vec![Term::variable("X"), Term::variable("Y")];
+        assert_eq!(rel.candidates(&pattern).count(), 3);
+        assert_eq!(rel.scan_candidates().count(), 3);
+        // Insertion order is preserved across segments.
+        let rows: Vec<&Vec<Term>> = rel.rows().collect();
+        assert_eq!(rows[0][1], Term::constant("b"));
+        assert_eq!(rows[2][1], Term::constant("d"));
+    }
+
+    #[test]
+    fn duplicates_are_detected_across_segments() {
+        let mut rel = IndexedRelation::with_arity(1);
+        rel.insert(vec![Term::constant("a")]);
+        rel.freeze();
+        assert!(!rel.insert(vec![Term::constant("a")]));
+        assert!(rel.insert(vec![Term::constant("b")]));
+        rel.freeze();
+        assert!(!rel.insert(vec![Term::constant("a")]));
+        assert!(!rel.insert(vec![Term::constant("b")]));
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn instance_freeze_makes_clones_share_storage() {
+        let mut db = Instance::new();
+        for i in 0..10 {
+            db.insert_fact("r", &[&format!("a{i}"), "b"]);
+        }
+        db.insert_fact("s", &["c"]);
+        db.freeze();
+        let copy = db.clone();
+        assert_eq!(copy, db);
+        for p in db.predicates() {
+            assert!(db
+                .relation(p)
+                .unwrap()
+                .shares_segments_with(copy.relation(p).unwrap()));
+        }
+        // The clone can keep growing without touching the original.
+        let mut grown = copy.clone();
+        grown.insert_fact("r", &["new", "b"]);
+        assert_eq!(grown.len(), 12);
+        assert_eq!(db.len(), 11);
     }
 
     #[test]

@@ -37,6 +37,35 @@ impl std::fmt::Display for StrategyTaken {
     }
 }
 
+/// How a chase materialization was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum MaterializationMode {
+    /// The whole store was chased from scratch.
+    Scratch,
+    /// A cached ancestor materialization was extended by an incremental
+    /// chase over a recorded insert delta instead of re-chasing the store.
+    Incremental {
+        /// The data version of the ancestor materialization that was
+        /// extended.
+        from: u64,
+        /// Number of genuinely new facts the incremental chase was seeded
+        /// with (the composed batches, deduplicated and with already-chased
+        /// facts removed).
+        delta_facts: usize,
+    },
+}
+
+impl std::fmt::Display for MaterializationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaterializationMode::Scratch => f.write_str("scratch"),
+            MaterializationMode::Incremental { from, delta_facts } => {
+                write!(f, "incremental(from={from}, delta_facts={delta_facts})")
+            }
+        }
+    }
+}
+
 /// Summary of the chase run behind a materialization-based execution.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct ChaseSummary {
@@ -84,6 +113,10 @@ pub struct Provenance {
     /// Whether the materialization came from the planner's per-version
     /// cache (None when no materialization was involved).
     pub materialization_cached: Option<bool>,
+    /// How the materialization was obtained — chased from scratch, or an
+    /// incremental extension of a cached ancestor version (None when no
+    /// materialization was involved).
+    pub materialization: Option<MaterializationMode>,
     /// Timing breakdown.
     pub timings: Timings,
 }

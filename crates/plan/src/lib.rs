@@ -57,6 +57,8 @@ pub mod execution;
 pub mod plan;
 pub mod planner;
 
-pub use execution::{ChaseSummary, Execution, Provenance, StrategyTaken, Timings};
+pub use execution::{
+    ChaseSummary, Execution, MaterializationMode, Provenance, StrategyTaken, Timings,
+};
 pub use plan::{MaterializationGuarantee, PlanKind, QueryPlan};
 pub use planner::{Materialization, Planner, PlannerConfig, PreparedQuery};

@@ -1,8 +1,10 @@
 //! The planner: classify once, compile a plan per query, execute anywhere.
 
-use crate::execution::{ChaseSummary, Execution, Provenance, StrategyTaken, Timings};
+use crate::execution::{
+    ChaseSummary, Execution, MaterializationMode, Provenance, StrategyTaken, Timings,
+};
 use crate::plan::{MaterializationGuarantee, PlanKind, QueryPlan};
-use ontorew_chase::{chase, ChaseConfig};
+use ontorew_chase::{chase, chase_incremental, ChaseConfig, ChaseResult};
 use ontorew_core::{classify, ClassificationReport};
 use ontorew_model::prelude::*;
 use ontorew_rewrite::{evaluate_rewriting, rewrite, RewriteConfig, Rewriting};
@@ -45,26 +47,49 @@ impl Default for PlannerConfig {
 /// multi-tenant interleavings.
 const MATERIALIZATION_CACHE_VERSIONS: usize = 4;
 
+/// How many recorded insert deltas the planner keeps, and the longest delta
+/// chain an incremental materialization will compose. Commit-per-fact
+/// tenants produce many tiny edges; 64 of them bridge a realistic gap
+/// between queries without letting the walk grow unbounded.
+const MATERIALIZATION_DELTA_EDGES: usize = 64;
+
 /// A chase materialization of one data version: the chased store, its
-/// guarantees, and the run statistics.
+/// guarantees, the chase state an incremental continuation extends, and the
+/// run statistics.
 #[derive(Debug)]
 pub struct Materialization {
-    /// The chased store the query is evaluated over.
+    /// The chased store the query is evaluated over (frozen: clones share
+    /// segments).
     pub store: RelationalStore,
     /// True if the chase reached a fixpoint (the store is a universal
-    /// model, so evaluation yields exactly the certain answers).
+    /// model, so evaluation yields exactly the certain answers). An
+    /// incremental materialization is complete iff its base was and its own
+    /// continuation reached a fixpoint.
     pub complete: bool,
     /// Facts in the chased store.
     pub facts: usize,
     /// Labelled nulls invented by the chase.
     pub nulls: usize,
-    /// Chase rounds executed.
+    /// Chase rounds executed (of the latest scratch run or continuation).
     pub rounds: usize,
-    /// Wall-clock cost of the chase + re-indexing, microseconds.
+    /// Wall-clock cost of producing this materialization (chase +
+    /// re-indexing for scratch; incremental chase + store extension for
+    /// incremental), microseconds.
     pub micros: u64,
+    /// How this materialization was obtained; reported in provenance.
+    pub mode: MaterializationMode,
     /// Facts of the source store the materialization was computed from — a
     /// cheap sanity guard against version-token misuse.
     source_facts: usize,
+    /// The chase state (frozen instance + fired keys) that
+    /// [`chase_incremental`] seeds from when this version is extended.
+    /// `store` is derived from the same instance and shares its segments.
+    chased: ChaseResult,
+    /// The labelled nulls of the chased instance. Kept as a shared set so
+    /// an incremental extension can compute its exact null count in
+    /// O(delta nulls) — a continuation can propagate *base* nulls into new
+    /// facts, so `added`'s nulls alone would double-count.
+    null_set: Arc<std::collections::BTreeSet<ontorew_model::term::Null>>,
 }
 
 impl Materialization {
@@ -76,6 +101,18 @@ impl Materialization {
             complete: self.complete,
         }
     }
+}
+
+/// A recorded insert batch: `version` was produced from `parent` by
+/// committing `facts`, resulting in a store of `resulting_facts` facts (the
+/// end-to-end guard an incremental extension is validated against). The
+/// batch is behind an `Arc` so recording and chain-walking never copy atoms
+/// while the cache lock is held.
+#[derive(Clone, Debug)]
+struct DeltaEdge {
+    parent: u64,
+    facts: Arc<[Atom]>,
+    resulting_facts: usize,
 }
 
 /// The planner state shared by every [`PreparedQuery`] it hands out.
@@ -94,9 +131,18 @@ pub(crate) struct PlannerShared {
     materializations: Mutex<MaterializationCache>,
 }
 
+/// What a successful delta-chain walk hands back: the ancestor's version,
+/// its cached materialization, and the batches to replay (oldest first).
+type IncrementalBase = (u64, Arc<Materialization>, Vec<Arc<[Atom]>>);
+
 #[derive(Default)]
 struct MaterializationCache {
     entries: HashMap<u64, (u64, Arc<Materialization>)>,
+    /// Recorded insert batches keyed by resulting version, tick-stamped for
+    /// eviction. `deltas[v] = (tick, edge)` says `v = edge.parent ∪
+    /// edge.facts` — the chain a cache miss walks backwards to find a
+    /// cached ancestor it can extend instead of re-chasing.
+    deltas: HashMap<u64, (u64, DeltaEdge)>,
     tick: u64,
 }
 
@@ -133,34 +179,122 @@ impl MaterializationCache {
         }
         self.entries.insert(version, (self.tick, materialization));
     }
+
+    /// Record that `version` was produced from `parent` by inserting
+    /// `facts`, evicting the oldest edge at capacity.
+    fn record_delta(&mut self, parent: u64, version: u64, edge: DeltaEdge) {
+        debug_assert_eq!(parent, edge.parent);
+        self.tick += 1;
+        if self.deltas.len() >= MATERIALIZATION_DELTA_EDGES && !self.deltas.contains_key(&version) {
+            if let Some(victim) = self
+                .deltas
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| *k)
+            {
+                self.deltas.remove(&victim);
+            }
+        }
+        self.deltas.insert(version, (self.tick, edge));
+    }
+
+    /// Walk the delta chain backwards from `version` looking for a cached,
+    /// **complete** ancestor materialization: returns the ancestor and the
+    /// batches to replay (oldest first), as shared handles so the caller
+    /// can compose them *after* dropping the cache lock. The walk requires
+    /// the edge into `version` to agree with the observed store size
+    /// (`source_facts`) — the same guard `get` applies — and is bounded by
+    /// the edge-store capacity, so it always terminates even on
+    /// (impossible) cyclic version tokens.
+    fn incremental_base(&mut self, version: u64, source_facts: usize) -> Option<IncrementalBase> {
+        let newest = self.deltas.get(&version)?;
+        if newest.1.resulting_facts != source_facts {
+            return None;
+        }
+        let mut batches: Vec<Arc<[Atom]>> = Vec::new();
+        let mut at = version;
+        for _ in 0..MATERIALIZATION_DELTA_EDGES {
+            let (_, edge) = self.deltas.get(&at)?;
+            batches.push(Arc::clone(&edge.facts));
+            at = edge.parent;
+            if let Some((_, base)) = self.entries.get(&at) {
+                if base.complete {
+                    let base = Arc::clone(base);
+                    batches.reverse();
+                    self.tick += 1;
+                    let tick = self.tick;
+                    if let Some((last_used, _)) = self.entries.get_mut(&at) {
+                        *last_used = tick;
+                    }
+                    return Some((at, base, batches));
+                }
+                // An incomplete (budget-cut) ancestor cannot be extended
+                // soundly-and-completely; keep walking in case an older
+                // complete one exists.
+            }
+        }
+        None
+    }
 }
 
 impl PlannerShared {
     /// Fetch or compute the materialization of `store`. With a version
     /// token, the result is cached and shared across queries; without one,
-    /// every call chases afresh. The chase runs outside the cache lock.
+    /// every call chases afresh. On a miss at a version whose insert
+    /// lineage is recorded (see [`Planner::record_delta`]) and whose
+    /// ancestor materialization is cached and complete, the ancestor is
+    /// **incrementally extended** — O(closure of the delta) — instead of
+    /// re-chasing the whole store. The chase (either kind) runs outside the
+    /// cache lock.
     fn materialize(
         &self,
         store: &RelationalStore,
         version: Option<u64>,
     ) -> (Arc<Materialization>, bool) {
+        let source_facts = store.len();
         if let Some(v) = version {
             // The size guard inside `get` catches a caller reusing a version
             // token for different data; recomputing is then the safe choice.
-            if let Some(m) = self.materializations.lock().get(v, store.len()) {
+            let mut cache = self.materializations.lock();
+            if let Some(m) = cache.get(v, source_facts) {
                 return (m, true);
+            }
+            if let Some((from, base, batches)) = cache.incremental_base(v, source_facts) {
+                drop(cache);
+                // Compose the recorded batches outside the lock: other
+                // tenants' cache lookups must not wait on O(delta) copying.
+                let delta: Vec<Atom> = batches
+                    .iter()
+                    .flat_map(|batch| batch.iter().cloned())
+                    .collect();
+                if let Some(materialization) =
+                    self.materialize_incremental(store, v, from, &base, delta)
+                {
+                    return (materialization, false);
+                }
+                // Validation failed (stale tokens, mismatched lineage):
+                // fall through to the scratch chase.
             }
         }
         let start = Instant::now();
-        let result = chase(&self.program, &store.to_instance(), &self.chase_config);
+        let mut result = chase(&self.program, &store.to_instance(), &self.chase_config);
+        // Freeze so the cached instance clones in O(#segments) — what makes
+        // later incremental extensions and hybrid peeks cheap — and so the
+        // evaluation store shares its segments instead of copying the rows.
+        result.instance.freeze();
+        let chased_store = RelationalStore::from_instance(&result.instance);
+        let null_set = Arc::new(result.instance.nulls());
         let materialization = Arc::new(Materialization {
             complete: result.is_universal_model(),
             facts: result.instance.len(),
-            nulls: result.instance.nulls().len(),
+            nulls: null_set.len(),
             rounds: result.rounds,
             micros: start.elapsed().as_micros() as u64,
-            source_facts: store.len(),
-            store: RelationalStore::from_instance(&result.instance),
+            mode: MaterializationMode::Scratch,
+            source_facts,
+            store: chased_store,
+            chased: result,
+            null_set,
         });
         if let Some(v) = version {
             self.materializations
@@ -168,6 +302,91 @@ impl PlannerShared {
                 .insert(v, Arc::clone(&materialization));
         }
         (materialization, false)
+    }
+
+    /// Extend the cached `base` materialization (of version `from`) by the
+    /// composed insert `delta`, producing and caching the materialization
+    /// of `version`. Returns `None` when the end-to-end size guard fails —
+    /// the extended source does not match the observed store — in which
+    /// case the caller falls back to a scratch chase.
+    fn materialize_incremental(
+        &self,
+        store: &RelationalStore,
+        version: u64,
+        from: u64,
+        base: &Arc<Materialization>,
+        delta: Vec<Atom>,
+    ) -> Option<Arc<Materialization>> {
+        let start = Instant::now();
+        // End-to-end guard: the base's source plus the genuinely-new delta
+        // facts must reproduce the observed store size. This catches stale
+        // or colliding version tokens the same way `get`'s size guard does,
+        // before any chase work is wasted. Checking novelty against the
+        // *chased* instance (the source store is not retained) is
+        // conservative: a delta fact the base had merely derived makes the
+        // guard under-count and fall back to a scratch chase — correct,
+        // just not incremental.
+        let mut new_source = base.source_facts;
+        {
+            let mut seen = Instance::new();
+            for fact in &delta {
+                if !base.chased.instance.contains(fact) && seen.insert(fact.clone()) {
+                    new_source += 1;
+                }
+            }
+        }
+        if new_source != store.len() {
+            return None;
+        }
+        // The genuinely-new facts (deduplicated, not already chased) are
+        // what the continuation actually seeds — the honest delta size for
+        // provenance, as opposed to the raw composed batch length.
+        let delta_facts = new_source - base.source_facts;
+        let delta_instance = Instance::from_atoms(delta);
+        let incremental = chase_incremental(
+            &self.program,
+            &base.chased,
+            &delta_instance,
+            &self.chase_config,
+        );
+        let mut result = incremental.result;
+        result.instance.freeze();
+        // The evaluation store shares the frozen instance's segments —
+        // O(#segments), no rows duplicated (the base's segments are reused
+        // by the continuation's copy-on-write instance clone).
+        let chased_store = RelationalStore::from_instance(&result.instance);
+        // Exact null count in O(delta nulls): a continuation can propagate
+        // *base* nulls into newly derived facts, so only genuinely new
+        // nulls extend the shared set.
+        let new_nulls: Vec<_> = incremental
+            .added
+            .nulls()
+            .into_iter()
+            .filter(|n| !base.null_set.contains(n))
+            .collect();
+        let null_set = if new_nulls.is_empty() {
+            Arc::clone(&base.null_set)
+        } else {
+            let mut set = (*base.null_set).clone();
+            set.extend(new_nulls);
+            Arc::new(set)
+        };
+        let materialization = Arc::new(Materialization {
+            complete: base.complete && result.is_universal_model(),
+            facts: result.instance.len(),
+            nulls: null_set.len(),
+            rounds: result.rounds,
+            micros: start.elapsed().as_micros() as u64,
+            mode: MaterializationMode::Incremental { from, delta_facts },
+            source_facts: store.len(),
+            store: chased_store,
+            chased: result,
+            null_set,
+        });
+        self.materializations
+            .lock()
+            .insert(version, Arc::clone(&materialization));
+        Some(materialization)
     }
 }
 
@@ -270,14 +489,42 @@ impl Planner {
 
     /// Fetch or compute the chase materialization of `store`, cached per
     /// `version` token (callers that mutate data must bump the token —
-    /// `ontorew-serve` passes its epoch). Returns the materialization and
-    /// whether it came from the cache.
+    /// `ontorew-serve` passes its tenant-tagged epoch). Returns the
+    /// materialization and whether it came from the cache. A miss at a
+    /// version whose insert lineage was recorded (see
+    /// [`Planner::record_delta`]) extends the cached ancestor incrementally
+    /// instead of re-chasing the store.
     pub fn materialize(
         &self,
         store: &RelationalStore,
         version: Option<u64>,
     ) -> (Arc<Materialization>, bool) {
         self.inner.materialize(store, version)
+    }
+
+    /// Record that data version `version` was produced from `parent` by
+    /// inserting `facts`, with `resulting_facts` total facts afterwards.
+    ///
+    /// This is the bridge that makes `INSERT → QUERY` O(delta) on
+    /// chase-plan programs: the serving layer calls it on every commit, and
+    /// the next [`PreparedQuery::execute_versioned`] at `version` finds the
+    /// edge, walks the chain back to a cached materialization, and runs
+    /// [`chase_incremental`] over the composed batches instead of
+    /// re-chasing the store. Recording is bounded (old edges are evicted)
+    /// and purely advisory — an unverifiable or missing lineage simply
+    /// falls back to the scratch chase.
+    pub fn record_delta(&self, parent: u64, version: u64, facts: &[Atom], resulting_facts: usize) {
+        // Copy the batch before taking the cache lock; the critical section
+        // is then a plain map insert.
+        let edge = DeltaEdge {
+            parent,
+            facts: facts.into(),
+            resulting_facts,
+        };
+        self.inner
+            .materializations
+            .lock()
+            .record_delta(parent, version, edge);
     }
 
     /// Compile `query` into a [`PreparedQuery`] whose plan is chosen from
@@ -582,6 +829,7 @@ impl PreparedQuery {
                 rewriting_complete: Some(rewriting.complete),
                 chase: None,
                 materialization_cached: None,
+                materialization: None,
                 timings: Timings {
                     materialize_us: 0,
                     evaluate_us: start.elapsed().as_micros() as u64,
@@ -611,6 +859,7 @@ impl PreparedQuery {
                 rewriting_complete: None,
                 chase: Some(materialization.summary()),
                 materialization_cached: Some(cached),
+                materialization: Some(materialization.mode),
                 timings: Timings {
                     materialize_us: if cached { 0 } else { materialization.micros },
                     evaluate_us: start.elapsed().as_micros() as u64,
@@ -711,6 +960,7 @@ impl PreparedQuery {
         }
         provenance.chase = Some(materialization.summary());
         provenance.materialization_cached = Some(cached);
+        provenance.materialization = Some(materialization.mode);
         provenance.timings.materialize_us = if cached { 0 } else { materialization.micros };
         provenance.timings.evaluate_us += start.elapsed().as_micros() as u64;
         execution
@@ -1010,6 +1260,141 @@ mod tests {
         );
         assert!(execution.is_exact());
         assert_eq!(execution.answers.len(), 1);
+    }
+
+    /// A recorded insert delta lets a cache miss extend the previous
+    /// version's materialization incrementally — and the answers must equal
+    /// the scratch chase's.
+    #[test]
+    fn recorded_deltas_enable_incremental_materialization() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+
+        let cold = prepared.execute_versioned(&store, 1);
+        assert_eq!(
+            cold.provenance.materialization,
+            Some(MaterializationMode::Scratch)
+        );
+        assert!(!cold.answers.as_boolean());
+
+        // Commit a batch, record the edge, query the new version.
+        let batch = vec![Atom::fact("s", &["c", "c", "a"])];
+        for fact in &batch {
+            store.insert_atom(fact);
+        }
+        planner.record_delta(1, 2, &batch, store.len());
+        let warm = prepared.execute_versioned(&store, 2);
+        assert_eq!(
+            warm.provenance.materialization,
+            Some(MaterializationMode::Incremental {
+                from: 1,
+                delta_facts: 1
+            })
+        );
+        assert!(warm.is_exact(), "complete base + terminated continuation");
+        assert!(warm.answers.as_boolean(), "s + t now derive r(a, _)");
+
+        // Scratch ground truth on a fresh planner.
+        let scratch = Planner::new(example2())
+            .prepare(&example2_query())
+            .execute(&store);
+        assert_eq!(
+            warm.answers.iter().collect::<Vec<_>>(),
+            scratch.answers.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Delta chains compose: several commits between queries are walked
+    /// back to the cached ancestor in one incremental extension.
+    #[test]
+    fn delta_chains_compose_across_multiple_commits() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&parse_query("p() :- s(X, Y, Z)").unwrap());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+        let _ = prepared.execute_versioned(&store, 10);
+
+        let mut version = 10;
+        for i in 0..3 {
+            let batch = vec![Atom::fact("t", &[&format!("d{i}"), "a"])];
+            for fact in &batch {
+                store.insert_atom(fact);
+            }
+            planner.record_delta(version, version + 1, &batch, store.len());
+            version += 1;
+        }
+        // No query ran at versions 11 and 12: the miss at 13 composes all
+        // three edges back to the materialization of version 10.
+        let execution = prepared.execute_versioned(&store, version);
+        assert_eq!(
+            execution.provenance.materialization,
+            Some(MaterializationMode::Incremental {
+                from: 10,
+                delta_facts: 3
+            })
+        );
+        // And the extended version is itself cached now.
+        let again = prepared.execute_versioned(&store, version);
+        assert_eq!(again.provenance.materialization_cached, Some(true));
+    }
+
+    /// A continuation can propagate *base* nulls into newly derived facts;
+    /// the incremental null count must not double-count them.
+    #[test]
+    fn incremental_null_count_is_exact_when_base_nulls_propagate() {
+        let program = parse_program(
+            "[R1] person(X) -> hasParent(X, N).\n\
+             [R2] hasParent(X, P), vip(X) -> q(P).",
+        )
+        .unwrap();
+        let planner = Planner::new(program);
+        let mut store = RelationalStore::new();
+        store.insert_fact("person", &["alice"]);
+        let (base, _) = planner.materialize(&store, Some(1));
+        assert_eq!(base.nulls, 1, "hasParent(alice, n1)");
+
+        let batch = vec![Atom::fact("vip", &["alice"])];
+        store.insert_atom(&batch[0]);
+        planner.record_delta(1, 2, &batch, store.len());
+        let (extended, _) = planner.materialize(&store, Some(2));
+        assert_eq!(
+            extended.mode,
+            MaterializationMode::Incremental {
+                from: 1,
+                delta_facts: 1
+            }
+        );
+        // The continuation derives q(n1), re-using the base's null: still
+        // exactly one distinct null, both in the stat and in the store.
+        assert_eq!(extended.nulls, 1);
+        assert_eq!(extended.nulls, extended.store.to_instance().nulls().len());
+    }
+
+    /// A lineage that does not reproduce the observed store (wrong
+    /// resulting size) is rejected and the planner re-chases from scratch.
+    #[test]
+    fn invalid_delta_lineage_falls_back_to_scratch() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+        let _ = prepared.execute_versioned(&store, 1);
+
+        // The recorded batch claims one new fact, but the store actually
+        // grew by two (a second fact slipped in without being recorded).
+        let batch = vec![Atom::fact("s", &["c", "c", "a"])];
+        store.insert_atom(&batch[0]);
+        store.insert_fact("t", &["d2", "c"]);
+        planner.record_delta(1, 2, &batch, store.len() - 1);
+        let execution = prepared.execute_versioned(&store, 2);
+        assert_eq!(
+            execution.provenance.materialization,
+            Some(MaterializationMode::Scratch),
+            "mismatched lineage must not be extended"
+        );
+        assert!(execution.answers.as_boolean());
     }
 
     /// A stale version token (same number, different data) is detected by

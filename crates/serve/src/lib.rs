@@ -74,5 +74,5 @@ pub use pool::ThreadPool;
 pub use proto::{format_fact, parse_fact, parse_request, Request};
 pub use server::{serve, serve_registry, ServerConfig, ServerHandle};
 pub use service::{Prepared, QueryResponse, QueryService, ServiceConfig, ServiceStats};
-pub use snapshot::{EpochStore, Snapshot};
+pub use snapshot::{CommitReceipt, EpochStore, Snapshot};
 pub use tenant::{TenantInfo, TenantRegistry, DEFAULT_TENANT};

@@ -12,9 +12,11 @@
 //! The guarantees, in transactional terms, are **snapshot isolation for
 //! readers and serialized writers**: a reader sees exactly the facts of one
 //! epoch — never a torn batch, never a moving store — and epochs are
-//! totally ordered. The price is that commits copy the working store (the
-//! classic copy-on-write trade); batching many facts per commit amortises
-//! it, and ingestion throughput was never the serving layer's hot path.
+//! totally ordered. Since PR 5 the store's relations are segmented and
+//! copy-on-write, so a commit *freezes* the working store (publishing the
+//! batch as `Arc`-shared segments) and the publish clone shares every
+//! frozen segment by reference — commit cost scales with the batch (plus
+//! the amortised size-tiered segment merges), not with the store.
 
 use ontorew_model::prelude::*;
 use ontorew_storage::RelationalStore;
@@ -57,16 +59,17 @@ pub struct EpochStore {
     /// The published snapshot. The `RwLock` protects only the `Arc` swap —
     /// it is held for nanoseconds, never during evaluation or mutation.
     current: RwLock<Arc<Snapshot>>,
-    /// The writers' working copy: the next epoch being built. Keeping it
-    /// materialized (rather than cloning the published store per commit)
-    /// makes a commit cost one clone of the *working* store, taken outside
-    /// any reader-visible lock.
+    /// The writers' working copy: the next epoch being built. It is kept
+    /// frozen between commits, so the publish clone only shares `Arc`
+    /// segments — commit cost is the batch mutation plus the freeze of that
+    /// batch, never a copy of the whole store.
     writer: Mutex<RelationalStore>,
 }
 
 impl EpochStore {
     /// Publish `initial` as epoch 0.
-    pub fn new(initial: RelationalStore) -> Self {
+    pub fn new(mut initial: RelationalStore) -> Self {
+        initial.freeze();
         EpochStore {
             current: RwLock::new(Arc::new(Snapshot {
                 epoch: 0,
@@ -93,13 +96,16 @@ impl EpochStore {
     /// previous snapshot until the swap, which is a pointer store).
     ///
     /// Everything `mutate` does becomes visible *atomically*: no reader can
-    /// observe a prefix of the batch.
+    /// observe a prefix of the batch. The working store is frozen after the
+    /// mutation, so the publish clone shares every segment by reference —
+    /// O(batch), not O(store).
     pub fn commit<F>(&self, mutate: F) -> u64
     where
         F: FnOnce(&mut RelationalStore),
     {
         let mut working = self.writer.lock();
         mutate(&mut working);
+        working.freeze();
         let published = Arc::new(Snapshot {
             epoch: self.current.read().epoch + 1,
             store: working.clone(),
@@ -110,18 +116,39 @@ impl EpochStore {
     }
 
     /// Convenience: commit a batch of ground facts as one epoch. Returns
-    /// `(new epoch, number of facts that were new)`.
-    pub fn commit_facts(&self, facts: &[Atom]) -> (u64, usize) {
+    /// the [`CommitReceipt`] describing the published epoch.
+    pub fn commit_facts(&self, facts: &[Atom]) -> CommitReceipt {
         let mut added = 0usize;
+        let mut total = 0usize;
         let epoch = self.commit(|store| {
             for fact in facts {
                 if store.insert_atom(fact) {
                     added += 1;
                 }
             }
+            total = store.len();
         });
-        (epoch, added)
+        CommitReceipt {
+            epoch,
+            added,
+            facts: total,
+        }
     }
+}
+
+/// What [`EpochStore::commit_facts`] published: the new epoch, how many of
+/// the batch's facts were new, and the total facts of the published
+/// snapshot. The fact total lets callers (the serving layer) hand the
+/// planner a verifiable delta edge without re-reading the snapshot (which
+/// could already belong to a later epoch).
+#[derive(Clone, Copy, Debug)]
+pub struct CommitReceipt {
+    /// The newly published epoch.
+    pub epoch: u64,
+    /// Facts of the batch that were not already present.
+    pub added: usize,
+    /// Total facts in the published snapshot.
+    pub facts: usize,
 }
 
 impl std::fmt::Debug for EpochStore {
@@ -155,12 +182,13 @@ mod tests {
     fn commits_advance_the_epoch_atomically() {
         let store = EpochStore::new(RelationalStore::new());
         let before = store.snapshot();
-        let (epoch, added) = store.commit_facts(&[
+        let receipt = store.commit_facts(&[
             Atom::fact("pair", &["1", "a"]),
             Atom::fact("pair", &["1", "b"]),
         ]);
-        assert_eq!(epoch, 1);
-        assert_eq!(added, 2);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.added, 2);
+        assert_eq!(receipt.facts, 2);
         // The old snapshot is untouched; the new one has the whole batch.
         assert!(before.is_empty());
         assert_eq!(store.snapshot().len(), 2);
@@ -171,10 +199,34 @@ mod tests {
     fn duplicate_facts_count_as_not_added_but_still_advance_the_epoch() {
         let store = EpochStore::new(RelationalStore::new());
         store.commit_facts(&[Atom::fact("r", &["a"])]);
-        let (epoch, added) = store.commit_facts(&[Atom::fact("r", &["a"])]);
-        assert_eq!(epoch, 2);
-        assert_eq!(added, 0);
+        let receipt = store.commit_facts(&[Atom::fact("r", &["a"])]);
+        assert_eq!(receipt.epoch, 2);
+        assert_eq!(receipt.added, 0);
+        assert_eq!(receipt.facts, 1);
         assert_eq!(store.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn published_snapshots_share_segments_with_the_working_store() {
+        let mut initial = RelationalStore::new();
+        for i in 0..100 {
+            initial.insert_fact("base", &[&format!("b{i}")]);
+        }
+        let store = EpochStore::new(initial);
+        let epoch0 = store.snapshot();
+        store.commit_facts(&[Atom::fact("base", &["extra"])]);
+        let epoch1 = store.snapshot();
+        // The preloaded 100 facts were frozen at construction: both epochs
+        // share that segment by reference, and the old snapshot still serves.
+        let p = Predicate::new("base", 1);
+        let before = epoch0.store().relation(p).unwrap();
+        let after = epoch1.store().relation(p).unwrap();
+        assert_eq!(before.len(), 100);
+        assert_eq!(after.len(), 101);
+        assert!(
+            after.scan().take(100).eq(before.scan()),
+            "shared prefix preserved in order"
+        );
     }
 
     #[test]

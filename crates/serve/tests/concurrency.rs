@@ -120,6 +120,98 @@ fn service_queries_never_observe_torn_epochs() {
 }
 
 #[test]
+fn segmented_store_hammer_under_single_fact_commits() {
+    // The worst case for the segmented copy-on-write store: one-fact
+    // commits, so every epoch freezes a tiny tail and the size-tiered merge
+    // policy constantly rebuilds segments, while readers hold snapshots of
+    // many different epochs and probe them through both index candidates
+    // and full scans. A torn segment (a reader observing a half-built merge
+    // or a moving tail) would show up as a wrong row count, an unpaired
+    // probe, or a panic.
+    use ontorew_serve::EpochStore;
+
+    let mut initial = RelationalStore::new();
+    for i in 0..64 {
+        initial.insert_fact("base", &[&format!("b{i}"), "seed"]);
+    }
+    let store = Arc::new(EpochStore::new(initial));
+    const COMMITS: usize = 400;
+    const READERS: usize = 4;
+
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let store = Arc::clone(&store);
+        let writer_done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            for k in 0..COMMITS {
+                let receipt = store.commit_facts(&[Atom::fact("base", &[&format!("k{k}"), "x"])]);
+                assert_eq!(receipt.epoch, k as u64 + 1);
+                assert_eq!(receipt.facts, 64 + k + 1);
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let store = Arc::clone(&store);
+            let writer_done = Arc::clone(&writer_done);
+            std::thread::spawn(move || {
+                let p = Predicate::new("base", 2);
+                let mut held = Vec::new();
+                let mut observed = 0usize;
+                while !writer_done.load(Ordering::SeqCst) || observed == 0 {
+                    let snap = store.snapshot();
+                    let rel = snap.store().relation(p).expect("base relation");
+                    // Scan count must match the epoch exactly.
+                    assert_eq!(
+                        rel.scan().count() as u64,
+                        64 + snap.epoch(),
+                        "reader {r}: scan disagrees with epoch {}",
+                        snap.epoch()
+                    );
+                    // Index probes against frozen and freshly merged
+                    // segments: the seed rows are always there.
+                    assert_eq!(rel.lookup_count(1, Term::constant("seed")), 64);
+                    let probe = [Term::variable("K"), Term::constant("seed")];
+                    assert_eq!(rel.candidates(&probe).count(), 64);
+                    // Hold every 32nd snapshot to keep old segment stacks
+                    // alive across later merges.
+                    if observed.is_multiple_of(32) {
+                        held.push(snap);
+                    }
+                    observed += 1;
+                }
+                // Held snapshots still answer exactly as of their epoch.
+                for snap in &held {
+                    let rel = snap.store().relation(p).expect("base relation");
+                    assert_eq!(rel.scan().count() as u64, 64 + snap.epoch());
+                }
+                observed
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        assert!(r.join().unwrap() >= 1);
+    }
+    let final_snap = store.snapshot();
+    assert_eq!(final_snap.len(), 64 + COMMITS);
+    // The size-tiered merge kept the segment stack logarithmic despite 400
+    // one-fact commits.
+    let rel = final_snap
+        .store()
+        .relation(Predicate::new("base", 2))
+        .unwrap();
+    assert!(
+        rel.segment_count() <= 16,
+        "segment stack should stay logarithmic, got {}",
+        rel.segment_count()
+    );
+}
+
+#[test]
 fn tcp_queries_never_observe_torn_epochs() {
     let service = Arc::new(QueryService::new(
         TgdProgram::new(),

@@ -20,11 +20,18 @@ impl RelationalStore {
         RelationalStore::default()
     }
 
-    /// Build a store from an [`Instance`].
+    /// Build a store from an [`Instance`] by cloning its relations — which
+    /// share all frozen segments by reference, so converting a *frozen*
+    /// instance (e.g. a cached chase materialization) costs O(#segments)
+    /// and duplicates no rows. Unfrozen relations are deep-copied, as a
+    /// per-atom rebuild would be.
     pub fn from_instance(instance: &Instance) -> Self {
         let mut store = RelationalStore::new();
-        for atom in instance.atoms() {
-            store.insert_atom(&atom);
+        for p in instance.predicates() {
+            let rel = instance.relation(p).expect("predicates() yields non-empty");
+            store
+                .relations
+                .insert(p, crate::relation::Relation::from_indexed(p, rel.clone()));
         }
         store
     }
@@ -54,6 +61,16 @@ impl RelationalStore {
     /// Insert a fact given by predicate name and constant names.
     pub fn insert_fact(&mut self, predicate: &str, constants: &[&str]) -> bool {
         self.insert_atom(&Atom::fact(predicate, constants))
+    }
+
+    /// Freeze every relation (see [`Relation::freeze`]): publish all mutable
+    /// tails as `Arc`-shared segments, making the next `clone()` of this
+    /// store O(#relations + #segments) instead of O(#tuples). The epoch
+    /// store calls this before publishing each snapshot.
+    pub fn freeze(&mut self) {
+        for rel in self.relations.values_mut() {
+            rel.freeze();
+        }
     }
 
     /// True if the store contains the ground atom.

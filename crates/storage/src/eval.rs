@@ -9,7 +9,6 @@
 
 use crate::database::RelationalStore;
 use crate::stats::StoreStatistics;
-use ontorew_model::instance::Candidates;
 use ontorew_model::prelude::*;
 use std::collections::BTreeSet;
 
@@ -322,11 +321,12 @@ fn join(
     let candidates = if config.use_indexes {
         relation.candidates(&atom.terms)
     } else {
-        Candidates::All(relation.rows().iter())
+        relation.scan_candidates()
     };
-    match &candidates {
-        Candidates::All(_) => stats.full_scans += 1,
-        _ => stats.index_probes += 1,
+    if candidates.used_index() {
+        stats.index_probes += 1;
+    } else {
+        stats.full_scans += 1;
     }
 
     for row in candidates {

@@ -5,12 +5,16 @@ use ontorew_model::prelude::*;
 
 /// A stored relation: the extension of one predicate.
 ///
-/// A thin wrapper around the [`IndexedRelation`] machinery shared with
-/// [`Instance`]: tuples are kept in insertion order in a dense `Vec` (so
-/// scans are cache friendly), deduplicated through a hash set, and every
-/// column maintains an eager hash index from term to row ids. Because the
-/// indexes are always current, lookups need only shared access — the query
-/// evaluator probes them without building per-query caches.
+/// A thin wrapper around the segmented, copy-on-write [`IndexedRelation`]
+/// machinery shared with [`Instance`]: tuples live in `Arc`-shared frozen
+/// segments plus a mutable tail, kept in insertion order within each segment
+/// (so scans are cache friendly), deduplicated through tuple interning, and
+/// every column maintains an eager hash index from term to row ids per
+/// segment. Because the indexes are always current, lookups need only shared
+/// access — the query evaluator probes them without building per-query
+/// caches — and [`Relation::freeze`] makes `clone()` share all frozen rows
+/// by reference, which is what lets an epoch store publish snapshots in
+/// O(batch).
 #[derive(Clone, Debug)]
 pub struct Relation {
     predicate: Predicate,
@@ -24,6 +28,22 @@ impl Relation {
             predicate,
             data: IndexedRelation::with_arity(predicate.arity),
         }
+    }
+
+    /// Wrap an already-built [`IndexedRelation`] (e.g. one cloned out of an
+    /// [`Instance`]). A clone of a *frozen* `IndexedRelation` shares all
+    /// segments by reference, so this is how a store is derived from a
+    /// chased instance in O(#segments) without duplicating any rows.
+    ///
+    /// # Panics
+    /// Panics if the data's arity does not match the predicate.
+    pub fn from_indexed(predicate: Predicate, data: IndexedRelation) -> Self {
+        assert_eq!(
+            data.arity(),
+            predicate.arity,
+            "relation arity mismatch for {predicate}"
+        );
+        Relation { predicate, data }
     }
 
     /// The predicate this relation stores.
@@ -65,32 +85,47 @@ impl Relation {
         self.data.contains(tuple)
     }
 
-    /// Iterate over all tuples in insertion order.
-    pub fn scan(&self) -> impl Iterator<Item = &Vec<Term>> {
-        self.data.rows().iter()
+    /// Publish the mutable tail as a frozen, `Arc`-shared segment (see
+    /// [`IndexedRelation::freeze`]); afterwards `clone()` costs O(#segments)
+    /// until the next insert.
+    pub fn freeze(&mut self) {
+        self.data.freeze();
     }
 
-    /// All tuples in insertion order, as a dense slice.
-    pub fn rows(&self) -> &[Vec<Term>] {
+    /// Number of segments backing the relation (tests and diagnostics).
+    pub fn segment_count(&self) -> usize {
+        self.data.segment_count()
+    }
+
+    /// True if `self` and `other` share all frozen segments by reference.
+    pub fn shares_segments_with(&self, other: &Relation) -> bool {
+        self.data.shares_segments_with(&other.data)
+    }
+
+    /// Iterate over all tuples, oldest segment first (insertion order is
+    /// preserved across freezes).
+    pub fn scan(&self) -> impl Iterator<Item = &Vec<Term>> {
         self.data.rows()
     }
 
-    /// The tuple stored at `row_id`.
-    pub fn row(&self, row_id: usize) -> &Vec<Term> {
-        &self.data.rows()[row_id]
-    }
-
-    /// Row ids of tuples whose column `col` equals `value`.
-    pub fn lookup(&self, col: usize, value: Term) -> &[u32] {
+    /// Number of tuples whose column `col` equals `value`.
+    pub fn lookup_count(&self, col: usize, value: Term) -> usize {
         assert!(col < self.predicate.arity, "column out of range");
-        self.data.postings(col, &value)
+        self.data.postings_len(col, &value)
     }
 
     /// The tuples that can match `pattern` (a tuple of ground terms and
     /// variables): probes the posting list of the most selective ground
-    /// column, or falls back to a full scan when no column is ground.
-    pub fn candidates(&self, pattern: &[Term]) -> Candidates<'_> {
+    /// column per segment, or falls back to a scan when no column is ground.
+    /// The iterator borrows `pattern` (later segments are probed lazily).
+    pub fn candidates<'a>(&'a self, pattern: &'a [Term]) -> Candidates<'a> {
         self.data.candidates(pattern)
+    }
+
+    /// A full scan presented as a [`Candidates`] iterator (the evaluator's
+    /// index-ablation path).
+    pub fn scan_candidates(&self) -> Candidates<'_> {
+        self.data.scan_candidates()
     }
 }
 
@@ -143,28 +178,18 @@ mod tests {
     #[test]
     fn lookup_stays_correct_after_inserts() {
         let mut r = sample();
-        assert_eq!(r.lookup(0, c("alice")).len(), 2);
+        assert_eq!(r.lookup_count(0, c("alice")), 2);
         // Insert after lookups; the eager index must be maintained.
         r.insert(vec![c("alice"), c("pl104")]);
-        assert_eq!(r.lookup(0, c("alice")).len(), 3);
-        assert_eq!(r.lookup(0, c("zoe")).len(), 0);
+        assert_eq!(r.lookup_count(0, c("alice")), 3);
+        assert_eq!(r.lookup_count(0, c("zoe")), 0);
     }
 
     #[test]
     fn lookup_agrees_with_scan() {
         let r = sample();
-        let scanned: Vec<usize> = r
-            .scan()
-            .enumerate()
-            .filter(|(_, row)| row[1] == c("ai102"))
-            .map(|(i, _)| i)
-            .collect();
-        let indexed: Vec<usize> = r
-            .lookup(1, c("ai102"))
-            .iter()
-            .map(|&id| id as usize)
-            .collect();
-        assert_eq!(scanned, indexed);
+        let scanned = r.scan().filter(|row| row[1] == c("ai102")).count();
+        assert_eq!(scanned, r.lookup_count(1, c("ai102")));
     }
 
     #[test]
@@ -177,5 +202,25 @@ mod tests {
         assert_eq!(r.candidates(&pattern).count(), 2);
         let pattern = vec![Term::variable("T"), Term::variable("C")];
         assert_eq!(r.candidates(&pattern).count(), 3);
+    }
+
+    #[test]
+    fn frozen_relations_share_segments_and_keep_answering() {
+        let mut r = sample();
+        r.freeze();
+        let copy = r.clone();
+        assert!(copy.shares_segments_with(&r));
+        assert_eq!(copy.scan().count(), 3);
+        assert_eq!(copy.lookup_count(0, c("alice")), 2);
+        // Growth after the freeze stays private to the clone.
+        let mut grown = copy.clone();
+        grown.insert(vec![c("zoe"), c("db101")]);
+        assert_eq!(grown.len(), 4);
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            grown.candidates(&[Term::variable("T"), c("db101")]).count(),
+            2
+        );
+        assert_eq!(r.candidates(&[Term::variable("T"), c("db101")]).count(), 1);
     }
 }

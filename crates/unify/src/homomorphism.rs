@@ -31,6 +31,37 @@ pub fn find_homomorphism(
     search(&order, 0, instance, &mut current)
 }
 
+/// [`find_homomorphism`] over atoms the caller has already put into a match
+/// order (see [`plan_match_order`]): skips the per-call greedy planning.
+///
+/// The chase's restricted-variant head-satisfaction check runs once per
+/// (rule, frontier image); its seed domain is the rule frontier every time,
+/// so the match order can be planned once per rule and reused for every
+/// trigger instead of being recomputed per homomorphism search.
+pub fn find_homomorphism_ordered(
+    ordered_atoms: &[Atom],
+    instance: &Instance,
+    seed: &Substitution,
+) -> Option<Substitution> {
+    let mut current = seed.clone();
+    search(ordered_atoms, 0, instance, &mut current)
+}
+
+/// The greedy bound-first match order of `atoms` given that the variables in
+/// `bound` will already be bound when the search starts. This is
+/// [`find_homomorphism`]'s internal planning step, exposed so callers with a
+/// fixed seed *domain* (e.g. a rule frontier) can plan once and use
+/// [`find_homomorphism_ordered`] per search.
+pub fn plan_match_order(atoms: &[Atom], bound: impl IntoIterator<Item = Variable>) -> Vec<Atom> {
+    let mut seed = Substitution::new();
+    // Only the seed's domain influences the ordering; the bindings
+    // themselves are irrelevant, so any ground placeholder works.
+    for v in bound {
+        seed.bind(v, Term::constant("__plan_placeholder"));
+    }
+    plan_order(atoms, &seed)
+}
+
 /// Find every homomorphism from `atoms` into `instance` extending `seed`.
 ///
 /// The result can be exponentially large; callers that only need existence
@@ -86,8 +117,46 @@ pub fn all_homomorphisms_delta(
     for pivot in 0..atoms.len() {
         let order = plan_order_delta(atoms, pivot, seed);
         let mut current = seed.clone();
-        search_delta(&order, 0, full, delta, &mut current, &mut out);
+        search_delta(&order, 0, full, delta, &mut current, (0, 1), &mut out);
     }
+    out
+}
+
+/// One slice of the work of [`all_homomorphisms_delta`]: the homomorphisms
+/// whose **pivot** is atom `pivot` and whose pivot match is the `chunk`-th
+/// residue class (mod `chunk_count`) of the pivot atom's delta candidates.
+///
+/// The union over all `pivot ∈ 0..atoms.len()` and `chunk ∈ 0..chunk_count`
+/// equals `all_homomorphisms_delta(atoms, full, delta, seed)` with each
+/// homomorphism produced exactly once — the pivot decomposition is already
+/// a disjoint union, and striding the pivot's candidate enumeration
+/// partitions each pivot's share further. This is what lets the parallel
+/// chase split the trigger search of a *single rule* across threads: a
+/// recursive one-rule program (transitive closure) has only one rule to
+/// search, but its delta can be split `chunk_count` ways.
+pub fn all_homomorphisms_delta_chunk(
+    atoms: &[Atom],
+    full: &Instance,
+    delta: &Instance,
+    seed: &Substitution,
+    pivot: usize,
+    chunk: usize,
+    chunk_count: usize,
+) -> Vec<Substitution> {
+    debug_assert!(pivot < atoms.len());
+    debug_assert!(chunk < chunk_count.max(1));
+    let mut out = Vec::new();
+    let order = plan_order_delta(atoms, pivot, seed);
+    let mut current = seed.clone();
+    search_delta(
+        &order,
+        0,
+        full,
+        delta,
+        &mut current,
+        (chunk, chunk_count.max(1)),
+        &mut out,
+    );
     out
 }
 
@@ -274,12 +343,18 @@ fn search_all(
     }
 }
 
+/// The recursive delta-decomposition search. `pivot_stride = (chunk, n)`
+/// restricts the **pivot level** (index 0, where the pivot atom is matched
+/// against the delta) to every `n`-th candidate starting at `chunk`; the
+/// full search passes `(0, 1)`.
+#[allow(clippy::too_many_arguments)]
 fn search_delta(
     atoms: &[(Atom, DeltaSource)],
     idx: usize,
     full: &Instance,
     delta: &Instance,
     current: &mut Substitution,
+    pivot_stride: (usize, usize),
     out: &mut Vec<Substitution>,
 ) {
     if idx == atoms.len() {
@@ -292,7 +367,11 @@ fn search_delta(
         DeltaSource::Delta => delta.candidates(&grounded),
         DeltaSource::Old | DeltaSource::Full => full.candidates(&grounded),
     };
-    for tuple in candidates {
+    let (chunk, stride) = if idx == 0 { pivot_stride } else { (0, 1) };
+    for (i, tuple) in candidates.enumerate() {
+        if stride > 1 && i % stride != chunk {
+            continue;
+        }
         if *source == DeltaSource::Old && delta.contains_tuple(grounded.predicate, tuple) {
             continue;
         }
@@ -301,7 +380,7 @@ fn search_delta(
             for (v, t) in extension.iter() {
                 current.bind(v, t);
             }
-            search_delta(atoms, idx + 1, full, delta, current, out);
+            search_delta(atoms, idx + 1, full, delta, current, pivot_stride, out);
             *current = saved;
         }
     }
@@ -485,6 +564,67 @@ mod tests {
             assert!(all_full.contains(h));
             assert!(!new[i + 1..].contains(h));
         }
+    }
+
+    #[test]
+    fn chunked_delta_search_partitions_the_pivot_work() {
+        // The union over (pivot, chunk) must equal the unchunked delta
+        // search, with no duplicates — the property the within-rule parallel
+        // trigger search relies on.
+        let mut old = Instance::new();
+        old.insert_fact("r", &["a", "b"]);
+        old.insert_fact("s", &["b", "c"]);
+        let mut delta = Instance::new();
+        for i in 0..7 {
+            delta.insert_fact("r", &[&format!("d{i}"), "b"]);
+            delta.insert_fact("s", &["b", &format!("e{i}")]);
+        }
+        let mut full = old.clone();
+        full.extend_from(&delta);
+        let atoms = vec![
+            Atom::new("r", vec![v("X"), v("Y")]),
+            Atom::new("s", vec![v("Y"), v("Z")]),
+        ];
+        let whole = all_homomorphisms_delta(&atoms, &full, &delta, &Substitution::new());
+        for chunk_count in [1usize, 2, 3, 5] {
+            let mut union = Vec::new();
+            for pivot in 0..atoms.len() {
+                for chunk in 0..chunk_count {
+                    union.extend(all_homomorphisms_delta_chunk(
+                        &atoms,
+                        &full,
+                        &delta,
+                        &Substitution::new(),
+                        pivot,
+                        chunk,
+                        chunk_count,
+                    ));
+                }
+            }
+            assert_eq!(union.len(), whole.len(), "chunk_count={chunk_count}");
+            for h in &whole {
+                assert!(union.contains(h), "missing homomorphism at {chunk_count}");
+            }
+            for (i, h) in union.iter().enumerate() {
+                assert!(!union[i + 1..].contains(h), "duplicate at {chunk_count}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_search_agrees_with_planned_search() {
+        let db = sample_instance();
+        let atoms = vec![
+            Atom::new("teaches", vec![v("X"), v("C")]),
+            Atom::new("attends", vec![v("S"), v("C")]),
+        ];
+        let mut seed = Substitution::new();
+        seed.bind(Variable::new("X"), Term::constant("alice"));
+        let order = plan_match_order(&atoms, [Variable::new("X")]);
+        let planned = find_homomorphism(&atoms, &db, &seed).unwrap();
+        let ordered = find_homomorphism_ordered(&order, &db, &seed).unwrap();
+        assert_eq!(planned.apply_term(v("C")), ordered.apply_term(v("C")));
+        assert_eq!(order.len(), atoms.len());
     }
 
     #[test]

@@ -21,8 +21,9 @@ pub mod piece;
 
 pub use containment::{are_equivalent, is_contained_in, minimize, prune_ucq};
 pub use homomorphism::{
-    all_homomorphisms, all_homomorphisms_delta, find_homomorphism, find_homomorphism_into_atoms,
-    freeze_atom, freeze_atoms, freeze_term, freezing_substitution, has_homomorphism,
+    all_homomorphisms, all_homomorphisms_delta, all_homomorphisms_delta_chunk, find_homomorphism,
+    find_homomorphism_into_atoms, find_homomorphism_ordered, freeze_atom, freeze_atoms,
+    freeze_term, freezing_substitution, has_homomorphism, plan_match_order,
 };
 pub use mgu::{
     extend_unifier, unifiable, unify_all_with, unify_atom_lists, unify_atoms, unify_term_lists,
