@@ -11,11 +11,13 @@
 //! * `smoke` — the scripted exchange the CI workflow runs against a fresh
 //!   server preloaded with `--students 0`: PREPARE/QUERY/INSERT/QUERY, an
 //!   `EXPLAIN` of the cached plan, a two-tenant round trip
-//!   (`TENANT CREATE/USE/DROP` with isolation asserted), and an
-//!   insert-heavy commit loop with interleaved queries (the O(delta)
-//!   ingestion + incremental materialization path, over the wire). Exact
-//!   expected answer counts are asserted; exits non-zero on any mismatch,
-//!   then shuts the server down:
+//!   (`TENANT CREATE/USE/DROP` with isolation asserted), an insert-heavy
+//!   commit loop with interleaved queries (the O(delta) ingestion +
+//!   incremental materialization path, over the wire), a `WHY`/`WHY NOT`
+//!   explanation round trip, and a delete-heavy retraction loop that
+//!   unwinds the bulk inserts through the DRed path. Exact expected answer
+//!   counts are asserted; exits non-zero on any mismatch, then shuts the
+//!   server down:
 //!   ```text
 //!   load_gen smoke --addr 127.0.0.1:7411
 //!   ```
@@ -282,6 +284,114 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
         ));
     }
     println!("ok   insert-heavy phase: {COMMITS} commits, epochs and answers consistent");
+
+    // WHY / WHY NOT: the derivation graph over the wire. person(bulk0) is
+    // derived (student -> person), so WHY reports the asserted premise plus
+    // the fired rule; person(ghost) is absent, so WHY NOT lists the blocked
+    // rule candidates that could produce it.
+    let why = client
+        .why("person(bulk0)")
+        .map_err(|e| format!("why: {e}"))?;
+    if why.fields.get("present").map(String::as_str) != Some("true") {
+        return Err(format!(
+            "FAIL why: person(bulk0) should be present: {why:?}"
+        ));
+    }
+    let steps: usize = why
+        .fields
+        .get("steps")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL why: no steps field")?;
+    if steps < 2 || why.info.len() != steps {
+        return Err(format!("FAIL why: expected >=2 derivation steps: {why:?}"));
+    }
+    let why_not = client
+        .why_not("person(ghost)")
+        .map_err(|e| format!("why not: {e}"))?;
+    if why_not.fields.get("present").map(String::as_str) != Some("false") || why_not.info.is_empty()
+    {
+        return Err(format!(
+            "FAIL why not: expected blocked candidates for person(ghost): {why_not:?}"
+        ));
+    }
+    println!(
+        "ok   why/why not: {steps} derivation steps, {} blocked candidates",
+        why_not.info.len()
+    );
+
+    // Delete-heavy phase: retract every bulk student again, one commit per
+    // student, so the DRed path (retraction epochs + delete lineage) is
+    // exercised over the wire every CI run. Epochs keep advancing one per
+    // commit and interleaved queries must see exactly the shrunken state.
+    let insert_epoch = base_epoch + COMMITS as u64;
+    for k in 0..COMMITS {
+        let (removed, epoch) = client
+            .delete(&format!("student(bulk{k}); attends(bulk{k}, db101)"))
+            .map_err(|e| format!("bulk delete #{k}: {e}"))?;
+        if removed != 2 || epoch != insert_epoch + k as u64 + 1 {
+            return Err(format!(
+                "FAIL bulk delete #{k}: expected (2, {}), got ({removed}, {epoch})",
+                insert_epoch + k as u64 + 1
+            ));
+        }
+        if k % 4 == 3 {
+            let reply = client
+                .query("q(X) :- person(X)")
+                .map_err(|e| format!("delete query #{k}: {e}"))?;
+            check(
+                &format!("persons after {} retractions", k + 1),
+                reply.count,
+                base_persons + COMMITS - (k + 1),
+            )?;
+        }
+    }
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("final delete query: {e}"))?;
+    check(
+        "persons after the retraction loop",
+        reply.count,
+        base_persons,
+    )?;
+    // Retracting an absent fact is a no-op on the data but still publishes
+    // an epoch (mirrors duplicate inserts).
+    let (removed, epoch) = client
+        .delete("student(nobody)")
+        .map_err(|e| format!("absent delete: {e}"))?;
+    if removed != 0 || epoch != insert_epoch + COMMITS as u64 + 1 {
+        return Err(format!(
+            "FAIL absent delete: expected (0, {}), got ({removed}, {epoch})",
+            insert_epoch + COMMITS as u64 + 1
+        ));
+    }
+    // The retracted student is genuinely gone from the derived state.
+    let why = client
+        .why("person(bulk0)")
+        .map_err(|e| format!("why after delete: {e}"))?;
+    if why.fields.get("present").map(String::as_str) != Some("false") {
+        return Err(format!(
+            "FAIL why after delete: person(bulk0) should be absent: {why:?}"
+        ));
+    }
+    let stats = client.stats().map_err(|e| format!("delete stats: {e}"))?;
+    let deletes: u64 = stats
+        .get("deletes")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL stats: no deletes field")?;
+    if deletes != COMMITS as u64 + 1 {
+        return Err(format!(
+            "FAIL stats: expected {} deletes, got {deletes}",
+            COMMITS + 1
+        ));
+    }
+    let prov_nodes: u64 = stats
+        .get("prov_nodes")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL stats: no prov_nodes field")?;
+    if prov_nodes == 0 {
+        return Err("FAIL stats: expected a non-empty derivation graph".into());
+    }
+    println!("ok   delete-heavy phase: {COMMITS} retractions, epochs, answers and WHY consistent");
 
     client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     Ok(())

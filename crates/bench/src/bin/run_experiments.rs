@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E14) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E15) and print the tables.
 //!
 //! ```text
 //! cargo run -p ontorew-bench --release --bin run_experiments [--json] [--only E8,E12]
@@ -92,6 +92,9 @@ fn main() -> ExitCode {
                 2_000,
                 30,
             )
+        }),
+        ("E15", || {
+            ontorew_bench::experiment_retraction_dred(20_000, 30, 200)
         }),
     ];
 

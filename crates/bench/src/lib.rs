@@ -1,7 +1,7 @@
 //! # ontorew-bench
 //!
 //! The benchmark harness that regenerates every figure and experiment
-//! (E1–E14). Each experiment is available both as a Criterion bench target
+//! (E1–E15). Each experiment is available both as a Criterion bench target
 //! (`cargo bench -p ontorew-bench`) and as a plain function used by the
 //! `run_experiments` binary, which prints the tables (or, with `--json`,
 //! NDJSON consumed by `scripts/record_baseline.sh`).
@@ -846,6 +846,191 @@ pub fn experiment_ingestion_incremental(
     out
 }
 
+/// E15 — DRed retraction, WHY latency, and the provenance overhead ablation.
+///
+/// **Part A (delete→query)**: the delete-side mirror of E14 Part B. The
+/// university store is preloaded with `deletes` extra students, then a
+/// commit loop retracts them one at a time. One planner chases with
+/// provenance tracking on and receives the retractions as recorded delete
+/// edges, so each cache miss replays DRed (overdelete through the
+/// derivation graph, then well-founded rederivation) over the cached
+/// ancestor; the other planner gets no lineage and re-chases from scratch
+/// on every data version. Answers are asserted identical on every commit,
+/// and the incremental executions are asserted to ride the `Dred` path.
+///
+/// **Part B (WHY latency)**: after the retraction loop, sample `why_samples`
+/// derived facts from the surviving materialization and time the
+/// derivation-graph walk behind the wire protocol's `WHY` verb.
+///
+/// **Part C (provenance ablation)**: chase the same store with
+/// `track_provenance` off and on and report the insert-side overhead of
+/// recording the derivation graph (the price every serving tenant pays for
+/// DRed + WHY; the PR 6 target is < 10%).
+pub fn experiment_retraction_dred(students: usize, deletes: usize, why_samples: usize) -> String {
+    use ontorew_plan::{MaterializationMode, PlanKind, Planner, PlannerConfig};
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E15 — DRed incremental deletion + WHY latency + provenance overhead"
+    )
+    .unwrap();
+
+    // Part A: delete→query with and without incremental maintenance.
+    let ontology = university_ontology();
+    let abox = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+    let query = parse_query("q(X) :- person(X)").expect("person query parses");
+    let incremental_planner = Planner::with_config(
+        ontology.clone(),
+        PlannerConfig {
+            chase: ChaseConfig::default().with_provenance(true),
+            ..PlannerConfig::default()
+        },
+    );
+    let scratch_planner = Planner::new(ontology.clone());
+    let inc_plan = incremental_planner.prepare_forced(&query, PlanKind::Chase);
+    let scr_plan = scratch_planner.prepare_forced(&query, PlanKind::Chase);
+    let mut store = RelationalStore::from_instance(&abox);
+    // The victims: extra students present in the warmed materialization,
+    // retracted one per commit below.
+    for k in 0..deletes {
+        let student = format!("late{k}");
+        store.insert_fact("student", &[&student]);
+        store.insert_fact("attends", &[&student, "course0"]);
+    }
+    let _ = inc_plan.execute_versioned(&store, 0);
+    let _ = scr_plan.execute_versioned(&store, 0);
+
+    let mut inc_query_us: Vec<u64> = Vec::with_capacity(deletes);
+    let mut scr_query_us: Vec<u64> = Vec::with_capacity(deletes);
+    let mut inc_mat_us: u64 = 0;
+    let mut scr_mat_us: u64 = 0;
+    for k in 0..deletes as u64 {
+        let student = format!("late{k}");
+        let facts = vec![
+            Atom::fact("student", &[&student]),
+            Atom::fact("attends", &[&student, "course0"]),
+        ];
+        for fact in &facts {
+            store.remove_atom(fact);
+        }
+        incremental_planner.record_retraction(k, k + 1, &facts, store.len());
+
+        let start = Instant::now();
+        let incremental = inc_plan.execute_versioned(&store, k + 1);
+        inc_query_us.push(start.elapsed().as_micros() as u64);
+        let start = Instant::now();
+        let scratch = scr_plan.execute_versioned(&store, k + 1);
+        scr_query_us.push(start.elapsed().as_micros() as u64);
+
+        assert!(
+            incremental.answers.iter().eq(scratch.answers.iter()),
+            "DRed and scratch answers diverge at delete {k}"
+        );
+        assert!(
+            matches!(
+                incremental.provenance.materialization,
+                Some(MaterializationMode::Dred { .. })
+            ),
+            "delete {k} did not ride the DRed path"
+        );
+        assert_eq!(
+            scratch.provenance.materialization,
+            Some(MaterializationMode::Scratch)
+        );
+        inc_mat_us += incremental.provenance.timings.materialize_us;
+        scr_mat_us += scratch.provenance.timings.materialize_us;
+    }
+    inc_query_us.sort_unstable();
+    scr_query_us.sort_unstable();
+    writeln!(
+        out,
+        "delete->query over {} facts, {deletes} single-student retractions (forced chase plans):",
+        store.len()
+    )
+    .unwrap();
+    writeln!(out, "mode         p50_us  p99_us  materialize_us/commit").unwrap();
+    writeln!(
+        out,
+        "dred        {:>7} {:>7} {:>21.1}",
+        percentile(&inc_query_us, 0.50),
+        percentile(&inc_query_us, 0.99),
+        inc_mat_us as f64 / deletes.max(1) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "scratch     {:>7} {:>7} {:>21.1}",
+        percentile(&scr_query_us, 0.50),
+        percentile(&scr_query_us, 0.99),
+        scr_mat_us as f64 / deletes.max(1) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "dred materialization speedup on small retractions: {:.1}x (answers identical)",
+        scr_mat_us as f64 / (inc_mat_us as f64).max(1.0)
+    )
+    .unwrap();
+
+    // Part B: WHY latency over the surviving derivation graph.
+    let (materialization, _) = incremental_planner.materialize(&store, Some(deletes as u64));
+    let graph = materialization
+        .provenance()
+        .expect("provenance-tracking planner records a derivation graph");
+    let mut why_ns: Vec<u64> = Vec::with_capacity(why_samples);
+    for i in 0..why_samples {
+        let fact = Atom::fact("person", &[&format!("student{}", i % students.max(1))]);
+        let start = Instant::now();
+        let steps = graph.why(&fact);
+        why_ns.push(start.elapsed().as_nanos() as u64);
+        assert!(
+            steps.is_some_and(|s| !s.is_empty()),
+            "WHY found no derivation for a fact the materialization contains"
+        );
+    }
+    why_ns.sort_unstable();
+    writeln!(
+        out,
+        "WHY latency over {} graph nodes / {} edges ({why_samples} derived facts): p50={:.1}us p99={:.1}us",
+        graph.node_count(),
+        graph.edge_count(),
+        percentile(&why_ns, 0.50) as f64 / 1_000.0,
+        percentile(&why_ns, 0.99) as f64 / 1_000.0
+    )
+    .unwrap();
+
+    // Part C: what does recording the derivation graph cost on insert?
+    let ontology_ref = &ontology;
+    let plain_config = ChaseConfig::restricted(64);
+    let tracked_config = ChaseConfig::restricted(64).with_provenance(true);
+    let mut plain_us = u64::MAX;
+    let mut tracked_us = u64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let plain = chase(ontology_ref, &abox, &plain_config);
+        plain_us = plain_us.min(start.elapsed().as_micros() as u64);
+        let start = Instant::now();
+        let tracked = chase(ontology_ref, &abox, &tracked_config);
+        tracked_us = tracked_us.min(start.elapsed().as_micros() as u64);
+        assert_eq!(
+            plain.instance.len(),
+            tracked.instance.len(),
+            "provenance tracking changed the chase result"
+        );
+    }
+    writeln!(
+        out,
+        "provenance ablation (restricted chase of {} facts): plain={}us tracked={}us overhead={:.1}%",
+        abox.len(),
+        plain_us,
+        tracked_us,
+        (tracked_us as f64 - plain_us as f64) / (plain_us as f64).max(1.0) * 100.0
+    )
+    .unwrap();
+    out
+}
+
 /// E9 — rewriting soundness & completeness: cross-check the two strategies on
 /// the university workload and on the paper's examples.
 pub fn experiment_rewriting_soundness() -> String {
@@ -947,6 +1132,10 @@ mod tests {
         let e14 = experiment_ingestion_incremental(&[200, 800], 10, 5, 60, 4);
         assert!(e14.contains("commit speedup"), "{e14}");
         assert!(e14.contains("incremental materialization speedup"), "{e14}");
+        let e15 = experiment_retraction_dred(60, 4, 8);
+        assert!(e15.contains("dred materialization speedup"), "{e15}");
+        assert!(e15.contains("WHY latency"), "{e15}");
+        assert!(e15.contains("provenance ablation"), "{e15}");
         let e13 = experiment_planner_vs_forced(60, 3);
         assert!(e13.contains("agree=true"), "{e13}");
         assert!(!e13.contains("agree=false"), "{e13}");

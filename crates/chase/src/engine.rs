@@ -34,7 +34,10 @@
 //! the engine therefore runs under a budget ([`ChaseConfig`]) and reports how
 //! it stopped ([`ChaseOutcome`]).
 
-use crate::trigger::{find_rule_triggers, find_rule_triggers_delta, RulePlan, Trigger, TriggerKey};
+use crate::provenance::DerivationGraph;
+use crate::trigger::{
+    find_rule_triggers, find_rule_triggers_delta, RulePlan, StagedEdge, Trigger, TriggerKey,
+};
 use ontorew_model::prelude::*;
 use std::collections::HashSet;
 
@@ -71,6 +74,12 @@ pub struct ChaseConfig {
     /// Maximum number of facts in the chased instance; the run stops once the
     /// instance grows beyond this bound.
     pub max_facts: usize,
+    /// Record a [`DerivationGraph`] during the run: stable fact ids plus one
+    /// edge per retired trigger key (fired or, under the restricted variant,
+    /// found satisfied). Off by default — the insert-only fast path pays
+    /// nothing for provenance it will never consult. Required by
+    /// [`crate::chase_retract`] and the `WHY` explanation walk.
+    pub track_provenance: bool,
 }
 
 impl Default for ChaseConfig {
@@ -80,6 +89,7 @@ impl Default for ChaseConfig {
             strategy: ChaseStrategy::SemiNaive,
             max_rounds: 64,
             max_facts: 1_000_000,
+            track_provenance: false,
         }
     }
 }
@@ -119,6 +129,12 @@ impl ChaseConfig {
     pub fn naive() -> Self {
         ChaseConfig::default().with_strategy(ChaseStrategy::Naive)
     }
+
+    /// Enable or disable derivation-graph recording.
+    pub fn with_provenance(mut self, track: bool) -> Self {
+        self.track_provenance = track;
+        self
+    }
 }
 
 /// How a chase run ended.
@@ -150,6 +166,11 @@ pub struct ChaseResult {
     /// incremental continuation ([`chase_incremental`]) seeds from so it
     /// neither re-fires a frontier image nor re-checks a retired head.
     pub fired_keys: HashSet<TriggerKey>,
+    /// The derivation graph of the run, recorded when
+    /// [`ChaseConfig::track_provenance`] is set (`None` otherwise). Base
+    /// facts are the input database; each edge records one retired trigger
+    /// key with its premises and conclusions (see [`DerivationGraph`]).
+    pub provenance: Option<DerivationGraph>,
 }
 
 impl ChaseResult {
@@ -174,12 +195,16 @@ impl ChaseResult {
 /// replays: there are none.
 pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) -> ChaseResult {
     let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
+    let graph = config
+        .track_provenance
+        .then(|| DerivationGraph::seeded(database));
     let (result, _added) = run_chase_rounds(
         program,
         &plans,
         database.clone(),
         None,
         HashSet::new(),
+        graph,
         false,
         config,
         sequential_round_search(program, &plans, config),
@@ -192,7 +217,7 @@ pub fn chase(program: &TgdProgram, database: &Instance, config: &ChaseConfig) ->
 /// to (the naive strategy always; the semi-naive one in a round whose delta
 /// would be the whole instance), the delta-restricted index-backed search
 /// otherwise.
-fn sequential_round_search<'a>(
+pub(crate) fn sequential_round_search<'a>(
     program: &'a TgdProgram,
     plans: &'a [RulePlan],
     config: &'a ChaseConfig,
@@ -272,10 +297,22 @@ pub fn chase_incremental(
     // O(#segments) when the base instance is frozen — the planner freezes
     // cached materializations for exactly this reason.
     let mut instance = base.instance.clone();
+    // The continuation extends the base's derivation graph (when both the
+    // config asks for provenance and the base recorded one): inserted delta
+    // facts become base (asserted) facts, revived if they were tombstoned by
+    // an earlier retraction.
+    let mut graph = if config.track_provenance {
+        base.provenance.clone()
+    } else {
+        None
+    };
     let mut seed = Instance::new();
     for atom in delta.atoms() {
         if instance.insert(atom.clone()) {
-            seed.insert(atom);
+            seed.insert(atom.clone());
+        }
+        if let Some(g) = graph.as_mut() {
+            g.intern(&atom, true);
         }
     }
     if seed.is_empty() {
@@ -287,6 +324,7 @@ pub fn chase_incremental(
                 fired: 0,
                 outcome: base.outcome,
                 fired_keys: base.fired_keys.clone(),
+                provenance: graph.or_else(|| base.provenance.clone()),
             },
             added: Instance::new(),
         };
@@ -298,6 +336,7 @@ pub fn chase_incremental(
         instance,
         Some(seed),
         base.fired_keys.clone(),
+        graph,
         true,
         &config,
         sequential_round_search(program, &plans, &config),
@@ -331,6 +370,7 @@ pub(crate) fn run_chase_rounds(
     initial: Instance,
     initial_delta: Option<Instance>,
     mut fired_keys: HashSet<TriggerKey>,
+    mut graph: Option<DerivationGraph>,
     track_added: bool,
     config: &ChaseConfig,
     mut search_round: impl FnMut(&Instance, Option<&Instance>) -> Vec<Trigger>,
@@ -353,6 +393,7 @@ pub(crate) fn run_chase_rounds(
                     fired,
                     outcome: ChaseOutcome::RoundBudgetExhausted,
                     fired_keys,
+                    provenance: graph,
                 },
                 added,
             );
@@ -361,9 +402,15 @@ pub(crate) fn run_chase_rounds(
 
         // Collect the facts produced in this round, firing against the
         // instance as it stood at the beginning of the round (breadth-first,
-        // level-saturating strategy — a fair firing order).
+        // level-saturating strategy — a fair firing order). When provenance
+        // is on, the round's edges are staged here and committed to the
+        // graph only after the insert loop below survives the fact budget —
+        // a budget-exhausted run keeps `outcome != Terminated`, which is
+        // what tells `chase_retract` the graph cannot be trusted as a full
+        // account of the instance.
         let triggers = search_round(&instance, delta.as_ref());
         let mut new_facts: Vec<Atom> = Vec::new();
+        let mut pending_edges: Vec<StagedEdge> = Vec::new();
         for trigger in triggers {
             let rule = &program.rules()[trigger.rule_index];
             let plan = &plans[trigger.rule_index];
@@ -376,13 +423,43 @@ pub(crate) fn run_chase_rounds(
             if fired_keys.contains(&key) {
                 continue;
             }
-            let fire = match config.variant {
-                ChaseVariant::Oblivious => true,
-                ChaseVariant::Restricted => trigger.is_active_planned(plan, &instance),
+            // A satisfied restricted trigger never fires, but with
+            // provenance on its satisfying head image is recorded as a
+            // *witness edge*: the alternative derivation a later retraction
+            // must know about before deleting one of the head facts.
+            let (fire, witness) = match (config.variant, graph.is_some()) {
+                (ChaseVariant::Oblivious, _) => (true, None),
+                (ChaseVariant::Restricted, false) => {
+                    (trigger.is_active_planned(plan, &instance), None)
+                }
+                (ChaseVariant::Restricted, true) => {
+                    match trigger.satisfying_image(plan, &instance) {
+                        None => (true, None),
+                        Some(image) => (false, Some(image)),
+                    }
+                }
             };
             if fire {
-                new_facts.extend(trigger.fire_with(&rule.head, &plan.existentials));
+                let produced = trigger.fire_with(&rule.head, &plan.existentials);
+                if graph.is_some() {
+                    pending_edges.push((
+                        trigger.rule_index,
+                        key.clone(),
+                        trigger.homomorphism.apply_atoms(&rule.body),
+                        produced.clone(),
+                        false,
+                    ));
+                }
+                new_facts.extend(produced);
                 fired += 1;
+            } else if let Some(image) = witness {
+                pending_edges.push((
+                    trigger.rule_index,
+                    key.clone(),
+                    trigger.homomorphism.apply_atoms(&rule.body),
+                    image,
+                    true,
+                ));
             }
             // For the restricted chase, a satisfied trigger is recorded as
             // fired as well: its head is already entailed, so it never
@@ -421,6 +498,8 @@ pub(crate) fn run_chase_rounds(
                 }
             }
             if instance.len() > config.max_facts {
+                // This round's pending edges are dropped; the non-Terminated
+                // outcome marks the graph as a partial account.
                 return (
                     ChaseResult {
                         instance,
@@ -428,9 +507,17 @@ pub(crate) fn run_chase_rounds(
                         fired,
                         outcome: ChaseOutcome::FactBudgetExhausted,
                         fired_keys,
+                        provenance: graph,
                     },
                     added,
                 );
+            }
+        }
+
+        // The whole round was inserted within budget: commit its edges.
+        if let Some(g) = graph.as_mut() {
+            for (rule_index, key, premises, conclusions, satisfied) in pending_edges.drain(..) {
+                g.add_edge(rule_index, key, &premises, &conclusions, satisfied);
             }
         }
 
@@ -442,6 +529,7 @@ pub(crate) fn run_chase_rounds(
                     fired,
                     outcome: ChaseOutcome::Terminated,
                     fired_keys,
+                    provenance: graph,
                 },
                 added,
             );

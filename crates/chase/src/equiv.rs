@@ -29,6 +29,17 @@ pub fn equivalent_up_to_null_renaming(a: &Instance, b: &Instance) -> bool {
     maps_into(a, b) && maps_into(b, a)
 }
 
+/// True if `a` and `b` are *homomorphically equivalent*: each maps into the
+/// other with nulls read as variables, with no cardinality requirements.
+/// This is the right equality notion for comparing two universal models that
+/// may differ in how many (redundant) nulls they keep — e.g. the result of
+/// [`crate::chase_retract`] versus a scratch re-chase under the restricted
+/// variant, whose firing order is deletion-history dependent. Two
+/// homomorphically equivalent instances have the same certain answers.
+pub fn homomorphically_equivalent(a: &Instance, b: &Instance) -> bool {
+    maps_into(a, b) && maps_into(b, a)
+}
+
 /// True if the atoms of `src`, with nulls read as variables, have a
 /// homomorphism into `dst`.
 fn maps_into(src: &Instance, dst: &Instance) -> bool {

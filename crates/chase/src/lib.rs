@@ -12,7 +12,12 @@
 //!   the rewriting engine is validated against);
 //! * [`parallel`] — crossbeam-parallel trigger search for large instances;
 //! * [`equiv`] — comparing chased instances up to null renaming (used by the
-//!   naive-vs-semi-naive equivalence tests).
+//!   naive-vs-semi-naive equivalence tests);
+//! * [`provenance`] — stable fact ids and the derivation graph recorded
+//!   behind [`ChaseConfig::track_provenance`], with the `WHY` / `WHY NOT`
+//!   explanation walks;
+//! * [`retract`] — incremental deletion by delete-and-rederive (DRed) over
+//!   the derivation graph.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,6 +26,8 @@ pub mod certain;
 pub mod engine;
 pub mod equiv;
 pub mod parallel;
+pub mod provenance;
+pub mod retract;
 pub mod termination;
 pub mod trigger;
 
@@ -29,8 +36,12 @@ pub use engine::{
     chase, chase_incremental, is_model, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStrategy,
     ChaseVariant, IncrementalChase,
 };
-pub use equiv::equivalent_up_to_null_renaming;
+pub use equiv::{equivalent_up_to_null_renaming, homomorphically_equivalent};
 pub use parallel::{chase_parallel, find_triggers_delta_parallel, find_triggers_parallel};
+pub use provenance::{
+    explain_absent, DerivationEdge, DerivationGraph, FactId, WhyNot, WhyNotCandidate, WhyStep,
+};
+pub use retract::{chase_retract, RetractedChase};
 pub use termination::{is_weakly_acyclic, DependencyGraph, DependencyPosition};
 pub use trigger::{
     find_rule_triggers, find_rule_triggers_delta, find_rule_triggers_delta_chunk, find_triggers,

@@ -148,12 +148,16 @@ pub fn chase_parallel(
     threads: usize,
 ) -> ChaseResult {
     let plans: Vec<RulePlan> = program.iter().map(RulePlan::new).collect();
+    let graph = config
+        .track_provenance
+        .then(|| crate::provenance::DerivationGraph::seeded(database));
     let (result, _added) = crate::engine::run_chase_rounds(
         program,
         &plans,
         database.clone(),
         None,
         HashSet::new(),
+        graph,
         false,
         config,
         |instance, delta| match (config.strategy, delta) {

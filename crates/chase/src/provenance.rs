@@ -1,0 +1,435 @@
+//! Derivation graphs: stable fact identity and the provenance of every
+//! chase derivation.
+//!
+//! When [`crate::ChaseConfig::track_provenance`] is set, the engine assigns
+//! every fact a stable [`FactId`] and records one [`DerivationEdge`] per
+//! retired trigger key: a **fired edge** remembers which rule fired and
+//! which premise facts supported the firing, and — under the restricted
+//! variant — a **witness edge** remembers the head image that satisfied a
+//! trigger which therefore never fired. Witness edges look redundant but are
+//! load-bearing for deletion: they are the alternative derivations the
+//! restricted chase silently skipped, exactly what delete-and-rederive
+//! ([`crate::chase_retract`]) must consult to decide whether a fact survives
+//! the loss of one of its derivations.
+//!
+//! The graph supports the two explanation queries the serving layer exposes:
+//! [`DerivationGraph::why`] walks a well-founded derivation of a present
+//! fact down to base facts, and [`explain_absent`] reports, for an absent
+//! fact, which rules could produce it and which body premises block them.
+
+use crate::trigger::TriggerKey;
+use ontorew_model::prelude::*;
+use std::collections::HashMap;
+
+/// The stable identity of a fact within one derivation graph. Ids are never
+/// reused: a deleted fact keeps its id as a tombstone, so edges recorded
+/// before a retraction stay valid afterwards.
+pub type FactId = u32;
+
+/// One recorded derivation step: rule `rule` with premises `premises`
+/// produced (or, for a witness edge, was satisfied by) `conclusions`.
+#[derive(Clone, Debug)]
+pub struct DerivationEdge {
+    /// Index of the rule in the program.
+    pub rule: u32,
+    /// The trigger key this edge retired — the (rule, frontier image) pair
+    /// whose verdict it records.
+    pub key: TriggerKey,
+    /// The facts the rule body matched.
+    pub premises: Vec<FactId>,
+    /// The facts the firing produced, or the satisfying head image of a
+    /// witness edge.
+    pub conclusions: Vec<FactId>,
+    /// `false` for a fired edge; `true` for a witness edge (restricted
+    /// variant, head already satisfied — the trigger never fired).
+    pub satisfied: bool,
+}
+
+/// One step of a [`DerivationGraph::why`] explanation.
+#[derive(Clone, Debug)]
+pub struct WhyStep {
+    /// The fact being explained.
+    pub fact: Atom,
+    /// The rule that produced it (`None` for a base fact).
+    pub rule: Option<usize>,
+    /// True when the fact is supported through a witness edge: the rule's
+    /// head was already satisfied by this fact rather than firing for it.
+    pub satisfied: bool,
+    /// The premise facts of the supporting derivation (empty for base facts).
+    pub premises: Vec<Atom>,
+}
+
+/// Why an absent fact is absent: per candidate rule, the body premises that
+/// have no match (see [`explain_absent`]).
+#[derive(Clone, Debug, Default)]
+pub struct WhyNot {
+    /// Rules whose head unifies with the fact, with their blocked premises.
+    pub candidates: Vec<WhyNotCandidate>,
+}
+
+/// One rule that could in principle produce an absent fact, and what blocks
+/// it.
+#[derive(Clone, Debug)]
+pub struct WhyNotCandidate {
+    /// Index of the rule in the program.
+    pub rule: usize,
+    /// The rule body under the head unifier (remaining variables unbound).
+    pub body: Vec<Atom>,
+    /// Body atoms with no matching fact in the instance — the blocked
+    /// premises. Empty when every body atom matches in isolation (the body
+    /// may still have no joint match, or the head may need an invented
+    /// value).
+    pub missing: Vec<Atom>,
+    /// True when some head position unified an existential variable with a
+    /// term of the fact: the chase would invent a fresh null there, so this
+    /// exact fact can never be derived by this rule.
+    pub needs_invented_value: bool,
+}
+
+/// The derivation graph of one chase run (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct DerivationGraph {
+    /// Fact id → atom. Ids are dense and stable; dead facts remain as
+    /// tombstones (`alive[id] == false`).
+    pub(crate) atoms: Vec<Atom>,
+    /// Atom → fact id (covers tombstones, so a re-inserted fact revives its
+    /// old id instead of minting a new one).
+    pub(crate) ids: HashMap<Atom, FactId>,
+    /// True for facts of the input database (asserted, not derived).
+    pub(crate) base: Vec<bool>,
+    /// False for facts removed by a retraction.
+    pub(crate) alive: Vec<bool>,
+    /// The recorded derivation edges. Each trigger key has at most one edge.
+    pub(crate) edges: Vec<DerivationEdge>,
+}
+
+impl DerivationGraph {
+    /// A graph seeded with every fact of `database` as a base fact.
+    pub fn seeded(database: &Instance) -> Self {
+        let mut graph = DerivationGraph::default();
+        for atom in database.atoms() {
+            graph.intern(&atom, true);
+        }
+        graph
+    }
+
+    /// Intern `atom`, returning its stable id. A tombstoned fact is revived.
+    /// `base` marks the fact as asserted (sticky: a derived fact later
+    /// asserted explicitly becomes a base fact, never the other way around).
+    pub(crate) fn intern(&mut self, atom: &Atom, base: bool) -> FactId {
+        match self.ids.get(atom) {
+            Some(&id) => {
+                self.alive[id as usize] = true;
+                if base {
+                    self.base[id as usize] = true;
+                }
+                id
+            }
+            None => {
+                let id = self.atoms.len() as FactId;
+                self.atoms.push(atom.clone());
+                self.ids.insert(atom.clone(), id);
+                self.base.push(base);
+                self.alive.push(true);
+                id
+            }
+        }
+    }
+
+    /// Record one derivation edge. Premises must already be interned (they
+    /// are facts of the instance); conclusions are interned on the way in.
+    pub(crate) fn add_edge(
+        &mut self,
+        rule: usize,
+        key: TriggerKey,
+        premises: &[Atom],
+        conclusions: &[Atom],
+        satisfied: bool,
+    ) {
+        let premises: Vec<FactId> = premises.iter().map(|a| self.intern(a, false)).collect();
+        let conclusions: Vec<FactId> = conclusions.iter().map(|a| self.intern(a, false)).collect();
+        self.edges.push(DerivationEdge {
+            rule: rule as u32,
+            key,
+            premises,
+            conclusions,
+            satisfied,
+        });
+    }
+
+    /// The id of a live fact, if the graph knows it.
+    pub fn id_of(&self, atom: &Atom) -> Option<FactId> {
+        self.ids
+            .get(atom)
+            .copied()
+            .filter(|&id| self.alive[id as usize])
+    }
+
+    /// The atom with the given id (tombstones included).
+    pub fn atom(&self, id: FactId) -> &Atom {
+        &self.atoms[id as usize]
+    }
+
+    /// True if the fact is a live base (asserted) fact.
+    pub fn is_base(&self, id: FactId) -> bool {
+        self.base[id as usize] && self.alive[id as usize]
+    }
+
+    /// Number of live facts in the graph.
+    pub fn node_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of recorded derivation edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The recorded edges (fired and witness).
+    pub fn edges(&self) -> &[DerivationEdge] {
+        &self.edges
+    }
+
+    /// A rough estimate of the graph's heap footprint in bytes, for `STATS`.
+    pub fn bytes_estimate(&self) -> usize {
+        let node_bytes: usize = self
+            .atoms
+            .iter()
+            .map(|a| std::mem::size_of::<Atom>() + a.terms.len() * std::mem::size_of::<Term>())
+            .sum();
+        let edge_bytes: usize = self
+            .edges
+            .iter()
+            .map(|e| {
+                std::mem::size_of::<DerivationEdge>()
+                    + (e.premises.len() + e.conclusions.len()) * std::mem::size_of::<FactId>()
+                    + e.key.frontier_image.len() * std::mem::size_of::<Term>()
+            })
+            .sum();
+        // The interner roughly doubles the node side (atom + map entry).
+        node_bytes * 2 + edge_bytes + self.base.len() * 2
+    }
+
+    /// The live base (asserted) facts.
+    pub fn base_facts(&self) -> impl Iterator<Item = &Atom> + '_ {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| self.base[*id] && self.alive[*id])
+            .map(|(_, atom)| atom)
+    }
+
+    /// A well-founded derivation of `fact` down to base facts: the returned
+    /// steps list the fact itself first, followed by every supporting
+    /// derivation in reverse-dependency order (premises appear after the
+    /// facts they support). Returns `None` when the fact is not a live node
+    /// of the graph or has no well-founded support (it should have been
+    /// retracted — a graph invariant violation).
+    pub fn why(&self, fact: &Atom) -> Option<Vec<WhyStep>> {
+        let target = self.id_of(fact)?;
+        // Forward pass: the supporting edge of every explainable fact, found
+        // in derivation order so the chosen support is well-founded (no
+        // cycles through mutually-derived facts).
+        let mut support: HashMap<FactId, Option<usize>> = HashMap::new();
+        for (id, _) in self.atoms.iter().enumerate() {
+            if self.base[id] && self.alive[id] {
+                support.insert(id as FactId, None);
+            }
+        }
+        loop {
+            let mut grew = false;
+            for (edge_index, edge) in self.edges.iter().enumerate() {
+                if !edge.premises.iter().all(|p| support.contains_key(p)) {
+                    continue;
+                }
+                for &c in &edge.conclusions {
+                    if self.alive[c as usize] && !support.contains_key(&c) {
+                        support.insert(c, Some(edge_index));
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        support.get(&target)?;
+        // Backward pass: collect the steps of the chosen derivation tree,
+        // target first.
+        let mut steps = Vec::new();
+        let mut visited: HashMap<FactId, ()> = HashMap::new();
+        let mut stack = vec![target];
+        while let Some(id) = stack.pop() {
+            if visited.insert(id, ()).is_some() {
+                continue;
+            }
+            match support.get(&id) {
+                Some(None) | None => {
+                    steps.push(WhyStep {
+                        fact: self.atom(id).clone(),
+                        rule: None,
+                        satisfied: false,
+                        premises: Vec::new(),
+                    });
+                }
+                Some(Some(edge_index)) => {
+                    let edge = &self.edges[*edge_index];
+                    steps.push(WhyStep {
+                        fact: self.atom(id).clone(),
+                        rule: Some(edge.rule as usize),
+                        satisfied: edge.satisfied,
+                        premises: edge
+                            .premises
+                            .iter()
+                            .map(|&p| self.atom(p).clone())
+                            .collect(),
+                    });
+                    stack.extend(edge.premises.iter().copied());
+                }
+            }
+        }
+        Some(steps)
+    }
+}
+
+/// Explain why `fact` is **not** derivable: for every rule whose head
+/// unifies with it, report the rule body under the head unifier and the
+/// body atoms with no matching fact in `instance` (the blocked premises).
+/// An empty `candidates` list means no rule head can produce the
+/// predicate at all.
+pub fn explain_absent(program: &TgdProgram, instance: &Instance, fact: &Atom) -> WhyNot {
+    let mut report = WhyNot::default();
+    for (rule_index, rule) in program.iter().enumerate() {
+        let existentials = rule.existential_head_variables();
+        for head_atom in &rule.head {
+            if head_atom.predicate != fact.predicate {
+                continue;
+            }
+            // Unify the head atom with the ground fact position by position.
+            let mut unifier = Substitution::new();
+            let mut ok = true;
+            let mut needs_invented_value = false;
+            for (head_term, ground) in head_atom.terms.iter().zip(fact.terms.iter()) {
+                match head_term {
+                    Term::Variable(v) => {
+                        let bound = unifier.apply_term(Term::Variable(*v));
+                        if bound == Term::Variable(*v) {
+                            unifier.bind(*v, *ground);
+                            if existentials.contains(v) {
+                                needs_invented_value = true;
+                            }
+                        } else if bound != *ground {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    other => {
+                        if other != ground {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let body = unifier.apply_atoms(&rule.body);
+            let missing: Vec<Atom> = body
+                .iter()
+                .filter(|atom| {
+                    ontorew_unify::find_homomorphism(
+                        std::slice::from_ref(*atom),
+                        instance,
+                        &Substitution::new(),
+                    )
+                    .is_none()
+                })
+                .cloned()
+                .collect();
+            report.candidates.push(WhyNotCandidate {
+                rule: rule_index,
+                body,
+                missing,
+                needs_invented_value,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{chase, ChaseConfig};
+    use ontorew_model::parse_program;
+
+    #[test]
+    fn seeded_graphs_hold_base_facts() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a"]);
+        db.insert_fact("s", &["b"]);
+        let graph = DerivationGraph::seeded(&db);
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(graph.edge_count(), 0);
+        assert_eq!(graph.base_facts().count(), 2);
+        assert!(graph.bytes_estimate() > 0);
+        let id = graph.id_of(&Atom::fact("r", &["a"])).unwrap();
+        assert!(graph.is_base(id));
+        assert!(graph.id_of(&Atom::fact("r", &["zzz"])).is_none());
+    }
+
+    #[test]
+    fn why_walks_a_derivation_to_base_facts() {
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("edge", &["a", "b"]);
+        db.insert_fact("edge", &["b", "c"]);
+        let result = chase(&p, &db, &ChaseConfig::default().with_provenance(true));
+        let graph = result.provenance.as_ref().expect("provenance recorded");
+        let steps = graph.why(&Atom::fact("path", &["a", "c"])).unwrap();
+        // Target first, derived via R2 from path(a,b) and edge(b,c).
+        assert_eq!(steps[0].fact, Atom::fact("path", &["a", "c"]));
+        assert_eq!(steps[0].rule, Some(1));
+        assert!(steps[0].premises.contains(&Atom::fact("path", &["a", "b"])));
+        assert!(steps[0].premises.contains(&Atom::fact("edge", &["b", "c"])));
+        // Base facts appear as rule-less steps.
+        assert!(steps
+            .iter()
+            .any(|s| s.rule.is_none() && s.fact == Atom::fact("edge", &["a", "b"])));
+        // A base fact explains itself.
+        let base_steps = graph.why(&Atom::fact("edge", &["a", "b"])).unwrap();
+        assert_eq!(base_steps.len(), 1);
+        assert_eq!(base_steps[0].rule, None);
+        // Absent facts have no why.
+        assert!(graph.why(&Atom::fact("path", &["c", "a"])).is_none());
+    }
+
+    #[test]
+    fn explain_absent_reports_blocked_premises() {
+        let p = parse_program(
+            "[R1] student(X), enrolled(X, C) -> attends(X, C).\n\
+             [R2] person(X) -> hasParent(X, Y).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("student", &["zoe"]);
+        let report = explain_absent(&p, &db, &Atom::fact("attends", &["zoe", "db101"]));
+        assert_eq!(report.candidates.len(), 1);
+        let c = &report.candidates[0];
+        assert_eq!(c.rule, 0);
+        assert!(!c.needs_invented_value);
+        assert_eq!(c.missing, vec![Atom::fact("enrolled", &["zoe", "db101"])]);
+        // An existential head position can never produce a named constant.
+        let report = explain_absent(&p, &db, &Atom::fact("hasParent", &["zoe", "max"]));
+        assert_eq!(report.candidates.len(), 1);
+        assert!(report.candidates[0].needs_invented_value);
+        // No rule produces the predicate at all.
+        let report = explain_absent(&p, &db, &Atom::fact("teaches", &["zoe", "db101"]));
+        assert!(report.candidates.is_empty());
+    }
+}

@@ -109,6 +109,18 @@ impl Trigger {
         find_homomorphism_ordered(&plan.head_order, instance, &seed).is_none()
     }
 
+    /// The satisfying head image of a non-active trigger: when the head can
+    /// already be mapped into `instance` (the trigger is *satisfied*, not
+    /// active), returns the image atoms of that homomorphism — the existing
+    /// facts that witness satisfaction. Returns `None` for an active trigger.
+    /// Provenance tracking records these as *witness edges*: the alternative
+    /// derivations the restricted chase skipped, which deletion must consult.
+    pub fn satisfying_image(&self, plan: &RulePlan, instance: &Instance) -> Option<Vec<Atom>> {
+        let seed = self.homomorphism.restrict(&plan.frontier);
+        find_homomorphism_ordered(&plan.head_order, instance, &seed)
+            .map(|sub| sub.apply_atoms(&plan.head_order))
+    }
+
     /// The head atoms generated by firing this trigger: frontier variables are
     /// replaced by their image, every existential head variable by a fresh
     /// labelled null.
@@ -135,6 +147,12 @@ pub struct TriggerKey {
     /// Image of the rule frontier under the trigger homomorphism.
     pub frontier_image: Vec<Term>,
 }
+
+/// A derivation edge staged during a chase round and committed to the
+/// [`DerivationGraph`](crate::provenance::DerivationGraph) only once the
+/// round survives the fact budget: `(rule index, trigger key, premise
+/// atoms, conclusion atoms, witness-edge flag)`.
+pub(crate) type StagedEdge = (usize, TriggerKey, Vec<Atom>, Vec<Atom>, bool);
 
 /// Enumerate every trigger of `program` on `instance`.
 pub fn find_triggers(program: &TgdProgram, instance: &Instance) -> Vec<Trigger> {
@@ -276,6 +294,21 @@ mod tests {
         // Once alice has some parent, the trigger is no longer active.
         instance.insert_fact("hasParent", &["alice", "zoe"]);
         assert!(!r1_trigger.is_active(&p.rules()[0], &instance));
+    }
+
+    #[test]
+    fn satisfying_image_returns_the_witness_facts() {
+        let p = program();
+        let mut instance = db();
+        let plan = RulePlan::new(&p.rules()[0]);
+        let triggers = find_triggers(&p, &instance);
+        let r1_trigger = triggers.iter().find(|t| t.rule_index == 0).unwrap().clone();
+        // Active trigger: no satisfying image.
+        assert!(r1_trigger.satisfying_image(&plan, &instance).is_none());
+        // Satisfied trigger: the image is the existing witness fact.
+        instance.insert_fact("hasParent", &["alice", "zoe"]);
+        let image = r1_trigger.satisfying_image(&plan, &instance).unwrap();
+        assert_eq!(image, vec![Atom::fact("hasParent", &["alice", "zoe"])]);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! agreement, and monotonicity of certain answers.
 
 use ontorew_chase::{
-    certain_answers, chase, chase_incremental, equivalent_up_to_null_renaming, is_model,
-    is_weakly_acyclic, ChaseConfig, ChaseStrategy, ChaseVariant,
+    certain_answers, chase, chase_incremental, chase_retract, equivalent_up_to_null_renaming,
+    homomorphically_equivalent, is_model, is_weakly_acyclic, ChaseConfig, ChaseStrategy,
+    ChaseVariant,
 };
 use ontorew_model::prelude::*;
 use ontorew_workloads::{random_abox, random_program, AboxConfig, RandomProgramConfig};
@@ -263,6 +264,107 @@ proptest! {
                 ontorew_storage::evaluate_cq(&store, &query).without_nulls();
             prop_assert_eq!(
                 &from_incremental, &from_scratch.answers,
+                "certain answers differ for {}", predicate
+            );
+        }
+    }
+
+    /// `chase_retract` vs a scratch chase of (inputs − removed), on random
+    /// programs, random databases, and random removal subsets.
+    ///
+    /// The promised equivalence depends on the configuration: under the
+    /// **semi-oblivious** variant (firing determined per frontier image) and
+    /// for **Datalog** programs under either variant (unique minimal model)
+    /// the retracted instance must equal the scratch chase up to null
+    /// renaming. Under the **restricted** variant with existential rules the
+    /// firing *order* is deletion-history dependent, so only homomorphic
+    /// equivalence — and therefore identical certain answers, checked for an
+    /// atomic query over every predicate — is promised.
+    #[test]
+    fn retraction_matches_scratch(
+        program_seed in 0u64..500,
+        data_seed in 0u64..500,
+        removal_mask in 0u64..u64::MAX,
+        oblivious in prop::sample::select(vec![false, true]),
+    ) {
+        let program = random_program(&RandomProgramConfig {
+            rules: 5,
+            predicates: 5,
+            max_arity: 3,
+            max_body_atoms: 2,
+            existential_probability: 0.3,
+            seed: program_seed,
+        });
+        let db = random_abox(&program, &AboxConfig {
+            facts: 10,
+            constants: 5,
+            seed: data_seed,
+        });
+        let config = if oblivious {
+            ChaseConfig::oblivious(5)
+        } else {
+            ChaseConfig::restricted(5)
+        }
+        .with_max_facts(2_000)
+        .with_provenance(true);
+        let base = chase(&program, &db, &config);
+        prop_assume!(base.is_universal_model());
+
+        let atoms: Vec<Atom> = db.atoms().collect();
+        let removed = Instance::from_atoms(
+            atoms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| removal_mask >> (i % 64) & 1 == 1)
+                .map(|(_, a)| a.clone()),
+        );
+        let survivors =
+            Instance::from_atoms(atoms.iter().filter(|a| !removed.contains(a)).cloned());
+
+        let retracted = chase_retract(&program, &base, &removed, &config);
+        let oracle = chase(&program, &survivors, &config);
+        prop_assume!(retracted.result.is_universal_model());
+        prop_assume!(oracle.is_universal_model());
+
+        prop_assert!(!retracted.scratch);
+        prop_assert!(retracted.result.instance.contains_instance(&survivors));
+        prop_assert!(is_model(&program, &retracted.result.instance));
+        let datalog = program
+            .iter()
+            .all(|r| r.existential_head_variables().is_empty());
+        if oblivious || datalog {
+            prop_assert!(
+                equivalent_up_to_null_renaming(&retracted.result.instance, &oracle.instance),
+                "retraction differs beyond null renaming:\n{:?}\nvs\n{:?}",
+                retracted.result.instance,
+                oracle.instance
+            );
+        } else {
+            prop_assert!(
+                homomorphically_equivalent(&retracted.result.instance, &oracle.instance),
+                "retraction not homomorphically equivalent to scratch:\n{:?}\nvs\n{:?}",
+                retracted.result.instance,
+                oracle.instance
+            );
+        }
+        // Certain answers agree for an atomic query over every predicate.
+        for predicate in program.predicates() {
+            let vars: Vec<Variable> = (0..predicate.arity)
+                .map(|i| Variable::new(&format!("X{i}")))
+                .collect();
+            let body = vec![Atom::from_predicate(
+                predicate,
+                vars.iter().map(|v| Term::Variable(*v)).collect(),
+            )];
+            let query = ConjunctiveQuery::new(vars, body);
+            let from_scratch = certain_answers(&program, &survivors, &query, &config);
+            let store = ontorew_storage::RelationalStore::from_instance(
+                &retracted.result.instance,
+            );
+            let from_retracted =
+                ontorew_storage::evaluate_cq(&store, &query).without_nulls();
+            prop_assert_eq!(
+                &from_retracted, &from_scratch.answers,
                 "certain answers differ for {}", predicate
             );
         }

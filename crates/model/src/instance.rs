@@ -266,6 +266,38 @@ impl IndexedRelation {
             || self.frozen.iter().any(|seg| seg.contains_hashed(row, hash))
     }
 
+    /// Remove every row for which `doomed` returns true; returns how many
+    /// rows were removed. Segments are immutable, so a removal rebuilds the
+    /// whole relation from the retained rows (O(rows)) — callers batch
+    /// removals so each affected relation is rebuilt once per retraction
+    /// epoch, and untouched relations pay nothing.
+    pub fn remove_where(&mut self, mut doomed: impl FnMut(&[Term]) -> bool) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut rebuilt = IndexedRelation::with_arity(self.arity());
+        for row in self.rows() {
+            if !doomed(row) {
+                rebuilt.insert(row.clone());
+            }
+        }
+        let removed = self.len - rebuilt.len();
+        if removed > 0 {
+            *self = rebuilt;
+        }
+        removed
+    }
+
+    /// Remove one row; returns `true` if it was present. A cheap membership
+    /// probe guards the O(rows) rebuild, so removing an absent row costs one
+    /// hash lookup.
+    pub fn remove_row(&mut self, row: &[Term]) -> bool {
+        if !self.contains(row) {
+            return false;
+        }
+        self.remove_where(|r| r == row) == 1
+    }
+
     /// Publish the mutable tail as a frozen, shareable segment, after which
     /// `clone()` shares all rows by reference (until the next insert starts
     /// a new tail).
@@ -553,6 +585,45 @@ impl Instance {
         }
     }
 
+    /// Remove a batch of ground atoms; returns how many were present (and
+    /// are now gone). Atoms are grouped by predicate so each affected
+    /// relation is rebuilt exactly once (segments are immutable; see
+    /// [`IndexedRelation::remove_where`]); relations not named in the batch
+    /// are untouched and keep sharing their segments.
+    pub fn remove_atoms<'a, I: IntoIterator<Item = &'a Atom>>(&mut self, atoms: I) -> usize {
+        let mut by_predicate: BTreeMap<Predicate, std::collections::HashSet<&'a [Term]>> =
+            BTreeMap::new();
+        for atom in atoms {
+            by_predicate
+                .entry(atom.predicate)
+                .or_default()
+                .insert(&atom.terms);
+        }
+        let mut removed = 0usize;
+        for (predicate, doomed) in by_predicate {
+            if let Some(rel) = self.relations.get_mut(&predicate) {
+                let dropped = rel.remove_where(|row| doomed.contains(row));
+                removed += dropped;
+                self.size -= dropped;
+            }
+        }
+        removed
+    }
+
+    /// Remove one ground atom; returns `true` if it was present.
+    pub fn remove(&mut self, atom: &Atom) -> bool {
+        match self.relations.get_mut(&atom.predicate) {
+            Some(rel) => {
+                let removed = rel.remove_row(&atom.terms);
+                if removed {
+                    self.size -= 1;
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
     /// True if the instance contains the given ground atom.
     pub fn contains(&self, atom: &Atom) -> bool {
         self.contains_tuple(atom.predicate, &atom.terms)
@@ -802,6 +873,58 @@ mod tests {
         b.insert_fact("r", &["y", "z"]);
         a.extend_from(&b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_rebuilds_the_relation_consistently() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("r", &["b", "c"]);
+        db.insert_fact("s", &["a"]);
+        db.freeze();
+        assert!(db.remove(&Atom::fact("r", &["a", "b"])));
+        assert!(!db.remove(&Atom::fact("r", &["a", "b"])));
+        assert_eq!(db.len(), 2);
+        assert!(!db.contains(&Atom::fact("r", &["a", "b"])));
+        assert!(db.contains(&Atom::fact("r", &["b", "c"])));
+        // The rebuilt relation still answers index probes.
+        let probe = Atom::new("r", vec![Term::variable("X"), Term::constant("c")]);
+        assert_eq!(db.candidates(&probe).count(), 1);
+        // Reinsertion after removal works (dedup state was rebuilt).
+        assert!(db.insert_fact("r", &["a", "b"]));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn remove_atoms_batches_per_relation() {
+        let mut db = Instance::new();
+        for i in 0..10 {
+            db.insert_fact("r", &[&format!("x{i}"), "y"]);
+        }
+        db.insert_fact("s", &["z"]);
+        let batch = [
+            Atom::fact("r", &["x1", "y"]),
+            Atom::fact("r", &["x2", "y"]),
+            Atom::fact("r", &["absent", "y"]),
+            Atom::fact("t", &["nope"]),
+        ];
+        assert_eq!(db.remove_atoms(batch.iter()), 2);
+        assert_eq!(db.len(), 9);
+        assert_eq!(db.relation_size(Predicate::new("r", 2)), 8);
+        assert_eq!(db.relation_size(Predicate::new("s", 1)), 1);
+    }
+
+    #[test]
+    fn emptied_relations_disappear_from_accessors() {
+        let mut db = Instance::new();
+        db.insert_fact("r", &["a"]);
+        db.insert_fact("s", &["b"]);
+        assert!(db.remove(&Atom::fact("r", &["a"])));
+        assert_eq!(db.predicates().count(), 1);
+        assert!(db.relation(Predicate::new("r", 1)).is_none());
+        let mut copy = Instance::new();
+        copy.insert_fact("s", &["b"]);
+        assert_eq!(db, copy);
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub enum MaterializationMode {
         /// facts removed).
         delta_facts: usize,
     },
+    /// A cached ancestor materialization was brought forward through a
+    /// lineage containing at least one **delete** edge: insert batches ran
+    /// the incremental chase, delete batches ran DRed (delete-and-rederive
+    /// over the derivation graph) instead of re-chasing the store.
+    Dred {
+        /// The data version of the ancestor materialization the lineage
+        /// was replayed from.
+        from: u64,
+        /// Genuinely new facts the insert batches seeded.
+        delta_facts: usize,
+        /// Facts dropped from the materialized model across the delete
+        /// batches (withdrawn assertions plus cascaded derivations, minus
+        /// everything rederived).
+        removed_facts: usize,
+    },
 }
 
 impl std::fmt::Display for MaterializationMode {
@@ -61,6 +76,16 @@ impl std::fmt::Display for MaterializationMode {
             MaterializationMode::Scratch => f.write_str("scratch"),
             MaterializationMode::Incremental { from, delta_facts } => {
                 write!(f, "incremental(from={from}, delta_facts={delta_facts})")
+            }
+            MaterializationMode::Dred {
+                from,
+                delta_facts,
+                removed_facts,
+            } => {
+                write!(
+                    f,
+                    "dred(from={from}, delta_facts={delta_facts}, removed_facts={removed_facts})"
+                )
             }
         }
     }

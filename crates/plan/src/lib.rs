@@ -62,3 +62,10 @@ pub use execution::{
 };
 pub use plan::{MaterializationGuarantee, PlanKind, QueryPlan};
 pub use planner::{Materialization, Planner, PlannerConfig, PreparedQuery};
+
+// The chase-side surface the serving layer needs to configure provenance
+// tracking and walk derivation graphs without depending on `ontorew-chase`
+// directly: every materialization-facing concept flows through the planner.
+pub use ontorew_chase::{
+    explain_absent, ChaseConfig, DerivationGraph, WhyNot, WhyNotCandidate, WhyStep,
+};

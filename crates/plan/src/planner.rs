@@ -4,7 +4,9 @@ use crate::execution::{
     ChaseSummary, Execution, MaterializationMode, Provenance, StrategyTaken, Timings,
 };
 use crate::plan::{MaterializationGuarantee, PlanKind, QueryPlan};
-use ontorew_chase::{chase, chase_incremental, ChaseConfig, ChaseResult};
+use ontorew_chase::{
+    chase, chase_incremental, chase_retract, ChaseConfig, ChaseResult, DerivationGraph,
+};
 use ontorew_core::{classify, ClassificationReport};
 use ontorew_model::prelude::*;
 use ontorew_rewrite::{evaluate_rewriting, rewrite, RewriteConfig, Rewriting};
@@ -93,6 +95,20 @@ pub struct Materialization {
 }
 
 impl Materialization {
+    /// The chased instance behind the evaluation store (shares its
+    /// segments). This is what `WHY NOT` explanations probe for blocked
+    /// rule bodies.
+    pub fn instance(&self) -> &Instance {
+        &self.chased.instance
+    }
+
+    /// The derivation graph recorded during the chase, when the planner's
+    /// [`ChaseConfig::track_provenance`] was on — what `WHY` walks and what
+    /// DRed retraction repairs. `None` for untracked materializations.
+    pub fn provenance(&self) -> Option<&DerivationGraph> {
+        self.chased.provenance.as_ref()
+    }
+
     fn summary(&self) -> ChaseSummary {
         ChaseSummary {
             facts: self.facts,
@@ -103,14 +119,22 @@ impl Materialization {
     }
 }
 
-/// A recorded insert batch: `version` was produced from `parent` by
-/// committing `facts`, resulting in a store of `resulting_facts` facts (the
-/// end-to-end guard an incremental extension is validated against). The
-/// batch is behind an `Arc` so recording and chain-walking never copy atoms
-/// while the cache lock is held.
+/// Whether a recorded delta batch inserted or deleted its facts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeltaKind {
+    Insert,
+    Delete,
+}
+
+/// A recorded commit batch: `version` was produced from `parent` by
+/// inserting or deleting `facts`, resulting in a store of `resulting_facts`
+/// facts (the end-to-end guard an incremental extension is validated
+/// against). The batch is behind an `Arc` so recording and chain-walking
+/// never copy atoms while the cache lock is held.
 #[derive(Clone, Debug)]
 struct DeltaEdge {
     parent: u64,
+    kind: DeltaKind,
     facts: Arc<[Atom]>,
     resulting_facts: usize,
 }
@@ -132,8 +156,9 @@ pub(crate) struct PlannerShared {
 }
 
 /// What a successful delta-chain walk hands back: the ancestor's version,
-/// its cached materialization, and the batches to replay (oldest first).
-type IncrementalBase = (u64, Arc<Materialization>, Vec<Arc<[Atom]>>);
+/// its cached materialization, and the kinded batches to replay (oldest
+/// first).
+type IncrementalBase = (u64, Arc<Materialization>, Vec<(DeltaKind, Arc<[Atom]>)>);
 
 #[derive(Default)]
 struct MaterializationCache {
@@ -211,11 +236,11 @@ impl MaterializationCache {
         if newest.1.resulting_facts != source_facts {
             return None;
         }
-        let mut batches: Vec<Arc<[Atom]>> = Vec::new();
+        let mut batches: Vec<(DeltaKind, Arc<[Atom]>)> = Vec::new();
         let mut at = version;
         for _ in 0..MATERIALIZATION_DELTA_EDGES {
             let (_, edge) = self.deltas.get(&at)?;
-            batches.push(Arc::clone(&edge.facts));
+            batches.push((edge.kind, Arc::clone(&edge.facts)));
             at = edge.parent;
             if let Some((_, base)) = self.entries.get(&at) {
                 if base.complete {
@@ -261,19 +286,28 @@ impl PlannerShared {
             }
             if let Some((from, base, batches)) = cache.incremental_base(v, source_facts) {
                 drop(cache);
-                // Compose the recorded batches outside the lock: other
-                // tenants' cache lookups must not wait on O(delta) copying.
-                let delta: Vec<Atom> = batches
-                    .iter()
-                    .flat_map(|batch| batch.iter().cloned())
-                    .collect();
-                if let Some(materialization) =
+                let result = if batches.iter().any(|(kind, _)| *kind == DeltaKind::Delete) {
+                    // At least one delete edge: replay the lineage stage by
+                    // stage — incremental chase for inserts, DRed for
+                    // deletes (needs the ancestor's derivation graph).
+                    self.materialize_retraction(store, v, from, &base, &batches)
+                } else {
+                    // Pure-insert lineage: compose the recorded batches
+                    // outside the lock (other tenants' cache lookups must
+                    // not wait on O(delta) copying) and extend in one
+                    // incremental chase.
+                    let delta: Vec<Atom> = batches
+                        .iter()
+                        .flat_map(|(_, batch)| batch.iter().cloned())
+                        .collect();
                     self.materialize_incremental(store, v, from, &base, delta)
-                {
+                };
+                if let Some(materialization) = result {
                     return (materialization, false);
                 }
-                // Validation failed (stale tokens, mismatched lineage):
-                // fall through to the scratch chase.
+                // Validation failed (stale tokens, mismatched lineage, no
+                // derivation graph to retract over): fall through to the
+                // scratch chase.
             }
         }
         let start = Instant::now();
@@ -378,6 +412,120 @@ impl PlannerShared {
             rounds: result.rounds,
             micros: start.elapsed().as_micros() as u64,
             mode: MaterializationMode::Incremental { from, delta_facts },
+            source_facts: store.len(),
+            store: chased_store,
+            chased: result,
+            null_set,
+        });
+        self.materializations
+            .lock()
+            .insert(version, Arc::clone(&materialization));
+        Some(materialization)
+    }
+
+    /// Replay a mixed insert/delete lineage on top of the cached `base`
+    /// materialization (of version `from`): consecutive same-kind batches
+    /// are coalesced, insert runs extend the chase state with
+    /// [`chase_incremental`], delete runs repair it with [`chase_retract`]
+    /// (DRed over the derivation graph). Returns `None` when the base
+    /// carries no derivation graph (the planner's chase config ran without
+    /// `track_provenance`) or when the end-to-end source guard fails — the
+    /// caller then falls back to a scratch chase.
+    fn materialize_retraction(
+        &self,
+        store: &RelationalStore,
+        version: u64,
+        from: u64,
+        base: &Arc<Materialization>,
+        batches: &[(DeltaKind, Arc<[Atom]>)],
+    ) -> Option<Arc<Materialization>> {
+        let start = Instant::now();
+        // DRed rederives through the recorded derivation graph; without one
+        // there is nothing to repair from.
+        base.chased.provenance.as_ref()?;
+        let config = ChaseConfig {
+            track_provenance: true,
+            ..self.chase_config
+        };
+        // Coalesce consecutive same-kind batches so a burst of
+        // commit-per-fact edges costs one chase call per direction change.
+        let mut runs: Vec<(DeltaKind, Vec<Atom>)> = Vec::new();
+        for (kind, batch) in batches {
+            match runs.last_mut() {
+                Some((run_kind, facts)) if run_kind == kind => {
+                    facts.extend(batch.iter().cloned());
+                }
+                _ => runs.push((*kind, batch.iter().cloned().collect())),
+            }
+        }
+        let mut delta_facts = 0usize;
+        let mut removed_facts = 0usize;
+        let mut complete = base.complete;
+        let mut current: Option<ChaseResult> = None;
+        for (kind, facts) in runs {
+            let prev: &ChaseResult = current.as_ref().unwrap_or(&base.chased);
+            match kind {
+                DeltaKind::Insert => {
+                    // Count the genuinely new facts (novelty against the
+                    // chased state is conservative, same as the pure-insert
+                    // path) but seed the chase with the *full* batch: the
+                    // graph must record every committed fact as a base
+                    // assertion even when it was previously only derived,
+                    // or a later retraction could cascade it away.
+                    let mut seen = Instance::new();
+                    for fact in &facts {
+                        if !prev.instance.contains(fact) && seen.insert(fact.clone()) {
+                            delta_facts += 1;
+                        }
+                    }
+                    let incremental = chase_incremental(
+                        &self.program,
+                        prev,
+                        &Instance::from_atoms(facts),
+                        &config,
+                    );
+                    complete = complete && incremental.result.is_universal_model();
+                    current = Some(incremental.result);
+                }
+                DeltaKind::Delete => {
+                    let retracted =
+                        chase_retract(&self.program, prev, &Instance::from_atoms(facts), &config);
+                    removed_facts += retracted.removed;
+                    // A scratch fallback inside the retraction re-chased
+                    // the surviving source from nothing, so its own
+                    // fixpoint verdict stands alone.
+                    complete =
+                        (complete || retracted.scratch) && retracted.result.is_universal_model();
+                    current = Some(retracted.result);
+                }
+            }
+        }
+        let mut result = current?;
+        // End-to-end guard, the retraction-aware analogue of the insert
+        // path's size check: after replaying the lineage, the surviving
+        // base assertions of the derivation graph *are* the source facts
+        // the lineage claims — they must match the observed store.
+        let asserted = result
+            .provenance
+            .as_ref()
+            .map(|graph| graph.base_facts().count())?;
+        if asserted != store.len() {
+            return None;
+        }
+        result.instance.freeze();
+        let chased_store = RelationalStore::from_instance(&result.instance);
+        let null_set = Arc::new(result.instance.nulls());
+        let materialization = Arc::new(Materialization {
+            complete,
+            facts: result.instance.len(),
+            nulls: null_set.len(),
+            rounds: result.rounds,
+            micros: start.elapsed().as_micros() as u64,
+            mode: MaterializationMode::Dred {
+                from,
+                delta_facts,
+                removed_facts,
+            },
             source_facts: store.len(),
             store: chased_store,
             chased: result,
@@ -502,6 +650,22 @@ impl Planner {
         self.inner.materialize(store, version)
     }
 
+    /// A read-only peek (no recency refresh, no computation) at the cached
+    /// materialization of `version`, guarded by the observed store size the
+    /// same way [`Planner::materialize`]'s lookup is. The serving layer
+    /// uses this to report derivation-graph statistics in `STATS` without
+    /// forcing a chase.
+    pub fn cached_materialization(
+        &self,
+        version: u64,
+        source_facts: usize,
+    ) -> Option<Arc<Materialization>> {
+        match self.inner.materializations.lock().entries.get(&version) {
+            Some((_, m)) if m.source_facts == source_facts => Some(Arc::clone(m)),
+            _ => None,
+        }
+    }
+
     /// Record that data version `version` was produced from `parent` by
     /// inserting `facts`, with `resulting_facts` total facts afterwards.
     ///
@@ -518,6 +682,37 @@ impl Planner {
         // is then a plain map insert.
         let edge = DeltaEdge {
             parent,
+            kind: DeltaKind::Insert,
+            facts: facts.into(),
+            resulting_facts,
+        };
+        self.inner
+            .materializations
+            .lock()
+            .record_delta(parent, version, edge);
+    }
+
+    /// Record that data version `version` was produced from `parent` by
+    /// **deleting** `facts`, with `resulting_facts` total facts afterwards.
+    ///
+    /// The delete counterpart of [`Planner::record_delta`]: a later cache
+    /// miss whose lineage contains a delete edge is replayed stage by stage
+    /// — insert batches through [`chase_incremental`], delete batches
+    /// through [`chase_retract`] (DRed) — instead of re-chasing the store.
+    /// DRed needs the cached ancestor's derivation graph, so this only pays
+    /// off when the planner's [`ChaseConfig::track_provenance`] is on;
+    /// otherwise the lineage is rejected and the next materialization
+    /// chases from scratch (still correct, just not incremental).
+    pub fn record_retraction(
+        &self,
+        parent: u64,
+        version: u64,
+        facts: &[Atom],
+        resulting_facts: usize,
+    ) {
+        let edge = DeltaEdge {
+            parent,
+            kind: DeltaKind::Delete,
             facts: facts.into(),
             resulting_facts,
         };
@@ -771,6 +966,26 @@ impl PreparedQuery {
                     ));
                 }
             }
+        }
+        out
+    }
+
+    /// Like [`PreparedQuery::explain`], but additionally peeks (read-only,
+    /// no recency refresh) at the planner's materialization cache for
+    /// `version`: when a chase-based execution at this version would hit a
+    /// cached materialization, the dump reports how that materialization
+    /// was obtained (scratch, incremental, or DRed).
+    pub fn explain_versioned(&self, store: &RelationalStore, version: u64) -> String {
+        let mut out = self.explain();
+        let cached = match self.shared.materializations.lock().entries.get(&version) {
+            Some((_, m)) if m.source_facts == store.len() => Some((m.mode, m.complete, m.facts)),
+            _ => None,
+        };
+        match cached {
+            Some((mode, complete, facts)) => out.push_str(&format!(
+                "cached materialization: {mode}, complete={complete}, facts={facts}\n"
+            )),
+            None => out.push_str("cached materialization: (none)\n"),
         }
         out
     }
@@ -1338,6 +1553,152 @@ mod tests {
         // And the extended version is itself cached now.
         let again = prepared.execute_versioned(&store, version);
         assert_eq!(again.provenance.materialization_cached, Some(true));
+    }
+
+    /// A provenance-tracking planner: what the serving layer runs so DRed
+    /// retraction and WHY walks have a derivation graph to work with.
+    fn provenance_config() -> PlannerConfig {
+        PlannerConfig {
+            chase: ChaseConfig::default().with_provenance(true),
+            ..PlannerConfig::default()
+        }
+    }
+
+    /// A recorded delete edge lets a cache miss repair the previous
+    /// version's materialization with DRed instead of re-chasing — and the
+    /// answers must equal a scratch chase of the shrunken store.
+    #[test]
+    fn recorded_retractions_enable_dred_materialization() {
+        let planner = Planner::with_config(example2(), provenance_config());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let cold = prepared.execute_versioned(&store, 1);
+        assert_eq!(
+            cold.provenance.materialization,
+            Some(MaterializationMode::Scratch)
+        );
+        assert!(cold.answers.as_boolean(), "s + t derive r(a, _)");
+
+        // Retract the s fact: the derived r atom (and everything chased
+        // from it) loses its only support.
+        let removed = vec![Atom::fact("s", &["c", "c", "a"])];
+        store.remove_atom(&removed[0]);
+        planner.record_retraction(1, 2, &removed, store.len());
+        let warm = prepared.execute_versioned(&store, 2);
+        assert!(
+            matches!(
+                warm.provenance.materialization,
+                Some(MaterializationMode::Dred {
+                    from: 1,
+                    delta_facts: 0,
+                    removed_facts,
+                }) if removed_facts >= 1
+            ),
+            "{:?}",
+            warm.provenance.materialization
+        );
+        assert!(warm.is_exact());
+        assert!(!warm.answers.as_boolean(), "the derivation is gone");
+
+        let scratch = Planner::new(example2())
+            .prepare(&example2_query())
+            .execute(&store);
+        assert_eq!(
+            warm.answers.iter().collect::<Vec<_>>(),
+            scratch.answers.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Without provenance tracking there is no derivation graph to retract
+    /// over: the delete lineage is rejected and the planner re-chases from
+    /// scratch — correct, just not incremental.
+    #[test]
+    fn retraction_without_provenance_falls_back_to_scratch() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let _ = prepared.execute_versioned(&store, 1);
+
+        let removed = vec![Atom::fact("s", &["c", "c", "a"])];
+        store.remove_atom(&removed[0]);
+        planner.record_retraction(1, 2, &removed, store.len());
+        let execution = prepared.execute_versioned(&store, 2);
+        assert_eq!(
+            execution.provenance.materialization,
+            Some(MaterializationMode::Scratch)
+        );
+        assert!(!execution.answers.as_boolean());
+    }
+
+    /// Insert and delete edges interleave in one lineage: the replay runs
+    /// the incremental chase and DRed stage by stage and lands on the same
+    /// answers as a scratch chase of the final store.
+    #[test]
+    fn mixed_insert_delete_lineage_composes() {
+        let planner = Planner::with_config(example2(), provenance_config());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+        let _ = prepared.execute_versioned(&store, 1);
+
+        let inserted_s = vec![Atom::fact("s", &["c", "c", "a"])];
+        store.insert_atom(&inserted_s[0]);
+        planner.record_delta(1, 2, &inserted_s, store.len());
+        let inserted_t = vec![Atom::fact("t", &["e", "a"])];
+        store.insert_atom(&inserted_t[0]);
+        planner.record_delta(2, 3, &inserted_t, store.len());
+        store.remove_atom(&inserted_s[0]);
+        planner.record_retraction(3, 4, &inserted_s, store.len());
+
+        // No query ran at versions 2 and 3: the miss at 4 replays all
+        // three edges (insert, insert, delete) from the version-1 base.
+        let execution = prepared.execute_versioned(&store, 4);
+        assert!(
+            matches!(
+                execution.provenance.materialization,
+                Some(MaterializationMode::Dred {
+                    from: 1,
+                    delta_facts: 2,
+                    ..
+                })
+            ),
+            "{:?}",
+            execution.provenance.materialization
+        );
+        assert!(!execution.answers.as_boolean(), "the s fact is gone again");
+        let scratch = Planner::new(example2())
+            .prepare(&example2_query())
+            .execute(&store);
+        assert_eq!(
+            execution.answers.iter().collect::<Vec<_>>(),
+            scratch.answers.iter().collect::<Vec<_>>()
+        );
+        // And the repaired version is itself cached now.
+        let again = prepared.execute_versioned(&store, 4);
+        assert_eq!(again.provenance.materialization_cached, Some(true));
+    }
+
+    /// The versioned explain peeks at the cache and reports the mode of
+    /// the materialization a chase execution at this version would hit.
+    #[test]
+    fn versioned_explain_reports_the_cached_mode() {
+        let planner = Planner::new(example2());
+        let prepared = planner.prepare(&example2_query());
+        let mut store = RelationalStore::new();
+        store.insert_fact("t", &["d", "a"]);
+        assert!(prepared
+            .explain_versioned(&store, 5)
+            .contains("cached materialization: (none)"));
+        let _ = prepared.execute_versioned(&store, 5);
+        let explain = prepared.explain_versioned(&store, 5);
+        assert!(
+            explain.contains("cached materialization: scratch"),
+            "{explain}"
+        );
     }
 
     /// A continuation can propagate *base* nulls into newly derived facts;

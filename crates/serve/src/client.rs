@@ -266,6 +266,56 @@ impl ServeClient {
         Ok((field(&kv, "added")?, field(&kv, "epoch")?))
     }
 
+    /// `DELETE <facts>` → (removed, epoch).
+    pub fn delete(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
+        self.send(&format!("DELETE {facts}"))?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("DELETED ")
+            .ok_or_else(|| ClientError::Protocol(format!("expected DELETED, got {rest}")))?;
+        let kv = parse_kv(rest);
+        Ok((field(&kv, "removed")?, field(&kv, "epoch")?))
+    }
+
+    /// `WHY <fact>` → the explanation header plus its `INFO` lines
+    /// (derivation steps when present, blocked candidates when absent).
+    pub fn why(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
+        self.send(&format!("WHY {fact}"))?;
+        self.explanation_reply("WHY ")
+    }
+
+    /// `WHY NOT <fact>` → the explanation header plus its `INFO` lines.
+    pub fn why_not(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
+        self.send(&format!("WHY NOT {fact}"))?;
+        self.explanation_reply("WHYNOT ")
+    }
+
+    fn explanation_reply(&mut self, header: &str) -> Result<ExplainReply, ClientError> {
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest.strip_prefix(header).ok_or_else(|| {
+            ClientError::Protocol(format!("expected {}, got {rest}", header.trim()))
+        })?;
+        let fields = parse_kv(rest);
+        let mut info = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                break;
+            }
+            match line.strip_prefix("INFO ") {
+                Some(text) => info.push(text.to_string()),
+                None => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected INFO or END, got {line}"
+                    )))
+                }
+            }
+        }
+        Ok(ExplainReply { fields, info })
+    }
+
     /// `STATS` → all reported fields as a string map.
     pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
         self.send("STATS")?;
@@ -369,6 +419,47 @@ mod tests {
         assert!(matches!(err, ClientError::Server(_)), "{err}");
         // The connection is still usable afterwards.
         client.ping().unwrap();
+        client.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_drives_delete_and_why() {
+        let handle = start();
+        let mut client = ServeClient::connect(handle.addr()).unwrap();
+
+        let why = client.why("person(sara)").unwrap();
+        assert_eq!(why.fields.get("present").map(String::as_str), Some("true"));
+        assert_eq!(why.fields.get("steps").map(String::as_str), Some("2"));
+        assert!(
+            why.info
+                .iter()
+                .any(|l| l.contains("student(sara) asserted")),
+            "{:?}",
+            why.info
+        );
+
+        let why_not = client.why_not("person(bob)").unwrap();
+        assert_eq!(
+            why_not.fields.get("present").map(String::as_str),
+            Some("false")
+        );
+        assert!(
+            why_not
+                .info
+                .iter()
+                .any(|l| l.contains("missing=student(bob)")),
+            "{:?}",
+            why_not.info
+        );
+
+        let (removed, epoch) = client.delete("student(sara)").unwrap();
+        assert_eq!((removed, epoch), (1, 1));
+        assert_eq!(client.query("q(X) :- person(X)").unwrap().count, 0);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("deletes").map(String::as_str), Some("1"));
+        assert_eq!(stats.get("whys").map(String::as_str), Some("2"));
         client.quit().unwrap();
         handle.shutdown();
     }

@@ -30,8 +30,9 @@
 //!   and epoch store, all sharing the prepared-plan cache;
 //! * [`server`] + [`proto`] — a thread-pool TCP server (no async runtime,
 //!   plain `std` networking and threads) speaking a newline-delimited text
-//!   protocol (`PREPARE`, `EXPLAIN`, `QUERY`, `INSERT`, `TENANT`, `STATS` —
-//!   see [`proto`] for the reference), plus [`client`], the matching
+//!   protocol (`PREPARE`, `EXPLAIN`, `QUERY`, `INSERT`, `DELETE`, `WHY`,
+//!   `WHY NOT`, `TENANT`, `STATS` — [`proto::VERBS`] is the canonical list,
+//!   [`proto`] the reference), plus [`client`], the matching
 //!   blocking client used by the bench load generator and the CI smoke
 //!   test.
 //!
@@ -71,8 +72,11 @@ pub use cache::{CacheConfig, CacheStats, ShardedCache, ShardedPlanCache, Sharded
 pub use client::{ClientError, ExplainReply, QueryReply, ServeClient};
 pub use metrics::{percentile, LatencyStats, ServeMetrics};
 pub use pool::ThreadPool;
-pub use proto::{format_fact, parse_fact, parse_request, Request};
+pub use proto::{format_fact, parse_fact, parse_request, Request, VERBS};
 pub use server::{serve, serve_registry, ServerConfig, ServerHandle};
-pub use service::{Prepared, QueryResponse, QueryService, ServiceConfig, ServiceStats};
+pub use service::{
+    FactExplanation, Prepared, ProvenanceStats, QueryResponse, QueryService, ServiceConfig,
+    ServiceError, ServiceStats,
+};
 pub use snapshot::{CommitReceipt, EpochStore, Snapshot};
 pub use tenant::{TenantInfo, TenantRegistry, DEFAULT_TENANT};

@@ -50,6 +50,10 @@ pub struct ServeMetrics {
     pub prepares: AtomicU64,
     /// `INSERT` requests served.
     pub inserts: AtomicU64,
+    /// `DELETE` requests served (retraction epochs committed).
+    pub deletes: AtomicU64,
+    /// `WHY` / `WHY NOT` explanations served.
+    pub whys: AtomicU64,
     /// Requests rejected with an error.
     pub errors: AtomicU64,
     latencies: Mutex<LatencyRing>,
@@ -61,6 +65,8 @@ impl Default for ServeMetrics {
             queries: AtomicU64::new(0),
             prepares: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            whys: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::with_capacity(1024),

@@ -19,6 +19,16 @@
 //!      END
 //! INSERT <fact>[; <fact>]*   commit one batch of facts as one new epoch
 //!   -> OK INSERTED added=<n> epoch=<e>
+//! DELETE <fact>[; <fact>]*   retract one batch of facts as one new epoch
+//!   -> OK DELETED removed=<n> epoch=<e>
+//! WHY <fact>            explain how the fact is derived in this snapshot
+//!   -> OK WHY fact=<f> present=<bool> steps=<n> epoch=<e>
+//!      INFO <one derivation step, target first>      (repeated)
+//!      END                      (an absent fact reports candidates instead)
+//! WHY NOT <fact>        explain why the fact is absent from this snapshot
+//!   -> OK WHYNOT fact=<f> present=<bool> candidates=<n> epoch=<e>
+//!      INFO <one candidate rule and its blocked premises>   (repeated)
+//!      END                      (a present fact reports WHY steps instead)
 //! TENANT CREATE <name> <rule>[ <rule>]*   register a tenant (empty store)
 //!   -> OK TENANT name=<n> rules=<r> program=<fp> tenants=<count>
 //! TENANT USE <name>     switch this connection to a tenant
@@ -28,9 +38,10 @@
 //! TENANT LIST           enumerate tenants
 //!   -> OK TENANTS count=<n> names=<a,b,...>
 //! STATS                 current-tenant counters and latency percentiles
-//!   -> OK STATS queries=<n> prepares=<n> inserts=<n> errors=<n>
-//!      cache_hits=<n> cache_misses=<n> cache_entries=<n> hit_rate=<f>
-//!      epoch=<e> facts=<n> p50_us=<t> p99_us=<t> tenants=<n>  (one line)
+//!   -> OK STATS queries=<n> prepares=<n> inserts=<n> deletes=<n> whys=<n>
+//!      errors=<n> cache_hits=<n> cache_misses=<n> cache_entries=<n>
+//!      hit_rate=<f> epoch=<e> facts=<n> prov_nodes=<n> prov_edges=<n>
+//!      prov_bytes=<n> p50_us=<t> p99_us=<t> tenants=<n>      (one line)
 //! PING                  liveness probe        -> OK PONG
 //! QUIT                  close this connection -> OK BYE
 //! SHUTDOWN              stop the whole server -> OK BYE
@@ -46,6 +57,14 @@
 use ontorew_model::prelude::*;
 use ontorew_model::{parse_program, parse_query};
 
+/// The canonical verb list — the single source the parser's unknown-verb
+/// error and the README protocol reference enumerate. `WHY NOT` is spelled
+/// with its subword because that is what a client types.
+pub const VERBS: &[&str] = &[
+    "PREPARE", "EXPLAIN", "QUERY", "INSERT", "DELETE", "WHY", "WHY NOT", "TENANT", "STATS", "PING",
+    "QUIT", "SHUTDOWN",
+];
+
 /// A parsed protocol request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -57,6 +76,12 @@ pub enum Request {
     Query(ConjunctiveQuery),
     /// Commit a batch of ground facts as one epoch.
     Insert(Vec<Atom>),
+    /// Retract a batch of ground facts as one epoch (repaired by DRed).
+    Delete(Vec<Atom>),
+    /// Explain how a fact is derived in the current snapshot.
+    Why(Atom),
+    /// Explain why a fact is absent from the current snapshot.
+    WhyNot(Atom),
     /// Register a new tenant with the given ontology and an empty store.
     TenantCreate {
         /// The tenant's name.
@@ -104,22 +129,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "TENANT" => parse_tenant_request(rest),
-        "INSERT" => {
+        "INSERT" | "DELETE" => {
             if rest.is_empty() {
-                return Err("INSERT needs facts, e.g. INSERT student(sara); course(db101)".into());
+                return Err(format!(
+                    "{verb} needs facts, e.g. {verb} student(sara); course(db101)"
+                ));
             }
-            let mut facts = Vec::new();
-            for part in split_outside_quotes(rest, ';') {
-                let part = part.trim();
-                if part.is_empty() {
-                    continue;
-                }
-                facts.push(parse_fact(part)?);
+            let facts = parse_fact_batch(rest, verb)?;
+            Ok(if verb == "INSERT" {
+                Request::Insert(facts)
+            } else {
+                Request::Delete(facts)
+            })
+        }
+        "WHY" => {
+            // `WHY NOT <fact>` probes an absence; plain `WHY <fact>`
+            // explains a derivation. A predicate actually named `NOT` is
+            // still reachable as `WHY NOT(...)` (no space).
+            if let Some(fact_text) = rest
+                .strip_prefix("NOT")
+                .filter(|r| r.starts_with(char::is_whitespace))
+            {
+                Ok(Request::WhyNot(parse_fact(fact_text.trim())?))
+            } else if rest.is_empty() {
+                Err("WHY needs a fact, e.g. WHY person(sara) — or WHY NOT person(bob)".into())
+            } else {
+                Ok(Request::Why(parse_fact(rest)?))
             }
-            if facts.is_empty() {
-                return Err("INSERT contained no facts".into());
-            }
-            Ok(Request::Insert(facts))
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
         "PING" if rest.is_empty() => Ok(Request::Ping),
@@ -127,10 +163,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb {other:?}; expected PREPARE, EXPLAIN, QUERY, INSERT, TENANT, STATS, \
-             PING, QUIT or SHUTDOWN"
+            "unknown verb {other:?}; expected {}",
+            VERBS.join(", ")
         )),
     }
+}
+
+/// Parse a `;`-separated fact batch (the shared payload of `INSERT` and
+/// `DELETE`).
+fn parse_fact_batch(rest: &str, verb: &str) -> Result<Vec<Atom>, String> {
+    let mut facts = Vec::new();
+    for part in split_outside_quotes(rest, ';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        facts.push(parse_fact(part)?);
+    }
+    if facts.is_empty() {
+        return Err(format!("{verb} contained no facts"));
+    }
+    Ok(facts)
 }
 
 /// Parse the payload of a `TENANT` request (`CREATE <name> <rules>`,
@@ -355,6 +408,50 @@ mod tests {
                 assert_eq!(facts[1], Atom::fact("attends", &["sara", "db101"]));
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_batches() {
+        let r = parse_request("DELETE student(sara); attends(sara, db101)").unwrap();
+        match r {
+            Request::Delete(facts) => {
+                assert_eq!(facts.len(), 2);
+                assert_eq!(facts[0], Atom::fact("student", &["sara"]));
+                assert_eq!(facts[1], Atom::fact("attends", &["sara", "db101"]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_request("DELETE").unwrap_err().contains("needs facts"));
+        assert!(parse_request("DELETE ; ;")
+            .unwrap_err()
+            .contains("contained no facts"));
+    }
+
+    #[test]
+    fn parses_why_and_why_not() {
+        assert_eq!(
+            parse_request("WHY person(sara)").unwrap(),
+            Request::Why(Atom::fact("person", &["sara"]))
+        );
+        assert_eq!(
+            parse_request("WHY NOT person(bob)").unwrap(),
+            Request::WhyNot(Atom::fact("person", &["bob"]))
+        );
+        // A predicate literally named NOT stays reachable as a WHY target.
+        assert_eq!(
+            parse_request("WHY NOT(x)").unwrap(),
+            Request::Why(Atom::fact("NOT", &["x"]))
+        );
+        assert!(parse_request("WHY").unwrap_err().contains("needs a fact"));
+        assert!(parse_request("WHY nonsense").is_err());
+    }
+
+    #[test]
+    fn unknown_verb_error_enumerates_the_canonical_verb_list() {
+        let err = parse_request("FROB x").unwrap_err();
+        for verb in VERBS {
+            assert!(err.contains(verb), "error {err:?} is missing verb {verb}");
         }
     }
 

@@ -232,6 +232,65 @@ fn handle_connection(stream: TcpStream, registry: Arc<TenantRegistry>, shutdown:
     }
 }
 
+/// Write the `INFO` lines of a `WHY` / `WHY NOT` reply: derivation steps
+/// (target first) for a present fact, blocked candidates for an absent one.
+fn write_explanation_info(
+    writer: &mut TcpStream,
+    explanation: &crate::service::FactExplanation,
+) -> std::io::Result<()> {
+    for step in &explanation.steps {
+        match step.rule {
+            None => {
+                writeln!(
+                    writer,
+                    "INFO {} asserted",
+                    crate::proto::format_fact(&step.fact)
+                )?;
+            }
+            Some(rule) => {
+                let premises: Vec<String> = step
+                    .premises
+                    .iter()
+                    .map(crate::proto::format_fact)
+                    .collect();
+                writeln!(
+                    writer,
+                    "INFO {} derived rule={} from {}",
+                    crate::proto::format_fact(&step.fact),
+                    rule,
+                    premises.join("; ")
+                )?;
+            }
+        }
+    }
+    if let Some(why_not) = &explanation.absent {
+        if why_not.candidates.is_empty() {
+            writeln!(writer, "INFO no rule head can produce this predicate")?;
+        }
+        for candidate in &why_not.candidates {
+            let body: Vec<String> = candidate
+                .body
+                .iter()
+                .map(crate::proto::format_fact)
+                .collect();
+            let missing: Vec<String> = candidate
+                .missing
+                .iter()
+                .map(crate::proto::format_fact)
+                .collect();
+            writeln!(
+                writer,
+                "INFO rule={} body={} missing={} invents={}",
+                candidate.rule,
+                body.join("; "),
+                missing.join("; "),
+                candidate.needs_invented_value
+            )?;
+        }
+    }
+    Ok(())
+}
+
 /// Render one answer row for the wire.
 fn encode_row(row: &[Term]) -> String {
     let cells: Vec<String> = row
@@ -316,6 +375,52 @@ fn respond(
                 writeln!(writer, "ERR {e}")?;
             }
         },
+        Ok(Request::Delete(facts)) => match service.delete_facts(&facts) {
+            Ok((epoch, removed)) => {
+                writeln!(writer, "OK DELETED removed={removed} epoch={epoch}")?;
+            }
+            Err(e) => {
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
+        Ok(Request::Why(fact)) => match service.explain_fact(&fact) {
+            Ok(explanation) => {
+                writeln!(
+                    writer,
+                    "OK WHY present={} steps={} epoch={} fact={}",
+                    explanation.present,
+                    explanation.steps.len(),
+                    explanation.epoch,
+                    crate::proto::format_fact(&fact)
+                )?;
+                write_explanation_info(writer, &explanation)?;
+                writeln!(writer, "END")?;
+            }
+            Err(e) => {
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
+        Ok(Request::WhyNot(fact)) => match service.explain_fact(&fact) {
+            Ok(explanation) => {
+                let candidates = explanation
+                    .absent
+                    .as_ref()
+                    .map_or(0, |why_not| why_not.candidates.len());
+                writeln!(
+                    writer,
+                    "OK WHYNOT present={} candidates={} epoch={} fact={}",
+                    explanation.present,
+                    candidates,
+                    explanation.epoch,
+                    crate::proto::format_fact(&fact)
+                )?;
+                write_explanation_info(writer, &explanation)?;
+                writeln!(writer, "END")?;
+            }
+            Err(e) => {
+                writeln!(writer, "ERR {e}")?;
+            }
+        },
         Ok(Request::TenantCreate { name, program }) => match registry.create(&name, program) {
             Ok(created) => {
                 writeln!(
@@ -385,12 +490,15 @@ fn respond(
             let stats = service.stats();
             writeln!(
                 writer,
-                "OK STATS queries={} prepares={} inserts={} errors={} cache_hits={} \
-                 cache_misses={} cache_entries={} hit_rate={:.4} epoch={} facts={} \
-                 p50_us={} p99_us={} tenants={}",
+                "OK STATS queries={} prepares={} inserts={} deletes={} whys={} errors={} \
+                 cache_hits={} cache_misses={} cache_entries={} hit_rate={:.4} epoch={} \
+                 facts={} prov_nodes={} prov_edges={} prov_bytes={} p50_us={} p99_us={} \
+                 tenants={}",
                 stats.queries,
                 stats.prepares,
                 stats.inserts,
+                stats.deletes,
+                stats.whys,
                 stats.errors,
                 stats.cache.hits,
                 stats.cache.misses,
@@ -398,6 +506,9 @@ fn respond(
                 stats.cache.hit_rate(),
                 stats.epoch,
                 stats.facts,
+                stats.provenance.nodes,
+                stats.provenance.edges,
+                stats.provenance.bytes,
                 stats.latency.p50_us,
                 stats.latency.p99_us,
                 registry.len()
@@ -527,6 +638,68 @@ mod tests {
         assert!(stats.contains("tenants=1"), "{stats}");
 
         assert_eq!(roundtrip(&mut stream, &mut reader, "QUIT").trim(), "OK BYE");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn delete_and_why_round_the_full_crud_loop_over_tcp() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        // WHY of a derived fact walks the derivation down to the assertion.
+        let why = roundtrip(&mut stream, &mut reader, "WHY person(sara)");
+        assert!(why.starts_with("OK WHY present=true steps=2"), "{why}");
+        let block = read_block(&mut reader);
+        assert!(
+            block
+                .iter()
+                .any(|l| l.contains("person(sara) derived rule=0 from student(sara)")),
+            "{block:?}"
+        );
+        assert!(
+            block.iter().any(|l| l.contains("student(sara) asserted")),
+            "{block:?}"
+        );
+
+        // WHY NOT of an absent fact reports the blocked candidate rule.
+        let why_not = roundtrip(&mut stream, &mut reader, "WHY NOT person(bob)");
+        assert!(
+            why_not.starts_with("OK WHYNOT present=false candidates=1"),
+            "{why_not}"
+        );
+        let block = read_block(&mut reader);
+        assert!(
+            block.iter().any(|l| l.contains("missing=student(bob)")),
+            "{block:?}"
+        );
+
+        // DELETE retracts as one epoch; the derived fact disappears with it.
+        let deleted = roundtrip(&mut stream, &mut reader, "DELETE student(sara)");
+        assert_eq!(deleted.trim(), "OK DELETED removed=1 epoch=1", "{deleted}");
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        assert!(
+            header.contains("count=0") && header.contains("epoch=1"),
+            "{header}"
+        );
+        read_block(&mut reader);
+        let why_gone = roundtrip(&mut stream, &mut reader, "WHY person(sara)");
+        assert!(
+            why_gone.starts_with("OK WHY present=false steps=0"),
+            "{why_gone}"
+        );
+        read_block(&mut reader);
+
+        // Non-ground facts are rejected at the service layer.
+        let bad = roundtrip(&mut stream, &mut reader, "DELETE student(X)");
+        // (X parses as a constant on the wire — ground — so deleting it is a
+        // no-op epoch, not an error.)
+        assert!(bad.contains("removed=0"), "{bad}");
+
+        let stats = roundtrip(&mut stream, &mut reader, "STATS");
+        assert!(stats.contains("deletes=2"), "{stats}");
+        assert!(stats.contains("whys=3"), "{stats}");
+        assert!(stats.contains("prov_nodes="), "{stats}");
         handle.shutdown();
     }
 

@@ -19,7 +19,10 @@ use crate::cache::{CacheConfig, CacheStats, ShardedPlanCache};
 use crate::metrics::{LatencyStats, ServeMetrics};
 use crate::snapshot::{EpochStore, Snapshot};
 use ontorew_model::prelude::*;
-use ontorew_plan::{PlanKind, Planner, PlannerConfig, PreparedQuery, Provenance};
+use ontorew_plan::{
+    explain_absent, ChaseConfig, PlanKind, Planner, PlannerConfig, PreparedQuery, Provenance,
+    WhyNot, WhyStep,
+};
 use ontorew_rewrite::fingerprint::query_identity;
 use ontorew_rewrite::{fingerprint_program, PreparedKey, ProgramFingerprint, RewriteConfig};
 use ontorew_storage::{AnswerSet, RelationalStore};
@@ -94,6 +97,38 @@ pub struct QueryResponse {
     pub micros: u64,
 }
 
+/// The result of a `WHY` / `WHY NOT` explanation request. One shape serves
+/// both verbs: a present fact carries its derivation steps (target first), an
+/// absent fact carries the blocked-candidate analysis — whichever verb the
+/// client used, it learns the truth about the snapshot.
+#[derive(Clone, Debug)]
+pub struct FactExplanation {
+    /// The epoch of the snapshot the explanation describes.
+    pub epoch: u64,
+    /// True when the fact is in the materialized model of that snapshot
+    /// (asserted or derived).
+    pub present: bool,
+    /// Derivation steps, target first (empty when the fact is absent).
+    pub steps: Vec<WhyStep>,
+    /// Why the fact is absent: per-rule candidates with their blocked
+    /// premises (`None` when the fact is present).
+    pub absent: Option<WhyNot>,
+    /// End-to-end service time for this request, microseconds.
+    pub micros: u64,
+}
+
+/// Derivation-graph footprint of the current epoch's cached materialization
+/// (all zero when no materialization is cached for the epoch).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProvenanceStats {
+    /// Alive fact nodes in the derivation graph.
+    pub nodes: usize,
+    /// Derivation edges (fired + witness).
+    pub edges: usize,
+    /// Rough heap footprint of the graph, bytes.
+    pub bytes: usize,
+}
+
 /// A point-in-time summary of service state and counters.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceStats {
@@ -103,6 +138,10 @@ pub struct ServiceStats {
     pub prepares: u64,
     /// `INSERT` requests served.
     pub inserts: u64,
+    /// `DELETE` requests served (retraction epochs committed).
+    pub deletes: u64,
+    /// `WHY` / `WHY NOT` explanations served.
+    pub whys: u64,
     /// Requests rejected with an error.
     pub errors: u64,
     /// Cache counters (of the plan cache, which may be shared across
@@ -114,6 +153,8 @@ pub struct ServiceStats {
     pub epoch: u64,
     /// Facts in the current epoch.
     pub facts: usize,
+    /// Derivation-graph footprint of the epoch's cached materialization.
+    pub provenance: ProvenanceStats,
 }
 
 /// Errors a service request can fail with.
@@ -170,10 +211,15 @@ impl QueryService {
         tenant_tag: u64,
     ) -> Self {
         let program_fp = fingerprint_program(&program);
+        // The serving layer always tracks provenance: `WHY` explanations
+        // walk the derivation graph, and `DELETE` repairs materializations
+        // with DRed, which needs the graph of the cached ancestor. Embedders
+        // that want the leaner chase can use the planner directly.
         let planner = Planner::with_config(
             program,
             PlannerConfig {
                 rewrite: config.rewrite,
+                chase: ChaseConfig::default().with_provenance(true),
                 ..PlannerConfig::default()
             },
         );
@@ -329,24 +375,129 @@ impl QueryService {
         Ok((receipt.epoch, receipt.added))
     }
 
+    /// Retract a batch of ground facts as one new epoch. The whole batch
+    /// disappears atomically; held snapshots of earlier epochs are
+    /// untouched. Returns `(new epoch, facts actually removed)` — facts that
+    /// were not present count as not removed, but the epoch still advances
+    /// (mirroring how duplicate inserts behave).
+    ///
+    /// The batch is threaded through to the planner as a **delete** edge, so
+    /// a chase-plan `QUERY` right after a `DELETE` repairs the previous
+    /// epoch's cached materialization with DRed (delete-and-rederive over
+    /// the derivation graph) — O(affected derivations) — instead of
+    /// re-chasing the whole store.
+    pub fn delete_facts(&self, facts: &[Atom]) -> Result<(u64, usize), ServiceError> {
+        for fact in facts {
+            if !fact.is_ground() {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::BadRequest(format!(
+                    "fact {fact} contains a variable"
+                )));
+            }
+        }
+        let mut removed = 0usize;
+        let mut total = 0usize;
+        let epoch = self.store.commit(|store| {
+            for fact in facts {
+                if store.remove_atom(fact) {
+                    removed += 1;
+                }
+            }
+            total = store.len();
+        });
+        self.planner.record_retraction(
+            self.version_of(epoch - 1),
+            self.version_of(epoch),
+            facts,
+            total,
+        );
+        self.metrics.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok((epoch, removed))
+    }
+
+    /// Explain `fact` against the current snapshot's materialized model:
+    /// derivation steps when it is present, blocked candidates when it is
+    /// absent. Serves both `WHY` and `WHY NOT` (the verbs differ only in
+    /// which outcome the client expected).
+    ///
+    /// Materializes the snapshot if no cached materialization exists yet
+    /// (same per-version cache as `QUERY`, so a warm epoch explains in
+    /// microseconds).
+    pub fn explain_fact(&self, fact: &Atom) -> Result<FactExplanation, ServiceError> {
+        let start = Instant::now();
+        if !fact.is_ground() {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::BadRequest(format!(
+                "fact {fact} contains a variable"
+            )));
+        }
+        let snapshot = self.store.snapshot();
+        let (materialization, _cached) = self
+            .planner
+            .materialize(snapshot.store(), Some(self.version_of(snapshot.epoch())));
+        let present = materialization.instance().contains(fact);
+        let steps = if present {
+            materialization
+                .provenance()
+                .and_then(|graph| graph.why(fact))
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let absent = (!present)
+            .then(|| explain_absent(self.planner.program(), materialization.instance(), fact));
+        let micros = start.elapsed().as_micros() as u64;
+        self.metrics.whys.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_latency_us(micros);
+        Ok(FactExplanation {
+            epoch: snapshot.epoch(),
+            present,
+            steps,
+            absent,
+            micros,
+        })
+    }
+
     /// Count one protocol-level error (bad request line etc.) so it shows in
     /// `STATS`.
     pub fn record_error(&self) {
         self.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `DELETE` requests this service has served (the tenant registry
+    /// surfaces this as the per-tenant retraction counter).
+    pub fn retractions(&self) -> u64 {
+        self.metrics.deletes.load(Ordering::Relaxed)
+    }
+
     /// Current counters, cache statistics and latency percentiles.
     pub fn stats(&self) -> ServiceStats {
         let snapshot = self.store.snapshot();
+        // Peek (never compute) the epoch's cached materialization for the
+        // derivation-graph footprint — STATS must stay cheap.
+        let provenance = self
+            .planner
+            .cached_materialization(self.version_of(snapshot.epoch()), snapshot.len())
+            .and_then(|m| {
+                m.provenance().map(|graph| ProvenanceStats {
+                    nodes: graph.node_count(),
+                    edges: graph.edge_count(),
+                    bytes: graph.bytes_estimate(),
+                })
+            })
+            .unwrap_or_default();
         ServiceStats {
             queries: self.metrics.queries.load(Ordering::Relaxed),
             prepares: self.metrics.prepares.load(Ordering::Relaxed),
             inserts: self.metrics.inserts.load(Ordering::Relaxed),
+            deletes: self.metrics.deletes.load(Ordering::Relaxed),
+            whys: self.metrics.whys.load(Ordering::Relaxed),
             errors: self.metrics.errors.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             latency: self.metrics.latency_stats(),
             epoch: snapshot.epoch(),
             facts: snapshot.len(),
+            provenance,
         }
     }
 }
@@ -537,5 +688,160 @@ mod tests {
             .prepare(&q)
             .execute(service.snapshot().store());
         assert!(response.answers.iter().eq(scratch.answers.iter()));
+    }
+
+    #[test]
+    fn deletes_are_visible_and_ride_the_dred_path() {
+        let program = ontorew_core::examples::example2();
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let service = QueryService::new(program.clone(), store, ServiceConfig::default());
+        let q = ontorew_core::examples::example2_query();
+        assert!(service.query(&q).unwrap().answers.as_boolean());
+        let (epoch, removed) = service
+            .delete_facts(&[Atom::fact("s", &["c", "c", "a"])])
+            .unwrap();
+        assert_eq!((epoch, removed), (1, 1));
+        let after = service.query(&q).unwrap();
+        assert_eq!(after.epoch, 1);
+        // The retraction was threaded through as a delete edge: the new
+        // epoch's materialization was repaired by DRed, not re-chased.
+        assert!(matches!(
+            after.provenance.materialization,
+            Some(ontorew_plan::MaterializationMode::Dred { from: _, delta_facts: 0, removed_facts }) if removed_facts >= 1
+        ));
+        let scratch = Planner::new(program)
+            .prepare(&q)
+            .execute(service.snapshot().store());
+        assert!(after.answers.iter().eq(scratch.answers.iter()));
+        assert!(
+            !after.answers.as_boolean(),
+            "the derivation chain collapsed"
+        );
+    }
+
+    #[test]
+    fn deleting_an_absent_fact_still_advances_the_epoch() {
+        let service = university_service();
+        let (epoch, removed) = service
+            .delete_facts(&[Atom::fact("student", &["nobody"])])
+            .unwrap();
+        assert_eq!((epoch, removed), (1, 0));
+        assert_eq!(service.stats().deletes, 1);
+    }
+
+    #[test]
+    fn non_ground_deletes_are_rejected() {
+        let service = university_service();
+        let bad = Atom::new("student", vec![Term::variable("X")]);
+        let err = service.delete_facts(&[bad]).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(_)));
+        assert_eq!(service.stats().epoch, 0, "no epoch was published");
+    }
+
+    #[test]
+    fn why_explains_presence_and_absence() {
+        let service = university_service();
+        // A derived fact: person(sara) via student(sara) -> person(sara).
+        let derived = service
+            .explain_fact(&Atom::fact("person", &["sara"]))
+            .unwrap();
+        assert!(derived.present);
+        assert_eq!(derived.epoch, 0);
+        assert_eq!(derived.steps[0].fact, Atom::fact("person", &["sara"]));
+        assert!(
+            derived.steps[0].rule.is_some(),
+            "the target is derived, not asserted: {:?}",
+            derived.steps
+        );
+        assert!(derived
+            .steps
+            .iter()
+            .any(|s| s.fact == Atom::fact("student", &["sara"]) && s.rule.is_none()));
+        assert!(derived.absent.is_none());
+        // A base fact explains as itself.
+        let base = service
+            .explain_fact(&Atom::fact("student", &["sara"]))
+            .unwrap();
+        assert!(base.present);
+        assert_eq!(base.steps.len(), 1);
+        assert!(base.steps[0].rule.is_none());
+        // An absent fact reports blocked candidates instead.
+        let absent = service
+            .explain_fact(&Atom::fact("person", &["bob"]))
+            .unwrap();
+        assert!(!absent.present);
+        assert!(absent.steps.is_empty());
+        let why_not = absent.absent.unwrap();
+        assert!(
+            !why_not.candidates.is_empty(),
+            "person has deriving rules, so candidates must be reported"
+        );
+        assert!(why_not
+            .candidates
+            .iter()
+            .all(|c| !c.missing.is_empty() || c.needs_invented_value));
+        assert_eq!(service.stats().whys, 3);
+    }
+
+    #[test]
+    fn why_tracks_retractions_across_epochs() {
+        let service = university_service();
+        assert!(
+            service
+                .explain_fact(&Atom::fact("person", &["sara"]))
+                .unwrap()
+                .present
+        );
+        // Withdrawing the assertion alone is not enough: U10 rederives
+        // student(sara) from attends(sara, db101), and WHY now explains it
+        // as derived instead of asserted.
+        service
+            .delete_facts(&[Atom::fact("student", &["sara"])])
+            .unwrap();
+        let rederived = service
+            .explain_fact(&Atom::fact("student", &["sara"]))
+            .unwrap();
+        assert_eq!(rederived.epoch, 1);
+        assert!(rederived.present, "U10 rederives the fact from attends");
+        assert!(
+            rederived.steps[0].rule.is_some(),
+            "no longer asserted: {:?}",
+            rederived.steps
+        );
+        // Removing the remaining support makes it genuinely absent.
+        service
+            .delete_facts(&[Atom::fact("attends", &["sara", "db101"])])
+            .unwrap();
+        let after = service
+            .explain_fact(&Atom::fact("student", &["sara"]))
+            .unwrap();
+        assert_eq!(after.epoch, 2);
+        assert!(!after.present, "the retracted fact must explain as absent");
+        assert!(after.absent.is_some());
+    }
+
+    #[test]
+    fn stats_report_retractions_and_the_provenance_footprint() {
+        let program = ontorew_core::examples::example2();
+        let mut store = RelationalStore::new();
+        store.insert_fact("s", &["c", "c", "a"]);
+        store.insert_fact("t", &["d", "a"]);
+        let service = QueryService::new(program, store, ServiceConfig::default());
+        let q = ontorew_core::examples::example2_query();
+        // Before any materialization the footprint is zero.
+        assert_eq!(service.stats().provenance.nodes, 0);
+        service.query(&q).unwrap();
+        let stats = service.stats();
+        assert!(stats.provenance.nodes >= 2, "{:?}", stats.provenance);
+        assert!(stats.provenance.edges >= 1, "{:?}", stats.provenance);
+        assert!(stats.provenance.bytes > 0, "{:?}", stats.provenance);
+        assert_eq!(stats.deletes, 0);
+        service
+            .delete_facts(&[Atom::fact("t", &["d", "a"])])
+            .unwrap();
+        assert_eq!(service.stats().deletes, 1);
+        assert_eq!(service.retractions(), 1);
     }
 }

@@ -43,6 +43,8 @@ pub struct TenantInfo {
     pub epoch: u64,
     /// Facts in the current epoch.
     pub facts: usize,
+    /// Retraction epochs (`DELETE` batches) this tenant has committed.
+    pub retractions: u64,
 }
 
 /// The registry of tenants sharing one server and one prepared-plan cache.
@@ -174,6 +176,7 @@ impl TenantRegistry {
                     rules: service.program().len(),
                     epoch: snapshot.epoch(),
                     facts: snapshot.len(),
+                    retractions: service.retractions(),
                 }
             })
             .collect()
@@ -333,5 +336,19 @@ mod tests {
         assert_eq!(rows[1].name, "default");
         assert_eq!(rows[1].facts, 1);
         assert_ne!(rows[0].program, rows[1].program);
+    }
+
+    #[test]
+    fn retraction_counters_are_per_tenant() {
+        let registry = registry();
+        let program = parse_program("[R1] a(X) -> b(X).").unwrap();
+        let beta = registry.create("beta", program).unwrap();
+        beta.insert_facts(&[Atom::fact("a", &["x"])]).unwrap();
+        beta.delete_facts(&[Atom::fact("a", &["x"])]).unwrap();
+        beta.delete_facts(&[Atom::fact("a", &["ghost"])]).unwrap();
+        let rows = registry.list();
+        assert_eq!(rows[0].name, "beta");
+        assert_eq!(rows[0].retractions, 2);
+        assert_eq!(rows[1].retractions, 0, "default tenant never deleted");
     }
 }

@@ -120,6 +120,125 @@ fn service_queries_never_observe_torn_epochs() {
 }
 
 #[test]
+fn retraction_epochs_are_never_half_applied() {
+    // A writer alternates INSERT and DELETE epochs over one marker pair:
+    // epoch 2k+1 commits `marker(mk, a)` + `marker(mk, b)` as one batch,
+    // epoch 2k+2 retracts the same pair as one batch. The invariant for
+    // every reader — including ones holding old snapshots across many later
+    // retractions — is that the marker relation holds exactly 2 rows on odd
+    // epochs and 0 on even ones, with every present key fully paired. A
+    // half-applied retraction (one of the pair gone, the other visible)
+    // would break the pairing or the parity.
+    let service = Arc::new(QueryService::new(
+        TgdProgram::new(),
+        RelationalStore::new(),
+        ServiceConfig::default(),
+    ));
+    let query = parse_query("q(X, Y) :- marker(X, Y)").unwrap();
+    const CYCLES: usize = 150;
+    const READERS: usize = 4;
+
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let writer_done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            for k in 0..CYCLES {
+                let key = format!("m{k}");
+                let pair = [
+                    Atom::fact("marker", &[&key, "a"]),
+                    Atom::fact("marker", &[&key, "b"]),
+                ];
+                let (epoch, added) = service.insert_facts(&pair).expect("insert batch");
+                assert_eq!((epoch, added), (2 * k as u64 + 1, 2));
+                let (epoch, removed) = service.delete_facts(&pair).expect("delete batch");
+                assert_eq!((epoch, removed), (2 * k as u64 + 2, 2));
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let service = Arc::clone(&service);
+            let writer_done = Arc::clone(&writer_done);
+            std::thread::spawn(move || {
+                let query = parse_query("q(X, Y) :- marker(X, Y)").unwrap();
+                let mut last_epoch = 0u64;
+                let mut held = Vec::new();
+                let mut observed = 0usize;
+                while !writer_done.load(Ordering::SeqCst) || observed == 0 {
+                    let response = service.query(&query).expect("query");
+                    assert!(
+                        response.epoch >= last_epoch,
+                        "reader {r}: epochs went backwards"
+                    );
+                    last_epoch = response.epoch;
+                    let expected = if response.epoch % 2 == 1 { 2 } else { 0 };
+                    let rows: Vec<(String, String)> = response
+                        .answers
+                        .iter()
+                        .map(|row| {
+                            (
+                                row[0].to_string().trim_matches('"').to_string(),
+                                row[1].to_string().trim_matches('"').to_string(),
+                            )
+                        })
+                        .collect();
+                    assert_eq!(
+                        rows.len(),
+                        expected,
+                        "reader {r}: epoch {} should hold {expected} marker rows — \
+                         half-applied retraction",
+                        response.epoch
+                    );
+                    if !rows.is_empty() {
+                        assert_snapshot_consistent(
+                            &rows,
+                            1, // one pair present on odd epochs
+                            &format!("reader {r} at epoch {}", response.epoch),
+                        );
+                    }
+                    // Hold snapshots across later retraction epochs.
+                    if observed.is_multiple_of(16) {
+                        held.push(service.snapshot());
+                    }
+                    observed += 1;
+                }
+                // Held snapshots still answer exactly as of their epoch: the
+                // parity invariant holds no matter how many retractions have
+                // been committed since.
+                for snap in &held {
+                    let count = snap
+                        .store()
+                        .relation(Predicate::new("marker", 2))
+                        .map_or(0, |rel| rel.scan().count());
+                    let expected = if snap.epoch() % 2 == 1 { 2 } else { 0 };
+                    assert_eq!(
+                        count,
+                        expected,
+                        "reader {r}: held snapshot of epoch {} mutated under a later \
+                         retraction",
+                        snap.epoch()
+                    );
+                }
+                observed
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        assert!(r.join().unwrap() >= 1);
+    }
+    // Final state: every pair retracted, the store is empty again.
+    let final_response = service.query(&query).unwrap();
+    assert_eq!(final_response.epoch, 2 * CYCLES as u64);
+    assert!(final_response.answers.is_empty());
+    assert_eq!(service.stats().deletes, CYCLES as u64);
+}
+
+#[test]
 fn segmented_store_hammer_under_single_fact_commits() {
     // The worst case for the segmented copy-on-write store: one-fact
     // commits, so every epoch freezes a tiny tail and the size-tiered merge

@@ -63,6 +63,23 @@ impl RelationalStore {
         self.insert_atom(&Atom::fact(predicate, constants))
     }
 
+    /// Remove a ground atom; returns `true` if it was present. The affected
+    /// relation is rebuilt from its retained tuples (see
+    /// [`Relation::remove`]); every other relation keeps sharing its frozen
+    /// segments, so a retraction epoch costs O(affected relations).
+    pub fn remove_atom(&mut self, atom: &Atom) -> bool {
+        match self.relations.get_mut(&atom.predicate) {
+            Some(rel) => {
+                let removed = rel.remove(&atom.terms);
+                if removed && rel.is_empty() {
+                    self.relations.remove(&atom.predicate);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
     /// Freeze every relation (see [`Relation::freeze`]): publish all mutable
     /// tails as `Arc`-shared segments, making the next `clone()` of this
     /// store O(#relations + #segments) instead of O(#tuples). The epoch
@@ -147,6 +164,23 @@ mod tests {
         assert_eq!(db.len(), 1);
         assert_eq!(db.relation_size(Predicate::new("teaches", 2)), 1);
         assert_eq!(db.relation_size(Predicate::new("absent", 1)), 0);
+    }
+
+    #[test]
+    fn remove_atom_round_trip() {
+        let mut db = RelationalStore::new();
+        db.insert_fact("r", &["a", "b"]);
+        db.insert_fact("r", &["c", "d"]);
+        db.freeze();
+        assert!(db.remove_atom(&Atom::fact("r", &["a", "b"])));
+        assert!(!db.remove_atom(&Atom::fact("r", &["a", "b"])));
+        assert!(!db.remove_atom(&Atom::fact("zzz", &["a"])));
+        assert_eq!(db.len(), 1);
+        assert!(db.contains_atom(&Atom::fact("r", &["c", "d"])));
+        // Emptying a relation removes it from the signature.
+        assert!(db.remove_atom(&Atom::fact("r", &["c", "d"])));
+        assert!(db.is_empty());
+        assert_eq!(db.signature().len(), 0);
     }
 
     #[test]

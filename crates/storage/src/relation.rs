@@ -85,6 +85,15 @@ impl Relation {
         self.data.contains(tuple)
     }
 
+    /// Remove a tuple; returns `true` if it was present. Segments are
+    /// immutable, so a hit rebuilds this relation from its retained rows
+    /// (O(rows)); a miss costs one membership probe. Other relations of the
+    /// store keep sharing their segments, so a retraction epoch costs
+    /// O(affected relations), not O(store).
+    pub fn remove(&mut self, tuple: &[Term]) -> bool {
+        self.data.remove_row(tuple)
+    }
+
     /// Publish the mutable tail as a frozen, `Arc`-shared segment (see
     /// [`IndexedRelation::freeze`]); afterwards `clone()` costs O(#segments)
     /// until the next insert.
@@ -173,6 +182,20 @@ mod tests {
     fn variables_are_rejected() {
         let mut r = Relation::new(Predicate::new("r", 1));
         r.insert(vec![Term::variable("X")]);
+    }
+
+    #[test]
+    fn remove_drops_the_tuple_and_keeps_indexes_fresh() {
+        let mut r = sample();
+        r.freeze();
+        assert!(r.remove(&[c("alice"), c("db101")]));
+        assert!(!r.remove(&[c("alice"), c("db101")]));
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&[c("alice"), c("db101")]));
+        assert_eq!(r.lookup_count(0, c("alice")), 1);
+        // Reinsertion after removal is a fresh insert.
+        assert!(r.insert(vec![c("alice"), c("db101")]));
+        assert_eq!(r.len(), 3);
     }
 
     #[test]

@@ -7,12 +7,15 @@
 # on the given port (default 7411) with the university ontology and an empty
 # store, runs the scripted exchange (`load_gen smoke`: PREPARE/QUERY/INSERT/
 # QUERY, an EXPLAIN plan dump, a two-tenant TENANT CREATE/USE/DROP round
-# trip, and an insert-heavy phase — a 24-commit loop with interleaved
-# queries that exercises the copy-on-write O(batch) epoch publish and the
-# incremental materialization path over the wire; exact answer counts,
-# epochs, cache behavior and tenant isolation are all asserted), and lets
-# the exchange's final SHUTDOWN stop the server. Fails if the server does
-# not come up, any check fails, or the server does not exit cleanly.
+# trip, an insert-heavy phase — a 24-commit loop with interleaved queries
+# that exercises the copy-on-write O(batch) epoch publish and the
+# incremental materialization path over the wire — a WHY/WHY NOT
+# explanation round trip against the derivation graph, and a delete-heavy
+# phase that retracts every bulk insert again through the DRed path; exact
+# answer counts, epochs, retraction counters, cache behavior and tenant
+# isolation are all asserted), and lets the exchange's final SHUTDOWN stop
+# the server. Fails if the server does not come up, any check fails, or the
+# server does not exit cleanly.
 set -euo pipefail
 
 port="${1:-7411}"
