@@ -1,6 +1,6 @@
 //! `load_gen`: drive a running `ontorew-server` over TCP.
 //!
-//! Two modes:
+//! Four modes:
 //!
 //! * `load` (default) — N client threads firing the E12 serving query mix
 //!   as fast as the server answers, reporting aggregate QPS and latency
@@ -21,6 +21,18 @@
 //!   ```text
 //!   load_gen smoke --addr 127.0.0.1:7411
 //!   ```
+//! * `persist-seed` — the first half of the crash-recovery smoke
+//!   (`scripts/serve_smoke.sh` phase 2): against a **durable** server
+//!   (`--students 0 --data-dir ...`), commit a known workload — a dozen
+//!   single-fact epochs plus a retraction on the default tenant and a
+//!   second durable tenant with its own ontology — then disconnect
+//!   *without* `SHUTDOWN`. The harness kills the server with SIGKILL
+//!   right after, so every acknowledged commit must survive on disk.
+//! * `persist-verify` — the second half, run against the restarted
+//!   server on the same data directory: asserts the exact answer counts,
+//!   epochs and tenant list that `persist-seed` left behind, checks the
+//!   `recoveries` counter, commits one more epoch to prove the recovered
+//!   WAL accepts appends, and finally shuts the server down.
 
 use ontorew_bench::percentile;
 use ontorew_serve::ServeClient;
@@ -397,6 +409,171 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The deterministic workload shared by `persist-seed` and
+/// `persist-verify`: these constants pin the epochs and answer counts the
+/// verify half asserts after the crash-restart.
+const SEED_STUDENTS: usize = 12;
+const SEED_WORKERS: usize = 5;
+const SEED_TENANT: &str = "payroll";
+const SEED_TENANT_PROGRAM: &str =
+    "[H1] worksIn(X, D) -> employee(X). [H2] employee(X) -> person(X).";
+
+fn run_persist(addr: &str, verify: bool) -> ExitCode {
+    let (label, result) = if verify {
+        ("persist-verify", persist_verify_exchange(addr))
+    } else {
+        ("persist-seed", persist_seed_exchange(addr))
+    };
+    match result {
+        Ok(()) => {
+            println!("{label}: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Seed a durable server (`--students 0 --data-dir ...`) with the known
+/// workload, one commit per epoch, then disconnect WITHOUT shutting the
+/// server down — the harness follows up with `kill -9` to simulate a
+/// crash mid-service.
+fn persist_seed_exchange(addr: &str) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+
+    // Default tenant: one student per commit, then one retraction.
+    for k in 0..SEED_STUDENTS {
+        let (added, epoch) = client
+            .insert(&format!("student(p{k})"))
+            .map_err(|e| format!("seed insert #{k}: {e}"))?;
+        if added != 1 || epoch != k as u64 + 1 {
+            return Err(format!(
+                "FAIL seed insert #{k}: expected (1, {}), got ({added}, {epoch})",
+                k + 1
+            ));
+        }
+    }
+    let (removed, epoch) = client
+        .delete("student(p0)")
+        .map_err(|e| format!("seed delete: {e}"))?;
+    if removed != 1 || epoch != SEED_STUDENTS as u64 + 1 {
+        return Err(format!(
+            "FAIL seed delete: expected (1, {}), got ({removed}, {epoch})",
+            SEED_STUDENTS + 1
+        ));
+    }
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("seed query: {e}"))?;
+    check("seeded persons", reply.count, SEED_STUDENTS - 1)?;
+
+    // A second durable tenant with its own ontology and store.
+    client
+        .tenant_create(SEED_TENANT, SEED_TENANT_PROGRAM)
+        .map_err(|e| format!("seed tenant create: {e}"))?;
+    client
+        .tenant_use(SEED_TENANT)
+        .map_err(|e| format!("seed tenant use: {e}"))?;
+    for k in 0..SEED_WORKERS {
+        let (added, epoch) = client
+            .insert(&format!("worksIn(w{k}, ops)"))
+            .map_err(|e| format!("seed tenant insert #{k}: {e}"))?;
+        if added != 1 || epoch != k as u64 + 1 {
+            return Err(format!(
+                "FAIL seed tenant insert #{k}: expected (1, {}), got ({added}, {epoch})",
+                k + 1
+            ));
+        }
+    }
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("seed tenant query: {e}"))?;
+    check("seeded payroll persons", reply.count, SEED_WORKERS)?;
+
+    // The commits above sit in the WAL tail (the compactor threshold is
+    // far away): exactly what the crash must not lose.
+    let stats = client.stats().map_err(|e| format!("seed stats: {e}"))?;
+    let wal_bytes: u64 = stats
+        .get("wal_bytes")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL seed stats: no wal_bytes field (server not durable?)")?;
+    if wal_bytes == 0 {
+        return Err("FAIL seed stats: expected a non-empty WAL tail".into());
+    }
+    println!("ok   seeded: WAL tail {wal_bytes} bytes awaiting the crash");
+    client.quit().map_err(|e| format!("quit: {e}"))?;
+    Ok(())
+}
+
+/// Verify the restarted server recovered everything `persist-seed` was
+/// acknowledged for, byte-for-byte at the answer level, then stop it.
+fn persist_verify_exchange(addr: &str) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("verify query: {e}"))?;
+    check("recovered persons", reply.count, SEED_STUDENTS - 1)?;
+    let stats = client.stats().map_err(|e| format!("verify stats: {e}"))?;
+    let epoch: u64 = stats
+        .get("epoch")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL verify stats: no epoch field")?;
+    if epoch != SEED_STUDENTS as u64 + 1 {
+        return Err(format!(
+            "FAIL verify stats: expected epoch {}, got {epoch}",
+            SEED_STUDENTS + 1
+        ));
+    }
+    let recoveries: u64 = stats
+        .get("recoveries")
+        .and_then(|v| v.parse().ok())
+        .ok_or("FAIL verify stats: no recoveries field")?;
+    if recoveries < 1 {
+        return Err("FAIL verify stats: the restart did not count as a recovery".into());
+    }
+
+    let tenants = client
+        .tenant_list()
+        .map_err(|e| format!("verify tenant list: {e}"))?;
+    if tenants != vec!["default".to_string(), SEED_TENANT.to_string()] {
+        return Err(format!("FAIL verify tenant list: {tenants:?}"));
+    }
+    client
+        .tenant_use(SEED_TENANT)
+        .map_err(|e| format!("verify tenant use: {e}"))?;
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("verify tenant query: {e}"))?;
+    check("recovered payroll persons", reply.count, SEED_WORKERS)?;
+
+    // The recovered WAL accepts new appends at the next epoch.
+    let (added, epoch) = client
+        .insert("worksIn(postcrash, ops)")
+        .map_err(|e| format!("post-recovery insert: {e}"))?;
+    if added != 1 || epoch != SEED_WORKERS as u64 + 1 {
+        return Err(format!(
+            "FAIL post-recovery insert: expected (1, {}), got ({added}, {epoch})",
+            SEED_WORKERS + 1
+        ));
+    }
+    let reply = client
+        .query("q(X) :- person(X)")
+        .map_err(|e| format!("post-recovery query: {e}"))?;
+    check(
+        "payroll persons after new commit",
+        reply.count,
+        SEED_WORKERS + 1,
+    )?;
+    println!("ok   recovery #{recoveries}: both tenants intact, WAL writable");
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut threads = 4usize;
@@ -404,7 +581,7 @@ fn main() -> ExitCode {
     let mut mode = "load".to_string();
     let mut args = std::env::args().skip(1).peekable();
     if let Some(first) = args.peek() {
-        if first == "load" || first == "smoke" {
+        if ["load", "smoke", "persist-seed", "persist-verify"].contains(&first.as_str()) {
             mode = args.next().unwrap();
         }
     }
@@ -423,7 +600,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: load_gen [load|smoke] [--addr HOST:PORT] [--threads N] [--requests N]"
+                    "usage: load_gen [load|smoke|persist-seed|persist-verify] \
+                     [--addr HOST:PORT] [--threads N] [--requests N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -435,6 +613,8 @@ fn main() -> ExitCode {
     }
     match mode.as_str() {
         "smoke" => run_smoke(&addr),
+        "persist-seed" => run_persist(&addr, false),
+        "persist-verify" => run_persist(&addr, true),
         _ => run_load(&addr, threads, requests),
     }
 }

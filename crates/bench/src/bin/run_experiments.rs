@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E15) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E16) and print the tables.
 //!
 //! ```text
 //! cargo run -p ontorew-bench --release --bin run_experiments [--json] [--only E8,E12]
@@ -95,6 +95,9 @@ fn main() -> ExitCode {
         }),
         ("E15", || {
             ontorew_bench::experiment_retraction_dred(20_000, 30, 200)
+        }),
+        ("E16", || {
+            ontorew_bench::experiment_durability(20_000, 200, &[1_000, 5_000, 20_000])
         }),
     ];
 

@@ -1,7 +1,7 @@
 //! # ontorew-bench
 //!
 //! The benchmark harness that regenerates every figure and experiment
-//! (E1–E15). Each experiment is available both as a Criterion bench target
+//! (E1–E16). Each experiment is available both as a Criterion bench target
 //! (`cargo bench -p ontorew-bench`) and as a plain function used by the
 //! `run_experiments` binary, which prints the tables (or, with `--json`,
 //! NDJSON consumed by `scripts/record_baseline.sh`).
@@ -1109,6 +1109,182 @@ pub fn experiment_approximation_quality(depths: &[usize]) -> String {
     out
 }
 
+/// E16 — durability: the cost of the write-ahead log on the commit path,
+/// per fsync policy, against the in-memory baseline; plus recovery time as
+/// a function of store size.
+///
+/// **Part A (commit overhead)**: preload a `students`-scale university
+/// ABox, then time `commits` single-fact `INSERT` commits through four
+/// configurations — in-memory (no WAL), and durable with `fsync=off`,
+/// `fsync=every-8` and `fsync=always`. The interesting number is the
+/// `every-8 / in-memory` latency ratio: the amortized-group-commit
+/// configuration is the recommended production default and should stay
+/// within small multiples of the in-memory commit.
+///
+/// **Part B (recovery time)**: for each size, seed a durable tenant (the
+/// seed is checkpointed to segments at epoch 0), append `commits` WAL
+/// records on top, then drop everything and time a cold
+/// [`TenantRegistry::recover`] — segment load plus WAL replay.
+///
+/// [`TenantRegistry::recover`]: ontorew_serve::TenantRegistry::recover
+pub fn experiment_durability(students: usize, commits: usize, sizes: &[usize]) -> String {
+    use ontorew_serve::{DurabilitySettings, QueryService, ServiceConfig, TenantRegistry};
+    use ontorew_storage::FsyncPolicy;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ontorew-e16-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E16 — durability: WAL commit overhead + recovery time (university ontology)"
+    )
+    .unwrap();
+
+    // Part A: commit latency per policy at `students` scale.
+    let ontology = university_ontology();
+    let abox = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+    writeln!(
+        out,
+        "commit overhead: {} preloaded facts, {commits} single-fact commits",
+        abox.len()
+    )
+    .unwrap();
+    writeln!(out, "policy      commit_p50_us  commit_p99_us  wal_bytes").unwrap();
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("in-memory", None),
+        ("off", Some(FsyncPolicy::Off)),
+        ("every-8", Some(FsyncPolicy::EveryN(8))),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+    let mut in_memory_p50 = 0u64;
+    let mut every_n_p50 = 0u64;
+    for (label, policy) in policies {
+        let store = RelationalStore::from_instance(&abox);
+        let (service, root) = match policy {
+            None => (
+                std::sync::Arc::new(QueryService::new(
+                    ontology.clone(),
+                    store,
+                    ServiceConfig::default(),
+                )),
+                None,
+            ),
+            Some(fsync) => {
+                let root = temp_root("commit");
+                let registry = TenantRegistry::recover(
+                    ontology.clone(),
+                    store,
+                    ServiceConfig::default(),
+                    DurabilitySettings {
+                        root: root.clone(),
+                        fsync,
+                    },
+                )
+                .expect("durable registry");
+                (registry.default_tenant(), Some(root))
+            }
+        };
+        let mut latencies: Vec<u64> = Vec::with_capacity(commits);
+        for k in 0..commits {
+            let student = format!("wal{k}");
+            let fact = Atom::fact("student", &[student.as_str()]);
+            let start = Instant::now();
+            service.insert_facts(&[fact]).expect("commit");
+            latencies.push(start.elapsed().as_micros() as u64);
+        }
+        latencies.sort_unstable();
+        let p50 = ontorew_serve::percentile(&latencies, 0.50);
+        if label == "in-memory" {
+            in_memory_p50 = p50;
+        }
+        if label == "every-8" {
+            every_n_p50 = p50;
+        }
+        writeln!(
+            out,
+            "{label:<11} {:>13} {:>14} {:>10}",
+            p50,
+            ontorew_serve::percentile(&latencies, 0.99),
+            service.stats().durability.wal_bytes
+        )
+        .unwrap();
+        drop(service);
+        if let Some(root) = root {
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+    writeln!(
+        out,
+        "every-8 vs in-memory commit p50 ratio: {:.2}x",
+        every_n_p50 as f64 / in_memory_p50.max(1) as f64
+    )
+    .unwrap();
+
+    // Part B: recovery time vs store size (segments + a WAL tail to replay).
+    writeln!(
+        out,
+        "recovery time ({commits} WAL records on top of a checkpointed seed):"
+    )
+    .unwrap();
+    writeln!(out, "seed_students  facts  segments  recovery_ms").unwrap();
+    for &n in sizes {
+        let root = temp_root("recover");
+        let seed = RelationalStore::from_instance(&university_abox(n, n / 10 + 1, n / 5 + 1, 17));
+        let settings = DurabilitySettings {
+            root: root.clone(),
+            fsync: FsyncPolicy::Off,
+        };
+        {
+            let registry = TenantRegistry::recover(
+                ontology.clone(),
+                seed,
+                ServiceConfig::default(),
+                settings.clone(),
+            )
+            .expect("seed registry");
+            let service = registry.default_tenant();
+            for k in 0..commits {
+                let student = format!("tail{k}");
+                service
+                    .insert_facts(&[Atom::fact("student", &[student.as_str()])])
+                    .expect("tail commit");
+            }
+        }
+        let start = Instant::now();
+        let registry = TenantRegistry::recover(
+            ontology.clone(),
+            RelationalStore::new(),
+            ServiceConfig::default(),
+            settings,
+        )
+        .expect("recover registry");
+        let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+        let service = registry.default_tenant();
+        let stats = service.stats();
+        writeln!(
+            out,
+            "{n:>13} {:>6} {:>9} {:>12.1}",
+            stats.facts, stats.durability.segments_on_disk, recovery_ms
+        )
+        .unwrap();
+        drop(service);
+        drop(registry);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,5 +1320,9 @@ mod tests {
             "{e13}"
         );
         assert!(e13.contains("forced rewrite exact=false"), "{e13}");
+        let e16 = experiment_durability(60, 8, &[30]);
+        assert!(e16.contains("commit overhead"), "{e16}");
+        assert!(e16.contains("every-8 vs in-memory"), "{e16}");
+        assert!(e16.contains("recovery time"), "{e16}");
     }
 }

@@ -23,7 +23,7 @@
 //!    homomorphism sharing the frontier image of an edge that died, or a
 //!    restricted trigger whose satisfying witness was deleted.
 //! 4. **Continue** — the refired facts seed an ordinary semi-naive
-//!    continuation ([`crate::engine::run_chase_rounds`]), closing the
+//!    continuation (`crate::engine::run_chase_rounds`), closing the
 //!    instance under the program again.
 //!
 //! Equivalence to a scratch chase over (inputs − removed): exact up to null

@@ -47,6 +47,15 @@ impl Default for PlannerConfig {
 /// How many data versions of chase materializations the planner keeps. Epoch
 /// traffic only ever needs the latest one or two; the small surplus absorbs
 /// multi-tenant interleavings.
+///
+/// The cache is strictly in-memory state, **never persisted** by the
+/// durability layer: after a crash or restart only base facts are recovered
+/// (WAL + segments), so the first chase-backed query of the new process
+/// rebuilds its materialization from scratch
+/// ([`MaterializationMode::Scratch`]) and the version chain re-grows from
+/// there. Materializations are derived data — persisting them would mean
+/// proving on recovery that a half-written chase store is consistent with
+/// the replayed WAL, for a cost that one warm-up chase already bounds.
 const MATERIALIZATION_CACHE_VERSIONS: usize = 4;
 
 /// How many recorded insert deltas the planner keeps, and the longest delta

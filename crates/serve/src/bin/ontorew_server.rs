@@ -2,15 +2,25 @@
 //!
 //! ```text
 //! ontorew-server [--addr 127.0.0.1:7411] [--workers 8] [--students 1000]
+//!                [--data-dir DIR] [--fsync always|every-N|off]
 //! ```
 //!
 //! Serves the built-in university ontology (the E8/E12 workload) with a
 //! synthetic ABox of `--students` students preloaded (0 for an empty store).
-//! Prints `listening on <addr>` once ready — scripts wait for that line —
-//! and runs until a client sends `SHUTDOWN`.
+//! With `--data-dir`, tenants are durable: every commit is WAL-logged under
+//! the directory before it is acknowledged, a background compactor
+//! checkpoints tenants to on-disk segments, and a restart with the same
+//! directory recovers every tenant (the persisted state then wins over the
+//! `--students` seed). Prints `listening on <addr>` once ready — scripts
+//! wait for that line — and runs until a client sends `SHUTDOWN`, at which
+//! point in-flight connections are drained and all WALs are fsynced.
 
-use ontorew_serve::{serve, QueryService, ServerConfig, ServiceConfig};
-use ontorew_storage::RelationalStore;
+use ontorew_serve::{
+    serve, serve_registry, Compactor, CompactorConfig, DurabilitySettings, QueryService,
+    ServerConfig, ServiceConfig, TenantRegistry,
+};
+use ontorew_storage::{FsyncPolicy, RelationalStore};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -18,6 +28,8 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut workers = 8usize;
     let mut students = 1000usize;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -32,8 +44,17 @@ fn main() -> ExitCode {
                     .parse()
                     .expect("--students: not a number")
             }
+            "--data-dir" => data_dir = Some(PathBuf::from(take("--data-dir"))),
+            "--fsync" => {
+                fsync = take("--fsync")
+                    .parse()
+                    .expect("--fsync: want always, every-N, or off")
+            }
             "--help" | "-h" => {
-                eprintln!("usage: ontorew-server [--addr HOST:PORT] [--workers N] [--students N]");
+                eprintln!(
+                    "usage: ontorew-server [--addr HOST:PORT] [--workers N] [--students N] \
+                     [--data-dir DIR] [--fsync always|every-N|off]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -52,16 +73,64 @@ fn main() -> ExitCode {
         RelationalStore::from_instance(&abox)
     };
     eprintln!(
-        "university ontology: {} rules, {} preloaded facts",
+        "university ontology: {} rules, {} seed facts",
         program.len(),
         store.len()
     );
-    let service = Arc::new(QueryService::new(program, store, ServiceConfig::default()));
-    let handle = match serve(service, ServerConfig { addr, workers }) {
-        Ok(handle) => handle,
-        Err(e) => {
-            eprintln!("cannot bind: {e}");
-            return ExitCode::FAILURE;
+
+    let config = ServerConfig {
+        addr,
+        workers,
+        ..Default::default()
+    };
+    let (handle, compactor) = match &data_dir {
+        Some(root) => {
+            let registry = match TenantRegistry::recover(
+                program,
+                store,
+                ServiceConfig::default(),
+                DurabilitySettings {
+                    root: root.clone(),
+                    fsync,
+                },
+            ) {
+                Ok(registry) => Arc::new(registry),
+                Err(e) => {
+                    eprintln!("cannot recover data dir {}: {e}", root.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for info in registry.list() {
+                let tenant = registry.get(&info.name).expect("listed tenant exists");
+                let snapshot = tenant.snapshot();
+                let durability = tenant.stats().durability;
+                eprintln!(
+                    "tenant {}: epoch {}, {} facts, recovery #{} (fsync {})",
+                    info.name,
+                    snapshot.epoch(),
+                    snapshot.len(),
+                    durability.recoveries,
+                    fsync
+                );
+            }
+            let compactor = Compactor::start(Arc::clone(&registry), CompactorConfig::default());
+            match serve_registry(registry, config) {
+                Ok(handle) => (handle, Some(compactor)),
+                Err(e) => {
+                    eprintln!("cannot bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let service = Arc::new(QueryService::new(program, store, ServiceConfig::default()));
+            match serve(service, config) {
+                Ok(handle) => (handle, None),
+                Err(e) => {
+                    eprintln!("cannot bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
     // Machine-readable readiness line (scripts/serve_smoke.sh waits for it);
@@ -76,5 +145,10 @@ fn main() -> ExitCode {
         stats.inserts,
         stats.cache.hit_rate() * 100.0
     );
+    // Stop checkpointing first, then drain connections and fsync every WAL.
+    if let Some(compactor) = compactor {
+        compactor.shutdown();
+    }
+    handle.shutdown();
     ExitCode::SUCCESS
 }

@@ -72,10 +72,75 @@ pub struct ExplainReply {
     pub info: Vec<String>,
 }
 
+/// Bounded reconnect-and-retry for transient transport failures —
+/// **off by default**; opt in with [`ServeClient::with_retry`].
+///
+/// When armed, a request that fails transiently (an I/O error, the server
+/// closing the connection, or an `idle timeout` reap) is retried: the
+/// client backs off exponentially with deterministic jitter, reconnects,
+/// replays the connection's `TENANT USE` state, and resends the request.
+/// Mutating requests (`INSERT`/`DELETE`) retried this way are
+/// **at-least-once**: a commit that was applied but whose acknowledgement
+/// was lost is applied again. Other server-reported `ERR` replies are
+/// never retried.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream (an LCG), so a test or a
+    /// reproduced incident backs off identically run to run.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x0005_eed5_eed5_eed5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (0-based): the exponential step,
+    /// capped, then jittered into `[50%, 100%]` so a fleet of clients
+    /// recovering from the same outage does not thunder back in lockstep.
+    fn delay(&self, attempt: u32, state: &mut u64) -> Duration {
+        let doubled = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let capped = doubled.min(self.max_delay);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = (*state >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(capped.as_secs_f64() * (0.5 + unit / 2.0))
+    }
+}
+
+/// True for failures a reconnect can plausibly cure.
+fn is_transient(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_) => true,
+        ClientError::Protocol(m) => m == "server closed the connection",
+        ClientError::Server(m) => m == "idle timeout",
+    }
+}
+
 /// A blocking connection to an `ontorew-serve` server.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: Option<std::net::SocketAddr>,
+    retry: Option<RetryPolicy>,
+    jitter_state: u64,
+    tenant: Option<String>,
 }
 
 impl ServeClient {
@@ -87,10 +152,71 @@ impl ServeClient {
         // hanging it forever.
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         let writer = stream.try_clone()?;
+        let peer = stream.peer_addr().ok();
         Ok(ServeClient {
             reader: BufReader::new(stream),
             writer,
+            peer,
+            retry: None,
+            jitter_state: 0,
+            tenant: None,
         })
+    }
+
+    /// Arm this client with a [`RetryPolicy`] (retries are off by default).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.jitter_state = policy.jitter_seed;
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Re-establish the TCP connection and replay the `TENANT USE` state,
+    /// so a retried request lands on the tenant the caller selected.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let peer = self.peer.ok_or_else(|| {
+            ClientError::Protocol("cannot reconnect: peer address unknown".into())
+        })?;
+        let stream = TcpStream::connect(peer)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        if let Some(tenant) = self.tenant.clone() {
+            self.tenant_use_once(&tenant)?;
+        }
+        Ok(())
+    }
+
+    /// Run `op`, retrying transient failures per the armed policy (none by
+    /// default: the first error is final).
+    fn retrying<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match op(self) {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let Some(policy) = self.retry else {
+                return Err(err);
+            };
+            if attempt >= policy.max_retries || !is_transient(&err) {
+                return Err(err);
+            }
+            std::thread::sleep(policy.delay(attempt, &mut self.jitter_state));
+            attempt += 1;
+            // Reconnect best-effort: if it fails transiently the next
+            // attempt fails fast on the dead stream and consumes budget;
+            // a hard failure (e.g. the selected tenant no longer exists)
+            // surfaces instead of silently rerouting requests.
+            if let Err(e) = self.reconnect() {
+                if !is_transient(&e) {
+                    return Err(e);
+                }
+            }
+        }
     }
 
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
@@ -118,7 +244,7 @@ impl ServeClient {
     }
 
     /// `PING` → `PONG`.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    fn ping_once(&mut self) -> Result<(), ClientError> {
         self.send("PING")?;
         let reply = self.read_line()?;
         match self.expect_ok(reply)?.as_str() {
@@ -128,7 +254,7 @@ impl ServeClient {
     }
 
     /// `PREPARE <query>` → (key, disjuncts, complete, cached).
-    pub fn prepare(&mut self, query: &str) -> Result<BTreeMap<String, String>, ClientError> {
+    fn prepare_once(&mut self, query: &str) -> Result<BTreeMap<String, String>, ClientError> {
         self.send(&format!("PREPARE {query}"))?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -139,7 +265,7 @@ impl ServeClient {
     }
 
     /// `QUERY <query>` → answers plus response metadata.
-    pub fn query(&mut self, query: &str) -> Result<QueryReply, ClientError> {
+    fn query_once(&mut self, query: &str) -> Result<QueryReply, ClientError> {
         self.send(&format!("QUERY {query}"))?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -182,7 +308,7 @@ impl ServeClient {
     }
 
     /// `EXPLAIN <query>` → the plan header plus the dump lines.
-    pub fn explain(&mut self, query: &str) -> Result<ExplainReply, ClientError> {
+    fn explain_once(&mut self, query: &str) -> Result<ExplainReply, ClientError> {
         self.send(&format!("EXPLAIN {query}"))?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -209,7 +335,7 @@ impl ServeClient {
     }
 
     /// `TENANT CREATE <name> <program>` → the reported fields.
-    pub fn tenant_create(
+    fn tenant_create_once(
         &mut self,
         name: &str,
         program: &str,
@@ -219,19 +345,19 @@ impl ServeClient {
     }
 
     /// `TENANT USE <name>`: route this connection's requests to a tenant.
-    pub fn tenant_use(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
+    fn tenant_use_once(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
         self.send(&format!("TENANT USE {name}"))?;
         self.tenant_reply()
     }
 
     /// `TENANT DROP <name>`.
-    pub fn tenant_drop(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
+    fn tenant_drop_once(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
         self.send(&format!("TENANT DROP {name}"))?;
         self.tenant_reply()
     }
 
     /// `TENANT LIST` → (count, names).
-    pub fn tenant_list(&mut self) -> Result<Vec<String>, ClientError> {
+    fn tenant_list_once(&mut self) -> Result<Vec<String>, ClientError> {
         self.send("TENANT LIST")?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -255,7 +381,7 @@ impl ServeClient {
     }
 
     /// `INSERT <facts>` → (added, epoch).
-    pub fn insert(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
+    fn insert_once(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
         self.send(&format!("INSERT {facts}"))?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -267,7 +393,7 @@ impl ServeClient {
     }
 
     /// `DELETE <facts>` → (removed, epoch).
-    pub fn delete(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
+    fn delete_once(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
         self.send(&format!("DELETE {facts}"))?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -280,13 +406,13 @@ impl ServeClient {
 
     /// `WHY <fact>` → the explanation header plus its `INFO` lines
     /// (derivation steps when present, blocked candidates when absent).
-    pub fn why(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
+    fn why_once(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
         self.send(&format!("WHY {fact}"))?;
         self.explanation_reply("WHY ")
     }
 
     /// `WHY NOT <fact>` → the explanation header plus its `INFO` lines.
-    pub fn why_not(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
+    fn why_not_once(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
         self.send(&format!("WHY NOT {fact}"))?;
         self.explanation_reply("WHYNOT ")
     }
@@ -317,7 +443,7 @@ impl ServeClient {
     }
 
     /// `STATS` → all reported fields as a string map.
-    pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
+    fn stats_once(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
         self.send("STATS")?;
         let reply = self.read_line()?;
         let rest = self.expect_ok(reply)?;
@@ -325,6 +451,87 @@ impl ServeClient {
             .strip_prefix("STATS ")
             .ok_or_else(|| ClientError::Protocol(format!("expected STATS, got {rest}")))?;
         Ok(parse_kv(rest))
+    }
+
+    /// `PING` → `PONG`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.retrying(|c| c.ping_once())
+    }
+
+    /// `PREPARE <query>` → (key, disjuncts, complete, cached).
+    pub fn prepare(&mut self, query: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        self.retrying(|c| c.prepare_once(query))
+    }
+
+    /// `QUERY <query>` → answers plus response metadata.
+    pub fn query(&mut self, query: &str) -> Result<QueryReply, ClientError> {
+        self.retrying(|c| c.query_once(query))
+    }
+
+    /// `EXPLAIN <query>` → the plan header plus the dump lines.
+    pub fn explain(&mut self, query: &str) -> Result<ExplainReply, ClientError> {
+        self.retrying(|c| c.explain_once(query))
+    }
+
+    /// `TENANT CREATE <name> <program>` → the reported fields.
+    pub fn tenant_create(
+        &mut self,
+        name: &str,
+        program: &str,
+    ) -> Result<BTreeMap<String, String>, ClientError> {
+        self.retrying(|c| c.tenant_create_once(name, program))
+    }
+
+    /// `TENANT USE <name>`: route this connection's requests to a tenant.
+    /// The selection is remembered and replayed after a retry reconnect.
+    pub fn tenant_use(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        let reply = self.retrying(|c| c.tenant_use_once(name))?;
+        self.tenant = Some(name.to_string());
+        Ok(reply)
+    }
+
+    /// `TENANT DROP <name>`.
+    pub fn tenant_drop(&mut self, name: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        let reply = self.retrying(|c| c.tenant_drop_once(name))?;
+        // Dropping the current tenant reroutes the connection to default
+        // server-side; forget it so a reconnect does not replay a ghost.
+        if self.tenant.as_deref() == Some(name) {
+            self.tenant = None;
+        }
+        Ok(reply)
+    }
+
+    /// `TENANT LIST` → the tenant names.
+    pub fn tenant_list(&mut self) -> Result<Vec<String>, ClientError> {
+        self.retrying(|c| c.tenant_list_once())
+    }
+
+    /// `INSERT <facts>` → (added, epoch). With retries armed this is
+    /// at-least-once: see [`RetryPolicy`].
+    pub fn insert(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
+        self.retrying(|c| c.insert_once(facts))
+    }
+
+    /// `DELETE <facts>` → (removed, epoch). With retries armed this is
+    /// at-least-once: see [`RetryPolicy`].
+    pub fn delete(&mut self, facts: &str) -> Result<(usize, u64), ClientError> {
+        self.retrying(|c| c.delete_once(facts))
+    }
+
+    /// `WHY <fact>` → the explanation header plus its `INFO` lines
+    /// (derivation steps when present, blocked candidates when absent).
+    pub fn why(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
+        self.retrying(|c| c.why_once(fact))
+    }
+
+    /// `WHY NOT <fact>` → the explanation header plus its `INFO` lines.
+    pub fn why_not(&mut self, fact: &str) -> Result<ExplainReply, ClientError> {
+        self.retrying(|c| c.why_not_once(fact))
+    }
+
+    /// `STATS` → all reported fields as a string map.
+    pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
+        self.retrying(|c| c.stats_once())
     }
 
     /// `QUIT`: close this connection politely.
@@ -462,6 +669,105 @@ mod tests {
         assert_eq!(stats.get("whys").map(String::as_str), Some("2"));
         client.quit().unwrap();
         handle.shutdown();
+    }
+
+    #[test]
+    fn retry_reconnects_after_an_idle_reap_and_replays_the_tenant() {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let service = Arc::new(QueryService::new(
+            program,
+            RelationalStore::new(),
+            ServiceConfig::default(),
+        ));
+        let handle = serve(
+            service,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(250),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(handle.addr())
+            .unwrap()
+            .with_retry(RetryPolicy {
+                base_delay: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            });
+        client
+            .tenant_create("hr", "[R1] worksIn(X, D) -> employee(X).")
+            .unwrap();
+        client.tenant_use("hr").unwrap();
+        client.insert("worksIn(ann, cs)").unwrap();
+        // Go idle long enough to be reaped, then keep using the client: the
+        // retry layer reconnects and lands back on the hr tenant.
+        std::thread::sleep(Duration::from_millis(700));
+        let reply = client.query("q(X) :- employee(X)").unwrap();
+        assert_eq!(reply.rows, vec![vec!["ann".to_string()]]);
+        client.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn retries_are_off_by_default() {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let service = Arc::new(QueryService::new(
+            program,
+            RelationalStore::new(),
+            ServiceConfig::default(),
+        ));
+        let handle = serve(
+            service,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(250),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        std::thread::sleep(Duration::from_millis(700));
+        let err = client.ping().unwrap_err();
+        assert!(
+            is_transient(&err),
+            "reap surfaces as a transient error: {err}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_budget() {
+        let handle = start();
+        let addr = handle.addr();
+        let mut client = ServeClient::connect(addr).unwrap().with_retry(RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        });
+        client.ping().unwrap();
+        handle.shutdown();
+        // The server is gone for good: a bounded number of attempts, then
+        // the last transient error is returned.
+        let err = client.ping().unwrap_err();
+        assert!(is_transient(&err), "{err}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        let mut a = policy.jitter_seed;
+        let mut b = policy.jitter_seed;
+        for attempt in 0..10 {
+            let x = policy.delay(attempt, &mut a);
+            let y = policy.delay(attempt, &mut b);
+            assert_eq!(x, y, "same seed, same schedule");
+            assert!(x <= policy.max_delay);
+            let step = policy
+                .base_delay
+                .saturating_mul(1u32 << attempt.min(20))
+                .min(policy.max_delay);
+            assert!(x >= step / 2, "jitter stays within [50%, 100%] of the step");
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod durability;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
@@ -69,7 +70,8 @@ pub mod snapshot;
 pub mod tenant;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache, ShardedPlanCache, ShardedRewritingCache};
-pub use client::{ClientError, ExplainReply, QueryReply, ServeClient};
+pub use client::{ClientError, ExplainReply, QueryReply, RetryPolicy, ServeClient};
+pub use durability::{Compactor, CompactorConfig, CompactorStats};
 pub use metrics::{percentile, LatencyStats, ServeMetrics};
 pub use pool::ThreadPool;
 pub use proto::{format_fact, parse_fact, parse_request, Request, VERBS};
@@ -79,4 +81,4 @@ pub use service::{
     ServiceError, ServiceStats,
 };
 pub use snapshot::{CommitReceipt, EpochStore, Snapshot};
-pub use tenant::{TenantInfo, TenantRegistry, DEFAULT_TENANT};
+pub use tenant::{DurabilitySettings, TenantInfo, TenantRegistry, DEFAULT_TENANT};

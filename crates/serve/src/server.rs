@@ -18,7 +18,7 @@ use crate::tenant::{TenantRegistry, DEFAULT_TENANT};
 use ontorew_model::prelude::*;
 use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -31,6 +31,17 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (= concurrently served connections).
     pub workers: usize,
+    /// Reap a connection after this long without a complete request. A
+    /// worker slot held by a dead or silent peer is a worker the pool can't
+    /// give to live traffic, so idleness is bounded: the connection gets an
+    /// `ERR idle timeout` line and is closed. Slow-trickled partial lines
+    /// do not count as activity.
+    pub idle_timeout: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight connections
+    /// to finish before syncing tenant WALs and returning. Workers observe
+    /// the shutdown flag between requests, so the wait normally ends well
+    /// before the deadline.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +49,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 8,
+            idle_timeout: Duration::from_secs(300),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -49,6 +62,8 @@ pub struct ServerHandle {
     accept_thread: Option<JoinHandle<()>>,
     registry: Arc<TenantRegistry>,
     default_service: Arc<QueryService>,
+    active: Arc<AtomicUsize>,
+    drain_timeout: Duration,
 }
 
 impl ServerHandle {
@@ -81,14 +96,29 @@ impl ServerHandle {
         }
     }
 
-    /// Request shutdown and join the accept loop (worker threads finish
-    /// their current connections as the pool drops).
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown, drain in-flight connections (up to the configured
+    /// drain deadline — workers notice the flag between requests, so the
+    /// wait normally ends in one poll round), join the accept loop, then
+    /// fsync every durable tenant's WAL so acknowledged commits are on disk
+    /// before the process exits.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Poke the accept loop so it observes the flag even if idle.
         let _ = TcpStream::connect(self.addr);
+        let deadline = std::time::Instant::now() + self.drain_timeout;
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Err(e) = self.registry.sync_all() {
+            eprintln!("ontorew-serve: WAL sync on shutdown failed: {e}");
         }
     }
 }
@@ -100,6 +130,7 @@ impl Drop for ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        let _ = self.registry.sync_all();
     }
 }
 
@@ -122,11 +153,14 @@ pub fn serve_registry(
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
     let default_service = registry.default_tenant();
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
         let registry = Arc::clone(&registry);
         let workers = config.workers;
+        let idle_timeout = config.idle_timeout;
         std::thread::Builder::new()
             .name("ontorew-accept".to_string())
             .spawn(move || {
@@ -139,7 +173,11 @@ pub fn serve_registry(
                         Ok(stream) => {
                             let registry = Arc::clone(&registry);
                             let shutdown = Arc::clone(&shutdown);
-                            pool.execute(move || handle_connection(stream, registry, shutdown));
+                            let active = Arc::clone(&active);
+                            pool.execute(move || {
+                                let _guard = ActiveGuard::enter(active);
+                                handle_connection(stream, registry, shutdown, idle_timeout)
+                            });
                         }
                         Err(_) => continue,
                     }
@@ -153,7 +191,25 @@ pub fn serve_registry(
         accept_thread: Some(accept_thread),
         registry,
         default_service,
+        active,
+        drain_timeout: config.drain_timeout,
     })
+}
+
+/// Counts a connection in `active` for its whole lifetime, panic-safe.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl ActiveGuard {
+    fn enter(counter: Arc<AtomicUsize>) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(counter)
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Longest accepted request line. Anything a legitimate client sends is
@@ -169,11 +225,20 @@ struct Connection {
     tenant: String,
 }
 
-/// Serve one connection until EOF, `QUIT`, `SHUTDOWN`, or server shutdown.
-fn handle_connection(stream: TcpStream, registry: Arc<TenantRegistry>, shutdown: Arc<AtomicBool>) {
+/// Serve one connection until EOF, `QUIT`, `SHUTDOWN`, idle timeout, or
+/// server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    registry: Arc<TenantRegistry>,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Duration,
+) {
     // A short read timeout lets idle connections poll the shutdown flag;
-    // partially read lines stay buffered in `line` across poll rounds.
+    // partially read lines stay buffered in `line` across poll rounds. The
+    // write timeout bounds how long a worker can be wedged by a peer that
+    // stops reading, which in turn bounds shutdown drain time.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -190,6 +255,7 @@ fn handle_connection(stream: TcpStream, registry: Arc<TenantRegistry>, shutdown:
     // character, and invalid UTF-8 becomes an `ERR` reply instead of a
     // silently closed connection.
     let mut line: Vec<u8> = Vec::new();
+    let mut last_request = std::time::Instant::now();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -209,6 +275,7 @@ fn handle_connection(stream: TcpStream, registry: Arc<TenantRegistry>, shutdown:
             Ok(_) => {
                 // (A final unterminated line is served as-is; the next read
                 // reports EOF.)
+                last_request = std::time::Instant::now();
                 let request = match String::from_utf8(std::mem::take(&mut line)) {
                     Ok(request) => request,
                     Err(_) => {
@@ -225,7 +292,14 @@ fn handle_connection(stream: TcpStream, registry: Arc<TenantRegistry>, shutdown:
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue; // poll round: re-check shutdown, keep partial line
+                // Poll round: re-check shutdown, keep any partial line. A
+                // peer that trickles bytes without ever completing a request
+                // is as idle as a silent one.
+                if last_request.elapsed() >= idle_timeout {
+                    let _ = writeln!(writer, "ERR idle timeout");
+                    return;
+                }
+                continue;
             }
             Err(_) => return,
         }
@@ -493,7 +567,7 @@ fn respond(
                 "OK STATS queries={} prepares={} inserts={} deletes={} whys={} errors={} \
                  cache_hits={} cache_misses={} cache_entries={} hit_rate={:.4} epoch={} \
                  facts={} prov_nodes={} prov_edges={} prov_bytes={} p50_us={} p99_us={} \
-                 tenants={}",
+                 tenants={} wal_bytes={} segments_on_disk={} checkpoint_epoch={} recoveries={}",
                 stats.queries,
                 stats.prepares,
                 stats.inserts,
@@ -511,7 +585,11 @@ fn respond(
                 stats.provenance.bytes,
                 stats.latency.p50_us,
                 stats.latency.p99_us,
-                registry.len()
+                registry.len(),
+                stats.durability.wal_bytes,
+                stats.durability.segments_on_disk,
+                stats.durability.checkpoint_epoch,
+                stats.durability.recoveries
             )?;
         }
         Ok(Request::Ping) => {
@@ -552,6 +630,7 @@ mod tests {
             ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 2,
+                ..Default::default()
             },
         )
         .expect("server binds")
@@ -636,6 +715,11 @@ mod tests {
             "{stats}"
         );
         assert!(stats.contains("tenants=1"), "{stats}");
+        // In-memory tenants report zeroed durability gauges.
+        assert!(
+            stats.contains("wal_bytes=0") && stats.contains("recoveries=0"),
+            "{stats}"
+        );
 
         assert_eq!(roundtrip(&mut stream, &mut reader, "QUIT").trim(), "OK BYE");
         handle.shutdown();
@@ -849,6 +933,56 @@ mod tests {
         let mut end = String::new();
         assert!(matches!(reader.read_line(&mut end), Ok(0) | Err(_)));
         handle.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let service = Arc::new(QueryService::new(
+            program,
+            RelationalStore::new(),
+            ServiceConfig::default(),
+        ));
+        let handle = serve(
+            service,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                idle_timeout: Duration::from_millis(300),
+                ..Default::default()
+            },
+        )
+        .expect("server binds");
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // An active connection is served normally...
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "PING").trim(),
+            "OK PONG"
+        );
+        // ...then goes silent and is reaped with an explanatory error.
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "ERR idle timeout", "{line:?}");
+        let mut end = String::new();
+        assert!(matches!(reader.read_line(&mut end), Ok(0) | Err(_)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_with_no_active_connections_left() {
+        let handle = start_test_server();
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "PING").trim(),
+            "OK PONG"
+        );
+        handle.shutdown();
+        // After shutdown returns, no connection is still being served.
+        let mut line = String::new();
+        assert!(matches!(reader.read_line(&mut line), Ok(0) | Err(_)));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use ontorew_plan::{
 };
 use ontorew_rewrite::fingerprint::query_identity;
 use ontorew_rewrite::{fingerprint_program, PreparedKey, ProgramFingerprint, RewriteConfig};
+use ontorew_storage::persist::{TenantStorage, TenantStorageState, WalOpKind, WalRecord};
 use ontorew_storage::{AnswerSet, RelationalStore};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -155,6 +156,9 @@ pub struct ServiceStats {
     pub facts: usize,
     /// Derivation-graph footprint of the epoch's cached materialization.
     pub provenance: ProvenanceStats,
+    /// Durable-state gauges (all zero for an in-memory service): WAL size,
+    /// manifest-referenced segment files, recoveries survived.
+    pub durability: TenantStorageState,
 }
 
 /// Errors a service request can fail with.
@@ -164,12 +168,16 @@ pub enum ServiceError {
     /// bad tenant name, unknown tenant, ...) — reported rather than
     /// silently ignored.
     BadRequest(String),
+    /// The request was valid but could not be made durable (WAL append
+    /// failed). Nothing was committed; the client may retry.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }
@@ -190,6 +198,10 @@ pub struct QueryService {
     /// for identical programs) is shared across tenants: the version token
     /// is `tenant_tag << 32 | epoch`.
     tenant_tag: u64,
+    /// The durable backing of this tenant, when serving from a data
+    /// directory: every commit write-ahead-logs through it before
+    /// publishing. `None` for a purely in-memory service.
+    durability: Option<Arc<TenantStorage>>,
 }
 
 impl QueryService {
@@ -210,6 +222,28 @@ impl QueryService {
         cache: Arc<ShardedPlanCache>,
         tenant_tag: u64,
     ) -> Self {
+        QueryService::durable(program, initial, 0, config, cache, tenant_tag, None)
+    }
+
+    /// Build a service backed by durable storage, resuming at `epoch` (the
+    /// recovery path — `epoch` is what checkpoint + WAL replay reached; 0
+    /// for a freshly created tenant). When `durability` is `Some`, every
+    /// `INSERT`/`DELETE` epoch is write-ahead-logged through it before
+    /// publication.
+    ///
+    /// Cached chase materializations are *not* persisted: after recovery
+    /// the first chase-plan query materializes from scratch and later
+    /// epochs resume the incremental/DRed paths (see the planner docs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn durable(
+        program: TgdProgram,
+        initial: RelationalStore,
+        epoch: u64,
+        config: ServiceConfig,
+        cache: Arc<ShardedPlanCache>,
+        tenant_tag: u64,
+        durability: Option<Arc<TenantStorage>>,
+    ) -> Self {
         let program_fp = fingerprint_program(&program);
         // The serving layer always tracks provenance: `WHY` explanations
         // walk the derivation graph, and `DELETE` repairs materializations
@@ -228,9 +262,10 @@ impl QueryService {
             program_fp,
             config,
             cache,
-            store: EpochStore::new(initial),
+            store: EpochStore::with_epoch(initial, epoch),
             metrics: ServeMetrics::new(),
             tenant_tag,
+            durability,
         }
     }
 
@@ -364,15 +399,30 @@ impl QueryService {
                 )));
             }
         }
-        let receipt = self.store.commit_facts(facts);
+        let mut added = 0usize;
+        let mut total = 0usize;
+        let epoch = self
+            .store
+            .commit_logged(
+                |epoch| self.log_epoch(epoch, WalOpKind::Insert, facts),
+                |store| {
+                    for fact in facts {
+                        if store.insert_atom(fact) {
+                            added += 1;
+                        }
+                    }
+                    total = store.len();
+                },
+            )
+            .map_err(|e| self.not_durable(e))?;
         self.planner.record_delta(
-            self.version_of(receipt.epoch - 1),
-            self.version_of(receipt.epoch),
+            self.version_of(epoch - 1),
+            self.version_of(epoch),
             facts,
-            receipt.facts,
+            total,
         );
         self.metrics.inserts.fetch_add(1, Ordering::Relaxed);
-        Ok((receipt.epoch, receipt.added))
+        Ok((epoch, added))
     }
 
     /// Retract a batch of ground facts as one new epoch. The whole batch
@@ -397,14 +447,20 @@ impl QueryService {
         }
         let mut removed = 0usize;
         let mut total = 0usize;
-        let epoch = self.store.commit(|store| {
-            for fact in facts {
-                if store.remove_atom(fact) {
-                    removed += 1;
-                }
-            }
-            total = store.len();
-        });
+        let epoch = self
+            .store
+            .commit_logged(
+                |epoch| self.log_epoch(epoch, WalOpKind::Delete, facts),
+                |store| {
+                    for fact in facts {
+                        if store.remove_atom(fact) {
+                            removed += 1;
+                        }
+                    }
+                    total = store.len();
+                },
+            )
+            .map_err(|e| self.not_durable(e))?;
         self.planner.record_retraction(
             self.version_of(epoch - 1),
             self.version_of(epoch),
@@ -458,6 +514,54 @@ impl QueryService {
         })
     }
 
+    /// The write-ahead hook `commit_logged` runs before publishing an
+    /// epoch: a no-op for in-memory services, a WAL append for durable
+    /// ones.
+    fn log_epoch(&self, epoch: u64, kind: WalOpKind, facts: &[Atom]) -> std::io::Result<()> {
+        match &self.durability {
+            Some(storage) => storage.log_commit(&WalRecord {
+                epoch,
+                kind,
+                facts: facts.to_vec(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn not_durable(&self, e: std::io::Error) -> ServiceError {
+        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        ServiceError::Unavailable(format!("commit not durable: {e}"))
+    }
+
+    /// The durable backing of this tenant, if any (the compactor and the
+    /// registry's flush path go through this).
+    pub fn durability(&self) -> Option<&Arc<TenantStorage>> {
+        self.durability.as_ref()
+    }
+
+    /// Checkpoint the current snapshot to durable storage: spill segments,
+    /// publish the manifest, truncate the WAL. `Ok(None)` for in-memory
+    /// services. Runs off the commit path (commits block only for the
+    /// manifest publish + WAL truncation).
+    pub fn checkpoint(&self) -> std::io::Result<Option<TenantStorageState>> {
+        let Some(storage) = &self.durability else {
+            return Ok(None);
+        };
+        let snapshot = self.store.snapshot();
+        storage
+            .checkpoint(snapshot.store(), snapshot.epoch())
+            .map(Some)
+    }
+
+    /// Force this tenant's WAL to stable storage regardless of fsync
+    /// policy (graceful shutdown). No-op for in-memory services.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        match &self.durability {
+            Some(storage) => storage.sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Count one protocol-level error (bad request line etc.) so it shows in
     /// `STATS`.
     pub fn record_error(&self) {
@@ -498,6 +602,11 @@ impl QueryService {
             epoch: snapshot.epoch(),
             facts: snapshot.len(),
             provenance,
+            durability: self
+                .durability
+                .as_ref()
+                .map(|storage| storage.state())
+                .unwrap_or_default(),
         }
     }
 }

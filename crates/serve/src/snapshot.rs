@@ -68,11 +68,18 @@ pub struct EpochStore {
 
 impl EpochStore {
     /// Publish `initial` as epoch 0.
-    pub fn new(mut initial: RelationalStore) -> Self {
+    pub fn new(initial: RelationalStore) -> Self {
+        EpochStore::with_epoch(initial, 0)
+    }
+
+    /// Publish `initial` at a given starting epoch — the recovery path,
+    /// where the store reconstructed from checkpoint + WAL replay resumes
+    /// at the epoch it had reached before the crash.
+    pub fn with_epoch(mut initial: RelationalStore, epoch: u64) -> Self {
         initial.freeze();
         EpochStore {
             current: RwLock::new(Arc::new(Snapshot {
-                epoch: 0,
+                epoch,
                 store: initial.clone(),
             })),
             writer: Mutex::new(initial),
@@ -103,16 +110,33 @@ impl EpochStore {
     where
         F: FnOnce(&mut RelationalStore),
     {
+        self.commit_logged(|_| Ok(()), mutate)
+            .expect("no-op logger cannot fail")
+    }
+
+    /// [`commit`](EpochStore::commit) with a write-ahead hook: `log` runs
+    /// with the epoch about to be published, *before* the working copy is
+    /// touched. If `log` fails the commit is aborted — nothing was mutated,
+    /// nothing published, and the error is returned. This is the WAL
+    /// discipline: a record reaches the log before its epoch can ever be
+    /// observed, and an epoch that was never acknowledged leaves no trace
+    /// in memory.
+    pub fn commit_logged<L, F>(&self, log: L, mutate: F) -> std::io::Result<u64>
+    where
+        L: FnOnce(u64) -> std::io::Result<()>,
+        F: FnOnce(&mut RelationalStore),
+    {
         let mut working = self.writer.lock();
+        let epoch = self.current.read().epoch + 1;
+        log(epoch)?;
         mutate(&mut working);
         working.freeze();
         let published = Arc::new(Snapshot {
-            epoch: self.current.read().epoch + 1,
+            epoch,
             store: working.clone(),
         });
-        let epoch = published.epoch;
         *self.current.write() = published;
-        epoch
+        Ok(epoch)
     }
 
     /// Convenience: commit a batch of ground facts as one epoch. Returns
@@ -240,6 +264,39 @@ mod tests {
         assert_eq!(held.epoch(), 1);
         assert_eq!(held.len(), 1);
         assert_eq!(store.snapshot().len(), 11);
+    }
+
+    #[test]
+    fn with_epoch_resumes_numbering_after_recovery() {
+        let mut db = RelationalStore::new();
+        db.insert_fact("r", &["a"]);
+        let store = EpochStore::with_epoch(db, 41);
+        assert_eq!(store.epoch(), 41);
+        let receipt = store.commit_facts(&[Atom::fact("r", &["b"])]);
+        assert_eq!(receipt.epoch, 42);
+    }
+
+    #[test]
+    fn failed_log_hook_aborts_the_commit_without_a_trace() {
+        let store = EpochStore::new(RelationalStore::new());
+        store.commit_facts(&[Atom::fact("r", &["a"])]);
+        let err = store.commit_logged(
+            |epoch| {
+                assert_eq!(epoch, 2, "log sees the epoch about to publish");
+                Err(std::io::Error::other("disk on fire"))
+            },
+            |db| {
+                db.insert_fact("r", &["b"]);
+            },
+        );
+        assert!(err.is_err());
+        // Nothing mutated, nothing published: the next commit re-uses the
+        // aborted epoch number.
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.snapshot().len(), 1);
+        let receipt = store.commit_facts(&[Atom::fact("r", &["c"])]);
+        assert_eq!(receipt.epoch, 2);
+        assert_eq!(store.snapshot().len(), 2);
     }
 
     #[test]

@@ -20,9 +20,12 @@ use crate::cache::{CacheStats, ShardedPlanCache};
 use crate::service::{QueryService, ServiceConfig, ServiceError};
 use ontorew_model::prelude::*;
 use ontorew_rewrite::ProgramFingerprint;
-use ontorew_storage::RelationalStore;
-use parking_lot::RwLock;
+use ontorew_storage::persist::TenantStorage;
+use ontorew_storage::{FsyncPolicy, RelationalStore};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -47,12 +50,26 @@ pub struct TenantInfo {
     pub retractions: u64,
 }
 
+/// Where and how the registry persists its tenants.
+#[derive(Clone, Debug)]
+pub struct DurabilitySettings {
+    /// The data directory: one subdirectory per tenant.
+    pub root: PathBuf,
+    /// The WAL fsync cadence every tenant is opened with.
+    pub fsync: FsyncPolicy,
+}
+
 /// The registry of tenants sharing one server and one prepared-plan cache.
 pub struct TenantRegistry {
     config: ServiceConfig,
     cache: Arc<ShardedPlanCache>,
     tenants: RwLock<BTreeMap<String, Arc<QueryService>>>,
     next_tag: AtomicU64,
+    /// `Some` when tenants persist to a data directory. Creations and drops
+    /// serialize on [`Self::lifecycle`] so two racing `TENANT CREATE`s can
+    /// never wipe each other's directory; the read path never touches it.
+    durability: Option<DurabilitySettings>,
+    lifecycle: Mutex<()>,
 }
 
 impl TenantRegistry {
@@ -73,6 +90,8 @@ impl TenantRegistry {
             cache,
             tenants: RwLock::new(tenants),
             next_tag: AtomicU64::new(1),
+            durability: None,
+            lifecycle: Mutex::new(()),
         }
     }
 
@@ -89,6 +108,115 @@ impl TenantRegistry {
             cache,
             tenants: RwLock::new(tenants),
             next_tag: AtomicU64::new(1),
+            durability: None,
+            lifecycle: Mutex::new(()),
+        }
+    }
+
+    /// A durable registry: recover every tenant under `settings.root`, or
+    /// create the `default` tenant from `program` + `initial` on a fresh
+    /// data directory. This is the server's startup path — after it
+    /// returns, every acknowledged epoch of every non-tombstoned tenant is
+    /// back in memory and new commits are write-ahead-logged.
+    ///
+    /// When the default tenant already exists on disk, its persisted
+    /// program and recovered store win over the `program`/`initial`
+    /// arguments (restarting with different seed flags must not fork
+    /// history).
+    pub fn recover(
+        program: TgdProgram,
+        initial: RelationalStore,
+        config: ServiceConfig,
+        settings: DurabilitySettings,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(&settings.root)?;
+        let cache = Arc::new(ShardedPlanCache::new(config.cache));
+        let mut tenants = BTreeMap::new();
+        let mut next_tag = 0u64;
+
+        let mut names = TenantStorage::list(&settings.root)?;
+        if !names.iter().any(|n| n == DEFAULT_TENANT) {
+            // Fresh directory (or the default was tombstoned by hand):
+            // create it from the seed arguments, checkpointing the initial
+            // store so epoch 0 is durable without ever having been logged.
+            let storage = TenantStorage::create(
+                &settings.root,
+                DEFAULT_TENANT,
+                &program.to_string(),
+                settings.fsync,
+            )?;
+            let mut seed = initial;
+            seed.freeze();
+            storage.checkpoint(&seed, 0)?;
+            let service = Arc::new(QueryService::durable(
+                program,
+                seed,
+                0,
+                config,
+                Arc::clone(&cache),
+                next_tag,
+                Some(Arc::new(storage)),
+            ));
+            tenants.insert(DEFAULT_TENANT.to_string(), service);
+            next_tag += 1;
+            names.retain(|n| n != DEFAULT_TENANT);
+        }
+
+        for name in names {
+            let recovered = TenantStorage::open(&settings.root, &name, settings.fsync)?
+                .expect("list() only yields recoverable tenants");
+            let recovered_program = parse_program(&recovered.program_text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("tenant {name:?}: persisted program does not parse: {e}"),
+                )
+            })?;
+            let service = Arc::new(QueryService::durable(
+                recovered_program,
+                recovered.store,
+                recovered.epoch,
+                config,
+                Arc::clone(&cache),
+                next_tag,
+                Some(Arc::new(recovered.storage)),
+            ));
+            tenants.insert(name, service);
+            next_tag += 1;
+        }
+
+        Ok(TenantRegistry {
+            config,
+            cache,
+            tenants: RwLock::new(tenants),
+            next_tag: AtomicU64::new(next_tag),
+            durability: Some(settings),
+            lifecycle: Mutex::new(()),
+        })
+    }
+
+    /// The durability settings, when this registry persists to disk.
+    pub fn durability(&self) -> Option<&DurabilitySettings> {
+        self.durability.as_ref()
+    }
+
+    /// Every registered service (name order) — the compactor and the
+    /// shutdown flush iterate these.
+    pub fn services(&self) -> Vec<Arc<QueryService>> {
+        self.tenants.read().values().cloned().collect()
+    }
+
+    /// Fsync every tenant's WAL (graceful shutdown). The first error is
+    /// returned, but all tenants are attempted.
+    pub fn sync_all(&self) -> io::Result<()> {
+        let mut first_err = None;
+        for service in self.services() {
+            if let Err(e) = service.sync_wal() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -128,37 +256,77 @@ impl TenantRegistry {
         program: TgdProgram,
     ) -> Result<Arc<QueryService>, ServiceError> {
         validate_tenant_name(name)?;
-        // Compile the service outside the registry lock (classification can
-        // be expensive); losing a creation race is reported as a conflict.
-        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
-        let service = Arc::new(QueryService::with_shared_cache(
-            program,
-            RelationalStore::new(),
-            self.config,
-            Arc::clone(&self.cache),
-            tag,
-        ));
-        let mut tenants = self.tenants.write();
-        if tenants.contains_key(name) {
+        // Creations and drops serialize on the lifecycle lock (a durable
+        // create wipes any stale directory at this name, so two racing
+        // creates must never both reach the disk); the registry lock is
+        // only taken for the final insert.
+        let _lifecycle = self.lifecycle.lock();
+        if self.tenants.read().contains_key(name) {
             return Err(ServiceError::BadRequest(format!(
                 "tenant {name:?} already exists"
             )));
         }
-        tenants.insert(name.to_string(), Arc::clone(&service));
+        let storage = match &self.durability {
+            Some(settings) => {
+                let storage = TenantStorage::create(
+                    &settings.root,
+                    name,
+                    &program.to_string(),
+                    settings.fsync,
+                )
+                .map_err(|e| {
+                    ServiceError::Unavailable(format!("cannot persist tenant {name:?}: {e}"))
+                })?;
+                // Checkpoint the (empty) birth state so the manifest exists
+                // from the first moment.
+                storage
+                    .checkpoint(&RelationalStore::new(), 0)
+                    .map_err(|e| {
+                        ServiceError::Unavailable(format!("cannot persist tenant {name:?}: {e}"))
+                    })?;
+                Some(Arc::new(storage))
+            }
+            None => None,
+        };
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let service = Arc::new(QueryService::durable(
+            program,
+            RelationalStore::new(),
+            0,
+            self.config,
+            Arc::clone(&self.cache),
+            tag,
+            storage,
+        ));
+        self.tenants
+            .write()
+            .insert(name.to_string(), Arc::clone(&service));
         Ok(service)
     }
 
     /// Drop the tenant named `name`. The default tenant cannot be dropped;
     /// connections currently using a dropped tenant keep their handle (and
-    /// its store) alive until they switch or disconnect.
+    /// its store) alive until they switch or disconnect. Durable tenants
+    /// are **tombstoned** on disk — recovery skips them rather than
+    /// silently forgetting, and re-creating the name starts from scratch.
     pub fn drop_tenant(&self, name: &str) -> Result<(), ServiceError> {
         if name == DEFAULT_TENANT {
             return Err(ServiceError::BadRequest(
                 "the default tenant cannot be dropped".into(),
             ));
         }
+        let _lifecycle = self.lifecycle.lock();
         match self.tenants.write().remove(name) {
-            Some(_) => Ok(()),
+            Some(service) => {
+                if let Some(storage) = service.durability() {
+                    storage.tombstone().map_err(|e| {
+                        ServiceError::Unavailable(format!(
+                            "tenant {name:?} dropped in memory but not tombstoned on disk: {e}"
+                        ))
+                    })?;
+                }
+                Ok(())
+            }
             None => Err(ServiceError::BadRequest(format!("no tenant {name:?}"))),
         }
     }
@@ -336,6 +504,102 @@ mod tests {
         assert_eq!(rows[1].name, "default");
         assert_eq!(rows[1].facts, 1);
         assert_ne!(rows[0].program, rows[1].program);
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ontorew-registry-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn settings(root: &std::path::Path) -> DurabilitySettings {
+        DurabilitySettings {
+            root: root.to_path_buf(),
+            fsync: FsyncPolicy::Off,
+        }
+    }
+
+    #[test]
+    fn durable_registry_recovers_tenants_and_skips_tombstones() {
+        let root = temp_root("recover");
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let mut seed = RelationalStore::new();
+        seed.insert_fact("student", &["sara"]);
+        {
+            let registry = TenantRegistry::recover(
+                program.clone(),
+                seed,
+                ServiceConfig::default(),
+                settings(&root),
+            )
+            .unwrap();
+            registry
+                .default_tenant()
+                .insert_facts(&[Atom::fact("student", &["zoe"])])
+                .unwrap();
+            let hr = registry
+                .create(
+                    "hr",
+                    parse_program("[R1] worksIn(X, D) -> employee(X).").unwrap(),
+                )
+                .unwrap();
+            hr.insert_facts(&[Atom::fact("worksIn", &["ann", "cs"])])
+                .unwrap();
+            let tmp = registry
+                .create("tmp", parse_program("[R1] a(X) -> b(X).").unwrap())
+                .unwrap();
+            tmp.insert_facts(&[Atom::fact("a", &["x"])]).unwrap();
+            registry.drop_tenant("tmp").unwrap();
+        }
+        // Restart with a *different* seed: the persisted default must win.
+        let registry = TenantRegistry::recover(
+            program,
+            RelationalStore::new(),
+            ServiceConfig::default(),
+            settings(&root),
+        )
+        .unwrap();
+        assert_eq!(registry.len(), 2, "tombstoned tenant must stay gone");
+        assert!(registry.get("tmp").is_none());
+        let q = parse_query("q(X) :- person(X)").unwrap();
+        let answers = registry.default_tenant().query(&q).unwrap().answers;
+        assert!(answers.contains_constants(&["sara"]));
+        assert!(answers.contains_constants(&["zoe"]));
+        assert_eq!(registry.default_tenant().snapshot().epoch(), 1);
+        // The recovered tenant answers through its *persisted* program.
+        let hr = registry.get("hr").unwrap();
+        let q = parse_query("q(X) :- employee(X)").unwrap();
+        assert!(hr.query(&q).unwrap().answers.contains_constants(&["ann"]));
+        assert!(hr.stats().durability.recoveries >= 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dropped_durable_tenant_can_be_recreated_from_scratch() {
+        let root = temp_root("recreate");
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let registry = TenantRegistry::recover(
+            program,
+            RelationalStore::new(),
+            ServiceConfig::default(),
+            settings(&root),
+        )
+        .unwrap();
+        let beta_program = parse_program("[R1] a(X) -> b(X).").unwrap();
+        let beta = registry.create("beta", beta_program.clone()).unwrap();
+        beta.insert_facts(&[Atom::fact("a", &["old"])]).unwrap();
+        registry.drop_tenant("beta").unwrap();
+        // Recreating the name starts empty — no ghost of the old store.
+        let beta = registry.create("beta", beta_program).unwrap();
+        assert_eq!(beta.snapshot().len(), 0);
+        assert_eq!(beta.snapshot().epoch(), 0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -342,6 +342,7 @@ fn tcp_queries_never_observe_torn_epochs() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 6,
+            ..Default::default()
         },
     )
     .expect("server binds");

@@ -19,6 +19,7 @@
 
 pub mod database;
 pub mod eval;
+pub mod persist;
 pub mod relation;
 pub mod sql;
 pub mod stats;
@@ -28,6 +29,7 @@ pub use eval::{
     evaluate_boolean, evaluate_cq, evaluate_cq_instrumented, evaluate_ucq, evaluate_ucq_with,
     AnswerSet, EvalConfig, EvalStats,
 };
+pub use persist::{FsyncPolicy, TenantStorage};
 pub use relation::Relation;
 pub use sql::{cq_to_sql, ucq_to_sql};
 pub use stats::{ColumnStats, RelationStats, StoreStatistics};

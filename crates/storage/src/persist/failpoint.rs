@@ -1,0 +1,149 @@
+//! Crash-point fault injection for the persist I/O paths.
+//!
+//! Every interesting point of the WAL / checkpoint machinery calls
+//! [`check`] with a stable name (e.g. `"wal.append.before_write"`). In
+//! production nothing is armed and the check is one relaxed atomic load.
+//! Tests arm a point with a [`FailAction`] to simulate:
+//!
+//! * **a crash before the I/O** (`FailAction::Crash`) — the operation
+//!   returns an error and the write never happens, exactly as if the
+//!   process had been killed the instant before;
+//! * **a torn write** (`FailAction::Torn(n)`) — the caller is told to
+//!   write only the first `n` bytes and then fail, the way a power cut
+//!   mid-`write(2)` leaves a prefix on disk.
+//!
+//! Armed points fire once and disarm themselves (each simulated crash is
+//! one crash), so a test can arm a point, drive the workload until it
+//! trips, then recover. The registry is process-global; tests touching it
+//! serialize through [`test_lock`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What an armed failpoint does when reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Fail before the I/O happens (simulates `kill -9` just before the
+    /// syscall).
+    Crash,
+    /// Write only the first `n` bytes of the payload, then fail (simulates
+    /// a torn write / power cut mid-write). Only meaningful at points that
+    /// write a buffer; elsewhere it behaves like [`FailAction::Crash`].
+    Torn(usize),
+}
+
+/// Number of armed points — the fast path is a single relaxed load of this
+/// counter, so unarmed production traffic pays one atomic read per persist
+/// I/O call, nothing more.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+static REGISTRY: Mutex<Option<HashMap<&'static str, FailAction>>> = Mutex::new(None);
+
+/// Serializes tests that arm failpoints (the registry is process-global).
+pub fn test_lock() -> &'static Mutex<()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    &LOCK
+}
+
+/// Arm `point` with `action`. The point fires once, then disarms itself.
+pub fn arm(point: &'static str, action: FailAction) {
+    let mut registry = REGISTRY.lock();
+    let map = registry.get_or_insert_with(HashMap::new);
+    if map.insert(point, action).is_none() {
+        ARMED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm `point` if armed.
+pub fn disarm(point: &str) {
+    let mut registry = REGISTRY.lock();
+    if let Some(map) = registry.as_mut() {
+        if map.remove(point).is_some() {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Disarm everything (test teardown).
+pub fn clear_all() {
+    let mut registry = REGISTRY.lock();
+    if let Some(map) = registry.as_mut() {
+        let n = map.len();
+        map.clear();
+        ARMED.fetch_sub(n, Ordering::SeqCst);
+    }
+}
+
+/// The error a tripped failpoint surfaces: callers treat it like any other
+/// I/O failure (`ErrorKind::Other`, message names the point).
+fn crash_error(point: &str) -> io::Error {
+    io::Error::other(format!("failpoint {point} tripped (simulated crash)"))
+}
+
+/// Check `point`. Returns:
+/// * `Ok(None)` — not armed, proceed normally (the overwhelmingly common
+///   path: one atomic load);
+/// * `Ok(Some(n))` — armed with [`FailAction::Torn`]: the caller must
+///   write exactly the first `n` bytes, then return a crash error (via
+///   [`torn_error`]);
+/// * `Err(_)` — armed with [`FailAction::Crash`]: abort before the I/O.
+pub fn check(point: &'static str) -> io::Result<Option<usize>> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return Ok(None);
+    }
+    let mut registry = REGISTRY.lock();
+    let action = registry.as_mut().and_then(|map| map.remove(point));
+    if action.is_some() {
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+    drop(registry);
+    match action {
+        None => Ok(None),
+        Some(FailAction::Crash) => Err(crash_error(point)),
+        Some(FailAction::Torn(n)) => Ok(Some(n)),
+    }
+}
+
+/// The error to return after honoring a torn write at `point`.
+pub fn torn_error(point: &'static str) -> io::Error {
+    crash_error(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_pass_through() {
+        let _guard = test_lock().lock();
+        clear_all();
+        assert!(matches!(check("persist.test.nothing"), Ok(None)));
+    }
+
+    #[test]
+    fn armed_points_fire_once_and_disarm() {
+        let _guard = test_lock().lock();
+        clear_all();
+        arm("persist.test.crash", FailAction::Crash);
+        assert!(check("persist.test.crash").is_err());
+        assert!(matches!(check("persist.test.crash"), Ok(None)));
+        arm("persist.test.torn", FailAction::Torn(5));
+        assert_eq!(check("persist.test.torn").unwrap(), Some(5));
+        assert!(matches!(check("persist.test.torn"), Ok(None)));
+        clear_all();
+    }
+
+    #[test]
+    fn disarm_and_clear_work() {
+        let _guard = test_lock().lock();
+        clear_all();
+        arm("persist.test.a", FailAction::Crash);
+        arm("persist.test.b", FailAction::Crash);
+        disarm("persist.test.a");
+        assert!(matches!(check("persist.test.a"), Ok(None)));
+        clear_all();
+        assert!(matches!(check("persist.test.b"), Ok(None)));
+    }
+}

@@ -1,0 +1,361 @@
+//! Durability: write-ahead logging, on-disk segments and crash recovery.
+//!
+//! Everything above this module is in-memory; this is the layer that makes
+//! a tenant's store survive a `kill -9`. The design maps the segmented
+//! copy-on-write store onto a classic LSM-style durable layout:
+//!
+//! * [`wal`] — a per-tenant **write-ahead log** guarding the mutable tail:
+//!   every committed epoch (insert batch or delete retraction) is appended
+//!   as one checksummed, length-prefixed record *before* the epoch is
+//!   published to readers. The fsync cadence is configurable
+//!   ([`FsyncPolicy`]: `Always` / `EveryN` / `Off`).
+//! * [`segment`] — frozen store contents spilled to **write-once segment
+//!   files** (one per relation per checkpoint), each carrying its own
+//!   checksum.
+//! * [`manifest`] — the **manifest**: the atomic (write-temp + rename)
+//!   pointer naming the checkpoint epoch and the exact segment files that
+//!   make it up. Recovery = load manifest → read segments → replay the WAL
+//!   suffix.
+//! * [`tenant`] — [`TenantStorage`], the per-tenant composition of the
+//!   three: create, recover, log commits, checkpoint (which truncates the
+//!   WAL), tombstone on drop.
+//! * [`failpoint`] — crash-point **fault injection** hooks compiled into
+//!   the persist I/O paths; tests arm them to simulate a crash (the write
+//!   never happens) or a torn write (a prefix hits the disk) at every
+//!   interesting point.
+//!
+//! The invariant the whole module is built around: **recovery never
+//! surfaces a half-applied epoch**. A WAL record is applied all-or-nothing
+//! (its checksum covers the whole batch), and a torn, truncated or
+//! corrupted tail is detected and discarded — never propagated into the
+//! recovered store.
+
+pub mod failpoint;
+pub mod manifest;
+pub mod segment;
+pub mod tenant;
+pub mod wal;
+
+pub use failpoint::{arm, clear_all, disarm, FailAction};
+pub use manifest::{Manifest, SegmentEntry};
+pub use segment::{read_segment, write_segment};
+pub use tenant::{RecoveredTenant, TenantStorage, TenantStorageState};
+pub use wal::{read_wal, Wal, WalOpKind, WalRecord, WalTail};
+
+use std::io;
+use std::path::Path;
+
+/// When the WAL forces its appends to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: an acknowledged commit is durable even
+    /// across power loss. The slowest policy — every commit pays a device
+    /// flush.
+    Always,
+    /// `fsync` once every N records: bounded data loss (at most the last
+    /// N−1 acknowledged commits) at a fraction of the cost.
+    EveryN(u32),
+    /// Never `fsync` from the commit path: the OS flushes on its own
+    /// schedule. A process crash loses nothing (the page cache survives);
+    /// a machine crash can lose the un-flushed suffix.
+    Off,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(8)
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::Off => write!(f, "off"),
+        }
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "off" => Ok(FsyncPolicy::Off),
+            other => {
+                let n = other
+                    .strip_prefix("every-")
+                    .or_else(|| other.strip_prefix("every="))
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| {
+                        format!("bad fsync policy {other:?}: use always, every-N or off")
+                    })?;
+                Ok(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`crc32` convention) over `data`.
+/// The checksum every WAL record, segment file and manifest carries.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0, data)
+}
+
+/// Continue a CRC-32 over more data (for streaming writers).
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &byte in data {
+        crc = CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// The byte-wise CRC-32 lookup table, built at compile time.
+static CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// `fsync` the directory containing `path`, making a just-completed rename
+/// or create durable (on platforms where directories can be synced; errors
+/// from opening the directory are ignored on platforms that refuse).
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// Little-endian binary encoding helpers shared by the WAL and segment
+/// codecs. Strings are u32-length-prefixed UTF-8.
+pub(crate) mod codec {
+    use ontorew_model::prelude::*;
+    use std::io;
+
+    /// Cap on any single length field (strings, rows, batches) while
+    /// decoding: corrupt input must fail cleanly, not allocate gigabytes.
+    pub const MAX_LEN: u32 = 1 << 28;
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_str(out: &mut Vec<u8>, s: &str) {
+        put_u32(out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// Encode one ground term. Constants carry their name; labelled nulls
+    /// carry their numeric id (so recovered stores are equal modulo nothing
+    /// — ids are preserved verbatim).
+    pub fn put_term(out: &mut Vec<u8>, term: &Term) -> io::Result<()> {
+        match term {
+            Term::Constant(c) => {
+                out.push(0);
+                put_str(out, c.name());
+            }
+            Term::Null(n) => {
+                out.push(1);
+                put_u64(out, n.id());
+            }
+            Term::Variable(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot persist a non-ground term",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode one ground atom: predicate name, arity, then each term.
+    pub fn put_atom(out: &mut Vec<u8>, atom: &Atom) -> io::Result<()> {
+        put_str(out, atom.predicate.name_str());
+        put_u32(out, atom.terms.len() as u32);
+        for term in &atom.terms {
+            put_term(out, term)?;
+        }
+        Ok(())
+    }
+
+    /// A cursor over an encoded payload; every read is bounds-checked so
+    /// corrupt input yields `InvalidData`, never a panic.
+    pub struct Cursor<'a> {
+        data: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        pub fn new(data: &'a [u8]) -> Self {
+            Cursor { data, pos: 0 }
+        }
+
+        pub fn is_done(&self) -> bool {
+            self.pos == self.data.len()
+        }
+
+        fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+            let end = self.pos.checked_add(n).filter(|e| *e <= self.data.len());
+            match end {
+                Some(end) => {
+                    let slice = &self.data[self.pos..end];
+                    self.pos = end;
+                    Ok(slice)
+                }
+                None => Err(corrupt("record payload is truncated")),
+            }
+        }
+
+        pub fn u8(&mut self) -> io::Result<u8> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub fn u32(&mut self) -> io::Result<u32> {
+            let bytes = self.take(4)?;
+            Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+        }
+
+        pub fn u64(&mut self) -> io::Result<u64> {
+            let bytes = self.take(8)?;
+            Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+        }
+
+        pub fn str(&mut self) -> io::Result<&'a str> {
+            let len = self.u32()?;
+            if len > MAX_LEN {
+                return Err(corrupt("string length out of range"));
+            }
+            std::str::from_utf8(self.take(len as usize)?)
+                .map_err(|_| corrupt("string is not valid UTF-8"))
+        }
+
+        pub fn term(&mut self) -> io::Result<Term> {
+            match self.u8()? {
+                0 => Ok(Term::constant(self.str()?)),
+                1 => Ok(Term::Null(ontorew_model::term::Null(self.u64()?))),
+                _ => Err(corrupt("unknown term tag")),
+            }
+        }
+
+        pub fn atom(&mut self) -> io::Result<Atom> {
+            let name = self.str()?.to_string();
+            let arity = self.u32()?;
+            if arity > MAX_LEN {
+                return Err(corrupt("atom arity out of range"));
+            }
+            let mut terms = Vec::with_capacity(arity as usize);
+            for _ in 0..arity {
+                terms.push(self.term()?);
+            }
+            Ok(Atom {
+                predicate: Predicate::new(&name, terms.len()),
+                terms,
+            })
+        }
+    }
+
+    pub fn corrupt(message: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical zlib test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn crc32_streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let (a, b) = data.split_at(17);
+        assert_eq!(crc32_update(crc32(a), b), crc32(data));
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("off".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Off));
+        assert_eq!(
+            "every-16".parse::<FsyncPolicy>(),
+            Ok(FsyncPolicy::EveryN(16))
+        );
+        assert_eq!("every=4".parse::<FsyncPolicy>(), Ok(FsyncPolicy::EveryN(4)));
+        assert!("every-0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::EveryN(8).to_string(), "every-8");
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::EveryN(8));
+    }
+
+    #[test]
+    fn terms_and_atoms_round_trip() {
+        use ontorew_model::prelude::*;
+        let atom = Atom {
+            predicate: Predicate::new("attends", 2),
+            terms: vec![
+                Term::constant("sara jones"),
+                Term::Null(ontorew_model::term::Null(42)),
+            ],
+        };
+        let mut buf = Vec::new();
+        codec::put_atom(&mut buf, &atom).unwrap();
+        let mut cursor = codec::Cursor::new(&buf);
+        assert_eq!(cursor.atom().unwrap(), atom);
+        assert!(cursor.is_done());
+    }
+
+    #[test]
+    fn variables_refuse_to_encode() {
+        use ontorew_model::prelude::*;
+        let mut buf = Vec::new();
+        let bad = Atom::new("p", vec![Term::variable("X")]);
+        assert!(codec::put_atom(&mut buf, &bad).is_err());
+    }
+
+    #[test]
+    fn cursor_rejects_truncation_and_garbage() {
+        let mut buf = Vec::new();
+        codec::put_str(&mut buf, "hello");
+        // Truncated payload.
+        let mut cursor = codec::Cursor::new(&buf[..buf.len() - 1]);
+        assert!(cursor.str().is_err());
+        // Absurd length field must not allocate.
+        let mut huge = Vec::new();
+        codec::put_u32(&mut huge, u32::MAX);
+        let mut cursor = codec::Cursor::new(&huge);
+        assert!(cursor.str().is_err());
+        // Unknown term tag.
+        let mut cursor = codec::Cursor::new(&[7u8]);
+        assert!(cursor.term().is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! The write-ahead log: checksummed, length-prefixed epoch records.
+//!
+//! One WAL file per tenant guards the mutable tail of the store. Every
+//! committed epoch — an `INSERT` batch or a `DELETE` retraction — is
+//! appended as one record *before* the epoch is published to readers, so a
+//! crash after the append replays the batch on recovery and a crash before
+//! it loses nothing that was ever acknowledged.
+//!
+//! ## Record frame
+//!
+//! ```text
+//! [u32 payload-len][u32 crc32(payload)][payload]
+//! payload = u64 epoch, u8 kind (0=insert, 1=delete), u32 count,
+//!           count × atom (see persist::codec)
+//! ```
+//!
+//! The checksum covers the whole batch, which is what makes replay
+//! all-or-nothing: a record either applies completely or (when its frame is
+//! torn, truncated or corrupted) is dropped **together with everything
+//! after it** — a bad frame means the tail cannot be trusted, so recovery
+//! stops there rather than resynchronize on garbage.
+
+use super::codec::{self, Cursor};
+use super::failpoint;
+use super::{crc32, FsyncPolicy};
+use ontorew_model::prelude::*;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// What kind of mutation a WAL record carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalOpKind {
+    /// The batch was inserted as one epoch.
+    Insert,
+    /// The batch was retracted as one epoch.
+    Delete,
+}
+
+/// One durable epoch: the batch that produced it, all-or-nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The epoch this record published.
+    pub epoch: u64,
+    /// Insert or delete.
+    pub kind: WalOpKind,
+    /// The batch, verbatim.
+    pub facts: Vec<Atom>,
+}
+
+impl WalRecord {
+    /// Serialize the full frame (length prefix + checksum + payload).
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut payload = Vec::with_capacity(64);
+        codec::put_u64(&mut payload, self.epoch);
+        payload.push(match self.kind {
+            WalOpKind::Insert => 0,
+            WalOpKind::Delete => 1,
+        });
+        codec::put_u32(&mut payload, self.facts.len() as u32);
+        for fact in &self.facts {
+            codec::put_atom(&mut payload, fact)?;
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        Ok(frame)
+    }
+
+    /// Decode one payload (after the frame passed its checksum).
+    fn decode(payload: &[u8]) -> io::Result<WalRecord> {
+        let mut cursor = Cursor::new(payload);
+        let epoch = cursor.u64()?;
+        let kind = match cursor.u8()? {
+            0 => WalOpKind::Insert,
+            1 => WalOpKind::Delete,
+            _ => return Err(codec::corrupt("unknown WAL record kind")),
+        };
+        let count = cursor.u32()?;
+        if count > codec::MAX_LEN {
+            return Err(codec::corrupt("WAL batch size out of range"));
+        }
+        let mut facts = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            facts.push(cursor.atom()?);
+        }
+        if !cursor.is_done() {
+            return Err(codec::corrupt("trailing bytes in WAL record"));
+        }
+        Ok(WalRecord { epoch, kind, facts })
+    }
+}
+
+/// What `read_wal` found at the end of the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every frame decoded and checksummed cleanly.
+    Clean,
+    /// The last frame was cut short (crash mid-append): `dropped` bytes
+    /// were discarded.
+    Truncated {
+        /// Bytes discarded from the tail.
+        dropped: u64,
+    },
+    /// A frame failed its checksum or decoded to garbage: the frame and
+    /// everything after it (`dropped` bytes) were discarded.
+    Corrupt {
+        /// Bytes discarded from the tail.
+        dropped: u64,
+    },
+}
+
+impl WalTail {
+    /// Bytes of unusable tail that were discarded (0 when clean).
+    pub fn dropped_bytes(&self) -> u64 {
+        match self {
+            WalTail::Clean => 0,
+            WalTail::Truncated { dropped } | WalTail::Corrupt { dropped } => *dropped,
+        }
+    }
+}
+
+/// Read every intact record of the WAL at `path`, stopping (and reporting)
+/// at the first torn, truncated or corrupt frame. Also enforces that record
+/// epochs are strictly increasing — a decode that resynchronized onto
+/// stale bytes would violate it.
+pub fn read_wal(path: &Path) -> io::Result<(Vec<WalRecord>, WalTail)> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), WalTail::Clean));
+        }
+        Err(e) => return Err(e),
+    }
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut last_epoch = 0u64;
+    while pos < data.len() {
+        let remaining = data.len() - pos;
+        if remaining < 8 {
+            return Ok((
+                records,
+                WalTail::Truncated {
+                    dropped: remaining as u64,
+                },
+            ));
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let checksum = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > codec::MAX_LEN as usize {
+            return Ok((
+                records,
+                WalTail::Corrupt {
+                    dropped: remaining as u64,
+                },
+            ));
+        }
+        if remaining - 8 < len {
+            return Ok((
+                records,
+                WalTail::Truncated {
+                    dropped: remaining as u64,
+                },
+            ));
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32(payload) != checksum {
+            return Ok((
+                records,
+                WalTail::Corrupt {
+                    dropped: remaining as u64,
+                },
+            ));
+        }
+        match WalRecord::decode(payload) {
+            Ok(record) if record.epoch > last_epoch => {
+                last_epoch = record.epoch;
+                records.push(record);
+                pos += 8 + len;
+            }
+            // A checksum-clean frame decoding to garbage (or a non-monotone
+            // epoch) means we are not looking at a real record boundary.
+            _ => {
+                return Ok((
+                    records,
+                    WalTail::Corrupt {
+                        dropped: remaining as u64,
+                    },
+                ));
+            }
+        }
+    }
+    Ok((records, WalTail::Clean))
+}
+
+/// The append handle: owns the open file and the fsync cadence. Appends are
+/// serialized by the caller (the epoch store's writer lock); the handle
+/// itself is `Send` so a background compactor can rewrite it.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    bytes: u64,
+    appends_since_sync: u32,
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `path` for appending.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            policy,
+            bytes,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current size of the log in bytes (the `wal_bytes` STATS gauge and
+    /// the compactor's checkpoint trigger).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The fsync cadence this log was opened with.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Append one record, then apply the fsync policy. Returns the new log
+    /// size. On any error the record must be considered not durable (the
+    /// caller aborts the commit).
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        let frame = record.encode()?;
+        if let Some(torn) = failpoint::check("wal.append.before_write")? {
+            // Simulate a torn write: a prefix of the frame reaches the file,
+            // then the "process dies".
+            let n = torn.min(frame.len());
+            self.file.write_all(&frame[..n])?;
+            let _ = self.file.sync_data();
+            self.bytes += n as u64;
+            return Err(failpoint::torn_error("wal.append.before_write"));
+        }
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        failpoint::check("wal.append.before_sync")?;
+        match self.policy {
+            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::EveryN(n) => {
+                self.appends_since_sync += 1;
+                if self.appends_since_sync >= n {
+                    self.file.sync_data()?;
+                    self.appends_since_sync = 0;
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+        Ok(self.bytes)
+    }
+
+    /// Force everything appended so far to stable storage (graceful
+    /// shutdown and checkpoint use this regardless of policy).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Drop every record with `epoch <= through_epoch` (they are covered by
+    /// a checkpoint) by rewriting the retained suffix and atomically
+    /// swapping it in. Called by the compactor after a successful manifest
+    /// publish, off the commit path but under the same writer serialization.
+    pub fn truncate_through(&mut self, through_epoch: u64) -> io::Result<u64> {
+        failpoint::check("wal.truncate.before_rewrite")?;
+        let (records, _tail) = read_wal(&self.path)?;
+        let mut retained = Vec::new();
+        for record in records.iter().filter(|r| r.epoch > through_epoch) {
+            retained.extend_from_slice(&record.encode()?);
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(&retained)?;
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        super::sync_parent_dir(&self.path)?;
+        // Reopen the handle onto the new file (the old descriptor points at
+        // the unlinked inode).
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.bytes = retained.len() as u64;
+        self.appends_since_sync = 0;
+        Ok(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::failpoint::FailAction;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ontorew-wal-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn record(epoch: u64, kind: WalOpKind, names: &[&str]) -> WalRecord {
+        WalRecord {
+            epoch,
+            kind,
+            facts: names.iter().map(|n| Atom::fact("r", &[n])).collect(),
+        }
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = temp_wal("roundtrip");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        let r1 = record(1, WalOpKind::Insert, &["a", "b"]);
+        let r2 = record(2, WalOpKind::Delete, &["a"]);
+        let r3 = record(3, WalOpKind::Insert, &[]);
+        wal.append(&r1).unwrap();
+        wal.append(&r2).unwrap();
+        let bytes = wal.append(&r3).unwrap();
+        assert_eq!(bytes, wal.bytes());
+        let (records, tail) = read_wal(&path).unwrap();
+        assert_eq!(records, vec![r1, r2, r3]);
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn missing_wal_reads_as_empty() {
+        let path = temp_wal("missing");
+        let (records, tail) = read_wal(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_propagated() {
+        let path = temp_wal("truncated");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(&record(1, WalOpKind::Insert, &["a"])).unwrap();
+        wal.append(&record(2, WalOpKind::Insert, &["b"])).unwrap();
+        drop(wal);
+        // Cut the file mid-way through the second frame.
+        let data = std::fs::read(&path).unwrap();
+        for cut in [data.len() - 1, data.len() - 5, data.len() - 9] {
+            std::fs::write(&path, &data[..cut]).unwrap();
+            let (records, tail) = read_wal(&path).unwrap();
+            assert_eq!(records.len(), 1, "cut at {cut}");
+            assert_eq!(records[0].epoch, 1);
+            assert!(
+                matches!(tail, WalTail::Truncated { dropped } if dropped > 0)
+                    || matches!(tail, WalTail::Corrupt { dropped } if dropped > 0),
+                "cut at {cut}: {tail:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_is_detected_by_checksum() {
+        let path = temp_wal("corrupt");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(&record(1, WalOpKind::Insert, &["a"])).unwrap();
+        let second_start = wal.bytes() as usize;
+        wal.append(&record(2, WalOpKind::Insert, &["b"])).unwrap();
+        drop(wal);
+        // Flip one payload byte of the second record.
+        let mut data = std::fs::read(&path).unwrap();
+        let idx = second_start + 12;
+        data[idx] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let (records, tail) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(tail, WalTail::Corrupt { .. }), "{tail:?}");
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_tail_never_surface_a_half_applied_epoch() {
+        let path = temp_wal("fuzz");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        for epoch in 1..=5u64 {
+            wal.append(&record(
+                epoch,
+                WalOpKind::Insert,
+                &[format!("c{epoch}").as_str()],
+            ))
+            .unwrap();
+        }
+        drop(wal);
+        let pristine = std::fs::read(&path).unwrap();
+        let (clean, _) = read_wal(&path).unwrap();
+        assert_eq!(clean.len(), 5);
+        for idx in 0..pristine.len() {
+            let mut data = pristine.clone();
+            data[idx] ^= 0x5A;
+            std::fs::write(&path, &data).unwrap();
+            let (records, _tail) = read_wal(&path).unwrap();
+            // Every surviving record must be byte-identical to a clean
+            // prefix — a flipped byte can only shorten the replay, never
+            // change or tear a batch.
+            assert!(records.len() <= clean.len(), "flip at {idx}");
+            assert_eq!(
+                records.as_slice(),
+                &clean[..records.len()],
+                "flip at {idx} changed a record"
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_through_drops_checkpointed_records() {
+        let path = temp_wal("truncate-through");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        for epoch in 1..=4u64 {
+            wal.append(&record(epoch, WalOpKind::Insert, &["x"]))
+                .unwrap();
+        }
+        let bytes = wal.truncate_through(2).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let (records, tail) = read_wal(&path).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // Appends continue on the rewritten file.
+        wal.append(&record(5, WalOpKind::Delete, &["x"])).unwrap();
+        let (records, _) = read_wal(&path).unwrap();
+        assert_eq!(records.last().unwrap().epoch, 5);
+    }
+
+    #[test]
+    fn failpoint_simulates_a_torn_append() {
+        let _guard = failpoint::test_lock().lock();
+        failpoint::clear_all();
+        let path = temp_wal("failpoint");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.append(&record(1, WalOpKind::Insert, &["a"])).unwrap();
+        failpoint::arm("wal.append.before_write", FailAction::Torn(6));
+        let err = wal
+            .append(&record(2, WalOpKind::Insert, &["b"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("failpoint"), "{err}");
+        failpoint::clear_all();
+        // Recovery sees the intact first record and drops the torn tail.
+        let (records, tail) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(tail.dropped_bytes() > 0, "{tail:?}");
+    }
+}

@@ -3,19 +3,28 @@
 #
 # Usage: scripts/serve_smoke.sh [port]
 #
-# Builds the server and the bench client in release mode, starts the server
-# on the given port (default 7411) with the university ontology and an empty
-# store, runs the scripted exchange (`load_gen smoke`: PREPARE/QUERY/INSERT/
-# QUERY, an EXPLAIN plan dump, a two-tenant TENANT CREATE/USE/DROP round
-# trip, an insert-heavy phase — a 24-commit loop with interleaved queries
-# that exercises the copy-on-write O(batch) epoch publish and the
-# incremental materialization path over the wire — a WHY/WHY NOT
-# explanation round trip against the derivation graph, and a delete-heavy
-# phase that retracts every bulk insert again through the DRed path; exact
-# answer counts, epochs, retraction counters, cache behavior and tenant
-# isolation are all asserted), and lets the exchange's final SHUTDOWN stop
-# the server. Fails if the server does not come up, any check fails, or the
-# server does not exit cleanly.
+# Phase 1 (in-memory): builds the server and the bench client in release
+# mode, starts the server on the given port (default 7411) with the
+# university ontology and an empty store, runs the scripted exchange
+# (`load_gen smoke`: PREPARE/QUERY/INSERT/QUERY, an EXPLAIN plan dump, a
+# two-tenant TENANT CREATE/USE/DROP round trip, an insert-heavy phase — a
+# 24-commit loop with interleaved queries that exercises the copy-on-write
+# O(batch) epoch publish and the incremental materialization path over the
+# wire — a WHY/WHY NOT explanation round trip against the derivation graph,
+# and a delete-heavy phase that retracts every bulk insert again through
+# the DRed path; exact answer counts, epochs, retraction counters, cache
+# behavior and tenant isolation are all asserted), and lets the exchange's
+# final SHUTDOWN stop the server.
+#
+# Phase 2 (durable): starts the server again with `--data-dir` on a fresh
+# temporary directory, seeds a deterministic two-tenant workload
+# (`load_gen persist-seed`), kills the server with SIGKILL mid-service,
+# restarts it from the same data directory, and asserts every acknowledged
+# commit survived (`load_gen persist-verify`: answer counts, epochs, the
+# tenant list and the recovery counter), ending with a clean SHUTDOWN.
+#
+# Fails if any server does not come up, any check fails, or a server does
+# not exit cleanly when asked.
 set -euo pipefail
 
 port="${1:-7411}"
@@ -25,42 +34,71 @@ cd "$repo"
 cargo build --release -q -p ontorew-serve -p ontorew-bench --bins
 
 log="$(mktemp)"
+data_dir="$(mktemp -d)"
 cleanup() {
     if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
         kill "$server_pid" 2>/dev/null || true
     fi
     rm -f "$log"
+    rm -rf "$data_dir"
 }
 trap cleanup EXIT
 
-target/release/ontorew-server --addr "127.0.0.1:$port" --students 0 >"$log" 2>&1 &
-server_pid=$!
+# Start the server with the given extra flags, truncating the log, and wait
+# (up to ~10s) for the readiness line. Sets $server_pid.
+start_server() {
+    : >"$log"
+    target/release/ontorew-server --addr "127.0.0.1:$port" --students 0 "$@" >>"$log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$log"; then
+            return 0
+        fi
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "server exited before becoming ready:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "server never became ready" >&2
+    cat "$log" >&2
+    exit 1
+}
 
-# Wait (up to ~10s) for the readiness line.
-for _ in $(seq 1 100); do
-    if grep -q "listening on" "$log"; then
-        break
-    fi
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "server exited before becoming ready:" >&2
-        cat "$log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-grep -q "listening on" "$log" || { echo "server never became ready" >&2; cat "$log" >&2; exit 1; }
+# Wait (up to ~10s) for the server to exit on its own after a SHUTDOWN.
+wait_shutdown() {
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            wait "$server_pid" 2>/dev/null || true
+            unset server_pid
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "server did not shut down after SHUTDOWN" >&2
+    exit 1
+}
 
+# ---- Phase 1: in-memory scripted exchange --------------------------------
+start_server
 target/release/load_gen smoke --addr "127.0.0.1:$port"
+wait_shutdown
+echo "serve smoke: server shut down cleanly"
 
-# The smoke exchange ends with SHUTDOWN; the server must exit on its own.
-for _ in $(seq 1 100); do
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        wait "$server_pid" 2>/dev/null || true
-        unset server_pid
-        echo "serve smoke: server shut down cleanly"
-        exit 0
-    fi
-    sleep 0.1
-done
-echo "server did not shut down after SHUTDOWN" >&2
-exit 1
+# ---- Phase 2: durability — seed, SIGKILL, restart, verify ----------------
+start_server --data-dir "$data_dir"
+target/release/load_gen persist-seed --addr "127.0.0.1:$port"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+unset server_pid
+
+start_server --data-dir "$data_dir"
+grep -q "recovery #" "$log" || {
+    echo "restarted server did not report a recovery:" >&2
+    cat "$log" >&2
+    exit 1
+}
+target/release/load_gen persist-verify --addr "127.0.0.1:$port"
+wait_shutdown
+echo "serve smoke: crash-recovery phase survived SIGKILL"
