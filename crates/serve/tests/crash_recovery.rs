@@ -210,6 +210,62 @@ proptest! {
     }
 }
 
+/// A failed fsync on one commit — with the server *still running* — must
+/// not poison later commits: the service aborts that epoch, the epoch
+/// number is reused by the next successful commit, and recovery replays
+/// every acknowledged epoch while the aborted batch leaves no trace.
+#[test]
+fn io_error_on_one_commit_keeps_later_acked_commits_recoverable() {
+    let _serialize = failpoint::test_lock().lock();
+    failpoint::clear_all();
+    let root = temp_root("io-transient");
+    {
+        let registry = TenantRegistry::recover(
+            program(),
+            RelationalStore::new(),
+            ServiceConfig::default(),
+            settings(&root),
+        )
+        .unwrap();
+        let service = registry.default_tenant();
+        service
+            .insert_facts(&[Atom::fact("edge", &["a", "b"])])
+            .unwrap();
+        failpoint::arm("wal.append.before_sync", FailAction::IoError);
+        assert!(service
+            .insert_facts(&[Atom::fact("edge", &["x", "y"])])
+            .is_err());
+        failpoint::clear_all();
+        // The server keeps accepting commits after the transient failure.
+        service
+            .insert_facts(&[Atom::fact("edge", &["c", "d"])])
+            .unwrap();
+        service.insert_facts(&[Atom::fact("node", &["e"])]).unwrap();
+    }
+
+    let recovered = TenantRegistry::recover(
+        program(),
+        RelationalStore::new(),
+        ServiceConfig::default(),
+        settings(&root),
+    )
+    .unwrap();
+    let service = recovered.default_tenant();
+    let store = service.snapshot().store().to_instance();
+    for fact in [
+        Atom::fact("edge", &["a", "b"]),
+        Atom::fact("edge", &["c", "d"]),
+        Atom::fact("node", &["e"]),
+    ] {
+        assert!(store.contains(&fact), "acknowledged fact {fact} lost");
+    }
+    assert!(
+        !store.contains(&Atom::fact("edge", &["x", "y"])),
+        "aborted batch resurfaced"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Chase materializations are rebuilt from scratch after recovery — they
 /// are never persisted, and the first chase-backed query of the recovered
 /// process must not claim an incremental extension of a pre-crash version.

@@ -10,7 +10,15 @@
 //!   process had been killed the instant before;
 //! * **a torn write** (`FailAction::Torn(n)`) — the caller is told to
 //!   write only the first `n` bytes and then fail, the way a power cut
-//!   mid-`write(2)` leaves a prefix on disk.
+//!   mid-`write(2)` leaves a prefix on disk;
+//! * **a plain I/O error** (`FailAction::IoError`) — the syscall fails but
+//!   the process lives on (ENOSPC, a failed fsync), so the caller must
+//!   restore its on-disk invariants before returning.
+//!
+//! The first two simulate process death: callers recognise them via
+//! [`is_simulated_crash`] and skip any invariant-restoring cleanup a dead
+//! process could never have run. The third is indistinguishable from a
+//! production I/O failure and exercises exactly that cleanup.
 //!
 //! Armed points fire once and disarm themselves (each simulated crash is
 //! one crash), so a test can arm a point, drive the workload until it
@@ -32,6 +40,11 @@ pub enum FailAction {
     /// a torn write / power cut mid-write). Only meaningful at points that
     /// write a buffer; elsewhere it behaves like [`FailAction::Crash`].
     Torn(usize),
+    /// Fail the I/O with a plain error while the process keeps running
+    /// (simulates ENOSPC, a failed fsync, …). Unlike [`FailAction::Crash`],
+    /// the caller is expected to clean up after this one — it is *not*
+    /// recognised by [`is_simulated_crash`].
+    IoError,
 }
 
 /// Number of armed points — the fast path is a single relaxed load of this
@@ -76,10 +89,35 @@ pub fn clear_all() {
     }
 }
 
-/// The error a tripped failpoint surfaces: callers treat it like any other
-/// I/O failure (`ErrorKind::Other`, message names the point).
+/// The marker payload of a simulated-crash error, so callers can tell
+/// "the process notionally died here" apart from a real I/O failure.
+#[derive(Debug)]
+struct SimulatedCrash(String);
+
+impl std::fmt::Display for SimulatedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimulatedCrash {}
+
+/// The error a tripped crash/torn failpoint surfaces: callers treat it like
+/// any other I/O failure (`ErrorKind::Other`, message names the point), but
+/// [`is_simulated_crash`] recognises it.
 fn crash_error(point: &str) -> io::Error {
-    io::Error::other(format!("failpoint {point} tripped (simulated crash)"))
+    io::Error::other(SimulatedCrash(format!(
+        "failpoint {point} tripped (simulated crash)"
+    )))
+}
+
+/// Whether `e` came from a [`FailAction::Crash`] / [`FailAction::Torn`]
+/// failpoint — i.e. the process is notionally dead and invariant-restoring
+/// cleanup (which a killed process could never run) must be skipped so the
+/// test observes the true post-crash disk state.
+pub fn is_simulated_crash(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<SimulatedCrash>())
 }
 
 /// Check `point`. Returns:
@@ -103,6 +141,9 @@ pub fn check(point: &'static str) -> io::Result<Option<usize>> {
         None => Ok(None),
         Some(FailAction::Crash) => Err(crash_error(point)),
         Some(FailAction::Torn(n)) => Ok(Some(n)),
+        Some(FailAction::IoError) => Err(io::Error::other(format!(
+            "failpoint {point} tripped (injected io error)"
+        ))),
     }
 }
 
@@ -132,6 +173,20 @@ mod tests {
         arm("persist.test.torn", FailAction::Torn(5));
         assert_eq!(check("persist.test.torn").unwrap(), Some(5));
         assert!(matches!(check("persist.test.torn"), Ok(None)));
+        clear_all();
+    }
+
+    #[test]
+    fn io_errors_are_not_simulated_crashes() {
+        let _guard = test_lock().lock();
+        clear_all();
+        arm("persist.test.io", FailAction::IoError);
+        let err = check("persist.test.io").unwrap_err();
+        assert!(!is_simulated_crash(&err), "{err}");
+        arm("persist.test.crash2", FailAction::Crash);
+        let err = check("persist.test.crash2").unwrap_err();
+        assert!(is_simulated_crash(&err), "{err}");
+        assert!(is_simulated_crash(&torn_error("persist.test.torn2")));
         clear_all();
     }
 

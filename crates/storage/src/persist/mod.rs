@@ -21,7 +21,8 @@
 //!   WAL), tombstone on drop.
 //! * [`failpoint`] — crash-point **fault injection** hooks compiled into
 //!   the persist I/O paths; tests arm them to simulate a crash (the write
-//!   never happens) or a torn write (a prefix hits the disk) at every
+//!   never happens), a torn write (a prefix hits the disk), or a plain
+//!   I/O error the still-running process must clean up after, at every
 //!   interesting point.
 //!
 //! The invariant the whole module is built around: **recovery never

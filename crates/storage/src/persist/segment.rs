@@ -34,22 +34,59 @@ pub const SEGMENT_MAGIC: &[u8; 4] = b"OSG1";
 /// Returns `(rows, bytes, crc)` for the manifest entry. The file is synced
 /// before returning; the caller syncs the parent directory when it
 /// publishes the manifest.
+///
+/// A relation whose payload would exceed [`codec::MAX_LEN`] is rejected
+/// *before* anything touches disk — `read_segment` refuses any file past
+/// that bound, so writing it would publish a manifest (and truncate the
+/// WAL) pointing at a checkpoint the next restart can never load. The
+/// error aborts the checkpoint; the previous manifest and the WAL stay
+/// authoritative and the data remains recoverable.
 pub fn write_segment<'a>(
     path: &Path,
     predicate: Predicate,
     rows: impl Iterator<Item = &'a Vec<Term>>,
 ) -> io::Result<(u64, u64, u32)> {
+    write_segment_capped(path, predicate, rows, codec::MAX_LEN as usize)
+}
+
+/// [`write_segment`] with an explicit payload cap (tests exercise the
+/// bound without building a 256 MiB relation).
+fn write_segment_capped<'a>(
+    path: &Path,
+    predicate: Predicate,
+    rows: impl Iterator<Item = &'a Vec<Term>>,
+    max_payload: usize,
+) -> io::Result<(u64, u64, u32)> {
+    let oversized = |count: u32| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "relation {} exceeds the {max_payload}-byte segment cap ({count} rows in); \
+                 aborting the checkpoint",
+                predicate.name_str()
+            ),
+        )
+    };
     let mut payload = Vec::new();
     codec::put_str(&mut payload, predicate.name_str());
     codec::put_u32(&mut payload, predicate.arity as u32);
     let count_at = payload.len();
     codec::put_u32(&mut payload, 0);
+    if payload.len() > max_payload {
+        return Err(oversized(0));
+    }
     let mut count = 0u32;
     for row in rows {
         for term in row {
             codec::put_term(&mut payload, term)?;
         }
         count += 1;
+        // Checked per row so an oversized relation fails early instead of
+        // first materializing multi-gigabyte payloads (past 4 GiB the u32
+        // length prefix would silently wrap).
+        if payload.len() > max_payload {
+            return Err(oversized(count));
+        }
     }
     payload[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
 
@@ -191,6 +228,21 @@ mod tests {
         // And a manifest/file checksum disagreement.
         std::fs::write(&path, &pristine).unwrap();
         assert!(read_segment(&path, crc ^ 1).is_err());
+    }
+
+    #[test]
+    fn oversized_relation_aborts_the_checkpoint_before_touching_disk() {
+        // (The cap is exercised via write_segment_capped; the public entry
+        // point runs the identical path with codec::MAX_LEN.)
+        let path = temp_seg("oversize");
+        let data = rows();
+        let err = write_segment_capped(&path, Predicate::new("r", 2), data.iter(), 16).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("segment cap"), "{err}");
+        // Nothing was written: no segment, no leftover temp file — the old
+        // manifest and the WAL remain the authority.
+        assert!(!path.exists());
+        assert!(!path.with_extension("tmp").exists());
     }
 
     #[test]

@@ -534,6 +534,46 @@ mod tests {
     }
 
     #[test]
+    fn io_error_on_log_commit_does_not_lose_later_acked_commits() {
+        // The failed-fsync repro: epoch 2's append fails after its frame
+        // reached the file, the server keeps running, the retried commit
+        // reuses epoch 2, and two more commits are acknowledged. Recovery
+        // must replay every acknowledged epoch and none of the aborted one.
+        let root = temp_root("io-error");
+        let storage = TenantStorage::create(&root, "t", "", FsyncPolicy::Always).unwrap();
+        storage.log_commit(&insert(1, &["acked1"])).unwrap();
+        {
+            let _guard = failpoint::test_lock().lock();
+            failpoint::clear_all();
+            failpoint::arm("wal.append.before_sync", FailAction::IoError);
+            assert!(storage.log_commit(&insert(2, &["aborted"])).is_err());
+            failpoint::clear_all();
+        }
+        storage.log_commit(&insert(2, &["acked2"])).unwrap();
+        storage.log_commit(&insert(3, &["acked3"])).unwrap();
+        drop(storage);
+
+        let recovered = TenantStorage::open(&root, "t", FsyncPolicy::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(recovered.tail, WalTail::Clean);
+        assert_eq!(recovered.epoch, 3);
+        assert_eq!(recovered.replayed, 3);
+        for name in ["acked1", "acked2", "acked3"] {
+            assert!(
+                recovered.store.contains_atom(&Atom::fact("node", &[name])),
+                "acknowledged commit {name} lost"
+            );
+        }
+        assert!(
+            !recovered
+                .store
+                .contains_atom(&Atom::fact("node", &["aborted"])),
+            "aborted batch resurfaced"
+        );
+    }
+
+    #[test]
     fn crash_between_segments_and_manifest_keeps_the_old_checkpoint() {
         let root = temp_root("crash-manifest");
         let storage = TenantStorage::create(&root, "t", "", FsyncPolicy::default()).unwrap();

@@ -185,6 +185,74 @@ fn run_workload(tag: &str, ops: &[Op], crash_at: Option<usize>, point_idx: usize
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Drive `ops` with a *transient* I/O failure (the process keeps running)
+/// injected into the commit at step `fail_at`: the failed commit is rolled
+/// back, the workload continues through the remaining steps, and recovery
+/// must match the acknowledged oracle exactly — no in-flight allowance,
+/// because a still-running process never acknowledged the failed batch.
+fn run_workload_io_error(tag: &str, ops: &[Op], fail_at: usize, point_idx: usize) {
+    let _serialize = failpoint::test_lock().lock();
+    failpoint::clear_all();
+
+    let root = temp_root(tag);
+    let storage = TenantStorage::create(&root, "prop", "prop program", FsyncPolicy::Off).unwrap();
+    let mut oracle = RelationalStore::new();
+    let mut live = RelationalStore::new();
+    let mut epoch = 0u64;
+
+    for (i, op) in ops.iter().enumerate() {
+        let armed = fail_at == i;
+        match op {
+            Op::Insert(facts) | Op::Delete(facts) => {
+                let kind = if matches!(op, Op::Insert(_)) {
+                    WalOpKind::Insert
+                } else {
+                    WalOpKind::Delete
+                };
+                if armed {
+                    let point = COMMIT_POINTS[point_idx % COMMIT_POINTS.len()];
+                    failpoint::arm(point, FailAction::IoError);
+                }
+                let record = WalRecord {
+                    epoch: epoch + 1,
+                    kind,
+                    facts: facts.clone(),
+                };
+                match storage.log_commit(&record) {
+                    Ok(()) => {
+                        epoch += 1;
+                        apply(&mut oracle, kind, facts);
+                        apply(&mut live, kind, facts);
+                    }
+                    Err(_) => {
+                        assert!(armed, "only the armed step may fail");
+                        // Aborted, not acknowledged: the workload goes on.
+                    }
+                }
+            }
+            Op::Checkpoint => {
+                live.freeze();
+                storage.checkpoint(&live, epoch).unwrap();
+            }
+        }
+        if armed {
+            failpoint::clear_all();
+        }
+    }
+    failpoint::clear_all();
+    drop(storage);
+
+    let recovered = TenantStorage::open(&root, "prop", FsyncPolicy::default())
+        .unwrap()
+        .expect("tenant recoverable");
+    assert_eq!(
+        recovered.store.to_instance(),
+        oracle.to_instance(),
+        "a transient commit failure must be invisible after recovery"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 proptest! {
     /// Without any crash, recovery is an exact round-trip of the workload.
     #[test]
@@ -202,6 +270,19 @@ proptest! {
         torn in 0usize..48,
     ) {
         run_workload("commit-crash", &ops, Some(crash_at % ops.len()), point, torn);
+    }
+
+    /// A transient I/O failure on the commit path (failed write or fsync
+    /// with the process still running) aborts only that commit: later
+    /// commits — including the retry that reuses the aborted epoch number —
+    /// all survive recovery.
+    #[test]
+    fn io_error_on_the_commit_path_is_invisible_after_recovery(
+        ops in prop::collection::vec(op_strategy(), 1..20),
+        fail_at in 0usize..20,
+        point in 0usize..2,
+    ) {
+        run_workload_io_error("io-error", &ops, fail_at % ops.len(), point);
     }
 
     /// Crashing inside a checkpoint never loses an acknowledged commit.
