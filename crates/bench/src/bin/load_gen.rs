@@ -16,7 +16,9 @@
 //!   incremental materialization path, over the wire), a `WHY`/`WHY NOT`
 //!   explanation round trip, and a delete-heavy retraction loop that
 //!   unwinds the bulk inserts through the DRed path. Exact expected answer
-//!   counts are asserted; exits non-zero on any mismatch, then shuts the
+//!   counts are asserted — including a `METRICS` scrape that fails if the
+//!   core telemetry families (`queries_total`, `chase_rounds_total`, ...)
+//!   are absent or zero; exits non-zero on any mismatch, then shuts the
 //!   server down:
 //!   ```text
 //!   load_gen smoke --addr 127.0.0.1:7411
@@ -32,7 +34,9 @@
 //!   server on the same data directory: asserts the exact answer counts,
 //!   epochs and tenant list that `persist-seed` left behind, checks the
 //!   `recoveries` counter, commits one more epoch to prove the recovered
-//!   WAL accepts appends, and finally shuts the server down.
+//!   WAL accepts appends, scrapes `METRICS` for the durability families
+//!   (`wal_appends_total`, `wal_fsync_seconds`, `recoveries_total`), and
+//!   finally shuts the server down.
 
 use ontorew_bench::percentile;
 use ontorew_serve::ServeClient;
@@ -86,6 +90,43 @@ fn run_load(addr: &str, threads: usize, requests: usize) -> ExitCode {
         all.last().copied().unwrap_or(0),
     );
     ExitCode::SUCCESS
+}
+
+/// Scrape `METRICS` and assert each named family has at least one series
+/// with a non-zero value. Histogram families are matched through their
+/// `_count` series, so `wal_fsync_seconds` asserts that fsyncs were
+/// *observed*, not just that the family is registered.
+fn scrape_metrics(client: &mut ServeClient, families: &[&str]) -> Result<(), String> {
+    let text = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    for family in families {
+        let mut total = 0f64;
+        let mut seen = false;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let name = series.split('{').next().unwrap_or(series);
+            if name == *family || name == format!("{family}_count") {
+                seen = true;
+                total += value.parse::<f64>().unwrap_or(0.0);
+            }
+        }
+        if !seen {
+            return Err(format!("FAIL metrics: family {family} absent from METRICS"));
+        }
+        if total == 0.0 {
+            return Err(format!("FAIL metrics: family {family} present but zero"));
+        }
+    }
+    println!(
+        "ok   metrics: {} families present and non-zero ({})",
+        families.len(),
+        families.join(", ")
+    );
+    Ok(())
 }
 
 /// One step of the scripted smoke exchange: run, compare, complain.
@@ -405,6 +446,23 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
     }
     println!("ok   delete-heavy phase: {COMMITS} retractions, epochs, answers and WHY consistent");
 
+    // The METRICS surface: the core engine families must all have moved
+    // after the exchange above (queries, plans, rewritings, chase rounds,
+    // per-verb request counters and latency histograms).
+    scrape_metrics(
+        &mut client,
+        &[
+            "queries_total",
+            "requests_total",
+            "request_seconds",
+            "plan_plans_total",
+            "plan_cache_hits_total",
+            "rewrite_runs_total",
+            "chase_rounds_total",
+            "chase_triggers_fired_total",
+        ],
+    )?;
+
     client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     Ok(())
 }
@@ -569,6 +627,19 @@ fn persist_verify_exchange(addr: &str) -> Result<(), String> {
         reply.count,
         SEED_WORKERS + 1,
     )?;
+    // Durability metric families: the restart counts a recovery, and the
+    // post-crash insert appends (and fsyncs — the smoke harness runs the
+    // durable server with `--fsync always`) through the recovered WAL.
+    scrape_metrics(
+        &mut client,
+        &[
+            "queries_total",
+            "wal_appends_total",
+            "wal_fsync_seconds",
+            "recoveries_total",
+        ],
+    )?;
+
     println!("ok   recovery #{recoveries}: both tenants intact, WAL writable");
     client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     Ok(())

@@ -1,14 +1,17 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E16) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E17) and print the tables.
 //!
 //! ```text
-//! cargo run -p ontorew-bench --release --bin run_experiments [--json] [--only E8,E12]
+//! cargo run -p ontorew-bench --release --bin run_experiments \
+//!     [--json] [--only E8,E12] [--metrics]
 //! ```
 //!
 //! By default the human-readable tables are printed, separated by blank
 //! lines. With `--json` one JSON object per experiment is emitted per line
 //! (NDJSON: `{"id": "E8", "report": "..."}`), which is what
 //! `scripts/record_baseline.sh` consumes — no scraping of human-formatted
-//! output.
+//! output. With `--metrics`, the process-global telemetry registry is
+//! dumped after the runs as one NDJSON line per metric series — every
+//! chase/rewrite/plan/serve counter the experiments drove.
 
 use std::process::ExitCode;
 
@@ -34,17 +37,19 @@ type Experiment = (&'static str, fn() -> String);
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut metrics = false;
     let mut only: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--metrics" => metrics = true,
             "--only" => {
                 let list = args.next().expect("--only needs a comma-separated list");
                 only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--help" | "-h" => {
-                eprintln!("usage: run_experiments [--json] [--only E8,E12]");
+                eprintln!("usage: run_experiments [--json] [--only E8,E12] [--metrics]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -99,6 +104,9 @@ fn main() -> ExitCode {
         ("E16", || {
             ontorew_bench::experiment_durability(20_000, 200, &[1_000, 5_000, 20_000])
         }),
+        ("E17", || {
+            ontorew_bench::experiment_tracing_overhead(1_000, 100)
+        }),
     ];
 
     let mut first = true;
@@ -121,6 +129,11 @@ fn main() -> ExitCode {
             println!("{report}");
         }
         first = false;
+    }
+    if metrics {
+        // Everything the experiments drove, one NDJSON line per series —
+        // the same registry the server exposes over `METRICS`.
+        print!("{}", ontorew_telemetry::global_registry().render_ndjson());
     }
     ExitCode::SUCCESS
 }

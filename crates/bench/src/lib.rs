@@ -1285,6 +1285,130 @@ pub fn experiment_durability(students: usize, commits: usize, sizes: &[usize]) -
     out
 }
 
+/// E17 — tracing overhead: what the span instrumentation costs on the warm
+/// serving path (the E12 repeat-query traffic). Three measurements:
+///
+/// 1. the *disabled* path — spans compiled in but no collector installed
+///    (the production default): an inactive [`ontorew_telemetry::span`] is
+///    one relaxed atomic load, so the per-request overhead is
+///    `spans/request x inactive-span cost` and must stay within 2% of the
+///    warm request latency;
+/// 2. the *enabled* path — a per-request collector installed and drained,
+///    exactly as `serve` does when `TRACE ON` is armed;
+/// 3. the raw warm throughput in both modes, so the enabled overhead is
+///    visible as a qps delta, not just a microbenchmark.
+pub fn experiment_tracing_overhead(students: usize, repeats: usize) -> String {
+    use ontorew_serve::{QueryService, ServiceConfig};
+    use ontorew_telemetry::{install_collector, span, take_collector};
+    use std::sync::Arc;
+
+    let ontology = university_ontology();
+    let abox = university_abox(students, students / 10 + 1, students / 5 + 1, 17);
+    let store = RelationalStore::from_instance(&abox);
+    let queries = serving_query_mix();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E17 — tracing overhead: span instrumentation on the warm serving path"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "university workload: students={students} facts={} mix={} queries repeats={repeats}",
+        store.len(),
+        queries.len()
+    )
+    .unwrap();
+
+    let service = Arc::new(QueryService::new(ontology, store, ServiceConfig::default()));
+    // Warm every plan (and the per-epoch materialization) before timing.
+    for q in &queries {
+        service.query(q).expect("warm answers");
+    }
+
+    // 1) The inactive span itself: no collector on this thread, so each
+    // span() is a relaxed load and SpanGuard::drop is a no-op.
+    const SPAN_ITERS: u64 = 2_000_000;
+    let start = Instant::now();
+    for _ in 0..SPAN_ITERS {
+        let _guard = span("bench.noop");
+    }
+    let span_ns = start.elapsed().as_nanos() as f64 / SPAN_ITERS as f64;
+    writeln!(out, "inactive span cost: {span_ns:.1} ns/span").unwrap();
+
+    // Spans per request on this mix (traced once, averaged).
+    install_collector(4096);
+    for q in &queries {
+        service.query(q).expect("traced answers");
+    }
+    let (spans, _elapsed_us) = take_collector();
+    assert!(!spans.is_empty(), "the count pass produced no spans");
+    let spans_per_request = spans.len() as f64 / queries.len() as f64;
+    writeln!(out, "spans per warm request: {spans_per_request:.1}").unwrap();
+
+    // 2+3) Warm traffic with tracing off, then with a per-request collector.
+    let time_mode = |traced: bool| -> Vec<u64> {
+        let mut latencies = Vec::with_capacity(repeats * queries.len());
+        for _ in 0..repeats {
+            for q in &queries {
+                let start = Instant::now();
+                if traced {
+                    install_collector(4096);
+                }
+                let response = service.query(q).expect("warm answers");
+                if traced {
+                    let (spans, _) = take_collector();
+                    assert!(!spans.is_empty(), "traced request produced no spans");
+                }
+                latencies.push(start.elapsed().as_micros() as u64);
+                assert!(response.cache_hit, "overhead traffic must be warm");
+            }
+        }
+        latencies.sort_unstable();
+        latencies
+    };
+    let off_us = time_mode(false);
+    let on_us = time_mode(true);
+    let qps = |lat: &[u64]| lat.len() as f64 / (lat.iter().sum::<u64>().max(1) as f64 / 1e6);
+    let (off_qps, on_qps) = (qps(&off_us), qps(&on_us));
+    writeln!(out, "mode       requests      qps  p50_us  p99_us").unwrap();
+    writeln!(
+        out,
+        "trace-off {:>9} {:>8.0} {:>7} {:>7}",
+        off_us.len(),
+        off_qps,
+        percentile(&off_us, 0.50),
+        percentile(&off_us, 0.99),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "trace-on  {:>9} {:>8.0} {:>7} {:>7}",
+        on_us.len(),
+        on_qps,
+        percentile(&on_us, 0.50),
+        percentile(&on_us, 0.99),
+    )
+    .unwrap();
+
+    // The bound the observability work must hold: the disabled path adds
+    // spans_per_request relaxed loads to a warm request.
+    let p50_off_ns = percentile(&off_us, 0.50).max(1) as f64 * 1e3;
+    let disabled_pct = 100.0 * spans_per_request * span_ns / p50_off_ns;
+    let enabled_pct = 100.0 * (off_qps - on_qps).max(0.0) / off_qps.max(1e-9);
+    writeln!(
+        out,
+        "disabled-path overhead: {disabled_pct:.3}% of warm p50 (bound 2%)"
+    )
+    .unwrap();
+    writeln!(out, "tracing enabled overhead: {enabled_pct:.1}% qps").unwrap();
+    assert!(
+        disabled_pct <= 2.0,
+        "disabled-path tracing overhead {disabled_pct:.3}% exceeds the 2% bound"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1324,5 +1448,8 @@ mod tests {
         assert!(e16.contains("commit overhead"), "{e16}");
         assert!(e16.contains("every-8 vs in-memory"), "{e16}");
         assert!(e16.contains("recovery time"), "{e16}");
+        let e17 = experiment_tracing_overhead(60, 4);
+        assert!(e17.contains("disabled-path overhead"), "{e17}");
+        assert!(e17.contains("tracing enabled overhead"), "{e17}");
     }
 }

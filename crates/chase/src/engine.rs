@@ -39,7 +39,55 @@ use crate::trigger::{
     find_rule_triggers, find_rule_triggers_delta, RulePlan, StagedEdge, Trigger, TriggerKey,
 };
 use ontorew_model::prelude::*;
+use ontorew_telemetry::{global_registry, span, Counter, Gauge, Histogram};
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handles into the global metrics registry for the chase's hot
+/// loop — looked up once, then recording is a relaxed atomic per event.
+struct ChaseMetrics {
+    rounds: Arc<Counter>,
+    triggers_found: Arc<Counter>,
+    triggers_fired: Arc<Counter>,
+    facts_derived: Arc<Counter>,
+    delta_size: Arc<Histogram>,
+    rules_active: Arc<Gauge>,
+}
+
+fn chase_metrics() -> &'static ChaseMetrics {
+    static METRICS: OnceLock<ChaseMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global_registry();
+        ChaseMetrics {
+            rounds: r.counter("chase_rounds_total", "Chase rounds executed.", &[]),
+            triggers_found: r.counter(
+                "chase_triggers_found_total",
+                "Triggers returned by round searches.",
+                &[],
+            ),
+            triggers_fired: r.counter(
+                "chase_triggers_fired_total",
+                "Triggers actually fired (head instantiated).",
+                &[],
+            ),
+            facts_derived: r.counter(
+                "chase_facts_derived_total",
+                "New facts inserted by chase rounds.",
+                &[],
+            ),
+            delta_size: r.histogram(
+                "chase_round_delta_size",
+                "Facts derived per chase round (the next round's delta).",
+                &[],
+            ),
+            rules_active: r.gauge(
+                "chase_rules_active",
+                "Rules in the program of the most recent chase run.",
+                &[],
+            ),
+        }
+    })
+}
 
 /// Which chase variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -375,6 +423,8 @@ pub(crate) fn run_chase_rounds(
     config: &ChaseConfig,
     mut search_round: impl FnMut(&Instance, Option<&Instance>) -> Vec<Trigger>,
 ) -> (ChaseResult, Instance) {
+    let metrics = chase_metrics();
+    metrics.rules_active.set(plans.len() as i64);
     let mut instance = initial;
     let mut fired = 0usize;
     let mut rounds = 0usize;
@@ -408,7 +458,14 @@ pub(crate) fn run_chase_rounds(
         // a budget-exhausted run keeps `outcome != Terminated`, which is
         // what tells `chase_retract` the graph cannot be trusted as a full
         // account of the instance.
+        let mut round_span = span("chase.round");
         let triggers = search_round(&instance, delta.as_ref());
+        metrics.rounds.inc();
+        metrics.triggers_found.add(triggers.len() as u64);
+        round_span.attr("round", rounds);
+        round_span.attr("found", triggers.len());
+        let fired_before = fired;
+        let len_before = instance.len();
         let mut new_facts: Vec<Atom> = Vec::new();
         let mut pending_edges: Vec<StagedEdge> = Vec::new();
         for trigger in triggers {
@@ -467,6 +524,9 @@ pub(crate) fn run_chase_rounds(
             fired_keys.insert(key);
         }
 
+        metrics.triggers_fired.add((fired - fired_before) as u64);
+        round_span.attr("fired", fired - fired_before);
+
         // The naive strategy never reads the delta, so it skips the
         // bookkeeping and only tracks growth.
         let mut next_delta = Instance::new();
@@ -520,6 +580,11 @@ pub(crate) fn run_chase_rounds(
                 g.add_edge(rule_index, key, &premises, &conclusions, satisfied);
             }
         }
+
+        let derived = (instance.len() - len_before) as u64;
+        metrics.facts_derived.add(derived);
+        metrics.delta_size.observe(derived);
+        round_span.attr("derived", derived);
 
         if !grew {
             return (

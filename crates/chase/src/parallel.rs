@@ -21,7 +21,22 @@
 use crate::engine::{ChaseConfig, ChaseResult, ChaseStrategy};
 use crate::trigger::{find_rule_triggers, find_rule_triggers_delta_chunk, RulePlan, Trigger};
 use ontorew_model::prelude::*;
+use ontorew_telemetry::{global_registry, Histogram};
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+/// Slices produced per parallel delta search — how finely the round's work
+/// split across the pool.
+fn parallel_chunk_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        global_registry().histogram(
+            "chase_parallel_chunks",
+            "Work slices per parallel delta trigger search.",
+            &[],
+        )
+    })
+}
 
 /// Enumerate every trigger of `program` on `instance`, searching rules in
 /// parallel across `threads` worker threads.
@@ -86,6 +101,7 @@ pub fn find_triggers_delta_parallel(
             }
         }
     }
+    parallel_chunk_histogram().observe(slices.len() as u64);
     let rules = program.rules();
     run_partitioned(&slices, threads, |slice| {
         find_rule_triggers_delta_chunk(

@@ -11,10 +11,28 @@ use ontorew_core::{classify, ClassificationReport};
 use ontorew_model::prelude::*;
 use ontorew_rewrite::{evaluate_rewriting, rewrite, RewriteConfig, Rewriting};
 use ontorew_storage::{evaluate_cq, RelationalStore};
+use ontorew_telemetry::{global_registry, span};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Count one materialization by how it was obtained (the `mode` label of
+/// `plan_materializations_total`).
+fn record_materialization_mode(mode: &MaterializationMode) {
+    let label = match mode {
+        MaterializationMode::Scratch => "scratch",
+        MaterializationMode::Incremental { .. } => "incremental",
+        MaterializationMode::Dred { .. } => "dred",
+    };
+    global_registry()
+        .counter(
+            "plan_materializations_total",
+            "Materializations computed, by mode (scratch, incremental, dred).",
+            &[("mode", label)],
+        )
+        .inc();
+}
 
 /// Configuration of a [`Planner`].
 #[derive(Clone, Copy, Debug)]
@@ -291,6 +309,13 @@ impl PlannerShared {
             // token for different data; recomputing is then the safe choice.
             let mut cache = self.materializations.lock();
             if let Some(m) = cache.get(v, source_facts) {
+                global_registry()
+                    .counter(
+                        "plan_materialization_cache_hits_total",
+                        "Materialization cache hits (version token matched).",
+                        &[],
+                    )
+                    .inc();
                 return (m, true);
             }
             if let Some((from, base, batches)) = cache.incremental_base(v, source_facts) {
@@ -312,6 +337,7 @@ impl PlannerShared {
                     self.materialize_incremental(store, v, from, &base, delta)
                 };
                 if let Some(materialization) = result {
+                    record_materialization_mode(&materialization.mode);
                     return (materialization, false);
                 }
                 // Validation failed (stale tokens, mismatched lineage, no
@@ -339,6 +365,7 @@ impl PlannerShared {
             chased: result,
             null_set,
         });
+        record_materialization_mode(&MaterializationMode::Scratch);
         if let Some(v) = version {
             self.materializations
                 .lock()
@@ -807,6 +834,13 @@ impl Planner {
                 (false, true, _) => unreachable!("handled by the chase branch above"),
             }
         };
+        global_registry()
+            .counter(
+                "plan_plans_total",
+                "Plans compiled, by chosen kind.",
+                &[("kind", plan.kind().label())],
+            )
+            .inc();
         PreparedQuery {
             shared: Arc::clone(&self.inner),
             query: query.clone(),
@@ -1016,6 +1050,8 @@ impl PreparedQuery {
 
     fn run(&self, store: &RelationalStore, version: Option<u64>) -> Execution {
         let start = Instant::now();
+        let mut run_span = span("plan.run");
+        run_span.attr("kind", self.plan.kind().label());
         let mut execution = match &self.plan {
             QueryPlan::RewriteThenEvaluate { rewriting } => self.run_rewriting(
                 rewriting,
@@ -1030,6 +1066,8 @@ impl PreparedQuery {
             QueryPlan::BestEffort { rewriting } => self.run_best_effort(rewriting, store, version),
         };
         execution.provenance.timings.total_us = start.elapsed().as_micros() as u64;
+        run_span.attr("strategy", format!("{:?}", execution.provenance.strategy));
+        run_span.attr("answers", execution.answers.len());
         execution
     }
 
@@ -1041,7 +1079,10 @@ impl PreparedQuery {
         reason: String,
     ) -> Execution {
         let start = Instant::now();
+        let mut eval_span = span("plan.evaluate");
+        eval_span.attr("disjuncts", rewriting.len());
         let answers = evaluate_rewriting(rewriting, &self.query, store);
+        drop(eval_span);
         Execution {
             answers,
             provenance: Provenance {
@@ -1069,9 +1110,15 @@ impl PreparedQuery {
         version: Option<u64>,
         reason: String,
     ) -> Execution {
+        let mut mat_span = span("plan.materialize");
         let (materialization, cached) = self.shared.materialize(store, version);
+        mat_span.attr("cached", cached);
+        mat_span.attr("facts", materialization.facts);
+        drop(mat_span);
         let start = Instant::now();
+        let eval_span = span("plan.evaluate");
         let answers = evaluate_cq(&materialization.store, &self.query).without_nulls();
+        drop(eval_span);
         Execution {
             answers,
             provenance: Provenance {

@@ -13,9 +13,44 @@
 use crate::rq::RQuery;
 use crate::step::{factorizations, rewrite_with_rule};
 use ontorew_model::prelude::*;
+use ontorew_telemetry::{global_registry, span, Counter, Histogram};
 use ontorew_unify::prune_ucq;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, OnceLock};
+
+/// Cached registry handles for the rewriting saturation loop.
+struct RewriteMetrics {
+    rewrites: Arc<Counter>,
+    steps: Arc<Counter>,
+    ucq_before_prune: Arc<Histogram>,
+    ucq_after_prune: Arc<Histogram>,
+}
+
+fn rewrite_metrics() -> &'static RewriteMetrics {
+    static METRICS: OnceLock<RewriteMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global_registry();
+        RewriteMetrics {
+            rewrites: r.counter("rewrite_runs_total", "UCQ rewriting runs.", &[]),
+            steps: r.counter(
+                "rewrite_steps_total",
+                "Rewriting steps (rule applications) across all runs.",
+                &[],
+            ),
+            ucq_before_prune: r.histogram(
+                "rewrite_ucq_disjuncts_before_prune",
+                "Disjuncts entering subsumption pruning.",
+                &[],
+            ),
+            ucq_after_prune: r.histogram(
+                "rewrite_ucq_disjuncts_after_prune",
+                "Disjuncts after subsumption pruning (final UCQ size).",
+                &[],
+            ),
+        }
+    })
+}
 
 /// Configuration of a rewriting run.
 #[derive(Clone, Copy, Debug)]
@@ -170,6 +205,9 @@ pub fn rewrite_ucq(
     query: &UnionOfConjunctiveQueries,
     config: &RewriteConfig,
 ) -> Rewriting {
+    let metrics = rewrite_metrics();
+    metrics.rewrites.inc();
+    let mut rewrite_span = span("rewrite");
     let mut stats = RewriteStats::default();
     let mut seen: HashMap<String, RQuery> = HashMap::new();
     let mut queue: VecDeque<(RQuery, usize)> = VecDeque::new();
@@ -262,6 +300,7 @@ pub fn rewrite_ucq(
     // where even bucketed pruning costs more than the evaluation it saves.
     // Canonical deduplication has already happened either way.
     const PRUNE_DISJUNCT_LIMIT: usize = 4096;
+    let before_prune = cq_disjuncts.len();
     let ucq = if cq_disjuncts.is_empty() {
         // Degenerate case: every disjunct is grounded. Keep the original
         // query so the UCQ stays well-formed (it is still a sound disjunct).
@@ -275,6 +314,13 @@ pub fn rewrite_ucq(
         }
     };
     stats.final_disjuncts = ucq.len() + grounded.len();
+    metrics.steps.add(stats.steps as u64);
+    metrics.ucq_before_prune.observe(before_prune as u64);
+    metrics.ucq_after_prune.observe(ucq.len() as u64);
+    rewrite_span.attr("steps", stats.steps);
+    rewrite_span.attr("depth", stats.depth_reached);
+    rewrite_span.attr("before_prune", before_prune);
+    rewrite_span.attr("disjuncts", stats.final_disjuncts);
 
     Rewriting {
         ucq,

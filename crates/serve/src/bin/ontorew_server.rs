@@ -3,6 +3,7 @@
 //! ```text
 //! ontorew-server [--addr 127.0.0.1:7411] [--workers 8] [--students 1000]
 //!                [--data-dir DIR] [--fsync always|every-N|off]
+//!                [--slow-query-ms N] [--trace-ring N]
 //! ```
 //!
 //! Serves the built-in university ontology (the E8/E12 workload) with a
@@ -23,6 +24,7 @@ use ontorew_storage::{FsyncPolicy, RelationalStore};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7411".to_string();
@@ -30,6 +32,8 @@ fn main() -> ExitCode {
     let mut students = 1000usize;
     let mut data_dir: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::default();
+    let mut slow_query: Option<Duration> = None;
+    let mut trace_ring = ServerConfig::default().trace_ring;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -45,6 +49,17 @@ fn main() -> ExitCode {
                     .expect("--students: not a number")
             }
             "--data-dir" => data_dir = Some(PathBuf::from(take("--data-dir"))),
+            "--slow-query-ms" => {
+                let ms: u64 = take("--slow-query-ms")
+                    .parse()
+                    .expect("--slow-query-ms: not a number");
+                slow_query = Some(Duration::from_millis(ms));
+            }
+            "--trace-ring" => {
+                trace_ring = take("--trace-ring")
+                    .parse()
+                    .expect("--trace-ring: not a number")
+            }
             "--fsync" => {
                 fsync = take("--fsync")
                     .parse()
@@ -53,7 +68,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ontorew-server [--addr HOST:PORT] [--workers N] [--students N] \
-                     [--data-dir DIR] [--fsync always|every-N|off]"
+                     [--data-dir DIR] [--fsync always|every-N|off] [--slow-query-ms N] \
+                     [--trace-ring N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -81,6 +97,8 @@ fn main() -> ExitCode {
     let config = ServerConfig {
         addr,
         workers,
+        slow_query,
+        trace_ring,
         ..Default::default()
     };
     let (handle, compactor) = match &data_dir {

@@ -141,6 +141,10 @@ pub struct ServeClient {
     retry: Option<RetryPolicy>,
     jitter_state: u64,
     tenant: Option<String>,
+    /// Whether this connection sent `TRACE ON`: every subsequent kept-open
+    /// `OK` response is followed by a trace dump block the client must
+    /// drain to stay in sync.
+    traced: bool,
 }
 
 impl ServeClient {
@@ -160,6 +164,7 @@ impl ServeClient {
             retry: None,
             jitter_state: 0,
             tenant: None,
+            traced: false,
         })
     }
 
@@ -184,6 +189,12 @@ impl ServeClient {
         if let Some(tenant) = self.tenant.clone() {
             self.tenant_use_once(&tenant)?;
         }
+        // Re-arm tracing: the server's flag is per-connection. The fresh
+        // connection is not yet traced, so neither replay reply carries a
+        // trace block.
+        if self.traced {
+            self.trace_once(true)?;
+        }
         Ok(())
     }
 
@@ -196,7 +207,15 @@ impl ServeClient {
         let mut attempt = 0u32;
         loop {
             let err = match op(self) {
-                Ok(value) => return Ok(value),
+                Ok(value) => {
+                    // A traced connection gets a trace dump block after
+                    // every kept-open OK response (never after ERR); drain
+                    // it here so every verb stays framed correctly.
+                    if self.traced {
+                        self.drain_trace_block()?;
+                    }
+                    return Ok(value);
+                }
                 Err(e) => e,
             };
             let Some(policy) = self.retry else {
@@ -442,7 +461,9 @@ impl ServeClient {
         Ok(ExplainReply { fields, info })
     }
 
-    /// `STATS` → all reported fields as a string map.
+    /// `STATS` → all reported fields as a string map. The header fields
+    /// keep their plain names; each per-tenant `INFO` line is folded in
+    /// under `tenant.<name>.<field>` keys.
     fn stats_once(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
         self.send("STATS")?;
         let reply = self.read_line()?;
@@ -450,7 +471,79 @@ impl ServeClient {
         let rest = rest
             .strip_prefix("STATS ")
             .ok_or_else(|| ClientError::Protocol(format!("expected STATS, got {rest}")))?;
-        Ok(parse_kv(rest))
+        let mut fields = parse_kv(rest);
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                break;
+            }
+            let Some(text) = line.strip_prefix("INFO ") else {
+                return Err(ClientError::Protocol(format!(
+                    "expected INFO or END, got {line}"
+                )));
+            };
+            let kv = parse_kv(text);
+            if let Some(name) = kv.get("tenant").cloned() {
+                for (k, v) in kv {
+                    if k != "tenant" {
+                        fields.insert(format!("tenant.{name}.{k}"), v);
+                    }
+                }
+            }
+        }
+        Ok(fields)
+    }
+
+    /// `METRICS` → the Prometheus text exposition (without the wire
+    /// framing).
+    fn metrics_once(&mut self) -> Result<String, ClientError> {
+        self.send("METRICS")?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        if !rest.starts_with("METRICS ") {
+            return Err(ClientError::Protocol(format!(
+                "expected METRICS, got {rest}"
+            )));
+        }
+        let mut text = String::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                break;
+            }
+            text.push_str(&line);
+            text.push('\n');
+        }
+        Ok(text)
+    }
+
+    /// `TRACE ON|OFF` → the server-confirmed state.
+    fn trace_once(&mut self, enabled: bool) -> Result<bool, ClientError> {
+        self.send(if enabled { "TRACE ON" } else { "TRACE OFF" })?;
+        let reply = self.read_line()?;
+        let rest = self.expect_ok(reply)?;
+        let rest = rest
+            .strip_prefix("TRACE enabled=")
+            .ok_or_else(|| ClientError::Protocol(format!("expected TRACE, got {rest}")))?;
+        Ok(rest == "true")
+    }
+
+    /// Read one trace dump block (`TRACE id=...`, `INFO` lines, `END`).
+    fn drain_trace_block(&mut self) -> Result<Vec<String>, ClientError> {
+        let header = self.read_line()?;
+        if !header.starts_with("TRACE id=") {
+            return Err(ClientError::Protocol(format!(
+                "expected a trace dump, got {header}"
+            )));
+        }
+        let mut lines = vec![header];
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                return Ok(lines);
+            }
+            lines.push(line);
+        }
     }
 
     /// `PING` → `PONG`.
@@ -529,9 +622,26 @@ impl ServeClient {
         self.retrying(|c| c.why_not_once(fact))
     }
 
-    /// `STATS` → all reported fields as a string map.
+    /// `STATS` → all reported fields as a string map (per-tenant lines
+    /// under `tenant.<name>.<field>` keys).
     pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
         self.retrying(|c| c.stats_once())
+    }
+
+    /// `METRICS` → the server's Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.retrying(|c| c.metrics_once())
+    }
+
+    /// `TRACE ON|OFF`: toggle per-request trace dumps on this connection.
+    /// While on, the client silently drains the dump that follows every
+    /// `OK` response; use the raw protocol to inspect the dumps themselves.
+    pub fn trace(&mut self, enabled: bool) -> Result<bool, ClientError> {
+        // While still armed, the toggle's own OK reply carries one final
+        // dump, which `retrying` drains before this returns.
+        let confirmed = self.retrying(|c| c.trace_once(enabled))?;
+        self.traced = confirmed;
+        Ok(confirmed)
     }
 
     /// `QUIT`: close this connection politely.
@@ -768,6 +878,37 @@ mod tests {
                 .min(policy.max_delay);
             assert!(x >= step / 2, "jitter stays within [50%, 100%] of the step");
         }
+    }
+
+    #[test]
+    fn client_scrapes_metrics_and_toggles_tracing() {
+        let handle = start();
+        let mut client = ServeClient::connect(handle.addr()).unwrap();
+        client.query("q(X) :- person(X)").unwrap();
+
+        let text = client.metrics().unwrap();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(
+            text.contains("request_seconds_count{") && text.contains("tenant=\"default\""),
+            "{text}"
+        );
+
+        // With tracing on, every verb still round-trips cleanly (the
+        // client drains the dump blocks), including STATS and METRICS.
+        assert!(client.trace(true).unwrap());
+        let reply = client.query("q(X) :- person(X)").unwrap();
+        assert_eq!(reply.count, 1);
+        let stats = client.stats().unwrap();
+        assert!(stats.contains_key("uptime_s"), "{stats:?}");
+        assert!(stats.contains_key("tenant.default.requests"), "{stats:?}");
+        client.metrics().unwrap();
+        // Errors carry no dump and don't desync the connection.
+        let err = client.query("garbage").unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        assert!(!client.trace(false).unwrap());
+        client.ping().unwrap();
+        client.quit().unwrap();
+        handle.shutdown();
     }
 
     #[test]

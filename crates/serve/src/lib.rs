@@ -31,10 +31,10 @@
 //! * [`server`] + [`proto`] — a thread-pool TCP server (no async runtime,
 //!   plain `std` networking and threads) speaking a newline-delimited text
 //!   protocol (`PREPARE`, `EXPLAIN`, `QUERY`, `INSERT`, `DELETE`, `WHY`,
-//!   `WHY NOT`, `TENANT`, `STATS` — [`proto::VERBS`] is the canonical list,
-//!   [`proto`] the reference), plus [`client`], the matching
-//!   blocking client used by the bench load generator and the CI smoke
-//!   test.
+//!   `WHY NOT`, `TENANT`, `STATS`, `METRICS`, `TRACE` — [`proto::VERBS`] is
+//!   the canonical list, [`proto`] the reference), plus [`client`], the
+//!   matching blocking client used by the bench load generator and the CI
+//!   smoke test.
 //!
 //! ```
 //! use ontorew_model::{parse_program, parse_query};

@@ -1,26 +1,20 @@
 //! Per-request service metrics: counters and latency percentiles.
 //!
-//! The recorder keeps a fixed-size ring of recent per-request latencies
-//! (micros) and derives p50/p99 on demand — O(window) with a small constant,
-//! no histogram buckets to tune, and immune to unbounded growth under heavy
-//! traffic. Counters are plain relaxed atomics.
+//! Latencies land in a lock-free log2 [`Histogram`] from `ontorew-telemetry`
+//! — recording is one relaxed `fetch_add` per observation and `STATS` reads
+//! a near-point snapshot without blocking writers. This replaces the old
+//! sort-the-window ring, whose `latency_stats` cloned and sorted 16k
+//! samples *under the recording mutex* on every `STATS` call. Percentiles
+//! are now rounded up to a power of two (the histogram's bucket bounds);
+//! `max` stays exact. Counters are plain relaxed atomics.
 
-use parking_lot::Mutex;
+use ontorew_telemetry::Histogram;
 use std::sync::atomic::AtomicU64;
-
-/// How many recent samples the latency window retains.
-const LATENCY_WINDOW: usize = 16_384;
-
-/// A ring buffer of recent latency samples.
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
-    filled: bool,
-}
+use std::time::Instant;
 
 /// Ceil-rank percentile over an ascending-sorted sample (0 when empty).
-/// The single implementation behind `STATS`, the E12 experiment and the
-/// `load_gen` binary, so every surface reports p50/p99 with one convention.
+/// Shared by the E12 experiment and the `load_gen` binary, which compute
+/// exact percentiles over their own sample vectors.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -29,20 +23,20 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.clamp(1, sorted.len()) - 1]
 }
 
-/// Latency summary over the recorded window.
+/// Latency summary derived from the histogram.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencyStats {
-    /// Number of samples the summary was computed from.
+    /// Number of recorded samples (all of them — no window).
     pub samples: usize,
-    /// Median latency, microseconds.
+    /// Median latency upper bound, microseconds (log2-bucket resolution).
     pub p50_us: u64,
-    /// 99th-percentile latency, microseconds.
+    /// 99th-percentile latency upper bound, microseconds.
     pub p99_us: u64,
-    /// Maximum latency in the window, microseconds.
+    /// Maximum latency ever recorded, microseconds (exact).
     pub max_us: u64,
 }
 
-/// Counters and latency window for one service instance.
+/// Counters and the latency histogram for one service instance.
 pub struct ServeMetrics {
     /// `QUERY` requests served.
     pub queries: AtomicU64,
@@ -56,7 +50,8 @@ pub struct ServeMetrics {
     pub whys: AtomicU64,
     /// Requests rejected with an error.
     pub errors: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    latencies: Histogram,
+    started: Instant,
 }
 
 impl Default for ServeMetrics {
@@ -68,11 +63,8 @@ impl Default for ServeMetrics {
             deletes: AtomicU64::new(0),
             whys: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing {
-                samples: Vec::with_capacity(1024),
-                next: 0,
-                filled: false,
-            }),
+            latencies: Histogram::new(),
+            started: Instant::now(),
         }
     }
 }
@@ -83,35 +75,28 @@ impl ServeMetrics {
         ServeMetrics::default()
     }
 
-    /// Record one request latency in microseconds.
+    /// Record one request latency in microseconds. Lock-free.
     pub fn record_latency_us(&self, us: u64) {
-        let mut ring = self.latencies.lock();
-        if ring.filled {
-            let at = ring.next;
-            ring.samples[at] = us;
-            ring.next = (at + 1) % LATENCY_WINDOW;
-        } else {
-            ring.samples.push(us);
-            if ring.samples.len() == LATENCY_WINDOW {
-                ring.filled = true;
-                ring.next = 0;
-            }
+        self.latencies.observe(us);
+    }
+
+    /// Percentile summary of everything recorded so far.
+    pub fn latency_stats(&self) -> LatencyStats {
+        let samples = self.latencies.count() as usize;
+        if samples == 0 {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            samples,
+            p50_us: self.latencies.quantile(0.50),
+            p99_us: self.latencies.quantile(0.99),
+            max_us: self.latencies.max(),
         }
     }
 
-    /// Percentile summary of the current window.
-    pub fn latency_stats(&self) -> LatencyStats {
-        let mut sorted = self.latencies.lock().samples.clone();
-        if sorted.is_empty() {
-            return LatencyStats::default();
-        }
-        sorted.sort_unstable();
-        LatencyStats {
-            samples: sorted.len(),
-            p50_us: percentile(&sorted, 0.50),
-            p99_us: percentile(&sorted, 0.99),
-            max_us: *sorted.last().unwrap(),
-        }
+    /// Seconds since this service instance was created.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 }
 
@@ -121,7 +106,7 @@ mod tests {
     use std::sync::atomic::Ordering;
 
     #[test]
-    fn empty_window_reports_zeroes() {
+    fn empty_histogram_reports_zeroes() {
         let m = ServeMetrics::new();
         assert_eq!(m.latency_stats(), LatencyStats::default());
     }
@@ -134,21 +119,31 @@ mod tests {
         }
         let stats = m.latency_stats();
         assert_eq!(stats.samples, 100);
-        assert_eq!(stats.p50_us, 50);
-        assert_eq!(stats.p99_us, 99);
+        // Log2 buckets: the p50 rank lands in the (32, 64] bucket, so the
+        // reported value is its upper bound; max stays exact and caps p99.
+        assert_eq!(stats.p50_us, 64);
+        assert_eq!(stats.p99_us, 100);
         assert_eq!(stats.max_us, 100);
     }
 
     #[test]
-    fn window_wraps_without_growing() {
+    fn exact_percentile_helper_is_unchanged() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn histogram_never_forgets_the_max() {
         let m = ServeMetrics::new();
-        for us in 0..(LATENCY_WINDOW as u64 + 500) {
+        for us in 0..20_000u64 {
             m.record_latency_us(us);
         }
         let stats = m.latency_stats();
-        assert_eq!(stats.samples, LATENCY_WINDOW);
-        // The oldest 500 samples were overwritten.
-        assert_eq!(stats.max_us, LATENCY_WINDOW as u64 + 499);
+        // No window: every sample is counted and the max is exact.
+        assert_eq!(stats.samples, 20_000);
+        assert_eq!(stats.max_us, 19_999);
     }
 
     #[test]

@@ -41,7 +41,18 @@
 //!   -> OK STATS queries=<n> prepares=<n> inserts=<n> deletes=<n> whys=<n>
 //!      errors=<n> cache_hits=<n> cache_misses=<n> cache_entries=<n>
 //!      hit_rate=<f> epoch=<e> facts=<n> prov_nodes=<n> prov_edges=<n>
-//!      prov_bytes=<n> p50_us=<t> p99_us=<t> tenants=<n>      (one line)
+//!      prov_bytes=<n> p50_us=<t> p99_us=<t> uptime_s=<s> tenants=<n>
+//!      INFO tenant=<name> requests=<n> p50_us=<t> p99_us=<t>  (repeated,
+//!      END                 one line per tenant that has served requests)
+//! METRICS               process-wide registry, Prometheus text exposition
+//!   -> OK METRICS families=<n>
+//!      <one exposition line>                   (repeated: # HELP, # TYPE,
+//!      END                                      and series sample lines)
+//! TRACE ON|OFF          per-connection span-tree dumps. While on, every
+//!                       subsequent OK response is followed by one block:
+//!                       TRACE id=<rid> spans=<n> us=<t>, INFO lines (the
+//!                       indented span tree), END.
+//!   -> OK TRACE enabled=<bool>
 //! PING                  liveness probe        -> OK PONG
 //! QUIT                  close this connection -> OK BYE
 //! SHUTDOWN              stop the whole server -> OK BYE
@@ -61,8 +72,8 @@ use ontorew_model::{parse_program, parse_query};
 /// error and the README protocol reference enumerate. `WHY NOT` is spelled
 /// with its subword because that is what a client types.
 pub const VERBS: &[&str] = &[
-    "PREPARE", "EXPLAIN", "QUERY", "INSERT", "DELETE", "WHY", "WHY NOT", "TENANT", "STATS", "PING",
-    "QUIT", "SHUTDOWN",
+    "PREPARE", "EXPLAIN", "QUERY", "INSERT", "DELETE", "WHY", "WHY NOT", "TENANT", "STATS",
+    "METRICS", "TRACE", "PING", "QUIT", "SHUTDOWN",
 ];
 
 /// A parsed protocol request.
@@ -97,6 +108,10 @@ pub enum Request {
     TenantList,
     /// Report service statistics (of the connection's current tenant).
     Stats,
+    /// Dump the process-wide metrics registry as Prometheus text exposition.
+    Metrics,
+    /// Toggle per-connection span-tree dumps after each OK response.
+    Trace(bool),
     /// Liveness probe.
     Ping,
     /// Close this connection.
@@ -158,6 +173,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "METRICS" if rest.is_empty() => Ok(Request::Metrics),
+        "TRACE" => match rest {
+            "ON" => Ok(Request::Trace(true)),
+            "OFF" => Ok(Request::Trace(false)),
+            _ => Err("TRACE needs ON or OFF".into()),
+        },
         "PING" if rest.is_empty() => Ok(Request::Ping),
         "QUIT" if rest.is_empty() => Ok(Request::Quit),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
@@ -575,9 +596,21 @@ mod tests {
     #[test]
     fn control_verbs_parse() {
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("TRACE ON").unwrap(), Request::Trace(true));
+        assert_eq!(parse_request("TRACE OFF").unwrap(), Request::Trace(false));
         assert_eq!(parse_request(" PING ").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_metrics_and_trace_requests_are_rejected() {
+        assert!(parse_request("METRICS now").is_err());
+        assert!(parse_request("TRACE").unwrap_err().contains("ON or OFF"));
+        assert!(parse_request("TRACE MAYBE")
+            .unwrap_err()
+            .contains("ON or OFF"));
     }
 
     #[test]

@@ -16,9 +16,13 @@ use crate::proto::{parse_request, Request};
 use crate::service::QueryService;
 use crate::tenant::{TenantRegistry, DEFAULT_TENANT};
 use ontorew_model::prelude::*;
+use ontorew_telemetry::{
+    global_registry, global_ring, install_collector, render_tree, span, take_collector, Series,
+    Trace, TraceSink,
+};
 use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -42,6 +46,15 @@ pub struct ServerConfig {
     /// the shutdown flag between requests, so the wait normally ends well
     /// before the deadline.
     pub drain_timeout: Duration,
+    /// Log any request slower than this to stderr, with its span breakdown
+    /// (`--slow-query-ms`). `None` disables the slow-query log. When set,
+    /// every request is traced (spans are collected even with `TRACE OFF`)
+    /// so the log can explain *where* the time went.
+    pub slow_query: Option<Duration>,
+    /// Capacity of the process-global ring of recent traces
+    /// (`--trace-ring`). Traces land in the ring whenever they are
+    /// collected — by `TRACE ON` or by an armed slow-query log.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +64,8 @@ impl Default for ServerConfig {
             workers: 8,
             idle_timeout: Duration::from_secs(300),
             drain_timeout: Duration::from_secs(5),
+            slow_query: None,
+            trace_ring: 64,
         }
     }
 }
@@ -152,6 +167,7 @@ pub fn serve_registry(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    global_ring().set_capacity(config.trace_ring);
     let shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
     let default_service = registry.default_tenant();
@@ -161,6 +177,7 @@ pub fn serve_registry(
         let registry = Arc::clone(&registry);
         let workers = config.workers;
         let idle_timeout = config.idle_timeout;
+        let slow_query = config.slow_query;
         std::thread::Builder::new()
             .name("ontorew-accept".to_string())
             .spawn(move || {
@@ -176,7 +193,13 @@ pub fn serve_registry(
                             let active = Arc::clone(&active);
                             pool.execute(move || {
                                 let _guard = ActiveGuard::enter(active);
-                                handle_connection(stream, registry, shutdown, idle_timeout)
+                                handle_connection(
+                                    stream,
+                                    registry,
+                                    shutdown,
+                                    idle_timeout,
+                                    slow_query,
+                                )
                             });
                         }
                         Err(_) => continue,
@@ -219,11 +242,21 @@ impl Drop for ActiveGuard {
 /// comfortably: the cap allows ~1000 rules of typical size.)
 const MAX_REQUEST_LINE: usize = 64 * 1024;
 
-/// Per-connection protocol state: the tenant requests are routed to.
+/// Per-connection protocol state: the tenant requests are routed to, and
+/// whether `TRACE ON` armed per-request trace dumps.
 struct Connection {
     service: Arc<QueryService>,
     tenant: String,
+    trace: bool,
 }
+
+/// Process-wide monotonically increasing request id, stamped on every
+/// request for trace and slow-query correlation.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Most spans a single request's trace may hold. Far above any real
+/// request (a chase round is one span); bounds memory against pathology.
+const MAX_TRACE_SPANS: usize = 4096;
 
 /// Serve one connection until EOF, `QUIT`, `SHUTDOWN`, idle timeout, or
 /// server shutdown.
@@ -232,6 +265,7 @@ fn handle_connection(
     registry: Arc<TenantRegistry>,
     shutdown: Arc<AtomicBool>,
     idle_timeout: Duration,
+    slow_query: Option<Duration>,
 ) {
     // A short read timeout lets idle connections poll the shutdown flag;
     // partially read lines stay buffered in `line` across poll rounds. The
@@ -248,6 +282,7 @@ fn handle_connection(
     let mut connection = Connection {
         service: registry.default_tenant(),
         tenant: DEFAULT_TENANT.to_string(),
+        trace: false,
     };
     // Requests are accumulated as bytes and decoded per complete line:
     // unlike `read_line`, `read_until` never drops already-consumed bytes
@@ -286,7 +321,15 @@ fn handle_connection(
                         continue;
                     }
                 };
-                match respond(&request, &registry, &mut connection, &shutdown, &mut writer) {
+                let outcome = serve_request(
+                    &request,
+                    &registry,
+                    &mut connection,
+                    &shutdown,
+                    &mut writer,
+                    slow_query,
+                );
+                match outcome {
                     Ok(keep_open) if keep_open => continue,
                     _ => return,
                 }
@@ -365,6 +408,37 @@ fn write_explanation_info(
     Ok(())
 }
 
+/// Write `STATS`'s per-tenant `INFO` lines: one per tenant of *this*
+/// registry, rolled up from the global `request_seconds` histograms across
+/// verbs. (The global registry outlives any one server — tests run several
+/// in one process — so the wire registry decides which tenants to show.)
+fn write_tenant_breakdown(
+    writer: &mut TcpStream,
+    registry: &TenantRegistry,
+) -> std::io::Result<()> {
+    let metrics = global_registry();
+    for row in registry.list() {
+        let rollup = ontorew_telemetry::Histogram::new();
+        metrics.visit_family("request_seconds", |labels, series| {
+            let matches = labels.iter().any(|(k, v)| k == "tenant" && *v == row.name);
+            if matches {
+                if let Series::Histogram(h) = series {
+                    rollup.merge_from(h);
+                }
+            }
+        });
+        writeln!(
+            writer,
+            "INFO tenant={} requests={} p50_us={} p99_us={}",
+            row.name,
+            rollup.count(),
+            rollup.quantile(0.50),
+            rollup.quantile(0.99)
+        )?;
+    }
+    Ok(())
+}
+
 /// Render one answer row for the wire.
 fn encode_row(row: &[Term]) -> String {
     let cells: Vec<String> = row
@@ -377,18 +451,149 @@ fn encode_row(row: &[Term]) -> String {
     cells.join(" ")
 }
 
-/// Handle one request line; returns `Ok(false)` when the connection should
-/// close, `Err` when the peer is gone.
+/// The canonical verb of a request line, for metric labels. Unknown verbs
+/// collapse to `INVALID` so a misbehaving peer can't explode label
+/// cardinality.
+fn verb_label(request: &str) -> &'static str {
+    let first = request.split_whitespace().next().unwrap_or("");
+    crate::proto::VERBS
+        .iter()
+        .find(|v| v.eq_ignore_ascii_case(first))
+        .copied()
+        .unwrap_or("INVALID")
+}
+
+/// Serve one request line with telemetry around it: a request span (plus a
+/// collector when this connection is tracing or the slow-query log is
+/// armed), per-tenant × per-verb counters and latency histograms, the
+/// `TRACE` dump block after traced `OK` responses, and the slow-query log.
+fn serve_request(
+    request: &str,
+    registry: &TenantRegistry,
+    connection: &mut Connection,
+    shutdown: &AtomicBool,
+    writer: &mut TcpStream,
+    slow_query: Option<Duration>,
+) -> std::io::Result<bool> {
+    if request.trim().is_empty() {
+        return Ok(true); // blank lines are keep-alive noise
+    }
+    // The tenant label is the tenant the request was *issued under*
+    // (`TENANT USE` switches for subsequent requests, not its own).
+    let tenant = connection.tenant.clone();
+    let verb = verb_label(request);
+    let trace_armed = connection.trace;
+    let collect = trace_armed || slow_query.is_some();
+    if collect {
+        install_collector(MAX_TRACE_SPANS);
+    }
+    let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+    let started = std::time::Instant::now();
+    let outcome = {
+        let mut root = span("serve.request");
+        root.attr("id", request_id);
+        root.attr("verb", verb);
+        root.attr("tenant", &tenant);
+        respond(request, registry, connection, shutdown, writer)
+    };
+    let elapsed = started.elapsed();
+    let elapsed_us = elapsed.as_micros() as u64;
+    let metrics = global_registry();
+    metrics
+        .counter(
+            "requests_total",
+            "Requests served, by tenant and verb.",
+            &[("tenant", &tenant), ("verb", verb)],
+        )
+        .inc();
+    metrics
+        .histogram_us(
+            "request_seconds",
+            "Request wall time by tenant and verb.",
+            &[("tenant", &tenant), ("verb", verb)],
+        )
+        .observe(elapsed_us);
+    if collect {
+        // Always drain the collector — worker threads are reused, and a
+        // leftover collector would leak spans into the next request.
+        let (spans, _) = take_collector();
+        let trace = Trace {
+            request_id,
+            tenant,
+            verb: verb.to_string(),
+            total_us: elapsed_us,
+            spans,
+        };
+        if let Some(threshold) = slow_query {
+            if elapsed >= threshold {
+                log_slow_query(request, &trace);
+            }
+        }
+        if trace_armed {
+            if let Ok((keep_open, ok)) = outcome {
+                // Only after a kept-open OK response: an ERR reply has no
+                // trailing block (clients would desync), and after BYE the
+                // peer has stopped reading.
+                if keep_open && ok {
+                    writeln!(
+                        writer,
+                        "TRACE id={request_id} spans={} us={elapsed_us}",
+                        trace.spans.len()
+                    )?;
+                    for line in render_tree(&trace) {
+                        writeln!(writer, "INFO {line}")?;
+                    }
+                    writeln!(writer, "END")?;
+                }
+            }
+        }
+        global_ring().accept(trace);
+    }
+    outcome.map(|(keep_open, _)| keep_open)
+}
+
+/// One structured stderr line per slow request: correlation id, tenant,
+/// verb, wall time, the phase breakdown (direct children of the request
+/// span), and a preview of the offending request line.
+fn log_slow_query(request: &str, trace: &Trace) {
+    let root = trace.spans.first().filter(|s| s.parent.is_none());
+    let phases: Vec<String> = root
+        .map(|root| {
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.parent == Some(root.id))
+                .map(|s| format!("{}:{}us", s.name, s.dur_us))
+                .collect()
+        })
+        .unwrap_or_default();
+    let preview: String = request.trim().chars().take(80).collect();
+    eprintln!(
+        "ontorew-serve: slow-query id={} tenant={} verb={} us={} phases={} request={:?}",
+        trace.request_id,
+        trace.tenant,
+        trace.verb,
+        trace.total_us,
+        if phases.is_empty() {
+            "-".to_string()
+        } else {
+            phases.join(",")
+        },
+        preview
+    );
+}
+
+/// Handle one request line; returns `(keep_open, ok)` — `keep_open` is
+/// false when the connection should close, `ok` is false when the reply
+/// was an `ERR` line — or `Err` when the peer is gone.
 fn respond(
     request: &str,
     registry: &TenantRegistry,
     connection: &mut Connection,
     shutdown: &AtomicBool,
     writer: &mut TcpStream,
-) -> std::io::Result<bool> {
-    if request.trim().is_empty() {
-        return Ok(true); // blank lines are keep-alive noise
-    }
+) -> std::io::Result<(bool, bool)> {
+    let mut ok = true;
     let service = Arc::clone(&connection.service);
     match parse_request(request) {
         Ok(Request::Prepare(query)) => {
@@ -438,6 +643,7 @@ fn respond(
                 writeln!(writer, "END")?;
             }
             Err(e) => {
+                ok = false;
                 writeln!(writer, "ERR {e}")?;
             }
         },
@@ -446,6 +652,7 @@ fn respond(
                 writeln!(writer, "OK INSERTED added={added} epoch={epoch}")?;
             }
             Err(e) => {
+                ok = false;
                 writeln!(writer, "ERR {e}")?;
             }
         },
@@ -454,6 +661,7 @@ fn respond(
                 writeln!(writer, "OK DELETED removed={removed} epoch={epoch}")?;
             }
             Err(e) => {
+                ok = false;
                 writeln!(writer, "ERR {e}")?;
             }
         },
@@ -471,6 +679,7 @@ fn respond(
                 writeln!(writer, "END")?;
             }
             Err(e) => {
+                ok = false;
                 writeln!(writer, "ERR {e}")?;
             }
         },
@@ -492,6 +701,7 @@ fn respond(
                 writeln!(writer, "END")?;
             }
             Err(e) => {
+                ok = false;
                 writeln!(writer, "ERR {e}")?;
             }
         },
@@ -507,6 +717,7 @@ fn respond(
                 )?;
             }
             Err(e) => {
+                ok = false;
                 service.record_error();
                 writeln!(writer, "ERR {e}")?;
             }
@@ -525,6 +736,7 @@ fn respond(
                 )?;
             }
             None => {
+                ok = false;
                 service.record_error();
                 writeln!(writer, "ERR bad request: no tenant {name:?}")?;
             }
@@ -546,6 +758,7 @@ fn respond(
                 )?;
             }
             Err(e) => {
+                ok = false;
                 service.record_error();
                 writeln!(writer, "ERR {e}")?;
             }
@@ -567,7 +780,8 @@ fn respond(
                 "OK STATS queries={} prepares={} inserts={} deletes={} whys={} errors={} \
                  cache_hits={} cache_misses={} cache_entries={} hit_rate={:.4} epoch={} \
                  facts={} prov_nodes={} prov_edges={} prov_bytes={} p50_us={} p99_us={} \
-                 tenants={} wal_bytes={} segments_on_disk={} checkpoint_epoch={} recoveries={}",
+                 uptime_s={} tenants={} wal_bytes={} segments_on_disk={} checkpoint_epoch={} \
+                 recoveries={}",
                 stats.queries,
                 stats.prepares,
                 stats.inserts,
@@ -585,31 +799,46 @@ fn respond(
                 stats.provenance.bytes,
                 stats.latency.p50_us,
                 stats.latency.p99_us,
+                stats.uptime_s,
                 registry.len(),
                 stats.durability.wal_bytes,
                 stats.durability.segments_on_disk,
                 stats.durability.checkpoint_epoch,
                 stats.durability.recoveries
             )?;
+            write_tenant_breakdown(writer, registry)?;
+            writeln!(writer, "END")?;
+        }
+        Ok(Request::Metrics) => {
+            let text = global_registry().render_prometheus();
+            let families = text.matches("# TYPE ").count();
+            writeln!(writer, "OK METRICS families={families}")?;
+            writer.write_all(text.as_bytes())?;
+            writeln!(writer, "END")?;
+        }
+        Ok(Request::Trace(enabled)) => {
+            connection.trace = enabled;
+            writeln!(writer, "OK TRACE enabled={enabled}")?;
         }
         Ok(Request::Ping) => {
             writeln!(writer, "OK PONG")?;
         }
         Ok(Request::Quit) => {
             writeln!(writer, "OK BYE")?;
-            return Ok(false);
+            return Ok((false, true));
         }
         Ok(Request::Shutdown) => {
             writeln!(writer, "OK BYE")?;
             shutdown.store(true, Ordering::SeqCst);
-            return Ok(false);
+            return Ok((false, true));
         }
         Err(message) => {
+            ok = false;
             service.record_error();
             writeln!(writer, "ERR {message}")?;
         }
     }
-    Ok(true)
+    Ok((true, ok))
 }
 
 #[cfg(test)]
@@ -714,12 +943,24 @@ mod tests {
             stats.contains("queries=2") && stats.contains("errors=1"),
             "{stats}"
         );
-        assert!(stats.contains("tenants=1"), "{stats}");
+        assert!(
+            stats.contains("uptime_s=") && stats.contains("tenants=1"),
+            "{stats}"
+        );
         // In-memory tenants report zeroed durability gauges.
         assert!(
             stats.contains("wal_bytes=0") && stats.contains("recoveries=0"),
             "{stats}"
         );
+        // The header is followed by one INFO line per tenant, then END.
+        let block = read_block(&mut reader);
+        assert!(
+            block
+                .iter()
+                .any(|l| l.starts_with("INFO tenant=default requests=")),
+            "{block:?}"
+        );
+        assert_eq!(block.last().map(String::as_str), Some("END"));
 
         assert_eq!(roundtrip(&mut stream, &mut reader, "QUIT").trim(), "OK BYE");
         handle.shutdown();
@@ -784,6 +1025,7 @@ mod tests {
         assert!(stats.contains("deletes=2"), "{stats}");
         assert!(stats.contains("whys=3"), "{stats}");
         assert!(stats.contains("prov_nodes="), "{stats}");
+        read_block(&mut reader);
         handle.shutdown();
     }
 
@@ -983,6 +1225,145 @@ mod tests {
         // After shutdown returns, no connection is still being served.
         let mut line = String::new();
         assert!(matches!(reader.read_line(&mut line), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn metrics_exposition_has_no_duplicate_families_or_series() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // Generate some traffic so the interesting families exist.
+        roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        read_block(&mut reader);
+
+        let header = roundtrip(&mut stream, &mut reader, "METRICS");
+        assert!(header.starts_with("OK METRICS families="), "{header}");
+        let block = read_block(&mut reader);
+        assert_eq!(block.last().map(String::as_str), Some("END"));
+
+        let mut families = std::collections::HashSet::new();
+        let mut series = std::collections::HashSet::new();
+        for line in &block {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap().to_string();
+                assert!(families.insert(name.clone()), "duplicate # TYPE for {name}");
+            } else if !line.starts_with('#') && *line != "END" && !line.is_empty() {
+                // A series line is `name{labels} value`; the key is
+                // everything before the value.
+                let key = line.rsplit_once(' ').map(|(k, _)| k.to_string()).unwrap();
+                assert!(series.insert(key.clone()), "duplicate series {key}");
+            }
+        }
+        let stated: usize = header
+            .trim()
+            .rsplit_once('=')
+            .and_then(|(_, n)| n.parse().ok())
+            .unwrap();
+        assert_eq!(stated, families.len(), "{header}");
+        // The per-tenant per-verb request series is present...
+        assert!(
+            block.iter().any(|l| l.starts_with("requests_total{")
+                && l.contains("tenant=\"default\"")
+                && l.contains("verb=\"QUERY\"")),
+            "no per-tenant QUERY series in {block:?}"
+        );
+        // ...as are the engine-layer families the smoke scrape relies on.
+        for family in ["queries_total", "chase_rounds_total", "plan_plans_total"] {
+            assert!(
+                families.contains(family),
+                "family {family} missing from {families:?}"
+            );
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_toggle_dumps_span_trees_after_ok_responses() {
+        let handle = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        // TRACE ON itself gets no dump (it was not traced when issued).
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "TRACE ON").trim(),
+            "OK TRACE enabled=true"
+        );
+
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        assert!(header.starts_with("OK ANSWERS"), "{header}");
+        read_block(&mut reader); // rows + END
+        let trace_header = {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        assert!(trace_header.starts_with("TRACE id="), "{trace_header}");
+        assert!(trace_header.contains("spans="), "{trace_header}");
+        let block = read_block(&mut reader);
+        assert!(
+            block
+                .iter()
+                .any(|l| l.contains("serve.request") && l.contains("verb=QUERY")),
+            "{block:?}"
+        );
+        // Errors get no trailing dump — the client would desync.
+        let err = roundtrip(&mut stream, &mut reader, "GARBAGE");
+        assert!(err.starts_with("ERR "), "{err}");
+
+        // TRACE OFF was issued while tracing was armed, so it is the last
+        // request to carry a dump; afterwards responses are bare again.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "TRACE OFF").trim(),
+            "OK TRACE enabled=false"
+        );
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("TRACE id="), "{line}");
+        read_block(&mut reader);
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "PING").trim(),
+            "OK PONG"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_query_threshold_collects_traces_into_the_global_ring() {
+        let program = parse_program("[R1] student(X) -> person(X).").unwrap();
+        let mut store = RelationalStore::new();
+        store.insert_fact("student", &["sara"]);
+        let service = Arc::new(QueryService::new(program, store, ServiceConfig::default()));
+        let handle = serve(
+            service,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                // Zero threshold: every request is slow, so every request
+                // is collected and logged.
+                slow_query: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .expect("server binds");
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let header = roundtrip(&mut stream, &mut reader, "QUERY q(X) :- person(X)");
+        // No TRACE dump on the wire (the connection did not opt in)...
+        assert!(header.starts_with("OK ANSWERS"), "{header}");
+        read_block(&mut reader);
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "PING").trim(),
+            "OK PONG"
+        );
+        // ...but the trace landed in the process-global ring.
+        let ring = ontorew_telemetry::global_ring().snapshot();
+        assert!(
+            ring.iter()
+                .any(|t| t.verb == "QUERY" && t.tenant == "default" && !t.spans.is_empty()),
+            "no QUERY trace in the ring ({} traces)",
+            ring.len()
+        );
+        handle.shutdown();
     }
 
     #[test]

@@ -159,6 +159,8 @@ pub struct ServiceStats {
     /// Durable-state gauges (all zero for an in-memory service): WAL size,
     /// manifest-referenced segment files, recoveries survived.
     pub durability: TenantStorageState,
+    /// Seconds since this service instance was created.
+    pub uptime_s: u64,
 }
 
 /// Errors a service request can fail with.
@@ -370,6 +372,21 @@ impl QueryService {
         let micros = start.elapsed().as_micros() as u64;
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
         self.metrics.record_latency_us(micros);
+        let registry = ontorew_telemetry::global_registry();
+        registry
+            .counter("queries_total", "QUERY requests served.", &[])
+            .inc();
+        registry
+            .counter(
+                if cache_hit {
+                    "plan_cache_hits_total"
+                } else {
+                    "plan_cache_misses_total"
+                },
+                "Plan cache lookups, by outcome.",
+                &[],
+            )
+            .inc();
         Ok(QueryResponse {
             answers: execution.answers,
             epoch: snapshot.epoch(),
@@ -607,6 +624,7 @@ impl QueryService {
                 .as_ref()
                 .map(|storage| storage.state())
                 .unwrap_or_default(),
+            uptime_s: self.metrics.uptime_s(),
         }
     }
 }

@@ -266,6 +266,73 @@ fn io_error_on_one_commit_keeps_later_acked_commits_recoverable() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The durability telemetry moves with the service: committing against a
+/// durable tenant advances the WAL append/fsync series, and a restart
+/// advances the recovery counters — asserted as **deltas**, because the
+/// registry is process-global and other tests in this binary feed the same
+/// series.
+#[test]
+fn wal_and_recovery_counters_advance_across_a_restart() {
+    let _serialize = failpoint::test_lock().lock();
+    failpoint::clear_all();
+    let registry = ontorew_telemetry::global_registry();
+    let appends = registry.counter("wal_appends_total", "", &[]);
+    let bytes = registry.counter("wal_append_bytes_total", "", &[]);
+    let fsyncs = registry.histogram_us("wal_fsync_seconds", "", &[]);
+    let recoveries = registry.counter("recoveries_total", "", &[]);
+    let replayed = registry.counter("recovery_replayed_records_total", "", &[]);
+    let (appends0, bytes0, fsyncs0, recoveries0, replayed0) = (
+        appends.get(),
+        bytes.get(),
+        fsyncs.count(),
+        recoveries.get(),
+        replayed.get(),
+    );
+
+    let root = temp_root("telemetry");
+    // Fsync on every commit so the latency histogram must move too.
+    let durable = DurabilitySettings {
+        root: root.clone(),
+        fsync: FsyncPolicy::Always,
+    };
+    {
+        let tenants = TenantRegistry::recover(
+            program(),
+            RelationalStore::new(),
+            ServiceConfig::default(),
+            durable.clone(),
+        )
+        .unwrap();
+        let service = tenants.default_tenant();
+        service
+            .insert_facts(&[Atom::fact("edge", &["a", "b"])])
+            .unwrap();
+        service.insert_facts(&[Atom::fact("node", &["c"])]).unwrap();
+    }
+    assert!(appends.get() >= appends0 + 2, "appends did not advance");
+    assert!(bytes.get() > bytes0, "append bytes did not advance");
+    assert!(
+        fsyncs.count() >= fsyncs0 + 2,
+        "fsync latencies not recorded"
+    );
+
+    // "Restart": recovery replays both acknowledged records.
+    let tenants = TenantRegistry::recover(
+        program(),
+        RelationalStore::new(),
+        ServiceConfig::default(),
+        durable,
+    )
+    .unwrap();
+    assert_eq!(tenants.default_tenant().snapshot().store().len(), 2);
+    assert!(recoveries.get() > recoveries0, "no recovery counted");
+    assert!(
+        replayed.get() >= replayed0 + 2,
+        "replayed records not counted"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Chase materializations are rebuilt from scratch after recovery — they
 /// are never persisted, and the first chase-backed query of the recovered
 /// process must not claim an incremental extension of a pre-crash version.

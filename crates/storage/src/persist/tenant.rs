@@ -34,6 +34,7 @@ use super::segment::{read_segment, write_segment};
 use super::wal::{read_wal, Wal, WalOpKind, WalRecord, WalTail};
 use super::{sync_parent_dir, FsyncPolicy};
 use crate::database::RelationalStore;
+use ontorew_telemetry::global_registry;
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
@@ -137,6 +138,7 @@ impl TenantStorage {
         name: &str,
         policy: FsyncPolicy,
     ) -> io::Result<Option<RecoveredTenant>> {
+        let recovery_start = std::time::Instant::now();
         let dir = root.join(name);
         if !dir.is_dir() || dir.join(TOMBSTONE_FILE).exists() {
             return Ok(None);
@@ -204,6 +206,24 @@ impl TenantStorage {
             .wal_bytes
             .store(storage.wal.lock().bytes(), Ordering::Relaxed);
         storage.remove_unreferenced_segments(&manifest)?;
+        let registry = global_registry();
+        registry
+            .counter("recoveries_total", "Tenant recoveries performed.", &[])
+            .inc();
+        registry
+            .counter(
+                "recovery_replayed_records_total",
+                "WAL records replayed during recoveries.",
+                &[],
+            )
+            .add(replayed as u64);
+        registry
+            .histogram_us(
+                "recovery_seconds",
+                "Tenant recovery (segment load + WAL replay) duration in seconds.",
+                &[],
+            )
+            .observe(recovery_start.elapsed().as_micros() as u64);
         Ok(Some(RecoveredTenant {
             storage,
             program_text,
@@ -267,6 +287,7 @@ impl TenantStorage {
         epoch: u64,
     ) -> io::Result<TenantStorageState> {
         let _only_one = self.checkpointing.lock();
+        let checkpoint_start = std::time::Instant::now();
         let seg_dir = self.dir.join(SEGMENTS_DIR);
         let mut predicates: Vec<_> = store.predicates().collect();
         predicates.sort_by_key(|p| (p.name_str(), p.arity));
@@ -298,6 +319,24 @@ impl TenantStorage {
         self.segments_on_disk
             .store(manifest.segments.len() as u64, Ordering::Relaxed);
         self.remove_unreferenced_segments(&manifest)?;
+        let registry = global_registry();
+        registry
+            .counter("checkpoints_total", "Checkpoints published.", &[])
+            .inc();
+        registry
+            .counter(
+                "checkpoint_segments_spilled_total",
+                "Segment files written by checkpoints.",
+                &[],
+            )
+            .add(manifest.segments.len() as u64);
+        registry
+            .histogram_us(
+                "checkpoint_seconds",
+                "Checkpoint (segment spill + manifest publish + WAL truncate) duration in seconds.",
+                &[],
+            )
+            .observe(checkpoint_start.elapsed().as_micros() as u64);
         Ok(self.state())
     }
 

@@ -24,9 +24,57 @@ use super::codec::{self, Cursor};
 use super::failpoint;
 use super::{crc32, FsyncPolicy};
 use ontorew_model::prelude::*;
+use ontorew_telemetry::{global_registry, Counter, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Cached registry handles for the WAL hot path.
+struct WalMetrics {
+    appends: Arc<Counter>,
+    bytes: Arc<Counter>,
+    fsyncs: Arc<Histogram>,
+    rollbacks: Arc<Counter>,
+    poisoned: Arc<Counter>,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global_registry();
+        WalMetrics {
+            appends: r.counter("wal_appends_total", "WAL records appended.", &[]),
+            bytes: r.counter("wal_append_bytes_total", "Bytes appended to WALs.", &[]),
+            fsyncs: r.histogram_us(
+                "wal_fsync_seconds",
+                "WAL fsync (sync_data) latency in seconds.",
+                &[],
+            ),
+            rollbacks: r.counter(
+                "wal_rollbacks_total",
+                "Aborted appends rolled back by truncation.",
+                &[],
+            ),
+            poisoned: r.counter(
+                "wal_poisoned_total",
+                "Times a WAL handle was poisoned (untrusted tail).",
+                &[],
+            ),
+        }
+    })
+}
+
+/// `sync_data` with its latency recorded into `wal_fsync_seconds`.
+fn sync_data_timed(file: &File) -> io::Result<()> {
+    let start = Instant::now();
+    let result = file.sync_data();
+    wal_metrics()
+        .fsyncs
+        .observe(start.elapsed().as_micros() as u64);
+    result
+}
 
 /// What kind of mutation a WAL record carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -296,12 +344,16 @@ impl Wal {
             let _ = self.file.sync_data();
             self.bytes += n as u64;
             self.poisoned = Some("simulated torn append".to_string());
+            wal_metrics().poisoned.inc();
             return Err(failpoint::torn_error("wal.append.before_write"));
         }
         let start = self.bytes;
         match self.write_and_sync(&frame) {
             Ok(()) => {
                 self.bytes += frame.len() as u64;
+                let metrics = wal_metrics();
+                metrics.appends.inc();
+                metrics.bytes.add(frame.len() as u64);
                 Ok(self.bytes)
             }
             Err(e) if failpoint::is_simulated_crash(&e) => {
@@ -310,6 +362,7 @@ impl Wal {
                 // exercise), and the notionally-dead handle refuses
                 // further work.
                 self.poisoned = Some(format!("simulated crash: {e}"));
+                wal_metrics().poisoned.inc();
                 Err(e)
             }
             Err(e) => {
@@ -318,10 +371,14 @@ impl Wal {
                 // frame — possibly all of it — may be on disk. Truncate
                 // back to the last acknowledged record so the aborted
                 // epoch leaves no trace.
-                if let Err(rollback) = self.rollback_to(start) {
-                    self.poisoned = Some(format!(
-                        "failed append could not be rolled back: {rollback}"
-                    ));
+                match self.rollback_to(start) {
+                    Ok(()) => wal_metrics().rollbacks.inc(),
+                    Err(rollback) => {
+                        self.poisoned = Some(format!(
+                            "failed append could not be rolled back: {rollback}"
+                        ));
+                        wal_metrics().poisoned.inc();
+                    }
                 }
                 Err(e)
             }
@@ -334,11 +391,11 @@ impl Wal {
         self.file.write_all(frame)?;
         failpoint::check("wal.append.before_sync")?;
         match self.policy {
-            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::Always => sync_data_timed(&self.file)?,
             FsyncPolicy::EveryN(n) => {
                 self.appends_since_sync += 1;
                 if self.appends_since_sync >= n {
-                    self.file.sync_data()?;
+                    sync_data_timed(&self.file)?;
                     self.appends_since_sync = 0;
                 }
             }
@@ -364,7 +421,7 @@ impl Wal {
                 "WAL is poisoned ({reason}); refusing to sync an untrusted tail"
             )));
         }
-        self.file.sync_data()?;
+        sync_data_timed(&self.file)?;
         self.appends_since_sync = 0;
         Ok(())
     }

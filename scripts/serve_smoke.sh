@@ -13,15 +13,22 @@
 # wire — a WHY/WHY NOT explanation round trip against the derivation graph,
 # and a delete-heavy phase that retracts every bulk insert again through
 # the DRed path; exact answer counts, epochs, retraction counters, cache
-# behavior and tenant isolation are all asserted), and lets the exchange's
-# final SHUTDOWN stop the server.
+# behavior and tenant isolation are all asserted, and a final METRICS
+# scrape fails if the core telemetry families — queries_total,
+# chase_rounds_total, plan_plans_total, the per-tenant request histograms —
+# are absent or zero), and lets the exchange's final SHUTDOWN stop the
+# server. The phase-1 server also runs with `--slow-query-ms` and
+# `--trace-ring` so the observability flags are exercised every CI run.
 #
 # Phase 2 (durable): starts the server again with `--data-dir` on a fresh
-# temporary directory, seeds a deterministic two-tenant workload
+# temporary directory and `--fsync always` (so every commit observably
+# lands in wal_fsync_seconds), seeds a deterministic two-tenant workload
 # (`load_gen persist-seed`), kills the server with SIGKILL mid-service,
 # restarts it from the same data directory, and asserts every acknowledged
 # commit survived (`load_gen persist-verify`: answer counts, epochs, the
-# tenant list and the recovery counter), ending with a clean SHUTDOWN.
+# tenant list, the recovery counter, and a METRICS scrape asserting the
+# wal_appends_total / wal_fsync_seconds / recoveries_total families are
+# non-zero), ending with a clean SHUTDOWN.
 #
 # Fails if any server does not come up, any check fails, or a server does
 # not exit cleanly when asked.
@@ -81,19 +88,19 @@ wait_shutdown() {
 }
 
 # ---- Phase 1: in-memory scripted exchange --------------------------------
-start_server
+start_server --slow-query-ms 500 --trace-ring 32
 target/release/load_gen smoke --addr "127.0.0.1:$port"
 wait_shutdown
 echo "serve smoke: server shut down cleanly"
 
 # ---- Phase 2: durability — seed, SIGKILL, restart, verify ----------------
-start_server --data-dir "$data_dir"
+start_server --data-dir "$data_dir" --fsync always
 target/release/load_gen persist-seed --addr "127.0.0.1:$port"
 kill -9 "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 unset server_pid
 
-start_server --data-dir "$data_dir"
+start_server --data-dir "$data_dir" --fsync always
 grep -q "recovery #" "$log" || {
     echo "restarted server did not report a recovery:" >&2
     cat "$log" >&2
