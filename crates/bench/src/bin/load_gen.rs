@@ -14,12 +14,15 @@
 //!   (`TENANT CREATE/USE/DROP` with isolation asserted), an insert-heavy
 //!   commit loop with interleaved queries (the O(delta) ingestion +
 //!   incremental materialization path, over the wire), a `WHY`/`WHY NOT`
-//!   explanation round trip, and a delete-heavy retraction loop that
-//!   unwinds the bulk inserts through the DRed path. Exact expected answer
-//!   counts are asserted — including a `METRICS` scrape that fails if the
-//!   core telemetry families (`queries_total`, `chase_rounds_total`, ...)
-//!   are absent or zero; exits non-zero on any mismatch, then shuts the
-//!   server down:
+//!   explanation round trip, a delete-heavy retraction loop that
+//!   unwinds the bulk inserts through the DRed path, and a goal-driven
+//!   phase on a registrar tenant (a selective query whose `EXPLAIN` must
+//!   report the magic-sets plan with its adorned-program dump, asserted
+//!   down to the `plan_plans_total{kind="goal_driven"}` series). Exact
+//!   expected answer counts are asserted — including a `METRICS` scrape
+//!   that fails if the core telemetry families (`queries_total`,
+//!   `chase_rounds_total`, ...) are absent or zero; exits non-zero on any
+//!   mismatch, then shuts the server down:
 //!   ```text
 //!   load_gen smoke --addr 127.0.0.1:7411
 //!   ```
@@ -127,6 +130,31 @@ fn scrape_metrics(client: &mut ServeClient, families: &[&str]) -> Result<(), Str
         families.join(", ")
     );
     Ok(())
+}
+
+/// Scrape `METRICS` and assert one specific labelled series is non-zero —
+/// e.g. `plan_plans_total{kind="goal_driven"}`. Labels render in
+/// registration order, so `labels` must match the rendered set verbatim.
+fn scrape_labeled_series(
+    client: &mut ServeClient,
+    family: &str,
+    labels: &str,
+) -> Result<(), String> {
+    let text = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let series = format!("{family}{{{labels}}}");
+    for line in text.lines() {
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if name == series {
+            if value.parse::<f64>().unwrap_or(0.0) > 0.0 {
+                println!("ok   metrics: {series} = {value}");
+                return Ok(());
+            }
+            return Err(format!("FAIL metrics: {series} present but zero"));
+        }
+    }
+    Err(format!("FAIL metrics: series {series} absent from METRICS"))
 }
 
 /// One step of the scripted smoke exchange: run, compare, complain.
@@ -445,6 +473,68 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
         return Err("FAIL stats: expected a non-empty derivation graph".into());
     }
     println!("ok   delete-heavy phase: {COMMITS} retractions, epochs, answers and WHY consistent");
+
+    // Goal-driven phase: a registrar tenant whose ontology is pure Datalog
+    // (not UCQ-rewritable, chase-terminating), so the selective transcript
+    // query compiles to the magic-sets pipeline. EXPLAIN must name the
+    // goal-driven plan and dump the adorned program; the answers must be
+    // exactly the prerequisite closure of the student's enrollment; the
+    // broad all-students scan has no bound seed and falls back to the full
+    // chase on the same tenant.
+    client
+        .tenant_create(
+            "registrar",
+            "[G1] enrolled(S, C) -> student(S). \
+             [G2] enrolled(S, C) -> course(C). \
+             [G3] prereq(C1, C2) -> requires(C1, C2). \
+             [G4] requires(C1, C2), prereq(C2, C3) -> requires(C1, C3). \
+             [G5] enrolled(S, C), requires(C, P) -> mustComplete(S, P).",
+        )
+        .map_err(|e| format!("registrar create: {e}"))?;
+    client
+        .tenant_use("registrar")
+        .map_err(|e| format!("registrar use: {e}"))?;
+    let (added, _) = client
+        .insert(
+            "enrolled(s42, db300); prereq(db300, db200); prereq(db200, db100); \
+             enrolled(ada, db100)",
+        )
+        .map_err(|e| format!("registrar insert: {e}"))?;
+    check("registrar facts added", added, 4)?;
+    let selective = "q(P) :- mustComplete(\"s42\", P)";
+    let explained = client
+        .explain(selective)
+        .map_err(|e| format!("registrar explain: {e}"))?;
+    if explained.fields.get("plan").map(String::as_str) != Some("goal_driven") {
+        return Err(format!(
+            "FAIL registrar explain: expected plan=goal_driven, got {explained:?}"
+        ));
+    }
+    if !explained.info.iter().any(|l| l.contains("magic_")) {
+        return Err(format!(
+            "FAIL registrar explain: no adorned-program dump in {explained:?}"
+        ));
+    }
+    let reply = client
+        .query(selective)
+        .map_err(|e| format!("registrar query: {e}"))?;
+    check("s42 prerequisite closure", reply.count, 2)?;
+    let broad = client
+        .explain("q(S) :- student(S)")
+        .map_err(|e| format!("registrar broad explain: {e}"))?;
+    if broad.fields.get("plan").map(String::as_str) != Some("chase") {
+        return Err(format!(
+            "FAIL registrar broad explain: expected the full-chase fallback, got {broad:?}"
+        ));
+    }
+    scrape_labeled_series(&mut client, "plan_plans_total", "kind=\"goal_driven\"")?;
+    client
+        .tenant_use("default")
+        .map_err(|e| format!("registrar use default: {e}"))?;
+    client
+        .tenant_drop("registrar")
+        .map_err(|e| format!("registrar drop: {e}"))?;
+    println!("ok   goal-driven phase: plan, adorned dump, answers and metrics consistent");
 
     // The METRICS surface: the core engine families must all have moved
     // after the exchange above (queries, plans, rewritings, chase rounds,

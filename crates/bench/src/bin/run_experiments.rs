@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E17) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E18) and print the tables.
 //!
 //! ```text
 //! cargo run -p ontorew-bench --release --bin run_experiments \
@@ -106,6 +106,9 @@ fn main() -> ExitCode {
         }),
         ("E17", || {
             ontorew_bench::experiment_tracing_overhead(1_000, 100)
+        }),
+        ("E18", || {
+            ontorew_bench::experiment_goal_driven(&[20_000, 50_000], 5)
         }),
     ];
 

@@ -607,8 +607,12 @@ pub fn experiment_planner_vs_forced(students: usize, repeats: usize) -> String {
     let mut all_best = true;
     for query in serving_query_mix() {
         let chosen = planner.prepare(&query);
-        let forced_rewrite = planner.prepare_forced(&query, PlanKind::Rewrite);
-        let forced_chase = planner.prepare_forced(&query, PlanKind::Chase);
+        let forced_rewrite = planner
+            .prepare_forced(&query, PlanKind::Rewrite)
+            .expect("classifiable");
+        let forced_chase = planner
+            .prepare_forced(&query, PlanKind::Chase)
+            .expect("classifiable");
         // Warm pass first — every plan executes once before any is timed, so
         // the shared version-0 materialization exists for all of them and
         // the hybrid's cost signals see the same warm state the forced
@@ -652,6 +656,7 @@ pub fn experiment_planner_vs_forced(students: usize, repeats: usize) -> String {
     let chosen = planner.prepare(&query).execute_versioned(&db, 0);
     let forced = planner
         .prepare_forced(&query, PlanKind::Rewrite)
+        .expect("classifiable")
         .execute_versioned(&db, 0);
     writeln!(
         out,
@@ -765,8 +770,12 @@ pub fn experiment_ingestion_incremental(
     let query = parse_query("q(X) :- person(X)").expect("person query parses");
     let incremental_planner = Planner::new(ontology.clone());
     let scratch_planner = Planner::new(ontology);
-    let inc_plan = incremental_planner.prepare_forced(&query, PlanKind::Chase);
-    let scr_plan = scratch_planner.prepare_forced(&query, PlanKind::Chase);
+    let inc_plan = incremental_planner
+        .prepare_forced(&query, PlanKind::Chase)
+        .expect("classifiable");
+    let scr_plan = scratch_planner
+        .prepare_forced(&query, PlanKind::Chase)
+        .expect("classifiable");
     let mut store = RelationalStore::from_instance(&abox);
     // Warm version 0 on both planners (the chase-plan tenant's steady state).
     let _ = inc_plan.execute_versioned(&store, 0);
@@ -888,8 +897,12 @@ pub fn experiment_retraction_dred(students: usize, deletes: usize, why_samples: 
         },
     );
     let scratch_planner = Planner::new(ontology.clone());
-    let inc_plan = incremental_planner.prepare_forced(&query, PlanKind::Chase);
-    let scr_plan = scratch_planner.prepare_forced(&query, PlanKind::Chase);
+    let inc_plan = incremental_planner
+        .prepare_forced(&query, PlanKind::Chase)
+        .expect("classifiable");
+    let scr_plan = scratch_planner
+        .prepare_forced(&query, PlanKind::Chase)
+        .expect("classifiable");
     let mut store = RelationalStore::from_instance(&abox);
     // The victims: extra students present in the warmed materialization,
     // retracted one per commit below.
@@ -1409,6 +1422,99 @@ pub fn experiment_tracing_overhead(students: usize, repeats: usize) -> String {
     out
 }
 
+/// E18 — goal-driven (magic-sets) evaluation vs the full chase on the
+/// registrar workload. The selective query (`mustComplete` for one student)
+/// maps to a goal-driven plan: the chase runs only the adorned slice the
+/// query's bindings demand, instead of materializing every student's
+/// transcript. Both pipelines execute unversioned — the full chase pays its
+/// materialization on every iteration, which is exactly the cost the
+/// restriction avoids — and must return identical answers. p50 over `iters`
+/// runs per pipeline.
+pub fn experiment_goal_driven(student_counts: &[usize], iters: usize) -> String {
+    use ontorew_plan::{PlanKind, Planner, PreparedQuery};
+    use ontorew_workloads::{registrar_abox, registrar_ontology, registrar_queries};
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E18 — goal-driven (magic-sets) vs full chase (registrar workload, selective query)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "students   facts  goal_p50_us  chase_p50_us  speedup  goal_facts  full_facts  agree"
+    )
+    .unwrap();
+    let p50 = |plan: &PreparedQuery, store: &RelationalStore| -> u64 {
+        let mut times: Vec<u64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let _ = plan.execute(store);
+                start.elapsed().as_micros() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let mut all_agree = true;
+    let mut speedup_at_smallest = 0.0_f64;
+    for (n, &students) in student_counts.iter().enumerate() {
+        let abox = registrar_abox(students, 8, 42);
+        let store = RelationalStore::from_instance(&abox);
+        let planner = Planner::new(registrar_ontology());
+        let selective = registrar_queries().remove(0);
+        let goal = planner.prepare(&selective);
+        assert_eq!(
+            goal.plan().kind(),
+            PlanKind::GoalDriven,
+            "the selective registrar query must map to a goal-driven plan"
+        );
+        let full = planner
+            .prepare_forced(&selective, PlanKind::Chase)
+            .expect("classifiable");
+        let goal_exec = goal.execute(&store);
+        let full_exec = full.execute(&store);
+        assert!(goal_exec.provenance.exact && full_exec.provenance.exact);
+        let agree = goal_exec.answers.iter().eq(full_exec.answers.iter());
+        all_agree &= agree;
+        let goal_facts = goal_exec
+            .provenance
+            .goal_driven
+            .as_ref()
+            .map(|g| g.facts_derived)
+            .unwrap_or(0);
+        let full_facts = full_exec
+            .provenance
+            .chase
+            .as_ref()
+            .map(|c| c.facts)
+            .unwrap_or(0);
+        let goal_us = p50(&goal, &store);
+        let chase_us = p50(&full, &store);
+        let speedup = chase_us as f64 / goal_us.max(1) as f64;
+        if n == 0 {
+            speedup_at_smallest = speedup;
+        }
+        writeln!(
+            out,
+            "{students:>8} {:>7} {goal_us:>12} {chase_us:>13} {speedup:>8.1} {goal_facts:>11} {full_facts:>11}  {agree}",
+            store.len(),
+        )
+        .unwrap();
+    }
+    writeln!(out, "answers identical across pipelines: {all_agree}").unwrap();
+    writeln!(
+        out,
+        "goal-driven speedup at smallest scale: {speedup_at_smallest:.1}x (target >= 5x)"
+    )
+    .unwrap();
+    assert!(
+        all_agree,
+        "goal-driven answers diverged from the full chase"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1451,5 +1557,11 @@ mod tests {
         let e17 = experiment_tracing_overhead(60, 4);
         assert!(e17.contains("disabled-path overhead"), "{e17}");
         assert!(e17.contains("tracing enabled overhead"), "{e17}");
+        let e18 = experiment_goal_driven(&[120], 3);
+        assert!(
+            e18.contains("answers identical across pipelines: true"),
+            "{e18}"
+        );
+        assert!(e18.contains("goal-driven speedup"), "{e18}");
     }
 }

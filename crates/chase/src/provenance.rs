@@ -20,6 +20,7 @@
 use crate::trigger::TriggerKey;
 use ontorew_model::prelude::*;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// The stable identity of a fact within one derivation graph. Ids are never
 /// reused: a deleted fact keeps its id as a tombstone, so edges recorded
@@ -101,6 +102,12 @@ pub struct DerivationGraph {
     pub(crate) alive: Vec<bool>,
     /// The recorded derivation edges. Each trigger key has at most one edge.
     pub(crate) edges: Vec<DerivationEdge>,
+    /// Memoized well-founded support: fact id → supporting edge index
+    /// (`None` for base facts). The fixpoint is O(edges × rounds) and every
+    /// `why` call needs it, so it is computed once per graph state and
+    /// dropped by every mutation (`invalidate_support_cache`). `OnceLock`
+    /// keeps `why` callable through `&self` from concurrent readers.
+    support_cache: OnceLock<Arc<HashMap<FactId, Option<usize>>>>,
 }
 
 impl DerivationGraph {
@@ -117,6 +124,7 @@ impl DerivationGraph {
     /// `base` marks the fact as asserted (sticky: a derived fact later
     /// asserted explicitly becomes a base fact, never the other way around).
     pub(crate) fn intern(&mut self, atom: &Atom, base: bool) -> FactId {
+        self.invalidate_support_cache();
         match self.ids.get(atom) {
             Some(&id) => {
                 self.alive[id as usize] = true;
@@ -146,6 +154,7 @@ impl DerivationGraph {
         conclusions: &[Atom],
         satisfied: bool,
     ) {
+        self.invalidate_support_cache();
         let premises: Vec<FactId> = premises.iter().map(|a| self.intern(a, false)).collect();
         let conclusions: Vec<FactId> = conclusions.iter().map(|a| self.intern(a, false)).collect();
         self.edges.push(DerivationEdge {
@@ -219,6 +228,48 @@ impl DerivationGraph {
             .map(|(_, atom)| atom)
     }
 
+    /// Drop the memoized supported set. Every mutation calls this; the next
+    /// [`DerivationGraph::why`] recomputes the fixpoint lazily.
+    pub(crate) fn invalidate_support_cache(&mut self) {
+        self.support_cache.take();
+    }
+
+    /// The well-founded supported set: for every explainable live fact, the
+    /// edge supporting it (`None` for base facts). The supporting edge of
+    /// every fact is found in derivation order, so the chosen support is
+    /// well-founded (no cycles through mutually-derived facts). Computed
+    /// once per graph state and memoized — E15 measured p50 ≈ 13 ms per
+    /// recomputation on a 110k-node graph, paid by every `WHY` call before
+    /// this cache existed.
+    fn supported_set(&self) -> Arc<HashMap<FactId, Option<usize>>> {
+        Arc::clone(self.support_cache.get_or_init(|| {
+            let mut support: HashMap<FactId, Option<usize>> = HashMap::new();
+            for (id, _) in self.atoms.iter().enumerate() {
+                if self.base[id] && self.alive[id] {
+                    support.insert(id as FactId, None);
+                }
+            }
+            loop {
+                let mut grew = false;
+                for (edge_index, edge) in self.edges.iter().enumerate() {
+                    if !edge.premises.iter().all(|p| support.contains_key(p)) {
+                        continue;
+                    }
+                    for &c in &edge.conclusions {
+                        if self.alive[c as usize] && !support.contains_key(&c) {
+                            support.insert(c, Some(edge_index));
+                            grew = true;
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            Arc::new(support)
+        }))
+    }
+
     /// A well-founded derivation of `fact` down to base facts: the returned
     /// steps list the fact itself first, followed by every supporting
     /// derivation in reverse-dependency order (premises appear after the
@@ -227,32 +278,7 @@ impl DerivationGraph {
     /// retracted — a graph invariant violation).
     pub fn why(&self, fact: &Atom) -> Option<Vec<WhyStep>> {
         let target = self.id_of(fact)?;
-        // Forward pass: the supporting edge of every explainable fact, found
-        // in derivation order so the chosen support is well-founded (no
-        // cycles through mutually-derived facts).
-        let mut support: HashMap<FactId, Option<usize>> = HashMap::new();
-        for (id, _) in self.atoms.iter().enumerate() {
-            if self.base[id] && self.alive[id] {
-                support.insert(id as FactId, None);
-            }
-        }
-        loop {
-            let mut grew = false;
-            for (edge_index, edge) in self.edges.iter().enumerate() {
-                if !edge.premises.iter().all(|p| support.contains_key(p)) {
-                    continue;
-                }
-                for &c in &edge.conclusions {
-                    if self.alive[c as usize] && !support.contains_key(&c) {
-                        support.insert(c, Some(edge_index));
-                        grew = true;
-                    }
-                }
-            }
-            if !grew {
-                break;
-            }
-        }
+        let support = self.supported_set();
         support.get(&target)?;
         // Backward pass: collect the steps of the chosen derivation tree,
         // target first.
@@ -407,6 +433,37 @@ mod tests {
         assert_eq!(base_steps[0].rule, None);
         // Absent facts have no why.
         assert!(graph.why(&Atom::fact("path", &["c", "a"])).is_none());
+    }
+
+    #[test]
+    fn why_memoizes_the_supported_set_and_mutations_invalidate_it() {
+        let p = parse_program(
+            "[R1] edge(X, Y) -> path(X, Y).\n\
+             [R2] path(X, Y), edge(Y, Z) -> path(X, Z).",
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert_fact("edge", &["a", "b"]);
+        db.insert_fact("edge", &["b", "c"]);
+        let result = chase(&p, &db, &ChaseConfig::default().with_provenance(true));
+        let mut graph = result.provenance.clone().expect("provenance recorded");
+        assert!(
+            graph.support_cache.get().is_none(),
+            "the chase run's interning leaves no stale cache behind"
+        );
+        // The first why populates the cache; the second reuses it (same Arc).
+        graph.why(&Atom::fact("path", &["a", "c"])).unwrap();
+        let first = graph.supported_set();
+        graph.why(&Atom::fact("path", &["a", "b"])).unwrap();
+        assert!(Arc::ptr_eq(&first, &graph.supported_set()));
+        // A mutation invalidates: the recomputed set covers the new fact.
+        let id = graph.intern(&Atom::fact("edge", &["c", "d"]), true);
+        assert!(graph.support_cache.get().is_none());
+        assert!(!Arc::ptr_eq(&first, &graph.supported_set()));
+        assert!(graph.supported_set().contains_key(&id));
+        // A clone carries the memo but invalidates independently.
+        let clone = graph.clone();
+        assert!(clone.support_cache.get().is_some());
     }
 
     #[test]

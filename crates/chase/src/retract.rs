@@ -212,6 +212,9 @@ pub fn chase_retract(
         }
     }
     graph.edges = kept;
+    // Steps 1–5 mutated base/alive/edges directly: the memoized supported
+    // set (if the cloned source graph carried one) is stale.
+    graph.invalidate_support_cache();
     let mut fired_keys: HashSet<TriggerKey> = graph.edges.iter().map(|e| e.key.clone()).collect();
     dropped.sort();
     dropped.dedup();

@@ -141,15 +141,24 @@ impl ObdaSystem {
     /// Answer a conjunctive query. `Strategy::Auto` delegates the choice to
     /// the planner; the other variants force a plan kind.
     pub fn answer(&self, query: &ConjunctiveQuery, strategy: Strategy) -> ObdaAnswers {
+        // Forcing a strategy on an unclassifiable program is a structured
+        // planner error; this legacy shim falls back to the planner's own
+        // choice rather than surfacing it through the pre-planner API.
         let prepared = match strategy {
             Strategy::Auto => self.planner.prepare(query),
-            Strategy::Rewriting => self.planner.prepare_forced(query, PlanKind::Rewrite),
-            Strategy::Materialization => self.planner.prepare_forced(query, PlanKind::Chase),
+            Strategy::Rewriting => self
+                .planner
+                .prepare_forced(query, PlanKind::Rewrite)
+                .unwrap_or_else(|_| self.planner.prepare(query)),
+            Strategy::Materialization => self
+                .planner
+                .prepare_forced(query, PlanKind::Chase)
+                .unwrap_or_else(|_| self.planner.prepare(query)),
         };
         let execution = self.execute(&prepared);
         let strategy = match execution.provenance.strategy {
             StrategyTaken::Rewriting | StrategyTaken::Combined => Strategy::Rewriting,
-            StrategyTaken::Materialization => Strategy::Materialization,
+            StrategyTaken::Materialization | StrategyTaken::GoalDriven => Strategy::Materialization,
         };
         ObdaAnswers {
             answers: execution.answers,

@@ -22,6 +22,9 @@ pub enum StrategyTaken {
     Rewriting,
     /// The query was evaluated over a chase materialization.
     Materialization,
+    /// The query was evaluated over a magic-restricted chase that derived
+    /// only the goal-relevant slice of the universal model.
+    GoalDriven,
     /// Best-effort: the bounded rewriting's answers were unioned with a
     /// bounded chase's answers (both sound).
     Combined,
@@ -32,6 +35,7 @@ impl std::fmt::Display for StrategyTaken {
         f.write_str(match self {
             StrategyTaken::Rewriting => "rewriting",
             StrategyTaken::Materialization => "materialization",
+            StrategyTaken::GoalDriven => "goal-driven",
             StrategyTaken::Combined => "combined",
         })
     }
@@ -104,6 +108,22 @@ pub struct ChaseSummary {
     pub complete: bool,
 }
 
+/// Summary of a goal-driven (magic-restricted) execution: how much of the
+/// program was relevant and how much of the model the restriction skipped.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GoalDrivenSummary {
+    /// Rules of the original program in the query's relevance slice.
+    pub relevant_rules: usize,
+    /// Adorned guarded copies the magic rewrite emitted.
+    pub adorned_rules: usize,
+    /// Facts in the restricted chase's instance (seeds + slice).
+    pub facts_derived: usize,
+    /// Estimated facts a full-model materialization would hold — the cached
+    /// full materialization's size when one exists for this data version,
+    /// otherwise a store-size heuristic.
+    pub full_model_estimate: usize,
+}
+
 /// Where the execution's time went, microseconds.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct Timings {
@@ -142,6 +162,8 @@ pub struct Provenance {
     /// incremental extension of a cached ancestor version (None when no
     /// materialization was involved).
     pub materialization: Option<MaterializationMode>,
+    /// The goal-driven (magic-restricted) run, when one was executed.
+    pub goal_driven: Option<GoalDrivenSummary>,
     /// Timing breakdown.
     pub timings: Timings,
 }

@@ -58,10 +58,16 @@ pub mod plan;
 pub mod planner;
 
 pub use execution::{
-    ChaseSummary, Execution, MaterializationMode, Provenance, StrategyTaken, Timings,
+    ChaseSummary, Execution, GoalDrivenSummary, MaterializationMode, Provenance, StrategyTaken,
+    Timings,
 };
 pub use plan::{MaterializationGuarantee, PlanKind, QueryPlan};
-pub use planner::{Materialization, Planner, PlannerConfig, PreparedQuery};
+pub use planner::{Materialization, Planner, PlannerConfig, PlannerError, PreparedQuery};
+
+// The goal-driven (magic-sets) surface: the planner compiles the adorned
+// program itself, but callers inspecting a `QueryPlan::GoalDriven` need the
+// types.
+pub use ontorew_magic::{rewrite_goal_driven, Inadmissible, MagicProgram, MAGIC_PREFIX};
 
 // The chase-side surface the serving layer needs to configure provenance
 // tracking and walk derivation graphs without depending on `ontorew-chase`

@@ -9,6 +9,7 @@
 //! prepared-plan cache of `ontorew-serve`) and executed any number of times
 //! against different stores.
 
+use ontorew_magic::MagicProgram;
 use ontorew_rewrite::Rewriting;
 use serde::Serialize;
 use std::sync::Arc;
@@ -28,6 +29,11 @@ pub enum PlanKind {
     /// per execution from cost signals (rewriting fan-out, store size,
     /// whether a materialization is already cached).
     Hybrid,
+    /// The chase terminates *and* the query is selective enough for a
+    /// magic-sets/SIP rewrite: chase the goal-restricted adorned program
+    /// (seeded from the query's constants) instead of materializing the
+    /// whole model, then evaluate the original query over the slice.
+    GoalDriven,
     /// No guarantee holds: a budget-bounded rewriting (optionally unioned
     /// with a budget-bounded chase) yields a sound approximation of the
     /// certain answers — exact only if one of the budgets happens to reach a
@@ -37,12 +43,13 @@ pub enum PlanKind {
 
 impl PlanKind {
     /// The lowercase wire/CLI label (`rewrite`, `chase`, `hybrid`,
-    /// `besteffort`).
+    /// `goal_driven`, `besteffort`).
     pub fn label(&self) -> &'static str {
         match self {
             PlanKind::Rewrite => "rewrite",
             PlanKind::Chase => "chase",
             PlanKind::Hybrid => "hybrid",
+            PlanKind::GoalDriven => "goal_driven",
             PlanKind::BestEffort => "besteffort",
         }
     }
@@ -53,6 +60,7 @@ impl PlanKind {
             "rewrite" => Some(PlanKind::Rewrite),
             "chase" => Some(PlanKind::Chase),
             "hybrid" => Some(PlanKind::Hybrid),
+            "goal_driven" => Some(PlanKind::GoalDriven),
             "besteffort" => Some(PlanKind::BestEffort),
             _ => None,
         }
@@ -101,12 +109,23 @@ pub enum QueryPlan {
         /// The compiled rewriting, whose fan-out is the main cost signal.
         rewriting: Arc<Rewriting>,
     },
+    /// Chase the magic-restricted adorned program (goal-relevant slice of
+    /// the universal model), then evaluate the original query over it.
+    GoalDriven {
+        /// The adorned program, its seed facts, and the rewrite counts for
+        /// `EXPLAIN`/provenance.
+        magic: Arc<MagicProgram>,
+    },
     /// Sound approximation for the unclassified case: evaluate the bounded
     /// rewriting, and union a bounded chase when the store is small enough
-    /// for materialization to be affordable.
+    /// for materialization to be affordable. When the query admits a
+    /// magic-sets rewrite the bounded chase runs the goal-restricted
+    /// program instead — the budget is spent on goal-relevant facts first.
     BestEffort {
         /// The budget-bounded rewriting.
         rewriting: Arc<Rewriting>,
+        /// The goal-restricted program, when the query admits one.
+        magic: Option<Arc<MagicProgram>>,
     },
 }
 
@@ -117,6 +136,7 @@ impl QueryPlan {
             QueryPlan::RewriteThenEvaluate { .. } => PlanKind::Rewrite,
             QueryPlan::ChaseThenEvaluate { .. } => PlanKind::Chase,
             QueryPlan::Hybrid { .. } => PlanKind::Hybrid,
+            QueryPlan::GoalDriven { .. } => PlanKind::GoalDriven,
             QueryPlan::BestEffort { .. } => PlanKind::BestEffort,
         }
     }
@@ -126,8 +146,17 @@ impl QueryPlan {
         match self {
             QueryPlan::RewriteThenEvaluate { rewriting }
             | QueryPlan::Hybrid { rewriting }
-            | QueryPlan::BestEffort { rewriting } => Some(rewriting),
-            QueryPlan::ChaseThenEvaluate { .. } => None,
+            | QueryPlan::BestEffort { rewriting, .. } => Some(rewriting),
+            QueryPlan::ChaseThenEvaluate { .. } | QueryPlan::GoalDriven { .. } => None,
+        }
+    }
+
+    /// The magic-sets rewrite, for the plans that carry one.
+    pub fn magic(&self) -> Option<&Arc<MagicProgram>> {
+        match self {
+            QueryPlan::GoalDriven { magic } => Some(magic),
+            QueryPlan::BestEffort { magic, .. } => magic.as_ref(),
+            _ => None,
         }
     }
 

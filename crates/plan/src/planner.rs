@@ -1,13 +1,16 @@
 //! The planner: classify once, compile a plan per query, execute anywhere.
 
 use crate::execution::{
-    ChaseSummary, Execution, MaterializationMode, Provenance, StrategyTaken, Timings,
+    ChaseSummary, Execution, GoalDrivenSummary, MaterializationMode, Provenance, StrategyTaken,
+    Timings,
 };
 use crate::plan::{MaterializationGuarantee, PlanKind, QueryPlan};
 use ontorew_chase::{
-    chase, chase_incremental, chase_retract, ChaseConfig, ChaseResult, DerivationGraph,
+    chase, chase_incremental, chase_retract, ChaseConfig, ChaseOutcome, ChaseResult,
+    DerivationGraph,
 };
 use ontorew_core::{classify, ClassificationReport};
+use ontorew_magic::{rewrite_goal_driven, MagicProgram};
 use ontorew_model::prelude::*;
 use ontorew_rewrite::{evaluate_rewriting, rewrite, RewriteConfig, Rewriting};
 use ontorew_storage::{evaluate_cq, RelationalStore};
@@ -777,15 +780,29 @@ impl Planner {
         let terminating = classification.chase_terminates();
 
         let (plan, reason) = if !fo && terminating {
-            (
-                QueryPlan::ChaseThenEvaluate {
-                    materialized: MaterializationGuarantee::Terminating,
-                },
-                format!(
-                    "not known FO-rewritable, but the chase terminates ({classes}): \
-                     materialization is sound and complete"
+            // Chase territory. When the query is selective enough for a
+            // magic-sets/SIP rewrite, chase only the goal-relevant slice of
+            // the model instead of materializing all of it.
+            match rewrite_goal_driven(&self.inner.program, query) {
+                Ok(magic) => (
+                    QueryPlan::GoalDriven {
+                        magic: Arc::new(magic),
+                    },
+                    format!(
+                        "not known FO-rewritable, but the chase terminates ({classes}) and \
+                         the query is selective: goal-driven (magic-sets) restricted chase"
+                    ),
                 ),
-            )
+                Err(why) => (
+                    QueryPlan::ChaseThenEvaluate {
+                        materialized: MaterializationGuarantee::Terminating,
+                    },
+                    format!(
+                        "not known FO-rewritable, but the chase terminates ({classes}): \
+                         materialization is sound and complete (goal-driven inadmissible: {why})"
+                    ),
+                ),
+            }
         } else {
             // Rewriting is (or may be) the right strategy: compile it now —
             // the expensive, amortisable step every cached plan shares.
@@ -807,7 +824,12 @@ impl Planner {
                     format!("FO-rewritable ({classes}): perfect rewriting, AC0 evaluation"),
                 ),
                 (true, false, false) => (
-                    QueryPlan::BestEffort { rewriting },
+                    QueryPlan::BestEffort {
+                        magic: rewrite_goal_driven(&self.inner.program, query)
+                            .ok()
+                            .map(Arc::new),
+                        rewriting,
+                    },
                     format!(
                         "FO-rewritable ({classes}) but the saturation budget was exhausted: \
                          sound approximation"
@@ -820,7 +842,12 @@ impl Planner {
                         .to_string(),
                 ),
                 (false, false, false) => (
-                    QueryPlan::BestEffort { rewriting },
+                    QueryPlan::BestEffort {
+                        magic: rewrite_goal_driven(&self.inner.program, query)
+                            .ok()
+                            .map(Arc::new),
+                        rewriting,
+                    },
                     format!(
                         "{}: bounded rewriting (plus bounded chase on small stores) — \
                          sound approximation",
@@ -856,9 +883,25 @@ impl Planner {
     /// the E13 experiment; the provenance still reports guarantees honestly
     /// (a forced rewrite of a non-terminating saturation is flagged as a
     /// sound approximation).
-    pub fn prepare_forced(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PreparedQuery {
+    ///
+    /// Forcing a guarantee-bearing kind (`Rewrite`/`Chase`/`Hybrid`) on an
+    /// *unclassifiable* program — neither FO-rewritable nor
+    /// chase-terminating, where every strategy is only a bounded
+    /// approximation — is a structured [`PlannerError`] instead of a plan
+    /// that silently cannot keep its promise; `BestEffort` (the honest kind
+    /// for such programs) is always accepted. Forcing `GoalDriven` on a
+    /// query the magic-sets rewrite rejects errors with the reason.
+    pub fn prepare_forced(
+        &self,
+        query: &ConjunctiveQuery,
+        kind: PlanKind,
+    ) -> Result<PreparedQuery, PlannerError> {
         let start = Instant::now();
+        let fo = self.inner.classification.fo_rewritable();
         let terminating = self.inner.classification.chase_terminates();
+        if !fo && !terminating && kind != PlanKind::BestEffort {
+            return Err(PlannerError::UnclassifiableForcedPlan { kind });
+        }
         let reason = format!("plan forced to {kind} by the caller");
         let plan = match kind {
             PlanKind::Chase => QueryPlan::ChaseThenEvaluate {
@@ -867,6 +910,16 @@ impl Planner {
                 } else {
                     MaterializationGuarantee::Bounded
                 },
+            },
+            PlanKind::GoalDriven => match rewrite_goal_driven(&self.inner.program, query) {
+                Ok(magic) => QueryPlan::GoalDriven {
+                    magic: Arc::new(magic),
+                },
+                Err(why) => {
+                    return Err(PlannerError::GoalDrivenInadmissible {
+                        reason: why.to_string(),
+                    })
+                }
             },
             PlanKind::Rewrite | PlanKind::Hybrid | PlanKind::BestEffort => {
                 let rewriting = Arc::new(rewrite(
@@ -877,17 +930,22 @@ impl Planner {
                 match kind {
                     PlanKind::Rewrite => QueryPlan::RewriteThenEvaluate { rewriting },
                     PlanKind::Hybrid => QueryPlan::Hybrid { rewriting },
-                    _ => QueryPlan::BestEffort { rewriting },
+                    _ => QueryPlan::BestEffort {
+                        magic: rewrite_goal_driven(&self.inner.program, query)
+                            .ok()
+                            .map(Arc::new),
+                        rewriting,
+                    },
                 }
             }
         };
-        PreparedQuery {
+        Ok(PreparedQuery {
             shared: Arc::clone(&self.inner),
             query: query.clone(),
             plan,
             reason,
             prepare_us: start.elapsed().as_micros() as u64,
-        }
+        })
     }
 
     /// Convenience: prepare and execute in one call (no plan reuse, no
@@ -910,6 +968,47 @@ impl std::fmt::Debug for Planner {
             .finish()
     }
 }
+
+/// Why [`Planner::prepare_forced`] refused to compile a plan. The
+/// classification-driven [`Planner::prepare`] never fails — it always has
+/// an honest fallback; forcing removes the fallback, so the refusal is a
+/// structured error rather than a panic or a silently-degraded plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannerError {
+    /// A guarantee-bearing kind (`Rewrite`/`Chase`/`Hybrid`) was forced on
+    /// a program that is neither FO-rewritable nor chase-terminating: no
+    /// execution of that plan could keep the kind's guarantee. Use
+    /// `BestEffort` (or [`Planner::prepare`]) for such programs.
+    UnclassifiableForcedPlan {
+        /// The kind the caller tried to force.
+        kind: PlanKind,
+    },
+    /// `GoalDriven` was forced but the magic-sets rewrite rejected the
+    /// program/query pair (no guardable rules, no bound constants, or a
+    /// reserved-prefix collision).
+    GoalDrivenInadmissible {
+        /// The admissibility failure, human-readable.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannerError::UnclassifiableForcedPlan { kind } => write!(
+                f,
+                "cannot force a {kind} plan: the program is neither FO-rewritable nor \
+                 chase-terminating, so no {kind} execution can guarantee its answers \
+                 (use besteffort)"
+            ),
+            PlannerError::GoalDrivenInadmissible { reason } => {
+                write!(f, "cannot force a goal_driven plan: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
 
 /// A query compiled against one planner: the plan, the trichotomy reason,
 /// and an executor. Prepared queries are immutable and thread-safe — the
@@ -957,6 +1056,12 @@ impl PreparedQuery {
             QueryPlan::Hybrid { rewriting } => {
                 rewriting.complete || self.shared.classification.chase_terminates()
             }
+            // The goal-driven executor answers from the restricted chase
+            // only when that chase reaches a fixpoint (a universal model of
+            // the goal-relevant slice) and falls back to the full
+            // materialization otherwise — so the plan is exact whenever the
+            // full chase is guaranteed to terminate.
+            QueryPlan::GoalDriven { .. } => self.shared.classification.chase_terminates(),
             QueryPlan::BestEffort { .. } => false,
         }
     }
@@ -989,6 +1094,12 @@ impl PreparedQuery {
                     self.shared.chase_config.max_facts
                 ));
             }
+            QueryPlan::GoalDriven { magic } => {
+                for line in magic.dump() {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
             plan => {
                 let rewriting = plan.rewriting().expect("non-chase plans carry a rewriting");
                 out.push_str(&format!(
@@ -1006,6 +1117,13 @@ impl PreparedQuery {
                         "hybrid cutoff: prefer materialization above {} disjuncts \
                          when affordable\n",
                         self.shared.hybrid_disjunct_cutoff
+                    ));
+                }
+                if let Some(magic) = plan.magic() {
+                    out.push_str(&format!(
+                        "best-effort chase: goal-restricted ({} adorned rules, {} seeds)\n",
+                        magic.adorned_rules,
+                        magic.seeds.len()
                     ));
                 }
             }
@@ -1063,7 +1181,10 @@ impl PreparedQuery {
                 self.run_materialization(store, version, self.reason.clone())
             }
             QueryPlan::Hybrid { rewriting } => self.run_hybrid(rewriting, store, version),
-            QueryPlan::BestEffort { rewriting } => self.run_best_effort(rewriting, store, version),
+            QueryPlan::GoalDriven { magic } => self.run_goal_driven(magic, store, version),
+            QueryPlan::BestEffort { rewriting, magic } => {
+                self.run_best_effort(rewriting, magic.as_ref(), store, version)
+            }
         };
         execution.provenance.timings.total_us = start.elapsed().as_micros() as u64;
         run_span.attr("strategy", format!("{:?}", execution.provenance.strategy));
@@ -1095,6 +1216,7 @@ impl PreparedQuery {
                 chase: None,
                 materialization_cached: None,
                 materialization: None,
+                goal_driven: None,
                 timings: Timings {
                     materialize_us: 0,
                     evaluate_us: start.elapsed().as_micros() as u64,
@@ -1131,6 +1253,7 @@ impl PreparedQuery {
                 chase: Some(materialization.summary()),
                 materialization_cached: Some(cached),
                 materialization: Some(materialization.mode),
+                goal_driven: None,
                 timings: Timings {
                     materialize_us: if cached { 0 } else { materialization.micros },
                     evaluate_us: start.elapsed().as_micros() as u64,
@@ -1197,13 +1320,139 @@ impl PreparedQuery {
         }
     }
 
+    /// Chase the magic-restricted program: seed the instance with the
+    /// query's demand facts, run the adorned program (deriving only the
+    /// goal-relevant slice of the universal model), and evaluate the
+    /// original query over the result. Returns `None` when the restricted
+    /// chase did not reach a fixpoint — the caller decides the fallback.
+    fn run_magic_chase(
+        &self,
+        magic: &Arc<MagicProgram>,
+        store: &RelationalStore,
+    ) -> (ontorew_chase::ChaseResult, u64) {
+        let mut chase_span = span("magic.chase");
+        let start = Instant::now();
+        let mut instance = store.to_instance();
+        for seed in &magic.seeds {
+            instance.insert(seed.clone());
+        }
+        let result = chase(&magic.program, &instance, &self.shared.chase_config);
+        chase_span.attr("facts", result.instance.len());
+        chase_span.attr("rounds", result.rounds);
+        chase_span.attr("terminated", result.outcome == ChaseOutcome::Terminated);
+        (result, start.elapsed().as_micros() as u64)
+    }
+
+    /// The planner's estimate of how many facts a *full* materialization of
+    /// this store would hold: the cached materialization's exact size when
+    /// one exists for this data version, otherwise a store-size heuristic.
+    fn full_model_estimate(&self, store: &RelationalStore, version: Option<u64>) -> usize {
+        version
+            .and_then(
+                |v| match self.shared.materializations.lock().entries.get(&v) {
+                    Some((_, m)) if m.source_facts == store.len() => Some(m.facts),
+                    _ => None,
+                },
+            )
+            .unwrap_or_else(|| store.len().saturating_mul(1 + self.shared.program.len()))
+    }
+
+    /// Goal-driven execution: chase only the query-relevant slice. Two
+    /// escape hatches keep it no worse than the chase plan it replaces —
+    /// when a *complete* full materialization of this version is already
+    /// cached, one CQ evaluation over it beats re-running even a restricted
+    /// chase; and when the restricted chase exhausts its budget the
+    /// executor falls back to the full materialization pipeline so the
+    /// plan's exactness guarantee survives.
+    fn run_goal_driven(
+        &self,
+        magic: &Arc<MagicProgram>,
+        store: &RelationalStore,
+        version: Option<u64>,
+    ) -> Execution {
+        let warm = version
+            .map(
+                |v| match self.shared.materializations.lock().entries.get(&v) {
+                    Some((_, m)) if m.source_facts == store.len() => m.complete,
+                    _ => false,
+                },
+            )
+            .unwrap_or(false);
+        if warm {
+            return self.run_materialization(
+                store,
+                version,
+                format!(
+                    "{}; a complete materialization is already cached — evaluated over it",
+                    self.reason
+                ),
+            );
+        }
+        let (result, materialize_us) = self.run_magic_chase(magic, store);
+        if result.outcome != ChaseOutcome::Terminated {
+            return self.run_materialization(
+                store,
+                version,
+                format!(
+                    "{}; the restricted chase exhausted its budget — fell back to the full \
+                     materialization",
+                    self.reason
+                ),
+            );
+        }
+        let facts_derived = result.instance.len();
+        let nulls = result.instance.nulls().len();
+        let restricted = RelationalStore::from_instance(&result.instance);
+        let start = Instant::now();
+        let eval_span = span("plan.evaluate");
+        let answers = evaluate_cq(&restricted, &self.query).without_nulls();
+        drop(eval_span);
+        Execution {
+            answers,
+            provenance: Provenance {
+                plan: self.plan.kind(),
+                strategy: StrategyTaken::GoalDriven,
+                // The restricted chase reached a fixpoint: its instance is a
+                // universal model of the goal-relevant slice, so evaluating
+                // the original query over it yields exactly the certain
+                // answers.
+                exact: true,
+                reason: self.reason.clone(),
+                rewriting_disjuncts: None,
+                rewriting_complete: None,
+                chase: Some(ChaseSummary {
+                    facts: facts_derived,
+                    nulls,
+                    rounds: result.rounds,
+                    complete: true,
+                }),
+                materialization_cached: Some(false),
+                materialization: None,
+                goal_driven: Some(GoalDrivenSummary {
+                    relevant_rules: magic.relevant_rules,
+                    adorned_rules: magic.adorned_rules,
+                    facts_derived,
+                    full_model_estimate: self.full_model_estimate(store, version),
+                }),
+                timings: Timings {
+                    materialize_us,
+                    evaluate_us: start.elapsed().as_micros() as u64,
+                    total_us: 0,
+                },
+            },
+        }
+    }
+
     /// Best effort for the unclassified case: the bounded rewriting is
-    /// always evaluated (sound); on small stores a bounded chase is unioned
-    /// in — also sound, and if that chase happens to reach a fixpoint the
-    /// combined answers are exact after all.
+    /// always evaluated (sound); then the chase budget is spent where it
+    /// counts — on the goal-restricted (magic) program when the query
+    /// admits one, else on a full bounded chase when the store is small
+    /// enough. Both unions are sound, and if the chase reaches a fixpoint
+    /// the combined answers are exact after all.
     fn run_best_effort(
         &self,
         rewriting: &Arc<Rewriting>,
+        magic: Option<&Arc<MagicProgram>>,
         store: &RelationalStore,
         version: Option<u64>,
     ) -> Execution {
@@ -1213,7 +1462,50 @@ impl PreparedQuery {
             StrategyTaken::Rewriting,
             self.reason.clone(),
         );
-        if rewriting.complete || store.len() > self.shared.small_store_facts {
+        if rewriting.complete {
+            return execution;
+        }
+        if let Some(magic) = magic {
+            // Spend the chase budget on goal-relevant facts first: the
+            // restricted program derives the slice the query can actually
+            // see, so the budget goes much further than a full chase would.
+            let (result, materialize_us) = self.run_magic_chase(magic, store);
+            let terminated = result.outcome == ChaseOutcome::Terminated;
+            let facts_derived = result.instance.len();
+            let nulls = result.instance.nulls().len();
+            let restricted = RelationalStore::from_instance(&result.instance);
+            let start = Instant::now();
+            let more = evaluate_cq(&restricted, &self.query).without_nulls();
+            execution.answers.union_with(&more);
+            let provenance = &mut execution.provenance;
+            provenance.strategy = StrategyTaken::Combined;
+            // A terminated restricted chase is a universal model of the
+            // goal-relevant slice — the combined answers are exact.
+            provenance.exact = terminated;
+            if terminated {
+                provenance.reason = format!(
+                    "{}; the goal-restricted chase reached a fixpoint, so the combined \
+                     answers are exact",
+                    provenance.reason
+                );
+            }
+            provenance.chase = Some(ChaseSummary {
+                facts: facts_derived,
+                nulls,
+                rounds: result.rounds,
+                complete: terminated,
+            });
+            provenance.goal_driven = Some(GoalDrivenSummary {
+                relevant_rules: magic.relevant_rules,
+                adorned_rules: magic.adorned_rules,
+                facts_derived,
+                full_model_estimate: self.full_model_estimate(store, version),
+            });
+            provenance.timings.materialize_us = materialize_us;
+            provenance.timings.evaluate_us += start.elapsed().as_micros() as u64;
+            return execution;
+        }
+        if store.len() > self.shared.small_store_facts {
             return execution;
         }
         let (materialization, cached) = self.shared.materialize(store, version);
@@ -1842,7 +2134,7 @@ mod tests {
         .unwrap();
         let planner = Planner::new(program);
         let query = parse_query("q(X) :- person(X)").unwrap();
-        let forced = planner.prepare_forced(&query, PlanKind::Chase);
+        let forced = planner.prepare_forced(&query, PlanKind::Chase).unwrap();
         assert!(matches!(
             forced.plan(),
             QueryPlan::ChaseThenEvaluate {
@@ -1857,6 +2149,7 @@ mod tests {
         // Forcing the rewriting on the same ontology is complete (linear).
         let rewritten = planner
             .prepare_forced(&query, PlanKind::Rewrite)
+            .unwrap()
             .execute(&store);
         assert!(rewritten.is_exact());
         assert!(execution.provenance.reason.contains("forced"));
@@ -1880,6 +2173,117 @@ mod tests {
             explain.contains("materialization: terminating chase"),
             "{explain}"
         );
+    }
+
+    /// The registrar suite is chase territory (Datalog transitive closure:
+    /// not FO-rewritable, weakly acyclic), and its selective query binds a
+    /// constant over a guardable predicate — the planner picks the
+    /// goal-driven pipeline and its restricted chase answers exactly like
+    /// the full materialization, deriving far fewer facts.
+    #[test]
+    fn registrar_selective_query_maps_to_a_goal_driven_plan() {
+        let planner = Planner::new(ontorew_workloads::registrar_ontology());
+        assert!(!planner.classification().fo_rewritable());
+        assert!(planner.classification().chase_terminates());
+        let queries = ontorew_workloads::registrar_queries();
+        let selective = &queries[0];
+        let broad = &queries[1];
+
+        let prepared = planner.prepare(selective);
+        assert_eq!(prepared.plan().kind(), PlanKind::GoalDriven);
+        assert!(prepared.guarantees_exact());
+
+        let store = RelationalStore::from_instance(&ontorew_workloads::registrar_abox(200, 8, 5));
+        let execution = prepared.execute(&store);
+        assert_eq!(execution.provenance.strategy, StrategyTaken::GoalDriven);
+        assert!(execution.is_exact());
+        let full = planner
+            .prepare_forced(selective, PlanKind::Chase)
+            .unwrap()
+            .execute(&store);
+        assert_eq!(execution.answers, full.answers);
+        let summary = execution.provenance.goal_driven.expect("summary reported");
+        assert!(summary.relevant_rules >= 3);
+        assert!(summary.adorned_rules >= 2);
+        assert!(
+            summary.facts_derived < full.provenance.chase.unwrap().facts,
+            "the restricted chase derives a strict subset of the model"
+        );
+
+        // The broad scan binds no constants: inadmissible, fall back to the
+        // plain chase plan with the reason recorded.
+        let broad_plan = planner.prepare(broad);
+        assert_eq!(broad_plan.plan().kind(), PlanKind::Chase);
+        assert!(
+            broad_plan.explain().contains("goal-driven inadmissible"),
+            "{}",
+            broad_plan.explain()
+        );
+    }
+
+    /// The goal-driven `EXPLAIN` dumps the adorned program: seeds, magic
+    /// rules and guarded copies.
+    #[test]
+    fn goal_driven_explain_dumps_the_adorned_program() {
+        let planner = Planner::new(ontorew_workloads::registrar_ontology());
+        let prepared = planner.prepare(&ontorew_workloads::registrar_queries()[0]);
+        let explain = prepared.explain();
+        assert!(explain.contains("plan: goal_driven"), "{explain}");
+        assert!(explain.contains("adorned program:"), "{explain}");
+        assert!(
+            explain.contains("seed: magic_mustComplete_bf(\"student42\")"),
+            "{explain}"
+        );
+        assert!(explain.contains("G5@bf"), "{explain}");
+    }
+
+    /// Forcing a guarantee-bearing kind on an unclassifiable program is a
+    /// structured error, not a panic or a silently degraded plan;
+    /// `BestEffort` (the honest kind) is always accepted.
+    #[test]
+    fn forcing_plans_on_unclassifiable_programs_is_a_structured_error() {
+        let program = parse_program(
+            "[R1] t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n\
+             [R2] s(Y1, Y1, Y2) -> r(Y2, Y3).\n\
+             [R3] r(X, Y) -> t(Y, Z).",
+        )
+        .unwrap();
+        let planner = Planner::new(program);
+        assert!(!planner.classification().fo_rewritable());
+        assert!(!planner.classification().chase_terminates());
+        let query = parse_query(r#"q() :- r("a", X)"#).unwrap();
+        for kind in [PlanKind::Rewrite, PlanKind::Chase, PlanKind::Hybrid] {
+            match planner.prepare_forced(&query, kind) {
+                Err(PlannerError::UnclassifiableForcedPlan { kind: k }) => assert_eq!(k, kind),
+                other => panic!("expected UnclassifiableForcedPlan, got {other:?}"),
+            }
+        }
+        let err = planner.prepare_forced(&query, PlanKind::Chase).unwrap_err();
+        assert!(err.to_string().contains("neither FO-rewritable"), "{err}");
+        assert!(planner.prepare_forced(&query, PlanKind::BestEffort).is_ok());
+    }
+
+    /// Forcing `GoalDriven` on a program/query the magic rewrite rejects
+    /// reports the admissibility failure.
+    #[test]
+    fn forcing_goal_driven_on_an_inadmissible_query_reports_the_reason() {
+        // Example 2: the existential rule R2 makes every rule unguardable.
+        let planner = Planner::new(example2());
+        match planner.prepare_forced(&example2_query(), PlanKind::GoalDriven) {
+            Err(PlannerError::GoalDrivenInadmissible { reason }) => {
+                assert!(reason.contains("no guardable rules"), "{reason}");
+            }
+            other => panic!("expected GoalDrivenInadmissible, got {other:?}"),
+        }
+        // The registrar's selective query is admissible even when forced.
+        let registrar = Planner::new(ontorew_workloads::registrar_ontology());
+        let forced = registrar
+            .prepare_forced(
+                &ontorew_workloads::registrar_queries()[0],
+                PlanKind::GoalDriven,
+            )
+            .unwrap();
+        assert_eq!(forced.plan().kind(), PlanKind::GoalDriven);
     }
 
     /// `Planner::answer` is the one-shot convenience path.

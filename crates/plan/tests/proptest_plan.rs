@@ -105,8 +105,8 @@ proptest! {
 
         let store = store_of(&facts);
         let chosen = planner.prepare(&query).execute(&store);
-        let by_chase = planner.prepare_forced(&query, PlanKind::Chase).execute(&store);
-        let by_rewriting = planner.prepare_forced(&query, PlanKind::Rewrite).execute(&store);
+        let by_chase = planner.prepare_forced(&query, PlanKind::Chase).unwrap().execute(&store);
+        let by_rewriting = planner.prepare_forced(&query, PlanKind::Rewrite).unwrap().execute(&store);
 
         prop_assert!(chosen.is_exact());
         prop_assert!(by_chase.is_exact());

@@ -16,6 +16,11 @@
 //! * [`supply_chain_ontology`] — a deliberately *non*-FO-rewritable workload
 //!   (transitive part-of plus a feedback rule) used by the approximation and
 //!   materialization experiments.
+//! * [`registrar_ontology`] — a pure-Datalog curriculum workload (transitive
+//!   prerequisite closure, so not FO-rewritable, but weakly acyclic): the
+//!   chase-territory suite whose selective queries exercise the goal-driven
+//!   (magic-sets) pipeline, where materializing the full model is the worst
+//!   case the restriction avoids.
 //!
 //! Each suite comes with a data generator producing an ABox of a requested
 //! size over the suite's vocabulary, so benchmarks can sweep data size with a
@@ -239,6 +244,64 @@ pub fn supply_chain_abox(parts: usize, seed: u64) -> Instance {
     db
 }
 
+/// A registrar (curriculum) ontology: pure Datalog, so the chase terminates
+/// (weakly acyclic), but the transitive prerequisite closure `G4` keeps it
+/// outside every FO-rewritable class — the planner's chase territory. The
+/// interesting workload shape: `mustComplete` fans out to every transitively
+/// required course of every enrollment, so the full universal model is large
+/// while a per-student query touches a sliver of it.
+pub fn registrar_ontology() -> TgdProgram {
+    parse(
+        "[G1] enrolled(S, C) -> student(S).\n\
+         [G2] enrolled(S, C) -> course(C).\n\
+         [G3] prereq(C1, C2) -> requires(C1, C2).\n\
+         [G4] requires(C1, C2), prereq(C2, C3) -> requires(C1, C3).\n\
+         [G5] enrolled(S, C), requires(C, P) -> mustComplete(S, P).",
+    )
+}
+
+/// A random registrar ABox: `students` students with ~2 enrollments each
+/// over `students / 4` courses, the courses organised into prerequisite
+/// chains of length `chain` (so `requires` closes to ~`chain / 2` ancestors
+/// per course). Seeded and reproducible.
+pub fn registrar_abox(students: usize, chain: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chain = chain.max(2);
+    let courses = (students / 4).max(chain);
+    let mut db = Instance::new();
+    for c in 0..courses {
+        // Consecutive courses within a block of `chain` form a prereq chain.
+        if c % chain != 0 {
+            db.insert_fact(
+                "prereq",
+                &[&format!("course{c}"), &format!("course{}", c - 1)],
+            );
+        }
+    }
+    for s in 0..students {
+        let name = format!("student{s}");
+        for _ in 0..2 {
+            let c = rng.gen_range(0..courses);
+            db.insert_fact("enrolled", &[&name, &format!("course{c}")]);
+        }
+    }
+    db
+}
+
+/// The benchmark queries for the registrar suite: the first is the
+/// *selective* one (a single student's transitive obligations — the
+/// goal-driven pipeline's home turf), the second a broad scan that no goal
+/// restriction can prune.
+pub fn registrar_queries() -> Vec<ConjunctiveQuery> {
+    [
+        "q(P) :- mustComplete(\"student42\", P)",
+        "q(S) :- student(S)",
+    ]
+    .iter()
+    .map(|q| parse_query(q).expect("suite query must parse"))
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +337,28 @@ mod tests {
         assert_eq!(db.relation_size(Predicate::new("producedBy", 2)), 200);
         assert!(db.relation_size(Predicate::new("criticalAlarm", 1)) >= 1);
         assert!(!sensor_network_queries().is_empty());
+    }
+
+    #[test]
+    fn registrar_suite_is_datalog_with_a_transitive_closure() {
+        let p = registrar_ontology();
+        assert_eq!(p.len(), 5);
+        assert!(
+            p.iter().all(|r| r.is_full() && r.head.len() == 1),
+            "registrar suite is pure Datalog (chase-terminating)"
+        );
+        assert!(p
+            .iter()
+            .any(|r| r.body.len() == 2 && r.body[0].predicate == r.head[0].predicate));
+        let db = registrar_abox(400, 8, 11);
+        assert_eq!(registrar_abox(400, 8, 11), registrar_abox(400, 8, 11));
+        let enrolled = db.relation_size(Predicate::new("enrolled", 2));
+        assert!(
+            (400..=800).contains(&enrolled),
+            "~2 enrollments per student"
+        );
+        assert!(db.relation_size(Predicate::new("prereq", 2)) >= 80);
+        assert!(!registrar_queries().is_empty());
     }
 
     #[test]

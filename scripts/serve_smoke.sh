@@ -11,8 +11,11 @@
 # 24-commit loop with interleaved queries that exercises the copy-on-write
 # O(batch) epoch publish and the incremental materialization path over the
 # wire — a WHY/WHY NOT explanation round trip against the derivation graph,
-# and a delete-heavy phase that retracts every bulk insert again through
-# the DRed path; exact answer counts, epochs, retraction counters, cache
+# a delete-heavy phase that retracts every bulk insert again through
+# the DRed path, and a goal-driven phase on a registrar tenant — the
+# selective query's EXPLAIN must report the magic-sets plan with its
+# adorned-program dump and plan_plans_total{kind="goal_driven"} must be
+# non-zero in METRICS; exact answer counts, epochs, retraction counters, cache
 # behavior and tenant isolation are all asserted, and a final METRICS
 # scrape fails if the core telemetry families — queries_total,
 # chase_rounds_total, plan_plans_total, the per-tenant request histograms —

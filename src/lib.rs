@@ -13,6 +13,7 @@
 //! | [`unify`] | `ontorew-unify` | MGUs, homomorphisms, CQ containment, piece unification |
 //! | [`storage`] | `ontorew-storage` | indexed relational store, CQ/UCQ evaluation, SQL rendering |
 //! | [`chase`] | `ontorew-chase` | oblivious/restricted chase, weak acyclicity, certain answers |
+//! | [`magic`] | `ontorew-magic` | magic-sets/SIP adornment for goal-driven chase evaluation |
 //! | [`rewrite`] | `ontorew-rewrite` | UCQ rewriting engine, answering by rewriting, query patterns |
 //! | [`core`] | `ontorew-core` | position graph, SWR, P-node graph, WR, baseline classes, classifier |
 //! | [`plan`] | `ontorew-plan` | classification-driven planner: `Planner`, `PreparedQuery`, plan provenance |
@@ -33,6 +34,7 @@
 
 pub use ontorew_chase as chase;
 pub use ontorew_core as core;
+pub use ontorew_magic as magic;
 pub use ontorew_model as model;
 pub use ontorew_obda as obda;
 pub use ontorew_plan as plan;
