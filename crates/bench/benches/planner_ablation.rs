@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
                 EvalConfig {
                     reorder_atoms: false,
                     use_indexes: false,
-                    statistics: None,
+                    ..EvalConfig::default()
                 },
             ),
             (
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
                 EvalConfig {
                     reorder_atoms: false,
                     use_indexes: true,
-                    statistics: None,
+                    ..EvalConfig::default()
                 },
             ),
             ("planner + indexes", EvalConfig::default()),
@@ -73,7 +73,7 @@ fn bench(c: &mut Criterion) {
             EvalConfig {
                 reorder_atoms: false,
                 use_indexes: false,
-                statistics: None,
+                ..EvalConfig::default()
             },
         ),
         ("planner_index", EvalConfig::default()),

@@ -538,7 +538,7 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
 
     // The METRICS surface: the core engine families must all have moved
     // after the exchange above (queries, plans, rewritings, chase rounds,
-    // per-verb request counters and latency histograms).
+    // join evaluations, per-verb request counters and latency histograms).
     scrape_metrics(
         &mut client,
         &[
@@ -550,7 +550,15 @@ fn smoke_exchange(addr: &str) -> Result<(), String> {
             "rewrite_runs_total",
             "chase_rounds_total",
             "chase_triggers_fired_total",
+            "join_evaluations_total",
         ],
+    )?;
+    // Every chase trigger search and CQ evaluation above ran the default
+    // backtracking join, so that strategy label specifically must have moved.
+    scrape_labeled_series(
+        &mut client,
+        "join_evaluations_total",
+        "strategy=\"backtracking\"",
     )?;
 
     client.shutdown().map_err(|e| format!("shutdown: {e}"))?;

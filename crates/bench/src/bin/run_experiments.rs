@@ -1,4 +1,4 @@
-//! Run every experiment of EXPERIMENTS.md (E1–E18) and print the tables.
+//! Run every experiment of EXPERIMENTS.md (E1–E19) and print the tables.
 //!
 //! ```text
 //! cargo run -p ontorew-bench --release --bin run_experiments \
@@ -109,6 +109,9 @@ fn main() -> ExitCode {
         }),
         ("E18", || {
             ontorew_bench::experiment_goal_driven(&[20_000, 50_000], 5)
+        }),
+        ("E19", || {
+            ontorew_bench::experiment_generic_join(&[300, 1_000, 3_000], 5)
         }),
     ];
 

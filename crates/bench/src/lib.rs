@@ -1515,6 +1515,120 @@ pub fn experiment_goal_driven(student_counts: &[usize], iters: usize) -> String 
     out
 }
 
+/// E19 — worst-case-optimal (generic) join vs backtracking on the cyclic
+/// social-graph queries, plus the cost model's pick. Per scale and query,
+/// both join strategies are forced through the raw evaluator (p50 over
+/// `iters` runs, answers must be identical), then the measured cost model
+/// ([`ontorew_storage::estimate_join_cost`] over collected
+/// [`ontorew_storage::StoreStatistics`]) picks a strategy without seeing the
+/// timings; the pick must land within the E13 tolerance of the measured
+/// winner. On the hub-heavy graph the backtracking triangle join enumerates
+/// Θ(users²) 2-paths through the celebrity vertices, so the generic join's
+/// speedup grows with scale — the `speedup` column at the largest scale is
+/// the headline number.
+pub fn experiment_generic_join(user_counts: &[usize], iters: usize) -> String {
+    use ontorew_storage::{
+        estimate_join_cost, evaluate_cq_instrumented, EvalConfig, JoinStrategy, StoreStatistics,
+    };
+    use ontorew_workloads::{social_graph_abox, social_graph_queries};
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E19 — generic (worst-case-optimal) join vs backtracking (social-graph workload)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "users   facts  query     backtrack_us  generic_us  speedup  answers  cost_pick     cost_ok  agree"
+    )
+    .unwrap();
+    let p50 = |store: &RelationalStore, q: &ConjunctiveQuery, strategy: JoinStrategy| -> u64 {
+        let config = EvalConfig {
+            strategy: Some(strategy),
+            ..EvalConfig::default()
+        };
+        let mut times: Vec<u64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let _ = evaluate_cq_instrumented(store, q, &config);
+                start.elapsed().as_micros() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let names = ["triangle", "4-clique", "2-path"];
+    let mut all_agree = true;
+    let mut all_cost_ok = true;
+    let mut best_speedup_at_largest = 0.0_f64;
+    for (n, &users) in user_counts.iter().enumerate() {
+        let abox = social_graph_abox(users, 8, 42);
+        let store = RelationalStore::from_instance(&abox);
+        let statistics = StoreStatistics::collect(&store);
+        for (q, name) in social_graph_queries().iter().zip(names) {
+            let bt = evaluate_cq_instrumented(
+                &store,
+                q,
+                &EvalConfig {
+                    strategy: Some(JoinStrategy::Backtracking),
+                    ..EvalConfig::default()
+                },
+            )
+            .0;
+            let gj = evaluate_cq_instrumented(
+                &store,
+                q,
+                &EvalConfig {
+                    strategy: Some(JoinStrategy::GenericJoin),
+                    ..EvalConfig::default()
+                },
+            )
+            .0;
+            let agree = bt.iter().eq(gj.iter());
+            all_agree &= agree;
+            let bt_us = p50(&store, q, JoinStrategy::Backtracking);
+            let gj_us = p50(&store, q, JoinStrategy::GenericJoin);
+            let speedup = bt_us as f64 / gj_us.max(1) as f64;
+            if n + 1 == user_counts.len() && speedup > best_speedup_at_largest {
+                best_speedup_at_largest = speedup;
+            }
+            let pick = estimate_join_cost(&statistics, &q.body).strategy();
+            let picked_us = match pick {
+                JoinStrategy::Backtracking => bt_us,
+                JoinStrategy::GenericJoin => gj_us,
+            };
+            let best = bt_us.min(gj_us);
+            // E13 tolerance: the pick must be within 1.5x of the measured
+            // winner plus timer noise.
+            let cost_ok = picked_us <= best + best / 2 + 50;
+            all_cost_ok &= cost_ok;
+            writeln!(
+                out,
+                "{users:>5} {:>7}  {name:<9} {bt_us:>11} {gj_us:>11} {speedup:>7.1}x {:>8}  {:<13} {cost_ok:<7}  {agree}",
+                store.len(),
+                bt.len(),
+                pick.label(),
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "answers identical across join strategies: {all_agree}").unwrap();
+    writeln!(
+        out,
+        "cost model within tolerance of the measured winner on every query: {all_cost_ok}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "best generic-join speedup at largest scale: {best_speedup_at_largest:.1}x (target >= 5x)"
+    )
+    .unwrap();
+    assert!(all_agree, "generic join diverged from backtracking:\n{out}");
+    assert!(all_cost_ok, "cost model picked a losing strategy:\n{out}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1563,5 +1677,14 @@ mod tests {
             "{e18}"
         );
         assert!(e18.contains("goal-driven speedup"), "{e18}");
+        let e19 = experiment_generic_join(&[240], 3);
+        assert!(
+            e19.contains("answers identical across join strategies: true"),
+            "{e19}"
+        );
+        assert!(
+            e19.contains("cost model within tolerance of the measured winner on every query: true"),
+            "{e19}"
+        );
     }
 }

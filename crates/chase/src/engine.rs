@@ -36,7 +36,8 @@
 
 use crate::provenance::DerivationGraph;
 use crate::trigger::{
-    find_rule_triggers, find_rule_triggers_delta, RulePlan, StagedEdge, Trigger, TriggerKey,
+    find_rule_triggers, find_rule_triggers_delta_with, find_rule_triggers_with, RulePlan,
+    StagedEdge, Trigger, TriggerKey,
 };
 use ontorew_model::prelude::*;
 use ontorew_telemetry::{global_registry, span, Counter, Gauge, Histogram};
@@ -273,14 +274,20 @@ pub(crate) fn sequential_round_search<'a>(
     move |instance, delta| {
         let mut triggers = Vec::new();
         for (rule_index, rule) in program.iter().enumerate() {
+            // Per-rule, per-round strategy: generic join for cyclic bodies
+            // over enough facts, backtracking otherwise.
+            let strategy = plans[rule_index].join_strategy(instance);
             match (config.strategy, delta) {
                 (ChaseStrategy::Naive, _) | (ChaseStrategy::SemiNaive, None) => {
-                    triggers.extend(find_rule_triggers(rule_index, rule, instance));
+                    triggers.extend(find_rule_triggers_with(
+                        rule_index, rule, instance, strategy,
+                    ));
                 }
                 (ChaseStrategy::SemiNaive, Some(delta)) => {
                     if plans[rule_index].body_touches(delta) {
-                        triggers
-                            .extend(find_rule_triggers_delta(rule_index, rule, instance, delta));
+                        triggers.extend(find_rule_triggers_delta_with(
+                            rule_index, rule, instance, delta, strategy,
+                        ));
                     }
                 }
             }

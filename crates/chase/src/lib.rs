@@ -37,13 +37,17 @@ pub use engine::{
     ChaseVariant, IncrementalChase,
 };
 pub use equiv::{equivalent_up_to_null_renaming, homomorphically_equivalent};
-pub use parallel::{chase_parallel, find_triggers_delta_parallel, find_triggers_parallel};
+pub use parallel::{
+    chase_parallel, find_triggers_delta_parallel, find_triggers_parallel,
+    find_triggers_parallel_with,
+};
 pub use provenance::{
     explain_absent, DerivationEdge, DerivationGraph, FactId, WhyNot, WhyNotCandidate, WhyStep,
 };
 pub use retract::{chase_retract, RetractedChase};
 pub use termination::{is_weakly_acyclic, DependencyGraph, DependencyPosition};
 pub use trigger::{
-    find_rule_triggers, find_rule_triggers_delta, find_rule_triggers_delta_chunk, find_triggers,
-    RulePlan, Trigger, TriggerKey,
+    find_rule_triggers, find_rule_triggers_delta, find_rule_triggers_delta_chunk,
+    find_rule_triggers_delta_pivot_generic, find_rule_triggers_delta_with, find_rule_triggers_with,
+    find_triggers, RulePlan, Trigger, TriggerKey,
 };

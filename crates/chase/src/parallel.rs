@@ -19,9 +19,13 @@
 //! now use the whole pool.
 
 use crate::engine::{ChaseConfig, ChaseResult, ChaseStrategy};
-use crate::trigger::{find_rule_triggers, find_rule_triggers_delta_chunk, RulePlan, Trigger};
+use crate::trigger::{
+    find_rule_triggers, find_rule_triggers_delta_chunk, find_rule_triggers_delta_pivot_generic,
+    find_rule_triggers_with, RulePlan, Trigger,
+};
 use ontorew_model::prelude::*;
 use ontorew_telemetry::{global_registry, Histogram};
+use ontorew_unify::JoinStrategy;
 use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
 
@@ -51,6 +55,26 @@ pub fn find_triggers_parallel(
     })
 }
 
+/// [`find_triggers_parallel`] with per-rule join strategies taken from
+/// `plans` (see [`RulePlan::join_strategy`]): cyclic rules over enough facts
+/// search with the generic join, the rest backtrack.
+pub fn find_triggers_parallel_with(
+    program: &TgdProgram,
+    plans: &[RulePlan],
+    instance: &Instance,
+    threads: usize,
+) -> Vec<Trigger> {
+    let rules: Vec<(usize, &Tgd)> = program.iter().enumerate().collect();
+    run_partitioned(&rules, threads, |(rule_index, rule)| {
+        find_rule_triggers_with(
+            rule_index,
+            rule,
+            instance,
+            plans[rule_index].join_strategy(instance),
+        )
+    })
+}
+
 /// A delta chunk below this many pivot rows is not worth a dedicated slice:
 /// the spawn/merge overhead would exceed the search it parallelises.
 const MIN_DELTA_ROWS_PER_CHUNK: usize = 32;
@@ -64,6 +88,11 @@ struct DeltaSlice {
     pivot: usize,
     chunk: usize,
     chunk_count: usize,
+    /// Search this slice with the generic join instead of backtracking.
+    /// Generic-join slices are always whole pivots (`chunk_count == 1`):
+    /// the variable-at-a-time search has no row-stride to split on, but the
+    /// per-pivot searches are already independent work units.
+    generic: bool,
 }
 
 /// Enumerate every trigger of `program` on `instance` whose body uses at
@@ -85,18 +114,25 @@ pub fn find_triggers_delta_parallel(
         if !plans[rule_index].body_touches(delta) {
             continue;
         }
+        let generic = plans[rule_index].join_strategy(instance) == JoinStrategy::GenericJoin;
         for (pivot, atom) in rule.body.iter().enumerate() {
             // The pivot atom is matched against the delta first; the number
             // of delta rows under its predicate bounds that enumeration and
-            // decides how many ways to split it.
+            // decides how many ways to split it (generic-join slices are
+            // whole pivots).
             let pivot_rows = delta.relation_size(atom.predicate);
-            let chunk_count = (pivot_rows / MIN_DELTA_ROWS_PER_CHUNK).clamp(1, threads);
+            let chunk_count = if generic {
+                1
+            } else {
+                (pivot_rows / MIN_DELTA_ROWS_PER_CHUNK).clamp(1, threads)
+            };
             for chunk in 0..chunk_count {
                 slices.push(DeltaSlice {
                     rule_index,
                     pivot,
                     chunk,
                     chunk_count,
+                    generic,
                 });
             }
         }
@@ -104,15 +140,25 @@ pub fn find_triggers_delta_parallel(
     parallel_chunk_histogram().observe(slices.len() as u64);
     let rules = program.rules();
     run_partitioned(&slices, threads, |slice| {
-        find_rule_triggers_delta_chunk(
-            slice.rule_index,
-            &rules[slice.rule_index],
-            instance,
-            delta,
-            slice.pivot,
-            slice.chunk,
-            slice.chunk_count,
-        )
+        if slice.generic {
+            find_rule_triggers_delta_pivot_generic(
+                slice.rule_index,
+                &rules[slice.rule_index],
+                instance,
+                delta,
+                slice.pivot,
+            )
+        } else {
+            find_rule_triggers_delta_chunk(
+                slice.rule_index,
+                &rules[slice.rule_index],
+                instance,
+                delta,
+                slice.pivot,
+                slice.chunk,
+                slice.chunk_count,
+            )
+        }
     })
 }
 
@@ -180,7 +226,7 @@ pub fn chase_parallel(
             // Full parallel search when there is no delta to restrict to
             // (the naive strategy, or the semi-naive strategy's round 1).
             (ChaseStrategy::Naive, _) | (ChaseStrategy::SemiNaive, None) => {
-                find_triggers_parallel(program, instance, threads)
+                find_triggers_parallel_with(program, &plans, instance, threads)
             }
             (ChaseStrategy::SemiNaive, Some(delta)) => {
                 find_triggers_delta_parallel(program, &plans, instance, delta, threads)
@@ -317,6 +363,44 @@ mod tests {
         assert_eq!(seq.instance.len(), par.instance.len());
         assert_eq!(seq.instance.nulls().len(), par.instance.nulls().len());
         assert!(equivalent_up_to_null_renaming(&seq.instance, &par.instance));
+    }
+
+    #[test]
+    fn cyclic_rule_chase_uses_generic_join_and_matches_sequential() {
+        // Triangle-closing rule over enough edges that the per-rule strategy
+        // graduates to the generic join (both sequentially and in the
+        // parallel engine's whole-pivot slices).
+        let p =
+            parse_program("[R1] follows(X, Y), follows(Y, Z), follows(Z, X) -> triangle(X, Y, Z).")
+                .unwrap();
+        let mut db = Instance::new();
+        for i in 0..80u32 {
+            db.insert_fact(
+                "follows",
+                &[&format!("u{i}"), &format!("u{}", (i * 7 + 1) % 80)],
+            );
+            db.insert_fact(
+                "follows",
+                &[&format!("u{i}"), &format!("u{}", (i + 1) % 80)],
+            );
+        }
+        let plans: Vec<RulePlan> = p.iter().map(RulePlan::new).collect();
+        assert!(plans[0].cyclic);
+        assert_eq!(plans[0].join_strategy(&db), JoinStrategy::GenericJoin);
+        let seq = chase(&p, &db, &ChaseConfig::default());
+        let par = chase_parallel(&p, &db, &ChaseConfig::default(), 4);
+        assert!(seq.is_universal_model());
+        assert_eq!(seq.instance, par.instance);
+        assert_eq!(seq.fired, par.fired);
+        // And the trigger sets match the backtracking search exactly.
+        let bt = crate::trigger::find_rule_triggers(0, &p.rules()[0], &db);
+        let gj = find_rule_triggers_with(0, &p.rules()[0], &db, JoinStrategy::GenericJoin);
+        let key = |t: &Trigger| format!("{:?}", t.homomorphism);
+        let mut bt_keys: Vec<_> = bt.iter().map(key).collect();
+        let mut gj_keys: Vec<_> = gj.iter().map(key).collect();
+        bt_keys.sort();
+        gj_keys.sort();
+        assert_eq!(bt_keys, gj_keys);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use ontorew_model::prelude::*;
 use ontorew_unify::{
     all_homomorphisms, all_homomorphisms_delta, all_homomorphisms_delta_chunk, find_homomorphism,
-    find_homomorphism_ordered, plan_match_order,
+    find_homomorphism_ordered, generic_join_all, generic_join_delta, generic_join_delta_pivot,
+    is_cyclic, plan_match_order, JoinStrategy, GENERIC_JOIN_MIN_FACTS,
 };
 use std::collections::BTreeSet;
 
@@ -24,6 +25,10 @@ pub struct RulePlan {
     /// planned once per rule (the seed domain — the frontier — is the same
     /// for every trigger of the rule, so the order never changes).
     pub head_order: Vec<Atom>,
+    /// True if the body's variable hypergraph is cyclic (GYO test) — the
+    /// shapes on which the worst-case-optimal generic join beats the
+    /// backtracking trigger search.
+    pub cyclic: bool,
 }
 
 impl RulePlan {
@@ -36,6 +41,7 @@ impl RulePlan {
             existentials: rule.existential_head_variables(),
             body_predicates: predicates_of(&rule.body),
             head_order,
+            cyclic: is_cyclic(&rule.body),
         }
     }
 
@@ -45,6 +51,27 @@ impl RulePlan {
         self.body_predicates
             .iter()
             .any(|p| delta.relation_size(*p) > 0)
+    }
+
+    /// The per-rule join strategy on `instance`: generic join when the body
+    /// is cyclic and the touched relations hold enough facts for the
+    /// variable-at-a-time overhead to pay, backtracking otherwise. Evaluated
+    /// per round — a rule can graduate to the generic join as the chase
+    /// grows the instance.
+    pub fn join_strategy(&self, instance: &Instance) -> JoinStrategy {
+        if !self.cyclic {
+            return JoinStrategy::Backtracking;
+        }
+        let total: usize = self
+            .body_predicates
+            .iter()
+            .map(|p| instance.relation_size(*p))
+            .sum();
+        if total >= GENERIC_JOIN_MIN_FACTS {
+            JoinStrategy::GenericJoin
+        } else {
+            JoinStrategy::Backtracking
+        }
     }
 }
 
@@ -170,7 +197,23 @@ pub fn find_triggers(program: &TgdProgram, instance: &Instance) -> Vec<Trigger> 
 
 /// Enumerate the triggers of a single rule on `instance`.
 pub fn find_rule_triggers(rule_index: usize, rule: &Tgd, instance: &Instance) -> Vec<Trigger> {
-    all_homomorphisms(&rule.body, instance, &Substitution::new())
+    find_rule_triggers_with(rule_index, rule, instance, JoinStrategy::Backtracking)
+}
+
+/// [`find_rule_triggers`] with an explicit join strategy (see
+/// [`RulePlan::join_strategy`]). Both strategies enumerate exactly the same
+/// triggers; only the search order and cost differ.
+pub fn find_rule_triggers_with(
+    rule_index: usize,
+    rule: &Tgd,
+    instance: &Instance,
+    strategy: JoinStrategy,
+) -> Vec<Trigger> {
+    let homomorphisms = match strategy {
+        JoinStrategy::Backtracking => all_homomorphisms(&rule.body, instance, &Substitution::new()),
+        JoinStrategy::GenericJoin => generic_join_all(&rule.body, instance, &Substitution::new()),
+    };
+    homomorphisms
         .into_iter()
         .map(|homomorphism| Trigger {
             rule_index,
@@ -190,7 +233,48 @@ pub fn find_rule_triggers_delta(
     full: &Instance,
     delta: &Instance,
 ) -> Vec<Trigger> {
-    all_homomorphisms_delta(&rule.body, full, delta, &Substitution::new())
+    find_rule_triggers_delta_with(rule_index, rule, full, delta, JoinStrategy::Backtracking)
+}
+
+/// [`find_rule_triggers_delta`] with an explicit join strategy (see
+/// [`RulePlan::join_strategy`]). Both strategies enumerate exactly the same
+/// delta triggers.
+pub fn find_rule_triggers_delta_with(
+    rule_index: usize,
+    rule: &Tgd,
+    full: &Instance,
+    delta: &Instance,
+    strategy: JoinStrategy,
+) -> Vec<Trigger> {
+    let homomorphisms = match strategy {
+        JoinStrategy::Backtracking => {
+            all_homomorphisms_delta(&rule.body, full, delta, &Substitution::new())
+        }
+        JoinStrategy::GenericJoin => {
+            generic_join_delta(&rule.body, full, delta, &Substitution::new())
+        }
+    };
+    homomorphisms
+        .into_iter()
+        .map(|homomorphism| Trigger {
+            rule_index,
+            homomorphism,
+        })
+        .collect()
+}
+
+/// One pivot's share of the generic-join delta trigger search (see
+/// [`ontorew_unify::generic_join_delta_pivot`]): the parallel engine's work
+/// unit for cyclic rules, where intra-pivot chunking is not available but
+/// the per-pivot searches are already independent.
+pub fn find_rule_triggers_delta_pivot_generic(
+    rule_index: usize,
+    rule: &Tgd,
+    full: &Instance,
+    delta: &Instance,
+    pivot: usize,
+) -> Vec<Trigger> {
+    generic_join_delta_pivot(&rule.body, full, delta, &Substitution::new(), pivot)
         .into_iter()
         .map(|homomorphism| Trigger {
             rule_index,

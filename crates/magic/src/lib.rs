@@ -4,10 +4,13 @@
 //! Chase plans materialize the *entire* universal model even when the query
 //! touches a sliver of it. This crate rewrites a program from the query's
 //! goal: predicates are **adorned** with bound/free annotations propagated
-//! left-to-right through rule bodies (SIP), each reachable `(predicate,
-//! adornment)` pair gets a **magic predicate** recording which bindings are
-//! actually demanded, and rules that can be guarded get a magic **guard
-//! atom** prepended so they only fire for demanded bindings. Chasing the
+//! through rule bodies in *selectivity order* (SIP) — at each step the
+//! remaining body atom with the most bound positions (ties broken by a
+//! [`SipSelectivity`] estimate, then by textual position) passes its
+//! bindings sideways — each reachable `(predicate, adornment)` pair gets a
+//! **magic predicate** recording which bindings are actually demanded, and
+//! rules that can be guarded get a magic **guard atom** prepended so they
+//! only fire for demanded bindings. Chasing the
 //! rewritten program over the original instance (plus ground magic *seed*
 //! facts extracted from the query's constants) derives only goal-relevant
 //! facts — the classic magic-sets guarantee — while answering the original
@@ -75,6 +78,11 @@ impl Adornment {
         self.0.iter().filter(|b| **b).count()
     }
 
+    /// True when the given argument position is bound.
+    pub fn bound_at(&self, position: usize) -> bool {
+        self.0.get(position).copied().unwrap_or(false)
+    }
+
     /// True when at least one position is bound.
     pub fn has_bound(&self) -> bool {
         self.0.iter().any(|b| *b)
@@ -101,6 +109,72 @@ impl std::fmt::Display for Adornment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.suffix())
     }
+}
+
+/// Estimates how selective a body atom is under a given adornment, steering
+/// the SIP: when two candidate atoms bind equally many positions, the one
+/// with the *smaller* estimate passes its bindings first, so downstream
+/// magic predicates carry the tightest demand the data supports.
+///
+/// The scale is oracle-relative — estimates are only compared against other
+/// estimates from the same oracle, never across oracles — so a data-blind
+/// implementation can return structural scores while a statistics-backed one
+/// returns expected match counts.
+pub trait SipSelectivity {
+    /// Estimated number of facts matching `atom` when the positions marked
+    /// bound in `adornment` carry concrete values.
+    fn estimate(&self, atom: &Atom, adornment: &Adornment) -> f64;
+}
+
+/// Data-blind fallback oracle: an atom's estimate is its number of *free*
+/// positions, so with equal bound counts the atom leaving fewer variables
+/// open is deemed more selective. Combined with the most-bound-first greedy
+/// this reproduces the classic "bound is better" SIP without any statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StructuralSipSelectivity;
+
+impl SipSelectivity for StructuralSipSelectivity {
+    fn estimate(&self, atom: &Atom, adornment: &Adornment) -> f64 {
+        (atom.terms.len() - adornment.bound_count()) as f64
+    }
+}
+
+/// The order in which a rule body's atoms pass bindings sideways: greedily
+/// pick the remaining atom with the most bound positions under the variables
+/// known so far, breaking ties by the selectivity estimate and then by
+/// textual position (so the ordering is deterministic and degrades to the
+/// classic left-to-right SIP when nothing distinguishes the atoms).
+fn sip_order(
+    body: &[Atom],
+    initially_known: &HashSet<Variable>,
+    selectivity: &dyn SipSelectivity,
+) -> Vec<usize> {
+    let mut known = initially_known.clone();
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    let mut order = Vec::with_capacity(body.len());
+    while !remaining.is_empty() {
+        let mut best_slot = 0usize;
+        let mut best: Option<(usize, f64, usize)> = None;
+        for (slot, &idx) in remaining.iter().enumerate() {
+            let adornment = Adornment::of_atom(&body[idx], &known);
+            let bound = adornment.bound_count();
+            let estimate = selectivity.estimate(&body[idx], &adornment);
+            let better = match &best {
+                None => true,
+                Some((b, e, i)) => {
+                    bound > *b || (bound == *b && (estimate < *e || (estimate == *e && idx < *i)))
+                }
+            };
+            if better {
+                best = Some((bound, estimate, idx));
+                best_slot = slot;
+            }
+        }
+        let idx = remaining.remove(best_slot);
+        known.extend(body[idx].variables());
+        order.push(idx);
+    }
+    order
 }
 
 /// Why a program/query pair does not admit a goal-driven rewrite. The
@@ -301,7 +375,11 @@ impl<'a> Rewriter<'a> {
         self.derived.contains(pred) && !self.unrestricted.contains(pred)
     }
 
-    fn rewrite(self, query: &ConjunctiveQuery) -> Result<MagicProgram, Inadmissible> {
+    fn rewrite(
+        self,
+        query: &ConjunctiveQuery,
+        selectivity: &dyn SipSelectivity,
+    ) -> Result<MagicProgram, Inadmissible> {
         let guarded_rules = self.relevant.iter().filter(|(_, g)| *g).count();
         if guarded_rules == 0 {
             return Err(Inadmissible::NoGuardedRules);
@@ -339,8 +417,11 @@ impl<'a> Rewriter<'a> {
 
         // SIP worklist: for each demanded (predicate, adornment), adorn
         // every guarded producer — prepend the magic guard, then walk the
-        // body left to right propagating bound variables sideways and
-        // emitting one magic rule per restricted body atom.
+        // body in selectivity order propagating bound variables sideways
+        // and emitting one magic rule per restricted body atom. Magic rule
+        // labels keep the atom's *textual* index so they are stable across
+        // oracles. The adorned copy's body keeps the SIP order too, handing
+        // the chase a join order that binds selective atoms first.
         let mut adorned: Vec<Tgd> = Vec::new();
         let mut magic: Vec<Tgd> = Vec::new();
         while let Some((pred, adornment)) = worklist.pop_front() {
@@ -358,8 +439,10 @@ impl<'a> Rewriter<'a> {
                     .iter()
                     .filter_map(Term::as_variable)
                     .collect();
+                let order = sip_order(&rule.body, &known, selectivity);
                 let mut prefix: Vec<Atom> = vec![guard.clone()];
-                for (i, body_atom) in rule.body.iter().enumerate() {
+                for &i in &order {
+                    let body_atom = &rule.body[i];
                     if self.restricted(&body_atom.predicate) {
                         let body_adornment = Adornment::of_atom(body_atom, &known);
                         let magic_head = magic_atom(
@@ -382,7 +465,7 @@ impl<'a> Rewriter<'a> {
                     prefix.push(body_atom.clone());
                 }
                 let mut body = vec![guard];
-                body.extend(rule.body.iter().cloned());
+                body.extend(order.iter().map(|&i| rule.body[i].clone()));
                 adorned.push(Tgd::labelled(
                     &format!("{}@{}", rule.label_str(), adornment.suffix()),
                     body,
@@ -441,8 +524,22 @@ pub fn rewrite_goal_driven(
     program: &TgdProgram,
     query: &ConjunctiveQuery,
 ) -> Result<MagicProgram, Inadmissible> {
+    rewrite_goal_driven_with(program, query, &StructuralSipSelectivity)
+}
+
+/// Like [`rewrite_goal_driven`], but with an explicit [`SipSelectivity`]
+/// oracle steering the sideways-information-passing order. The planner
+/// passes a statistics-backed oracle here so demand flows through the atoms
+/// the data says are selective, not the atoms the rule author wrote first;
+/// any oracle yields a correct rewrite — only the tightness of the magic
+/// restriction (and thus chase work) varies.
+pub fn rewrite_goal_driven_with(
+    program: &TgdProgram,
+    query: &ConjunctiveQuery,
+    selectivity: &dyn SipSelectivity,
+) -> Result<MagicProgram, Inadmissible> {
     let mut guard = span("magic.adorn");
-    let result = Rewriter::new(program, query)?.rewrite(query);
+    let result = Rewriter::new(program, query)?.rewrite(query, selectivity);
     if let Ok(magic) = &result {
         guard.attr("relevant_rules", magic.relevant_rules);
         guard.attr("adorned_rules", magic.adorned_rules);

@@ -179,13 +179,14 @@ fn multi_head_rules_join_the_unguarded_cascade() {
 }
 
 #[test]
-fn sip_passes_bindings_left_to_right() {
+fn sip_passes_bindings_through_the_most_bound_atom_first() {
     let program = registrar();
     let query = ontorew_model::parse_query(r#"q(P) :- mustComplete("ann", P)"#).unwrap();
     let magic = rewrite_goal_driven(&program, &query).unwrap();
     // G5's body is enrolled(S, C), requires(C, P): with S bound by the
-    // guard, the SIP binds C through enrolled before demanding requires —
-    // so the requires demand must be bf, not ff.
+    // guard, enrolled binds one position and requires none, so the greedy
+    // SIP binds C through enrolled before demanding requires — the requires
+    // demand must be bf, not ff.
     let demands_requires_bf = magic
         .program
         .rules()
@@ -200,6 +201,96 @@ fn sip_passes_bindings_left_to_right() {
         .iter()
         .any(|r| r.label_str() == "G4@bf");
     assert!(g4_adorned, "{:?}", magic.dump());
+}
+
+#[test]
+fn sip_reorders_bodies_written_selective_atom_last() {
+    // Same registrar semantics, but G5's body is written with requires
+    // *first*: a textual left-to-right SIP would demand requires^ff (derive
+    // the whole transitive closure), while the greedy SIP pulls enrolled
+    // forward (it binds S from the guard) and still demands requires^bf.
+    let program = parse_program(
+        r#"
+        [B3] prereq(C1, C2) -> requires(C1, C2).
+        [B4] requires(C1, C2), prereq(C2, C3) -> requires(C1, C3).
+        [B5] requires(C, P), enrolled(S, C) -> mustComplete(S, P).
+        "#,
+    )
+    .unwrap();
+    let query = ontorew_model::parse_query(r#"q(P) :- mustComplete("ann", P)"#).unwrap();
+    let magic = rewrite_goal_driven(&program, &query).unwrap();
+    let demanded: Vec<&str> = magic
+        .program
+        .rules()
+        .iter()
+        .filter(|r| r.head.len() == 1)
+        .map(|r| r.head[0].predicate.name_str())
+        .filter(|name| name.starts_with("magic_requires"))
+        .collect();
+    assert!(
+        demanded.contains(&"magic_requires_bf"),
+        "{:?}",
+        magic.dump()
+    );
+    assert!(
+        !demanded.contains(&"magic_requires_ff"),
+        "textual order leaked into the SIP: {:?}",
+        magic.dump()
+    );
+    // The adorned copy's body is in SIP order: guard, enrolled, requires.
+    let adorned = magic
+        .program
+        .rules()
+        .iter()
+        .find(|r| r.label_str() == "B5@bf")
+        .expect("B5 must be adorned");
+    assert_eq!(adorned.body[1].predicate.name_str(), "enrolled");
+    assert_eq!(adorned.body[2].predicate.name_str(), "requires");
+
+    let store = registrar_store();
+    let config = ChaseConfig::restricted(64);
+    assert_eq!(
+        answers_goal_driven(&magic, &store, &query, &config),
+        answers_full(&program, &store, &query, &config)
+    );
+}
+
+#[test]
+fn selectivity_oracle_breaks_bound_count_ties() {
+    struct Prefer(&'static str);
+    impl SipSelectivity for Prefer {
+        fn estimate(&self, atom: &Atom, _adornment: &Adornment) -> f64 {
+            if atom.predicate.name_str() == self.0 {
+                1.0
+            } else {
+                100.0
+            }
+        }
+    }
+    // Both body atoms bind X from the guard, so only the oracle's estimate
+    // distinguishes them.
+    let program = parse_program("[T] a(X, Y), b(X, Y) -> pair(X, Y).").unwrap();
+    let query = ontorew_model::parse_query(r#"q(Y) :- pair("k", Y)"#).unwrap();
+
+    let magic = rewrite_goal_driven_with(&program, &query, &Prefer("b")).unwrap();
+    let adorned = magic
+        .program
+        .rules()
+        .iter()
+        .find(|r| r.label_str() == "T@bf")
+        .expect("T must be adorned");
+    assert_eq!(adorned.body[1].predicate.name_str(), "b");
+
+    // The structural default is a full tie here and degrades to textual
+    // order, keeping rewrites deterministic without statistics.
+    let magic = rewrite_goal_driven(&program, &query).unwrap();
+    let adorned = magic
+        .program
+        .rules()
+        .iter()
+        .find(|r| r.label_str() == "T@bf")
+        .expect("T must be adorned");
+    assert_eq!(adorned.body[1].predicate.name_str(), "a");
 }
 
 #[test]

@@ -389,6 +389,74 @@ impl IndexedRelation {
         }
     }
 
+    /// Exact number of rows matching `pattern` (ground positions equal,
+    /// repeated variables agree). Unlike [`IndexedRelation::candidates`],
+    /// which over-approximates per segment by a single column, this filters
+    /// every candidate — it is the "cheap exact length" primitive the
+    /// variable-at-a-time join planner sizes its supports with.
+    pub fn match_count(&self, pattern: &[Term]) -> usize {
+        if pattern.iter().all(Term::is_ground) {
+            return usize::from(self.contains(pattern));
+        }
+        self.candidates(pattern)
+            .filter(|row| pattern_matches(pattern, row))
+            .count()
+    }
+
+    /// True if at least one row matches `pattern` — the early-exit existence
+    /// probe the generic join uses to semijoin-filter candidate values.
+    pub fn contains_match(&self, pattern: &[Term]) -> bool {
+        if pattern.iter().all(Term::is_ground) {
+            return self.contains(pattern);
+        }
+        self.candidates(pattern)
+            .any(|row| pattern_matches(pattern, row))
+    }
+
+    /// The distinct values of column `col` among the rows matching
+    /// `pattern`, sorted ascending — a per-atom candidate posting list in
+    /// the form [`intersect_sorted`] consumes.
+    ///
+    /// When `pattern` is unconstrained (no ground column, no repeated
+    /// variable), the values are read straight off the per-segment column
+    /// indexes — O(distinct values), never touching the rows.
+    pub fn matching_values(&self, pattern: &[Term], col: usize) -> Vec<Term> {
+        debug_assert!(col < self.arity());
+        let mut values: Vec<Term> = if unconstrained_pattern(pattern) {
+            self.frozen
+                .iter()
+                .map(|seg| &seg.indexes[col])
+                .chain(std::iter::once(&self.tail.indexes[col]))
+                .flat_map(|index| index.keys().copied())
+                .collect()
+        } else {
+            self.candidates(pattern)
+                .filter(|row| pattern_matches(pattern, row))
+                .map(|row| row[col])
+                .collect()
+        };
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
+    /// A cheap upper bound on [`IndexedRelation::match_count`]: the smallest
+    /// posting list among the pattern's ground columns (summed over
+    /// segments), or the relation size when no column is ground. O(arity ×
+    /// segments) hash probes, no row access.
+    pub fn match_bound(&self, pattern: &[Term]) -> usize {
+        let mut best = self.len;
+        for (col, term) in pattern.iter().enumerate() {
+            if term.is_ground() {
+                best = best.min(self.postings_len(col, term));
+                if best == 0 {
+                    return 0;
+                }
+            }
+        }
+        best
+    }
+
     /// A full scan of the relation presented as a [`Candidates`] iterator
     /// (the index-ablation path of the query evaluator).
     pub fn scan_candidates(&self) -> Candidates<'_> {
@@ -411,6 +479,55 @@ impl IndexedRelation {
             },
         }
     }
+}
+
+/// True if `row` matches `pattern`: ground positions are equal and repeated
+/// variables take equal values. This is the full per-row filter that
+/// [`IndexedRelation::candidates`] leaves to its caller, as a standalone
+/// predicate (no substitution allocated).
+pub fn pattern_matches(pattern: &[Term], row: &[Term]) -> bool {
+    debug_assert_eq!(pattern.len(), row.len());
+    for (i, term) in pattern.iter().enumerate() {
+        if term.is_ground() {
+            if *term != row[i] {
+                return false;
+            }
+        } else if let Some(j) = pattern[..i].iter().position(|p| p == term) {
+            if row[i] != row[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True if `pattern` constrains nothing: no ground column and no repeated
+/// variable — every row of the relation matches.
+fn unconstrained_pattern(pattern: &[Term]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(i, term)| !term.is_ground() && !pattern[..i].contains(term))
+}
+
+/// Intersect two ascending-sorted, deduplicated term slices into a new
+/// sorted vector — the merge step of the variable-at-a-time generic join
+/// (per-variable intersection of per-atom candidate value lists).
+pub fn intersect_sorted(a: &[Term], b: &[Term]) -> Vec<Term> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// The probe of one segment: how [`Candidates`] walks it.
@@ -826,6 +943,78 @@ mod tests {
         assert_eq!(db.relation_size(Predicate::new("t", 1)), 0);
         assert_eq!(db.predicates().count(), 2);
         assert_eq!(db.signature().len(), 2);
+    }
+
+    #[test]
+    fn match_primitives_agree_with_scans() {
+        let mut db = Instance::new();
+        for (x, y) in [("a", "b"), ("a", "c"), ("b", "b"), ("c", "a"), ("c", "c")] {
+            db.insert_fact("e", &[x, y]);
+        }
+        // Freeze so both frozen segments and the tail are exercised.
+        db.freeze();
+        db.insert_fact("e", &["d", "a"]);
+        let rel = db.relation(Predicate::new("e", 2)).unwrap();
+
+        let var = Term::variable("X");
+        let other = Term::variable("Y");
+        let a = Term::constant("a");
+        let b = Term::constant("b");
+
+        // match_count: ground, half-ground, repeated-variable patterns.
+        assert_eq!(rel.match_count(&[a, b]), 1);
+        assert_eq!(rel.match_count(&[a, var]), 2);
+        assert_eq!(rel.match_count(&[var, other]), 6);
+        assert_eq!(rel.match_count(&[var, var]), 2); // (b,b) and (c,c)
+        assert_eq!(rel.match_count(&[b, a]), 0);
+
+        // contains_match mirrors match_count > 0.
+        assert!(rel.contains_match(&[a, var]));
+        assert!(rel.contains_match(&[var, var]));
+        assert!(!rel.contains_match(&[b, a]));
+
+        // matching_values: sorted, deduplicated column projections.
+        let firsts = rel.matching_values(&[var, other], 0);
+        assert_eq!(firsts.len(), 4);
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(rel.matching_values(&[a, var], 1), {
+            let mut v = vec![Term::constant("b"), Term::constant("c")];
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(rel.matching_values(&[var, var], 0).len(), 2);
+
+        // match_bound is a sound upper bound on match_count.
+        for pattern in [
+            vec![a, b],
+            vec![a, var],
+            vec![var, other],
+            vec![var, var],
+            vec![b, a],
+        ] {
+            assert!(rel.match_bound(&pattern) >= rel.match_count(&pattern));
+        }
+        // An absent ground value zeroes the bound immediately.
+        assert_eq!(rel.match_bound(&[Term::constant("zz"), a]), 0);
+    }
+
+    #[test]
+    fn pattern_matching_and_intersection_helpers() {
+        let a = Term::constant("a");
+        let b = Term::constant("b");
+        let c = Term::constant("c");
+        let x = Term::variable("X");
+        let y = Term::variable("Y");
+
+        assert!(pattern_matches(&[a, x], &[a, b]));
+        assert!(!pattern_matches(&[a, x], &[b, b]));
+        assert!(pattern_matches(&[x, x], &[c, c]));
+        assert!(!pattern_matches(&[x, x], &[a, c]));
+        assert!(pattern_matches(&[x, y], &[a, c]));
+
+        assert_eq!(intersect_sorted(&[a, b, c], &[b, c]), vec![b, c]);
+        assert_eq!(intersect_sorted(&[a], &[b]), Vec::<Term>::new());
+        assert_eq!(intersect_sorted(&[], &[a]), Vec::<Term>::new());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod term;
 
 pub use atom::{Atom, Predicate};
 pub use error::{ModelError, ParseError};
-pub use instance::{Candidates, IndexedRelation, Instance};
+pub use instance::{intersect_sorted, pattern_matches, Candidates, IndexedRelation, Instance};
 pub use parser::{parse_document, parse_program, parse_query, parse_tgd, ParsedDocument};
 pub use program::TgdProgram;
 pub use query::{ConjunctiveQuery, UnionOfConjunctiveQueries};
@@ -59,7 +59,9 @@ pub use term::{Constant, Null, Term, Variable};
 pub mod prelude {
     pub use crate::atom::{constants_of, predicates_of, variables_of, Atom, Predicate};
     pub use crate::error::{ModelError, ParseError};
-    pub use crate::instance::{Candidates, IndexedRelation, Instance};
+    pub use crate::instance::{
+        intersect_sorted, pattern_matches, Candidates, IndexedRelation, Instance,
+    };
     pub use crate::parser::{
         parse_document, parse_program, parse_query, parse_tgd, ParsedDocument,
     };

@@ -124,6 +124,26 @@ pub struct GoalDrivenSummary {
     pub full_model_estimate: usize,
 }
 
+/// The cost model's view of the executed query against what actually
+/// happened: the per-strategy cost estimates, the join strategy those
+/// estimates prefer for the query body, and the estimated vs. actual answer
+/// cardinality — so `EXPLAIN` (and anything consuming serialized provenance)
+/// exposes misestimates instead of hiding them.
+#[derive(Clone, Debug, Serialize)]
+pub struct CardinalityEstimate {
+    /// The join strategy the cost model prefers for the query body
+    /// (`"backtracking"` or `"generic_join"`).
+    pub strategy: String,
+    /// Estimated satisfying assignments of the query body.
+    pub estimated_rows: u64,
+    /// Answer tuples the execution actually produced.
+    pub actual_rows: usize,
+    /// Simulated cost (rows touched) of the backtracking join.
+    pub backtracking_cost: f64,
+    /// Simulated cost of the generic join (infinite for acyclic bodies).
+    pub generic_join_cost: f64,
+}
+
 /// Where the execution's time went, microseconds.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct Timings {
@@ -164,6 +184,9 @@ pub struct Provenance {
     pub materialization: Option<MaterializationMode>,
     /// The goal-driven (magic-restricted) run, when one was executed.
     pub goal_driven: Option<GoalDrivenSummary>,
+    /// Estimated vs. actual cardinality of this execution, when statistics
+    /// were available to the cost model (None on stores too large to scan).
+    pub cardinality: Option<CardinalityEstimate>,
     /// Timing breakdown.
     pub timings: Timings,
 }

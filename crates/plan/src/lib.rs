@@ -67,7 +67,10 @@ pub use planner::{Materialization, Planner, PlannerConfig, PlannerError, Prepare
 // The goal-driven (magic-sets) surface: the planner compiles the adorned
 // program itself, but callers inspecting a `QueryPlan::GoalDriven` need the
 // types.
-pub use ontorew_magic::{rewrite_goal_driven, Inadmissible, MagicProgram, MAGIC_PREFIX};
+pub use ontorew_magic::{
+    rewrite_goal_driven, rewrite_goal_driven_with, Adornment, Inadmissible, MagicProgram,
+    SipSelectivity, StructuralSipSelectivity, MAGIC_PREFIX,
+};
 
 // The chase-side surface the serving layer needs to configure provenance
 // tracking and walk derivation graphs without depending on `ontorew-chase`

@@ -8,7 +8,10 @@
 use crate::engine::{rewrite, RewriteConfig, Rewriting};
 use crate::rq::RQuery;
 use ontorew_model::prelude::*;
-use ontorew_storage::{evaluate_cq, evaluate_ucq, AnswerSet, RelationalStore};
+use ontorew_storage::{
+    evaluate_cq_instrumented, evaluate_ucq, evaluate_ucq_configured, AnswerSet, EvalConfig,
+    RelationalStore,
+};
 use std::collections::BTreeMap;
 
 /// The result of answering a query by rewriting.
@@ -50,7 +53,33 @@ pub fn evaluate_rewriting(
     let mut answers = AnswerSet::empty(original_query.answer_vars.clone());
     answers.union_with(&evaluate_ucq(store, &rewriting.ucq));
     for grounded in &rewriting.grounded {
-        evaluate_grounded_disjunct(grounded, store, &mut answers);
+        evaluate_grounded_disjunct(grounded, store, &EvalConfig::default(), &mut answers);
+    }
+    answers
+}
+
+/// Like [`evaluate_rewriting`], but with an explicit [`EvalConfig`] applied
+/// to every disjunct — the plan executor threads the store statistics
+/// through here so each disjunct's join strategy and atom order come from
+/// the cost model rather than raw relation sizes.
+pub fn evaluate_rewriting_configured(
+    rewriting: &Rewriting,
+    original_query: &ConjunctiveQuery,
+    store: &RelationalStore,
+    config: &EvalConfig<'_>,
+) -> AnswerSet {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut answers = AnswerSet::empty(original_query.answer_vars.clone());
+    answers.union_with(&evaluate_ucq_configured(
+        store,
+        &rewriting.ucq,
+        threads,
+        config,
+    ));
+    for grounded in &rewriting.grounded {
+        evaluate_grounded_disjunct(grounded, store, config, &mut answers);
     }
     answers
 }
@@ -58,7 +87,12 @@ pub fn evaluate_rewriting(
 /// Evaluate a disjunct whose answer tuple contains constants: the body is
 /// evaluated as a CQ over its answer *variables* only, and each resulting row
 /// is expanded into the full answer tuple with the constants filled in.
-fn evaluate_grounded_disjunct(disjunct: &RQuery, store: &RelationalStore, answers: &mut AnswerSet) {
+fn evaluate_grounded_disjunct(
+    disjunct: &RQuery,
+    store: &RelationalStore,
+    config: &EvalConfig<'_>,
+    answers: &mut AnswerSet,
+) {
     // Collect the distinct variables appearing in answer positions.
     let mut answer_variables: Vec<Variable> = Vec::new();
     for t in &disjunct.answer {
@@ -78,7 +112,7 @@ fn evaluate_grounded_disjunct(disjunct: &RQuery, store: &RelationalStore, answer
         return;
     }
     let cq = ConjunctiveQuery::new(answer_variables.clone(), disjunct.body.clone());
-    let partial = evaluate_cq(store, &cq);
+    let partial = evaluate_cq_instrumented(store, &cq, config).0;
     for row in partial.iter() {
         let binding: BTreeMap<Variable, Term> = answer_variables
             .iter()

@@ -35,7 +35,9 @@ pub mod patterns;
 pub mod rq;
 pub mod step;
 
-pub use answer::{answer_by_rewriting, evaluate_rewriting, RewritingAnswers};
+pub use answer::{
+    answer_by_rewriting, evaluate_rewriting, evaluate_rewriting_configured, RewritingAnswers,
+};
 pub use engine::{
     disjunct_keys, rewrite, rewrite_ucq, rewriting_growth, RewriteConfig, RewriteStats, Rewriting,
 };

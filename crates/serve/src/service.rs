@@ -348,10 +348,17 @@ impl QueryService {
     }
 
     /// The `EXPLAIN` entry point: fetch or compile the plan (cached like
-    /// `prepare`) and return it together with its human-readable dump.
+    /// `prepare`) and return it together with its human-readable dump. The
+    /// dump is version-aware — it reports the cached-materialization state
+    /// and the cost model's per-strategy estimates against the current
+    /// snapshot, so operators see the numbers the executor would decide
+    /// with.
     pub fn explain(&self, query: &ConjunctiveQuery) -> (Prepared, String) {
         let prepared = self.prepare(query);
-        let dump = prepared.prepared.explain();
+        let snapshot = self.store.snapshot();
+        let dump = prepared
+            .prepared
+            .explain_versioned(snapshot.store(), self.version_of(snapshot.epoch()));
         (prepared, dump)
     }
 
@@ -702,6 +709,11 @@ mod tests {
         assert_eq!(prepared.plan_kind(), PlanKind::Hybrid);
         assert!(dump.contains("plan: hybrid"), "{dump}");
         assert!(dump.contains("reason:"), "{dump}");
+        // The versioned dump carries the cost model's estimates for the
+        // current snapshot.
+        assert!(dump.contains("cost model: join strategy="), "{dump}");
+        assert!(dump.contains("cost model: estimated rows="), "{dump}");
+        assert!(dump.contains("cached materialization:"), "{dump}");
         // EXPLAIN warms the cache like PREPARE does.
         assert!(service.query(&q).unwrap().cache_hit);
     }

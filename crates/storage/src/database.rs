@@ -103,6 +103,12 @@ impl RelationalStore {
         self.relations.get(&predicate)
     }
 
+    /// Total tuples across the relations named by `atoms` (the size signal
+    /// of the default join-strategy choice).
+    pub fn body_size(&self, atoms: &[Atom]) -> usize {
+        atoms.iter().map(|a| self.relation_size(a.predicate)).sum()
+    }
+
     /// Mutable access to the relation for `predicate`, creating it if absent.
     pub fn relation_mut(&mut self, predicate: Predicate) -> &mut Relation {
         self.relations
@@ -136,6 +142,15 @@ impl RelationalStore {
     /// The signature induced by the store.
     pub fn signature(&self) -> Signature {
         self.predicates().collect()
+    }
+}
+
+impl ontorew_unify::RelationSource for RelationalStore {
+    fn relation_of(
+        &self,
+        predicate: Predicate,
+    ) -> Option<&ontorew_model::instance::IndexedRelation> {
+        self.relation(predicate).map(Relation::indexed)
     }
 }
 

@@ -7,9 +7,11 @@
 //! hash indexes (the most selective bound column wins), so evaluation only
 //! needs shared access to the store.
 
+use crate::cost::estimate_join_cost;
 use crate::database::RelationalStore;
 use crate::stats::StoreStatistics;
 use ontorew_model::prelude::*;
+use ontorew_unify::{choose_join_strategy, generic_join_all, JoinStrategy};
 use std::collections::BTreeSet;
 
 /// Configuration of the CQ evaluator.
@@ -27,6 +29,11 @@ pub struct EvalConfig<'a> {
     /// Optional relation statistics; when present, the planner orders atoms
     /// by estimated matching rows instead of raw relation cardinality.
     pub statistics: Option<&'a StoreStatistics>,
+    /// Join strategy: `Some` forces atom-at-a-time backtracking or the
+    /// variable-at-a-time generic join; `None` picks per query — through the
+    /// cost model ([`estimate_join_cost`]) when `statistics` are present,
+    /// through the [`choose_join_strategy`] size threshold otherwise.
+    pub strategy: Option<JoinStrategy>,
 }
 
 impl Default for EvalConfig<'_> {
@@ -35,6 +42,7 @@ impl Default for EvalConfig<'_> {
             reorder_atoms: true,
             use_indexes: true,
             statistics: None,
+            strategy: None,
         }
     }
 }
@@ -148,6 +156,13 @@ pub fn evaluate_cq_instrumented(
     query: &ConjunctiveQuery,
     config: &EvalConfig<'_>,
 ) -> (AnswerSet, EvalStats) {
+    let strategy = config.strategy.unwrap_or_else(|| match config.statistics {
+        Some(stats) => estimate_join_cost(stats, &query.body).strategy(),
+        None => choose_join_strategy(&query.body, store),
+    });
+    if strategy == JoinStrategy::GenericJoin {
+        return evaluate_cq_generic_join(store, query);
+    }
     let mut answers = AnswerSet::empty(query.answer_vars.clone());
     let order = if config.reorder_atoms {
         plan_order(store, &query.body, config.statistics)
@@ -181,6 +196,34 @@ pub fn evaluate_cq_instrumented(
     (answers, stats)
 }
 
+/// The worst-case-optimal evaluation path: hand the body to
+/// [`generic_join_all`] (variable-at-a-time over the relation segment
+/// indexes) and project the substitutions onto the answer variables. The
+/// answers are identical to the backtracking path — only the join order and
+/// cost differ.
+fn evaluate_cq_generic_join(
+    store: &RelationalStore,
+    query: &ConjunctiveQuery,
+) -> (AnswerSet, EvalStats) {
+    let mut answers = AnswerSet::empty(query.answer_vars.clone());
+    let mut stats = EvalStats {
+        atoms: query.body.len(),
+        ..EvalStats::default()
+    };
+    for hom in generic_join_all(&query.body, store, &Substitution::new()) {
+        let row: Vec<Term> = query
+            .answer_vars
+            .iter()
+            .map(|v| hom.apply_term(Term::Variable(*v)))
+            .collect();
+        if row.iter().all(Term::is_ground) {
+            stats.answers_emitted += 1;
+            answers.insert(row);
+        }
+    }
+    (answers, stats)
+}
+
 /// Unions smaller than this are always evaluated sequentially: spawning a
 /// scoped thread costs more than joining a handful of indexed disjuncts.
 const PARALLEL_UCQ_MIN_DISJUNCTS: usize = 8;
@@ -208,6 +251,18 @@ pub fn evaluate_ucq_with(
     ucq: &UnionOfConjunctiveQueries,
     threads: usize,
 ) -> AnswerSet {
+    evaluate_ucq_configured(store, ucq, threads, &EvalConfig::default())
+}
+
+/// Evaluate a UCQ with an explicit [`EvalConfig`] applied to every disjunct
+/// — the plan executor's path, which threads the store statistics through so
+/// each disjunct's join strategy is chosen by the cost model.
+pub fn evaluate_ucq_configured(
+    store: &RelationalStore,
+    ucq: &UnionOfConjunctiveQueries,
+    threads: usize,
+    config: &EvalConfig<'_>,
+) -> AnswerSet {
     let columns = ucq
         .disjuncts
         .first()
@@ -217,7 +272,7 @@ pub fn evaluate_ucq_with(
     let threads = threads.max(1);
     if threads == 1 || ucq.len() < PARALLEL_UCQ_MIN_DISJUNCTS.max(2 * threads) {
         for q in &ucq.disjuncts {
-            let part = evaluate_cq(store, q);
+            let part = evaluate_cq_instrumented(store, q, config).0;
             answers.union_with(&part);
         }
         return answers;
@@ -234,7 +289,7 @@ pub fn evaluate_ucq_with(
                 scope.spawn(move || {
                     let mut local: Option<AnswerSet> = None;
                     for q in chunk {
-                        let part = evaluate_cq(store, q);
+                        let part = evaluate_cq_instrumented(store, q, config).0;
                         match &mut local {
                             Some(acc) => acc.union_with(&part),
                             None => local = Some(part),
@@ -552,22 +607,23 @@ mod tests {
             EvalConfig {
                 reorder_atoms: false,
                 use_indexes: false,
-                statistics: None,
+                ..EvalConfig::default()
             },
             EvalConfig {
                 reorder_atoms: false,
                 use_indexes: true,
-                statistics: None,
+                ..EvalConfig::default()
             },
             EvalConfig {
                 reorder_atoms: true,
                 use_indexes: false,
-                statistics: None,
+                ..EvalConfig::default()
             },
             EvalConfig {
                 reorder_atoms: true,
                 use_indexes: true,
                 statistics: Some(&stats),
+                ..EvalConfig::default()
             },
         ];
         for config in configs {
@@ -654,6 +710,50 @@ mod tests {
         )
         .0;
         assert_eq!(with_stats, evaluate_cq(&db, &q));
+    }
+
+    #[test]
+    fn generic_join_strategy_matches_backtracking_on_cyclic_queries() {
+        let mut db = RelationalStore::new();
+        for i in 0..150u32 {
+            db.insert_fact(
+                "follows",
+                &[&format!("u{i}"), &format!("u{}", (i * 17 + 3) % 150)],
+            );
+            db.insert_fact(
+                "follows",
+                &[&format!("u{i}"), &format!("u{}", (i + 1) % 150)],
+            );
+        }
+        let triangle = ConjunctiveQuery::new(
+            vec![Variable::new("X"), Variable::new("Y"), Variable::new("Z")],
+            vec![
+                Atom::new("follows", vec![v("X"), v("Y")]),
+                Atom::new("follows", vec![v("Y"), v("Z")]),
+                Atom::new("follows", vec![v("Z"), v("X")]),
+            ],
+        );
+        let forced = |strategy| {
+            evaluate_cq_instrumented(
+                &db,
+                &triangle,
+                &EvalConfig {
+                    strategy: Some(strategy),
+                    ..EvalConfig::default()
+                },
+            )
+            .0
+        };
+        let backtracking = forced(JoinStrategy::Backtracking);
+        let generic = forced(JoinStrategy::GenericJoin);
+        assert_eq!(generic, backtracking);
+        // The auto choice goes to the generic join here (cyclic + big) and
+        // must give the same answers.
+        assert_eq!(
+            ontorew_unify::choose_join_strategy(&triangle.body, &db),
+            JoinStrategy::GenericJoin
+        );
+        assert_eq!(evaluate_cq(&db, &triangle), backtracking);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cost;
 pub mod database;
 pub mod eval;
 pub mod persist;
@@ -24,11 +25,13 @@ pub mod relation;
 pub mod sql;
 pub mod stats;
 
+pub use cost::{estimate_join_cost, JoinCost};
 pub use database::RelationalStore;
 pub use eval::{
-    evaluate_boolean, evaluate_cq, evaluate_cq_instrumented, evaluate_ucq, evaluate_ucq_with,
-    AnswerSet, EvalConfig, EvalStats,
+    evaluate_boolean, evaluate_cq, evaluate_cq_instrumented, evaluate_ucq, evaluate_ucq_configured,
+    evaluate_ucq_with, AnswerSet, EvalConfig, EvalStats,
 };
+pub use ontorew_unify::JoinStrategy;
 pub use persist::{FsyncPolicy, TenantStorage};
 pub use relation::Relation;
 pub use sql::{cq_to_sql, ucq_to_sql};

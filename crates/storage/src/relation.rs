@@ -136,6 +136,12 @@ impl Relation {
     pub fn scan_candidates(&self) -> Candidates<'_> {
         self.data.scan_candidates()
     }
+
+    /// The backing [`IndexedRelation`] — the generic-join evaluator works
+    /// directly over its segment indexes.
+    pub fn indexed(&self) -> &IndexedRelation {
+        &self.data
+    }
 }
 
 #[cfg(test)]

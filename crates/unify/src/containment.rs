@@ -44,10 +44,19 @@ pub fn are_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
 /// The result is unique up to isomorphism; this implementation removes atoms
 /// greedily in body order.
 pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut unbounded = usize::MAX;
+    minimize_within(q, &mut unbounded)
+}
+
+/// [`minimize`] with a shared budget of homomorphism checks: each removal
+/// attempt spends two ([`are_equivalent`] is two containment checks), and
+/// when the budget runs out the remaining atoms are kept — a sound cut,
+/// since any superset of a core is equivalent to the original query.
+fn minimize_within(q: &ConjunctiveQuery, budget: &mut usize) -> ConjunctiveQuery {
     let mut body = q.body.clone();
     let mut i = 0;
     while i < body.len() {
-        if body.len() == 1 {
+        if body.len() == 1 || *budget < 2 {
             break;
         }
         let mut candidate_body = body.clone();
@@ -69,6 +78,7 @@ pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
                 answer_vars: q.answer_vars.clone(),
                 body: body.clone(),
             };
+            *budget -= 2;
             if are_equivalent(&candidate, &original) {
                 body = candidate_body;
                 continue; // re-check the same index, which now holds the next atom
@@ -110,24 +120,90 @@ fn signature_subset(a: &[u64], b: &[u64]) -> bool {
         .all(|(w, bits)| bits & !b.get(w).copied().unwrap_or(0) == 0)
 }
 
+/// A syntactic α-invariant key of a disjunct: variables renamed to their
+/// first-occurrence index across the answer tuple and the body, atoms and
+/// constants rendered in place. Two disjuncts with equal keys are the same
+/// query up to variable naming (atom order still matters — catching the
+/// exact duplicates rewriting saturation produces, for the cost of a single
+/// formatting pass).
+fn alpha_key(q: &ConjunctiveQuery) -> String {
+    use std::fmt::Write as _;
+    let mut ids: std::collections::HashMap<Variable, usize> = std::collections::HashMap::new();
+    let mut key = String::new();
+    let mut id_of = |v: Variable| {
+        let next = ids.len();
+        *ids.entry(v).or_insert(next)
+    };
+    for v in &q.answer_vars {
+        let _ = write!(key, "?{} ", id_of(*v));
+    }
+    for atom in &q.body {
+        let _ = write!(key, "{}(", atom.predicate.name_str());
+        for term in &atom.terms {
+            match term.as_variable() {
+                Some(v) => {
+                    let _ = write!(key, "?{},", id_of(v));
+                }
+                None => {
+                    let _ = write!(key, "{term},");
+                }
+            }
+        }
+        key.push_str(") ");
+    }
+    key
+}
+
+/// Homomorphism checks one [`prune_ucq`] call may spend across minimization
+/// and subsumption. Rewritings whose disjuncts share one predicate signature
+/// (single-relation cyclic queries are the worst case) defeat the signature
+/// bucketing and would otherwise pay a full quadratic homomorphism pass;
+/// the budget caps prepare time at a constant once the UCQ is wide enough.
+/// Cutting is sound: an unpruned (or unminimized) disjunct only makes the
+/// UCQ redundant, never wrong.
+const PRUNE_HOMOMORPHISM_BUDGET: usize = 10_000;
+
 /// Remove from a UCQ every disjunct that is contained in another disjunct
 /// (keeping the subsuming one), and minimize each surviving disjunct.
 ///
 /// The result is logically equivalent to the input UCQ and is the normal form
 /// produced by the rewriting engine.
 ///
-/// The pairwise containment loop is bucketed by predicate signature: a
-/// homomorphism from `sup` into the canonical database of `sub` must map
-/// every atom of `sup` onto a `sub` atom with the same predicate, so
-/// `sub ⊑ sup` requires `preds(sup) ⊆ preds(sub)`. Each disjunct's predicate
-/// set is interned into a small bitset once, and the (expensive) homomorphism
-/// check only runs for pairs passing the O(1)-ish inclusion test. On
-/// hierarchy-shaped rewritings — where disjuncts mostly carry pairwise
-/// incomparable predicate sets — this turns the quadratic homomorphism pass
-/// into a near-linear one (the bitset comparisons that remain are a few
-/// machine words per pair).
+/// Three guards keep the pass off the quadratic cliff:
+///
+/// * exact duplicates (up to α-renaming) are dropped by hashing before any
+///   homomorphism runs;
+/// * the pairwise containment loop is bucketed by predicate signature: a
+///   homomorphism from `sup` into the canonical database of `sub` must map
+///   every atom of `sup` onto a `sub` atom with the same predicate, so
+///   `sub ⊑ sup` requires `preds(sup) ⊆ preds(sub)` — on hierarchy-shaped
+///   rewritings the expensive checks become near-linear;
+/// * the homomorphism checks that do run are capped by
+///   [`PRUNE_HOMOMORPHISM_BUDGET`], so same-signature rewritings (where the
+///   bucketing cannot help) stay affordable at any width.
 pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
-    let minimized: Vec<ConjunctiveQuery> = ucq.disjuncts.iter().map(minimize).collect();
+    prune_ucq_budgeted(ucq, PRUNE_HOMOMORPHISM_BUDGET).0
+}
+
+/// [`prune_ucq`] with an explicit homomorphism-check budget; returns the
+/// pruned UCQ and the number of checks actually spent. A result whose spent
+/// count equals the budget was (potentially) cut short — still sound, maybe
+/// redundant.
+pub fn prune_ucq_budgeted(
+    ucq: &UnionOfConjunctiveQueries,
+    budget: usize,
+) -> (UnionOfConjunctiveQueries, usize) {
+    let mut remaining = budget;
+    let mut seen = std::collections::HashSet::new();
+    let deduped: Vec<&ConjunctiveQuery> = ucq
+        .disjuncts
+        .iter()
+        .filter(|q| seen.insert(alpha_key(q)))
+        .collect();
+    let minimized: Vec<ConjunctiveQuery> = deduped
+        .iter()
+        .map(|q| minimize_within(q, &mut remaining))
+        .collect();
     let mut intern = std::collections::HashMap::new();
     let mut words = 1usize;
     let mut signatures: Vec<Vec<u64>> = Vec::with_capacity(minimized.len());
@@ -137,7 +213,7 @@ pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
         signatures.push(sig);
     }
     let mut keep = vec![true; minimized.len()];
-    for i in 0..minimized.len() {
+    'outer: for i in 0..minimized.len() {
         if !keep[i] {
             continue;
         }
@@ -150,9 +226,17 @@ pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
             if !signature_subset(&signatures[i], &signatures[j]) {
                 continue;
             }
+            if remaining == 0 {
+                break 'outer;
+            }
+            remaining -= 1;
             if is_contained_in(&minimized[j], &minimized[i]) {
                 // Break ties deterministically: if they are mutually contained
                 // keep the one with the smaller index.
+                if remaining == 0 {
+                    break 'outer;
+                }
+                remaining -= 1;
                 if is_contained_in(&minimized[i], &minimized[j]) && j < i {
                     continue;
                 }
@@ -166,7 +250,10 @@ pub fn prune_ucq(ucq: &UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries {
         .filter(|(_, k)| *k)
         .map(|(q, _)| q)
         .collect();
-    UnionOfConjunctiveQueries::new(survivors)
+    (
+        UnionOfConjunctiveQueries::new(survivors),
+        budget - remaining,
+    )
 }
 
 #[cfg(test)]
@@ -336,5 +423,79 @@ mod tests {
         let q2 = q(&["A"], vec![Atom::new("r", vec![v("A"), v("B")])]);
         let pruned = prune_ucq(&UnionOfConjunctiveQueries::new(vec![q1, q2]));
         assert_eq!(pruned.len(), 1);
+    }
+
+    /// A triangle disjunct α-renamed `n` ways: one query up to naming.
+    fn renamed_triangles(n: usize) -> UnionOfConjunctiveQueries {
+        let disjuncts: Vec<ConjunctiveQuery> = (0..n)
+            .map(|i| {
+                let (x, y, z) = (format!("X{i}"), format!("Y{i}"), format!("Z{i}"));
+                q(
+                    &[&x],
+                    vec![
+                        Atom::new("follows", vec![v(&x), v(&y)]),
+                        Atom::new("follows", vec![v(&y), v(&z)]),
+                        Atom::new("follows", vec![v(&z), v(&x)]),
+                    ],
+                )
+            })
+            .collect();
+        UnionOfConjunctiveQueries::new(disjuncts)
+    }
+
+    #[test]
+    fn alpha_equivalent_duplicates_dedup_without_homomorphisms() {
+        // 64 renamings of one triangle query: the hash dedup collapses them
+        // before a single (exponential-in-the-worst-case) homomorphism
+        // check runs — spent stays 0 even with a zero budget.
+        let (pruned, spent) = prune_ucq_budgeted(&renamed_triangles(64), 0);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(spent, 0);
+    }
+
+    #[test]
+    fn exhausted_budget_keeps_disjuncts_soundly() {
+        let specific = q(
+            &["X"],
+            vec![
+                Atom::new("r", vec![v("X"), v("Y")]),
+                Atom::new("s", vec![v("Y")]),
+            ],
+        );
+        let general = q(&["X"], vec![Atom::new("r", vec![v("X"), v("Y")])]);
+        let ucq = UnionOfConjunctiveQueries::new(vec![specific, general]);
+        // Budget 0: no pruning happens, both disjuncts survive (redundant
+        // but logically equivalent to the pruned form).
+        let (unpruned, spent) = prune_ucq_budgeted(&ucq, 0);
+        assert_eq!(unpruned.len(), 2);
+        assert_eq!(spent, 0);
+        // Plenty of budget: the subsumed disjunct is dropped as before.
+        let (pruned, spent) = prune_ucq_budgeted(&ucq, 1_000);
+        assert_eq!(pruned.len(), 1);
+        assert!(spent > 0 && spent < 1_000);
+    }
+
+    #[test]
+    fn same_signature_ucqs_prepare_within_the_check_budget() {
+        // 120 path queries of distinct lengths over one predicate: every
+        // disjunct has the same predicate signature, so the bitset
+        // bucketing rejects nothing and the quadratic pass (plus unbounded
+        // minimization, ~2·Σ lengths checks on its own) would run far past
+        // any constant. The budget must cap the work instead.
+        let disjuncts: Vec<ConjunctiveQuery> = (1..=120)
+            .map(|len| {
+                let vars: Vec<String> = (0..=len).map(|i| format!("V{i}")).collect();
+                let body: Vec<Atom> = (0..len)
+                    .map(|i| Atom::new("follows", vec![v(&vars[i]), v(&vars[i + 1])]))
+                    .collect();
+                q(&[&vars[0]], body)
+            })
+            .collect();
+        let ucq = UnionOfConjunctiveQueries::new(disjuncts);
+        let budget = 500;
+        let (pruned, spent) = prune_ucq_budgeted(&ucq, budget);
+        assert!(spent <= budget, "budget overrun: {spent} > {budget}");
+        assert!(!pruned.disjuncts.is_empty());
+        assert!(pruned.len() <= 120);
     }
 }

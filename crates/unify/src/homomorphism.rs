@@ -71,6 +71,7 @@ pub fn all_homomorphisms(
     instance: &Instance,
     seed: &Substitution,
 ) -> Vec<Substitution> {
+    crate::generic_join::count_backtracking_evaluation();
     let order = plan_order(atoms, seed);
     let mut out = Vec::new();
     let mut current = seed.clone();
@@ -113,6 +114,7 @@ pub fn all_homomorphisms_delta(
     delta: &Instance,
     seed: &Substitution,
 ) -> Vec<Substitution> {
+    crate::generic_join::count_backtracking_evaluation();
     let mut out = Vec::new();
     for pivot in 0..atoms.len() {
         let order = plan_order_delta(atoms, pivot, seed);
@@ -145,6 +147,7 @@ pub fn all_homomorphisms_delta_chunk(
 ) -> Vec<Substitution> {
     debug_assert!(pivot < atoms.len());
     debug_assert!(chunk < chunk_count.max(1));
+    crate::generic_join::count_backtracking_evaluation();
     let mut out = Vec::new();
     let order = plan_order_delta(atoms, pivot, seed);
     let mut current = seed.clone();

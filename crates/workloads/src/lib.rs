@@ -24,5 +24,6 @@ pub use generators::{
 pub use suites::{
     lubm_style_abox, lubm_style_ontology, lubm_style_queries, registrar_abox, registrar_ontology,
     registrar_queries, sensor_network_abox, sensor_network_ontology, sensor_network_queries,
-    supply_chain_abox, supply_chain_ontology,
+    social_graph_abox, social_graph_ontology, social_graph_queries, supply_chain_abox,
+    supply_chain_ontology,
 };

@@ -244,6 +244,77 @@ pub fn supply_chain_abox(parts: usize, seed: u64) -> Instance {
     db
 }
 
+/// A social-graph ontology: linear typing and endorsement rules over a
+/// `follows` relation. FO-rewritable *and* weakly acyclic, so its queries
+/// compile to hybrid plans — but unlike every other suite, its benchmark
+/// queries are **cyclic** (triangles, cliques), the shape where the
+/// worst-case-optimal generic join beats atom-at-a-time backtracking.
+pub fn social_graph_ontology() -> TgdProgram {
+    parse(
+        "[F1] follows(X, Y) -> member(X).\n\
+         [F2] follows(X, Y) -> member(Y).\n\
+         [F3] influencer(X) -> member(X).\n\
+         [F4] member(X) -> hasProfile(X, P).\n\
+         [F5] endorses(X, Y) -> follows(X, Y).",
+    )
+}
+
+/// A hub-heavy follower graph: `hubs` celebrity accounts forming a complete
+/// directed graph, `users` regular accounts each following three hubs, their
+/// ring successor and one random account, with the hubs following back every
+/// tenth user. The celebrity follow-backs give hub vertices in- *and*
+/// out-degree Θ(users), so enumerating 2-paths through a hub — what a
+/// backtracking triangle join does — costs Θ(users²) while the triangle
+/// count (and a worst-case-optimal join's work) stays near-linear. Seeded
+/// and reproducible.
+pub fn social_graph_abox(users: usize, hubs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs = hubs.max(2);
+    let users = users.max(1);
+    let hub_name = |h: usize| format!("hub{h}");
+    let user_name = |u: usize| format!("user{u}");
+    let mut db = Instance::new();
+    for a in 0..hubs {
+        db.insert_fact("influencer", &[&hub_name(a)]);
+        for b in 0..hubs {
+            if a != b {
+                db.insert_fact("follows", &[&hub_name(a), &hub_name(b)]);
+            }
+        }
+    }
+    for u in 0..users {
+        let name = user_name(u);
+        for i in 0..3 {
+            db.insert_fact("follows", &[&name, &hub_name((u + i) % hubs)]);
+        }
+        db.insert_fact("follows", &[&name, &user_name((u + 1) % users)]);
+        let other = rng.gen_range(0..users);
+        db.insert_fact("follows", &[&name, &user_name(other)]);
+        if u % 10 == 0 {
+            for h in 0..hubs {
+                db.insert_fact("follows", &[&hub_name(h), &name]);
+            }
+        }
+    }
+    db
+}
+
+/// The benchmark queries for the social-graph suite: a triangle and a
+/// (DAG-oriented) 4-clique — cyclic bodies where the generic join is
+/// worst-case optimal and backtracking is not — plus an anchored 2-path as
+/// the acyclic control the cost model should keep on backtracking.
+pub fn social_graph_queries() -> Vec<ConjunctiveQuery> {
+    [
+        "q(X, Y, Z) :- follows(X, Y), follows(Y, Z), follows(Z, X)",
+        "q(X, Y, Z, W) :- follows(X, Y), follows(X, Z), follows(X, W), \
+         follows(Y, Z), follows(Y, W), follows(Z, W)",
+        "q(Z) :- follows(\"user0\", Y), follows(Y, Z)",
+    ]
+    .iter()
+    .map(|q| parse_query(q).expect("suite query must parse"))
+    .collect()
+}
+
 /// A registrar (curriculum) ontology: pure Datalog, so the chase terminates
 /// (weakly acyclic), but the transitive prerequisite closure `G4` keeps it
 /// outside every FO-rewritable class — the planner's chase territory. The
@@ -359,6 +430,34 @@ mod tests {
         );
         assert!(db.relation_size(Predicate::new("prereq", 2)) >= 80);
         assert!(!registrar_queries().is_empty());
+    }
+
+    #[test]
+    fn social_graph_suite_is_cyclic_where_it_counts() {
+        let p = social_graph_ontology();
+        assert!(
+            p.iter().all(|r| r.body.len() == 1),
+            "social suite is Linear (FO-rewritable)"
+        );
+        let db = social_graph_abox(300, 8, 5);
+        assert_eq!(social_graph_abox(300, 8, 5), social_graph_abox(300, 8, 5));
+        let follows = db.relation_size(Predicate::new("follows", 2));
+        // hubs² + ~5 per user + follow-backs.
+        assert!(follows > 300 * 5, "hub graph must be dense: {follows}");
+        let queries = social_graph_queries();
+        assert_eq!(queries.len(), 3);
+        assert!(
+            ontorew_unify::is_cyclic(&queries[0].body),
+            "triangle query must be GYO-cyclic"
+        );
+        assert!(
+            ontorew_unify::is_cyclic(&queries[1].body),
+            "clique query must be GYO-cyclic"
+        );
+        assert!(
+            !ontorew_unify::is_cyclic(&queries[2].body),
+            "anchored 2-path is the acyclic control"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 #
 # Usage: scripts/record_baseline.sh [output-file]
 #
-# Runs every experiment of crates/bench (E1-E18) in release mode through
+# Runs every experiment of crates/bench (E1-E19) in release mode through
 # `run_experiments --json` (NDJSON, one object per experiment — no scraping
 # of the human-formatted tables) and wraps the reports into a JSON document
 # with machine metadata, so future perf PRs can diff their numbers against

@@ -147,7 +147,7 @@ fn instrumented_evaluation_matches_default_evaluation_on_suite_queries() {
                 EvalConfig {
                     reorder_atoms: false,
                     use_indexes: false,
-                    statistics: None,
+                    ..EvalConfig::default()
                 },
                 EvalConfig {
                     statistics: Some(&stats),
